@@ -1,0 +1,122 @@
+// Ablation: cost of the cryptographic substrate under the cookie
+// design (§4.6 "search and verify a cookie" is the expensive per-flow
+// task; these microbenchmarks locate where that cost lives).
+#include <benchmark/benchmark.h>
+
+#include "cookies/generator.h"
+#include "cookies/verifier.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace {
+
+using nnn::util::Bytes;
+using nnn::util::BytesView;
+
+void BM_Sha256(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnn::crypto::Sha256::hash(BytesView(data)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_HmacCookieTag(benchmark::State& state) {
+  const Bytes key(32, 0x42);
+  const Bytes value(32, 0x17);  // id || uuid || timestamp
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nnn::crypto::cookie_tag(BytesView(key), BytesView(value)));
+  }
+}
+BENCHMARK(BM_HmacCookieTag);
+
+void BM_CookieGenerate(benchmark::State& state) {
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  nnn::cookies::CookieGenerator generator(descriptor, clock, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate());
+  }
+}
+BENCHMARK(BM_CookieGenerate);
+
+void BM_CookieVerify(benchmark::State& state) {
+  // Fresh cookies each batch so the replay cache never rejects; the
+  // measured path is the full four-check verification.
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieVerifier verifier(clock);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  verifier.add_descriptor(descriptor);
+  nnn::cookies::CookieGenerator generator(descriptor, clock, 2);
+  std::vector<nnn::cookies::Cookie> batch(4096);
+  size_t next = batch.size();
+  for (auto _ : state) {
+    if (next == batch.size()) {
+      state.PauseTiming();
+      for (auto& cookie : batch) cookie = generator.generate();
+      next = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(verifier.verify(batch[next++]));
+  }
+}
+BENCHMARK(BM_CookieVerify);
+
+void BM_CookieVerifyRejectBadTag(benchmark::State& state) {
+  // The attack path: a forged signature must be rejected no slower
+  // than a valid one verifies (constant-time compare).
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieVerifier verifier(clock);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  verifier.add_descriptor(descriptor);
+  nnn::cookies::CookieGenerator generator(descriptor, clock, 3);
+  auto cookie = generator.generate();
+  cookie.signature[0] ^= 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(cookie));
+  }
+}
+BENCHMARK(BM_CookieVerifyRejectBadTag);
+
+void BM_CookieEncodeDecode(benchmark::State& state) {
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  nnn::cookies::CookieGenerator generator(descriptor, clock, 4);
+  const auto cookie = generator.generate();
+  for (auto _ : state) {
+    const auto wire = cookie.encode();
+    benchmark::DoNotOptimize(nnn::cookies::Cookie::decode(BytesView(wire)));
+  }
+}
+BENCHMARK(BM_CookieEncodeDecode);
+
+void BM_CookieTextRoundTrip(benchmark::State& state) {
+  // The base64 text form used in HTTP headers / TLS extensions.
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  nnn::cookies::CookieGenerator generator(descriptor, clock, 5);
+  const auto cookie = generator.generate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nnn::cookies::Cookie::decode_text(cookie.encode_text()));
+  }
+}
+BENCHMARK(BM_CookieTextRoundTrip);
+
+}  // namespace

@@ -1,0 +1,339 @@
+// Ablations over the dataplane design choices DESIGN.md calls out:
+//   - the three per-packet task classes of §4.6 (search / search+verify
+//     / map-only) measured in isolation;
+//   - sniff-window depth (the daemon's "first 3 packets" choice);
+//   - descriptor-table scale (does 100K descriptors slow the hot path?);
+//   - replay-cache churn;
+//   - cookie transport extraction cost per carrier (HTTP text parse vs
+//     TLS binary parse vs IPv6 option vs UDP shim).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cookies/replay_cache.h"
+#include "cookies/transport.h"
+#include "dataplane/hw_filter.h"
+#include "dataplane/middlebox.h"
+#include "dataplane/sharding.h"
+#include "net/http.h"
+#include "net/tls.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "workload/packet_gen.h"
+
+namespace {
+
+using nnn::cookies::Transport;
+
+struct Plane {
+  nnn::util::ManualClock clock{1000 * nnn::util::kSecond};
+  nnn::cookies::CookieVerifier verifier{clock};
+  nnn::dataplane::ServiceRegistry registry;
+  nnn::dataplane::Middlebox middlebox{clock, verifier, registry};
+  nnn::cookies::CookieDescriptor descriptor;
+
+  explicit Plane(size_t descriptors = 1) {
+    registry.bind("Boost", nnn::dataplane::PriorityAction{0});
+    nnn::util::Rng rng(9);
+    for (size_t i = 0; i < descriptors; ++i) {
+      nnn::cookies::CookieDescriptor d;
+      d.cookie_id = i + 1;
+      d.key.resize(32);
+      for (auto& b : d.key) b = static_cast<uint8_t>(rng.next_u64());
+      d.service_data = "Boost";
+      verifier.add_descriptor(d);
+      if (i == 0) descriptor = d;
+    }
+  }
+};
+
+nnn::net::Packet plain_packet(uint32_t flow_id) {
+  nnn::net::Packet p;
+  p.tuple.src_ip = nnn::net::IpAddress::v4(0x0a000000u | flow_id);
+  p.tuple.dst_ip = nnn::net::IpAddress::v4(151, 101, 0, 1);
+  p.tuple.src_port = static_cast<uint16_t>(1024 + flow_id % 50000);
+  p.tuple.dst_port = 443;
+  p.wire_size = 512;
+  return p;
+}
+
+/// Task (iii): established flow, pure table hit.
+void BM_Task_MapOnly(benchmark::State& state) {
+  Plane plane;
+  nnn::cookies::CookieGenerator gen(plane.descriptor, plane.clock, 1);
+  nnn::net::Packet request = plain_packet(1);
+  request.tuple.proto = nnn::net::L4Proto::kUdp;
+  nnn::cookies::attach(request, gen.generate(), Transport::kUdpHeader);
+  plane.middlebox.process(request);
+  nnn::net::Packet data = plain_packet(1);
+  data.tuple.proto = nnn::net::L4Proto::kUdp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plane.middlebox.process(data));
+  }
+}
+BENCHMARK(BM_Task_MapOnly);
+
+/// Task (i): sniffing packets that carry no cookie.
+void BM_Task_SearchNoCookie(benchmark::State& state) {
+  Plane plane;
+  uint32_t flow_id = 100;
+  for (auto _ : state) {
+    // A fresh flow each time keeps the packet inside the sniff window;
+    // advancing the clock lets the flow table expire old entries so
+    // the benchmark measures steady state, not unbounded growth.
+    plane.clock.advance(10 * nnn::util::kMillisecond);
+    nnn::net::Packet p = plain_packet(flow_id++);
+    benchmark::DoNotOptimize(plane.middlebox.process(p));
+  }
+}
+BENCHMARK(BM_Task_SearchNoCookie);
+
+/// Task (ii): search + full verification, per descriptor-table scale.
+void BM_Task_SearchAndVerify(benchmark::State& state) {
+  Plane plane(static_cast<size_t>(state.range(0)));
+  nnn::cookies::CookieGenerator gen(plane.descriptor, plane.clock, 2);
+  uint32_t flow_id = 1;
+  std::vector<nnn::net::Packet> batch;
+  size_t next = batch.size();
+  for (auto _ : state) {
+    if (next >= batch.size()) {
+      state.PauseTiming();
+      batch.clear();
+      for (int i = 0; i < 1024; ++i) {
+        nnn::net::Packet p = plain_packet(flow_id++);
+        p.tuple.proto = nnn::net::L4Proto::kUdp;
+        nnn::cookies::attach(p, gen.generate(), Transport::kUdpHeader);
+        batch.push_back(std::move(p));
+      }
+      next = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(plane.middlebox.process(batch[next++]));
+  }
+}
+BENCHMARK(BM_Task_SearchAndVerify)
+    ->ArgName("descriptors")
+    ->Arg(1)
+    ->Arg(1000)
+    ->Arg(100000);
+
+/// Sniff-window depth: how much does inspecting 1 vs 3 vs 8 packets of
+/// every cookie-less flow cost end to end?
+void BM_SniffWindowDepth(benchmark::State& state) {
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieVerifier verifier(clock);
+  nnn::dataplane::ServiceRegistry registry;
+  nnn::dataplane::Middlebox::Config config;
+  config.sniff_window = static_cast<uint32_t>(state.range(0));
+  nnn::dataplane::Middlebox middlebox(clock, verifier, registry, config);
+  uint32_t flow_id = 1;
+  for (auto _ : state) {
+    clock.advance(50 * nnn::util::kMillisecond);  // bound table growth
+    // 10-packet cookie-less flow.
+    for (int i = 0; i < 10; ++i) {
+      nnn::net::Packet p = plain_packet(flow_id);
+      benchmark::DoNotOptimize(middlebox.process(p));
+    }
+    ++flow_id;
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_SniffWindowDepth)->ArgName("window")->Arg(1)->Arg(3)->Arg(8);
+
+/// Replay-cache insert under steady churn.
+void BM_ReplayCacheInsert(benchmark::State& state) {
+  nnn::cookies::ReplayCache cache(5 * nnn::util::kSecond);
+  nnn::util::Rng rng(5);
+  nnn::util::Timestamp now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.insert(nnn::crypto::Uuid::generate(rng), now));
+    now += 100;  // 10K cookies/second
+  }
+}
+BENCHMARK(BM_ReplayCacheInsert);
+
+/// Cookie extraction cost per transport carrier.
+void BM_ExtractPerTransport(benchmark::State& state) {
+  const auto transport = static_cast<Transport>(state.range(0));
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  nnn::cookies::CookieGenerator gen(descriptor, clock, 3);
+
+  nnn::net::Packet packet;
+  switch (transport) {
+    case Transport::kHttpHeader: {
+      nnn::net::http::Request r("GET", "/", "example.com");
+      const std::string text = r.serialize();
+      packet.payload.assign(text.begin(), text.end());
+      break;
+    }
+    case Transport::kTlsExtension: {
+      nnn::net::tls::ClientHello hello;
+      hello.set_server_name("example.com");
+      packet.payload = hello.serialize_record();
+      break;
+    }
+    case Transport::kIpv6Extension:
+      packet.ipv6 = true;
+      break;
+    case Transport::kUdpHeader:
+      packet.tuple.proto = nnn::net::L4Proto::kUdp;
+      break;
+    case Transport::kTcpOption:
+      packet.tuple.proto = nnn::net::L4Proto::kTcp;
+      break;
+  }
+  nnn::cookies::attach(packet, gen.generate(), transport);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnn::cookies::extract(packet));
+  }
+}
+BENCHMARK(BM_ExtractPerTransport)
+    ->ArgName("transport")
+    ->Arg(static_cast<int>(Transport::kHttpHeader))
+    ->Arg(static_cast<int>(Transport::kTlsExtension))
+    ->Arg(static_cast<int>(Transport::kIpv6Extension))
+    ->Arg(static_cast<int>(Transport::kUdpHeader))
+    ->Arg(static_cast<int>(Transport::kTcpOption));
+
+/// Scale-out dispatch (§4.6): per-packet cost of the sharded dataplane
+/// under the two load-balancing policies. Descriptor affinity pays an
+/// extra cookie peek on cookie-bearing packets; that is the price of a
+/// sound distributed use-once check.
+void BM_ShardedDispatch(benchmark::State& state) {
+  const auto policy =
+      static_cast<nnn::dataplane::DispatchPolicy>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::dataplane::ServiceRegistry registry;
+  registry.bind("Boost", nnn::dataplane::PriorityAction{0});
+  nnn::dataplane::ShardedDataplane plane(clock, registry, shards, policy);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  descriptor.service_data = "Boost";
+  plane.add_descriptor(descriptor);
+  nnn::cookies::CookieGenerator gen(descriptor, clock, 1);
+
+  uint32_t flow_id = 1;
+  std::vector<nnn::net::Packet> batch;
+  size_t next = 0;
+  for (auto _ : state) {
+    if (next >= batch.size()) {
+      state.PauseTiming();
+      batch.clear();
+      for (int i = 0; i < 512; ++i) {
+        nnn::net::Packet p = plain_packet(flow_id++);
+        p.tuple.proto = nnn::net::L4Proto::kUdp;
+        if (i % 10 == 0) {  // every 10th packet opens a cookie flow
+          nnn::cookies::attach(p, gen.generate(),
+                               nnn::cookies::Transport::kUdpHeader);
+        }
+        batch.push_back(std::move(p));
+      }
+      next = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(plane.process(batch[next++]));
+  }
+}
+BENCHMARK(BM_ShardedDispatch)
+    ->ArgNames({"policy", "shards"})
+    ->Args({0, 1})
+    ->Args({0, 4})
+    ->Args({0, 16})
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({1, 16});
+
+/// Hardware pre-filter (§4.6): decision cost per packet class.
+void BM_HwFilterDecision(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::dataplane::HardwareFilter filter(
+      clock, nnn::cookies::kNetworkCoherencyTime, {});
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  filter.learn_id(1);
+  nnn::cookies::CookieGenerator gen(descriptor, clock, 1);
+
+  nnn::net::Packet packet;
+  switch (scenario) {
+    case 0:  // plain packet, fast path
+      packet = plain_packet(1);
+      break;
+    case 1: {  // known cookie -> software
+      packet = plain_packet(2);
+      packet.tuple.proto = nnn::net::L4Proto::kUdp;
+      nnn::cookies::attach(packet, gen.generate(),
+                           nnn::cookies::Transport::kUdpHeader);
+      break;
+    }
+    default: {  // unknown id -> rejected in "hardware"
+      nnn::cookies::CookieDescriptor rogue = descriptor;
+      rogue.cookie_id = 99;
+      nnn::cookies::CookieGenerator rogue_gen(rogue, clock, 2);
+      packet = plain_packet(3);
+      packet.tuple.proto = nnn::net::L4Proto::kUdp;
+      nnn::cookies::attach(packet, rogue_gen.generate(),
+                           nnn::cookies::Transport::kUdpHeader);
+      break;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.classify(packet));
+  }
+}
+BENCHMARK(BM_HwFilterDecision)
+    ->ArgName("scenario")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+/// Mid-flow cookie inspection (§4.2 app-assisted bursts): what the
+/// per-packet search on every best-effort packet costs vs the default
+/// sniff-3 deployment.
+void BM_MidFlowInspection(benchmark::State& state) {
+  const bool mid_flow = state.range(0) != 0;
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieVerifier verifier(clock);
+  nnn::dataplane::ServiceRegistry registry;
+  nnn::dataplane::Middlebox::Config config;
+  config.mid_flow_cookies = mid_flow;
+  nnn::dataplane::Middlebox middlebox(clock, verifier, registry, config);
+  // One long-lived cookie-less flow, past the sniff window.
+  nnn::net::Packet p = plain_packet(1);
+  for (int i = 0; i < 5; ++i) middlebox.process(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(middlebox.process(p));
+  }
+}
+BENCHMARK(BM_MidFlowInspection)
+    ->ArgName("mid_flow")
+    ->Arg(0)
+    ->Arg(1);
+
+/// Flow-table scale: lookup cost as the table grows.
+void BM_FlowTableTouch(benchmark::State& state) {
+  nnn::dataplane::FlowTable table;
+  const size_t flows = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < flows; ++i) {
+    nnn::net::Packet p = plain_packet(static_cast<uint32_t>(i));
+    table.touch(p.tuple, 512, 0);
+  }
+  nnn::net::Packet probe = plain_packet(static_cast<uint32_t>(flows / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.touch(probe.tuple, 512, 1));
+  }
+}
+BENCHMARK(BM_FlowTableTouch)
+    ->ArgName("flows")
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Figure 5(b) — "Flow completion time for a 300KB flow in the presence
+// of background traffic." Runs the simulated home (6 Mb/s last mile,
+// non-boosted traffic throttled to 1 Mb/s while a boost is active) for
+// the three treatments and prints the FCT CDFs the figure plots.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "studies/fct_experiment.h"
+
+int main(int argc, char** argv) {
+  nnn::studies::FctConfig config;
+  config.trials = 40;
+  if (argc > 1) config.trials = std::atoi(argv[1]);
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("=== Figure 5b: 300KB flow completion time CDF ===\n");
+  std::printf("WAN %.0f Mb/s, throttle %.0f Mb/s, %d trials per lane, "
+              "seed %llu\n\n",
+              config.wan_bps / 1e6, config.throttle_bps / 1e6,
+              config.trials,
+              static_cast<unsigned long long>(config.seed));
+
+  struct LaneRun {
+    const char* name;
+    nnn::studies::Lane lane;
+    std::vector<double> fct;
+  };
+  LaneRun lanes[] = {
+      {"boosted", nnn::studies::Lane::kBoosted, {}},
+      {"best-effort", nnn::studies::Lane::kBestEffort, {}},
+      {"throttled", nnn::studies::Lane::kThrottled, {}},
+  };
+  for (auto& lane : lanes) {
+    lane.fct = nnn::studies::sorted_samples(
+        nnn::studies::run_fct(lane.lane, config));
+  }
+
+  std::printf("%-8s %12s %12s %12s\n", "CDF", "boosted(s)",
+              "best-eff(s)", "throttled(s)");
+  for (const double p : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95}) {
+    const auto at = [&](const std::vector<double>& v) {
+      const size_t idx =
+          std::min(v.size() - 1, static_cast<size_t>(p * v.size()));
+      return v[idx];
+    };
+    std::printf("p%-7.0f %12.2f %12.2f %12.2f\n", p * 100,
+                at(lanes[0].fct), at(lanes[1].fct), at(lanes[2].fct));
+  }
+
+  const auto median = [](const std::vector<double>& v) {
+    return v[v.size() / 2];
+  };
+  std::printf("\n--- paper vs measured (shape) ---\n");
+  std::printf("boosted finishes fastest      : %s (median %.2fs)\n",
+              median(lanes[0].fct) < median(lanes[1].fct) ? "yes" : "NO",
+              median(lanes[0].fct));
+  std::printf("throttled bounded by 1 Mb/s   : %s (median %.2fs; "
+              "300KB/1Mb/s = 2.4s floor)\n",
+              median(lanes[2].fct) > 2.4 ? "yes" : "NO",
+              median(lanes[2].fct));
+  std::printf("best-effort in between, spread: median %.2fs, "
+              "p95 %.2fs\n",
+              median(lanes[1].fct),
+              lanes[1].fct[static_cast<size_t>(0.95 * lanes[1].fct.size())]);
+  return 0;
+}

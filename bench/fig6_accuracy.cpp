@@ -1,0 +1,69 @@
+// Figure 6 — "Matching accuracy for three sample user preferences"
+// (cnn.com, youtube.com, skai.gr) under (a) cookies, (b) nDPI,
+// (c) out-of-band flow descriptions. Prints the matched / false
+// percentages each subfigure stacks.
+#include <cstdio>
+#include <cstdlib>
+
+#include "studies/accuracy.h"
+
+namespace {
+
+void print_panel(const char* title,
+                 const std::vector<nnn::studies::SiteAccuracy>& panel) {
+  std::printf("%s\n", title);
+  std::printf("  %-14s %12s %14s %20s\n", "site", "matched(%)",
+              "false-share(%)", "pkts matched/false");
+  for (const auto& acc : panel) {
+    std::printf("  %-14s %12.1f %14.1f %12llu/%llu\n", acc.site.c_str(),
+                acc.matched_pct, acc.false_pct,
+                static_cast<unsigned long long>(acc.matched_packets),
+                static_cast<unsigned long long>(acc.false_packets));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1234;
+  nnn::studies::AccuracyExperiment experiment(seed);
+  const auto result = experiment.run();
+
+  std::printf("=== Figure 6: matching accuracy (seed %llu) ===\n\n",
+              static_cast<unsigned long long>(seed));
+  print_panel("(a) Cookies + browser agent", result.cookies);
+  print_panel("(b) nDPI rule catalog", result.dpi);
+  print_panel("(c) Out-of-band flow descriptions (server ip+port, the "
+              "NAT-safe form)",
+              result.oob);
+  print_panel("    [OOB with exact 5-tuples — dies at the NAT]",
+              result.oob_exact);
+
+  std::printf("--- paper vs measured ---\n");
+  std::printf("cookies boost >90%% with no false positives : "
+              "matched %.1f-%.1f%%, false %.1f%%\n",
+              result.cookies[0].matched_pct < result.cookies[2].matched_pct
+                  ? result.cookies[0].matched_pct
+                  : result.cookies[2].matched_pct,
+              result.cookies[1].matched_pct,
+              result.cookies[0].false_pct);
+  std::printf("nDPI on cnn.com: paper 18%%                 : %.1f%%\n",
+              result.dpi[0].matched_pct);
+  std::printf("nDPI on skai.gr: paper 0%% (no rule)        : %.1f%%\n",
+              result.dpi[2].matched_pct);
+  // The paper measures the youtube-on-skai confusion as a share of
+  // skai.gr's packets; compute the same quantity from the raw counts.
+  const double skai_misattributed =
+      100.0 * static_cast<double>(result.dpi[1].false_packets) /
+      static_cast<double>(result.dpi[2].target_total_packets);
+  std::printf("nDPI youtube false-matches skai embeds     : %.1f%% of "
+              "skai's packets (paper: 12%%)\n",
+              skai_misattributed);
+  std::printf("OOB false positives (paper ~40%%)           : "
+              "%.1f / %.1f / %.1f %%\n",
+              result.oob[0].false_pct, result.oob[1].false_pct,
+              result.oob[2].false_pct);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "baselines/diffserv.h"
+
+namespace nnn::baselines {
+
+DiffServDomain::DiffServDomain(std::string name, BoundaryPolicy policy)
+    : name_(std::move(name)), policy_(policy) {
+  for (size_t i = 0; i < remap_.size(); ++i) {
+    remap_[i] = static_cast<uint8_t>(i);
+  }
+}
+
+bool DiffServDomain::define_class(uint8_t dscp, std::string meaning) {
+  if (dscp > kDscpMax) return false;
+  if (classes_.size() >= 64 && !classes_.contains(dscp)) return false;
+  classes_[dscp] = std::move(meaning);
+  return true;
+}
+
+void DiffServDomain::set_remap(uint8_t from, uint8_t to) {
+  if (from <= kDscpMax && to <= kDscpMax) remap_[from] = to;
+}
+
+void DiffServDomain::ingress(net::Packet& packet) const {
+  switch (policy_) {
+    case BoundaryPolicy::kPreserve:
+      break;
+    case BoundaryPolicy::kBleach:
+      packet.dscp = 0;
+      break;
+    case BoundaryPolicy::kRemap:
+      packet.dscp = remap_[packet.dscp & kDscpMax];
+      break;
+  }
+}
+
+std::string DiffServDomain::interior_class(uint8_t dscp) const {
+  const auto it = classes_.find(static_cast<uint8_t>(dscp & kDscpMax));
+  return it == classes_.end() ? std::string() : it->second;
+}
+
+uint8_t traverse(net::Packet& packet,
+                 const std::vector<const DiffServDomain*>& path) {
+  for (const DiffServDomain* domain : path) {
+    domain->ingress(packet);
+  }
+  return packet.dscp;
+}
+
+}  // namespace nnn::baselines

@@ -1,0 +1,71 @@
+// DiffServ baseline (§3).
+//
+// "DiffServ allows endpoints to mark their packets (using the 6 DSCP
+// bits in the IP header) ... Network operators often ignore or even
+// reset DSCP bits across network boundaries ... DiffServ has no
+// authentication and revocation primitives: any application can set
+// the DSCP bits and request service without the user's consent."
+//
+// The model: endpoints mark DSCP freely (no auth — that's the point),
+// and a path is a sequence of DiffServ domains, each with a boundary
+// policy (preserve / bleach / remap) and an internal class table of at
+// most 64 entries. Traversal shows why DSCP cannot carry end-to-end
+// user preferences: the marking that arrives is whatever the last
+// boundary left of it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace nnn::baselines {
+
+inline constexpr uint8_t kDscpMax = 63;  // 6 bits -> 64 classes
+
+enum class BoundaryPolicy : uint8_t {
+  kPreserve = 0,  // trust upstream marking
+  kBleach = 1,    // reset to 0 (common ISP behaviour)
+  kRemap = 2,     // rewrite via a remap table
+};
+
+class DiffServDomain {
+ public:
+  DiffServDomain(std::string name, BoundaryPolicy policy);
+
+  /// Define what an internal class means (informational; the class
+  /// table is capped at 64, enforcing the paper's "26 classes" limit).
+  /// Returns false when the table is full or dscp > 63.
+  bool define_class(uint8_t dscp, std::string meaning);
+
+  /// Boundary remap entry (only used with kRemap).
+  void set_remap(uint8_t from, uint8_t to);
+
+  /// Apply boundary behaviour to a packet entering this domain.
+  void ingress(net::Packet& packet) const;
+
+  /// The service class the domain's interior applies to a marking; a
+  /// dscp with no defined class gets best-effort ("").
+  std::string interior_class(uint8_t dscp) const;
+
+  const std::string& name() const { return name_; }
+  BoundaryPolicy policy() const { return policy_; }
+  size_t class_count() const { return classes_.size(); }
+
+ private:
+  std::string name_;
+  BoundaryPolicy policy_;
+  std::map<uint8_t, std::string> classes_;
+  std::array<uint8_t, 64> remap_{};
+};
+
+/// A path across several domains: applies each boundary in turn and
+/// returns the marking the final hop sees.
+uint8_t traverse(net::Packet& packet,
+                 const std::vector<const DiffServDomain*>& path);
+
+}  // namespace nnn::baselines

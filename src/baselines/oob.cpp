@@ -1,0 +1,60 @@
+#include "baselines/oob.h"
+
+namespace nnn::baselines {
+
+bool FlowDescription::matches(const net::FiveTuple& tuple) const {
+  if (src_ip && *src_ip != tuple.src_ip) return false;
+  if (dst_ip && *dst_ip != tuple.dst_ip) return false;
+  if (src_port && *src_port != tuple.src_port) return false;
+  if (dst_port && *dst_port != tuple.dst_port) return false;
+  if (proto && *proto != tuple.proto) return false;
+  return true;
+}
+
+FlowDescription FlowDescription::exact(const net::FiveTuple& tuple) {
+  FlowDescription d;
+  d.src_ip = tuple.src_ip;
+  d.dst_ip = tuple.dst_ip;
+  d.src_port = tuple.src_port;
+  d.dst_port = tuple.dst_port;
+  d.proto = tuple.proto;
+  return d;
+}
+
+FlowDescription FlowDescription::server_only(const net::FiveTuple& tuple) {
+  FlowDescription d;
+  d.dst_ip = tuple.dst_ip;
+  d.dst_port = tuple.dst_port;
+  d.proto = tuple.proto;
+  return d;
+}
+
+void OobSwitch::install(OobRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void OobSwitch::clear() {
+  rules_.clear();
+}
+
+std::optional<std::string> OobSwitch::match(const net::Packet& packet) const {
+  for (const auto& rule : rules_) {
+    if (rule.description.matches(packet.tuple)) return rule.service;
+  }
+  return std::nullopt;
+}
+
+void OobController::attach_switch(OobSwitch* sw) {
+  switches_.push_back(sw);
+}
+
+void OobController::request_service(const FlowDescription& description,
+                                    const std::string& service) {
+  ++stats_.signals;
+  for (OobSwitch* sw : switches_) {
+    sw->install(OobRule{description, service});
+    ++stats_.rules_installed;
+  }
+}
+
+}  // namespace nnn::baselines

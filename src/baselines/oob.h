@@ -1,0 +1,88 @@
+// Out-of-band flow-description baseline (§3, Fig. 6c).
+//
+// "The application (or a user agent) tells the centralized control
+// plane which flows to match on — via an out-of-band channel — by
+// describing which flows should get special treatment (e.g., using the
+// 5-tuple). Subsequently, the control-plane programs the switches to
+// match on these flows."
+//
+// The model captures OOB's two published limitations:
+//  1. Control-plane cost: every flow description is a controller
+//     round-trip plus a rule installed on every switch on the path
+//     (cnn.com alone is 255 flows -> 255 signals).
+//  2. Flow mutation: a 5-tuple description recorded before a NAT is
+//     invalid after it. The workaround — wildcarding to (dst ip, dst
+//     port) — misattributes everything else the same server carries
+//     (~40% false positives in the paper's example).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+
+namespace nnn::baselines {
+
+/// A (possibly wildcarded) 5-tuple match. Unset field = wildcard.
+struct FlowDescription {
+  std::optional<net::IpAddress> src_ip;
+  std::optional<net::IpAddress> dst_ip;
+  std::optional<uint16_t> src_port;
+  std::optional<uint16_t> dst_port;
+  std::optional<net::L4Proto> proto;
+
+  bool matches(const net::FiveTuple& tuple) const;
+
+  /// Exact description of one flow.
+  static FlowDescription exact(const net::FiveTuple& tuple);
+  /// NAT-safe coarse description: destination ip+port only (the
+  /// workaround the paper describes, and the source of false
+  /// positives).
+  static FlowDescription server_only(const net::FiveTuple& tuple);
+};
+
+struct OobRule {
+  FlowDescription description;
+  std::string service;
+};
+
+/// A switch holding installed rules; first match wins.
+class OobSwitch {
+ public:
+  void install(OobRule rule);
+  void clear();
+  size_t rule_count() const { return rules_.size(); }
+
+  std::optional<std::string> match(const net::Packet& packet) const;
+
+ private:
+  std::vector<OobRule> rules_;
+};
+
+struct OobControllerStats {
+  /// Control-plane signaling operations (one per flow description).
+  uint64_t signals = 0;
+  /// Rule installations (signals x switches on path).
+  uint64_t rules_installed = 0;
+};
+
+/// Centralized controller programming a set of switches.
+class OobController {
+ public:
+  void attach_switch(OobSwitch* sw);
+
+  /// Signal one flow description; programs every attached switch.
+  void request_service(const FlowDescription& description,
+                       const std::string& service);
+
+  const OobControllerStats& stats() const { return stats_; }
+
+ private:
+  std::vector<OobSwitch*> switches_;
+  OobControllerStats stats_;
+};
+
+}  // namespace nnn::baselines

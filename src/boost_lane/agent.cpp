@@ -1,0 +1,86 @@
+#include "boost_lane/agent.h"
+
+#include "util/logging.h"
+
+namespace nnn::boost_lane {
+
+BoostAgent::BoostAgent(const util::Clock& clock, server::JsonApi& api,
+                       std::string user, uint64_t rng_seed)
+    : clock_(clock), api_(api), user_(std::move(user)),
+      rng_seed_(rng_seed) {}
+
+bool BoostAgent::ensure_descriptor() {
+  if (descriptor_ && !descriptor_->expired(clock_.now())) return true;
+  json::Object request;
+  request["method"] = "acquire";
+  request["service"] = "Boost";
+  request["user"] = user_;
+  const json::Value response = api_.handle(json::Value(std::move(request)));
+  if (!response.get_bool("ok")) {
+    util::log_warn("boost agent {}: acquire failed: {}", user_,
+                   response.get_string("error"));
+    return false;
+  }
+  const json::Value* descriptor_json = response.find("descriptor");
+  if (!descriptor_json) return false;
+  auto descriptor = cookies::CookieDescriptor::from_json(*descriptor_json);
+  if (!descriptor) return false;
+  descriptor_ = std::move(*descriptor);
+  generator_.emplace(*descriptor_, clock_, rng_seed_++);
+  return true;
+}
+
+bool BoostAgent::boost_tab(TabId tab) {
+  if (!ensure_descriptor()) return false;
+  boosted_tabs_[tab] = clock_.now() + kBoostDuration;
+  return true;
+}
+
+bool BoostAgent::always_boost(std::string domain) {
+  if (!ensure_descriptor()) return false;
+  boosted_sites_[std::move(domain)] = true;
+  return true;
+}
+
+void BoostAgent::remove_always_boost(const std::string& domain) {
+  boosted_sites_.erase(domain);
+}
+
+void BoostAgent::unboost_tab(TabId tab) {
+  boosted_tabs_.erase(tab);
+}
+
+bool BoostAgent::tab_boosted(TabId tab) const {
+  const auto it = boosted_tabs_.find(tab);
+  return it != boosted_tabs_.end() && it->second > clock_.now();
+}
+
+bool BoostAgent::site_boosted(const std::string& domain) const {
+  return boosted_sites_.contains(domain);
+}
+
+bool BoostAgent::should_boost(const BrowserFlow& flow) const {
+  if (!flow.tab) return false;  // DNS/prefetch: no tab context
+  if (tab_boosted(*flow.tab)) return true;
+  return !flow.address_bar_domain.empty() &&
+         site_boosted(flow.address_bar_domain);
+}
+
+bool BoostAgent::process_request(const BrowserFlow& flow,
+                                 net::Packet& packet) {
+  if (!should_boost(flow)) return false;
+  if (!ensure_descriptor() || !generator_) return false;
+  const cookies::Cookie cookie = generator_->generate();
+  const cookies::Transport transport =
+      flow.flow.https ? cookies::Transport::kTlsExtension
+                      : cookies::Transport::kHttpHeader;
+  if (!cookies::attach(packet, cookie, transport)) return false;
+  ++cookies_inserted_;
+  return true;
+}
+
+bool BoostAgent::has_descriptor() const {
+  return descriptor_ && !descriptor_->expired(clock_.now());
+}
+
+}  // namespace nnn::boost_lane

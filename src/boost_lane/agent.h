@@ -1,0 +1,82 @@
+// The Boost agent (§5.1) — the paper's Chrome extension.
+//
+// Users express preferences two ways:
+//   - "Boost a tab. All traffic from/to a specific tab is boosted.
+//      The user initiates this once per tab, and it lasts until she
+//      closes the tab (or after an hour)."
+//   - "Always Boost a website. ... The setting is remembered."
+// The agent acquires a boost cookie descriptor from the well-known
+// server (JSON API), then, for every outgoing request whose browser
+// context matches a preference, mints a cookie and inserts it — HTTP
+// header for plain traffic, TLS ClientHello extension for HTTPS.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "boost_lane/browser.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "net/packet.h"
+#include "server/json_api.h"
+#include "util/clock.h"
+
+namespace nnn::boost_lane {
+
+class BoostAgent {
+ public:
+  /// A boost preference (tab or site) expires after an hour (§5.1).
+  static constexpr util::Timestamp kBoostDuration = 3600LL * util::kSecond;
+
+  /// `api` is the well-known server endpoint; `user` identifies this
+  /// household/client to it.
+  BoostAgent(const util::Clock& clock, server::JsonApi& api,
+             std::string user, uint64_t rng_seed);
+
+  /// User clicks "boost this tab".
+  bool boost_tab(TabId tab);
+  /// User clicks "always boost <domain>".
+  bool always_boost(std::string domain);
+  void remove_always_boost(const std::string& domain);
+  /// User stops boosting a tab (closing the tab does this too).
+  void unboost_tab(TabId tab);
+
+  bool tab_boosted(TabId tab) const;
+  bool site_boosted(const std::string& domain) const;
+
+  /// Should this browser flow be boosted right now?
+  bool should_boost(const BrowserFlow& flow) const;
+
+  /// Intercept an outgoing request packet of `flow` and insert a boost
+  /// cookie when a preference matches. Returns true when a cookie was
+  /// inserted. (The HTTPS path is the TLS ClientHello extension; the
+  /// HTTP path is the X-Network-Cookie header.)
+  bool process_request(const BrowserFlow& flow, net::Packet& packet);
+
+  /// True once the agent holds a usable (unexpired) descriptor.
+  bool has_descriptor() const;
+  const std::optional<cookies::CookieDescriptor>& descriptor() const {
+    return descriptor_;
+  }
+
+  /// Number of cookies inserted so far.
+  uint64_t cookies_inserted() const { return cookies_inserted_; }
+
+ private:
+  /// Acquire (or renew) the descriptor through the JSON API.
+  bool ensure_descriptor();
+
+  const util::Clock& clock_;
+  server::JsonApi& api_;
+  std::string user_;
+  uint64_t rng_seed_;
+  std::optional<cookies::CookieDescriptor> descriptor_;
+  std::optional<cookies::CookieGenerator> generator_;
+  std::map<TabId, util::Timestamp> boosted_tabs_;  // tab -> expiry
+  std::map<std::string, bool> boosted_sites_;      // "always boost"
+  uint64_t cookies_inserted_ = 0;
+};
+
+}  // namespace nnn::boost_lane

@@ -1,0 +1,60 @@
+#include "boost_lane/capacity_probe.h"
+
+#include <algorithm>
+
+namespace nnn::boost_lane {
+
+CapacityProbe::CapacityProbe(sim::EventLoop& loop, Config config)
+    : loop_(loop), config_(config) {}
+
+void CapacityProbe::run(const std::function<void(net::Packet)>& send,
+                        EstimateFn done) {
+  done_ = std::move(done);
+  arrivals_.clear();
+  ++probe_generation_;
+  // A back-to-back train: all packets enter the path at once; the
+  // bottleneck serializes them and their arrival spacing reveals its
+  // rate.
+  for (uint32_t i = 0; i < config_.probe_packets; ++i) {
+    net::Packet probe;
+    probe.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 1);
+    probe.tuple.dst_ip = net::IpAddress::v4(198, 51, 100, 100);
+    probe.tuple.src_port = config_.probe_port;
+    probe.tuple.dst_port = config_.probe_port;
+    probe.tuple.proto = net::L4Proto::kUdp;
+    probe.wire_size = config_.probe_size_bytes;
+    probe.seq = i;
+    send(probe);
+  }
+  // Safety valve: if fewer than two probes ever arrive (loss), report
+  // nothing after a generous deadline.
+  const uint64_t generation = probe_generation_;
+  loop_.after(5 * util::kSecond, [this, generation] {
+    if (generation == probe_generation_ && arrivals_.size() >= 2 &&
+        !estimate_) {
+      finish();
+    }
+  });
+}
+
+void CapacityProbe::on_probe_arrival(const net::Packet& packet) {
+  if (packet.tuple.dst_port != config_.probe_port) return;
+  arrivals_.push_back(loop_.now());
+  if (arrivals_.size() == config_.probe_packets) finish();
+}
+
+void CapacityProbe::finish() {
+  if (arrivals_.size() < 2) return;
+  // Dispersion estimate: (n-1) packets' worth of bits over the spread
+  // between first and last arrival.
+  const double spread_sec =
+      static_cast<double>(arrivals_.back() - arrivals_.front()) /
+      util::kSecond;
+  if (spread_sec <= 0) return;
+  const double bits = static_cast<double>(arrivals_.size() - 1) *
+                      config_.probe_size_bytes * 8.0;
+  estimate_ = bits / spread_sec;
+  if (done_) done_(*estimate_);
+}
+
+}  // namespace nnn::boost_lane

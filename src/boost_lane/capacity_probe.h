@@ -1,0 +1,63 @@
+// WAN capacity estimation (§5.2).
+//
+// "To provision the path for boosted traffic we ... throttle other
+// traffic to ensure certain capacity for boosted traffic through the
+// last-mile connection. The actual throttling rate depends on the
+// capacity of the WAN connection which we estimate using periodic
+// active tests."
+//
+// CapacityProbe is that active test: it injects a short back-to-back
+// burst of probe packets into a link and estimates the bottleneck rate
+// from their arrival spacing (classic packet-train dispersion). The
+// BoostDaemon uses the estimate to set its throttle rate as a fraction
+// of measured capacity instead of a hard-coded constant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "util/clock.h"
+
+namespace nnn::boost_lane {
+
+class CapacityProbe {
+ public:
+  struct Config {
+    uint32_t probe_packets = 10;
+    uint32_t probe_size_bytes = 1200;
+    /// Flow identity of probe traffic (so receivers can recognize it).
+    uint16_t probe_port = 7;  // echo
+  };
+
+  using EstimateFn = std::function<void(double bps)>;
+
+  CapacityProbe(sim::EventLoop& loop, Config config);
+
+  /// Launch one probe train into `send` (the path under test). The
+  /// destination must loop probe packets back into on_probe_arrival().
+  /// `done` fires with the dispersion estimate.
+  void run(const std::function<void(net::Packet)>& send,
+           EstimateFn done);
+
+  /// Feed one arriving probe packet (receiver side).
+  void on_probe_arrival(const net::Packet& packet);
+
+  /// Last completed estimate, if any.
+  std::optional<double> last_estimate_bps() const { return estimate_; }
+
+ private:
+  void finish();
+
+  sim::EventLoop& loop_;
+  Config config_;
+  EstimateFn done_;
+  std::vector<util::Timestamp> arrivals_;
+  std::optional<double> estimate_;
+  uint64_t probe_generation_ = 0;
+};
+
+}  // namespace nnn::boost_lane

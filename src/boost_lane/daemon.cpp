@@ -1,0 +1,72 @@
+#include "boost_lane/daemon.h"
+
+namespace nnn::boost_lane {
+
+BoostDaemon::BoostDaemon(const util::Clock& clock,
+                         cookies::CookieVerifier& verifier, Config config)
+    : config_(config),
+      verifier_(verifier),
+      middlebox_(clock, verifier, registry_, [&config] {
+        dataplane::Middlebox::Config middlebox_config;
+        middlebox_config.mid_flow_cookies = config.mid_flow_cookies;
+        return middlebox_config;
+      }()) {
+  // The Boost service maps verified cookies into the fast-lane band.
+  registry_.bind("Boost", dataplane::PriorityAction{kFastLaneBand});
+}
+
+void BoostDaemon::attach_links(sim::Link* downlink, sim::Link* uplink) {
+  downlink_ = downlink;
+  uplink_ = uplink;
+}
+
+size_t BoostDaemon::classify(net::Packet& packet) {
+  const dataplane::Verdict verdict = middlebox_.process(packet);
+  if (verdict.mapped_now) {
+    // A fresh boost mapping: make sure the throttle protects it.
+    set_throttle(true);
+  }
+  if (verdict.action) {
+    if (const auto* priority =
+            std::get_if<dataplane::PriorityAction>(&*verdict.action)) {
+      return priority->band;
+    }
+  }
+  return kBestEffortBand;
+}
+
+void BoostDaemon::set_capacity(double wan_capacity_bps) {
+  config_.wan_capacity_bps = wan_capacity_bps;
+  config_.throttle_bps = wan_capacity_bps / 6.0;
+  if (throttle_active_) {
+    // Re-apply the shapers at the new rate.
+    throttle_active_ = false;
+    set_throttle(true);
+  }
+}
+
+void BoostDaemon::boost_granted(const std::string& client,
+                                cookies::CookieId descriptor_id) {
+  if (!active_client_.empty() && active_client_ != client &&
+      active_descriptor_) {
+    // Last one wins: the previous household member's boost is revoked.
+    verifier_.revoke(*active_descriptor_);
+  }
+  active_client_ = client;
+  active_descriptor_ = descriptor_id;
+}
+
+void BoostDaemon::set_throttle(bool active) {
+  if (active == throttle_active_) return;
+  throttle_active_ = active;
+  for (sim::Link* link : {downlink_, uplink_}) {
+    if (!link) continue;
+    if (active) {
+      link->set_band_shaper(kBestEffortBand, config_.throttle_bps);
+    } else {
+      link->clear_band_shaper(kBestEffortBand);
+    }
+  }
+}
+
+}  // namespace nnn::boost_lane

@@ -1,0 +1,87 @@
+#include "boost_lane/home_topology.h"
+
+#include <stdexcept>
+
+namespace nnn::boost_lane {
+
+HomeTopology::HomeTopology(sim::EventLoop& loop, Config config)
+    : loop_(loop),
+      config_(config),
+      verifier_(loop.clock()),
+      daemon_(loop.clock(), verifier_, config.daemon) {
+  uplink_ = std::make_unique<sim::Link>(
+      loop_,
+      sim::Link::Config{.rate_bps = config_.wan_bps,
+                   .prop_delay = config_.wan_delay,
+                   .bands = 2,
+                   .band_capacity_bytes = config_.queue_bytes},
+      [this](net::Packet p) { route_wan(std::move(p)); });
+  downlink_ = std::make_unique<sim::Link>(
+      loop_,
+      sim::Link::Config{.rate_bps = config_.wan_bps,
+                   .prop_delay = config_.wan_delay,
+                   .bands = 2,
+                   .band_capacity_bytes = config_.queue_bytes},
+      [this](net::Packet p) { route_home(std::move(p)); });
+  daemon_.attach_links(downlink_.get(), uplink_.get());
+}
+
+sim::Host& HomeTopology::add_home_host(const std::string& name) {
+  if (home_hosts_.size() >= 200) {
+    throw std::length_error("HomeTopology: too many home hosts");
+  }
+  const auto address = net::IpAddress::v4(
+      192, 168, 1, static_cast<uint8_t>(10 + home_hosts_.size()));
+  auto host = std::make_unique<sim::Host>(address, name);
+  host->set_uplink([this](net::Packet p) {
+    const size_t band = daemon_.classify(p);
+    uplink_->send(std::move(p), band);
+  });
+  home_hosts_.push_back(std::move(host));
+  return *home_hosts_.back();
+}
+
+sim::Host& HomeTopology::add_server(const std::string& name) {
+  if (servers_.size() >= 200) {
+    throw std::length_error("HomeTopology: too many servers");
+  }
+  const auto address = net::IpAddress::v4(
+      198, 51, 100, static_cast<uint8_t>(1 + servers_.size()));
+  auto host = std::make_unique<sim::Host>(address, name);
+  host->set_uplink([this](net::Packet p) {
+    const size_t band = daemon_.classify(p);
+    downlink_->send(std::move(p), band);
+  });
+  servers_.push_back(std::move(host));
+  return *servers_.back();
+}
+
+cookies::CookieGenerator HomeTopology::install_boost_descriptor(
+    cookies::CookieId id, uint64_t seed) {
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = id;
+  descriptor.key.assign(32, static_cast<uint8_t>(id * 5 + 3));
+  descriptor.service_data = "Boost";
+  verifier_.add_descriptor(descriptor);
+  return cookies::CookieGenerator(descriptor, loop_.clock(), seed);
+}
+
+void HomeTopology::route_home(net::Packet packet) {
+  for (auto& host : home_hosts_) {
+    if (host->address() == packet.tuple.dst_ip) {
+      host->receive(packet);
+      return;
+    }
+  }
+}
+
+void HomeTopology::route_wan(net::Packet packet) {
+  for (auto& host : servers_) {
+    if (host->address() == packet.tuple.dst_ip) {
+      host->receive(packet);
+      return;
+    }
+  }
+}
+
+}  // namespace nnn::boost_lane

@@ -1,0 +1,72 @@
+// Canonical home-network topology (§5's deployment setting).
+//
+// Wires up the pieces every Boost experiment needs: home hosts behind
+// an AP, a WAN bottleneck in both directions, WAN-side servers, and
+// the Boost daemon classifying every packet that crosses the AP
+// (single box, both directions, §4.5). Examples and experiments build
+// one of these instead of hand-wiring hosts and links.
+//
+//   [home hosts] --UP--> (daemon) --uplink--> [servers]
+//   [servers]  --DOWN--> (daemon) --downlink--> [home hosts]
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boost_lane/daemon.h"
+#include "cookies/generator.h"
+#include "cookies/verifier.h"
+#include "net/ip.h"
+#include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/link.h"
+
+namespace nnn::boost_lane {
+
+class HomeTopology {
+ public:
+  struct Config {
+    double wan_bps = 6e6;
+    util::Timestamp wan_delay = 15 * util::kMillisecond;
+    uint32_t queue_bytes = 96 * 1024;
+    BoostDaemon::Config daemon;
+  };
+
+  /// The loop must outlive the topology.
+  HomeTopology(sim::EventLoop& loop, Config config);
+
+  /// Add a LAN-side host (192.168.1.x). Its uplink routes through the
+  /// daemon onto the WAN uplink.
+  sim::Host& add_home_host(const std::string& name);
+
+  /// Add a WAN-side server (198.51.100.x). Its "uplink" is the
+  /// downlink toward the home, also classified by the daemon.
+  sim::Host& add_server(const std::string& name);
+
+  BoostDaemon& daemon() { return daemon_; }
+  cookies::CookieVerifier& verifier() { return verifier_; }
+  sim::Link& uplink() { return *uplink_; }
+  sim::Link& downlink() { return *downlink_; }
+  sim::EventLoop& loop() { return loop_; }
+
+  /// Install a Boost descriptor into the home's verifier and return a
+  /// generator for it (test/ example convenience).
+  cookies::CookieGenerator install_boost_descriptor(cookies::CookieId id,
+                                                    uint64_t seed);
+
+ private:
+  void route_home(net::Packet packet);
+  void route_wan(net::Packet packet);
+
+  sim::EventLoop& loop_;
+  Config config_;
+  cookies::CookieVerifier verifier_;
+  BoostDaemon daemon_;
+  std::unique_ptr<sim::Link> uplink_;
+  std::unique_ptr<sim::Link> downlink_;
+  std::vector<std::unique_ptr<sim::Host>> home_hosts_;
+  std::vector<std::unique_ptr<sim::Host>> servers_;
+};
+
+}  // namespace nnn::boost_lane

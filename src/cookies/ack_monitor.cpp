@@ -1,0 +1,56 @@
+#include "cookies/ack_monitor.h"
+
+#include "cookies/transport.h"
+
+namespace nnn::cookies {
+
+AckMonitor::AckMonitor(const util::Clock& clock, util::Timestamp timeout)
+    : clock_(clock), timeout_(timeout) {}
+
+void AckMonitor::expect(const net::FiveTuple& forward_flow, CookieId id) {
+  State state;
+  state.expectation =
+      AckExpectation{forward_flow, id, clock_.now() + timeout_};
+  expectations_[forward_flow] = state;
+}
+
+bool AckMonitor::on_packet(const net::Packet& packet) {
+  // The ack arrives on the reverse flow of the registered forward flow.
+  const auto it = expectations_.find(packet.tuple.reversed());
+  if (it == expectations_.end() || it->second.acked) return false;
+  const auto extracted = extract(packet);
+  if (!extracted) return false;
+  for (const Cookie& cookie : extracted->stack) {
+    if (cookie.cookie_id == it->second.expectation.cookie_id) {
+      it->second.acked = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AckMonitor::acked(const net::FiveTuple& forward_flow) const {
+  const auto it = expectations_.find(forward_flow);
+  return it != expectations_.end() && it->second.acked;
+}
+
+std::vector<AckExpectation> AckMonitor::overdue() const {
+  std::vector<AckExpectation> out;
+  const util::Timestamp now = clock_.now();
+  for (const auto& [flow, state] : expectations_) {
+    if (!state.acked && state.expectation.deadline <= now) {
+      out.push_back(state.expectation);
+    }
+  }
+  return out;
+}
+
+size_t AckMonitor::pending() const {
+  size_t n = 0;
+  for (const auto& [flow, state] : expectations_) {
+    if (!state.acked) ++n;
+  }
+  return n;
+}
+
+}  // namespace nnn::cookies

@@ -1,0 +1,68 @@
+// Client-side half of network delivery guarantees (§4.3).
+//
+// "When the network detects a cookie, it generates an 'acknowledgment'
+// cookie from the same descriptor, and attaches it to the response.
+// If the client doesn't receive an acknowledgement cookie, it shows an
+// alert to the user asking whether she wants to continue nevertheless
+// with best effort service." (§4.5)
+//
+// The AckMonitor tracks outstanding expectations: after sending a
+// cookie on a flow, the agent registers the flow here; reverse-path
+// packets are run through on_packet(); anything unacknowledged past
+// the timeout is surfaced by overdue() — that's the "you will be
+// charged / you are on best effort" alert hook.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cookies/cookie.h"
+#include "net/five_tuple.h"
+#include "net/packet.h"
+#include "util/clock.h"
+
+namespace nnn::cookies {
+
+struct AckExpectation {
+  net::FiveTuple forward_flow;
+  CookieId cookie_id = 0;
+  util::Timestamp deadline = 0;
+};
+
+class AckMonitor {
+ public:
+  /// The clock must outlive the monitor.
+  AckMonitor(const util::Clock& clock, util::Timestamp timeout);
+
+  /// Register that a cookie from descriptor `id` was sent on
+  /// `forward_flow`; an ack is expected on the reverse flow before
+  /// now + timeout.
+  void expect(const net::FiveTuple& forward_flow, CookieId id);
+
+  /// Inspect a received packet for an ack cookie. Returns true when it
+  /// satisfied an outstanding expectation.
+  bool on_packet(const net::Packet& packet);
+
+  /// Has the flow's expectation been satisfied? (False both for
+  /// pending and unknown flows.)
+  bool acked(const net::FiveTuple& forward_flow) const;
+
+  /// Expectations past their deadline and still unacknowledged — the
+  /// alert list. Pending (not yet due) expectations are not included.
+  std::vector<AckExpectation> overdue() const;
+
+  size_t pending() const;
+
+ private:
+  struct State {
+    AckExpectation expectation;
+    bool acked = false;
+  };
+
+  const util::Clock& clock_;
+  util::Timestamp timeout_;
+  std::unordered_map<net::FiveTuple, State> expectations_;
+};
+
+}  // namespace nnn::cookies

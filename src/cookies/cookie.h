@@ -1,0 +1,73 @@
+// Cookies (§4.1, Listing 2) and their wire form.
+//
+// A cookie is {cookie_id, uuid, timestamp, signature}. The signature
+// is HMAC-SHA256(descriptor.key, id || uuid || timestamp), truncated
+// to 128 bits — exactly Listing 3's
+//   value = descriptor.id + uuid() + now(); digest = hmac(key, value).
+//
+// Wire form (big-endian, 53 bytes):
+//   magic   "NCK" + version 0x01            4 bytes
+//   cookie_id                               8 bytes
+//   uuid                                   16 bytes
+//   timestamp (seconds)                     8 bytes
+//   hmac tag                               16 bytes
+//   attachment count                        1 byte (composition, §4.5)
+// Composed cookie stacks concatenate entries after the first; the
+// count byte on the first entry says how many follow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cookies/descriptor.h"
+#include "crypto/hmac.h"
+#include "crypto/uuid.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace nnn::cookies {
+
+/// Seconds-resolution timestamp carried inside cookies. The NCT check
+/// operates at this resolution (NCT is 5 seconds).
+using CookieTime = uint64_t;
+
+CookieTime to_cookie_time(util::Timestamp t);
+
+struct Cookie {
+  CookieId cookie_id = 0;
+  crypto::Uuid uuid;
+  CookieTime timestamp = 0;
+  crypto::CookieTag signature{};
+
+  /// The byte string that is HMAC'd: id || uuid || timestamp.
+  util::Bytes signed_value() const;
+
+  /// Compute the correct tag for this cookie under `key`.
+  crypto::CookieTag compute_tag(util::BytesView key) const;
+
+  /// Binary wire form of this single cookie (no stack followers).
+  util::Bytes encode() const;
+
+  /// Base64 text form, used over HTTP and TLS (§5.1).
+  std::string encode_text() const;
+
+  static std::optional<Cookie> decode(util::BytesView wire);
+  static std::optional<Cookie> decode_text(std::string_view text);
+
+  friend bool operator==(const Cookie&, const Cookie&) = default;
+};
+
+/// Composition (§4.5: "users can combine multiple services ... by
+/// composing multiple cookies together"). A stack is one blob carrying
+/// several cookies; each network matches the ones it knows.
+util::Bytes encode_stack(const std::vector<Cookie>& cookies);
+std::optional<std::vector<Cookie>> decode_stack(util::BytesView wire);
+std::string encode_stack_text(const std::vector<Cookie>& cookies);
+std::optional<std::vector<Cookie>> decode_stack_text(std::string_view text);
+
+/// Size in bytes of one encoded cookie.
+inline constexpr size_t kCookieWireSize = 4 + 8 + 16 + 8 + 16 + 1;
+
+}  // namespace nnn::cookies

@@ -1,0 +1,21 @@
+#include "cookies/delegation.h"
+
+namespace nnn::cookies {
+
+std::optional<DelegatedDescriptor> delegate_descriptor(
+    const CookieDescriptor& descriptor, std::string delegated_by,
+    std::string delegated_to) {
+  if (!descriptor.attributes.shared) return std::nullopt;
+  return DelegatedDescriptor{descriptor, std::move(delegated_by),
+                             std::move(delegated_to)};
+}
+
+Cookie ack_by_echo(const Cookie& received) {
+  return received;
+}
+
+Cookie ack_by_mint(CookieGenerator& delegated_generator) {
+  return delegated_generator.generate();
+}
+
+}  // namespace nnn::cookies

@@ -1,0 +1,45 @@
+// Delegation and acknowledgment cookies (§4.3, §4.5).
+//
+// "Users can choose to share their cookie descriptors with their
+// desired content providers who in turn can generate cookies on their
+// behalf and apply them to the downlink content."
+//
+// Delegation is modeled explicitly: a DelegatedDescriptor wraps the
+// shared descriptor and remembers the delegator, so audit trails can
+// show who handed a descriptor to whom; the content-provider side uses
+// a plain CookieGenerator over the shared descriptor. Ack cookies
+// (server echoes the user's cookie, or mints a fresh one from the
+// delegated descriptor) are helpers over the same machinery.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cookies/cookie.h"
+#include "cookies/descriptor.h"
+#include "cookies/generator.h"
+
+namespace nnn::cookies {
+
+struct DelegatedDescriptor {
+  CookieDescriptor descriptor;
+  /// Who delegated (user/account id) and to whom (provider name) —
+  /// audit metadata, not part of the crypto.
+  std::string delegated_by;
+  std::string delegated_to;
+};
+
+/// Share `descriptor` with a provider. Requires the descriptor's
+/// `shared` attribute; returns nullopt otherwise (the mechanism refuses
+/// to delegate a descriptor the issuer marked non-shareable).
+std::optional<DelegatedDescriptor> delegate_descriptor(
+    const CookieDescriptor& descriptor, std::string delegated_by,
+    std::string delegated_to);
+
+/// Build the acknowledgment for a received cookie (§4.3): either echo
+/// the original ("a server could just playback the original cookie") or
+/// mint a fresh one from a delegated descriptor.
+Cookie ack_by_echo(const Cookie& received);
+Cookie ack_by_mint(CookieGenerator& delegated_generator);
+
+}  // namespace nnn::cookies

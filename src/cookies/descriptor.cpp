@@ -1,0 +1,155 @@
+#include "cookies/descriptor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/base64.h"
+
+namespace nnn::cookies {
+
+std::string to_string(Transport t) {
+  switch (t) {
+    case Transport::kHttpHeader:
+      return "http";
+    case Transport::kTlsExtension:
+      return "tls";
+    case Transport::kIpv6Extension:
+      return "ipv6";
+    case Transport::kUdpHeader:
+      return "udp";
+    case Transport::kTcpOption:
+      return "tcp-edo";
+  }
+  return "?";
+}
+
+std::optional<Transport> transport_from_string(std::string_view s) {
+  if (s == "http") return Transport::kHttpHeader;
+  if (s == "tls") return Transport::kTlsExtension;
+  if (s == "ipv6") return Transport::kIpv6Extension;
+  if (s == "udp") return Transport::kUdpHeader;
+  if (s == "tcp-edo") return Transport::kTcpOption;
+  return std::nullopt;
+}
+
+bool Attributes::allows_transport(Transport t) const {
+  if (transports.empty()) return true;
+  return std::find(transports.begin(), transports.end(), t) !=
+         transports.end();
+}
+
+json::Value Attributes::to_json() const {
+  json::Object obj;
+  obj["granularity"] =
+      granularity == Granularity::kFlow ? "flow" : "packet";
+  obj["reverse_flow"] = reverse_flow;
+  obj["shared"] = shared;
+  obj["ack_cookie"] = ack_cookie;
+  obj["delivery_guarantee"] = delivery_guarantee;
+  if (!transports.empty()) {
+    json::Array arr;
+    for (const Transport t : transports) {
+      arr.emplace_back(cookies::to_string(t));
+    }
+    obj["transports"] = std::move(arr);
+  }
+  if (expires_at) obj["expires_at"] = static_cast<int64_t>(*expires_at);
+  if (mapping_ttl) obj["mapping_ttl"] = static_cast<int64_t>(*mapping_ttl);
+  if (!extra.empty()) {
+    json::Object e;
+    for (const auto& [k, v] : extra) e[k] = v;
+    obj["extra"] = std::move(e);
+  }
+  return json::Value(std::move(obj));
+}
+
+std::optional<Attributes> Attributes::from_json(const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  Attributes a;
+  const std::string gran = v.get_string("granularity", "flow");
+  if (gran == "flow") {
+    a.granularity = Granularity::kFlow;
+  } else if (gran == "packet") {
+    a.granularity = Granularity::kPacket;
+  } else {
+    return std::nullopt;
+  }
+  a.reverse_flow = v.get_bool("reverse_flow", true);
+  a.shared = v.get_bool("shared", false);
+  a.ack_cookie = v.get_bool("ack_cookie", false);
+  a.delivery_guarantee = v.get_bool("delivery_guarantee", false);
+  if (const json::Value* t = v.find("transports")) {
+    if (!t->is_array()) return std::nullopt;
+    for (const auto& item : t->as_array()) {
+      if (!item.is_string()) return std::nullopt;
+      const auto parsed = transport_from_string(item.as_string());
+      if (!parsed) return std::nullopt;
+      a.transports.push_back(*parsed);
+    }
+  }
+  if (const json::Value* e = v.find("expires_at")) {
+    if (!e->is_number()) return std::nullopt;
+    a.expires_at = e->as_int();
+  }
+  if (const json::Value* e = v.find("mapping_ttl")) {
+    if (!e->is_number()) return std::nullopt;
+    a.mapping_ttl = e->as_int();
+  }
+  if (const json::Value* e = v.find("extra")) {
+    if (!e->is_object()) return std::nullopt;
+    for (const auto& [k, val] : e->as_object()) {
+      if (!val.is_string()) return std::nullopt;
+      a.extra[k] = val.as_string();
+    }
+  }
+  return a;
+}
+
+bool CookieDescriptor::expired(util::Timestamp now) const {
+  return attributes.expires_at && now >= *attributes.expires_at;
+}
+
+json::Value CookieDescriptor::to_json(bool include_key) const {
+  json::Object obj;
+  // 64-bit ids do not fit a JSON double faithfully; use a string.
+  obj["cookie_id"] = std::to_string(cookie_id);
+  if (include_key) obj["key"] = util::base64_encode(util::BytesView(key));
+  obj["service_data"] = service_data;
+  obj["attributes"] = attributes.to_json();
+  return json::Value(std::move(obj));
+}
+
+std::optional<CookieDescriptor> CookieDescriptor::from_json(
+    const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  CookieDescriptor d;
+  const json::Value* id = v.find("cookie_id");
+  if (!id) return std::nullopt;
+  if (id->is_string()) {
+    const std::string& text = id->as_string();
+    char* end = nullptr;
+    d.cookie_id = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || text.empty()) {
+      return std::nullopt;
+    }
+  } else if (id->is_number()) {
+    d.cookie_id = static_cast<CookieId>(id->as_number());
+  } else {
+    return std::nullopt;
+  }
+  if (const json::Value* key = v.find("key")) {
+    if (!key->is_string()) return std::nullopt;
+    auto decoded = util::base64_decode(key->as_string());
+    if (!decoded) return std::nullopt;
+    d.key = std::move(*decoded);
+  }
+  d.service_data = v.get_string("service_data");
+  if (const json::Value* attrs = v.find("attributes")) {
+    auto parsed = Attributes::from_json(*attrs);
+    if (!parsed) return std::nullopt;
+    d.attributes = std::move(*parsed);
+  }
+  return d;
+}
+
+}  // namespace nnn::cookies

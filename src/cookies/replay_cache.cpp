@@ -1,0 +1,26 @@
+#include "cookies/replay_cache.h"
+
+namespace nnn::cookies {
+
+ReplayCache::ReplayCache(util::Timestamp horizon) : horizon_(horizon) {}
+
+bool ReplayCache::insert(const crypto::Uuid& uuid, util::Timestamp now) {
+  purge(now);
+  const auto [it, inserted] = set_.insert(uuid);
+  if (!inserted) return false;
+  queue_.push_back(Entry{now + horizon_, uuid});
+  return true;
+}
+
+bool ReplayCache::contains(const crypto::Uuid& uuid) const {
+  return set_.contains(uuid);
+}
+
+void ReplayCache::purge(util::Timestamp now) {
+  while (!queue_.empty() && queue_.front().expires <= now) {
+    set_.erase(queue_.front().uuid);
+    queue_.pop_front();
+  }
+}
+
+}  // namespace nnn::cookies

@@ -1,0 +1,49 @@
+// Replay protection (§4.2, match_cookie's is_unique_uuid).
+//
+// "To verify uniqueness, we keep a list of recently seen cookies
+// (within NCT)." This cache stores uuids with an expiry horizon and
+// evicts lazily; memory is bounded by (cookie arrival rate x NCT).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+#include "crypto/uuid.h"
+#include "util/clock.h"
+
+namespace nnn::cookies {
+
+class ReplayCache {
+ public:
+  /// `horizon` is how long a uuid is remembered — the NCT window (a
+  /// cookie older than NCT fails the timestamp check anyway, so
+  /// remembering it longer buys nothing).
+  explicit ReplayCache(util::Timestamp horizon);
+
+  /// Record `uuid` as seen at `now`. Returns false if it was already
+  /// present (i.e., this is a replay), true if newly inserted.
+  bool insert(const crypto::Uuid& uuid, util::Timestamp now);
+
+  /// Whether `uuid` is currently remembered.
+  bool contains(const crypto::Uuid& uuid) const;
+
+  /// Drop entries that expired before `now`. insert() calls this
+  /// automatically; exposed for tests and for idle-time maintenance.
+  void purge(util::Timestamp now);
+
+  size_t size() const { return set_.size(); }
+  util::Timestamp horizon() const { return horizon_; }
+
+ private:
+  struct Entry {
+    util::Timestamp expires;
+    crypto::Uuid uuid;
+  };
+
+  util::Timestamp horizon_;
+  std::deque<Entry> queue_;  // in insertion (≈ expiry) order
+  std::unordered_set<crypto::Uuid> set_;
+};
+
+}  // namespace nnn::cookies

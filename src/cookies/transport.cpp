@@ -1,0 +1,214 @@
+#include "cookies/transport.h"
+
+#include "net/http.h"
+#include "net/tls.h"
+#include "util/base64.h"
+#include "util/bytes.h"
+
+namespace nnn::cookies {
+
+namespace {
+
+using util::Bytes;
+using util::BytesView;
+
+bool attach_http(net::Packet& packet, const std::vector<Cookie>& cookies) {
+  const std::string text(packet.payload.begin(), packet.payload.end());
+  auto request = net::http::Request::parse(text);
+  if (!request) return false;
+  request->remove_header(net::http::kCookieHeader);
+  request->add_header(std::string(net::http::kCookieHeader),
+                      encode_stack_text(cookies));
+  const std::string out = request->serialize();
+  packet.payload.assign(out.begin(), out.end());
+  packet.wire_size = 0;  // recompute from payload
+  return true;
+}
+
+bool attach_tls(net::Packet& packet, const std::vector<Cookie>& cookies) {
+  auto hello = net::tls::ClientHello::parse_record(BytesView(packet.payload));
+  if (!hello) return false;
+  hello->set_cookie(BytesView(encode_stack(cookies)));
+  packet.payload = hello->serialize_record();
+  packet.wire_size = 0;
+  return true;
+}
+
+bool attach_ipv6(net::Packet& packet, const std::vector<Cookie>& cookies) {
+  if (!packet.ipv6) return false;
+  packet.l3_cookie = encode_stack(cookies);
+  return true;
+}
+
+bool attach_tcp_option(net::Packet& packet,
+                       const std::vector<Cookie>& cookies) {
+  if (!packet.is_tcp()) return false;
+  packet.l4_cookie = encode_stack(cookies);
+  return true;
+}
+
+bool attach_udp(net::Packet& packet, const std::vector<Cookie>& cookies) {
+  if (!packet.is_udp()) return false;
+  // Shim layout: magic(4) | length u16 | stack bytes | original payload.
+  const Bytes stack = encode_stack(cookies);
+  Bytes shim;
+  util::ByteWriter w(shim);
+  w.raw(BytesView(kUdpShimMagic, 4));
+  w.u16(static_cast<uint16_t>(stack.size()));
+  w.raw(BytesView(stack));
+  shim.insert(shim.end(), packet.payload.begin(), packet.payload.end());
+  packet.payload = std::move(shim);
+  packet.wire_size = 0;
+  return true;
+}
+
+std::optional<ExtractedCookie> extract_http(const net::Packet& packet) {
+  if (packet.payload.empty()) return std::nullopt;
+  const std::string text(packet.payload.begin(), packet.payload.end());
+  const auto request = net::http::Request::parse(text);
+  if (!request) return std::nullopt;
+  const auto header = request->header(net::http::kCookieHeader);
+  if (!header) return std::nullopt;
+  auto stack = decode_stack_text(*header);
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), Transport::kHttpHeader};
+}
+
+std::optional<ExtractedCookie> extract_tls(const net::Packet& packet) {
+  const auto hello =
+      net::tls::ClientHello::parse_record(BytesView(packet.payload));
+  if (!hello) return std::nullopt;
+  const auto blob = hello->cookie();
+  if (!blob) return std::nullopt;
+  auto stack = decode_stack(BytesView(*blob));
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), Transport::kTlsExtension};
+}
+
+std::optional<ExtractedCookie> extract_ipv6(const net::Packet& packet) {
+  if (!packet.l3_cookie) return std::nullopt;
+  auto stack = decode_stack(BytesView(*packet.l3_cookie));
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), Transport::kIpv6Extension};
+}
+
+std::optional<ExtractedCookie> extract_tcp_option(
+    const net::Packet& packet) {
+  if (!packet.l4_cookie) return std::nullopt;
+  auto stack = decode_stack(BytesView(*packet.l4_cookie));
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), Transport::kTcpOption};
+}
+
+std::optional<ExtractedCookie> extract_udp(const net::Packet& packet) {
+  if (!packet.is_udp() || packet.payload.size() < 6) return std::nullopt;
+  if (!util::equal(BytesView(packet.payload.data(), 4),
+                   BytesView(kUdpShimMagic, 4))) {
+    return std::nullopt;
+  }
+  util::ByteReader r(BytesView(packet.payload));
+  r.skip(4);
+  const auto len = r.u16();
+  if (!len || *len > r.remaining()) return std::nullopt;
+  const auto blob = r.view(*len);
+  auto stack = decode_stack(*blob);
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), Transport::kUdpHeader};
+}
+
+}  // namespace
+
+bool attach(net::Packet& packet, const std::vector<Cookie>& cookies,
+            Transport transport) {
+  if (cookies.empty()) return false;
+  switch (transport) {
+    case Transport::kHttpHeader:
+      return attach_http(packet, cookies);
+    case Transport::kTlsExtension:
+      return attach_tls(packet, cookies);
+    case Transport::kIpv6Extension:
+      return attach_ipv6(packet, cookies);
+    case Transport::kUdpHeader:
+      return attach_udp(packet, cookies);
+    case Transport::kTcpOption:
+      return attach_tcp_option(packet, cookies);
+  }
+  return false;
+}
+
+bool attach(net::Packet& packet, const Cookie& cookie, Transport transport) {
+  return attach(packet, std::vector<Cookie>{cookie}, transport);
+}
+
+std::optional<ExtractedCookie> extract(const net::Packet& packet,
+                                       Transport transport) {
+  switch (transport) {
+    case Transport::kHttpHeader:
+      return extract_http(packet);
+    case Transport::kTlsExtension:
+      return extract_tls(packet);
+    case Transport::kIpv6Extension:
+      return extract_ipv6(packet);
+    case Transport::kUdpHeader:
+      return extract_udp(packet);
+    case Transport::kTcpOption:
+      return extract_tcp_option(packet);
+  }
+  return std::nullopt;
+}
+
+std::optional<ExtractedCookie> extract(const net::Packet& packet) {
+  // Cheapest first: fixed-offset options, then the magic-prefixed
+  // shim, then the binary TLS parse, then the text HTTP parse.
+  if (auto c = extract_ipv6(packet)) return c;
+  if (auto c = extract_tcp_option(packet)) return c;
+  if (auto c = extract_udp(packet)) return c;
+  if (auto c = extract_tls(packet)) return c;
+  if (auto c = extract_http(packet)) return c;
+  return std::nullopt;
+}
+
+bool strip(net::Packet& packet) {
+  bool removed = false;
+  if (packet.l3_cookie) {
+    packet.l3_cookie.reset();
+    removed = true;
+  }
+  if (packet.l4_cookie) {
+    packet.l4_cookie.reset();
+    removed = true;
+  }
+  if (packet.is_udp() && packet.payload.size() >= 6 &&
+      util::equal(BytesView(packet.payload.data(), 4),
+                  BytesView(kUdpShimMagic, 4))) {
+    util::ByteReader r(BytesView(packet.payload));
+    r.skip(4);
+    const auto len = r.u16();
+    if (len && *len <= r.remaining()) {
+      packet.payload.erase(packet.payload.begin(),
+                           packet.payload.begin() + 6 + *len);
+      packet.wire_size = 0;
+      removed = true;
+    }
+  }
+  if (auto hello =
+          net::tls::ClientHello::parse_record(BytesView(packet.payload))) {
+    if (hello->clear_cookie()) {
+      packet.payload = hello->serialize_record();
+      packet.wire_size = 0;
+      removed = true;
+    }
+  }
+  const std::string text(packet.payload.begin(), packet.payload.end());
+  if (auto request = net::http::Request::parse(text)) {
+    if (request->remove_header(net::http::kCookieHeader) > 0) {
+      const std::string out = request->serialize();
+      packet.payload.assign(out.begin(), out.end());
+      packet.wire_size = 0;
+      removed = true;
+    }
+  }
+  return removed;
+}
+
+}  // namespace nnn::cookies

@@ -1,0 +1,128 @@
+#include "cookies/verifier.h"
+
+#include <cstdlib>
+
+#include "crypto/constant_time.h"
+
+namespace nnn::cookies {
+
+std::string to_string(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kOk:
+      return "ok";
+    case VerifyStatus::kUnknownId:
+      return "unknown-id";
+    case VerifyStatus::kBadSignature:
+      return "bad-signature";
+    case VerifyStatus::kStaleTimestamp:
+      return "stale-timestamp";
+    case VerifyStatus::kReplayed:
+      return "replayed";
+    case VerifyStatus::kDescriptorExpired:
+      return "descriptor-expired";
+    case VerifyStatus::kDescriptorRevoked:
+      return "descriptor-revoked";
+  }
+  return "?";
+}
+
+CookieVerifier::CookieVerifier(const util::Clock& clock, util::Timestamp nct)
+    : clock_(clock), nct_(nct) {}
+
+void CookieVerifier::add_descriptor(CookieDescriptor descriptor) {
+  const CookieId id = descriptor.cookie_id;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    it->second.descriptor = std::move(descriptor);
+    it->second.revoked = false;
+    return;
+  }
+  table_.emplace(id, Entry{std::move(descriptor), ReplayCache(nct_), false});
+}
+
+bool CookieVerifier::revoke(CookieId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return false;
+  it->second.revoked = true;
+  return true;
+}
+
+bool CookieVerifier::remove(CookieId id) {
+  return table_.erase(id) > 0;
+}
+
+bool CookieVerifier::knows(CookieId id) const {
+  return table_.contains(id);
+}
+
+const CookieDescriptor* CookieVerifier::find(CookieId id) const {
+  const auto it = table_.find(id);
+  if (it == table_.end() || it->second.revoked) return nullptr;
+  return &it->second.descriptor;
+}
+
+VerifyResult CookieVerifier::verify(const Cookie& cookie) {
+  const auto it = table_.find(cookie.cookie_id);
+  if (it == table_.end()) {
+    ++stats_.unknown_id;
+    return VerifyResult{VerifyStatus::kUnknownId, nullptr};
+  }
+  Entry& entry = it->second;
+  if (entry.revoked) {
+    ++stats_.revoked;
+    return VerifyResult{VerifyStatus::kDescriptorRevoked, nullptr};
+  }
+  const util::Timestamp now = clock_.now();
+  if (entry.descriptor.expired(now)) {
+    ++stats_.expired;
+    return VerifyResult{VerifyStatus::kDescriptorExpired, nullptr};
+  }
+  // (ii) MAC check, constant-time over the tag. Run before the
+  // timestamp/replay checks so an attacker cannot probe table state
+  // with unsigned cookies.
+  const crypto::CookieTag expected =
+      cookie.compute_tag(util::BytesView(entry.descriptor.key));
+  if (!crypto::constant_time_equal(
+          util::BytesView(expected.data(), expected.size()),
+          util::BytesView(cookie.signature.data(),
+                          cookie.signature.size()))) {
+    ++stats_.bad_signature;
+    return VerifyResult{VerifyStatus::kBadSignature, nullptr};
+  }
+  // (iii) |cookie.timestamp - now| <= NCT, at cookie (seconds)
+  // resolution, matching Listing 3's abs(cookie.timestamp - now) > NCT.
+  const int64_t now_sec = static_cast<int64_t>(to_cookie_time(now));
+  const int64_t delta =
+      std::abs(now_sec - static_cast<int64_t>(cookie.timestamp));
+  if (delta > nct_ / util::kSecond) {
+    ++stats_.stale_timestamp;
+    return VerifyResult{VerifyStatus::kStaleTimestamp, nullptr};
+  }
+  // (iv) use-once.
+  if (!entry.replays.insert(cookie.uuid, now)) {
+    ++stats_.replayed;
+    return VerifyResult{VerifyStatus::kReplayed, nullptr};
+  }
+  ++stats_.verified;
+  return VerifyResult{VerifyStatus::kOk, &entry.descriptor};
+}
+
+VerifyResult CookieVerifier::verify_wire(util::BytesView wire) {
+  const auto cookie = Cookie::decode(wire);
+  if (!cookie) {
+    ++stats_.unknown_id;
+    return VerifyResult{VerifyStatus::kUnknownId, nullptr};
+  }
+  return verify(*cookie);
+}
+
+VerifyResult CookieVerifier::verify_text(std::string_view text) {
+  const auto cookie = Cookie::decode_text(text);
+  if (!cookie) {
+    ++stats_.unknown_id;
+    return VerifyResult{VerifyStatus::kUnknownId, nullptr};
+  }
+  return verify(*cookie);
+}
+
+}  // namespace nnn::cookies

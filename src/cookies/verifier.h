@@ -1,0 +1,120 @@
+// Network-side cookie verification (Listing 3, match_cookie).
+//
+// The verifier owns the descriptor table a cookie-enabled switch or
+// middlebox matches against, one replay cache per descriptor, and the
+// four checks of §4.2: (i) the cookie ID is known, (ii) the MAC digest
+// matches (constant-time), (iii) the timestamp is within the network
+// coherency time, (iv) the cookie has not been seen before.
+//
+// A failed match never drops traffic: "If it fails to match, it
+// behaves as if the cookie was not there, offering default services."
+// Callers therefore receive a VerifyResult and decide nothing more
+// severe than best-effort treatment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cookies/cookie.h"
+#include "cookies/descriptor.h"
+#include "cookies/replay_cache.h"
+#include "util/clock.h"
+
+namespace nnn::cookies {
+
+/// Network coherency time: "the maximum time we expect a packet to
+/// live within the network, and is set to 5 seconds" (§4.2).
+inline constexpr util::Timestamp kNetworkCoherencyTime =
+    5 * util::kSecond;
+
+enum class VerifyStatus : uint8_t {
+  kOk = 0,
+  kUnknownId,        // check (i) failed
+  kBadSignature,     // check (ii) failed
+  kStaleTimestamp,   // check (iii) failed (too old or too far in future)
+  kReplayed,         // check (iv) failed
+  kDescriptorExpired,
+  kDescriptorRevoked,
+};
+
+std::string to_string(VerifyStatus s);
+
+struct VerifyResult {
+  VerifyStatus status = VerifyStatus::kUnknownId;
+  /// Set when status == kOk; points into the verifier's table and is
+  /// valid until the descriptor is removed.
+  const CookieDescriptor* descriptor = nullptr;
+
+  bool ok() const { return status == VerifyStatus::kOk; }
+};
+
+/// Counters the verifier keeps; the Fig. 4 bench and audit surfaces
+/// read these.
+struct VerifierStats {
+  uint64_t verified = 0;
+  uint64_t unknown_id = 0;
+  uint64_t bad_signature = 0;
+  uint64_t stale_timestamp = 0;
+  uint64_t replayed = 0;
+  uint64_t expired = 0;
+  uint64_t revoked = 0;
+
+  uint64_t total() const {
+    return verified + unknown_id + bad_signature + stale_timestamp +
+           replayed + expired + revoked;
+  }
+};
+
+class CookieVerifier {
+ public:
+  /// The clock must outlive the verifier.
+  explicit CookieVerifier(const util::Clock& clock,
+                          util::Timestamp nct = kNetworkCoherencyTime);
+
+  /// Install a descriptor (the network side learned it when issuing).
+  /// Replaces any existing descriptor with the same id.
+  void add_descriptor(CookieDescriptor descriptor);
+
+  /// Revocation (§4.5): "the network can similarly stop matching
+  /// against a cookie to stop offering a service." Returns true if the
+  /// id was known. Revoked ids keep a tombstone so verification
+  /// reports kDescriptorRevoked rather than kUnknownId.
+  bool revoke(CookieId id);
+
+  /// Remove entirely (descriptor and tombstone).
+  bool remove(CookieId id);
+
+  bool knows(CookieId id) const;
+  const CookieDescriptor* find(CookieId id) const;
+
+  /// Run the §4.2 checks on a cookie. A kOk result records the uuid in
+  /// the replay cache, so verifying the same cookie twice yields
+  /// kReplayed the second time.
+  VerifyResult verify(const Cookie& cookie);
+
+  /// Decode-and-verify convenience for wire blobs.
+  VerifyResult verify_wire(util::BytesView wire);
+  VerifyResult verify_text(std::string_view text);
+
+  const VerifierStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = VerifierStats{}; }
+  size_t descriptor_count() const { return table_.size(); }
+  util::Timestamp nct() const { return nct_; }
+
+ private:
+  struct Entry {
+    CookieDescriptor descriptor;
+    ReplayCache replays;
+    bool revoked = false;
+  };
+
+  const util::Clock& clock_;
+  util::Timestamp nct_;
+  std::unordered_map<CookieId, Entry> table_;
+  VerifierStats stats_;
+};
+
+}  // namespace nnn::cookies

@@ -1,0 +1,14 @@
+#include "crypto/constant_time.h"
+
+namespace nnn::crypto {
+
+bool constant_time_equal(util::BytesView a, util::BytesView b) {
+  if (a.size() != b.size()) return false;
+  volatile uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = acc | static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace nnn::crypto

@@ -1,0 +1,15 @@
+// Constant-time comparison for signature verification.
+//
+// Cookie verification happens on a middlebox exposed to arbitrary
+// senders; comparing MACs with memcmp would leak a timing oracle that
+// lets an attacker forge tags byte by byte.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace nnn::crypto {
+
+/// Constant-time equality. Runs in time dependent only on the lengths.
+bool constant_time_equal(util::BytesView a, util::BytesView b);
+
+}  // namespace nnn::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace nnn::crypto {
+
+Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data) {
+  std::array<uint8_t, Sha256::kBlockSize> block_key{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto hashed = Sha256::hash(key);
+    std::memcpy(block_key.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<uint8_t, Sha256::kBlockSize> ipad;
+  std::array<uint8_t, Sha256::kBlockSize> opad;
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(util::BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(util::BytesView(opad.data(), opad.size()));
+  outer.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+CookieTag cookie_tag(util::BytesView key, util::BytesView data) {
+  const auto digest = hmac_sha256(key, data);
+  CookieTag tag;
+  std::memcpy(tag.data(), digest.data(), tag.size());
+  return tag;
+}
+
+}  // namespace nnn::crypto

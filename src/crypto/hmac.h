@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104 / RFC 4231 test vectors).
+//
+// Listing 3 of the paper signs cookies with
+//   digest = hmac.digest(descriptor.key, value)
+// where value = id || uuid || timestamp. Cookies embed a truncated tag
+// (kCookieTagSize) to keep the on-wire overhead small; verification is
+// constant-time over the tag.
+#pragma once
+
+#include <array>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace nnn::crypto {
+
+/// Full-length HMAC-SHA256 of `data` under `key`.
+Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data);
+
+/// Truncated tag size used by cookie signatures (128 bits, the common
+/// HMAC truncation that preserves collision margin at half the bytes).
+inline constexpr size_t kCookieTagSize = 16;
+using CookieTag = std::array<uint8_t, kCookieTagSize>;
+
+/// Truncated HMAC tag for cookie signing.
+CookieTag cookie_tag(util::BytesView key, util::BytesView data);
+
+}  // namespace nnn::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Network cookies carry an HMAC-SHA256 signature (truncatable) so the
+// network can verify that a cookie was minted by a holder of the
+// descriptor key. This is the only hash the library needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace nnn::crypto {
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); auto digest = h.finish();
+/// finish() may be called once; the object is then exhausted.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(util::BytesView data);
+  void update(std::string_view data);
+
+  /// Finalize and return the digest.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(util::BytesView data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace nnn::crypto

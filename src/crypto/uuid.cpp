@@ -1,0 +1,62 @@
+#include "crypto/uuid.h"
+
+#include <algorithm>
+
+#include "util/hex.h"
+
+namespace nnn::crypto {
+
+Uuid Uuid::generate(util::Rng& rng) {
+  std::array<uint8_t, kSize> b;
+  for (size_t i = 0; i < kSize; i += 8) {
+    const uint64_t v = rng.next_u64();
+    for (size_t j = 0; j < 8; ++j) {
+      b[i + j] = static_cast<uint8_t>(v >> (8 * j));
+    }
+  }
+  b[6] = static_cast<uint8_t>((b[6] & 0x0f) | 0x40);  // version 4
+  b[8] = static_cast<uint8_t>((b[8] & 0x3f) | 0x80);  // variant 10xx
+  return Uuid(b);
+}
+
+std::optional<Uuid> Uuid::parse(std::string_view s) {
+  if (s.size() != 36) return std::nullopt;
+  if (s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-') {
+    return std::nullopt;
+  }
+  std::string hex;
+  hex.reserve(32);
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) continue;
+    hex.push_back(s[i]);
+  }
+  const auto bytes = util::hex_decode(hex);
+  if (!bytes || bytes->size() != kSize) return std::nullopt;
+  std::array<uint8_t, kSize> b;
+  std::copy(bytes->begin(), bytes->end(), b.begin());
+  return Uuid(b);
+}
+
+std::string Uuid::to_string() const {
+  const std::string hex =
+      util::hex_encode(util::BytesView(bytes_.data(), bytes_.size()));
+  std::string out;
+  out.reserve(36);
+  out.append(hex, 0, 8);
+  out.push_back('-');
+  out.append(hex, 8, 4);
+  out.push_back('-');
+  out.append(hex, 12, 4);
+  out.push_back('-');
+  out.append(hex, 16, 4);
+  out.push_back('-');
+  out.append(hex, 20, 12);
+  return out;
+}
+
+bool Uuid::is_nil() const {
+  return std::all_of(bytes_.begin(), bytes_.end(),
+                     [](uint8_t b) { return b == 0; });
+}
+
+}  // namespace nnn::crypto

@@ -1,0 +1,55 @@
+// 128-bit UUIDs (RFC 4122 v4 layout).
+//
+// Every cookie carries a universally unique id; the verifier's replay
+// cache stores recently seen uuids to enforce the use-once property.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/rng.h"
+
+namespace nnn::crypto {
+
+class Uuid {
+ public:
+  static constexpr size_t kSize = 16;
+
+  Uuid() : bytes_{} {}
+  explicit Uuid(std::array<uint8_t, kSize> bytes) : bytes_(bytes) {}
+
+  /// Generate a v4 UUID from the given RNG (deterministic under seed).
+  static Uuid generate(util::Rng& rng);
+
+  /// Parse the canonical 8-4-4-4-12 form. nullopt on bad input.
+  static std::optional<Uuid> parse(std::string_view s);
+
+  /// Canonical lowercase 8-4-4-4-12 text form.
+  std::string to_string() const;
+
+  const std::array<uint8_t, kSize>& bytes() const { return bytes_; }
+  bool is_nil() const;
+
+  friend auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+}  // namespace nnn::crypto
+
+template <>
+struct std::hash<nnn::crypto::Uuid> {
+  size_t operator()(const nnn::crypto::Uuid& u) const noexcept {
+    // The bytes are uniformly random; fold the first words.
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    for (int i = 0; i < 8; ++i) hi = hi << 8 | u.bytes()[i];
+    for (int i = 8; i < 16; ++i) lo = lo << 8 | u.bytes()[i];
+    return static_cast<size_t>(hi ^ (lo * 0x9e3779b97f4a7c15ULL));
+  }
+};

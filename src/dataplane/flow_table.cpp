@@ -1,0 +1,83 @@
+#include "dataplane/flow_table.h"
+
+namespace nnn::dataplane {
+
+namespace {
+
+/// Amortize idle expiry: run a sweep every this many touches.
+constexpr uint64_t kExpirySweepInterval = 8192;
+
+}  // namespace
+
+FlowTable::FlowTable(uint32_t sniff_window, util::Timestamp idle_timeout)
+    : sniff_window_(sniff_window), idle_timeout_(idle_timeout) {}
+
+FlowEntry& FlowTable::touch(const net::FiveTuple& tuple, uint32_t bytes,
+                            util::Timestamp now) {
+  ++stats_.lookups;
+  if (++touches_since_expiry_ >= kExpirySweepInterval) {
+    touches_since_expiry_ = 0;
+    expire_idle(now);
+  }
+  auto [it, created] = table_.try_emplace(tuple);
+  FlowEntry& entry = it->second;
+  if (created) ++stats_.flows_created;
+  ++entry.packets_seen;
+  entry.bytes += bytes;
+  entry.last_seen = now;
+  if (entry.state == FlowState::kSniffing &&
+      entry.packets_seen > sniff_window_) {
+    entry.state = FlowState::kBestEffort;
+  }
+  if (entry.state == FlowState::kMapped && entry.mapping_expires != 0 &&
+      now >= entry.mapping_expires) {
+    // The burst/boost window closed; the flow reverts to best effort
+    // (a fresh cookie can re-map it — the sniff window is over, so it
+    // would need a new flow, matching how Boost's one-hour expiry
+    // behaves for long-lived flows).
+    entry.state = FlowState::kBestEffort;
+    entry.service_data.clear();
+    entry.mapping_expires = 0;
+  }
+  return entry;
+}
+
+void FlowTable::map_flow(const net::FiveTuple& tuple,
+                         const std::string& service_data,
+                         util::Timestamp now, bool include_reverse,
+                         util::Timestamp mapping_expires) {
+  auto& entry = table_[tuple];
+  entry.state = FlowState::kMapped;
+  entry.service_data = service_data;
+  entry.last_seen = now;
+  entry.mapping_expires = mapping_expires;
+  if (include_reverse) {
+    auto& reverse = table_[tuple.reversed()];
+    reverse.state = FlowState::kMapped;
+    reverse.service_data = service_data;
+    reverse.last_seen = now;
+    reverse.mapping_expires = mapping_expires;
+  }
+}
+
+const FlowEntry* FlowTable::find(const net::FiveTuple& tuple) const {
+  const auto it = table_.find(tuple);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+size_t FlowTable::expire_idle(util::Timestamp now) {
+  const util::Timestamp cutoff = now - idle_timeout_;
+  size_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.last_seen < cutoff) {
+      it = table_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.flows_expired += evicted;
+  return evicted;
+}
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,88 @@
+// Flow table with the paper's sniff-window state machine.
+//
+// "For a given packet our middle-box has to perform one of three
+// tasks: i) search for a potential cookie (first 2-3 packets of every
+// flow), ii) search and verify a cookie (a packet that contains a
+// cookie) or iii) simply map a packet to a given service (for a flow
+// already updated in our system)" (§4.6). The Boost daemon "sniffs the
+// first 3 incoming packets for each flow" (§5.2).
+//
+// States per flow:
+//   kSniffing  — still inspecting the first `sniff_window` packets
+//   kMapped    — a verified cookie bound this flow to a service
+//   kBestEffort— the window passed with no (valid) cookie
+// Entries idle out after `idle_timeout` so the table stays bounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/five_tuple.h"
+#include "util/clock.h"
+
+namespace nnn::dataplane {
+
+enum class FlowState : uint8_t { kSniffing = 0, kMapped, kBestEffort };
+
+struct FlowEntry {
+  FlowState state = FlowState::kSniffing;
+  uint32_t packets_seen = 0;
+  /// service_data of the verified cookie when state == kMapped.
+  std::string service_data;
+  util::Timestamp last_seen = 0;
+  uint64_t bytes = 0;
+  /// When a mapped flow reverts to best effort; 0 = never (the flow's
+  /// lifetime). Set from the descriptor's mapping_ttl attribute.
+  util::Timestamp mapping_expires = 0;
+};
+
+struct FlowTableStats {
+  uint64_t flows_created = 0;
+  uint64_t flows_expired = 0;
+  uint64_t lookups = 0;
+};
+
+class FlowTable {
+ public:
+  static constexpr uint32_t kDefaultSniffWindow = 3;
+  static constexpr util::Timestamp kDefaultIdleTimeout =
+      60 * util::kSecond;
+
+  explicit FlowTable(uint32_t sniff_window = kDefaultSniffWindow,
+                     util::Timestamp idle_timeout = kDefaultIdleTimeout);
+
+  /// Look up (creating if absent) the entry for `tuple`, bump the
+  /// packet/byte counters, and advance kSniffing -> kBestEffort when
+  /// the window is exhausted. Returns the entry post-update.
+  FlowEntry& touch(const net::FiveTuple& tuple, uint32_t bytes,
+                   util::Timestamp now);
+
+  /// Bind the flow — and, when `include_reverse`, its reverse — to a
+  /// service (a cookie verified on this flow). `mapping_expires` (0 =
+  /// never) bounds how long the mapping holds.
+  void map_flow(const net::FiveTuple& tuple, const std::string& service_data,
+                util::Timestamp now, bool include_reverse,
+                util::Timestamp mapping_expires = 0);
+
+  /// nullptr when the flow is unknown.
+  const FlowEntry* find(const net::FiveTuple& tuple) const;
+
+  /// Drop entries idle since before now - idle_timeout. Returns how
+  /// many were evicted. touch() amortizes this; exposed for tests.
+  size_t expire_idle(util::Timestamp now);
+
+  size_t size() const { return table_.size(); }
+  uint32_t sniff_window() const { return sniff_window_; }
+  const FlowTableStats& stats() const { return stats_; }
+
+ private:
+  uint32_t sniff_window_;
+  util::Timestamp idle_timeout_;
+  std::unordered_map<net::FiveTuple, FlowEntry> table_;
+  FlowTableStats stats_;
+  uint64_t touches_since_expiry_ = 0;
+};
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,86 @@
+#include "dataplane/hw_filter.h"
+
+#include <cstdlib>
+
+#include "cookies/transport.h"
+
+namespace nnn::dataplane {
+
+std::string to_string(HwDecision d) {
+  switch (d) {
+    case HwDecision::kFastPath:
+      return "fast-path";
+    case HwDecision::kToSoftware:
+      return "to-software";
+    case HwDecision::kRejectUnknownId:
+      return "reject-unknown-id";
+    case HwDecision::kRejectStale:
+      return "reject-stale";
+  }
+  return "?";
+}
+
+HardwareFilter::HardwareFilter(const util::Clock& clock,
+                               util::Timestamp nct, Config config)
+    : clock_(clock), nct_(nct), config_(config) {}
+
+void HardwareFilter::learn_id(cookies::CookieId id) {
+  ids_.insert(id);
+}
+
+void HardwareFilter::forget_id(cookies::CookieId id) {
+  ids_.erase(id);
+}
+
+HwDecision HardwareFilter::classify(const net::Packet& packet) {
+  const auto record = [&](HwDecision d) {
+    switch (d) {
+      case HwDecision::kFastPath:
+        ++stats_.fast_path;
+        break;
+      case HwDecision::kToSoftware:
+        ++stats_.to_software;
+        break;
+      case HwDecision::kRejectUnknownId:
+        ++stats_.reject_unknown_id;
+        break;
+      case HwDecision::kRejectStale:
+        ++stats_.reject_stale;
+        break;
+    }
+    return d;
+  };
+
+  // Stage (i): cookie presence. The fixed-offset carriers (IPv6
+  // option, TCP option, UDP shim) are what real match-action hardware
+  // parses; the text carriers are optional.
+  std::optional<cookies::ExtractedCookie> extracted;
+  if (packet.l3_cookie || packet.l4_cookie || packet.is_udp()) {
+    extracted = cookies::extract(packet);
+  }
+  if (!extracted && config_.parse_text_carriers &&
+      !packet.payload.empty()) {
+    extracted = cookies::extract(packet);
+  }
+  if (!extracted) return record(HwDecision::kFastPath);
+
+  const cookies::Cookie& cookie = extracted->stack.front();
+  // Stage (ii): id table.
+  if (config_.check_id && !ids_.contains(cookie.cookie_id)) {
+    return record(HwDecision::kRejectUnknownId);
+  }
+  // Stage (iii): timestamp window (seconds resolution, like the
+  // software check — no MAC, so this is advisory only).
+  if (config_.check_timestamp) {
+    const int64_t now_sec =
+        static_cast<int64_t>(cookies::to_cookie_time(clock_.now()));
+    const int64_t delta =
+        std::llabs(now_sec - static_cast<int64_t>(cookie.timestamp));
+    if (delta > nct_ / util::kSecond) {
+      return record(HwDecision::kRejectStale);
+    }
+  }
+  return record(HwDecision::kToSoftware);
+}
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,133 @@
+#include "dataplane/middlebox.h"
+
+#include "cookies/generator.h"
+
+namespace nnn::dataplane {
+
+Middlebox::Middlebox(const util::Clock& clock,
+                     cookies::CookieVerifier& verifier,
+                     ServiceRegistry& registry, Config config)
+    : clock_(clock),
+      verifier_(verifier),
+      registry_(registry),
+      config_(config),
+      flow_table_(config.sniff_window, config.flow_idle_timeout),
+      ack_rng_(config.ack_seed) {}
+
+Middlebox::Middlebox(const util::Clock& clock,
+                     cookies::CookieVerifier& verifier,
+                     ServiceRegistry& registry)
+    : Middlebox(clock, verifier, registry, Config{}) {}
+
+Verdict Middlebox::process(net::Packet& packet) {
+  const util::Timestamp now = clock_.now();
+  ++stats_.packets;
+  stats_.bytes += packet.size();
+
+  FlowEntry& entry = flow_table_.touch(packet.tuple, packet.size(), now);
+  Verdict verdict;
+
+  const bool inspect =
+      entry.state == FlowState::kSniffing ||
+      (config_.mid_flow_cookies && entry.state != FlowState::kMapped);
+  if (inspect) {
+    // Task (i)/(ii): inspect this packet for a cookie on any carrier.
+    const auto extracted = cookies::extract(packet);
+    if (!extracted) {
+      ++stats_.task_search;
+    } else {
+      ++stats_.task_search_and_verify;
+      // With a composed stack, apply the first cookie this network can
+      // verify (each network consumes its own layer, §4.5).
+      for (const cookies::Cookie& cookie : extracted->stack) {
+        const auto result = verifier_.verify(cookie);
+        verdict.verify_status = result.status;
+        if (!result.ok()) continue;
+        // Transport restriction attribute: a descriptor may pin its
+        // cookies to specific carriers.
+        if (!result.descriptor->attributes.allows_transport(
+                extracted->transport)) {
+          verdict.verify_status = cookies::VerifyStatus::kUnknownId;
+          continue;
+        }
+        const auto& attrs = result.descriptor->attributes;
+        if (attrs.granularity == cookies::Granularity::kFlow) {
+          const util::Timestamp mapping_expires =
+              attrs.mapping_ttl ? now + *attrs.mapping_ttl : 0;
+          flow_table_.map_flow(packet.tuple,
+                               result.descriptor->service_data, now,
+                               attrs.reverse_flow, mapping_expires);
+          entry.state = FlowState::kMapped;
+          entry.service_data = result.descriptor->service_data;
+        }
+        if (config_.delivery_guarantees && attrs.delivery_guarantee) {
+          // The network owes the sender an acknowledgment on the
+          // reverse path (§4.3).
+          pending_acks_[packet.tuple.reversed()] =
+              result.descriptor->cookie_id;
+        }
+        verdict.mapped_now = true;
+        verdict.service_data = result.descriptor->service_data;
+        verdict.action = registry_.lookup(result.descriptor->service_data);
+        break;
+      }
+    }
+  } else {
+    // Task (iii): established flow, just map.
+    ++stats_.task_map_only;
+  }
+
+  if (!verdict.mapped_now && entry.state == FlowState::kMapped) {
+    verdict.service_data = entry.service_data;
+    verdict.action = registry_.lookup(entry.service_data);
+  }
+
+  if (verdict.action && config_.remark_dscp) {
+    packet.dscp = *config_.remark_dscp;
+  }
+  if (config_.delivery_guarantees && !pending_acks_.empty()) {
+    maybe_attach_ack(packet);
+  }
+  return verdict;
+}
+
+void Middlebox::maybe_attach_ack(net::Packet& packet) {
+  const auto it = pending_acks_.find(packet.tuple);
+  if (it == pending_acks_.end()) return;
+  const cookies::CookieDescriptor* descriptor =
+      verifier_.find(it->second);
+  if (!descriptor) {
+    pending_acks_.erase(it);  // revoked/expired: nothing to ack with
+    return;
+  }
+  // Mint a fresh ack cookie from the same descriptor and try the
+  // carriers this packet supports; if none fits, keep the debt and
+  // try the flow's next packet.
+  cookies::Cookie ack;
+  ack.cookie_id = descriptor->cookie_id;
+  ack.uuid = crypto::Uuid::generate(ack_rng_);
+  ack.timestamp = cookies::to_cookie_time(clock_.now());
+  ack.signature = ack.compute_tag(util::BytesView(descriptor->key));
+  for (const auto transport :
+       {cookies::Transport::kIpv6Extension,
+        cookies::Transport::kUdpHeader, cookies::Transport::kHttpHeader,
+        cookies::Transport::kTlsExtension}) {
+    if (cookies::attach(packet, ack, transport)) {
+      pending_acks_.erase(it);
+      return;
+    }
+  }
+}
+
+Verdict Middlebox::process_and_account(net::Packet& packet,
+                                       ZeroRatingLedger& ledger,
+                                       const net::IpAddress& subscriber) {
+  Verdict verdict = process(packet);
+  const bool free =
+      verdict.action &&
+      std::holds_alternative<ZeroRateAction>(*verdict.action);
+  ledger.record(subscriber, packet.size(), free);
+  return verdict;
+}
+
+}  // namespace nnn::dataplane

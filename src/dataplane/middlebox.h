@@ -1,0 +1,118 @@
+// The cookie-enabled middlebox (§4.2 component 3, §4.6 deployment).
+//
+// This is the NFV-style box the paper benchmarks in Fig. 4: it sits on
+// the forwarding path, runs the flow-table state machine, searches the
+// first packets of each flow for a cookie on any transport, verifies
+// cookies through the CookieVerifier, resolves service_data through
+// the ServiceRegistry, and reports a per-packet verdict the forwarding
+// element (sim link, zero-rating ledger, DSCP domain) acts on.
+//
+// Failure semantics are the paper's: anything that goes wrong —
+// unknown id, bad MAC, stale timestamp, replay, malformed blob — just
+// means best-effort; the packet is never dropped by the cookie layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cookies/transport.h"
+#include "cookies/verifier.h"
+#include "dataplane/flow_table.h"
+#include "dataplane/service_registry.h"
+#include "dataplane/zero_rating.h"
+#include "net/packet.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace nnn::dataplane {
+
+/// What the forwarding element should do with a packet.
+struct Verdict {
+  /// Action resolved from the flow's service mapping; nullopt =
+  /// best-effort/default handling.
+  std::optional<ServiceAction> action;
+  /// service_data string backing `action` (for accounting/tests).
+  std::string service_data;
+  /// True when this very packet carried the cookie that (newly)
+  /// mapped the flow.
+  bool mapped_now = false;
+  /// Verification outcome when this packet carried a cookie.
+  std::optional<cookies::VerifyStatus> verify_status;
+};
+
+struct MiddleboxStats {
+  /// §4.6's three per-packet task classes.
+  uint64_t task_search = 0;          // sniffed, no cookie found
+  uint64_t task_search_and_verify = 0;  // cookie found and checked
+  uint64_t task_map_only = 0;        // established flow fast path
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+};
+
+class Middlebox {
+ public:
+  struct Config {
+    uint32_t sniff_window = FlowTable::kDefaultSniffWindow;
+    util::Timestamp flow_idle_timeout = FlowTable::kDefaultIdleTimeout;
+    /// When set, a verified cookie also remarks the packet's DSCP so an
+    /// internal DiffServ domain can enforce (cookie->DSCP mode, §4.6).
+    std::optional<uint8_t> remark_dscp;
+    /// Honor the delivery-guarantee attribute (§4.3): when a verified
+    /// cookie's descriptor requests it, the middlebox mints an
+    /// acknowledgment cookie from the same descriptor and attaches it
+    /// to the first reverse-path packet that can carry it.
+    bool delivery_guarantees = false;
+    /// Seed for ack-cookie uuid generation.
+    uint64_t ack_seed = 0xacc5eed;
+    /// Inspect every packet for cookies, not just the sniff window.
+    /// The paper's cheap deployment sniffs "the first 3 incoming
+    /// packets of each flow"; application-assisted services ("a video
+    /// client can ask for extra bandwidth if its buffer runs low",
+    /// §4.2) need cookies honored mid-flow. Costs a search per packet
+    /// on non-mapped flows (see bench/ablation_dataplane).
+    bool mid_flow_cookies = false;
+  };
+
+  /// The clock must outlive the middlebox. The verifier and registry
+  /// are shared with the control plane (the cookie server installs
+  /// descriptors into the verifier).
+  Middlebox(const util::Clock& clock, cookies::CookieVerifier& verifier,
+            ServiceRegistry& registry, Config config);
+  Middlebox(const util::Clock& clock, cookies::CookieVerifier& verifier,
+            ServiceRegistry& registry);
+
+  /// Process one packet on the forwarding path. May mutate the packet
+  /// (DSCP remark in remark mode).
+  Verdict process(net::Packet& packet);
+
+  /// Zero-rating convenience: process + account to `ledger` ("two
+  /// counters per IP"): bytes of flows mapped to ZeroRateAction count
+  /// free, everything else charged. `subscriber` is the customer IP
+  /// (source on uplink, destination on downlink).
+  Verdict process_and_account(net::Packet& packet, ZeroRatingLedger& ledger,
+                              const net::IpAddress& subscriber);
+
+  const MiddleboxStats& stats() const { return stats_; }
+  const FlowTable& flows() const { return flow_table_; }
+  cookies::CookieVerifier& verifier() { return verifier_; }
+  /// Flows with a delivery-guarantee ack still owed.
+  size_t pending_acks() const { return pending_acks_.size(); }
+
+ private:
+  /// Attach an owed ack cookie to a reverse-path packet if possible.
+  void maybe_attach_ack(net::Packet& packet);
+
+  const util::Clock& clock_;
+  cookies::CookieVerifier& verifier_;
+  ServiceRegistry& registry_;
+  Config config_;
+  FlowTable flow_table_;
+  MiddleboxStats stats_;
+  util::Rng ack_rng_;
+  /// reverse-flow tuple -> descriptor owing an ack.
+  std::unordered_map<net::FiveTuple, cookies::CookieId> pending_acks_;
+};
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,90 @@
+// QoS primitives: token buckets and strict-priority queue sets.
+//
+// Boost "sends fast-lane traffic through a high priority queue, and
+// occasionally throttles non-fast-lane traffic" (§5). These are the
+// two mechanisms that implement that: a TokenBucket models the
+// throttle (Linux tc-style policing of non-boosted traffic to a
+// configured rate) and a PriorityQueueSet models the WMM-style strict
+// priority queues at the AP. The simulator's links drain a
+// PriorityQueueSet; the middlebox decides which band a packet joins.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/clock.h"
+
+namespace nnn::dataplane {
+
+/// Classic token bucket: capacity `burst_bytes`, refilled at
+/// `rate_bps/8` bytes per second. conforms() is a pure check;
+/// try_consume() also spends the tokens.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bps, uint32_t burst_bytes,
+              util::Timestamp start = 0);
+
+  bool try_consume(uint32_t bytes, util::Timestamp now);
+  bool conforms(uint32_t bytes, util::Timestamp now) const;
+  double tokens(util::Timestamp now) const;
+
+  double rate_bps() const { return rate_bps_; }
+  double burst_bytes() const { return burst_bytes_; }
+  void set_rate(double rate_bps, util::Timestamp now);
+
+ private:
+  void refill(util::Timestamp now);
+
+  double rate_bps_;
+  double burst_bytes_;
+  double tokens_;
+  util::Timestamp last_refill_;
+};
+
+/// Strict-priority bands of FIFO queues with a shared-per-band byte
+/// cap. Band 0 is highest priority. Tail-drop on overflow (drops are
+/// what shapes the Fig. 5b best-effort/throttled CDFs).
+class PriorityQueueSet {
+ public:
+  struct BandStats {
+    uint64_t enqueued = 0;
+    uint64_t dropped = 0;
+    uint64_t dequeued = 0;
+    uint64_t bytes = 0;  // currently queued bytes
+  };
+
+  /// `band_capacity_bytes` applies to each band independently.
+  PriorityQueueSet(size_t bands, uint32_t band_capacity_bytes);
+
+  /// Enqueue into `band`; false (and drop) when the band is full.
+  bool enqueue(net::Packet packet, size_t band);
+
+  /// Dequeue from the highest-priority non-empty band.
+  std::optional<net::Packet> dequeue();
+
+  /// Peek the size of the packet dequeue() would return next.
+  std::optional<uint32_t> peek_size() const;
+
+  /// Per-band access, used by shaped links that must skip a band whose
+  /// head does not conform to its shaper yet.
+  bool band_empty(size_t band) const { return queues_[band].empty(); }
+  const net::Packet& peek_band(size_t band) const {
+    return queues_[band].front();
+  }
+  std::optional<net::Packet> dequeue_band(size_t band);
+
+  bool empty() const;
+  size_t bands() const { return queues_.size(); }
+  size_t queued_packets() const;
+  const BandStats& stats(size_t band) const { return stats_[band]; }
+
+ private:
+  std::vector<std::deque<net::Packet>> queues_;
+  std::vector<BandStats> stats_;
+  uint32_t band_capacity_bytes_;
+};
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,36 @@
+#include "dataplane/service_registry.h"
+
+#include "util/fmt.h"
+
+namespace nnn::dataplane {
+
+std::string to_string(const ServiceAction& action) {
+  if (const auto* p = std::get_if<PriorityAction>(&action)) {
+    return util::fmt("priority(band={})", p->band);
+  }
+  if (std::holds_alternative<ZeroRateAction>(action)) {
+    return "zero-rate";
+  }
+  if (const auto* d = std::get_if<DscpRemarkAction>(&action)) {
+    return util::fmt("dscp-remark({})", +d->dscp);
+  }
+  const auto& r = std::get<RateLimitAction>(action);
+  return util::fmt("rate-limit({}bps)", r.rate_bps);
+}
+
+void ServiceRegistry::bind(std::string service_data, ServiceAction action) {
+  actions_[std::move(service_data)] = action;
+}
+
+bool ServiceRegistry::unbind(const std::string& service_data) {
+  return actions_.erase(service_data) > 0;
+}
+
+std::optional<ServiceAction> ServiceRegistry::lookup(
+    const std::string& service_data) const {
+  const auto it = actions_.find(service_data);
+  if (it == actions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,67 @@
+// Service registry: the policy side of the mechanism/policy split.
+//
+// A verified cookie yields opaque service_data; this registry is where
+// a deployment decides what that means — "sends the packet through a
+// high-priority queue. Alternatively it can mark the DSCP bits to
+// enforce the service elsewhere in the network" (§4.2), or zero-rate
+// the flow's bytes (§4.6). The cookie layer never sees these types.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace nnn::dataplane {
+
+/// Send matching traffic through priority band N (0 = highest).
+struct PriorityAction {
+  size_t band = 0;
+  friend bool operator==(const PriorityAction&,
+                         const PriorityAction&) = default;
+};
+
+/// Account matching bytes to the free (uncharged) counter.
+struct ZeroRateAction {
+  friend bool operator==(const ZeroRateAction&,
+                         const ZeroRateAction&) = default;
+};
+
+/// Remark DSCP and let an internal DiffServ domain enforce
+/// ("Cookie->DSCP mapping", §4.6).
+struct DscpRemarkAction {
+  uint8_t dscp = 0;
+  friend bool operator==(const DscpRemarkAction&,
+                         const DscpRemarkAction&) = default;
+};
+
+/// Police matching traffic to a rate (slow lane — AnyLink, §5).
+struct RateLimitAction {
+  double rate_bps = 0;
+  uint32_t burst_bytes = 0;
+  friend bool operator==(const RateLimitAction&,
+                         const RateLimitAction&) = default;
+};
+
+using ServiceAction = std::variant<PriorityAction, ZeroRateAction,
+                                   DscpRemarkAction, RateLimitAction>;
+
+std::string to_string(const ServiceAction& action);
+
+class ServiceRegistry {
+ public:
+  /// Bind a service_data tag to an action. Re-binding replaces.
+  void bind(std::string service_data, ServiceAction action);
+  bool unbind(const std::string& service_data);
+
+  /// Look up the action for a verified cookie's service_data.
+  std::optional<ServiceAction> lookup(const std::string& service_data) const;
+
+  size_t size() const { return actions_.size(); }
+
+ private:
+  std::map<std::string, ServiceAction> actions_;
+};
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,85 @@
+#include "dataplane/sharding.h"
+
+#include "cookies/transport.h"
+
+namespace nnn::dataplane {
+
+std::string to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kFlowHash:
+      return "flow-hash";
+    case DispatchPolicy::kDescriptorAffinity:
+      return "descriptor-affinity";
+  }
+  return "?";
+}
+
+ShardedDataplane::ShardedDataplane(const util::Clock& clock,
+                                   ServiceRegistry& registry,
+                                   size_t shards, DispatchPolicy policy,
+                                   Middlebox::Config config)
+    : policy_(policy), stats_(shards) {
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(clock, registry, config));
+  }
+}
+
+void ShardedDataplane::add_descriptor(
+    const cookies::CookieDescriptor& descriptor) {
+  for (auto& shard : shards_) {
+    shard->verifier.add_descriptor(descriptor);
+  }
+}
+
+void ShardedDataplane::revoke(cookies::CookieId id) {
+  for (auto& shard : shards_) {
+    shard->verifier.revoke(id);
+  }
+}
+
+size_t ShardedDataplane::flow_shard(const net::Packet& packet) const {
+  return std::hash<net::FiveTuple>()(packet.tuple) % shards_.size();
+}
+
+size_t ShardedDataplane::shard_for(const net::Packet& packet) const {
+  if (policy_ == DispatchPolicy::kDescriptorAffinity) {
+    // Peek: decode is cheap (no HMAC); the dispatcher needs only the
+    // cookie id. This mirrors the paper's hardware note: "look the
+    // cookie id against a table of known descriptors" before software.
+    if (const auto extracted = cookies::extract(packet)) {
+      return static_cast<size_t>(extracted->stack.front().cookie_id) %
+             shards_.size();
+    }
+  }
+  return flow_shard(packet);
+}
+
+Verdict ShardedDataplane::process(net::Packet& packet) {
+  const size_t index = shard_for(packet);
+  ShardStats& s = stats_[index];
+  ++s.packets;
+  if (packet.l3_cookie || !packet.payload.empty()) {
+    // Approximate cookie-bearing accounting for stats only.
+    if (cookies::extract(packet)) ++s.cookie_packets;
+  }
+  return shards_[index]->middlebox.process(packet);
+}
+
+uint64_t ShardedDataplane::total_replays_detected() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->verifier.stats().replayed;
+  }
+  return total;
+}
+
+uint64_t ShardedDataplane::total_verified() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->verifier.stats().verified;
+  }
+  return total;
+}
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,98 @@
+// Scale-out deployment (§4.6).
+//
+// "We can use multiple cores instead of one, and similarly add more
+// than one middle-boxes to scale-out the deployment, along with a
+// load-balancer that shares the traffic among servers. The main
+// challenge to scale out cookies in a distributed deployment comes
+// from verifying uniqueness as cookies from the same descriptor might
+// appear in different places (a problem known as double-spending in
+// digital cash schemes). We can relax uniqueness verification in
+// certain cases — for example an ISP can ensure that all cookies from
+// a specific descriptor always go through the same middle-box where
+// uniqueness can be locally verified."
+//
+// This module implements both halves of that paragraph:
+//  - DispatchPolicy::kFlowHash — the naive load balancer. Cookies from
+//    one descriptor can land on different shards, whose replay caches
+//    are independent: a copied cookie can be "spent" once per shard.
+//  - DispatchPolicy::kDescriptorAffinity — the paper's fix: the
+//    balancer peeks at the cookie id and pins each descriptor to one
+//    shard, making the use-once check locally verifiable again.
+//    Cookie-less packets still spread by flow hash (they need no
+//    uniqueness check), so load balance is preserved where it matters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cookies/verifier.h"
+#include "dataplane/middlebox.h"
+#include "dataplane/service_registry.h"
+#include "util/clock.h"
+
+namespace nnn::dataplane {
+
+enum class DispatchPolicy : uint8_t {
+  kFlowHash = 0,          // naive: hash the 5-tuple
+  kDescriptorAffinity,    // peek cookie id; pin descriptors to shards
+};
+
+std::string to_string(DispatchPolicy p);
+
+struct ShardStats {
+  uint64_t packets = 0;
+  uint64_t cookie_packets = 0;
+};
+
+class ShardedDataplane {
+ public:
+  /// Builds `shards` independent middleboxes, each with its own
+  /// verifier and replay cache (the realistic deployment: separate
+  /// machines). Descriptors are installed into every shard — key
+  /// distribution is cheap control-plane state; replay caches are the
+  /// part that cannot be shared cheaply.
+  ShardedDataplane(const util::Clock& clock, ServiceRegistry& registry,
+                   size_t shards, DispatchPolicy policy,
+                   Middlebox::Config config = Middlebox::Config{});
+
+  void add_descriptor(const cookies::CookieDescriptor& descriptor);
+  void revoke(cookies::CookieId id);
+
+  /// Dispatch one packet to a shard and process it there.
+  Verdict process(net::Packet& packet);
+
+  /// Which shard `process` would pick for this packet.
+  size_t shard_for(const net::Packet& packet) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  DispatchPolicy policy() const { return policy_; }
+  const ShardStats& stats(size_t shard) const { return stats_[shard]; }
+  const Middlebox& shard(size_t i) const { return shards_[i]->middlebox; }
+
+  /// Aggregate replay rejections across shards — the double-spend
+  /// detector. Under kFlowHash a replayed cookie may *not* show up
+  /// here (it verified "fresh" on another shard); under affinity it
+  /// always does.
+  uint64_t total_replays_detected() const;
+  uint64_t total_verified() const;
+
+ private:
+  struct Shard {
+    // Order matters: the verifier must outlive the middlebox.
+    cookies::CookieVerifier verifier;
+    Middlebox middlebox;
+
+    Shard(const util::Clock& clock, ServiceRegistry& registry,
+          Middlebox::Config config)
+        : verifier(clock), middlebox(clock, verifier, registry, config) {}
+  };
+
+  size_t flow_shard(const net::Packet& packet) const;
+
+  DispatchPolicy policy_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ShardStats> stats_;
+};
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,40 @@
+#include "dataplane/zero_rating.h"
+
+namespace nnn::dataplane {
+
+ZeroRatingLedger::ZeroRatingLedger(uint64_t monthly_cap_bytes)
+    : monthly_cap_bytes_(monthly_cap_bytes) {}
+
+void ZeroRatingLedger::record(const net::IpAddress& subscriber,
+                              uint64_t bytes, bool free) {
+  UsageCounters& c = counters_[subscriber];
+  if (free) {
+    c.free_bytes += bytes;
+  } else {
+    c.charged_bytes += bytes;
+  }
+}
+
+UsageCounters ZeroRatingLedger::usage(
+    const net::IpAddress& subscriber) const {
+  const auto it = counters_.find(subscriber);
+  return it == counters_.end() ? UsageCounters{} : it->second;
+}
+
+std::optional<uint64_t> ZeroRatingLedger::remaining_cap(
+    const net::IpAddress& subscriber) const {
+  if (monthly_cap_bytes_ == 0) return std::nullopt;
+  const uint64_t used = usage(subscriber).charged_bytes;
+  return used >= monthly_cap_bytes_ ? 0 : monthly_cap_bytes_ - used;
+}
+
+bool ZeroRatingLedger::over_cap(const net::IpAddress& subscriber) const {
+  if (monthly_cap_bytes_ == 0) return false;
+  return usage(subscriber).charged_bytes >= monthly_cap_bytes_;
+}
+
+void ZeroRatingLedger::reset() {
+  counters_.clear();
+}
+
+}  // namespace nnn::dataplane

@@ -1,0 +1,55 @@
+// Zero-rating accounting (§4.6).
+//
+// "We built a cookie-based zero-rating middlebox ... Our middle-box
+// keeps two counters per IP address (one for free and another for
+// charged data), and enforces the service in software for both
+// directions of a flow." This ledger is those counters plus the data
+// cap bookkeeping a billing system would read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ip.h"
+
+namespace nnn::dataplane {
+
+struct UsageCounters {
+  uint64_t free_bytes = 0;
+  uint64_t charged_bytes = 0;
+
+  uint64_t total() const { return free_bytes + charged_bytes; }
+};
+
+class ZeroRatingLedger {
+ public:
+  /// `monthly_cap_bytes` = 0 means uncapped accounts.
+  explicit ZeroRatingLedger(uint64_t monthly_cap_bytes = 0);
+
+  /// Account `bytes` for `subscriber`, free or charged.
+  void record(const net::IpAddress& subscriber, uint64_t bytes, bool free);
+
+  UsageCounters usage(const net::IpAddress& subscriber) const;
+
+  /// Remaining charged quota; nullopt when uncapped.
+  std::optional<uint64_t> remaining_cap(
+      const net::IpAddress& subscriber) const;
+
+  /// True when charged usage reached the cap (traffic would be blocked
+  /// or surcharged by the billing policy — zero-rated traffic flows on,
+  /// which is the entire point of the service).
+  bool over_cap(const net::IpAddress& subscriber) const;
+
+  /// New billing month.
+  void reset();
+
+  size_t subscribers() const { return counters_.size(); }
+  uint64_t cap() const { return monthly_cap_bytes_; }
+
+ private:
+  uint64_t monthly_cap_bytes_;
+  std::unordered_map<net::IpAddress, UsageCounters> counters_;
+};
+
+}  // namespace nnn::dataplane

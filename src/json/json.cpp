@@ -1,0 +1,438 @@
+#include "json/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nnn::json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    auto v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value(int depth) {
+    if (depth > kMaxDepth || eof()) return std::nullopt;
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        return std::nullopt;
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        return std::nullopt;
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        return std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_object(int depth) {
+    if (!consume('{')) return std::nullopt;
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      obj[std::move(*key)] = std::move(*value);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array(int depth) {
+    if (!consume('[')) return std::nullopt;
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      skip_ws();
+      auto value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      arr.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      if (eof()) return std::nullopt;
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          auto cp = parse_hex4();
+          if (!cp) return std::nullopt;
+          uint32_t code = *cp;
+          // Surrogate pair handling.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!consume('\\') || !consume('u')) return std::nullopt;
+            auto lo = parse_hex4();
+            if (!lo || *lo < 0xDC00 || *lo > 0xDFFF) return std::nullopt;
+            code = 0x10000 + ((code - 0xD800) << 10) + (*lo - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return std::nullopt;  // unpaired low surrogate
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<uint32_t> parse_hex4() {
+    if (text_.size() - pos_ < 4) return std::nullopt;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::optional<Value> parse_number() {
+    const size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return std::nullopt;
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return std::nullopt;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return std::nullopt;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void escape_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void format_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+  } else if (std::isfinite(d)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  } else {
+    out += "null";  // NaN / Inf are not representable in JSON
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("json: not a bool");
+  return std::get<bool>(v_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw std::runtime_error("json: not a number");
+  return std::get<double>(v_);
+}
+
+int64_t Value::as_int() const {
+  return static_cast<int64_t>(as_number());
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw std::runtime_error("json: not a string");
+  return std::get<std::string>(v_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(v_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(v_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(v_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(v_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(v_);
+  const auto it = obj.find(std::string(key));
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string Value::get_string(std::string_view key,
+                              std::string_view fallback) const {
+  const Value* v = find(key);
+  return v && v->is_string() ? v->as_string() : std::string(fallback);
+}
+
+int64_t Value::get_int(std::string_view key, int64_t fallback) const {
+  const Value* v = find(key);
+  return v && v->is_number() ? v->as_int() : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, -1, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  return out;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_indent = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent * d), ' ');
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(v_) ? "true" : "false";
+  } else if (is_number()) {
+    format_number(out, std::get<double>(v_));
+  } else if (is_string()) {
+    escape_string(out, std::get<std::string>(v_));
+  } else if (is_array()) {
+    const auto& arr = std::get<Array>(v_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i) out.push_back(',');
+      newline_indent(depth + 1);
+      arr[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(depth);
+    out.push_back(']');
+  } else {
+    const auto& obj = std::get<Object>(v_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline_indent(depth + 1);
+      escape_string(out, key);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      value.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(depth);
+    out.push_back('}');
+  }
+}
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace nnn::json

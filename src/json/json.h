@@ -1,0 +1,89 @@
+// Minimal JSON value / parser / serializer.
+//
+// The paper's cookie server exposes "a JSON API for users to acquire
+// [descriptors]" (§5.2) and the Boost agent "issues a boost request to
+// a well-known server using a JSON message" (§5.1). This is a small,
+// standards-conforming (RFC 8259) implementation sufficient for that
+// control-plane traffic: object, array, string (with \uXXXX escapes,
+// encoded as UTF-8), number (stored as double, with integer fast-path
+// formatting), bool, null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace nnn::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps key order deterministic, which keeps serialized API
+/// messages and audit records byte-stable across runs.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(int64_t i) : v_(static_cast<double>(i)) {}
+  Value(uint64_t i) : v_(static_cast<double>(i)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(std::string_view s) : v_(std::string(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Checked accessors: throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults (for API handlers).
+  std::string get_string(std::string_view key,
+                         std::string_view fallback = "") const;
+  int64_t get_int(std::string_view key, int64_t fallback = 0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+  /// Serialize compactly (no whitespace).
+  std::string dump() const;
+  /// Serialize with 2-space indentation.
+  std::string dump_pretty() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse a complete JSON document. nullopt on any syntax error or
+/// trailing garbage. Nesting depth is limited (protects the recursive
+/// parser from adversarial control-plane input).
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace nnn::json

@@ -1,0 +1,30 @@
+#include "net/five_tuple.h"
+
+#include "util/fmt.h"
+
+namespace nnn::net {
+
+std::string to_string(L4Proto p) {
+  switch (p) {
+    case L4Proto::kTcp:
+      return "tcp";
+    case L4Proto::kUdp:
+      return "udp";
+  }
+  return "?";
+}
+
+std::string FiveTuple::to_string() const {
+  return util::fmt("{} {}:{} -> {}:{}", net::to_string(proto),
+                     src_ip.to_string(), src_port, dst_ip.to_string(),
+                     dst_port);
+}
+
+BidiFlowKey::BidiFlowKey(const FiveTuple& t) : canonical(t) {
+  // Order endpoints deterministically so both directions coincide.
+  const auto lhs = std::tie(t.src_ip, t.src_port);
+  const auto rhs = std::tie(t.dst_ip, t.dst_port);
+  if (rhs < lhs) canonical = t.reversed();
+}
+
+}  // namespace nnn::net

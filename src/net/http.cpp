@@ -1,0 +1,163 @@
+#include "net/http.h"
+
+#include <charconv>
+#include "util/fmt.h"
+
+#include "util/strings.h"
+
+namespace nnn::net::http {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+/// Parse "Name: value" lines until the blank line; returns the body
+/// offset or npos on malformed input.
+size_t parse_headers(std::string_view text, size_t pos,
+                     std::vector<Header>& out) {
+  while (true) {
+    const size_t eol = text.find(kCrlf, pos);
+    if (eol == std::string_view::npos) return std::string_view::npos;
+    if (eol == pos) return pos + 2;  // blank line: end of headers
+    const std::string_view line = text.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return std::string_view::npos;
+    }
+    out.push_back(Header{std::string(util::trim(line.substr(0, colon))),
+                         std::string(util::trim(line.substr(colon + 1)))});
+    pos = eol + 2;
+  }
+}
+
+std::optional<std::string> find_header(const std::vector<Header>& headers,
+                                       std::string_view name) {
+  for (const auto& h : headers) {
+    if (util::iequals(h.name, name)) return h.value;
+  }
+  return std::nullopt;
+}
+
+void serialize_headers(std::string& out, const std::vector<Header>& headers,
+                       size_t body_size, bool has_body) {
+  bool wrote_content_length = false;
+  for (const auto& h : headers) {
+    if (util::iequals(h.name, "Content-Length")) wrote_content_length = true;
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += kCrlf;
+  }
+  if (has_body && !wrote_content_length) {
+    out += util::fmt("Content-Length: {}\r\n", body_size);
+  }
+  out += kCrlf;
+}
+
+}  // namespace
+
+Request::Request(std::string method, std::string target, std::string host)
+    : method_(std::move(method)), target_(std::move(target)) {
+  add_header("Host", std::move(host));
+}
+
+std::string Request::host() const {
+  return header("Host").value_or("");
+}
+
+std::optional<std::string> Request::header(std::string_view name) const {
+  return find_header(headers_, name);
+}
+
+void Request::add_header(std::string name, std::string value) {
+  headers_.push_back(Header{std::move(name), std::move(value)});
+}
+
+size_t Request::remove_header(std::string_view name) {
+  const size_t before = headers_.size();
+  std::erase_if(headers_, [&](const Header& h) {
+    return util::iequals(h.name, name);
+  });
+  return before - headers_.size();
+}
+
+void Request::set_body(std::string body) {
+  body_ = std::move(body);
+}
+
+std::string Request::serialize() const {
+  std::string out = util::fmt("{} {} HTTP/1.1\r\n", method_, target_);
+  serialize_headers(out, headers_, body_.size(), !body_.empty());
+  out += body_;
+  return out;
+}
+
+std::optional<Request> Request::parse(std::string_view text) {
+  const size_t eol = text.find(kCrlf);
+  if (eol == std::string_view::npos) return std::nullopt;
+  const auto parts = util::split(text.substr(0, eol), ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+      !util::starts_with(parts[2], "HTTP/")) {
+    return std::nullopt;
+  }
+  Request req;
+  req.method_ = parts[0];
+  req.target_ = parts[1];
+  const size_t body_pos = parse_headers(text, eol + 2, req.headers_);
+  if (body_pos == std::string_view::npos) return std::nullopt;
+  if (const auto cl = req.header("Content-Length")) {
+    size_t len = 0;
+    const auto [p, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), len);
+    if (ec != std::errc() || p != cl->data() + cl->size()) {
+      return std::nullopt;
+    }
+    if (text.size() - body_pos < len) return std::nullopt;  // incomplete
+    req.body_ = std::string(text.substr(body_pos, len));
+  } else {
+    req.body_ = std::string(text.substr(body_pos));
+  }
+  return req;
+}
+
+std::optional<std::string> Response::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+void Response::add_header(std::string name, std::string value) {
+  headers.push_back(Header{std::move(name), std::move(value)});
+}
+
+std::string Response::serialize() const {
+  std::string out = util::fmt("HTTP/1.1 {} {}\r\n", status, reason);
+  serialize_headers(out, headers, body.size(), !body.empty());
+  out += body;
+  return out;
+}
+
+std::optional<Response> Response::parse(std::string_view text) {
+  const size_t eol = text.find(kCrlf);
+  if (eol == std::string_view::npos) return std::nullopt;
+  const std::string_view line = text.substr(0, eol);
+  if (!util::starts_with(line, "HTTP/")) return std::nullopt;
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  Response resp;
+  const std::string_view code = line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? line.size() : sp2 - sp1 - 1);
+  const auto [p, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), resp.status);
+  if (ec != std::errc() || p != code.data() + code.size()) {
+    return std::nullopt;
+  }
+  resp.reason = sp2 == std::string_view::npos
+                    ? ""
+                    : std::string(line.substr(sp2 + 1));
+  const size_t body_pos = parse_headers(text, eol + 2, resp.headers);
+  if (body_pos == std::string_view::npos) return std::nullopt;
+  resp.body = std::string(text.substr(body_pos));
+  return resp;
+}
+
+}  // namespace nnn::net::http

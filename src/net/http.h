@@ -1,0 +1,75 @@
+// Minimal HTTP/1.1 request/response codec.
+//
+// The Boost agent inserts cookies "as a special HTTP header for
+// unencrypted traffic" (§5.1). This codec produces and parses real
+// HTTP/1.1 text so the middlebox can find that header in packet
+// payloads, including requests split across the first packets of a
+// flow (the daemon "sniffs the first 3 incoming packets for each
+// flow").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nnn::net::http {
+
+/// The header the Boost agent uses to carry a base64 cookie.
+inline constexpr std::string_view kCookieHeader = "X-Network-Cookie";
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+class Request {
+ public:
+  Request() = default;
+  Request(std::string method, std::string target, std::string host);
+
+  const std::string& method() const { return method_; }
+  const std::string& target() const { return target_; }
+
+  /// Host header convenience.
+  std::string host() const;
+
+  /// Case-insensitive lookup of the first matching header.
+  std::optional<std::string> header(std::string_view name) const;
+  /// Append a header (duplicates allowed, as in real HTTP).
+  void add_header(std::string name, std::string value);
+  /// Remove all headers with this name; returns how many were removed.
+  size_t remove_header(std::string_view name);
+  const std::vector<Header>& headers() const { return headers_; }
+
+  const std::string& body() const { return body_; }
+  void set_body(std::string body);
+
+  /// Serialize to wire text (CRLF line endings, Content-Length added
+  /// automatically when a body is present).
+  std::string serialize() const;
+
+  /// Parse a complete request. nullopt if malformed or incomplete.
+  static std::optional<Request> parse(std::string_view text);
+
+ private:
+  std::string method_ = "GET";
+  std::string target_ = "/";
+  std::vector<Header> headers_;
+  std::string body_;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<Header> headers;
+  std::string body;
+
+  std::optional<std::string> header(std::string_view name) const;
+  void add_header(std::string name, std::string value);
+  std::string serialize() const;
+  static std::optional<Response> parse(std::string_view text);
+};
+
+}  // namespace nnn::net::http

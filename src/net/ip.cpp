@@ -1,0 +1,165 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include "util/fmt.h"
+
+#include "util/strings.h"
+
+namespace nnn::net {
+
+IpAddress IpAddress::v4(uint32_t host_order) {
+  IpAddress a;
+  a.family_ = IpFamily::kV4;
+  a.bytes_ = {};
+  a.bytes_[0] = static_cast<uint8_t>(host_order >> 24);
+  a.bytes_[1] = static_cast<uint8_t>(host_order >> 16);
+  a.bytes_[2] = static_cast<uint8_t>(host_order >> 8);
+  a.bytes_[3] = static_cast<uint8_t>(host_order);
+  return a;
+}
+
+IpAddress IpAddress::v4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return v4(static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+            static_cast<uint32_t>(c) << 8 | d);
+}
+
+IpAddress IpAddress::v6(const std::array<uint8_t, 16>& bytes) {
+  IpAddress a;
+  a.family_ = IpFamily::kV6;
+  a.bytes_ = bytes;
+  return a;
+}
+
+uint32_t IpAddress::v4_value() const {
+  return static_cast<uint32_t>(bytes_[0]) << 24 |
+         static_cast<uint32_t>(bytes_[1]) << 16 |
+         static_cast<uint32_t>(bytes_[2]) << 8 | bytes_[3];
+}
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::array<uint8_t, 4> octets;
+  for (size_t i = 0; i < 4; ++i) {
+    if (parts[i].empty() || parts[i].size() > 3) return std::nullopt;
+    int v = 0;
+    const auto [ptr, ec] = std::from_chars(
+        parts[i].data(), parts[i].data() + parts[i].size(), v);
+    if (ec != std::errc() || ptr != parts[i].data() + parts[i].size() ||
+        v < 0 || v > 255) {
+      return std::nullopt;
+    }
+    octets[i] = static_cast<uint8_t>(v);
+  }
+  return IpAddress::v4(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view s) {
+  // Split on "::" (at most one allowed).
+  std::vector<uint16_t> head;
+  std::vector<uint16_t> tail;
+  const size_t gap = s.find("::");
+  const auto parse_groups = [](std::string_view part,
+                               std::vector<uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    for (const auto& g : util::split(part, ':')) {
+      if (g.empty() || g.size() > 4) return false;
+      uint32_t v = 0;
+      for (const char c : g) {
+        v <<= 4;
+        if (c >= '0' && c <= '9') {
+          v |= static_cast<uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          v |= static_cast<uint32_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          v |= static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return false;
+        }
+      }
+      out.push_back(static_cast<uint16_t>(v));
+    }
+    return true;
+  };
+  if (gap == std::string_view::npos) {
+    if (!parse_groups(s, head)) return std::nullopt;
+    if (head.size() != 8) return std::nullopt;
+  } else {
+    if (s.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(s.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(s.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() > 7) return std::nullopt;
+  }
+  std::array<uint8_t, 16> bytes{};
+  for (size_t i = 0; i < head.size(); ++i) {
+    bytes[2 * i] = static_cast<uint8_t>(head[i] >> 8);
+    bytes[2 * i + 1] = static_cast<uint8_t>(head[i]);
+  }
+  for (size_t i = 0; i < tail.size(); ++i) {
+    const size_t slot = 8 - tail.size() + i;
+    bytes[2 * slot] = static_cast<uint8_t>(tail[i] >> 8);
+    bytes[2 * slot + 1] = static_cast<uint8_t>(tail[i]);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view s) {
+  if (s.find(':') != std::string_view::npos) return parse_v6(s);
+  return parse_v4(s);
+}
+
+std::string IpAddress::to_string() const {
+  if (is_v4()) {
+    return util::fmt("{}.{}.{}.{}", +bytes_[0], +bytes_[1], +bytes_[2],
+                     +bytes_[3]);
+  }
+  // Canonical-ish v6: compress the longest run of zero groups.
+  std::array<uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = static_cast<uint16_t>(bytes_[2 * i] << 8 | bytes_[2 * i + 1]);
+  }
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  std::string out;
+  if (best_len < 2) best_start = -1;
+  for (int i = 0; i < 8; ++i) {
+    if (best_start >= 0 && i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    out += util::fmt("{:x}", groups[i]);
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+bool IpAddress::is_private() const {
+  if (is_v4()) {
+    const uint32_t v = v4_value();
+    return (v >> 24) == 10 ||                      // 10.0.0.0/8
+           (v >> 20) == 0xac1 ||                   // 172.16.0.0/12
+           (v >> 16) == 0xc0a8;                    // 192.168.0.0/16
+  }
+  return (bytes_[0] & 0xfe) == 0xfc;               // fc00::/7
+}
+
+}  // namespace nnn::net

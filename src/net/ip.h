@@ -1,0 +1,72 @@
+// IP addresses (v4 and v6) as value types.
+//
+// Cookies are deliberately independent of addressing (they survive NAT
+// and CDN co-hosting) but every other mechanism in the paper — DPI
+// rules, OOB flow descriptions, DiffServ domains — keys on addresses,
+// so the substrate needs a proper address type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nnn::net {
+
+enum class IpFamily : uint8_t { kV4 = 4, kV6 = 6 };
+
+class IpAddress {
+ public:
+  /// Default: IPv4 0.0.0.0.
+  IpAddress() : family_(IpFamily::kV4), bytes_{} {}
+
+  /// Construct an IPv4 address from a host-order 32-bit value.
+  static IpAddress v4(uint32_t host_order);
+  /// Construct an IPv4 address from four octets.
+  static IpAddress v4(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+  /// Construct an IPv6 address from 16 bytes.
+  static IpAddress v6(const std::array<uint8_t, 16>& bytes);
+
+  /// Parse dotted-quad IPv4 ("10.0.0.1") or full/abbreviated IPv6
+  /// ("2001:db8::1"). nullopt on bad input.
+  static std::optional<IpAddress> parse(std::string_view s);
+
+  IpFamily family() const { return family_; }
+  bool is_v4() const { return family_ == IpFamily::kV4; }
+  bool is_v6() const { return family_ == IpFamily::kV6; }
+
+  /// Host-order 32-bit value; requires is_v4().
+  uint32_t v4_value() const;
+  /// Raw bytes: 4 significant bytes for v4, 16 for v6.
+  const std::array<uint8_t, 16>& bytes() const { return bytes_; }
+
+  std::string to_string() const;
+
+  /// True for RFC 1918 (v4) / fc00::/7 (v6) ranges — the NAT model uses
+  /// this to decide which addresses need rewriting.
+  bool is_private() const;
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  IpFamily family_;
+  std::array<uint8_t, 16> bytes_;  // v4 uses bytes_[0..3]
+};
+
+}  // namespace nnn::net
+
+template <>
+struct std::hash<nnn::net::IpAddress> {
+  size_t operator()(const nnn::net::IpAddress& a) const noexcept {
+    uint64_t h = static_cast<uint64_t>(a.family());
+    for (size_t i = 0; i < 16; i += 8) {
+      uint64_t w = 0;
+      for (size_t j = 0; j < 8; ++j) w = w << 8 | a.bytes()[i + j];
+      h = (h ^ w) * 0x9e3779b97f4a7c15ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};

@@ -1,0 +1,133 @@
+#include "net/mctls.h"
+
+#include <cstring>
+
+#include "crypto/constant_time.h"
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace nnn::net::mctls {
+
+namespace {
+
+using util::ByteReader;
+using util::Bytes;
+using util::BytesView;
+using util::ByteWriter;
+
+/// Counter-mode keystream from HMAC-SHA256(key, seq || block_index).
+void xor_keystream(Bytes& data, BytesView key, uint64_t sequence) {
+  for (size_t block = 0; block * 32 < data.size(); ++block) {
+    Bytes nonce;
+    ByteWriter w(nonce);
+    w.u64(sequence);
+    w.u64(block);
+    const auto stream = crypto::hmac_sha256(key, BytesView(nonce));
+    const size_t offset = block * 32;
+    const size_t take = std::min<size_t>(32, data.size() - offset);
+    for (size_t i = 0; i < take; ++i) {
+      data[offset + i] ^= stream[i];
+    }
+  }
+}
+
+crypto::CookieTag mac_over(BytesView key, uint64_t sequence,
+                           BytesView data, uint8_t domain) {
+  Bytes material;
+  ByteWriter w(material);
+  w.u8(domain);  // domain separation: payload vs slot
+  w.u64(sequence);
+  w.raw(data);
+  return crypto::cookie_tag(key, BytesView(material));
+}
+
+constexpr uint8_t kPayloadDomain = 0x01;
+constexpr uint8_t kSlotDomain = 0x02;
+
+}  // namespace
+
+util::Bytes Record::encode() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u32(static_cast<uint32_t>(ciphertext.size()));
+  w.raw(BytesView(ciphertext));
+  w.raw(BytesView(payload_tag.data(), payload_tag.size()));
+  w.u32(static_cast<uint32_t>(slot.size()));
+  w.raw(BytesView(slot));
+  w.raw(BytesView(slot_tag.data(), slot_tag.size()));
+  return out;
+}
+
+std::optional<Record> Record::decode(util::BytesView wire) {
+  ByteReader r(wire);
+  Record record;
+  const auto ct_len = r.u32();
+  if (!ct_len) return std::nullopt;
+  auto ct = r.raw(*ct_len);
+  auto payload_tag = r.view(16);
+  if (!ct || !payload_tag) return std::nullopt;
+  record.ciphertext = std::move(*ct);
+  std::memcpy(record.payload_tag.data(), payload_tag->data(), 16);
+  const auto slot_len = r.u32();
+  if (!slot_len) return std::nullopt;
+  auto slot = r.raw(*slot_len);
+  auto slot_tag = r.view(16);
+  if (!slot || !slot_tag || !r.done()) return std::nullopt;
+  record.slot = std::move(*slot);
+  std::memcpy(record.slot_tag.data(), slot_tag->data(), 16);
+  return record;
+}
+
+Record seal(const Keys& keys, util::BytesView payload,
+            uint64_t sequence) {
+  Record record;
+  record.ciphertext.assign(payload.begin(), payload.end());
+  xor_keystream(record.ciphertext, BytesView(keys.endpoint_key), sequence);
+  record.payload_tag =
+      mac_over(BytesView(keys.endpoint_key), sequence,
+               BytesView(record.ciphertext), kPayloadDomain);
+  // Empty slot, validly MAC'd so a receiver can distinguish "no write"
+  // from "tampered".
+  record.slot_tag = mac_over(BytesView(keys.middlebox_key), sequence,
+                             BytesView(record.slot), kSlotDomain);
+  return record;
+}
+
+void write_slot(Record& record, util::BytesView middlebox_key,
+                util::BytesView data, uint64_t sequence) {
+  record.slot.assign(data.begin(), data.end());
+  record.slot_tag =
+      mac_over(middlebox_key, sequence, BytesView(record.slot),
+               kSlotDomain);
+}
+
+std::optional<util::Bytes> open(const Keys& keys, const Record& record,
+                                uint64_t sequence) {
+  const auto expected =
+      mac_over(BytesView(keys.endpoint_key), sequence,
+               BytesView(record.ciphertext), kPayloadDomain);
+  if (!crypto::constant_time_equal(
+          BytesView(expected.data(), expected.size()),
+          BytesView(record.payload_tag.data(),
+                    record.payload_tag.size()))) {
+    return std::nullopt;
+  }
+  Bytes plaintext = record.ciphertext;
+  xor_keystream(plaintext, BytesView(keys.endpoint_key), sequence);
+  return plaintext;
+}
+
+std::optional<util::Bytes> read_slot(const Record& record,
+                                     util::BytesView middlebox_key,
+                                     uint64_t sequence) {
+  const auto expected = mac_over(middlebox_key, sequence,
+                                 BytesView(record.slot), kSlotDomain);
+  if (!crypto::constant_time_equal(
+          BytesView(expected.data(), expected.size()),
+          BytesView(record.slot_tag.data(), record.slot_tag.size()))) {
+    return std::nullopt;
+  }
+  return record.slot;
+}
+
+}  // namespace nnn::net::mctls

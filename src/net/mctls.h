@@ -1,0 +1,73 @@
+// mcTLS-style records: endpoint encryption with a middlebox-writable
+// slot (§4.3 / §7).
+//
+// Plain TLS stops the network from attaching anything to in-session
+// traffic, which blocks delivery-guarantee acks ("SSL/TLS prevents
+// third parties from modifying traffic between endpoints. New
+// protocols (like mcTLS) enhance SSL to allow middleboxes to change
+// traffic between endpoints in a trusted way" — §4.3; and §7: "each
+// cookie can have its own mcTLS context, and allow the network to
+// modify it in order to provide network delivery guarantees").
+//
+// This is a deliberately small model of that idea, not a TLS
+// implementation: a record carries
+//   - an endpoint payload, encrypted and MAC'd under the endpoint key
+//     (middleboxes cannot read or alter it undetected), and
+//   - a cleartext middlebox slot, NOT covered by the endpoint MAC,
+//     where an authorized middlebox deposits data (e.g. an ack
+//     cookie). The slot has its own MAC under a key the endpoints
+//     granted to the middlebox — writes by anyone else are detected.
+// The "encryption" is a keyed stream cipher built from our HMAC
+// primitive (counter mode over HMAC-SHA256): honest about what it
+// demonstrates — the *trust structure*, not cryptographic novelty.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace nnn::net::mctls {
+
+struct Keys {
+  /// Endpoint-only key: confidentiality + integrity of the payload.
+  util::Bytes endpoint_key;
+  /// Key shared with authorized middleboxes: integrity of the slot.
+  util::Bytes middlebox_key;
+};
+
+/// A sealed record as it travels. The slot starts empty; a middlebox
+/// may fill it in transit.
+struct Record {
+  util::Bytes ciphertext;          // encrypted endpoint payload
+  std::array<uint8_t, 16> payload_tag{};  // endpoint MAC (truncated)
+  util::Bytes slot;                // middlebox-writable area
+  std::array<uint8_t, 16> slot_tag{};     // middlebox MAC over slot
+
+  /// Serialized wire form (length-prefixed fields).
+  util::Bytes encode() const;
+  static std::optional<Record> decode(util::BytesView wire);
+};
+
+/// Endpoint: seal a payload. The slot starts empty.
+Record seal(const Keys& keys, util::BytesView payload,
+            uint64_t sequence);
+
+/// Middlebox: write the slot of an in-flight record (requires the
+/// middlebox key; re-MACs the slot, leaves the payload untouched).
+void write_slot(Record& record, util::BytesView middlebox_key,
+                util::BytesView data, uint64_t sequence);
+
+/// Endpoint: open a received record. Returns the payload when the
+/// endpoint MAC verifies; nullopt when the payload was tampered with.
+std::optional<util::Bytes> open(const Keys& keys, const Record& record,
+                                uint64_t sequence);
+
+/// Endpoint or middlebox: read the slot if its MAC verifies under the
+/// middlebox key (detects unauthorized slot writes).
+std::optional<util::Bytes> read_slot(const Record& record,
+                                     util::BytesView middlebox_key,
+                                     uint64_t sequence);
+
+}  // namespace nnn::net::mctls

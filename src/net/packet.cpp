@@ -1,0 +1,33 @@
+#include "net/packet.h"
+
+#include "util/fmt.h"
+
+namespace nnn::net {
+
+uint32_t header_overhead(const Packet& p) {
+  uint32_t overhead = p.ipv6 ? 40u : 20u;
+  overhead += p.is_tcp() ? 20u : 8u;
+  if (p.l3_cookie) {
+    // Option TLV plus padding to 8-byte units (IPv6 HBH).
+    overhead += static_cast<uint32_t>(2 + p.l3_cookie->size() + 7) / 8 * 8;
+  }
+  if (p.l4_cookie && p.is_tcp()) {
+    // EDO option (4) + cookie option TLV, padded to 4-byte units.
+    overhead += static_cast<uint32_t>(4 + 2 + p.l4_cookie->size() + 3) /
+                4 * 4;
+  }
+  return overhead;
+}
+
+uint32_t Packet::size() const {
+  if (wire_size != 0) return wire_size;
+  return header_overhead(*this) + static_cast<uint32_t>(payload.size());
+}
+
+std::string Packet::summary() const {
+  return util::fmt("{}{}{}{} len={}", tuple.to_string(),
+                     syn ? " SYN" : "", ack ? " ACK" : "", fin ? " FIN" : "",
+                     size());
+}
+
+}  // namespace nnn::net

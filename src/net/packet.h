@@ -1,0 +1,73 @@
+// The in-memory packet model.
+//
+// Every dataplane element (cookie middlebox, DPI engine, OOB switch,
+// DiffServ marker, simulator links, NAT) operates on this struct. A
+// separate wire codec (net/wire.h) serializes it to real IPv4/IPv6 +
+// TCP/UDP bytes; the structured form keeps per-packet processing cheap
+// and lets tests inspect fields directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/five_tuple.h"
+#include "util/bytes.h"
+
+namespace nnn::net {
+
+/// IPv6 hop-by-hop option type we allocate for network cookies (from
+/// the experimental/private range, 0x1E-prefixed "RFC 4727 style").
+inline constexpr uint8_t kCookieOptionType = 0x1e;
+
+struct Packet {
+  FiveTuple tuple;
+
+  // --- IP header fields ---
+  /// DSCP codepoint (6 bits). The DiffServ baseline and the
+  /// cookie->DSCP remark mode write this.
+  uint8_t dscp = 0;
+  uint8_t ttl = 64;
+  /// When true the packet serializes as IPv6 and may carry the cookie
+  /// hop-by-hop option.
+  bool ipv6 = false;
+
+  // --- TCP-ish fields (ignored for UDP) ---
+  uint32_t seq = 0;
+  uint32_t ack_seq = 0;
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  /// Cookie carried as an IPv6 hop-by-hop option, if any.
+  /// (HTTP-header and TLS-extension cookies live inside `payload`.)
+  std::optional<util::Bytes> l3_cookie;
+
+  /// Cookie carried as a TCP option, if any. A 53-byte cookie exceeds
+  /// the classic 40-byte option space, which is exactly why the paper
+  /// cites the TCP Extended Data Offset draft ("TCP long options");
+  /// the wire codec emits an EDO option extending the header.
+  std::optional<util::Bytes> l4_cookie;
+
+  /// Application payload bytes (HTTP text, TLS records, or opaque).
+  util::Bytes payload;
+
+  /// Total on-wire size in bytes. Workload generators set this to model
+  /// realistic packet sizes without materializing full payloads; when 0,
+  /// size() falls back to header estimate + payload.size().
+  uint32_t wire_size = 0;
+
+  /// Effective size used by links, counters, and throughput math.
+  uint32_t size() const;
+
+  bool is_tcp() const { return tuple.proto == L4Proto::kTcp; }
+  bool is_udp() const { return tuple.proto == L4Proto::kUdp; }
+
+  std::string summary() const;
+};
+
+/// Header size estimate used when wire_size is unset.
+uint32_t header_overhead(const Packet& p);
+
+}  // namespace nnn::net

@@ -1,0 +1,382 @@
+#include "net/wire.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace nnn::net {
+
+namespace {
+
+using util::ByteReader;
+using util::Bytes;
+using util::BytesView;
+using util::ByteWriter;
+
+constexpr uint8_t kHopByHopHeader = 0;
+
+uint32_t sum16(BytesView data) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<uint32_t>(data[i]) << 8;
+  return sum;
+}
+
+uint16_t fold(uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+/// Pseudo-header sum for TCP/UDP checksums.
+uint32_t pseudo_sum(const Packet& p, size_t l4_len) {
+  uint32_t sum = 0;
+  const size_t addr_len = p.ipv6 ? 16 : 4;
+  for (size_t i = 0; i + 1 < addr_len; i += 2) {
+    sum += static_cast<uint32_t>(p.tuple.src_ip.bytes()[i]) << 8 |
+           p.tuple.src_ip.bytes()[i + 1];
+    sum += static_cast<uint32_t>(p.tuple.dst_ip.bytes()[i]) << 8 |
+           p.tuple.dst_ip.bytes()[i + 1];
+  }
+  sum += static_cast<uint32_t>(p.tuple.proto);
+  sum += static_cast<uint32_t>(l4_len);
+  return sum;
+}
+
+/// TCP option kinds used by the cookie carrier (experimental kinds,
+/// RFC 4727 style). kEdo extends the header beyond the classic 60-byte
+/// limit ("TCP long options"); kCookieOption carries the cookie blob.
+constexpr uint8_t kTcpOptEol = 0;
+constexpr uint8_t kTcpOptNop = 1;
+constexpr uint8_t kTcpOptEdo = 253;
+constexpr uint8_t kTcpOptCookie = 254;
+
+Bytes build_tcp_options(const Packet& p) {
+  Bytes options;
+  if (!p.l4_cookie) return options;
+  ByteWriter w(options);
+  // EDO first: kind, len=4, extended header length (patched below).
+  w.u8(kTcpOptEdo);
+  w.u8(4);
+  w.u16(0);
+  // The cookie option.
+  w.u8(kTcpOptCookie);
+  w.u8(static_cast<uint8_t>(2 + p.l4_cookie->size()));
+  w.raw(BytesView(*p.l4_cookie));
+  // Pad the header to a 4-byte multiple.
+  while ((20 + options.size()) % 4 != 0) w.u8(kTcpOptNop);
+  const uint16_t header_len = static_cast<uint16_t>(20 + options.size());
+  options[2] = static_cast<uint8_t>(header_len >> 8);
+  options[3] = static_cast<uint8_t>(header_len);
+  return options;
+}
+
+Bytes build_l4(const Packet& p) {
+  Bytes out;
+  ByteWriter w(out);
+  if (p.is_tcp()) {
+    const Bytes options = build_tcp_options(p);
+    w.u16(p.tuple.src_port);
+    w.u16(p.tuple.dst_port);
+    w.u32(p.seq);
+    w.u32(p.ack_seq);
+    // Data offset saturates at 15; with EDO the true header length
+    // lives in the option.
+    const size_t header_len = 20 + options.size();
+    const uint8_t data_offset =
+        static_cast<uint8_t>(std::min<size_t>(15, header_len / 4));
+    w.u8(static_cast<uint8_t>(data_offset << 4));
+    uint8_t flags = 0;
+    if (p.fin) flags |= 0x01;
+    if (p.syn) flags |= 0x02;
+    if (p.rst) flags |= 0x04;
+    if (p.ack) flags |= 0x10;
+    w.u8(flags);
+    w.u16(65535);  // window
+    w.u16(0);      // checksum placeholder
+    w.u16(0);      // urgent
+    w.raw(BytesView(options));
+    w.raw(BytesView(p.payload));
+    const uint32_t ps = pseudo_sum(p, out.size());
+    const uint16_t csum = fold(sum16(BytesView(out)) + ps);
+    out[16] = static_cast<uint8_t>(csum >> 8);
+    out[17] = static_cast<uint8_t>(csum);
+  } else {
+    w.u16(p.tuple.src_port);
+    w.u16(p.tuple.dst_port);
+    w.u16(static_cast<uint16_t>(8 + p.payload.size()));
+    w.u16(0);  // checksum placeholder
+    w.raw(BytesView(p.payload));
+    const uint32_t ps = pseudo_sum(p, out.size());
+    uint16_t csum = fold(sum16(BytesView(out)) + ps);
+    if (csum == 0) csum = 0xffff;  // UDP: 0 means "no checksum"
+    out[6] = static_cast<uint8_t>(csum >> 8);
+    out[7] = static_cast<uint8_t>(csum);
+  }
+  return out;
+}
+
+/// Hop-by-hop options header carrying the cookie option, padded to a
+/// multiple of 8 bytes with PadN.
+Bytes build_hbh(uint8_t next_header, BytesView cookie) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(next_header);
+  w.u8(0);  // length placeholder (units of 8 bytes, excluding first 8)
+  w.u8(kCookieOptionType);
+  w.u8(static_cast<uint8_t>(cookie.size()));
+  w.raw(cookie);
+  // Pad to multiple of 8.
+  while (out.size() % 8 != 0) {
+    const size_t pad = 8 - out.size() % 8;
+    if (pad == 1) {
+      w.u8(0);  // Pad1
+    } else {
+      w.u8(1);  // PadN
+      w.u8(static_cast<uint8_t>(pad - 2));
+      for (size_t i = 0; i < pad - 2; ++i) w.u8(0);
+    }
+  }
+  out[1] = static_cast<uint8_t>(out.size() / 8 - 1);
+  return out;
+}
+
+}  // namespace
+
+uint16_t internet_checksum(BytesView data, uint32_t seed) {
+  return fold(sum16(data) + seed);
+}
+
+util::Bytes serialize(const Packet& p) {
+  const Bytes l4 = build_l4(p);
+  Bytes out;
+  ByteWriter w(out);
+  if (!p.ipv6) {
+    // IPv4 header, 20 bytes, no options.
+    const size_t total = 20 + l4.size();
+    w.u8(0x45);  // version 4, IHL 5
+    w.u8(static_cast<uint8_t>(p.dscp << 2));
+    w.u16(static_cast<uint16_t>(total));
+    w.u16(0);       // identification
+    w.u16(0x4000);  // DF
+    w.u8(p.ttl);
+    w.u8(static_cast<uint8_t>(p.tuple.proto));
+    w.u16(0);  // checksum placeholder
+    w.raw(BytesView(p.tuple.src_ip.bytes().data(), 4));
+    w.raw(BytesView(p.tuple.dst_ip.bytes().data(), 4));
+    const uint16_t csum = internet_checksum(BytesView(out));
+    out[10] = static_cast<uint8_t>(csum >> 8);
+    out[11] = static_cast<uint8_t>(csum);
+    util::append(out, BytesView(l4));
+    return out;
+  }
+  // IPv6.
+  Bytes hbh;
+  if (p.l3_cookie) {
+    hbh = build_hbh(static_cast<uint8_t>(p.tuple.proto),
+                    BytesView(*p.l3_cookie));
+  }
+  const uint32_t vtc_flow = 6u << 28 | static_cast<uint32_t>(p.dscp) << 22;
+  w.u32(vtc_flow);
+  w.u16(static_cast<uint16_t>(hbh.size() + l4.size()));
+  w.u8(p.l3_cookie ? kHopByHopHeader : static_cast<uint8_t>(p.tuple.proto));
+  w.u8(p.ttl);
+  w.raw(BytesView(p.tuple.src_ip.bytes().data(), 16));
+  w.raw(BytesView(p.tuple.dst_ip.bytes().data(), 16));
+  util::append(out, BytesView(hbh));
+  util::append(out, BytesView(l4));
+  return out;
+}
+
+namespace {
+
+std::optional<Packet> parse_l4(Packet p, ByteReader& r) {
+  if (p.is_tcp()) {
+    const size_t l4_start = r.position();
+    auto src_port = r.u16();
+    auto dst_port = r.u16();
+    auto seq = r.u32();
+    auto ack_seq = r.u32();
+    auto offset_byte = r.u8();
+    auto flags = r.u8();
+    if (!r.skip(2)) return std::nullopt;  // window
+    auto csum = r.u16();
+    if (!r.skip(2)) return std::nullopt;  // urgent
+    if (!src_port || !dst_port || !seq || !ack_seq || !offset_byte ||
+        !flags || !csum) {
+      return std::nullopt;
+    }
+    const size_t base_header_len =
+        static_cast<size_t>(*offset_byte >> 4) * 4;
+    if (base_header_len < 20) return std::nullopt;
+    // Walk the options; an EDO option may extend the header past the
+    // data offset's 60-byte ceiling.
+    size_t options_len = base_header_len - 20;
+    size_t consumed = 0;
+    while (consumed < options_len) {
+      const auto kind = r.u8();
+      if (!kind) return std::nullopt;
+      ++consumed;
+      if (*kind == kTcpOptEol) {
+        if (!r.skip(options_len - consumed)) return std::nullopt;
+        consumed = options_len;
+        break;
+      }
+      if (*kind == kTcpOptNop) continue;
+      const auto len = r.u8();
+      if (!len || *len < 2) return std::nullopt;
+      ++consumed;
+      const size_t body = static_cast<size_t>(*len) - 2;
+      if (*kind == kTcpOptEdo && body == 2) {
+        const auto extended = r.u16();
+        if (!extended) return std::nullopt;
+        consumed += 2;
+        if (*extended < 20 + consumed || (*extended - 20) % 4 != 0) {
+          return std::nullopt;
+        }
+        options_len = *extended - 20;
+      } else if (*kind == kTcpOptCookie) {
+        auto blob = r.raw(body);
+        if (!blob) return std::nullopt;
+        consumed += body;
+        p.l4_cookie = std::move(*blob);
+      } else {
+        if (!r.skip(body)) return std::nullopt;
+        consumed += body;
+      }
+    }
+    p.tuple.src_port = *src_port;
+    p.tuple.dst_port = *dst_port;
+    p.seq = *seq;
+    p.ack_seq = *ack_seq;
+    p.fin = *flags & 0x01;
+    p.syn = *flags & 0x02;
+    p.rst = *flags & 0x04;
+    p.ack = *flags & 0x10;
+    auto payload = r.raw(r.remaining());
+    p.payload = std::move(*payload);
+    (void)l4_start;
+    return p;
+  }
+  auto src_port = r.u16();
+  auto dst_port = r.u16();
+  auto len = r.u16();
+  auto csum = r.u16();
+  if (!src_port || !dst_port || !len || !csum) return std::nullopt;
+  if (*len < 8 || static_cast<size_t>(*len - 8) > r.remaining()) {
+    return std::nullopt;
+  }
+  p.tuple.src_port = *src_port;
+  p.tuple.dst_port = *dst_port;
+  auto payload = r.raw(*len - 8);
+  p.payload = std::move(*payload);
+  return p;
+}
+
+}  // namespace
+
+std::optional<Packet> parse(util::BytesView wire) {
+  if (wire.empty()) return std::nullopt;
+  ByteReader r(wire);
+  Packet p;
+  const uint8_t version = static_cast<uint8_t>(wire[0] >> 4);
+  if (version == 4) {
+    auto vi = r.u8();
+    auto tos = r.u8();
+    auto total_len = r.u16();
+    if (!r.skip(4)) return std::nullopt;  // id, flags/frag
+    auto ttl = r.u8();
+    auto proto = r.u8();
+    auto csum = r.u16();
+    if (!vi || !tos || !total_len || !ttl || !proto || !csum) {
+      return std::nullopt;
+    }
+    const size_t ihl = static_cast<size_t>(*vi & 0x0f) * 4;
+    if (ihl < 20 || *total_len < ihl || *total_len > wire.size()) {
+      return std::nullopt;
+    }
+    if (internet_checksum(wire.subspan(0, ihl)) != 0) return std::nullopt;
+    auto src = r.raw(4);
+    auto dst = r.raw(4);
+    if (!src || !dst) return std::nullopt;
+    if (!r.skip(ihl - 20)) return std::nullopt;  // v4 options
+    p.ipv6 = false;
+    p.dscp = static_cast<uint8_t>(*tos >> 2);
+    p.ttl = *ttl;
+    p.tuple.src_ip = IpAddress::v4((*src)[0], (*src)[1], (*src)[2], (*src)[3]);
+    p.tuple.dst_ip = IpAddress::v4((*dst)[0], (*dst)[1], (*dst)[2], (*dst)[3]);
+    if (*proto == static_cast<uint8_t>(L4Proto::kTcp)) {
+      p.tuple.proto = L4Proto::kTcp;
+    } else if (*proto == static_cast<uint8_t>(L4Proto::kUdp)) {
+      p.tuple.proto = L4Proto::kUdp;
+    } else {
+      return std::nullopt;
+    }
+    // Restrict the reader to the IP total length (drop link padding).
+    ByteReader body(wire.subspan(ihl, *total_len - ihl));
+    auto parsed = parse_l4(std::move(p), body);
+    if (parsed) parsed->wire_size = static_cast<uint32_t>(wire.size());
+    return parsed;
+  }
+  if (version != 6) return std::nullopt;
+  auto vtc_flow = r.u32();
+  auto payload_len = r.u16();
+  auto next = r.u8();
+  auto hops = r.u8();
+  auto src = r.raw(16);
+  auto dst = r.raw(16);
+  if (!vtc_flow || !payload_len || !next || !hops || !src || !dst) {
+    return std::nullopt;
+  }
+  if (*payload_len > r.remaining()) return std::nullopt;
+  p.ipv6 = true;
+  p.dscp = static_cast<uint8_t>(*vtc_flow >> 22 & 0x3f);
+  p.ttl = *hops;
+  std::array<uint8_t, 16> sb;
+  std::array<uint8_t, 16> db;
+  std::copy(src->begin(), src->end(), sb.begin());
+  std::copy(dst->begin(), dst->end(), db.begin());
+  p.tuple.src_ip = IpAddress::v6(sb);
+  p.tuple.dst_ip = IpAddress::v6(db);
+
+  uint8_t next_header = *next;
+  if (next_header == kHopByHopHeader) {
+    auto nh = r.u8();
+    auto hdr_len = r.u8();
+    if (!nh || !hdr_len) return std::nullopt;
+    const size_t opts_len = (static_cast<size_t>(*hdr_len) + 1) * 8 - 2;
+    auto opts = r.view(opts_len);
+    if (!opts) return std::nullopt;
+    // Walk TLV options looking for the cookie option.
+    ByteReader opt_reader(*opts);
+    while (opt_reader.remaining() > 0) {
+      auto type = opt_reader.u8();
+      if (!type) return std::nullopt;
+      if (*type == 0) continue;  // Pad1
+      auto len = opt_reader.u8();
+      if (!len) return std::nullopt;
+      if (*type == kCookieOptionType) {
+        auto cookie = opt_reader.raw(*len);
+        if (!cookie) return std::nullopt;
+        p.l3_cookie = std::move(*cookie);
+      } else {
+        if (!opt_reader.skip(*len)) return std::nullopt;
+      }
+    }
+    next_header = *nh;
+  }
+  if (next_header == static_cast<uint8_t>(L4Proto::kTcp)) {
+    p.tuple.proto = L4Proto::kTcp;
+  } else if (next_header == static_cast<uint8_t>(L4Proto::kUdp)) {
+    p.tuple.proto = L4Proto::kUdp;
+  } else {
+    return std::nullopt;
+  }
+  auto parsed = parse_l4(std::move(p), r);
+  if (parsed) parsed->wire_size = static_cast<uint32_t>(wire.size());
+  return parsed;
+}
+
+}  // namespace nnn::net

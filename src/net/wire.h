@@ -1,0 +1,32 @@
+// Wire codec: Packet <-> real IPv4/IPv6 + TCP/UDP bytes.
+//
+// The structured Packet model is what dataplane elements process; this
+// codec proves the model corresponds to real headers. It implements:
+//  - IPv4 header with DSCP/ECN byte and header checksum
+//  - IPv6 header, plus an optional hop-by-hop options extension header
+//    carrying the network-cookie option (this is the paper's "IPv6
+//    extension header" cookie transport)
+//  - TCP and UDP headers with the standard pseudo-header checksum
+// Parsing is defensive: any truncation or checksum mismatch yields
+// nullopt, never UB.
+#pragma once
+
+#include <optional>
+
+#include "net/packet.h"
+
+namespace nnn::net {
+
+/// Serialize to wire bytes. v4/v6 is chosen by p.ipv6; a v4 packet with
+/// an l3_cookie is serialized without it (v4 has no cookie slot — the
+/// transport matrix in cookies/transport.h enforces this).
+util::Bytes serialize(const Packet& p);
+
+/// Parse wire bytes back into a Packet. Validates lengths and
+/// checksums. The result's wire_size is set to the input size.
+std::optional<Packet> parse(util::BytesView wire);
+
+/// Internet checksum (RFC 1071) over `data` with an optional seed.
+uint16_t internet_checksum(util::BytesView data, uint32_t seed = 0);
+
+}  // namespace nnn::net

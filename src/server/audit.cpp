@@ -1,0 +1,61 @@
+#include "server/audit.h"
+
+namespace nnn::server {
+
+std::string to_string(AuditEvent e) {
+  switch (e) {
+    case AuditEvent::kGranted:
+      return "granted";
+    case AuditEvent::kDenied:
+      return "denied";
+    case AuditEvent::kRevoked:
+      return "revoked";
+    case AuditEvent::kDelegated:
+      return "delegated";
+  }
+  return "?";
+}
+
+json::Value AuditRecord::to_json() const {
+  json::Object obj;
+  obj["when"] = static_cast<int64_t>(when);
+  obj["event"] = to_string(event);
+  obj["service"] = service;
+  obj["user"] = user;
+  if (cookie_id != 0) {
+    // Ids travel as strings: 64-bit values do not fit JSON doubles.
+    obj["cookie_id"] = std::to_string(cookie_id);
+  }
+  if (!detail.empty()) obj["detail"] = detail;
+  return json::Value(std::move(obj));
+}
+
+void AuditLog::append(AuditRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::vector<AuditRecord> AuditLog::for_user(const std::string& user) const {
+  std::vector<AuditRecord> out;
+  for (const auto& r : records_) {
+    if (r.user == user) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AuditRecord> AuditLog::for_service(
+    const std::string& service) const {
+  std::vector<AuditRecord> out;
+  for (const auto& r : records_) {
+    if (r.service == service) out.push_back(r);
+  }
+  return out;
+}
+
+json::Value AuditLog::to_json() const {
+  json::Array arr;
+  arr.reserve(records_.size());
+  for (const auto& r : records_) arr.push_back(r.to_json());
+  return json::Value(std::move(arr));
+}
+
+}  // namespace nnn::server

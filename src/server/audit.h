@@ -1,0 +1,59 @@
+// Public audit log (§6).
+//
+// "The FCC could demand that T-Mobile maintains a public database with
+// the dates for all cookie descriptor requests." Every grant and
+// revocation lands here with its timestamp; records never contain
+// descriptor keys. The log is append-only and exportable as JSON so an
+// external party can verify who got access to cookie descriptors and
+// when — the paper's whole auditability story.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cookies/descriptor.h"
+#include "json/json.h"
+#include "util/clock.h"
+
+namespace nnn::server {
+
+enum class AuditEvent : uint8_t {
+  kGranted = 0,
+  kDenied = 1,
+  kRevoked = 2,
+  kDelegated = 3,
+};
+
+std::string to_string(AuditEvent e);
+
+struct AuditRecord {
+  util::Timestamp when = 0;
+  AuditEvent event = AuditEvent::kGranted;
+  std::string service;
+  std::string user;
+  cookies::CookieId cookie_id = 0;  // 0 when no descriptor involved
+  std::string detail;               // deny reason, revocation reason, ...
+
+  json::Value to_json() const;
+};
+
+class AuditLog {
+ public:
+  void append(AuditRecord record);
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Records touching a given user / service (regulator queries).
+  std::vector<AuditRecord> for_user(const std::string& user) const;
+  std::vector<AuditRecord> for_service(const std::string& service) const;
+
+  /// Export the whole log as a JSON array.
+  json::Value to_json() const;
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace nnn::server

@@ -1,0 +1,71 @@
+#include "server/compliance.h"
+
+namespace nnn::server {
+
+ComplianceMonitor::ComplianceMonitor(util::Timestamp grant_deadline)
+    : grant_deadline_(grant_deadline) {}
+
+void ComplianceMonitor::record_request(const std::string& provider,
+                                       const std::string& program,
+                                       util::Timestamp when) {
+  requests_.push_back(EnrollmentRequest{provider, program, when,
+                                        std::nullopt});
+}
+
+bool ComplianceMonitor::record_grant(const std::string& provider,
+                                     const std::string& program,
+                                     util::Timestamp when) {
+  for (auto& request : requests_) {
+    if (request.pending() && request.provider == provider &&
+        request.program == program) {
+      request.granted_at = when;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Violation> ComplianceMonitor::violations(
+    util::Timestamp now) const {
+  std::vector<Violation> out;
+  for (const auto& request : requests_) {
+    const util::Timestamp due = request.requested_at + grant_deadline_;
+    if (request.granted_at) {
+      if (*request.granted_at > due) {
+        out.push_back(Violation{request, *request.granted_at - due});
+      }
+    } else if (now > due) {
+      out.push_back(Violation{request, now - due});
+    }
+  }
+  return out;
+}
+
+std::vector<EnrollmentRequest> ComplianceMonitor::pending(
+    util::Timestamp now) const {
+  (void)now;
+  std::vector<EnrollmentRequest> out;
+  for (const auto& request : requests_) {
+    if (request.pending()) out.push_back(request);
+  }
+  return out;
+}
+
+json::Value ComplianceMonitor::to_json() const {
+  json::Array arr;
+  for (const auto& request : requests_) {
+    json::Object obj;
+    obj["provider"] = request.provider;
+    obj["program"] = request.program;
+    obj["requested_at"] = static_cast<int64_t>(request.requested_at);
+    if (request.granted_at) {
+      obj["granted_at"] = static_cast<int64_t>(*request.granted_at);
+    } else {
+      obj["granted_at"] = nullptr;
+    }
+    arr.emplace_back(std::move(obj));
+  }
+  return json::Value(std::move(arr));
+}
+
+}  // namespace nnn::server

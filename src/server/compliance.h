@@ -1,0 +1,82 @@
+// Regulatory compliance monitoring (§6).
+//
+// The paper's T-Mobile/Music-Freedom case study: SomaFM waited 18
+// months to join the zero-rating program; RockRadio.gr never got an
+// answer. Cookies make the technical step trivial ("all an ISP has to
+// do is give each content provider a cookie descriptor"), so the
+// remaining question is regulatory: "The FCC could demand that
+// T-Mobile maintains a public database with the dates for all cookie
+// descriptor requests, and it should be obliged to provide the
+// descriptor to eligible parties within three days. This is similar to
+// the FCC's local number portability rules."
+//
+// ComplianceMonitor is that public database plus the deadline check: a
+// provider's enrollment request is recorded; a grant (observed in the
+// cookie server's audit log or recorded directly) clears it; anything
+// older than the deadline is a violation a regulator can read off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "util/clock.h"
+
+namespace nnn::server {
+
+/// The paper's proposed deadline, mirroring number-portability rules.
+inline constexpr util::Timestamp kDefaultGrantDeadline =
+    3LL * 24 * 3600 * util::kSecond;
+
+struct EnrollmentRequest {
+  std::string provider;   // "somafm.example"
+  std::string program;    // "MusicFreedom"
+  util::Timestamp requested_at = 0;
+  std::optional<util::Timestamp> granted_at;
+
+  bool pending() const { return !granted_at.has_value(); }
+};
+
+struct Violation {
+  EnrollmentRequest request;
+  /// How far past the deadline the request is (or was, when granted
+  /// late) at evaluation time.
+  util::Timestamp overdue_by = 0;
+};
+
+class ComplianceMonitor {
+ public:
+  explicit ComplianceMonitor(
+      util::Timestamp grant_deadline = kDefaultGrantDeadline);
+
+  /// A content provider asked to join a program.
+  void record_request(const std::string& provider,
+                      const std::string& program, util::Timestamp when);
+
+  /// The operator granted the request (issued the descriptor).
+  /// Returns false when no matching pending request exists.
+  bool record_grant(const std::string& provider,
+                    const std::string& program, util::Timestamp when);
+
+  /// Requests that, as of `now`, were not granted within the deadline —
+  /// both still-pending ones and ones granted late.
+  std::vector<Violation> violations(util::Timestamp now) const;
+
+  /// Requests still awaiting a grant.
+  std::vector<EnrollmentRequest> pending(util::Timestamp now) const;
+
+  /// The public database, exportable for the regulator.
+  json::Value to_json() const;
+
+  size_t size() const { return requests_.size(); }
+  util::Timestamp deadline() const { return grant_deadline_; }
+
+ private:
+  util::Timestamp grant_deadline_;
+  std::vector<EnrollmentRequest> requests_;
+};
+
+}  // namespace nnn::server

@@ -1,0 +1,157 @@
+#include "server/cookie_server.h"
+
+#include <algorithm>
+
+namespace nnn::server {
+
+namespace {
+
+/// Quota accounting window ("entitled to a certain number per month").
+constexpr util::Timestamp kQuotaWindow =
+    30LL * 24 * 3600 * util::kSecond;
+
+}  // namespace
+
+std::string to_string(AcquireError e) {
+  switch (e) {
+    case AcquireError::kUnknownService:
+      return "unknown-service";
+    case AcquireError::kAuthRequired:
+      return "auth-required";
+    case AcquireError::kBadCredentials:
+      return "bad-credentials";
+    case AcquireError::kQuotaExceeded:
+      return "quota-exceeded";
+  }
+  return "?";
+}
+
+CookieServer::CookieServer(const util::Clock& clock, uint64_t rng_seed,
+                           cookies::CookieVerifier* verifier)
+    : clock_(clock), rng_(rng_seed), verifier_(verifier) {}
+
+void CookieServer::add_service(ServiceOffer offer) {
+  services_[offer.name] = std::move(offer);
+}
+
+bool CookieServer::remove_service(const std::string& name) {
+  return services_.erase(name) > 0;
+}
+
+const ServiceOffer* CookieServer::find_service(const std::string& name) const {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<ServiceOffer> CookieServer::advertised_services() const {
+  std::vector<ServiceOffer> out;
+  out.reserve(services_.size());
+  for (const auto& [name, offer] : services_) out.push_back(offer);
+  return out;
+}
+
+void CookieServer::add_account(Account account) {
+  accounts_[account.user] = std::move(account);
+}
+
+util::Bytes CookieServer::fresh_key() {
+  util::Bytes key(32);
+  for (size_t i = 0; i < key.size(); i += 8) {
+    const uint64_t v = rng_.next_u64();
+    for (size_t j = 0; j < 8 && i + j < key.size(); ++j) {
+      key[i + j] = static_cast<uint8_t>(v >> (8 * j));
+    }
+  }
+  return key;
+}
+
+cookies::CookieId CookieServer::fresh_id() {
+  // Ids must be unique across the server's lifetime; collisions in a
+  // 64-bit random draw are negligible but we still re-draw defensively.
+  while (true) {
+    const cookies::CookieId id = rng_.next_u64();
+    if (id == 0) continue;
+    const bool taken = std::any_of(
+        grants_.begin(), grants_.end(),
+        [id](const Grant& g) { return g.id == id; });
+    if (!taken) return id;
+  }
+}
+
+AcquireResult CookieServer::acquire(const std::string& service,
+                                    const std::string& user,
+                                    const std::string& token) {
+  const util::Timestamp now = clock_.now();
+  const auto deny = [&](AcquireError error) {
+    audit_.append(AuditRecord{now, AuditEvent::kDenied, service, user, 0,
+                              to_string(error)});
+    return AcquireResult{std::nullopt, error};
+  };
+
+  const ServiceOffer* offer = find_service(service);
+  if (!offer) return deny(AcquireError::kUnknownService);
+
+  if (offer->auth == AuthPolicy::kToken) {
+    const auto it = accounts_.find(user);
+    if (it == accounts_.end()) return deny(AcquireError::kAuthRequired);
+    if (it->second.token != token) {
+      return deny(AcquireError::kBadCredentials);
+    }
+  }
+
+  if (offer->monthly_quota > 0 &&
+      quota_used(service, user) >= offer->monthly_quota) {
+    return deny(AcquireError::kQuotaExceeded);
+  }
+
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = fresh_id();
+  descriptor.key = fresh_key();
+  descriptor.service_data = offer->service_data;
+  descriptor.attributes = offer->attributes;
+  if (offer->descriptor_lifetime > 0) {
+    descriptor.attributes.expires_at = now + offer->descriptor_lifetime;
+  }
+
+  grants_.push_back(Grant{descriptor.cookie_id, service, user, now, false});
+  audit_.append(AuditRecord{now, AuditEvent::kGranted, service, user,
+                            descriptor.cookie_id, ""});
+  if (verifier_) verifier_->add_descriptor(descriptor);
+  return AcquireResult{std::move(descriptor), std::nullopt};
+}
+
+bool CookieServer::revoke(cookies::CookieId id, const std::string& reason) {
+  for (auto& grant : grants_) {
+    if (grant.id != id || grant.revoked) continue;
+    grant.revoked = true;
+    audit_.append(AuditRecord{clock_.now(), AuditEvent::kRevoked,
+                              grant.service, grant.user, id, reason});
+    if (verifier_) verifier_->revoke(id);
+    return true;
+  }
+  return false;
+}
+
+std::vector<cookies::CookieId> CookieServer::active_descriptors(
+    const std::string& user) const {
+  std::vector<cookies::CookieId> out;
+  for (const auto& grant : grants_) {
+    if (grant.user == user && !grant.revoked) out.push_back(grant.id);
+  }
+  return out;
+}
+
+uint32_t CookieServer::quota_used(const std::string& service,
+                                  const std::string& user) const {
+  const util::Timestamp cutoff = clock_.now() - kQuotaWindow;
+  uint32_t used = 0;
+  for (const auto& grant : grants_) {
+    if (grant.service == service && grant.user == user &&
+        grant.granted_at >= cutoff) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+}  // namespace nnn::server

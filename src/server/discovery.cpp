@@ -1,0 +1,44 @@
+#include "server/discovery.h"
+
+#include <algorithm>
+
+namespace nnn::server {
+
+std::string to_string(DiscoveryMethod m) {
+  switch (m) {
+    case DiscoveryMethod::kDhcpOption:
+      return "dhcp";
+    case DiscoveryMethod::kMdns:
+      return "mdns";
+    case DiscoveryMethod::kHardcoded:
+      return "hardcoded";
+  }
+  return "?";
+}
+
+void DiscoveryRegistry::advertise(ServiceAdvertisement ad) {
+  ads_.emplace(ad.network, std::move(ad));
+}
+
+std::vector<ServiceAdvertisement> DiscoveryRegistry::discover(
+    const std::string& network) const {
+  std::vector<ServiceAdvertisement> out;
+  const auto [lo, hi] = ads_.equal_range(network);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ServiceAdvertisement& a,
+                      const ServiceAdvertisement& b) {
+                     return static_cast<int>(a.method) <
+                            static_cast<int>(b.method);
+                   });
+  return out;
+}
+
+std::optional<std::string> DiscoveryRegistry::first_endpoint(
+    const std::string& network) const {
+  const auto found = discover(network);
+  if (found.empty()) return std::nullopt;
+  return found.front().endpoint;
+}
+
+}  // namespace nnn::server

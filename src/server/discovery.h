@@ -1,0 +1,45 @@
+// Service discovery (§4.2 step 1).
+//
+// "Users and their clients learn of network services through standard
+// discovery protocols (DHCP, mDNS) or it can be hardcoded in the
+// application." We model the discovery layer as a registry that maps a
+// network (by name) to advertised cookie-server endpoints; the DHCP
+// path corresponds to the home AP learning "that cookie descriptors
+// are available at http://cookie-server.com through the DHCP lease
+// from the user's ISP" (§4.4).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nnn::server {
+
+enum class DiscoveryMethod : uint8_t { kDhcpOption = 0, kMdns = 1,
+                                       kHardcoded = 2 };
+
+std::string to_string(DiscoveryMethod m);
+
+struct ServiceAdvertisement {
+  std::string network;        // network the advert is visible on
+  std::string endpoint;       // "http://cookie-server.example/api"
+  DiscoveryMethod method = DiscoveryMethod::kDhcpOption;
+};
+
+class DiscoveryRegistry {
+ public:
+  void advertise(ServiceAdvertisement ad);
+  /// What a client attached to `network` discovers, in advertisement
+  /// order (DHCP first, then mDNS, then hardcoded fallbacks).
+  std::vector<ServiceAdvertisement> discover(
+      const std::string& network) const;
+  /// First endpoint, if any — the common client path.
+  std::optional<std::string> first_endpoint(
+      const std::string& network) const;
+
+ private:
+  std::multimap<std::string, ServiceAdvertisement> ads_;
+};
+
+}  // namespace nnn::server

@@ -1,0 +1,90 @@
+#include "server/json_api.h"
+
+#include <cstdlib>
+
+namespace nnn::server {
+
+namespace {
+
+json::Value error_response(std::string_view error) {
+  json::Object obj;
+  obj["ok"] = false;
+  obj["error"] = std::string(error);
+  return json::Value(std::move(obj));
+}
+
+}  // namespace
+
+std::string JsonApi::handle_text(std::string_view request_text) {
+  const auto parsed = json::parse(request_text);
+  if (!parsed) return error_response("bad-request").dump();
+  return handle(*parsed).dump();
+}
+
+json::Value JsonApi::handle(const json::Value& request) {
+  if (!request.is_object()) return error_response("bad-request");
+  const std::string method = request.get_string("method");
+  if (method == "list_services") return list_services();
+  if (method == "acquire") return acquire(request);
+  if (method == "revoke") return revoke(request);
+  return error_response("unknown-method");
+}
+
+json::Value JsonApi::list_services() const {
+  json::Array services;
+  for (const auto& offer : server_.advertised_services()) {
+    json::Object o;
+    o["name"] = offer.name;
+    o["description"] = offer.description;
+    o["auth"] = offer.auth == AuthPolicy::kOpen ? "open" : "token";
+    if (offer.monthly_quota > 0) {
+      o["monthly_quota"] = static_cast<int64_t>(offer.monthly_quota);
+    }
+    services.emplace_back(std::move(o));
+  }
+  json::Object obj;
+  obj["ok"] = true;
+  obj["services"] = std::move(services);
+  return json::Value(std::move(obj));
+}
+
+json::Value JsonApi::acquire(const json::Value& request) {
+  const std::string service = request.get_string("service");
+  const std::string user = request.get_string("user");
+  const std::string token = request.get_string("token");
+  if (service.empty() || user.empty()) return error_response("bad-request");
+  AcquireResult result = server_.acquire(service, user, token);
+  if (!result.ok()) return error_response(to_string(*result.error));
+  json::Object obj;
+  obj["ok"] = true;
+  obj["descriptor"] = result.descriptor->to_json(/*include_key=*/true);
+  return json::Value(std::move(obj));
+}
+
+json::Value JsonApi::revoke(const json::Value& request) {
+  // Ids are accepted as strings (the faithful form — 64-bit values do
+  // not fit JSON doubles) or numbers (small-id convenience).
+  const json::Value* id = request.find("cookie_id");
+  if (!id) return error_response("bad-request");
+  cookies::CookieId cookie_id = 0;
+  if (id->is_string()) {
+    char* end = nullptr;
+    const std::string& text = id->as_string();
+    cookie_id = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      return error_response("bad-request");
+    }
+  } else if (id->is_number()) {
+    cookie_id = static_cast<cookies::CookieId>(id->as_number());
+  } else {
+    return error_response("bad-request");
+  }
+  const bool ok = server_.revoke(
+      cookie_id, request.get_string("reason", "api"));
+  if (!ok) return error_response("unknown-descriptor");
+  json::Object obj;
+  obj["ok"] = true;
+  return json::Value(std::move(obj));
+}
+
+}  // namespace nnn::server

@@ -1,0 +1,44 @@
+// JSON control-plane API over the cookie server.
+//
+// The paper's agents talk JSON: "the agent issues a boost request to a
+// well-known server using a JSON message. The server responds with a
+// boost cookie descriptor" (§5.1); the descriptor is "downloaded over
+// an (optionally authenticated) out-of-band mechanism (e.g., a JSON
+// API)" (§4.2). We model that endpoint as request/response JSON
+// documents (transport-agnostic: the sim delivers them as strings).
+//
+// Methods:
+//   {"method":"list_services"}
+//     -> {"ok":true,"services":[{name,description,auth,quota},...]}
+//   {"method":"acquire","service":S,"user":U,"token":T?}
+//     -> {"ok":true,"descriptor":{...Listing 1 fields...}}
+//     -> {"ok":false,"error":"quota-exceeded"} on deny
+//   {"method":"revoke","cookie_id":N,"reason":R?}
+//     -> {"ok":true} / {"ok":false,"error":"unknown-descriptor"}
+#pragma once
+
+#include <string>
+
+#include "server/cookie_server.h"
+
+namespace nnn::server {
+
+class JsonApi {
+ public:
+  explicit JsonApi(CookieServer& server) : server_(server) {}
+
+  /// Handle one request document; always returns a response document.
+  /// Malformed input yields {"ok":false,"error":"bad-request"}.
+  std::string handle_text(std::string_view request_text);
+
+  json::Value handle(const json::Value& request);
+
+ private:
+  json::Value list_services() const;
+  json::Value acquire(const json::Value& request);
+  json::Value revoke(const json::Value& request);
+
+  CookieServer& server_;
+};
+
+}  // namespace nnn::server

@@ -1,0 +1,46 @@
+#include "sim/event_loop.h"
+
+#include <stdexcept>
+
+namespace nnn::sim {
+
+void EventLoop::at(util::Timestamp when, Action action) {
+  if (when < clock_.now()) {
+    throw std::logic_error("EventLoop: scheduling into the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void EventLoop::after(util::Timestamp delay, Action action) {
+  at(clock_.now() + delay, std::move(action));
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action is moved out via the
+  // const_cast idiom (safe: the element is popped immediately after).
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.set(event.when);
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void EventLoop::run(uint64_t max_events) {
+  uint64_t fired = 0;
+  while (step()) {
+    if (++fired >= max_events) {
+      throw std::runtime_error("EventLoop: max_events exceeded");
+    }
+  }
+}
+
+void EventLoop::run_until(util::Timestamp until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+  }
+  if (clock_.now() < until) clock_.set(until);
+}
+
+}  // namespace nnn::sim

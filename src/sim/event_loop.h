@@ -1,0 +1,65 @@
+// Discrete-event simulation core.
+//
+// Everything time-dependent in the simulated network — link
+// transmissions, propagation, TCP timers, application triggers — is an
+// event on this loop. The loop owns the ManualClock every other
+// component reads, so simulated cookie timestamps, NCT windows and QoS
+// shapers all advance coherently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace nnn::sim {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  EventLoop() = default;
+
+  const util::ManualClock& clock() const { return clock_; }
+  util::Timestamp now() const { return clock_.now(); }
+
+  /// Schedule at an absolute time (>= now).
+  void at(util::Timestamp when, Action action);
+  /// Schedule `delay` from now.
+  void after(util::Timestamp delay, Action action);
+
+  /// Execute the earliest pending event; false when none remain.
+  bool step();
+
+  /// Run until the queue drains or `max_events` fire (runaway guard).
+  void run(uint64_t max_events = 50'000'000);
+
+  /// Run events with time <= `until`; the clock ends at exactly
+  /// `until` even if the queue drained earlier.
+  void run_until(util::Timestamp until);
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    util::Timestamp when;
+    uint64_t seq;  // FIFO tie-break for same-time events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace nnn::sim

@@ -1,0 +1,39 @@
+#include "sim/host.h"
+
+#include "util/logging.h"
+
+namespace nnn::sim {
+
+Host::Host(net::IpAddress address, std::string name)
+    : address_(address), name_(std::move(name)) {}
+
+void Host::send(net::Packet packet) {
+  if (!uplink_) {
+    util::log_warn("host {}: dropping packet, no uplink", name_);
+    return;
+  }
+  uplink_(std::move(packet));
+}
+
+void Host::register_handler(const net::FiveTuple& tuple, Handler handler) {
+  handlers_[tuple] = std::move(handler);
+}
+
+void Host::unregister_handler(const net::FiveTuple& tuple) {
+  handlers_.erase(tuple);
+}
+
+void Host::set_default_handler(Handler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void Host::receive(const net::Packet& packet) {
+  const auto it = handlers_.find(packet.tuple);
+  if (it != handlers_.end()) {
+    it->second(packet);
+    return;
+  }
+  if (default_handler_) default_handler_(packet);
+}
+
+}  // namespace nnn::sim

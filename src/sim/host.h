@@ -1,0 +1,56 @@
+// Simulated end hosts.
+//
+// A Host owns an address, an uplink (where its packets go — usually a
+// Link's send bound to a QoS band chosen upstream), and a demux table
+// from 5-tuples (as seen on arriving packets) to protocol handlers
+// (TcpSource expects ACKs, TcpSink expects data, application code can
+// register anything). Unmatched packets fall to a default handler so
+// servers can spawn flows on incoming requests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+
+namespace nnn::sim {
+
+class Host {
+ public:
+  using Handler = std::function<void(const net::Packet&)>;
+  using Sender = std::function<void(net::Packet)>;
+
+  Host(net::IpAddress address, std::string name);
+
+  const net::IpAddress& address() const { return address_; }
+  const std::string& name() const { return name_; }
+
+  /// Where this host transmits. Must be set before send() is used.
+  void set_uplink(Sender uplink) { uplink_ = std::move(uplink); }
+  void send(net::Packet packet);
+
+  /// Packets whose tuple (as received) equals `tuple` go to `handler`.
+  void register_handler(const net::FiveTuple& tuple, Handler handler);
+  void unregister_handler(const net::FiveTuple& tuple);
+
+  /// Fallback for unmatched tuples (e.g., a server accepting requests).
+  void set_default_handler(Handler handler);
+
+  /// Entry point wired into the inbound link's sink.
+  void receive(const net::Packet& packet);
+
+  /// Allocate an ephemeral port (per-host counter).
+  uint16_t allocate_port() { return next_port_++; }
+
+ private:
+  net::IpAddress address_;
+  std::string name_;
+  Sender uplink_;
+  std::unordered_map<net::FiveTuple, Handler> handlers_;
+  Handler default_handler_;
+  uint16_t next_port_ = 40000;
+};
+
+}  // namespace nnn::sim

@@ -1,0 +1,113 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nnn::sim {
+
+Link::Link(EventLoop& loop, Config config, PacketSink sink)
+    : loop_(loop),
+      config_(config),
+      sink_(std::move(sink)),
+      queues_(config.bands, config.band_capacity_bytes),
+      shapers_(config.bands) {}
+
+void Link::set_band_shaper(size_t band, double rate_bps,
+                           uint32_t burst_bytes) {
+  if (band >= shapers_.size()) return;
+  if (burst_bytes == 0) {
+    // Default burst: ~50 ms worth of the shaped rate, at least one MTU.
+    burst_bytes = std::max<uint32_t>(
+        1500, static_cast<uint32_t>(rate_bps / 8.0 * 0.05));
+  }
+  shapers_[band].emplace(rate_bps, burst_bytes, loop_.now());
+}
+
+void Link::clear_band_shaper(size_t band) {
+  if (band < shapers_.size()) shapers_[band].reset();
+}
+
+void Link::send(net::Packet packet, size_t band) {
+  band = std::min(band, queues_.bands() - 1);
+  queues_.enqueue(std::move(packet), band);
+  try_transmit();
+}
+
+std::optional<size_t> Link::eligible_band(util::Timestamp now,
+                                          util::Timestamp& next_ready) const {
+  next_ready = 0;
+  bool any_blocked = false;
+  // Pass 1: shaped bands within their guaranteed rate go first (the
+  // tc-style guarantee; see the class comment).
+  for (size_t band = 0; band < queues_.bands(); ++band) {
+    if (queues_.band_empty(band)) continue;
+    const auto& shaper = shapers_[band];
+    if (!shaper) continue;
+    const uint32_t size = queues_.peek_band(band).size();
+    if (shaper->conforms(size, now)) return band;
+    // Time until enough tokens accumulate.
+    const double missing =
+        static_cast<double>(size) - shaper->tokens(now);
+    const double wait_sec = missing * 8.0 / shaper->rate_bps();
+    const util::Timestamp ready =
+        now + std::max<util::Timestamp>(
+                  1, static_cast<util::Timestamp>(
+                         std::ceil(wait_sec * util::kSecond)));
+    if (!any_blocked || ready < next_ready) next_ready = ready;
+    any_blocked = true;
+  }
+  // Pass 2: strict priority among unshaped bands.
+  for (size_t band = 0; band < queues_.bands(); ++band) {
+    if (queues_.band_empty(band) || shapers_[band]) continue;
+    return band;
+  }
+  // Pass 3: a shaped head larger than its bucket's burst can never
+  // conform; once the bucket is full and nothing else wants the link,
+  // serve it anyway rather than livelocking.
+  for (size_t band = 0; band < queues_.bands(); ++band) {
+    if (queues_.band_empty(band) || !shapers_[band]) continue;
+    if (shapers_[band]->tokens(now) >=
+        shapers_[band]->burst_bytes() - 1e-9) {
+      return band;
+    }
+  }
+  return std::nullopt;
+}
+
+void Link::try_transmit() {
+  if (busy_) return;
+  const util::Timestamp now = loop_.now();
+  util::Timestamp next_ready = 0;
+  const auto band = eligible_band(now, next_ready);
+  if (!band) {
+    if (next_ready > 0 && !retry_scheduled_) {
+      retry_scheduled_ = true;
+      loop_.at(next_ready, [this] {
+        retry_scheduled_ = false;
+        try_transmit();
+      });
+    }
+    return;
+  }
+  auto packet = queues_.dequeue_band(*band);
+  if (shapers_[*band]) {
+    shapers_[*band]->try_consume(packet->size(), now);
+  }
+  busy_ = true;
+  const auto tx_time = static_cast<util::Timestamp>(
+      std::ceil(packet->size() * 8.0 / config_.rate_bps * util::kSecond));
+  const util::Timestamp prop = config_.prop_delay;
+  loop_.after(tx_time, [this, prop, p = std::move(*packet)]() mutable {
+    busy_ = false;
+    ++delivered_;
+    delivered_bytes_ += p.size();
+    // Deliver after propagation; transmission of the next packet
+    // overlaps with this one's flight.
+    loop_.after(prop, [this, p = std::move(p)]() mutable {
+      sink_(std::move(p));
+    });
+    try_transmit();
+  });
+}
+
+}  // namespace nnn::sim

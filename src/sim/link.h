@@ -1,0 +1,73 @@
+// Simulated links with priority scheduling and per-band shaping.
+//
+// A Link is unidirectional: packets enter via send(), wait in a
+// strict-priority queue set, are serialized at `rate_bps`, and arrive
+// at the sink after the propagation delay. Per-band token-bucket
+// shapers model Boost's throttle: "we throttle other traffic to ensure
+// certain capacity for boosted traffic through the last-mile
+// connection" (§5.2) — the best-effort band is shaped to the throttle
+// rate while the fast-lane band drains at link speed.
+//
+// Shaping semantics follow Linux tc (HTB-style): the shaped rate is
+// both a ceiling and a guarantee. A shaped band with tokens available
+// is served ahead of the strict-priority order, so a saturated fast
+// lane cannot starve the throttled class below its configured rate;
+// beyond its rate the shaped band yields the residual capacity.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dataplane/qos.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+
+namespace nnn::sim {
+
+using PacketSink = std::function<void(net::Packet)>;
+
+class Link {
+ public:
+  struct Config {
+    double rate_bps = 10e6;
+    util::Timestamp prop_delay = 5 * util::kMillisecond;
+    size_t bands = 2;
+    uint32_t band_capacity_bytes = 256 * 1024;
+  };
+
+  Link(EventLoop& loop, Config config, PacketSink sink);
+
+  /// Shape a band to `rate_bps` (tokens refill at that rate; burst is
+  /// one capacity's worth unless given).
+  void set_band_shaper(size_t band, double rate_bps,
+                       uint32_t burst_bytes = 0);
+  void clear_band_shaper(size_t band);
+
+  /// Enqueue on `band` (0 = highest priority). Tail-drops when full.
+  void send(net::Packet packet, size_t band = 1);
+
+  const dataplane::PriorityQueueSet& queues() const { return queues_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t delivered_bytes() const { return delivered_bytes_; }
+  double rate_bps() const { return config_.rate_bps; }
+
+ private:
+  void try_transmit();
+  /// Band the scheduler would serve now, honoring shapers; nullopt if
+  /// all heads are blocked (next_ready then holds the wakeup time).
+  std::optional<size_t> eligible_band(util::Timestamp now,
+                                      util::Timestamp& next_ready) const;
+
+  EventLoop& loop_;
+  Config config_;
+  PacketSink sink_;
+  dataplane::PriorityQueueSet queues_;
+  std::vector<std::optional<dataplane::TokenBucket>> shapers_;
+  bool busy_ = false;
+  bool retry_scheduled_ = false;
+  uint64_t delivered_ = 0;
+  uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace nnn::sim

@@ -1,0 +1,30 @@
+#include "sim/nat.h"
+
+namespace nnn::sim {
+
+Nat::Nat(net::IpAddress public_ip, uint16_t first_port)
+    : public_ip_(public_ip), next_port_(first_port) {}
+
+void Nat::translate_outbound(net::Packet& packet) {
+  const Endpoint inside{packet.tuple.src_ip, packet.tuple.src_port,
+                        packet.tuple.proto};
+  auto it = forward_.find(inside);
+  if (it == forward_.end()) {
+    const uint16_t port = next_port_++;
+    it = forward_.emplace(inside, port).first;
+    reverse_.emplace(port, inside);
+  }
+  packet.tuple.src_ip = public_ip_;
+  packet.tuple.src_port = it->second;
+}
+
+bool Nat::translate_inbound(net::Packet& packet) const {
+  if (packet.tuple.dst_ip != public_ip_) return false;
+  const auto it = reverse_.find(packet.tuple.dst_port);
+  if (it == reverse_.end()) return false;
+  packet.tuple.dst_ip = it->second.ip;
+  packet.tuple.dst_port = it->second.port;
+  return true;
+}
+
+}  // namespace nnn::sim

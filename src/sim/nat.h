@@ -1,0 +1,59 @@
+// NAT (network address translation) box.
+//
+// The NAT is the reason the OOB baseline breaks: "in a home network,
+// the flow will change at the NAT module of the home router, making
+// the 5-tuple description invalid for the head-end router" (§3).
+// Cookies ride above the rewritten headers and survive unchanged —
+// the property Fig. 6 measures.
+//
+// Classic NAPT: private (src ip, src port) pairs are mapped to (public
+// ip, allocated port) on the way out; reverse translations are applied
+// to inbound packets addressed to an allocated port.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "net/packet.h"
+
+namespace nnn::sim {
+
+class Nat {
+ public:
+  Nat(net::IpAddress public_ip, uint16_t first_port = 20000);
+
+  /// Rewrite an outbound (LAN -> WAN) packet in place. Allocates a
+  /// mapping on first sight of a private (ip, port, proto).
+  void translate_outbound(net::Packet& packet);
+
+  /// Rewrite an inbound (WAN -> LAN) packet in place. Returns false
+  /// (packet untouched) when no mapping exists — a real NAT drops it.
+  bool translate_inbound(net::Packet& packet) const;
+
+  size_t mapping_count() const { return forward_.size(); }
+  net::IpAddress public_ip() const { return public_ip_; }
+
+ private:
+  struct Endpoint {
+    net::IpAddress ip;
+    uint16_t port;
+    net::L4Proto proto;
+
+    bool operator==(const Endpoint&) const = default;
+  };
+  struct EndpointHash {
+    size_t operator()(const Endpoint& e) const noexcept {
+      return std::hash<net::IpAddress>()(e.ip) * 31 + e.port * 7 +
+             static_cast<size_t>(e.proto);
+    }
+  };
+
+  net::IpAddress public_ip_;
+  uint16_t next_port_;
+  std::unordered_map<Endpoint, uint16_t, EndpointHash> forward_;
+  std::unordered_map<uint16_t, Endpoint> reverse_;
+};
+
+}  // namespace nnn::sim

@@ -1,0 +1,197 @@
+#include "sim/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nnn::sim {
+
+namespace {
+
+constexpr uint32_t kAckWireSize = 40;
+constexpr uint32_t kHeaderBytes = 40;  // IPv4 + TCP, no options
+
+}  // namespace
+
+TcpSink::TcpSink(EventLoop& loop, Host& host, net::FiveTuple flow,
+                 CompletionFn on_complete)
+    : loop_(loop),
+      host_(host),
+      flow_(flow),
+      on_complete_(std::move(on_complete)) {}
+
+void TcpSink::on_data(const net::Packet& packet) {
+  const uint64_t seq = packet.seq;
+  const uint64_t len = packet.size() > kHeaderBytes
+                           ? packet.size() - kHeaderBytes
+                           : 0;
+  if (packet.fin) fin_end_ = seq + len;
+  if (seq == rcv_nxt_) {
+    rcv_nxt_ += len;
+    // Drain any buffered segments now contiguous.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = ooo_.erase(it);
+    }
+    maybe_complete();
+  } else if (seq > rcv_nxt_ && len > 0) {
+    // Out-of-order: buffer for later (coalescing is handled lazily by
+    // the max() in the drain loop).
+    auto [it, inserted] = ooo_.emplace(seq, seq + len);
+    if (!inserted) it->second = std::max(it->second, seq + len);
+  }
+  // Cumulative ACK, including duplicates for out-of-order arrivals.
+  net::Packet ack;
+  ack.tuple = flow_.reversed();
+  ack.ack = true;
+  ack.ack_seq = static_cast<uint32_t>(rcv_nxt_);
+  ack.wire_size = kAckWireSize;
+  host_.send(std::move(ack));
+}
+
+void TcpSink::maybe_complete() {
+  if (!complete_ && fin_end_ && rcv_nxt_ >= *fin_end_) {
+    complete_ = true;
+    if (on_complete_) on_complete_(loop_.now());
+  }
+}
+
+TcpSource::TcpSource(EventLoop& loop, Host& host, net::FiveTuple flow,
+                     uint64_t total_bytes, Config config,
+                     CompletionFn on_complete)
+    : loop_(loop),
+      host_(host),
+      flow_(flow),
+      total_bytes_(total_bytes),
+      config_(config),
+      on_complete_(std::move(on_complete)),
+      cwnd_(config.init_cwnd_packets * config.mss),
+      ssthresh_(64.0 * config.mss) {}
+
+void TcpSource::start() {
+  if (started_) return;
+  started_ = true;
+  started_at_ = loop_.now();
+  send_available();
+  arm_rto();
+}
+
+void TcpSource::emit_segment(uint64_t offset) {
+  const uint64_t len =
+      std::min<uint64_t>(config_.mss, total_bytes_ - offset);
+  net::Packet segment;
+  segment.tuple = flow_;
+  segment.seq = static_cast<uint32_t>(offset);
+  segment.fin = offset + len >= total_bytes_;
+  segment.wire_size = static_cast<uint32_t>(kHeaderBytes + len);
+  host_.send(std::move(segment));
+}
+
+void TcpSource::send_available() {
+  while (snd_nxt_ < total_bytes_ &&
+         static_cast<double>(snd_nxt_ - snd_una_) + config_.mss <=
+             cwnd_ + 1e-9) {
+    const uint64_t len =
+        std::min<uint64_t>(config_.mss, total_bytes_ - snd_nxt_);
+    emit_segment(snd_nxt_);
+    maybe_start_rtt_probe(snd_nxt_ + len);
+    snd_nxt_ += len;
+  }
+}
+
+void TcpSource::maybe_start_rtt_probe(uint64_t end_offset) {
+  if (rtt_probe_end_) return;  // one probe in flight at a time
+  rtt_probe_end_ = end_offset;
+  rtt_probe_sent_ = loop_.now();
+}
+
+void TcpSource::maybe_sample_rtt(uint64_t ack_seq) {
+  if (!rtt_probe_end_ || ack_seq < *rtt_probe_end_) return;
+  const double sample =
+      static_cast<double>(loop_.now() - rtt_probe_sent_);
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+  rtt_probe_end_.reset();
+}
+
+util::Timestamp TcpSource::current_rto() const {
+  if (srtt_ == 0) return config_.min_rto;
+  const auto rto = static_cast<util::Timestamp>(srtt_ + 4 * rttvar_);
+  return std::max(config_.min_rto, rto);
+}
+
+void TcpSource::on_ack(const net::Packet& packet) {
+  if (complete_) return;
+  const uint64_t ack_seq = packet.ack_seq;
+  if (ack_seq > snd_una_) {
+    maybe_sample_rtt(ack_seq);
+    snd_una_ = ack_seq;
+    dup_acks_ = 0;
+    backoff_ = 0;
+    if (in_recovery_) {
+      // Deflate the window inflated during fast recovery.
+      cwnd_ = ssthresh_;
+      in_recovery_ = false;
+    }
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += config_.mss;  // slow start
+    } else {
+      cwnd_ += static_cast<double>(config_.mss) * config_.mss / cwnd_;
+    }
+    if (snd_una_ >= total_bytes_) {
+      complete_ = true;
+      ++rto_generation_;  // disarm timer
+      if (on_complete_) on_complete_(loop_.now() - started_at_);
+      return;
+    }
+    arm_rto();
+    send_available();
+    return;
+  }
+  if (ack_seq == snd_una_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3) {
+      // Fast retransmit: resend only the hole (the receiver buffers
+      // out-of-order data), halve the window.
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
+      cwnd_ = ssthresh_;
+      in_recovery_ = true;
+      rtt_probe_end_.reset();  // Karn: the range is being retransmitted
+      emit_segment(snd_una_);
+      ++retransmits_;
+      arm_rto();
+    } else if (dup_acks_ > 3) {
+      // Rough fast-recovery inflation: each further dupack signals a
+      // departed packet; allow one more new segment out.
+      cwnd_ += config_.mss;
+      send_available();
+    }
+  }
+}
+
+void TcpSource::arm_rto() {
+  const uint64_t generation = ++rto_generation_;
+  const util::Timestamp rto = current_rto() << std::min(backoff_, 6);
+  loop_.after(rto, [this, generation] { on_rto(generation); });
+}
+
+void TcpSource::on_rto(uint64_t generation) {
+  if (generation != rto_generation_ || complete_) return;
+  // Timeout: collapse to one segment and restart from the hole.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
+  cwnd_ = config_.mss;
+  in_recovery_ = false;
+  rtt_probe_end_.reset();  // Karn's rule
+  snd_nxt_ = snd_una_;
+  ++retransmits_;
+  ++backoff_;
+  arm_rto();
+  send_available();
+}
+
+}  // namespace nnn::sim

@@ -1,0 +1,124 @@
+// Simplified TCP for flow-completion-time experiments (Fig. 5b).
+//
+// A deliberately small congestion-controlled transport: slow start,
+// AIMD congestion avoidance, fast retransmit on three duplicate ACKs
+// (go-back-N resend), and an RTO with exponential backoff. That is
+// enough machinery for the queueing phenomena the paper's Fig. 5b
+// reports — a boosted 300 KB flow finishing fast and predictably, a
+// best-effort flow competing with background traffic, and a throttled
+// flow crawling at the policed rate — without modeling SACK et al.
+//
+// Data packets carry byte-offset seq numbers and empty payloads (the
+// size is modeled via wire_size so the sim does not materialize
+// megabytes); ACKs are 40-byte packets with ack_seq = next expected
+// byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/host.h"
+
+namespace nnn::sim {
+
+/// Receiving side: buffers out-of-order segments, acknowledges
+/// cumulatively, and fires a callback when the FIN-marked last byte is
+/// covered by in-order data.
+class TcpSink {
+ public:
+  using CompletionFn = std::function<void(util::Timestamp finished_at)>;
+
+  /// `flow` is the tuple of arriving data packets. The sink sends ACKs
+  /// through `host` (which must outlive it).
+  TcpSink(EventLoop& loop, Host& host, net::FiveTuple flow,
+          CompletionFn on_complete);
+
+  void on_data(const net::Packet& packet);
+
+  uint64_t received_bytes() const { return rcv_nxt_; }
+  bool complete() const { return complete_; }
+
+ private:
+  void maybe_complete();
+
+  EventLoop& loop_;
+  Host& host_;
+  net::FiveTuple flow_;
+  CompletionFn on_complete_;
+  uint64_t rcv_nxt_ = 0;
+  /// Out-of-order reassembly buffer: start -> end (exclusive).
+  std::map<uint64_t, uint64_t> ooo_;
+  /// End offset of the FIN-marked segment, once seen.
+  std::optional<uint64_t> fin_end_;
+  bool complete_ = false;
+};
+
+/// Sending side.
+class TcpSource {
+ public:
+  struct Config {
+    uint32_t mss = 1460;
+    double init_cwnd_packets = 4;
+    /// Floor for the adaptive RTO (RFC 6298-style SRTT + 4*RTTVAR).
+    util::Timestamp min_rto = 200 * util::kMillisecond;
+    /// QoS band requested for this flow's data packets; the topology's
+    /// classifier may override it (band is advisory metadata here).
+    size_t band = 1;
+  };
+
+  using CompletionFn = std::function<void(util::Timestamp fct)>;
+
+  /// Send `total_bytes` on `flow` through `host`. ACKs must be routed
+  /// to on_ack (Host::register_handler on flow.reversed()).
+  TcpSource(EventLoop& loop, Host& host, net::FiveTuple flow,
+            uint64_t total_bytes, Config config, CompletionFn on_complete);
+
+  void start();
+  void on_ack(const net::Packet& packet);
+
+  uint64_t acked_bytes() const { return snd_una_; }
+  bool complete() const { return complete_; }
+  double cwnd_bytes() const { return cwnd_; }
+  uint64_t retransmits() const { return retransmits_; }
+
+ private:
+  void send_available();
+  void emit_segment(uint64_t offset);
+  void arm_rto();
+  void on_rto(uint64_t generation);
+  void maybe_start_rtt_probe(uint64_t offset);
+  void maybe_sample_rtt(uint64_t ack_seq);
+  util::Timestamp current_rto() const;
+
+  EventLoop& loop_;
+  Host& host_;
+  net::FiveTuple flow_;
+  uint64_t total_bytes_;
+  Config config_;
+  CompletionFn on_complete_;
+
+  uint64_t snd_una_ = 0;   // first unacked byte
+  uint64_t snd_nxt_ = 0;   // next byte to send
+  double cwnd_;            // bytes
+  double ssthresh_;        // bytes
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  int backoff_ = 0;
+  // RTT estimation (Karn's rule: retransmitted ranges never sampled).
+  std::optional<uint64_t> rtt_probe_end_;  // byte the probe covers
+  util::Timestamp rtt_probe_sent_ = 0;
+  double srtt_ = 0;    // microseconds; 0 = no sample yet
+  double rttvar_ = 0;  // microseconds
+  uint64_t rto_generation_ = 0;
+  uint64_t retransmits_ = 0;
+  util::Timestamp started_at_ = 0;
+  bool started_ = false;
+  bool complete_ = false;
+};
+
+}  // namespace nnn::sim

@@ -1,0 +1,220 @@
+#include "studies/accuracy.h"
+
+#include <unordered_map>
+
+#include "baselines/dpi.h"
+#include "baselines/oob.h"
+#include "boost_lane/agent.h"
+#include "boost_lane/browser.h"
+#include "cookies/verifier.h"
+#include "dataplane/middlebox.h"
+#include "dataplane/service_registry.h"
+#include "server/cookie_server.h"
+#include "server/json_api.h"
+#include "sim/nat.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "workload/page_load.h"
+#include "workload/websites.h"
+
+namespace nnn::studies {
+
+namespace {
+
+using boost_lane::BrowserFlow;
+
+/// One site's materialized traffic: flows plus their packet sequences.
+struct SiteTraffic {
+  std::string domain;
+  std::vector<std::pair<BrowserFlow, std::vector<net::Packet>>> flows;
+  uint64_t total_packets = 0;
+};
+
+std::vector<SiteTraffic> build_session(util::Rng& rng,
+                                       net::IpAddress client) {
+  boost_lane::Browser browser(rng, client);
+  std::vector<SiteTraffic> session;
+  const workload::WebsiteProfile sites[] = {
+      workload::cnn_profile(), workload::youtube_profile(),
+      workload::skai_profile()};
+  for (const auto& site : sites) {
+    const auto tab = browser.open_tab();
+    auto load = browser.navigate(tab, site);
+    SiteTraffic traffic;
+    traffic.domain = site.domain;
+    for (auto& bf : load.flows) {
+      auto packets =
+          workload::PageLoadGenerator::materialize_flow(bf.flow, rng);
+      traffic.total_packets += packets.size();
+      traffic.flows.emplace_back(bf, std::move(packets));
+    }
+    session.push_back(std::move(traffic));
+  }
+  return session;
+}
+
+struct BoostCount {
+  std::unordered_map<std::string, uint64_t> boosted_per_site;
+};
+
+SiteAccuracy tally(const std::vector<SiteTraffic>& session,
+                   const std::string& target, const BoostCount& count) {
+  SiteAccuracy acc;
+  acc.site = target;
+  uint64_t target_total = 0;
+  for (const auto& site : session) {
+    if (site.domain == target) target_total = site.total_packets;
+  }
+  if (target_total == 0) return acc;
+  uint64_t matched = 0;
+  uint64_t false_pos = 0;
+  for (const auto& [domain, boosted] : count.boosted_per_site) {
+    if (domain == target) {
+      matched += boosted;
+    } else {
+      false_pos += boosted;
+    }
+  }
+  acc.target_total_packets = target_total;
+  acc.matched_packets = matched;
+  acc.false_packets = false_pos;
+  acc.matched_pct = 100.0 * static_cast<double>(matched) / target_total;
+  const uint64_t boosted_total = matched + false_pos;
+  acc.false_pct = boosted_total == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(false_pos) /
+                            static_cast<double>(boosted_total);
+  return acc;
+}
+
+SiteAccuracy run_cookies(const std::vector<SiteTraffic>& session,
+                         const std::string& target, uint64_t seed) {
+  util::ManualClock clock(1'000'000'000);
+  cookies::CookieVerifier verifier(clock);
+  server::CookieServer server(clock, seed, &verifier);
+  server::ServiceOffer offer;
+  offer.name = "Boost";
+  offer.service_data = "Boost";
+  offer.descriptor_lifetime = 3600LL * util::kSecond;
+  server.add_service(offer);
+  server::JsonApi api(server);
+
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  dataplane::Middlebox middlebox(clock, verifier, registry);
+  sim::Nat nat(net::IpAddress::v4(203, 0, 113, 7));
+
+  boost_lane::BoostAgent agent(clock, api, "home-1", seed + 1);
+  agent.always_boost(target);
+
+  BoostCount count;
+  for (const auto& site : session) {
+    for (const auto& [bf, packets] : site.flows) {
+      uint64_t boosted_in_flow = 0;
+      for (size_t i = 0; i < packets.size(); ++i) {
+        net::Packet packet = packets[i];
+        if (i == bf.flow.request_index &&
+            bf.address_bar_domain == target) {
+          agent.process_request(bf, packet);
+        }
+        nat.translate_outbound(packet);
+        const auto verdict = middlebox.process(packet);
+        if (verdict.action) ++boosted_in_flow;
+      }
+      count.boosted_per_site[site.domain] += boosted_in_flow;
+    }
+  }
+  return tally(session, target, count);
+}
+
+baselines::DpiEngine make_ndpi_catalog() {
+  baselines::DpiEngine dpi;
+  // Popular-app signatures only; no rule exists for skai.gr ("it had
+  // no rules for it", §5.4). The youtube rule includes the embedded-
+  // player fingerprint that over-matches other sites.
+  baselines::DpiRule cnn;
+  cnn.app = "cnn.com";
+  cnn.host_suffixes = {"cnn.com"};  // covers cdn.cnn.com too
+  dpi.add_rule(cnn);
+  baselines::DpiRule youtube;
+  youtube.app = "youtube.com";
+  youtube.host_suffixes = {"youtube.com", "googlevideo.com",
+                           "ytimg.com"};
+  youtube.payload_substrings = {"youtube.com/embed"};
+  dpi.add_rule(youtube);
+  return dpi;
+}
+
+SiteAccuracy run_dpi(const std::vector<SiteTraffic>& session,
+                     const std::string& target) {
+  baselines::DpiEngine dpi = make_ndpi_catalog();
+  sim::Nat nat(net::IpAddress::v4(203, 0, 113, 7));
+  BoostCount count;
+  for (const auto& site : session) {
+    for (const auto& [bf, packets] : site.flows) {
+      uint64_t boosted_in_flow = 0;
+      for (net::Packet packet : packets) {
+        nat.translate_outbound(packet);
+        const auto app = dpi.classify(packet);
+        if (app && *app == target) ++boosted_in_flow;
+      }
+      count.boosted_per_site[site.domain] += boosted_in_flow;
+    }
+  }
+  return tally(session, target, count);
+}
+
+SiteAccuracy run_oob(const std::vector<SiteTraffic>& session,
+                     const std::string& target, bool exact) {
+  baselines::OobSwitch sw;
+  baselines::OobController controller;
+  controller.attach_switch(&sw);
+  sim::Nat nat(net::IpAddress::v4(203, 0, 113, 7));
+
+  // The user agent (browser vantage point, same as cookies) signals a
+  // description for every flow of the target tab.
+  for (const auto& site : session) {
+    if (site.domain != target) continue;
+    for (const auto& [bf, packets] : site.flows) {
+      if (!bf.tab) continue;  // DNS/prefetch invisible to the agent
+      const auto description =
+          exact ? baselines::FlowDescription::exact(bf.flow.tuple)
+                : baselines::FlowDescription::server_only(bf.flow.tuple);
+      controller.request_service(description, "boost");
+    }
+  }
+
+  BoostCount count;
+  for (const auto& site : session) {
+    for (const auto& [bf, packets] : site.flows) {
+      uint64_t boosted_in_flow = 0;
+      for (net::Packet packet : packets) {
+        nat.translate_outbound(packet);
+        if (sw.match(packet)) ++boosted_in_flow;
+      }
+      count.boosted_per_site[site.domain] += boosted_in_flow;
+    }
+  }
+  return tally(session, target, count);
+}
+
+}  // namespace
+
+AccuracyResult AccuracyExperiment::run() {
+  util::Rng rng(seed_);
+  const net::IpAddress client = net::IpAddress::v4(192, 168, 1, 10);
+  const auto session = build_session(rng, client);
+
+  AccuracyResult result;
+  const std::string targets[] = {"cnn.com", "youtube.com", "skai.gr"};
+  uint64_t mech_seed = seed_ + 100;
+  for (const auto& target : targets) {
+    result.cookies.push_back(run_cookies(session, target, mech_seed++));
+    result.dpi.push_back(run_dpi(session, target));
+    result.oob.push_back(run_oob(session, target, /*exact=*/false));
+    result.oob_exact.push_back(run_oob(session, target, /*exact=*/true));
+  }
+  return result;
+}
+
+}  // namespace nnn::studies

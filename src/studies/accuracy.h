@@ -1,0 +1,61 @@
+// Matching-accuracy experiment (Fig. 6, §5.4).
+//
+// "Our prototype lets us check if cookies will boost the correct
+// websites; and whether they would have been correctly boosted by
+// alternative implementations that do not use cookies. As an example,
+// we examine three preferences from our users (youtube.com, cnn.com,
+// and skai.gr)."
+//
+// For each target site, the experiment loads all three sites in a
+// browser (so cross-site misattribution can show up), pushes every
+// packet through a NAT, and asks each mechanism which packets it would
+// boost:
+//   cookies — the Boost agent inserts cookies on the target tab's
+//             requests; the middlebox maps those flows (>90% matched:
+//             the agent misses DNS/prefetch; 0% false);
+//   nDPI    — a rule catalog with signatures for cnn and youtube, none
+//             for skai; skai embeds YouTube's player, so the youtube
+//             experiment falsely matches ~12% of skai's packets;
+//   OOB     — flow descriptions from the same browser vantage point;
+//             exact 5-tuples die at the NAT, so the deployable variant
+//             wildcards to (server ip, port) and over-matches shared
+//             CDN/ad servers (~40% false).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nnn::studies {
+
+struct SiteAccuracy {
+  std::string site;
+  /// Raw counts.
+  uint64_t target_total_packets = 0;  // packets in the target's load
+  uint64_t matched_packets = 0;       // boosted & belonging to target
+  uint64_t false_packets = 0;         // boosted but from another site
+  /// Percent of the target site's packets the mechanism boosted.
+  double matched_pct = 0;
+  /// Share of all boosted packets that belong to *other* sites — the
+  /// natural reading of the paper's "40% false positives".
+  double false_pct = 0;
+};
+
+struct AccuracyResult {
+  std::vector<SiteAccuracy> cookies;
+  std::vector<SiteAccuracy> dpi;
+  std::vector<SiteAccuracy> oob;          // server-only descriptions
+  std::vector<SiteAccuracy> oob_exact;    // exact 5-tuples (die at NAT)
+};
+
+class AccuracyExperiment {
+ public:
+  explicit AccuracyExperiment(uint64_t seed) : seed_(seed) {}
+
+  AccuracyResult run();
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace nnn::studies

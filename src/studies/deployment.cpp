@@ -1,0 +1,104 @@
+#include "studies/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fmt.h"
+
+namespace nnn::studies {
+
+DeploymentModel::DeploymentModel(Config config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<PreferenceRecord> DeploymentModel::run() {
+  // Catalog sorted by rank: head picks favor popular sites.
+  std::vector<const workload::WebsiteProfile*> by_rank;
+  for (const auto& site : workload::site_catalog()) by_rank.push_back(&site);
+  std::sort(by_rank.begin(), by_rank.end(),
+            [](const auto* a, const auto* b) {
+              return a->alexa_rank < b->alexa_rank;
+            });
+  util::ZipfSampler head(by_rank.size(), config_.zipf_s);
+
+  std::vector<PreferenceRecord> prefs;
+  // The paper reports an exact outcome (161 of 400 installed, 40%);
+  // the model reproduces the count exactly and randomizes everything
+  // downstream of it.
+  installed_users_ = static_cast<size_t>(
+      std::llround(config_.invited_users * config_.install_rate));
+  uint32_t niche_counter = 0;
+  for (size_t u = 0; u < installed_users_; ++u) {
+    const uint32_t user = static_cast<uint32_t>(u + 1);
+    const int npref =
+        rng_.uniform_int(static_cast<int>(config_.min_prefs),
+                         static_cast<int>(config_.max_prefs));
+    for (int p = 0; p < npref; ++p) {
+      PreferenceRecord record;
+      record.user = user;
+      if (rng_.chance(config_.tail_share)) {
+        // A personal niche site nobody else visits: regional media,
+        // a VoIP portal, a hobby forum. Rank deep in the tail.
+        ++niche_counter;
+        record.domain = util::fmt("user{}-niche{}.example", user,
+                                  niche_counter);
+        record.alexa_rank = static_cast<uint32_t>(
+            5000 + rng_.next_u64(95000));
+      } else {
+        const auto* site = by_rank[head.sample(rng_) - 1];
+        record.domain = site->domain;
+        record.alexa_rank = site->alexa_rank;
+      }
+      prefs.push_back(std::move(record));
+    }
+  }
+  return prefs;
+}
+
+DeploymentSummary DeploymentModel::summarize(
+    const std::vector<PreferenceRecord>& prefs, size_t invited,
+    size_t installed) {
+  DeploymentSummary s;
+  s.invited_users = invited;
+  s.installed_users = installed;
+  s.preferences = prefs.size();
+
+  std::map<std::string, std::vector<uint32_t>> users_per_site;
+  for (const auto& p : prefs) users_per_site[p.domain].push_back(p.user);
+  s.distinct_sites = users_per_site.size();
+
+  size_t unique = 0;
+  for (const auto& p : prefs) {
+    auto users = users_per_site[p.domain];
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+    if (users.size() == 1) ++unique;
+  }
+  s.unique_share =
+      prefs.empty() ? 0 : static_cast<double>(unique) / prefs.size();
+
+  std::vector<uint32_t> ranks;
+  ranks.reserve(prefs.size());
+  for (const auto& p : prefs) ranks.push_back(p.alexa_rank);
+  if (!ranks.empty()) {
+    const size_t mid = ranks.size() / 2;
+    std::nth_element(ranks.begin(), ranks.begin() + mid, ranks.end());
+    s.median_rank = ranks[mid];
+  }
+
+  std::vector<std::pair<std::string, size_t>> top;
+  for (const auto& [domain, users] : users_per_site) {
+    std::vector<uint32_t> uniq = users;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    top.emplace_back(domain, uniq.size());
+  }
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (top.size() > 16) top.resize(16);
+  s.top_sites = std::move(top);
+  return s;
+}
+
+}  // namespace nnn::studies

@@ -1,0 +1,245 @@
+#include "studies/fct_experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "boost_lane/daemon.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "cookies/verifier.h"
+#include "net/http.h"
+#include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/link.h"
+#include "sim/tcp.h"
+#include "util/rng.h"
+
+namespace nnn::studies {
+
+namespace {
+
+using boost_lane::kBestEffortBand;
+
+/// One simulated trial; returns the measured FCT in seconds.
+double run_trial(Lane lane, const FctConfig& config, uint64_t seed) {
+  sim::EventLoop loop;
+  util::Rng rng(seed);
+
+  // Hosts. client = the measured household device; bg_client pulls the
+  // competing background traffic; two servers on the WAN side.
+  sim::Host client(net::IpAddress::v4(192, 168, 1, 10), "client");
+  sim::Host bg_client(net::IpAddress::v4(192, 168, 1, 11), "bg-client");
+  sim::Host server(net::IpAddress::v4(198, 51, 100, 1), "server");
+  sim::Host bg_server(net::IpAddress::v4(198, 51, 100, 2), "bg-server");
+
+  // The Boost machinery at the AP / head-end (one box, both
+  // directions, as in §4.5).
+  cookies::CookieVerifier verifier(loop.clock());
+  boost_lane::BoostDaemon daemon(
+      loop.clock(), verifier,
+      {.wan_capacity_bps = config.wan_bps,
+       .throttle_bps = config.throttle_bps});
+
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 0xb005'7000 + seed % 1000;
+  descriptor.key.assign(32, static_cast<uint8_t>(seed));
+  descriptor.service_data = "Boost";
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator cookie_gen(descriptor, loop.clock(), seed + 7);
+
+  // Links. Downlink is the 6 Mb/s last mile where the contention is;
+  // uplink is ample (ACK traffic).
+  auto route_home = [&](net::Packet p) {
+    if (p.tuple.dst_ip == client.address()) {
+      client.receive(p);
+    } else if (p.tuple.dst_ip == bg_client.address()) {
+      bg_client.receive(p);
+    }
+  };
+  auto route_wan = [&](net::Packet p) {
+    if (p.tuple.dst_ip == server.address()) {
+      server.receive(p);
+    } else if (p.tuple.dst_ip == bg_server.address()) {
+      bg_server.receive(p);
+    }
+  };
+  sim::Link downlink(loop,
+                     {.rate_bps = config.wan_bps,
+                      .prop_delay = 15 * util::kMillisecond,
+                      .bands = 2,
+                      .band_capacity_bytes = 96 * 1024},
+                     route_home);
+  sim::Link uplink(loop,
+                   {.rate_bps = config.wan_bps,
+                    .prop_delay = 15 * util::kMillisecond,
+                    .bands = 2,
+                    .band_capacity_bytes = 96 * 1024},
+                   route_wan);
+  daemon.attach_links(&downlink, &uplink);
+
+  // All traffic crosses the daemon's classifier on both directions.
+  auto classify_up = [&](net::Packet p) {
+    const size_t band = daemon.classify(p);
+    uplink.send(std::move(p), band);
+  };
+  auto classify_down = [&](net::Packet p) {
+    const size_t band = daemon.classify(p);
+    downlink.send(std::move(p), band);
+  };
+  client.set_uplink(classify_up);
+  bg_client.set_uplink(classify_up);
+  server.set_uplink(classify_down);
+  bg_server.set_uplink(classify_down);
+
+  // --- background load: three staggered long downloads, never
+  // boosted (they share whatever the best-effort class gets) ---
+  std::vector<std::unique_ptr<sim::TcpSource>> bg_sources;
+  std::vector<std::unique_ptr<sim::TcpSink>> bg_sinks;
+  for (int i = 0; i < 2; ++i) {
+    net::FiveTuple flow;
+    flow.src_ip = bg_server.address();
+    flow.dst_ip = bg_client.address();
+    flow.src_port = static_cast<uint16_t>(8000 + i);
+    flow.dst_port = static_cast<uint16_t>(52000 + i);
+    flow.proto = net::L4Proto::kTcp;
+    const uint64_t bytes = 600'000 + rng.next_u64(2'000'000);
+    auto source = std::make_unique<sim::TcpSource>(
+        loop, bg_server, flow, bytes, sim::TcpSource::Config{},
+        nullptr);
+    auto sink = std::make_unique<sim::TcpSink>(loop, bg_client, flow,
+                                               nullptr);
+    bg_server.register_handler(flow.reversed(),
+                               [src = source.get()](const net::Packet& p) {
+                                 if (p.ack) src->on_ack(p);
+                               });
+    bg_client.register_handler(flow, [snk = sink.get()](
+                                         const net::Packet& p) {
+      snk->on_data(p);
+    });
+    const util::Timestamp start =
+        static_cast<util::Timestamp>(rng.next_u64(3000)) *
+        util::kMillisecond;
+    loop.at(start, [src = source.get()] { src->start(); });
+    bg_sources.push_back(std::move(source));
+    bg_sinks.push_back(std::move(sink));
+  }
+
+  // --- the throttled scenario's cause: another household member
+  // boosted *their* long download, activating the 1 Mb/s throttle on
+  // everything else (including the measured flow) ---
+  std::unique_ptr<sim::TcpSource> boosted_member_source;
+  std::unique_ptr<sim::TcpSink> boosted_member_sink;
+  if (lane == Lane::kThrottled) {
+    net::FiveTuple flow;
+    flow.src_ip = bg_server.address();
+    flow.dst_ip = bg_client.address();
+    flow.src_port = 8100;
+    flow.dst_port = 52100;
+    flow.proto = net::L4Proto::kTcp;
+    boosted_member_source = std::make_unique<sim::TcpSource>(
+        loop, bg_server, flow, 40'000'000, sim::TcpSource::Config{},
+        nullptr);
+    boosted_member_sink =
+        std::make_unique<sim::TcpSink>(loop, bg_client, flow, nullptr);
+    bg_server.register_handler(
+        flow.reversed(),
+        [src = boosted_member_source.get()](const net::Packet& p) {
+          if (p.ack) src->on_ack(p);
+        });
+    bg_client.register_handler(
+        flow, [snk = boosted_member_sink.get()](const net::Packet& p) {
+          snk->on_data(p);
+        });
+    loop.at(900 * util::kMillisecond, [&, flow] {
+      net::Packet request;
+      request.tuple = flow.reversed();
+      net::http::Request http("GET", "/movie", "member.example");
+      const std::string text = http.serialize();
+      request.payload.assign(text.begin(), text.end());
+      cookies::attach(request, cookie_gen.generate(),
+                      cookies::Transport::kHttpHeader);
+      bg_client.send(std::move(request));
+    });
+    loop.at(950 * util::kMillisecond,
+            [src = boosted_member_source.get()] { src->start(); });
+  }
+
+  // --- the measured 300 KB flow ---
+  net::FiveTuple flow;
+  flow.src_ip = server.address();
+  flow.dst_ip = client.address();
+  flow.src_port = 443;
+  flow.dst_port = 51000;
+  flow.proto = net::L4Proto::kTcp;
+
+  std::optional<util::Timestamp> request_sent;
+  std::optional<util::Timestamp> completed;
+
+  auto source = std::make_unique<sim::TcpSource>(
+      loop, server, flow, config.flow_bytes, sim::TcpSource::Config{},
+      nullptr);
+  auto sink = std::make_unique<sim::TcpSink>(
+      loop, client, flow,
+      [&](util::Timestamp t) { completed = t; });
+  server.register_handler(flow.reversed(),
+                          [src = source.get()](const net::Packet& p) {
+                            if (p.ack) {
+                              src->on_ack(p);
+                            } else if (!src->complete()) {
+                              src->start();  // the HTTP request arrived
+                            }
+                          });
+  client.register_handler(flow, [snk = sink.get()](const net::Packet& p) {
+    snk->on_data(p);
+  });
+  // The server starts streaming when the request arrives.
+  server.set_default_handler([&](const net::Packet&) {
+    if (!source->complete()) source->start();
+  });
+
+  const util::Timestamp request_time =
+      (2000 + static_cast<util::Timestamp>(rng.next_u64(1500))) *
+      util::kMillisecond;
+  loop.at(request_time, [&] {
+    request_sent = loop.now();
+    net::Packet request;
+    request.tuple = flow.reversed();
+    net::http::Request http("GET", "/video", "server.example");
+    const std::string text = http.serialize();
+    request.payload.assign(text.begin(), text.end());
+    if (lane == Lane::kBoosted) {
+      cookies::attach(request, cookie_gen.generate(),
+                      cookies::Transport::kHttpHeader);
+    }
+    client.send(std::move(request));
+  });
+
+  // Run until the measured flow completes (cap at 10 simulated
+  // minutes; background flows may still be active).
+  const util::Timestamp deadline = 600LL * util::kSecond;
+  while (!completed && loop.now() < deadline && loop.pending() > 0) {
+    loop.step();
+  }
+  if (!completed || !request_sent) return -1.0;
+  return static_cast<double>(*completed - *request_sent) / util::kSecond;
+}
+
+}  // namespace
+
+std::vector<double> run_fct(Lane lane, const FctConfig& config) {
+  std::vector<double> samples;
+  samples.reserve(config.trials);
+  for (int t = 0; t < config.trials; ++t) {
+    samples.push_back(
+        run_trial(lane, config, config.seed * 1000 + t));
+  }
+  return samples;
+}
+
+std::vector<double> sorted_samples(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+}  // namespace nnn::studies

@@ -1,0 +1,38 @@
+// Flow-completion-time experiment (Fig. 5b).
+//
+// "Figure 5(b) shows a scenario for a 6Mbps connection, where we
+// throttle non-boosted traffic to 1Mbps", plotting the CDF of the
+// completion time of a 300 KB flow under three treatments:
+//   best-effort — Boost inactive; the flow shares the 6 Mb/s last
+//                 mile FIFO-style with background traffic;
+//   boosted     — the flow's request carried a cookie; the daemon put
+//                 it in the fast lane and throttled everything else;
+//   throttled   — somebody else boosted; this flow lives in the
+//                 1 Mb/s-shaped best-effort band.
+// Each trial builds a fresh simulated home (client, background
+// clients, AP with the Boost daemon, 6 Mb/s WAN), randomizes the
+// background load's phase, and measures one download.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nnn::studies {
+
+enum class Lane { kBestEffort = 0, kBoosted, kThrottled };
+
+struct FctConfig {
+  double wan_bps = 6e6;
+  double throttle_bps = 1e6;
+  uint64_t flow_bytes = 300 * 1024;
+  int trials = 40;
+  uint64_t seed = 42;
+};
+
+/// Flow completion times, in seconds, one per trial (unsorted).
+std::vector<double> run_fct(Lane lane, const FctConfig& config);
+
+/// CDF helper: sorted copies of the samples (x values for P = i/n).
+std::vector<double> sorted_samples(std::vector<double> samples);
+
+}  // namespace nnn::studies

@@ -1,0 +1,322 @@
+#include "studies/properties.h"
+
+#include "baselines/diffserv.h"
+#include "baselines/dpi.h"
+#include "baselines/oob.h"
+#include "cookies/delegation.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "cookies/verifier.h"
+#include "net/http.h"
+#include "net/tls.h"
+#include "sim/nat.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace nnn::studies {
+
+namespace {
+
+cookies::CookieDescriptor test_descriptor(uint64_t id, bool shared = false) {
+  cookies::CookieDescriptor d;
+  d.cookie_id = id;
+  d.key.assign(32, static_cast<uint8_t>(id * 37 + 1));
+  d.service_data = "probe";
+  d.attributes.shared = shared;
+  return d;
+}
+
+}  // namespace
+
+bool probe_cookie_replay_protection() {
+  util::ManualClock clock(1000 * util::kSecond);
+  cookies::CookieVerifier verifier(clock);
+  auto descriptor = test_descriptor(1);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 1);
+  const cookies::Cookie cookie = generator.generate();
+  const bool first = verifier.verify(cookie).ok();
+  const bool second = verifier.verify(cookie).ok();  // replay
+  return first && !second;
+}
+
+bool probe_cookie_spoof_protection() {
+  util::ManualClock clock(1000 * util::kSecond);
+  cookies::CookieVerifier verifier(clock);
+  auto descriptor = test_descriptor(2);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 2);
+  cookies::Cookie cookie = generator.generate();
+  cookie.signature[0] ^= 0x55;  // forged MAC
+  return verifier.verify(cookie).status ==
+         cookies::VerifyStatus::kBadSignature;
+}
+
+bool probe_diffserv_no_auth() {
+  // Nothing stops an arbitrary application from requesting the
+  // priority class: the marking is accepted as-is inside a preserving
+  // domain. (This is the gaming-console scenario of §3.)
+  net::Packet packet;
+  packet.dscp = 46;  // EF, requested by an unauthorized app
+  baselines::DiffServDomain domain("isp", baselines::BoundaryPolicy::kPreserve);
+  domain.define_class(46, "low-latency");
+  domain.ingress(packet);
+  return domain.interior_class(packet.dscp) == "low-latency";
+}
+
+bool probe_oob_spoofable() {
+  // A rule installed for a legitimate flow also matches packets a
+  // third party crafts with the same (wildcarded) header fields.
+  baselines::OobSwitch sw;
+  net::FiveTuple legit;
+  legit.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+  legit.dst_ip = net::IpAddress::v4(151, 101, 0, 10);
+  legit.src_port = 40000;
+  legit.dst_port = 443;
+  sw.install(baselines::OobRule{
+      baselines::FlowDescription::server_only(legit), "boost"});
+  net::Packet spoof;
+  spoof.tuple = legit;
+  spoof.tuple.src_ip = net::IpAddress::v4(10, 66, 66, 66);  // attacker
+  spoof.tuple.src_port = 1234;
+  return sw.match(spoof).has_value();
+}
+
+bool probe_cookie_revocation() {
+  util::ManualClock clock(1000 * util::kSecond);
+  cookies::CookieVerifier verifier(clock);
+  auto descriptor = test_descriptor(3);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 3);
+  if (!verifier.verify(generator.generate()).ok()) return false;
+  verifier.revoke(descriptor.cookie_id);
+  return verifier.verify(generator.generate()).status ==
+         cookies::VerifyStatus::kDescriptorRevoked;
+}
+
+bool probe_cookie_privacy() {
+  // The cookie rides a UDP shim over an opaque (say, encrypted)
+  // payload; the verifier maps it without any knowledge of the content.
+  util::ManualClock clock(1000 * util::kSecond);
+  cookies::CookieVerifier verifier(clock);
+  auto descriptor = test_descriptor(4);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 4);
+
+  net::Packet packet;
+  packet.tuple.proto = net::L4Proto::kUdp;
+  packet.payload = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};  // opaque
+  if (!cookies::attach(packet, generator.generate(),
+                       cookies::Transport::kUdpHeader)) {
+    return false;
+  }
+  const auto extracted = cookies::extract(packet);
+  return extracted && verifier.verify(extracted->stack.front()).ok();
+}
+
+bool probe_dpi_needs_visibility() {
+  baselines::DpiEngine dpi;
+  baselines::DpiRule rule;
+  rule.app = "video-service";
+  rule.host_suffixes = {"video.example"};
+  dpi.add_rule(rule);
+  // Opaque payload, no SNI: DPI cannot classify.
+  net::Packet packet;
+  packet.tuple.dst_port = 443;
+  packet.payload = {0x17, 0x03, 0x03, 0x00, 0x20};  // enc. record
+  return !dpi.classify(packet).has_value();
+}
+
+bool probe_cookie_nat_independence() {
+  util::ManualClock clock(1000 * util::kSecond);
+  cookies::CookieVerifier verifier(clock);
+  auto descriptor = test_descriptor(5);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 5);
+
+  net::Packet packet;
+  packet.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 23);
+  packet.tuple.src_port = 43210;
+  packet.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 10);
+  packet.tuple.dst_port = 80;
+  net::http::Request request("GET", "/", "anything.example");
+  const std::string text = request.serialize();
+  packet.payload.assign(text.begin(), text.end());
+  cookies::attach(packet, generator.generate(),
+                  cookies::Transport::kHttpHeader);
+
+  // Exact OOB description recorded before the NAT.
+  baselines::OobSwitch sw;
+  sw.install(baselines::OobRule{
+      baselines::FlowDescription::exact(packet.tuple), "boost"});
+
+  sim::Nat nat(net::IpAddress::v4(203, 0, 113, 1));
+  nat.translate_outbound(packet);
+
+  const bool oob_survives = sw.match(packet).has_value();
+  const auto extracted = cookies::extract(packet);
+  const bool cookie_survives =
+      extracted && verifier.verify(extracted->stack.front()).ok();
+  return cookie_survives && !oob_survives;
+}
+
+bool probe_cookie_multi_transport() {
+  util::ManualClock clock(1000 * util::kSecond);
+  auto descriptor = test_descriptor(6);
+  cookies::CookieGenerator generator(descriptor, clock, 6);
+
+  int carriers = 0;
+  {  // HTTP header
+    net::Packet p;
+    net::http::Request r("GET", "/", "h.example");
+    const std::string text = r.serialize();
+    p.payload.assign(text.begin(), text.end());
+    if (cookies::attach(p, generator.generate(),
+                        cookies::Transport::kHttpHeader) &&
+        cookies::extract(p)) {
+      ++carriers;
+    }
+  }
+  {  // TLS extension
+    net::Packet p;
+    net::tls::ClientHello hello;
+    hello.set_server_name("h.example");
+    p.payload = hello.serialize_record();
+    if (cookies::attach(p, generator.generate(),
+                        cookies::Transport::kTlsExtension) &&
+        cookies::extract(p)) {
+      ++carriers;
+    }
+  }
+  {  // IPv6 hop-by-hop option
+    net::Packet p;
+    p.ipv6 = true;
+    if (cookies::attach(p, generator.generate(),
+                        cookies::Transport::kIpv6Extension) &&
+        cookies::extract(p)) {
+      ++carriers;
+    }
+  }
+  {  // UDP shim
+    net::Packet p;
+    p.tuple.proto = net::L4Proto::kUdp;
+    if (cookies::attach(p, generator.generate(),
+                        cookies::Transport::kUdpHeader) &&
+        cookies::extract(p)) {
+      ++carriers;
+    }
+  }
+  return carriers >= 3;
+}
+
+bool probe_cookie_composition() {
+  util::ManualClock clock(1000 * util::kSecond);
+  // Two independent networks, each knowing only its own descriptor
+  // (the video-call example of §4.5).
+  cookies::CookieVerifier net_a(clock);
+  cookies::CookieVerifier net_b(clock);
+  auto descriptor_a = test_descriptor(7);
+  auto descriptor_b = test_descriptor(8);
+  net_a.add_descriptor(descriptor_a);
+  net_b.add_descriptor(descriptor_b);
+  cookies::CookieGenerator gen_a(descriptor_a, clock, 7);
+  cookies::CookieGenerator gen_b(descriptor_b, clock, 8);
+
+  net::Packet packet;
+  packet.tuple.proto = net::L4Proto::kUdp;
+  cookies::attach(packet, {gen_a.generate(), gen_b.generate()},
+                  cookies::Transport::kUdpHeader);
+  const auto extracted = cookies::extract(packet);
+  if (!extracted || extracted->stack.size() != 2) return false;
+  // Each network verifies the cookie it understands.
+  bool a_ok = false;
+  bool b_ok = false;
+  for (const auto& cookie : extracted->stack) {
+    if (net_a.verify(cookie).ok()) a_ok = true;
+    if (net_b.verify(cookie).ok()) b_ok = true;
+  }
+  return a_ok && b_ok;
+}
+
+bool probe_cookie_delegation() {
+  const auto shareable = test_descriptor(9, /*shared=*/true);
+  const auto private_only = test_descriptor(10, /*shared=*/false);
+  const auto granted =
+      cookies::delegate_descriptor(shareable, "user-1", "cdn.example");
+  const auto refused =
+      cookies::delegate_descriptor(private_only, "user-1", "cdn.example");
+  return granted.has_value() && !refused.has_value();
+}
+
+bool probe_diffserv_class_limit() {
+  baselines::DiffServDomain domain("isp",
+                                   baselines::BoundaryPolicy::kPreserve);
+  int defined = 0;
+  for (int dscp = 0; dscp < 200; ++dscp) {
+    if (domain.define_class(static_cast<uint8_t>(dscp), "class")) {
+      ++defined;
+    }
+  }
+  return defined == 64;
+}
+
+std::vector<PropertyRow> evaluate_properties() {
+  std::vector<PropertyRow> rows;
+  const auto add = [&](std::string group, std::string property, bool c,
+                       bool d, bool o, bool ds, bool probed,
+                       std::string note) {
+    rows.push_back(PropertyRow{std::move(group), std::move(property), c, d,
+                               o, ds, probed, std::move(note)});
+  };
+
+  // --- Simple & Expressive ---
+  add("Simple & Expressive", "arbitrary traffic <-> arbitrary state",
+      probe_cookie_privacy(), false, true, false, true,
+      "cookie mapped an opaque payload; DPI needs signatures; DiffServ "
+      "is capped at 64 classes");
+  add("Simple & Expressive", "low transaction cost", true, false, true,
+      true, false,
+      "DPI needs a manually curated rule per app (23/106 coverage)");
+  add("Simple & Expressive", "high-level preferences", true, false, true,
+      true, false, "a webpage/app is invisible to per-flow DPI rules");
+  add("Simple & Expressive", "composable", probe_cookie_composition(),
+      false, true, false, true,
+      "two networks' cookies verified independently on one packet");
+  add("Simple & Expressive", "delegatable", probe_cookie_delegation(),
+      false, true, false, true,
+      "shared descriptors delegate; non-shared refuse");
+
+  // --- Tussle-Aware ---
+  add("Tussle-Aware", "protection from replay, spoofing",
+      probe_cookie_replay_protection() && probe_cookie_spoof_protection(),
+      true, !probe_oob_spoofable(), !probe_diffserv_no_auth(), true,
+      "replayed/forged cookies rejected; OOB rules and DSCP marks are "
+      "spoofable");
+  add("Tussle-Aware", "built-in authentication", true, false, true,
+      !probe_diffserv_no_auth(), true,
+      "descriptor acquisition authenticates; DSCP has no credential");
+  add("Tussle-Aware", "respect privacy", probe_cookie_privacy(),
+      !probe_dpi_needs_visibility(), true, true, true,
+      "DPI must see hosts/content; cookies do not reveal them");
+  add("Tussle-Aware", "revocable", probe_cookie_revocation(), false, true,
+      false, true, "revoked descriptor stops matching immediately");
+
+  // --- Deployable ---
+  add("Deployable", "independent from headerspace, payload, path",
+      probe_cookie_nat_independence(), false, false, false, true,
+      "cookie survived NAT; exact OOB description did not");
+  add("Deployable", "high accuracy", true, false, true, true, false,
+      "Fig. 6: cookies >90% matched, 0% false");
+  add("Deployable", "multiple transport mechanisms",
+      probe_cookie_multi_transport(), false, false, false, true,
+      "HTTP header, TLS extension, IPv6 option, UDP shim all carry it");
+  add("Deployable", "low overhead", true, true, false, true, false,
+      "OOB signals the control plane per flow (255 signals for one "
+      "cnn.com page)");
+  add("Deployable", "network delivery guarantees", true, false, true,
+      false, false, "ack cookies (§4.3); DSCP marks vanish silently");
+
+  return rows;
+}
+
+}  // namespace nnn::studies

@@ -1,0 +1,83 @@
+#include "studies/survey.h"
+
+#include <algorithm>
+
+namespace nnn::studies {
+
+SurveyModel::SurveyModel(Config config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<SurveyResponse> SurveyModel::run() {
+  const auto& catalog = workload::app_catalog();
+  // The catalog's survey weights ARE the observed histogram (the 106
+  // apps were defined by the responses; Fig. 2's y-axis is the weight).
+  // Expand the quotas into a pool of concrete answers and hand them to
+  // interested respondents in random order. Interested users beyond
+  // the pool expressed interest but named no usable single app.
+  std::vector<std::string> answers;
+  for (const auto& app : catalog) {
+    for (uint32_t i = 0; i < app.survey_weight; ++i) {
+      answers.push_back(app.name);
+    }
+  }
+  rng_.shuffle(answers);
+
+  std::vector<SurveyResponse> responses;
+  responses.reserve(config_.respondents);
+  size_t next_answer = 0;
+  for (size_t u = 0; u < config_.respondents; ++u) {
+    SurveyResponse r;
+    r.user = static_cast<uint32_t>(u + 1);
+    r.interested = rng_.chance(config_.interest_rate);
+    if (r.interested && next_answer < answers.size()) {
+      r.app = answers[next_answer++];
+    }
+    responses.push_back(std::move(r));
+  }
+  return responses;
+}
+
+SurveySummary SurveyModel::summarize(
+    const std::vector<SurveyResponse>& responses) {
+  SurveySummary s;
+  s.respondents = responses.size();
+  std::map<int, size_t> by_category;
+  std::map<int, size_t> by_popularity;
+  std::map<int, size_t> covered_weight;  // program -> preference count
+  size_t preferences = 0;
+  for (const auto& r : responses) {
+    if (!r.interested) continue;
+    ++s.interested;
+    const auto* app = workload::find_app(r.app);
+    if (!app) continue;
+    ++preferences;
+    ++s.per_app[r.app];
+    ++by_category[static_cast<int>(app->category)];
+    ++by_popularity[static_cast<int>(app->popularity)];
+    for (const auto program : app->covered_by) {
+      ++covered_weight[static_cast<int>(program)];
+    }
+  }
+  s.distinct_apps = s.per_app.size();
+  for (const auto& [cat, count] : by_category) {
+    s.category_table.emplace_back(static_cast<workload::AppCategory>(cat),
+                                  count);
+  }
+  for (const auto& [pop, count] : by_popularity) {
+    s.popularity_table.emplace_back(
+        static_cast<workload::PopularityBucket>(pop), count);
+  }
+  for (const auto& [program, count] : covered_weight) {
+    s.program_coverage[workload::to_string(
+        static_cast<workload::ZeroRatingProgram>(program))] =
+        preferences == 0 ? 0 : static_cast<double>(count) / preferences;
+  }
+  // Apps named in this run that stock DPI recognizes.
+  for (const auto& [name, count] : s.per_app) {
+    const auto* app = workload::find_app(name);
+    if (app && app->dpi_recognized) ++s.dpi_recognized_apps;
+  }
+  return s;
+}
+
+}  // namespace nnn::studies

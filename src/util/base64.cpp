@@ -1,0 +1,85 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace nnn::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<int8_t, 256> build_reverse() {
+  std::array<int8_t, 256> rev{};
+  for (auto& v : rev) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<uint8_t>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return rev;
+}
+
+constexpr auto kReverse = build_reverse();
+
+}  // namespace
+
+std::string base64_encode(BytesView in) {
+  std::string out;
+  out.reserve((in.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= in.size(); i += 3) {
+    uint32_t v = static_cast<uint32_t>(in[i]) << 16 |
+                 static_cast<uint32_t>(in[i + 1]) << 8 | in[i + 2];
+    out.push_back(kAlphabet[v >> 18 & 0x3f]);
+    out.push_back(kAlphabet[v >> 12 & 0x3f]);
+    out.push_back(kAlphabet[v >> 6 & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+  }
+  const size_t rem = in.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<uint32_t>(in[i]) << 16;
+    out.push_back(kAlphabet[v >> 18 & 0x3f]);
+    out.push_back(kAlphabet[v >> 12 & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    uint32_t v = static_cast<uint32_t>(in[i]) << 16 |
+                 static_cast<uint32_t>(in[i + 1]) << 8;
+    out.push_back(kAlphabet[v >> 18 & 0x3f]);
+    out.push_back(kAlphabet[v >> 12 & 0x3f]);
+    out.push_back(kAlphabet[v >> 6 & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view in) {
+  if (in.size() % 4 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(in.size() / 4 * 3);
+  for (size_t i = 0; i < in.size(); i += 4) {
+    const bool last = i + 4 == in.size();
+    int pad = 0;
+    uint32_t v = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      const char c = in[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last one or two positions of the
+        // final quantum.
+        if (!last || j < 2) return std::nullopt;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return std::nullopt;  // data after '='
+      const int8_t d = kReverse[static_cast<uint8_t>(c)];
+      if (d < 0) return std::nullopt;
+      v = v << 6 | static_cast<uint32_t>(d);
+    }
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace nnn::util

@@ -1,0 +1,24 @@
+// Base64 codec (RFC 4648).
+//
+// The Boost agent sends cookies as base64-encoded text so they fit in
+// an HTTP header or a TLS extension without escaping issues (§5.1 of
+// the paper: "To better adjust with TLS and HTTP, we send a
+// base64-encoded text cookie").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace nnn::util {
+
+/// Encode bytes to standard base64 with padding.
+std::string base64_encode(BytesView in);
+
+/// Decode standard base64 (padding required, no whitespace).
+/// Returns nullopt on any malformed input.
+std::optional<Bytes> base64_decode(std::string_view in);
+
+}  // namespace nnn::util

@@ -1,0 +1,92 @@
+#include "util/bytes.h"
+
+namespace nnn::util {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+bool equal(BytesView a, BytesView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void ByteWriter::u16(uint16_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::u32(uint32_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 24));
+  out_.push_back(static_cast<uint8_t>(v >> 16));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::u64(uint64_t v) {
+  u32(static_cast<uint32_t>(v >> 32));
+  u32(static_cast<uint32_t>(v));
+}
+
+void ByteWriter::raw(std::string_view v) {
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+std::optional<uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return in_[pos_++];
+}
+
+std::optional<uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return std::nullopt;
+  uint16_t v = static_cast<uint16_t>(in_[pos_] << 8 | in_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::optional<uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | in_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<uint64_t> ByteReader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | in_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<Bytes> ByteReader::raw(size_t n) {
+  if (remaining() < n) return std::nullopt;
+  Bytes out(in_.begin() + static_cast<ptrdiff_t>(pos_),
+            in_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::optional<BytesView> ByteReader::view(size_t n) {
+  if (remaining() < n) return std::nullopt;
+  BytesView v = in_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+bool ByteReader::skip(size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+}  // namespace nnn::util

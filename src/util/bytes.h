@@ -1,0 +1,82 @@
+// Byte-buffer primitives shared by every wire codec in the library.
+//
+// The packet substrate, crypto code, and cookie codecs all operate on
+// contiguous byte ranges. We standardize on std::vector<uint8_t> for
+// owning buffers and std::span<const uint8_t> for views, plus a small
+// big-endian reader/writer pair used by all header serializers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nnn::util {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+/// Convert a string's characters to bytes (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Convert raw bytes back to a std::string (no encoding applied).
+std::string to_string(BytesView b);
+
+/// Constant-size equality check helper (not constant-time; see
+/// crypto::constant_time_equal for secret comparisons).
+bool equal(BytesView a, BytesView b);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Incremental big-endian writer used by the packet and cookie codecs.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u16(uint16_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void raw(BytesView v) { append(out_, v); }
+  void raw(std::string_view v);
+
+  /// Bytes written so far through this writer's target buffer.
+  size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Incremental big-endian reader. All accessors return std::nullopt on
+/// underrun instead of throwing: wire parsing treats truncation as a
+/// recoverable condition (the packet simply has no cookie / bad header).
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView in) : in_(in) {}
+
+  std::optional<uint8_t> u8();
+  std::optional<uint16_t> u16();
+  std::optional<uint32_t> u32();
+  std::optional<uint64_t> u64();
+  /// Read exactly n bytes; nullopt if fewer remain.
+  std::optional<Bytes> raw(size_t n);
+  /// View of exactly n bytes without copying; nullopt if fewer remain.
+  std::optional<BytesView> view(size_t n);
+  /// Skip n bytes; false if fewer remain.
+  bool skip(size_t n);
+
+  size_t remaining() const { return in_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool done() const { return pos_ == in_.size(); }
+
+ private:
+  BytesView in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace nnn::util

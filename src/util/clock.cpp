@@ -1,0 +1,9 @@
+#include "util/clock.h"
+
+// Clock implementations are header-only; this TU anchors the vtable.
+
+namespace nnn::util {
+
+// Key function anchor: nothing further required.
+
+}  // namespace nnn::util

@@ -1,0 +1,54 @@
+// Virtual time.
+//
+// Cookie validity is time-based (the NCT window, descriptor expiry), so
+// every component that reads the clock takes a Clock& and the tests /
+// simulator inject a ManualClock. Time is an integral count of
+// microseconds since an arbitrary epoch; cookies carry seconds-level
+// timestamps derived from it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nnn::util {
+
+/// Microseconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+/// One second in Timestamp units.
+inline constexpr Timestamp kSecond = 1'000'000;
+inline constexpr Timestamp kMillisecond = 1'000;
+
+/// Abstract time source. See ManualClock (tests, simulator) and
+/// SystemClock (benchmarks, examples).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp now() const = 0;
+};
+
+/// Clock advanced explicitly by the caller; the simulator's event loop
+/// and all deterministic tests use this.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp now() const override { return now_; }
+  void advance(Timestamp delta) { now_ += delta; }
+  void set(Timestamp t) { now_ = t; }
+
+ private:
+  Timestamp now_;
+};
+
+/// Wall clock (steady, monotonic).
+class SystemClock final : public Clock {
+ public:
+  Timestamp now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace nnn::util

@@ -1,0 +1,56 @@
+// Minimal {}-style formatter.
+//
+// The toolchain (libstdc++ 12) does not ship <format>, so the library
+// uses this small substitute. Supported: "{}" placeholders filled in
+// order with operator<<, plus "{:x}" for lowercase hex integers.
+// Surplus placeholders render literally; surplus arguments are ignored
+// (formatting must never throw in logging paths).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nnn::util {
+
+namespace detail {
+
+inline void fmt_rest(std::ostringstream& os, std::string_view f) {
+  os << f;
+}
+
+template <typename T, typename... Rest>
+void fmt_rest(std::ostringstream& os, std::string_view f, T&& first,
+              Rest&&... rest) {
+  const size_t open = f.find('{');
+  if (open == std::string_view::npos) {
+    os << f;
+    return;  // extra args ignored
+  }
+  const size_t close = f.find('}', open);
+  if (close == std::string_view::npos) {
+    os << f;
+    return;
+  }
+  os << f.substr(0, open);
+  const std::string_view spec = f.substr(open + 1, close - open - 1);
+  if (spec == ":x") {
+    const auto flags = os.flags();
+    os << std::hex << first;
+    os.flags(flags);
+  } else {
+    os << first;
+  }
+  fmt_rest(os, f.substr(close + 1), std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+std::string fmt(std::string_view f, Args&&... args) {
+  std::ostringstream os;
+  detail::fmt_rest(os, f, std::forward<Args>(args)...);
+  return os.str();
+}
+
+}  // namespace nnn::util

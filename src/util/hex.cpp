@@ -1,0 +1,40 @@
+#include "util/hex.h"
+
+namespace nnn::util {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(BytesView in) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(in.size() * 2);
+  for (uint8_t b : in) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(std::string_view in) {
+  if (in.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(in.size() / 2);
+  for (size_t i = 0; i < in.size(); i += 2) {
+    const int hi = hex_digit(in[i]);
+    const int lo = hex_digit(in[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace nnn::util

@@ -1,0 +1,18 @@
+// Hex codec, used for crypto test vectors, logging, and audit records.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace nnn::util {
+
+/// Lowercase hex encoding.
+std::string hex_encode(BytesView in);
+
+/// Decode hex (case-insensitive, even length). nullopt on bad input.
+std::optional<Bytes> hex_decode(std::string_view in);
+
+}  // namespace nnn::util

@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace nnn::util {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  set_sink(nullptr);
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view msg) {
+      std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                   static_cast<int>(msg.size()), msg.data());
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (level < level_) return;
+  sink_(level, msg);
+}
+
+}  // namespace nnn::util

@@ -1,0 +1,65 @@
+// Minimal leveled logger.
+//
+// Library code logs through this instead of writing to stderr directly
+// so tests can silence or capture output. Default severity is kWarn to
+// keep benches quiet.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/fmt.h"
+
+namespace nnn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log sink and level. Not thread-safe by design: the
+/// library is single-threaded per component (dataplane sharding is
+/// modeled, not threaded).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replace the sink (tests use this to capture); pass nullptr to
+  /// restore the default stderr sink.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+  template <typename... Args>
+  void logf(LogLevel level, std::string_view fmt, Args&&... args) {
+    if (level < level_) return;
+    log(level, util::fmt(fmt, std::forward<Args>(args)...));
+  }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+template <typename... Args>
+void log_debug(std::string_view fmt, Args&&... args) {
+  Logger::instance().logf(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(std::string_view fmt, Args&&... args) {
+  Logger::instance().logf(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(std::string_view fmt, Args&&... args) {
+  Logger::instance().logf(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(std::string_view fmt, Args&&... args) {
+  Logger::instance().logf(LogLevel::kError, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace nnn::util

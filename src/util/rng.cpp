@@ -1,0 +1,74 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nnn::util {
+
+uint64_t Rng::next_u64(uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::next_u64: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v;
+  do {
+    v = engine_();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(engine_() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  return lo + static_cast<int>(next_u64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) {
+  return next_double() < p;
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+double Rng::log_normal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+Rng Rng::fork() {
+  return Rng(engine_());
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t k = 1; k <= n; ++k) {
+    sum += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace nnn::util

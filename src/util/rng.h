@@ -1,0 +1,85 @@
+// Deterministic random-number utilities.
+//
+// Every study, workload generator, and simulator component takes an
+// explicit Rng so runs are reproducible from a seed. We also provide
+// the two heavy-tail samplers the paper's workloads need: Zipf (site /
+// app popularity and user preferences have a heavy tail, Figs. 1-2) and
+// log-normal (flow sizes in the campus trace, §4.6).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace nnn::util {
+
+/// Thin deterministic wrapper around std::mt19937_64 with convenience
+/// sampling helpers. Copyable so generators can fork independent
+/// sub-streams (fork() reseeds from the parent's stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t next_u64(uint64_t n);
+  uint64_t next_u64() { return engine_(); }
+  uint32_t next_u32() { return static_cast<uint32_t>(engine_()); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double log_normal(double mu, double sigma);
+
+  /// Normal distribution.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent generator (e.g., per-user sub-streams).
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_u64(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[next_u64(v.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf(s) sampler over ranks 1..n: P(k) proportional to k^-s.
+/// Built with an inverse-CDF table; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Sample a rank in [1, n].
+  size_t sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nnn::util

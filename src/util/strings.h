@@ -1,0 +1,32 @@
+// Small string helpers used by the HTTP codec, JSON API, and catalogs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nnn::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality (HTTP header names).
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `host` equals `domain` or is a subdomain of it
+/// ("cdn.cnn.com" matches domain "cnn.com").
+bool domain_matches(std::string_view host, std::string_view domain);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace nnn::util

@@ -1,0 +1,265 @@
+#include "workload/apps.h"
+
+#include <unordered_map>
+
+#include "util/fmt.h"
+
+namespace nnn::workload {
+
+std::string to_string(AppCategory c) {
+  switch (c) {
+    case AppCategory::kAvStreaming:
+      return "AV Streaming";
+    case AppCategory::kSocial:
+      return "Social";
+    case AppCategory::kNews:
+      return "News";
+    case AppCategory::kGaming:
+      return "Gaming";
+    case AppCategory::kPhotos:
+      return "Photos";
+    case AppCategory::kEmail:
+      return "Email";
+    case AppCategory::kMaps:
+      return "Maps";
+    case AppCategory::kBrowser:
+      return "Browser";
+    case AppCategory::kEducation:
+      return "Education";
+    case AppCategory::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+std::string to_string(PopularityBucket b) {
+  switch (b) {
+    case PopularityBucket::kUnder1M:
+      return "< 1M";
+    case PopularityBucket::k1MTo10M:
+      return "1M-10M";
+    case PopularityBucket::k10MTo100M:
+      return "10M-100M";
+    case PopularityBucket::k100MTo500M:
+      return "100M-500M";
+    case PopularityBucket::kOver500M:
+      return "> 500M";
+    case PopularityBucket::kNotListed:
+      return "N/A";
+  }
+  return "?";
+}
+
+std::string to_string(ZeroRatingProgram p) {
+  switch (p) {
+    case ZeroRatingProgram::kFacebookZero:
+      return "Facebook-Zero";
+    case ZeroRatingProgram::kMusicFreedom:
+      return "Music Freedom";
+    case ZeroRatingProgram::kWikipediaZero:
+      return "Wikipedia-Zero";
+    case ZeroRatingProgram::kNetflixAustralia:
+      return "Netflix-Australia";
+  }
+  return "?";
+}
+
+namespace {
+
+AppProfile app(std::string name, AppCategory cat, PopularityBucket pop,
+               uint32_t weight, bool music = false, bool dpi = false,
+               std::vector<ZeroRatingProgram> covered = {}) {
+  AppProfile a;
+  a.name = std::move(name);
+  a.category = cat;
+  a.popularity = pop;
+  a.survey_weight = weight;
+  a.is_music = music;
+  a.dpi_recognized = dpi;
+  a.covered_by = std::move(covered);
+  return a;
+}
+
+std::vector<AppProfile> build_catalog() {
+  using C = AppCategory;
+  using P = PopularityBucket;
+  using Z = ZeroRatingProgram;
+  std::vector<AppProfile> apps;
+  apps.reserve(106);
+
+  // --- the applications Fig. 2 names, with figure-scale weights ---
+  apps.push_back(app("facebook", C::kSocial, P::kOver500M, 45, false, true,
+                     {Z::kFacebookZero}));
+  apps.push_back(app("netflix", C::kAvStreaming, P::k100MTo500M, 18, false,
+                     true, {Z::kNetflixAustralia}));
+  apps.push_back(app("instagram", C::kPhotos, P::kOver500M, 14, false, true));
+  apps.push_back(app("google maps", C::kMaps, P::kOver500M, 11, false, true));
+  apps.push_back(app("spotify", C::kAvStreaming, P::k100MTo500M, 12, true,
+                     true, {Z::kMusicFreedom}));
+  apps.push_back(app("google music", C::kAvStreaming, P::k100MTo500M, 8,
+                     true, true, {Z::kMusicFreedom}));
+  apps.push_back(app("whatsapp", C::kSocial, P::kOver500M, 9, false, true));
+  apps.push_back(app("pandora", C::kAvStreaming, P::k100MTo500M, 6, true,
+                     true, {Z::kMusicFreedom}));
+  apps.push_back(
+      app("reddit is fun", C::kNews, P::k1MTo10M, 8, false, true));
+  apps.push_back(
+      app("amazon music", C::kAvStreaming, P::k10MTo100M, 6, true, true));
+  apps.push_back(app("nine", C::kEmail, P::k1MTo10M, 6));
+  apps.push_back(app("wikipedia", C::kOther, P::k10MTo100M, 1, false, true,
+                     {Z::kWikipediaZero}));
+  apps.push_back(app("tunein radio", C::kAvStreaming, P::k10MTo100M, 4,
+                     true, true, {Z::kMusicFreedom}));
+  apps.push_back(app("iheartradio", C::kAvStreaming, P::k10MTo100M, 2, true,
+                     true, {Z::kMusicFreedom}));
+  apps.push_back(app("beats", C::kAvStreaming, P::k1MTo10M, 4, true, true));
+  apps.push_back(app("hulu", C::kAvStreaming, P::k10MTo100M, 4, false, true));
+  apps.push_back(app("nyt", C::kNews, P::k10MTo100M, 4, false, true));
+  apps.push_back(
+      app("trivia crack", C::kGaming, P::k100MTo500M, 3, false, true));
+  apps.push_back(
+      app("candy crush", C::kGaming, P::kOver500M, 3, false, true));
+  apps.push_back(
+      app("flipboard", C::kNews, P::k100MTo500M, 3, false, true));
+  apps.push_back(app("viber", C::kSocial, P::kOver500M, 2, false, true));
+  apps.push_back(app("soma.fm", C::kAvStreaming, P::kUnder1M, 2, true));
+  apps.push_back(app("swig", C::kOther, P::kUnder1M, 2));
+  apps.push_back(app("indie103.1", C::kAvStreaming, P::kUnder1M, 2, true));
+  apps.push_back(app("lynda.com", C::kEducation, P::k1MTo10M, 2));
+  apps.push_back(app("schwab", C::kOther, P::kNotListed, 2));
+  apps.push_back(app("8tracks", C::kAvStreaming, P::k1MTo10M, 2, true,
+                     true));
+  apps.push_back(app("edmodo", C::kEducation, P::k10MTo100M, 1));
+  apps.push_back(app("mapmyrun", C::kOther, P::k10MTo100M, 1));
+  apps.push_back(app("action news", C::kNews, P::kUnder1M, 1));
+  apps.push_back(app("wwf", C::kGaming, P::k10MTo100M, 1));
+
+  // --- deterministic fill to the exact Fig. 2 marginals ---
+  // Remaining category quota (after the 31 named apps):
+  //   AV 20, Social 9, News 8, Gaming 6, Photos 3, Email 3, Maps 3,
+  //   Browser 3, Education 0, Other 20  -> 75 fill apps.
+  // Remaining popularity quota:
+  //   <1M 12, 1-10M 8, 10-100M 19, 100-500M 8, >500M 4, N/A 24.
+  struct Quota {
+    C category;
+    int count;
+  };
+  const Quota category_quota[] = {
+      {C::kAvStreaming, 20}, {C::kSocial, 9}, {C::kNews, 8},
+      {C::kGaming, 6},       {C::kPhotos, 3}, {C::kEmail, 3},
+      {C::kMaps, 3},         {C::kBrowser, 3}, {C::kOther, 20},
+  };
+  std::vector<P> popularity_pool;
+  const std::pair<P, int> popularity_quota[] = {
+      {P::kNotListed, 24}, {P::k10MTo100M, 19}, {P::kUnder1M, 12},
+      {P::k1MTo10M, 8},    {P::k100MTo500M, 8}, {P::kOver500M, 4},
+  };
+  for (const auto& [bucket, count] : popularity_quota) {
+    for (int i = 0; i < count; ++i) popularity_pool.push_back(bucket);
+  }
+
+  size_t pop_index = 0;
+  int fill_id = 1;
+  int dpi_fills_left = 2;  // 21 named + 2 fill = 23 nDPI-recognized apps
+  for (const auto& quota : category_quota) {
+    for (int i = 0; i < quota.count; ++i) {
+      const P pop = popularity_pool[pop_index++];
+      AppProfile a = app(
+          util::fmt("{}-app-{}",
+                    to_string(quota.category).substr(0, 2), fill_id++),
+          quota.category, pop, 1,
+          quota.category == C::kAvStreaming && i % 3 == 0);
+      if (dpi_fills_left > 0 && (pop == P::kOver500M)) {
+        a.dpi_recognized = true;
+        --dpi_fills_left;
+      }
+      apps.push_back(std::move(a));
+    }
+  }
+  return apps;
+}
+
+std::vector<AppProfile> build_music_survey() {
+  using C = AppCategory;
+  using P = PopularityBucket;
+  using Z = ZeroRatingProgram;
+  std::vector<AppProfile> apps;
+  apps.reserve(51);
+  // The music apps from the main catalog (5 of them Music Freedom
+  // members) ...
+  for (const auto& a : app_catalog()) {
+    if (a.is_music &&
+        (a.name == "spotify" || a.name == "google music" ||
+         a.name == "pandora" || a.name == "tunein radio" ||
+         a.name == "iheartradio" || a.name == "amazon music" ||
+         a.name == "beats" || a.name == "soma.fm" ||
+         a.name == "indie103.1" || a.name == "8tracks")) {
+      apps.push_back(a);
+    }
+  }
+  // ... plus the music-only survey's long tail of stations and
+  // services, 12 more of which Music Freedom covered (17 of 51 total).
+  int covered_left = 12;
+  int id = 0;
+  while (apps.size() < 51) {
+    ++id;
+    AppProfile a = app(util::fmt("radio-station-{}", id),
+                       C::kAvStreaming,
+                       id % 4 == 0 ? P::k1MTo10M : P::kUnder1M, 1, true);
+    if (covered_left > 0 && id % 3 == 0) {
+      a.covered_by.push_back(Z::kMusicFreedom);
+      a.dpi_recognized = true;  // MF enforcement is DPI-based (§6)
+      --covered_left;
+    }
+    apps.push_back(std::move(a));
+  }
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& app_catalog() {
+  static const std::vector<AppProfile> catalog = build_catalog();
+  return catalog;
+}
+
+const std::vector<AppProfile>& music_survey_catalog() {
+  static const std::vector<AppProfile> catalog = build_music_survey();
+  return catalog;
+}
+
+const AppProfile* find_app(const std::string& name) {
+  static const auto index = [] {
+    std::unordered_map<std::string, const AppProfile*> map;
+    for (const auto& a : app_catalog()) map[a.name] = &a;
+    return map;
+  }();
+  const auto it = index.find(name);
+  return it == index.end() ? nullptr : it->second;
+}
+
+AppCatalogMarginals catalog_marginals() {
+  AppCatalogMarginals m;
+  std::unordered_map<int, size_t> by_cat;
+  std::unordered_map<int, size_t> by_pop;
+  for (const auto& a : app_catalog()) {
+    ++by_cat[static_cast<int>(a.category)];
+    ++by_pop[static_cast<int>(a.popularity)];
+    if (a.dpi_recognized) ++m.dpi_recognized;
+  }
+  for (int c = 0; c <= static_cast<int>(AppCategory::kOther); ++c) {
+    m.by_category.emplace_back(static_cast<AppCategory>(c), by_cat[c]);
+  }
+  for (int p = 0; p <= static_cast<int>(PopularityBucket::kNotListed); ++p) {
+    m.by_popularity.emplace_back(static_cast<PopularityBucket>(p), by_pop[p]);
+  }
+  for (const auto& a : music_survey_catalog()) {
+    ++m.music_apps;
+    for (const auto z : a.covered_by) {
+      if (z == ZeroRatingProgram::kMusicFreedom) ++m.music_freedom_covered;
+    }
+  }
+  return m;
+}
+
+}  // namespace nnn::workload

@@ -1,0 +1,63 @@
+#include "workload/packet_gen.h"
+
+#include "cookies/transport.h"
+
+namespace nnn::workload {
+
+PacketGenerator::PacketGenerator(Config config, const util::Clock& clock,
+                                 cookies::CookieVerifier& verifier,
+                                 uint64_t seed)
+    : config_(config), clock_(clock), rng_(seed) {
+  generators_.reserve(config_.descriptors);
+  for (size_t i = 0; i < config_.descriptors; ++i) {
+    cookies::CookieDescriptor descriptor;
+    descriptor.cookie_id = i + 1;
+    descriptor.key.resize(32);
+    for (size_t b = 0; b < descriptor.key.size(); ++b) {
+      descriptor.key[b] = static_cast<uint8_t>(rng_.next_u64());
+    }
+    descriptor.service_data = "Boost";
+    verifier.add_descriptor(descriptor);
+    generators_.emplace_back(std::move(descriptor), clock_,
+                             rng_.next_u64());
+  }
+}
+
+std::vector<net::Packet> PacketGenerator::make_batch(size_t flow_count) {
+  std::vector<net::Packet> batch;
+  batch.reserve(flow_count * config_.packets_per_flow);
+  for (size_t f = 0; f < flow_count; ++f) {
+    const uint32_t flow_id = next_flow_id_++;
+    net::FiveTuple tuple;
+    tuple.src_ip = net::IpAddress::v4(0x0a000000u | (flow_id & 0xffffff));
+    tuple.dst_ip = net::IpAddress::v4(151, 101,
+                                      static_cast<uint8_t>(flow_id >> 8),
+                                      static_cast<uint8_t>(flow_id));
+    tuple.src_port = static_cast<uint16_t>(1024 + flow_id % 50000);
+    tuple.dst_port = 443;
+    tuple.proto = config_.transport == cookies::Transport::kUdpHeader
+                      ? net::L4Proto::kUdp
+                      : net::L4Proto::kTcp;
+
+    auto& generator = generators_[rng_.next_u64(generators_.size())];
+    for (uint32_t i = 0; i < config_.packets_per_flow; ++i) {
+      net::Packet packet;
+      packet.tuple = tuple;
+      packet.wire_size = config_.packet_size;
+      if (i == 0) {
+        const cookies::Cookie cookie = generator.generate();
+        if (config_.transport == cookies::Transport::kIpv6Extension) {
+          packet.ipv6 = true;
+        }
+        cookies::attach(packet, cookie, config_.transport);
+        // attach() may reset wire_size when it rewrites payloads; pin
+        // the modeled on-wire size back to the experiment's parameter.
+        packet.wire_size = config_.packet_size;
+      }
+      batch.push_back(std::move(packet));
+    }
+  }
+  return batch;
+}
+
+}  // namespace nnn::workload

@@ -1,0 +1,178 @@
+#include "workload/page_load.h"
+
+#include <algorithm>
+
+#include "net/http.h"
+#include "net/tls.h"
+#include "util/fmt.h"
+
+namespace nnn::workload {
+
+namespace {
+
+/// Host names for non-first-party origins. CDN and ad hosts are
+/// deliberately shared infrastructure names: DPI cannot attribute them
+/// to the site, and OOB's server-only descriptions over-match them.
+std::string origin_host(const GeneratedFlow& flow,
+                        const WebsiteProfile& site, uint32_t index) {
+  switch (flow.origin) {
+    case OriginKind::kFirstParty:
+      return index % 3 == 0 ? site.domain
+                            : util::fmt("s{}.{}", index % 7, site.domain);
+    case OriginKind::kDedicatedCdn:
+      return util::fmt("cdn.{}", site.domain);
+    case OriginKind::kCdn:
+      return util::fmt("edge{}.cdn-provider.net", index % 9);
+    case OriginKind::kAds:
+      return util::fmt("track{}.ad-exchange.com", index % 5);
+    case OriginKind::kEmbed:
+      return site.embed_domain.value_or("embed.example");
+  }
+  return "";
+}
+
+}  // namespace
+
+PageLoadGenerator::PageLoadGenerator(util::Rng& rng, net::IpAddress client)
+    : rng_(rng), client_(client) {}
+
+net::IpAddress PageLoadGenerator::server_for(OriginKind kind,
+                                             uint32_t index) {
+  // Distinct public /16 per origin kind; servers are index mod pool.
+  switch (kind) {
+    case OriginKind::kFirstParty:
+      return net::IpAddress::v4(151, 101, index % 64, 10);
+    case OriginKind::kDedicatedCdn:
+      return net::IpAddress::v4(199, 27, 0, 1 + index % 8);
+    case OriginKind::kCdn:
+      // Small shared pool: many flows (and many *sites*) hit the same
+      // CDN front ends.
+      return net::IpAddress::v4(23, 55, 0, 1 + index % 6);
+    case OriginKind::kAds:
+      return net::IpAddress::v4(64, 233, 0, 1 + index % 4);
+    case OriginKind::kEmbed:
+      return net::IpAddress::v4(172, 217, 0, 1 + index % 8);
+  }
+  return net::IpAddress::v4(192, 0, 2, 1);
+}
+
+PageLoad PageLoadGenerator::generate(const WebsiteProfile& site) {
+  PageLoad load;
+  load.domain = site.domain;
+  load.flows.reserve(site.flows);
+
+  // Split the flow budget by origin. First-party flows host a larger
+  // share of packets-per-flow than their flow count suggests when
+  // first_party_packet_share is high, so derive flow counts from the
+  // packet shares with a floor of one flow per non-zero share.
+  const double embed_share = site.embed_packet_share;
+  const double fp_share = site.first_party_packet_share;
+  const double dedicated_share = site.dedicated_cdn_packet_share;
+  const double rest =
+      std::max(0.0, 1.0 - fp_share - embed_share - dedicated_share);
+  const double cdn_share = rest * 0.7;
+  const double ads_share = rest * 0.3;
+
+  struct Split {
+    OriginKind kind;
+    double packet_share;
+  };
+  const Split splits[] = {
+      {OriginKind::kFirstParty, fp_share},
+      {OriginKind::kDedicatedCdn, dedicated_share},
+      {OriginKind::kCdn, cdn_share},
+      {OriginKind::kAds, ads_share},
+      {OriginKind::kEmbed, embed_share},
+  };
+
+  uint32_t flows_left = site.flows;
+  uint32_t packets_left = site.packets;
+  uint32_t flow_index = 0;
+  for (const auto& split : splits) {
+    if (split.packet_share <= 0.0) continue;
+    uint32_t flow_count = static_cast<uint32_t>(
+        std::max(1.0, std::round(site.flows * split.packet_share)));
+    flow_count = std::min(flow_count, flows_left);
+    uint32_t packet_budget = static_cast<uint32_t>(
+        std::round(site.packets * split.packet_share));
+    packet_budget = std::min(packet_budget, packets_left);
+    if (flow_count == 0) continue;
+
+    for (uint32_t i = 0; i < flow_count; ++i) {
+      GeneratedFlow flow;
+      flow.origin = split.kind;
+      flow.tuple.src_ip = client_;
+      flow.tuple.dst_ip = server_for(split.kind, flow_index);
+      flow.tuple.src_port = static_cast<uint16_t>(
+          30000 + rng_.next_u64(20000));
+      flow.https = rng_.chance(site.https_share);
+      flow.tuple.dst_port = flow.https ? 443 : 80;
+      flow.tuple.proto = net::L4Proto::kTcp;
+      flow.host = origin_host(flow, site, flow_index);
+      // Packets per flow: even share with +-50% jitter; remainder goes
+      // to the last flow of the split.
+      const uint32_t base = std::max(1u, packet_budget / flow_count);
+      uint32_t pkts = std::max(
+          1u, static_cast<uint32_t>(base * rng_.uniform_real(0.5, 1.5)));
+      if (i + 1 == flow_count) {
+        pkts = std::max(1u, packet_budget);  // keep split totals exact
+      }
+      pkts = std::min(pkts, packet_budget);
+      packet_budget -= std::min(pkts, packet_budget);
+      flow.packets = pkts;
+      flow.request_index = static_cast<uint32_t>(rng_.next_u64(2));
+      load.flows.push_back(std::move(flow));
+      ++flow_index;
+    }
+    flows_left -= flow_count;
+    const uint32_t split_total = static_cast<uint32_t>(
+        std::round(site.packets * split.packet_share));
+    packets_left -= std::min(split_total, packets_left);
+  }
+
+  for (const auto& flow : load.flows) load.total_packets += flow.packets;
+  return load;
+}
+
+net::Packet PageLoadGenerator::make_request_packet(
+    const GeneratedFlow& flow) {
+  net::Packet packet;
+  packet.tuple = flow.tuple;
+  if (flow.https) {
+    net::tls::ClientHello hello;
+    hello.set_server_name(flow.host);
+    packet.payload = hello.serialize_record();
+  } else {
+    net::http::Request request("GET", "/", flow.host);
+    request.add_header("User-Agent", "nnn-browser/1.0");
+    const std::string text = request.serialize();
+    packet.payload.assign(text.begin(), text.end());
+  }
+  return packet;
+}
+
+net::Packet PageLoadGenerator::make_data_packet(const GeneratedFlow& flow,
+                                                uint32_t size_bytes) {
+  net::Packet packet;
+  packet.tuple = flow.tuple;
+  packet.wire_size = size_bytes;
+  return packet;
+}
+
+std::vector<net::Packet> PageLoadGenerator::materialize_flow(
+    const GeneratedFlow& flow, util::Rng& rng) {
+  std::vector<net::Packet> out;
+  out.reserve(flow.packets);
+  for (uint32_t i = 0; i < flow.packets; ++i) {
+    if (i == flow.request_index) {
+      out.push_back(make_request_packet(flow));
+    } else {
+      const uint32_t size =
+          static_cast<uint32_t>(200 + rng.next_u64(1301));
+      out.push_back(make_data_packet(flow, size));
+    }
+  }
+  return out;
+}
+
+}  // namespace nnn::workload

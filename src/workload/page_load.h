@@ -1,0 +1,70 @@
+// Page-load flow generator.
+//
+// Expands a WebsiteProfile into the concrete flows and packets a
+// browser would emit when loading the front page: each flow gets a
+// destination server (first-party / CDN / ads / embed pools), a host
+// name for its SNI or Host header, an HTTPS flag, a packet count, and
+// materialized first packets (real HTTP request or TLS ClientHello
+// bytes) so DPI, OOB and the cookie middlebox all see what they would
+// see on the wire. This is the workload under Fig. 6 and the §5.1
+// user-view/network-view paradox.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+#include "util/rng.h"
+#include "workload/websites.h"
+
+namespace nnn::workload {
+
+struct GeneratedFlow {
+  net::FiveTuple tuple;       // pre-NAT (client-side) tuple
+  OriginKind origin = OriginKind::kFirstParty;
+  std::string host;           // SNI / Host header value
+  bool https = false;
+  uint32_t packets = 0;       // total packets in the flow (both ways)
+  uint32_t request_index = 0; // index of the request packet (0..2)
+};
+
+struct PageLoad {
+  std::string domain;
+  std::vector<GeneratedFlow> flows;
+  uint32_t total_packets = 0;
+};
+
+class PageLoadGenerator {
+ public:
+  /// `client` is the (private) client address used as flow source.
+  PageLoadGenerator(util::Rng& rng, net::IpAddress client);
+
+  /// Expand one front-page load of `site`.
+  PageLoad generate(const WebsiteProfile& site);
+
+  /// Build the request packet (packet #request_index of the flow): a
+  /// real HTTP GET or TLS ClientHello for flow.host.
+  static net::Packet make_request_packet(const GeneratedFlow& flow);
+
+  /// Build a non-request data packet of the flow (sized, opaque
+  /// payload).
+  static net::Packet make_data_packet(const GeneratedFlow& flow,
+                                      uint32_t size_bytes);
+
+  /// Materialize the full packet sequence of a flow: sniffable request
+  /// within the first packets, the rest data. Sizes drawn from `rng`.
+  static std::vector<net::Packet> materialize_flow(
+      const GeneratedFlow& flow, util::Rng& rng);
+
+ private:
+  /// Pool of server addresses per origin kind (stable per generator so
+  /// CDN servers are genuinely shared across sites — the OOB
+  /// false-positive mechanism).
+  net::IpAddress server_for(OriginKind kind, uint32_t index);
+
+  util::Rng& rng_;
+  net::IpAddress client_;
+};
+
+}  // namespace nnn::workload

@@ -1,0 +1,98 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace nnn::workload {
+
+CampusTraceGenerator::CampusTraceGenerator(Config config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<TraceFlow> CampusTraceGenerator::generate() {
+  std::vector<TraceFlow> trace;
+  trace.reserve(config_.flows);
+
+  // Heavy-tailed activity across the client pool (a few hosts dominate
+  // a campus trace).
+  util::ZipfSampler client_sampler(config_.clients, 1.1);
+
+  // Diurnal arrival intensity: 1 + (peak-1) * sin^2 over the duration,
+  // normalized so the expected total equals config_.flows. Draw each
+  // flow's start by rejection against the intensity envelope.
+  const double duration_sec =
+      static_cast<double>(config_.duration) / util::kSecond;
+  const double peak = config_.peak_ratio;
+
+  const auto intensity = [&](double t_sec) {
+    const double phase = t_sec / duration_sec * std::numbers::pi;
+    const double s = std::sin(phase);
+    const double s2 = s * s;
+    const double s8 = s2 * s2 * s2 * s2;  // a sharp busy-hour peak
+    return 1.0 + (peak - 1.0) * s8;
+  };
+
+  for (uint64_t i = 0; i < config_.flows; ++i) {
+    double t_sec;
+    while (true) {
+      t_sec = rng_.uniform_real(0.0, duration_sec);
+      if (rng_.next_double() * peak <= intensity(t_sec)) break;
+    }
+    TraceFlow flow;
+    flow.start = static_cast<util::Timestamp>(t_sec * util::kSecond);
+    const size_t client_rank = client_sampler.sample(rng_);
+    flow.client = net::IpAddress::v4(
+        10, static_cast<uint8_t>(client_rank >> 16),
+        static_cast<uint8_t>(client_rank >> 8),
+        static_cast<uint8_t>(client_rank));
+    flow.packets = std::max<uint32_t>(
+        2, static_cast<uint32_t>(
+               std::lround(rng_.log_normal(config_.log_mu,
+                                           config_.log_sigma))));
+    flow.mean_packet_bytes =
+        static_cast<uint32_t>(300 + rng_.next_u64(900));
+    flow.https = rng_.chance(0.6);
+    trace.push_back(flow);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceFlow& a, const TraceFlow& b) {
+              return a.start < b.start;
+            });
+  return trace;
+}
+
+TraceSummary CampusTraceGenerator::summarize(
+    const std::vector<TraceFlow>& trace, util::Timestamp duration) {
+  TraceSummary s;
+  s.flows = trace.size();
+  std::unordered_set<net::IpAddress> clients;
+  std::vector<uint32_t> sizes;
+  sizes.reserve(trace.size());
+  const size_t seconds = static_cast<size_t>(duration / util::kSecond) + 1;
+  std::vector<uint32_t> per_second(seconds, 0);
+  for (const auto& flow : trace) {
+    s.packets += flow.packets;
+    clients.insert(flow.client);
+    sizes.push_back(flow.packets);
+    const size_t sec = static_cast<size_t>(flow.start / util::kSecond);
+    if (sec < per_second.size()) ++per_second[sec];
+  }
+  s.distinct_clients = clients.size();
+  if (!sizes.empty()) {
+    const size_t mid = sizes.size() / 2;
+    std::nth_element(sizes.begin(), sizes.begin() + mid, sizes.end());
+    s.median_flow_packets = sizes[mid];
+  }
+  if (!per_second.empty()) {
+    const size_t idx = static_cast<size_t>(per_second.size() * 0.99);
+    std::nth_element(per_second.begin(),
+                     per_second.begin() + std::min(idx, per_second.size() - 1),
+                     per_second.end());
+    s.p99_new_flows_per_sec =
+        per_second[std::min(idx, per_second.size() - 1)];
+  }
+  return s;
+}
+
+}  // namespace nnn::workload

@@ -1,0 +1,157 @@
+#include "workload/websites.h"
+
+#include <unordered_map>
+
+#include "util/fmt.h"
+
+namespace nnn::workload {
+
+std::string to_string(OriginKind k) {
+  switch (k) {
+    case OriginKind::kFirstParty:
+      return "first-party";
+    case OriginKind::kDedicatedCdn:
+      return "dedicated-cdn";
+    case OriginKind::kCdn:
+      return "cdn";
+    case OriginKind::kAds:
+      return "ads";
+    case OriginKind::kEmbed:
+      return "embed";
+  }
+  return "?";
+}
+
+WebsiteProfile cnn_profile() {
+  // §3: "Loading its front-page generates 255 flows and 6741 packets
+  // from 71 different servers. nDPI marked only packets coming from
+  // CNN servers, which summed up to 605 packets (less than 10%)".
+  WebsiteProfile p;
+  p.domain = "cnn.com";
+  p.alexa_rank = 84;
+  p.flows = 255;
+  p.packets = 6741;
+  p.servers = 71;
+  p.first_party_packet_share = 605.0 / 6741.0;
+  p.dedicated_cdn_packet_share = 0.09;
+  p.https_share = 0.4;
+  return p;
+}
+
+WebsiteProfile youtube_profile() {
+  // §5.4: youtube.com generates 80 flows / 3750 packets.
+  WebsiteProfile p;
+  p.domain = "youtube.com";
+  p.alexa_rank = 2;
+  p.flows = 80;
+  p.packets = 3750;
+  p.servers = 21;
+  p.first_party_packet_share = 0.72;  // mostly Google-owned servers
+  p.https_share = 0.9;
+  return p;
+}
+
+WebsiteProfile skai_profile() {
+  // §5.4: skai.gr generates 83 flows / 1983 packets; nDPI "matched 12%
+  // of packets from skai.gr [as YouTube], as it embedded YouTube's
+  // video player" and had no rule for skai itself.
+  WebsiteProfile p;
+  p.domain = "skai.gr";
+  p.alexa_rank = 6800;
+  p.flows = 83;
+  p.packets = 1983;
+  p.servers = 24;
+  p.first_party_packet_share = 0.35;
+  p.https_share = 0.3;
+  p.embed_domain = "youtube.com";
+  p.embed_packet_share = 0.12;
+  return p;
+}
+
+namespace {
+
+WebsiteProfile simple_site(std::string domain, uint32_t rank,
+                           uint32_t flows, uint32_t packets,
+                           uint32_t servers, double first_party,
+                           double https) {
+  WebsiteProfile p;
+  p.domain = std::move(domain);
+  p.alexa_rank = rank;
+  p.flows = flows;
+  p.packets = packets;
+  p.servers = servers;
+  p.first_party_packet_share = first_party;
+  p.https_share = https;
+  return p;
+}
+
+std::vector<WebsiteProfile> build_catalog() {
+  std::vector<WebsiteProfile> catalog;
+  // The sites named in Fig. 1, ordered by popularity index. Ranks are
+  // read off the figure's log axis (Alexa, mid-2015 era).
+  catalog.push_back(
+      simple_site("mail.google.com", 1, 40, 900, 8, 0.9, 1.0));
+  catalog.push_back(youtube_profile());
+  catalog.push_back(
+      simple_site("facebook.com", 3, 120, 2900, 25, 0.6, 1.0));
+  catalog.push_back(simple_site("netflix.com", 24, 60, 2400, 18, 0.5, 0.9));
+  catalog.push_back(cnn_profile());
+  catalog.push_back(simple_site("nbc.com", 520, 180, 4100, 52, 0.2, 0.4));
+  catalog.push_back(simple_site("abc.go.com", 610, 150, 3600, 48, 0.2, 0.4));
+  catalog.push_back(simple_site("hulu.com", 292, 90, 2700, 30, 0.4, 0.8));
+  catalog.push_back(
+      simple_site("speedtest.net", 118, 35, 1500, 12, 0.7, 0.6));
+  catalog.push_back(
+      simple_site("usanetwork.com", 1450, 140, 3300, 45, 0.2, 0.4));
+  catalog.push_back(
+      simple_site("ticketmaster.com", 640, 110, 2500, 38, 0.3, 0.8));
+  catalog.push_back(
+      simple_site("espncricinfo.com", 223, 130, 3100, 41, 0.3, 0.5));
+  catalog.push_back(simple_site("cucirca.eu", 3200, 95, 2100, 33, 0.3, 0.2));
+  catalog.push_back(
+      simple_site("intercallonline.com", 21000, 25, 700, 9, 0.8, 0.9));
+  catalog.push_back(
+      simple_site("ondemandkorea.com", 5400, 88, 2300, 29, 0.4, 0.5));
+  catalog.push_back(
+      simple_site("starsports.com", 4100, 125, 2900, 39, 0.3, 0.4));
+  catalog.push_back(skai_profile());
+  catalog.push_back(simple_site("hbo.com", 980, 70, 2200, 26, 0.4, 0.8));
+  catalog.push_back(simple_site("fox.com", 760, 160, 3800, 50, 0.2, 0.4));
+  catalog.push_back(simple_site("espn.com", 61, 170, 4000, 55, 0.25, 0.5));
+
+  // Long tail: deterministic synthetic sites out to rank > 5000 so the
+  // preference samplers have a realistic rank space ("median popularity
+  // index of 223 ... >5000").
+  uint32_t rank = 240;
+  for (int i = 0; i < 240; ++i) {
+    const uint32_t flows = 30 + (i * 37) % 200;
+    const uint32_t packets = flows * (18 + i % 22);
+    const uint32_t servers = 6 + flows / 8;
+    catalog.push_back(simple_site(util::fmt("site-{}.example", rank), rank,
+                                  flows, packets, servers,
+                                  0.2 + (i % 50) / 100.0,
+                                  0.3 + (i % 60) / 100.0));
+    // Spread ranks roughly geometrically out past 5000.
+    rank += 7 + rank / 20;
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<WebsiteProfile>& site_catalog() {
+  static const std::vector<WebsiteProfile> catalog = build_catalog();
+  return catalog;
+}
+
+const WebsiteProfile* find_site(const std::string& domain) {
+  static const auto index = [] {
+    std::unordered_map<std::string, const WebsiteProfile*> map;
+    for (const auto& site : site_catalog()) map[site.domain] = &site;
+    return map;
+  }();
+  const auto it = index.find(domain);
+  return it == index.end() ? nullptr : it->second;
+}
+
+}  // namespace nnn::workload

@@ -1,0 +1,301 @@
+// Baselines: DPI engine, OOB controller/switch, DiffServ domains —
+// including the failure modes the paper measures.
+#include <gtest/gtest.h>
+
+#include "baselines/diffserv.h"
+#include "baselines/dpi.h"
+#include "baselines/oob.h"
+#include "net/http.h"
+#include "net/tls.h"
+#include "sim/nat.h"
+
+namespace nnn::baselines {
+namespace {
+
+net::Packet http_packet(const std::string& host, uint16_t src_port) {
+  net::Packet p;
+  p.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+  p.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 10);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  net::http::Request r("GET", "/", host);
+  const std::string text = r.serialize();
+  p.payload.assign(text.begin(), text.end());
+  return p;
+}
+
+net::Packet tls_packet(const std::string& sni, uint16_t src_port) {
+  net::Packet p;
+  p.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+  p.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 20);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 443;
+  net::tls::ClientHello hello;
+  hello.set_server_name(sni);
+  p.payload = hello.serialize_record();
+  return p;
+}
+
+DpiRule youtube_rule() {
+  DpiRule rule;
+  rule.app = "youtube";
+  rule.host_suffixes = {"youtube.com", "googlevideo.com"};
+  rule.payload_substrings = {"youtube.com/embed"};
+  return rule;
+}
+
+TEST(Dpi, MatchesHostHeader) {
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet p = http_packet("www.youtube.com", 4000);
+  EXPECT_EQ(dpi.classify(p).value(), "youtube");
+}
+
+TEST(Dpi, MatchesSni) {
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet p = tls_packet("r3.googlevideo.com", 4001);
+  EXPECT_EQ(dpi.classify(p).value(), "youtube");
+}
+
+TEST(Dpi, UnknownAppInvisible) {
+  // The skai.gr scenario: no rule, no match — ever.
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet p = http_packet("skai.gr", 4002);
+  EXPECT_FALSE(dpi.classify(p).has_value());
+  EXPECT_FALSE(dpi.knows_app("skai"));
+}
+
+TEST(Dpi, EmbeddedPlayerFalsePositive) {
+  // skai.gr embeds YouTube's player: the embed flow carries YouTube's
+  // fingerprint and is misattributed (the paper's 12%).
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet p = http_packet("skai.gr", 4003);
+  const std::string embed_body =
+      "<iframe src=\"https://www.youtube.com/embed/xyz\"></iframe>";
+  net::http::Request r("GET", "/front", "skai.gr");
+  r.set_body(embed_body);
+  const std::string text = r.serialize();
+  p.payload.assign(text.begin(), text.end());
+  // Host says skai (no rule) but the payload fingerprint fires.
+  EXPECT_EQ(dpi.classify(p).value(), "youtube");
+}
+
+TEST(Dpi, FlowCacheStampsWholeFlow) {
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet hello = tls_packet("youtube.com", 4004);
+  EXPECT_TRUE(dpi.classify(hello).has_value());
+  // Opaque data packet of the same flow inherits the label.
+  net::Packet data;
+  data.tuple = hello.tuple;
+  data.wire_size = 1400;
+  EXPECT_EQ(dpi.classify(data).value(), "youtube");
+  EXPECT_EQ(dpi.stats().flows_classified, 1u);
+  EXPECT_EQ(dpi.stats().classified_packets, 2u);
+}
+
+TEST(Dpi, LateHostStillClassifiesWithinWindow) {
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet opaque;
+  opaque.tuple = tls_packet("x", 4005).tuple;
+  opaque.wire_size = 100;
+  EXPECT_FALSE(dpi.classify(opaque).has_value());  // packet 1: nothing
+  net::Packet hello = tls_packet("youtube.com", 4005);
+  EXPECT_TRUE(dpi.classify(hello).has_value());  // packet 2: SNI seen
+}
+
+TEST(Dpi, GivesUpAfterInspectionWindow) {
+  DpiEngine dpi;
+  dpi.add_rule(youtube_rule());
+  net::Packet opaque;
+  opaque.tuple = tls_packet("x", 4006).tuple;
+  opaque.wire_size = 100;
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(dpi.classify(opaque).has_value());
+  // Window exhausted: even a late SNI packet no longer flips the flow.
+  net::Packet hello = tls_packet("youtube.com", 4006);
+  EXPECT_FALSE(dpi.classify(hello).has_value());
+}
+
+TEST(Dpi, IpPrefixAndPortRules) {
+  DpiEngine dpi;
+  DpiRule rule;
+  rule.app = "game";
+  rule.server_prefixes = {{net::IpAddress::v4(151, 101, 0, 0).v4_value(),
+                           16}};
+  dpi.add_rule(rule);
+  net::Packet inside;
+  inside.tuple.dst_ip = net::IpAddress::v4(151, 101, 9, 9);
+  EXPECT_EQ(dpi.classify(inside).value(), "game");
+  net::Packet outside;
+  outside.tuple.dst_ip = net::IpAddress::v4(8, 8, 8, 8);
+  outside.tuple.src_port = 1;  // distinct flow
+  EXPECT_FALSE(dpi.classify(outside).has_value());
+
+  DpiEngine port_dpi;
+  DpiRule port_rule;
+  port_rule.app = "dns";
+  port_rule.ports = {53};
+  port_dpi.add_rule(port_rule);
+  net::Packet dns;
+  dns.tuple.dst_port = 53;
+  EXPECT_EQ(port_dpi.classify(dns).value(), "dns");
+}
+
+TEST(Dpi, VisibleHostHelper) {
+  EXPECT_EQ(visible_host(http_packet("cnn.com", 1)).value(), "cnn.com");
+  EXPECT_EQ(visible_host(tls_packet("cdn.cnn.com", 2)).value(),
+            "cdn.cnn.com");
+  net::Packet opaque;
+  opaque.payload = {0x16, 0x01, 0x02};
+  EXPECT_FALSE(visible_host(opaque).has_value());
+}
+
+// --- OOB ---
+
+net::FiveTuple sample_tuple() {
+  net::FiveTuple t;
+  t.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+  t.dst_ip = net::IpAddress::v4(151, 101, 0, 10);
+  t.src_port = 40000;
+  t.dst_port = 443;
+  t.proto = net::L4Proto::kTcp;
+  return t;
+}
+
+TEST(Oob, ExactDescriptionMatchesExactFlowOnly) {
+  OobSwitch sw;
+  const auto t = sample_tuple();
+  sw.install({FlowDescription::exact(t), "boost"});
+  net::Packet hit;
+  hit.tuple = t;
+  EXPECT_TRUE(sw.match(hit).has_value());
+  net::Packet miss;
+  miss.tuple = t;
+  miss.tuple.src_port = 40001;
+  EXPECT_FALSE(sw.match(miss).has_value());
+}
+
+TEST(Oob, ExactDescriptionDiesAtNat) {
+  OobSwitch sw;
+  const auto t = sample_tuple();
+  sw.install({FlowDescription::exact(t), "boost"});
+  net::Packet p;
+  p.tuple = t;
+  sim::Nat nat(net::IpAddress::v4(203, 0, 113, 1));
+  nat.translate_outbound(p);
+  EXPECT_FALSE(sw.match(p).has_value());  // §3: "invalid for the
+                                          // head-end router"
+}
+
+TEST(Oob, ServerOnlyDescriptionSurvivesNatButOvermatches) {
+  OobSwitch sw;
+  const auto t = sample_tuple();
+  sw.install({FlowDescription::server_only(t), "boost"});
+  net::Packet mine;
+  mine.tuple = t;
+  sim::Nat nat(net::IpAddress::v4(203, 0, 113, 1));
+  nat.translate_outbound(mine);
+  EXPECT_TRUE(sw.match(mine).has_value());
+  // Another app talking to the same server:port also matches — the
+  // false-positive mechanism of Fig. 6c.
+  net::Packet other_app;
+  other_app.tuple = t;
+  other_app.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 77);
+  other_app.tuple.src_port = 1234;
+  EXPECT_TRUE(sw.match(other_app).has_value());
+}
+
+TEST(Oob, ControllerCountsSignalingCost) {
+  OobSwitch sw1;
+  OobSwitch sw2;
+  OobController controller;
+  controller.attach_switch(&sw1);
+  controller.attach_switch(&sw2);
+  // cnn.com's 255 flows -> 255 signals, 510 rules across two switches.
+  for (int i = 0; i < 255; ++i) {
+    auto t = sample_tuple();
+    t.src_port = static_cast<uint16_t>(40000 + i);
+    controller.request_service(FlowDescription::exact(t), "boost");
+  }
+  EXPECT_EQ(controller.stats().signals, 255u);
+  EXPECT_EQ(controller.stats().rules_installed, 510u);
+  EXPECT_EQ(sw1.rule_count(), 255u);
+}
+
+TEST(Oob, FirstMatchWins) {
+  OobSwitch sw;
+  const auto t = sample_tuple();
+  sw.install({FlowDescription::server_only(t), "first"});
+  sw.install({FlowDescription::exact(t), "second"});
+  net::Packet p;
+  p.tuple = t;
+  EXPECT_EQ(sw.match(p).value(), "first");
+}
+
+// --- DiffServ ---
+
+TEST(DiffServ, BleachingBoundaryResetsMarking) {
+  net::Packet p;
+  p.dscp = 46;
+  DiffServDomain isp("isp", BoundaryPolicy::kBleach);
+  isp.ingress(p);
+  EXPECT_EQ(p.dscp, 0);
+}
+
+TEST(DiffServ, PreservingBoundaryKeepsMarking) {
+  net::Packet p;
+  p.dscp = 46;
+  DiffServDomain isp("isp", BoundaryPolicy::kPreserve);
+  isp.ingress(p);
+  EXPECT_EQ(p.dscp, 46);
+}
+
+TEST(DiffServ, RemapBoundary) {
+  net::Packet p;
+  p.dscp = 46;
+  DiffServDomain isp("isp", BoundaryPolicy::kRemap);
+  isp.set_remap(46, 10);
+  isp.ingress(p);
+  EXPECT_EQ(p.dscp, 10);
+}
+
+TEST(DiffServ, MultiDomainPathLosesEndToEndMeaning) {
+  // The §3 argument: expressing preferences end-to-end requires every
+  // network on the path to preserve the marking; one bleacher breaks it.
+  net::Packet p;
+  p.dscp = 46;
+  DiffServDomain home("home", BoundaryPolicy::kPreserve);
+  DiffServDomain transit("transit", BoundaryPolicy::kBleach);
+  DiffServDomain edge("edge", BoundaryPolicy::kPreserve);
+  edge.define_class(46, "low-latency");
+  const uint8_t arrived = traverse(p, {&home, &transit, &edge});
+  EXPECT_EQ(arrived, 0);
+  EXPECT_EQ(edge.interior_class(arrived), "");
+}
+
+TEST(DiffServ, ClassTableCappedAt64) {
+  DiffServDomain domain("isp", BoundaryPolicy::kPreserve);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(domain.define_class(static_cast<uint8_t>(i), "c"));
+  }
+  EXPECT_FALSE(domain.define_class(64, "overflow"));  // > 6 bits
+  EXPECT_EQ(domain.class_count(), 64u);
+}
+
+TEST(DiffServ, NoAuthentication) {
+  // Any endpoint can mark any packet: there is no credential anywhere
+  // in the mechanism (contrast with cookie descriptor acquisition).
+  net::Packet rogue;
+  rogue.dscp = 46;  // set by a legacy console without user consent (§3)
+  DiffServDomain isp("isp", BoundaryPolicy::kPreserve);
+  isp.define_class(46, "paid-priority");
+  isp.ingress(rogue);
+  EXPECT_EQ(isp.interior_class(rogue.dscp), "paid-priority");
+}
+
+}  // namespace
+}  // namespace nnn::baselines

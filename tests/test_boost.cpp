@@ -1,0 +1,244 @@
+// Boost service layer: browser attribution, agent preferences and
+// cookie insertion, daemon classification/throttling, AnyLink proxy.
+#include <gtest/gtest.h>
+
+#include "boost_lane/agent.h"
+#include "boost_lane/anylink.h"
+#include "boost_lane/browser.h"
+#include "boost_lane/daemon.h"
+#include "cookies/transport.h"
+#include "net/http.h"
+#include "server/cookie_server.h"
+#include "server/json_api.h"
+#include "util/clock.h"
+#include "workload/page_load.h"
+#include "workload/websites.h"
+
+namespace nnn::boost_lane {
+namespace {
+
+using util::kSecond;
+
+class BoostStack : public ::testing::Test {
+ protected:
+  BoostStack()
+      : clock_(1'000'000 * kSecond),
+        verifier_(clock_),
+        server_(clock_, 5, &verifier_),
+        api_(server_),
+        agent_(clock_, api_, "home-1", 17),
+        rng_(23),
+        browser_(rng_, net::IpAddress::v4(192, 168, 1, 10)) {
+    server::ServiceOffer offer;
+    offer.name = "Boost";
+    offer.service_data = "Boost";
+    offer.descriptor_lifetime = 3600LL * kSecond;
+    server_.add_service(offer);
+  }
+
+  util::ManualClock clock_;
+  cookies::CookieVerifier verifier_;
+  server::CookieServer server_;
+  server::JsonApi api_;
+  BoostAgent agent_;
+  util::Rng rng_;
+  Browser browser_;
+};
+
+TEST_F(BoostStack, BrowserAttributesFlowsToTabs) {
+  const auto tab = browser_.open_tab();
+  const auto load = browser_.navigate(tab, workload::cnn_profile());
+  EXPECT_EQ(load.domain, "cnn.com");
+  uint32_t tagged_packets = 0;
+  uint32_t untagged_packets = 0;
+  for (const auto& flow : load.flows) {
+    if (flow.tab) {
+      EXPECT_EQ(*flow.tab, tab);
+      EXPECT_EQ(flow.address_bar_domain, "cnn.com");
+      tagged_packets += flow.flow.packets;
+    } else {
+      untagged_packets += flow.flow.packets;
+    }
+  }
+  // ~6% of packets are DNS/prefetch without tab context.
+  const double untagged_share =
+      static_cast<double>(untagged_packets) /
+      (tagged_packets + untagged_packets);
+  EXPECT_GT(untagged_share, 0.0);
+  EXPECT_LT(untagged_share, 0.10);
+}
+
+TEST_F(BoostStack, AgentAcquiresDescriptorOnFirstBoost) {
+  EXPECT_FALSE(agent_.has_descriptor());
+  const auto tab = browser_.open_tab();
+  EXPECT_TRUE(agent_.boost_tab(tab));
+  EXPECT_TRUE(agent_.has_descriptor());
+  EXPECT_TRUE(verifier_.knows(agent_.descriptor()->cookie_id));
+}
+
+TEST_F(BoostStack, TabBoostExpiresAfterAnHour) {
+  const auto tab = browser_.open_tab();
+  agent_.boost_tab(tab);
+  EXPECT_TRUE(agent_.tab_boosted(tab));
+  clock_.advance(BoostAgent::kBoostDuration + kSecond);
+  EXPECT_FALSE(agent_.tab_boosted(tab));
+}
+
+TEST_F(BoostStack, AlwaysBoostIsRemembered) {
+  agent_.always_boost("netflix.com");
+  EXPECT_TRUE(agent_.site_boosted("netflix.com"));
+  EXPECT_FALSE(agent_.site_boosted("cnn.com"));
+  agent_.remove_always_boost("netflix.com");
+  EXPECT_FALSE(agent_.site_boosted("netflix.com"));
+}
+
+TEST_F(BoostStack, ShouldBoostRespectsTabAndSitePreferences) {
+  const auto tab = browser_.open_tab();
+  const auto load = browser_.navigate(tab, workload::cnn_profile());
+  const auto& tagged = *std::find_if(
+      load.flows.begin(), load.flows.end(),
+      [](const BrowserFlow& f) { return f.tab.has_value(); });
+
+  EXPECT_FALSE(agent_.should_boost(tagged));
+  agent_.boost_tab(tab);
+  EXPECT_TRUE(agent_.should_boost(tagged));
+  agent_.unboost_tab(tab);
+  EXPECT_FALSE(agent_.should_boost(tagged));
+  agent_.always_boost("cnn.com");
+  EXPECT_TRUE(agent_.should_boost(tagged));
+
+  // DNS/prefetch flows (no tab) are never boosted.
+  const auto untagged = std::find_if(
+      load.flows.begin(), load.flows.end(),
+      [](const BrowserFlow& f) { return !f.tab.has_value(); });
+  if (untagged != load.flows.end()) {
+    EXPECT_FALSE(agent_.should_boost(*untagged));
+  }
+}
+
+TEST_F(BoostStack, CookieInsertedOnCorrectTransport) {
+  const auto tab = browser_.open_tab();
+  auto load = browser_.navigate(tab, workload::cnn_profile());
+  agent_.boost_tab(tab);
+
+  int http_cookies = 0;
+  int tls_cookies = 0;
+  for (const auto& flow : load.flows) {
+    if (!flow.tab) continue;
+    net::Packet request =
+        workload::PageLoadGenerator::make_request_packet(flow.flow);
+    ASSERT_TRUE(agent_.process_request(flow, request));
+    const auto extracted = cookies::extract(request);
+    ASSERT_TRUE(extracted.has_value());
+    if (flow.flow.https) {
+      EXPECT_EQ(extracted->transport, cookies::Transport::kTlsExtension);
+      ++tls_cookies;
+    } else {
+      EXPECT_EQ(extracted->transport, cookies::Transport::kHttpHeader);
+      ++http_cookies;
+    }
+    // Every inserted cookie verifies against the issued descriptor.
+    EXPECT_TRUE(verifier_.verify(extracted->stack.front()).ok());
+  }
+  EXPECT_GT(http_cookies, 0);
+  EXPECT_GT(tls_cookies, 0);
+  EXPECT_EQ(agent_.cookies_inserted(),
+            static_cast<uint64_t>(http_cookies + tls_cookies));
+}
+
+TEST_F(BoostStack, DaemonClassifiesBoostedFlowToFastLane) {
+  BoostDaemon daemon(clock_, verifier_, {});
+  const auto tab = browser_.open_tab();
+  auto load = browser_.navigate(tab, workload::cnn_profile());
+  agent_.boost_tab(tab);
+
+  const auto& flow = *std::find_if(
+      load.flows.begin(), load.flows.end(),
+      [](const BrowserFlow& f) { return f.tab.has_value(); });
+  net::Packet request =
+      workload::PageLoadGenerator::make_request_packet(flow.flow);
+  agent_.process_request(flow, request);
+
+  EXPECT_EQ(daemon.classify(request), kFastLaneBand);
+  // Subsequent data of the same flow and its reverse ride the fast lane.
+  net::Packet data;
+  data.tuple = flow.flow.tuple;
+  data.wire_size = 1200;
+  EXPECT_EQ(daemon.classify(data), kFastLaneBand);
+  net::Packet reverse;
+  reverse.tuple = flow.flow.tuple.reversed();
+  reverse.wire_size = 1200;
+  EXPECT_EQ(daemon.classify(reverse), kFastLaneBand);
+  // Unrelated traffic stays best-effort.
+  net::Packet other;
+  other.tuple.src_port = 1;
+  EXPECT_EQ(daemon.classify(other), kBestEffortBand);
+}
+
+TEST_F(BoostStack, DaemonLastOneWinsConflictPolicy) {
+  BoostDaemon daemon(clock_, verifier_, {});
+  const auto grant_a = server_.acquire("Boost", "alice");
+  daemon.boost_granted("alice", grant_a.descriptor->cookie_id);
+  EXPECT_EQ(daemon.active_boost_client(), "alice");
+
+  const auto grant_b = server_.acquire("Boost", "bob");
+  daemon.boost_granted("bob", grant_b.descriptor->cookie_id);
+  EXPECT_EQ(daemon.active_boost_client(), "bob");
+  // Alice's descriptor was revoked at the verifier.
+  EXPECT_EQ(verifier_.find(grant_a.descriptor->cookie_id), nullptr);
+  EXPECT_NE(verifier_.find(grant_b.descriptor->cookie_id), nullptr);
+}
+
+TEST_F(BoostStack, InvalidCookieStaysBestEffort) {
+  BoostDaemon daemon(clock_, verifier_, {});
+  // A cookie from a descriptor this network never issued.
+  cookies::CookieDescriptor rogue;
+  rogue.cookie_id = 0xbad;
+  rogue.key.assign(32, 0xbb);
+  rogue.service_data = "Boost";
+  cookies::CookieGenerator gen(rogue, clock_, 3);
+  net::Packet request;
+  net::http::Request http("GET", "/", "x.example");
+  const std::string text = http.serialize();
+  request.payload.assign(text.begin(), text.end());
+  cookies::attach(request, gen.generate(),
+                  cookies::Transport::kHttpHeader);
+  EXPECT_EQ(daemon.classify(request), kBestEffortBand);
+  EXPECT_FALSE(daemon.throttle_active());
+}
+
+TEST(AnyLink, CookieSelectsLinkProfile) {
+  util::ManualClock clock(1000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  AnyLinkProxy proxy(clock, verifier);
+  proxy.add_profile("emulate-2g", {"2G", 50e3, 300 * util::kMillisecond});
+  proxy.add_profile("emulate-dsl", {"DSL", 1.5e6, 30 * util::kMillisecond});
+
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 9;
+  descriptor.key.assign(32, 0x77);
+  descriptor.service_data = "emulate-2g";
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator gen(descriptor, clock, 4);
+
+  net::Packet request;
+  request.tuple.src_port = 555;
+  net::http::Request http("GET", "/app", "dev.example");
+  const std::string text = http.serialize();
+  request.payload.assign(text.begin(), text.end());
+  cookies::attach(request, gen.generate(),
+                  cookies::Transport::kHttpHeader);
+
+  const auto profile = proxy.process(request);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->name, "2G");
+  EXPECT_DOUBLE_EQ(profile->rate_bps, 50e3);
+
+  // Plain traffic passes unshaped.
+  net::Packet plain;
+  plain.tuple.src_port = 556;
+  EXPECT_FALSE(proxy.process(plain).has_value());
+}
+
+}  // namespace
+}  // namespace nnn::boost_lane

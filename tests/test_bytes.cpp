@@ -1,0 +1,137 @@
+// ByteReader / ByteWriter: big-endian integer codecs, underrun
+// behavior, and roundtrip properties.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace nnn::util {
+namespace {
+
+TEST(ByteWriter, WritesBigEndian) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090a0b0c0d0e0fULL);
+  const Bytes expected = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,
+                          0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ByteReader, ReadsWhatWriterWrote) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u64(0xdeadbeefcafebabeULL);
+  w.u32(42);
+  w.u16(7);
+  w.u8(255);
+  ByteReader r{BytesView(out)};
+  EXPECT_EQ(r.u64().value(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(r.u32().value(), 42u);
+  EXPECT_EQ(r.u16().value(), 7u);
+  EXPECT_EQ(r.u8().value(), 255u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, UnderrunReturnsNullopt) {
+  const Bytes data = {0x01, 0x02, 0x03};
+  ByteReader r{BytesView(data)};
+  EXPECT_FALSE(r.u32().has_value());
+  // A failed read consumes nothing.
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_TRUE(r.u16().has_value());
+  EXPECT_FALSE(r.u16().has_value());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, RawAndViewRespectBounds) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r{BytesView(data)};
+  const auto head = r.raw(2);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(*head, (Bytes{1, 2}));
+  EXPECT_FALSE(r.view(10).has_value());
+  const auto rest = r.view(3);
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->size(), 3u);
+  EXPECT_FALSE(r.skip(1));
+}
+
+TEST(ByteReader, SkipAdvances) {
+  const Bytes data = {1, 2, 3, 4};
+  ByteReader r{BytesView(data)};
+  EXPECT_TRUE(r.skip(3));
+  EXPECT_EQ(r.u8().value(), 4u);
+}
+
+TEST(Bytes, StringConversionRoundtrip) {
+  const std::string text = "hello \0 world";
+  const Bytes bytes = to_bytes(text);
+  EXPECT_EQ(to_string(BytesView(bytes)), text);
+}
+
+TEST(Bytes, EqualHandlesEmpty) {
+  EXPECT_TRUE(equal(BytesView(), BytesView()));
+  const Bytes a = {1};
+  EXPECT_FALSE(equal(BytesView(a), BytesView()));
+}
+
+class RoundtripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundtripProperty, RandomSequencesRoundtrip) {
+  util::Rng rng(GetParam());
+  Bytes out;
+  ByteWriter w(out);
+  std::vector<uint64_t> values;
+  std::vector<int> widths;
+  for (int i = 0; i < 64; ++i) {
+    const int width = rng.uniform_int(0, 3);
+    const uint64_t value = rng.next_u64();
+    widths.push_back(width);
+    switch (width) {
+      case 0:
+        w.u8(static_cast<uint8_t>(value));
+        values.push_back(static_cast<uint8_t>(value));
+        break;
+      case 1:
+        w.u16(static_cast<uint16_t>(value));
+        values.push_back(static_cast<uint16_t>(value));
+        break;
+      case 2:
+        w.u32(static_cast<uint32_t>(value));
+        values.push_back(static_cast<uint32_t>(value));
+        break;
+      default:
+        w.u64(value);
+        values.push_back(value);
+    }
+  }
+  ByteReader r{BytesView(out)};
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t read = 0;
+    switch (widths[i]) {
+      case 0:
+        read = r.u8().value();
+        break;
+      case 1:
+        read = r.u16().value();
+        break;
+      case 2:
+        read = r.u32().value();
+        break;
+      default:
+        read = r.u64().value();
+    }
+    EXPECT_EQ(read, values[i]) << "element " << i;
+  }
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundtripProperty,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace nnn::util

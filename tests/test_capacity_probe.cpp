@@ -1,0 +1,125 @@
+// WAN capacity estimation (§5.2) and daemon throttle recalibration.
+#include <gtest/gtest.h>
+
+#include "boost_lane/capacity_probe.h"
+#include "boost_lane/daemon.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "net/http.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+
+namespace nnn::boost_lane {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+double probe_link(double rate_bps) {
+  sim::EventLoop loop;
+  CapacityProbe probe(loop, {});
+  sim::Link link(loop,
+                 {.rate_bps = rate_bps,
+                  .prop_delay = 10 * kMillisecond,
+                  .bands = 1,
+                  .band_capacity_bytes = 1 << 20},
+                 [&](net::Packet p) { probe.on_probe_arrival(p); });
+  double estimate = -1;
+  loop.at(0, [&] {
+    probe.run([&](net::Packet p) { link.send(std::move(p), 0); },
+              [&](double bps) { estimate = bps; });
+  });
+  loop.run();
+  return estimate;
+}
+
+TEST(CapacityProbe, EstimatesBottleneckWithin10Percent) {
+  for (const double rate : {1e6, 6e6, 20e6}) {
+    const double estimate = probe_link(rate);
+    EXPECT_NEAR(estimate, rate, rate * 0.1) << "rate " << rate;
+  }
+}
+
+TEST(CapacityProbe, LastEstimateIsRemembered) {
+  sim::EventLoop loop;
+  CapacityProbe probe(loop, {});
+  sim::Link link(loop,
+                 {.rate_bps = 6e6, .prop_delay = 0, .bands = 1,
+                  .band_capacity_bytes = 1 << 20},
+                 [&](net::Packet p) { probe.on_probe_arrival(p); });
+  loop.at(0, [&] {
+    probe.run([&](net::Packet p) { link.send(std::move(p), 0); },
+              nullptr);
+  });
+  loop.run();
+  ASSERT_TRUE(probe.last_estimate_bps().has_value());
+  EXPECT_NEAR(*probe.last_estimate_bps(), 6e6, 0.6e6);
+}
+
+TEST(CapacityProbe, IgnoresUnrelatedTraffic) {
+  sim::EventLoop loop;
+  CapacityProbe probe(loop, {});
+  net::Packet unrelated;
+  unrelated.tuple.dst_port = 443;
+  probe.on_probe_arrival(unrelated);
+  EXPECT_FALSE(probe.last_estimate_bps().has_value());
+}
+
+TEST(CapacityProbe, DaemonRecalibratesThrottleFromEstimate) {
+  sim::EventLoop loop;
+  cookies::CookieVerifier verifier(loop.clock());
+  BoostDaemon daemon(loop.clock(), verifier,
+                     {.wan_capacity_bps = 6e6, .throttle_bps = 1e6});
+
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  descriptor.service_data = "Boost";
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, loop.clock(), 1);
+
+  uint64_t slow_band_bytes = 0;
+  sim::Link downlink(loop,
+                     {.rate_bps = 12e6,
+                      .prop_delay = 0,
+                      .bands = 2,
+                      .band_capacity_bytes = 1 << 22},
+                     [&](net::Packet p) {
+                       if (p.tuple.src_port == 9) {
+                         slow_band_bytes += p.size();
+                       }
+                     });
+  daemon.attach_links(&downlink, nullptr);
+
+  // A probe reveals the true WAN is 12 Mb/s; the daemon rescales.
+  daemon.set_capacity(12e6);
+  EXPECT_DOUBLE_EQ(daemon.throttle_bps(), 2e6);
+
+  // Activate the throttle via a real boost mapping.
+  net::Packet request;
+  request.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+  request.tuple.dst_ip = net::IpAddress::v4(198, 51, 100, 1);
+  request.tuple.src_port = 40000;
+  request.tuple.dst_port = 80;
+  net::http::Request http("GET", "/", "x.example");
+  const std::string text = http.serialize();
+  request.payload.assign(text.begin(), text.end());
+  cookies::attach(request, generator.generate(),
+                  cookies::Transport::kHttpHeader);
+  daemon.classify(request);
+  ASSERT_TRUE(daemon.throttle_active());
+
+  // Offer 2 seconds' worth of best-effort traffic; the shaped band
+  // should deliver ~2 Mb/s, the recalibrated rate.
+  for (int i = 0; i < 400; ++i) {
+    net::Packet p;
+    p.tuple.src_port = 9;
+    p.wire_size = 1500;
+    downlink.send(std::move(p), kBestEffortBand);
+  }
+  loop.run_until(1 * kSecond);
+  EXPECT_NEAR(static_cast<double>(slow_band_bytes), 250'000.0, 40'000.0);
+}
+
+}  // namespace
+}  // namespace nnn::boost_lane

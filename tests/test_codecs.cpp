@@ -1,0 +1,78 @@
+// Base64 (RFC 4648 vectors) and hex codecs.
+#include <gtest/gtest.h>
+
+#include "util/base64.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace nnn::util {
+namespace {
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(to_string(BytesView(base64_decode("Zm9vYmFy").value())),
+            "foobar");
+  EXPECT_EQ(to_string(BytesView(base64_decode("Zg==").value())), "f");
+  EXPECT_EQ(base64_decode("").value(), Bytes{});
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(base64_decode("Zg=").has_value());    // bad length
+  EXPECT_FALSE(base64_decode("Zg!=").has_value());   // bad char
+  EXPECT_FALSE(base64_decode("=Zg=").has_value());   // pad first
+  EXPECT_FALSE(base64_decode("Zm=v").has_value());   // data after pad
+  EXPECT_FALSE(base64_decode("Zm9v\n").has_value()); // whitespace
+}
+
+TEST(Hex, EncodesLowercase) {
+  const Bytes data = {0x00, 0xff, 0x1a, 0x2b};
+  EXPECT_EQ(hex_encode(BytesView(data)), "00ff1a2b");
+}
+
+TEST(Hex, DecodeIsCaseInsensitive) {
+  EXPECT_EQ(hex_decode("00FF1a2B").value(), (Bytes{0x00, 0xff, 0x1a, 0x2b}));
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(hex_decode("abc").has_value());  // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());   // bad digit
+}
+
+class CodecRoundtrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundtrip, Base64RoundtripsRandomBuffers) {
+  Rng rng(GetParam());
+  for (int len = 0; len < 80; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.next_u64());
+    const auto decoded = base64_decode(base64_encode(BytesView(data)));
+    ASSERT_TRUE(decoded.has_value()) << "len " << len;
+    EXPECT_EQ(*decoded, data) << "len " << len;
+  }
+}
+
+TEST_P(CodecRoundtrip, HexRoundtripsRandomBuffers) {
+  Rng rng(GetParam());
+  for (int len = 0; len < 80; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.next_u64());
+    const auto decoded = hex_decode(hex_encode(BytesView(data)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundtrip,
+                         ::testing::Values(11, 23, 42));
+
+}  // namespace
+}  // namespace nnn::util

@@ -1,0 +1,162 @@
+// Crypto substrate: SHA-256 against FIPS/NIST vectors, HMAC-SHA256
+// against RFC 4231, constant-time compare, UUIDs.
+#include <gtest/gtest.h>
+
+#include "crypto/constant_time.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/uuid.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace nnn::crypto {
+namespace {
+
+using util::BytesView;
+using util::hex_encode;
+
+std::string sha256_hex(std::string_view msg) {
+  const auto digest = Sha256::hash(msg);
+  return hex_encode(BytesView(digest.data(), digest.size()));
+}
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto digest = h.finish();
+  EXPECT_EQ(hex_encode(BytesView(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Bytes data(1 + rng.next_u64(300));
+    for (auto& b : data) b = static_cast<uint8_t>(rng.next_u64());
+    Sha256 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      const size_t take =
+          std::min<size_t>(1 + rng.next_u64(70), data.size() - pos);
+      h.update(BytesView(data.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.finish(), Sha256::hash(BytesView(data)));
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding edges.
+  for (const size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    Sha256 incremental;
+    incremental.update(msg);
+    EXPECT_EQ(incremental.finish(), Sha256::hash(msg)) << "len=" << len;
+  }
+}
+
+std::string hmac_hex(BytesView key, BytesView data) {
+  const auto digest = hmac_sha256(key, data);
+  return hex_encode(BytesView(digest.data(), digest.size()));
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const util::Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(BytesView(key), BytesView(util::to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      hmac_hex(BytesView(util::to_bytes("Jefe")),
+               BytesView(util::to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const util::Bytes key(20, 0xaa);
+  const util::Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_hex(BytesView(key), BytesView(data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  // Case 6: key longer than the block size gets hashed first.
+  const util::Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hmac_hex(BytesView(key),
+               BytesView(util::to_bytes(
+                   "Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, CookieTagIsTruncatedHmac) {
+  const auto key = util::to_bytes("k");
+  const auto data = util::to_bytes("d");
+  const auto full = hmac_sha256(BytesView(key), BytesView(data));
+  const auto tag = cookie_tag(BytesView(key), BytesView(data));
+  EXPECT_TRUE(std::equal(tag.begin(), tag.end(), full.begin()));
+  EXPECT_EQ(tag.size(), kCookieTagSize);
+}
+
+TEST(ConstantTime, EqualAndUnequal) {
+  const util::Bytes a = {1, 2, 3};
+  const util::Bytes b = {1, 2, 3};
+  const util::Bytes c = {1, 2, 4};
+  const util::Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(BytesView(a), BytesView(b)));
+  EXPECT_FALSE(constant_time_equal(BytesView(a), BytesView(c)));
+  EXPECT_FALSE(constant_time_equal(BytesView(a), BytesView(d)));
+  EXPECT_TRUE(constant_time_equal(BytesView(), BytesView()));
+}
+
+TEST(Uuid, GenerateSetsVersionAndVariant) {
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Uuid u = Uuid::generate(rng);
+    EXPECT_EQ(u.bytes()[6] & 0xf0, 0x40);  // version 4
+    EXPECT_EQ(u.bytes()[8] & 0xc0, 0x80);  // variant 10
+    EXPECT_FALSE(u.is_nil());
+  }
+}
+
+TEST(Uuid, TextRoundtrip) {
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Uuid u = Uuid::generate(rng);
+    const auto parsed = Uuid::parse(u.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, u);
+  }
+}
+
+TEST(Uuid, ParseRejectsMalformed) {
+  EXPECT_FALSE(Uuid::parse("").has_value());
+  EXPECT_FALSE(Uuid::parse("not-a-uuid").has_value());
+  EXPECT_FALSE(
+      Uuid::parse("123456781234-1234-1234-123456789012").has_value());
+  EXPECT_FALSE(
+      Uuid::parse("zzzzzzzz-1234-1234-1234-123456789012").has_value());
+}
+
+TEST(Uuid, GenerationIsUnique) {
+  util::Rng rng(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(Uuid::generate(rng).to_string()).second);
+  }
+}
+
+}  // namespace
+}  // namespace nnn::crypto

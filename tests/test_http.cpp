@@ -1,0 +1,102 @@
+// HTTP/1.1 codec.
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+
+namespace nnn::net::http {
+namespace {
+
+TEST(HttpRequest, SerializeBasicGet) {
+  Request r("GET", "/index.html", "cnn.com");
+  const std::string text = r.serialize();
+  EXPECT_EQ(text,
+            "GET /index.html HTTP/1.1\r\nHost: cnn.com\r\n\r\n");
+}
+
+TEST(HttpRequest, ParseRoundTrip) {
+  Request r("POST", "/api", "api.example.com");
+  r.add_header("X-Custom", "value with spaces");
+  r.set_body("{\"k\":1}");
+  const auto parsed = Request::parse(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method(), "POST");
+  EXPECT_EQ(parsed->target(), "/api");
+  EXPECT_EQ(parsed->host(), "api.example.com");
+  EXPECT_EQ(parsed->header("x-custom").value(), "value with spaces");
+  EXPECT_EQ(parsed->body(), "{\"k\":1}");
+}
+
+TEST(HttpRequest, HeaderLookupIsCaseInsensitive) {
+  Request r("GET", "/", "example.com");
+  r.add_header("X-Network-Cookie", "abc");
+  EXPECT_EQ(r.header("x-network-cookie").value(), "abc");
+  EXPECT_EQ(r.header("X-NETWORK-COOKIE").value(), "abc");
+  EXPECT_FALSE(r.header("missing").has_value());
+}
+
+TEST(HttpRequest, RemoveHeaderRemovesAllOccurrences) {
+  Request r("GET", "/", "example.com");
+  r.add_header("A", "1");
+  r.add_header("a", "2");
+  EXPECT_EQ(r.remove_header("A"), 2u);
+  EXPECT_FALSE(r.header("a").has_value());
+}
+
+TEST(HttpRequest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Request::parse("").has_value());
+  EXPECT_FALSE(Request::parse("GET /\r\n\r\n").has_value());  // no version
+  EXPECT_FALSE(Request::parse("GET / HTTP/1.1").has_value()); // no CRLF end
+  EXPECT_FALSE(
+      Request::parse("GET / HTTP/1.1\r\nBadHeader\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      Request::parse("GET / HTTP/1.1\r\n: novalue\r\n\r\n").has_value());
+}
+
+TEST(HttpRequest, ContentLengthHonored) {
+  const std::string text =
+      "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbodyEXTRA";
+  const auto parsed = Request::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body(), "body");
+}
+
+TEST(HttpRequest, IncompleteBodyRejected) {
+  const std::string text =
+      "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\nshort";
+  EXPECT_FALSE(Request::parse(text).has_value());
+}
+
+TEST(HttpRequest, BadContentLengthRejected) {
+  const std::string text =
+      "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: abc\r\n\r\n";
+  EXPECT_FALSE(Request::parse(text).has_value());
+}
+
+TEST(HttpRequest, HeaderValuesAreTrimmed) {
+  const auto parsed =
+      Request::parse("GET / HTTP/1.1\r\nHost:   spaced.example  \r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->host(), "spaced.example");
+}
+
+TEST(HttpResponse, SerializeAndParse) {
+  Response resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.add_header("Server", "nnn");
+  resp.body = "gone";
+  const auto parsed = Response::parse(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+  EXPECT_EQ(parsed->header("server").value(), "nnn");
+  EXPECT_EQ(parsed->body, "gone");
+}
+
+TEST(HttpResponse, ParseRejectsNonHttp) {
+  EXPECT_FALSE(Response::parse("GET / HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(Response::parse("HTTP/1.1 abc OK\r\n\r\n").has_value());
+}
+
+}  // namespace
+}  // namespace nnn::net::http

@@ -1,0 +1,110 @@
+// JSON parser/serializer: RFC 8259 behaviours the cookie-server API
+// depends on.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace nnn::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("3.25")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("-17")->as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto v = parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(v.has_value());
+  const auto& arr = v->find("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(v->find("d")->find("e")->is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")")->as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(parse(R"("é")")->as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(parse(R"("😀")")->as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 surrogate pair
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{").has_value());
+  EXPECT_FALSE(parse("[1,").has_value());
+  EXPECT_FALSE(parse("{\"a\":}").has_value());
+  EXPECT_FALSE(parse("tru").has_value());
+  EXPECT_FALSE(parse("01").has_value());          // leading zero
+  EXPECT_FALSE(parse("1 2").has_value());         // trailing garbage
+  EXPECT_FALSE(parse("\"\\ud800\"").has_value()); // unpaired surrogate
+  EXPECT_FALSE(parse("\"\x01\"").has_value());    // raw control char
+  EXPECT_FALSE(parse("{'a':1}").has_value());     // single quotes
+}
+
+TEST(JsonParse, DepthLimitProtectsParser) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(parse(deep).has_value());
+}
+
+TEST(JsonDump, CompactRoundtrip) {
+  Object obj;
+  obj["name"] = "Boost";
+  obj["count"] = 3;
+  obj["ok"] = true;
+  obj["tags"] = Array{Value("a"), Value("b")};
+  const Value v(std::move(obj));
+  const auto reparsed = parse(v.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, v);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Value v(std::string("a\nb\x01"));
+  EXPECT_EQ(v.dump(), "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonDump, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(Value(uint64_t{100000}).dump(), "100000");
+  EXPECT_EQ(Value(-42).dump(), "-42");
+}
+
+TEST(JsonDump, KeyOrderIsDeterministic) {
+  Object a;
+  a["z"] = 1;
+  a["a"] = 2;
+  EXPECT_EQ(Value(std::move(a)).dump(), R"({"a":2,"z":1})");
+}
+
+TEST(JsonValue, TypedGettersWithFallbacks) {
+  const auto v = parse(R"({"s":"x","n":5,"b":true})").value();
+  EXPECT_EQ(v.get_string("s"), "x");
+  EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.get_int("n"), 5);
+  EXPECT_EQ(v.get_int("s", -1), -1);  // wrong type -> fallback
+  EXPECT_TRUE(v.get_bool("b"));
+}
+
+TEST(JsonValue, AccessorsThrowOnWrongType) {
+  const Value v(3.0);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_NO_THROW(v.as_number());
+}
+
+TEST(JsonDump, PrettyPrintsIndented) {
+  Object obj;
+  obj["a"] = Array{Value(1)};
+  const std::string pretty = Value(std::move(obj)).dump_pretty();
+  EXPECT_NE(pretty.find("\n  \"a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nnn::json

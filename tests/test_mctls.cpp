@@ -1,0 +1,129 @@
+// mcTLS-style records: endpoint confidentiality/integrity with a
+// middlebox-writable, separately-authenticated slot (§4.3 / §7).
+#include <gtest/gtest.h>
+
+#include "cookies/generator.h"
+#include "net/mctls.h"
+#include "util/rng.h"
+
+namespace nnn::net::mctls {
+namespace {
+
+Keys make_keys() {
+  Keys keys;
+  keys.endpoint_key.assign(32, 0xE1);
+  keys.middlebox_key.assign(32, 0x3B);
+  return keys;
+}
+
+TEST(McTls, SealOpenRoundTrip) {
+  const Keys keys = make_keys();
+  const auto payload = util::to_bytes("confidential video bytes");
+  const Record record = seal(keys, util::BytesView(payload), 1);
+  // Ciphertext differs from plaintext (it is actually encrypted).
+  EXPECT_NE(record.ciphertext, payload);
+  const auto opened = open(keys, record, 1);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(McTls, WireEncodingRoundTrips) {
+  const Keys keys = make_keys();
+  Record record = seal(keys, util::BytesView(util::to_bytes("abc")), 9);
+  write_slot(record, util::BytesView(keys.middlebox_key),
+             util::BytesView(util::to_bytes("slot-data")), 9);
+  const auto decoded = Record::decode(util::BytesView(record.encode()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ciphertext, record.ciphertext);
+  EXPECT_EQ(decoded->slot, record.slot);
+  EXPECT_EQ(decoded->payload_tag, record.payload_tag);
+  EXPECT_EQ(decoded->slot_tag, record.slot_tag);
+}
+
+TEST(McTls, MiddleboxWritesSlotWithoutBreakingPayload) {
+  // The §4.3 use case: the network deposits an ack cookie into the
+  // slot of an encrypted session; the endpoints still verify the
+  // payload untouched.
+  const Keys keys = make_keys();
+  util::ManualClock clock(100 * util::kSecond);
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 5;
+  descriptor.key.assign(32, 0x44);
+  cookies::CookieGenerator generator(descriptor, clock, 5);
+
+  const auto payload = util::to_bytes("segment-0001");
+  Record record = seal(keys, util::BytesView(payload), 7);
+
+  // In transit: the middlebox (holding only the middlebox key) writes
+  // the ack cookie into the slot.
+  const auto ack = generator.generate().encode();
+  write_slot(record, util::BytesView(keys.middlebox_key),
+             util::BytesView(ack), 7);
+
+  // Receiver: payload verifies and decrypts...
+  const auto opened = open(keys, record, 7);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+  // ...and the slot yields the ack cookie.
+  const auto slot = read_slot(record, util::BytesView(keys.middlebox_key), 7);
+  ASSERT_TRUE(slot.has_value());
+  const auto cookie = cookies::Cookie::decode(util::BytesView(*slot));
+  ASSERT_TRUE(cookie.has_value());
+  EXPECT_EQ(cookie->cookie_id, 5u);
+}
+
+TEST(McTls, PayloadTamperingDetected) {
+  const Keys keys = make_keys();
+  Record record = seal(keys, util::BytesView(util::to_bytes("data")), 3);
+  record.ciphertext[0] ^= 0x01;
+  EXPECT_FALSE(open(keys, record, 3).has_value());
+}
+
+TEST(McTls, MiddleboxCannotReadOrForgePayload) {
+  const Keys keys = make_keys();
+  const auto payload = util::to_bytes("secret");
+  Record record = seal(keys, util::BytesView(payload), 4);
+  // A middlebox holding only the middlebox key cannot decrypt: opening
+  // with wrong endpoint key material fails the MAC.
+  Keys wrong = keys;
+  wrong.endpoint_key = keys.middlebox_key;
+  EXPECT_FALSE(open(wrong, record, 4).has_value());
+}
+
+TEST(McTls, UnauthorizedSlotWriteDetected) {
+  const Keys keys = make_keys();
+  Record record = seal(keys, util::BytesView(util::to_bytes("x")), 5);
+  // An off-path attacker without the middlebox key scribbles into the
+  // slot (and forges a tag under a guessed key).
+  util::Bytes attacker_key(32, 0x00);
+  write_slot(record, util::BytesView(attacker_key),
+             util::BytesView(util::to_bytes("fake-ack")), 5);
+  EXPECT_FALSE(
+      read_slot(record, util::BytesView(keys.middlebox_key), 5)
+          .has_value());
+  // The payload is still fine — the attack only loses the slot.
+  EXPECT_TRUE(open(keys, record, 5).has_value());
+}
+
+TEST(McTls, SequenceBindingPreventsRecordReplayAcrossSlots) {
+  const Keys keys = make_keys();
+  const Record record = seal(keys, util::BytesView(util::to_bytes("a")), 10);
+  // Replaying record 10 as record 11 fails both MACs.
+  EXPECT_FALSE(open(keys, record, 11).has_value());
+  EXPECT_FALSE(
+      read_slot(record, util::BytesView(keys.middlebox_key), 11)
+          .has_value());
+}
+
+TEST(McTls, DecodeRejectsTruncation) {
+  const Keys keys = make_keys();
+  const auto wire = seal(keys, util::BytesView(util::to_bytes("abcd")), 1)
+                        .encode();
+  for (size_t keep = 0; keep < wire.size(); keep += 3) {
+    EXPECT_FALSE(
+        Record::decode(util::BytesView(wire.data(), keep)).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace nnn::net::mctls

@@ -1,0 +1,69 @@
+// Replay cache: use-once enforcement within the NCT horizon.
+#include <gtest/gtest.h>
+
+#include "cookies/replay_cache.h"
+#include "util/rng.h"
+
+namespace nnn::cookies {
+namespace {
+
+crypto::Uuid uuid_from_seed(uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::Uuid::generate(rng);
+}
+
+TEST(ReplayCache, DetectsDuplicate) {
+  ReplayCache cache(5 * util::kSecond);
+  const auto u = uuid_from_seed(1);
+  EXPECT_TRUE(cache.insert(u, 0));
+  EXPECT_FALSE(cache.insert(u, 1 * util::kSecond));
+  EXPECT_TRUE(cache.contains(u));
+}
+
+TEST(ReplayCache, ForgetsAfterHorizon) {
+  ReplayCache cache(5 * util::kSecond);
+  const auto u = uuid_from_seed(2);
+  EXPECT_TRUE(cache.insert(u, 0));
+  // Still remembered within the horizon...
+  EXPECT_FALSE(cache.insert(u, 4 * util::kSecond));
+  // ...but forgotten after it (the timestamp check rejects such
+  // cookies anyway, so forgetting is safe and bounds memory).
+  EXPECT_TRUE(cache.insert(u, 6 * util::kSecond));
+}
+
+TEST(ReplayCache, PurgeEvictsOnlyExpired) {
+  ReplayCache cache(10 * util::kSecond);
+  const auto a = uuid_from_seed(3);
+  const auto b = uuid_from_seed(4);
+  cache.insert(a, 0);
+  cache.insert(b, 8 * util::kSecond);
+  cache.purge(11 * util::kSecond);
+  EXPECT_FALSE(cache.contains(a));
+  EXPECT_TRUE(cache.contains(b));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReplayCache, SizeStaysBoundedUnderChurn) {
+  ReplayCache cache(5 * util::kSecond);
+  util::Rng rng(5);
+  util::Timestamp now = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    cache.insert(crypto::Uuid::generate(rng), now);
+    now += util::kMillisecond;  // 1000 inserts per second
+  }
+  // Horizon holds ~5 seconds x 1000/s = ~5000 entries.
+  EXPECT_LE(cache.size(), 5'100u);
+  EXPECT_GE(cache.size(), 4'900u);
+}
+
+TEST(ReplayCache, DistinctUuidsAllAccepted) {
+  ReplayCache cache(5 * util::kSecond);
+  util::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(cache.insert(crypto::Uuid::generate(rng), 0));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace nnn::cookies

@@ -1,0 +1,138 @@
+// Deterministic RNG and the heavy-tail samplers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace nnn::util {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedDrawStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_u64(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedDrawRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng fork = a.fork();
+  // The fork and the parent should not mirror each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == fork.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(ZipfSampler, RanksAreOneBased) {
+  Rng rng(17);
+  ZipfSampler zipf(10, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const size_t rank = zipf.sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 10u);
+  }
+}
+
+TEST(ZipfSampler, HeadDominatesTail) {
+  Rng rng(19);
+  ZipfSampler zipf(100, 1.2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[1], counts[50] * 5);
+  EXPECT_GT(counts[1], 20000 / 20);  // rank 1 well over uniform share
+}
+
+TEST(ZipfSampler, SkewParameterControlsConcentration) {
+  Rng rng(23);
+  ZipfSampler flat(50, 0.2);
+  ZipfSampler steep(50, 2.0);
+  int flat_head = 0;
+  int steep_head = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (flat.sample(rng) == 1) ++flat_head;
+    if (steep.sample(rng) == 1) ++steep_head;
+  }
+  EXPECT_GT(steep_head, flat_head * 3);
+}
+
+TEST(LogNormal, MedianNearExpMu) {
+  Rng rng(29);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng.log_normal(std::log(50.0), 1.0));
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  const double median = samples[samples.size() / 2];
+  EXPECT_NEAR(median, 50.0, 5.0);
+}
+
+}  // namespace
+}  // namespace nnn::util

@@ -1,0 +1,329 @@
+// Additional end-to-end scenarios: cookie->DSCP interior enforcement
+// (§4.6), packet-granularity cookies (§4.3), descriptor renewal
+// (§4.1), and a campus-trace replay with accounting invariants.
+#include <gtest/gtest.h>
+
+#include "baselines/diffserv.h"
+#include "boost_lane/agent.h"
+#include "boost_lane/browser.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "dataplane/middlebox.h"
+#include "dataplane/zero_rating.h"
+#include "net/http.h"
+#include "server/cookie_server.h"
+#include "server/json_api.h"
+#include "util/clock.h"
+#include "workload/trace.h"
+#include "workload/websites.h"
+
+namespace nnn {
+namespace {
+
+using util::kSecond;
+
+cookies::CookieDescriptor make_descriptor(cookies::CookieId id) {
+  cookies::CookieDescriptor d;
+  d.cookie_id = id;
+  d.key.assign(32, static_cast<uint8_t>(id + 9));
+  d.service_data = "Boost";
+  return d;
+}
+
+net::Packet udp_cookie_packet(uint16_t port, const cookies::Cookie& c) {
+  net::Packet p;
+  p.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+  p.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 10);
+  p.tuple.src_port = port;
+  p.tuple.dst_port = 443;
+  p.tuple.proto = net::L4Proto::kUdp;
+  cookies::attach(p, c, cookies::Transport::kUdpHeader);
+  return p;
+}
+
+// §4.6 "Cookie->DSCP mapping: Service enforcement does not have to be
+// co-located with cookie inspection. The ISP can look up cookies at
+// the edge, and then use an internal mechanism to consume a service
+// within the network."
+TEST(CookieToDscp, EdgeRemarksInteriorEnforces) {
+  util::ManualClock clock(1000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  dataplane::Middlebox::Config config;
+  config.remark_dscp = 46;  // EF
+  dataplane::Middlebox edge(clock, verifier, registry, config);
+
+  const auto descriptor = make_descriptor(1);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 1);
+
+  // Interior domain knows nothing about cookies — only DSCP classes.
+  baselines::DiffServDomain interior("isp-core",
+                                     baselines::BoundaryPolicy::kPreserve);
+  interior.define_class(46, "fast-lane");
+
+  net::Packet request = udp_cookie_packet(5000, generator.generate());
+  edge.process(request);
+  EXPECT_EQ(request.dscp, 46);
+  interior.ingress(request);
+  EXPECT_EQ(interior.interior_class(request.dscp), "fast-lane");
+
+  // Established-flow packets are remarked from the flow table — the
+  // interior never needs cookie support ("without requiring all
+  // switches to support cookies").
+  net::Packet data;
+  data.tuple = request.tuple;
+  data.wire_size = 1200;
+  edge.process(data);
+  EXPECT_EQ(data.dscp, 46);
+
+  // Cookie-less traffic stays best-effort end to end.
+  net::Packet plain;
+  plain.tuple = request.tuple;
+  plain.tuple.src_port = 5001;
+  edge.process(plain);
+  EXPECT_EQ(plain.dscp, 0);
+  EXPECT_EQ(interior.interior_class(plain.dscp), "");
+}
+
+// §4.3: granularity can be narrowed to a single packet; the service
+// then applies to the cookie-bearing packet only, and no flow state is
+// installed.
+TEST(PacketGranularity, ServiceAppliesToSinglePacketOnly) {
+  util::ManualClock clock(1000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  dataplane::Middlebox middlebox(clock, verifier, registry);
+
+  auto descriptor = make_descriptor(2);
+  descriptor.attributes.granularity = cookies::Granularity::kPacket;
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 2);
+
+  net::Packet first = udp_cookie_packet(6000, generator.generate());
+  const auto verdict = middlebox.process(first);
+  EXPECT_TRUE(verdict.action.has_value());
+  EXPECT_TRUE(verdict.mapped_now);
+
+  // The next packet of the same flow gets no service: nothing was
+  // installed in the flow table.
+  net::Packet second;
+  second.tuple = first.tuple;
+  second.wire_size = 800;
+  EXPECT_FALSE(middlebox.process(second).action.has_value());
+
+  // Each boosted packet needs its own cookie — and gets it.
+  net::Packet third = udp_cookie_packet(6000, generator.generate());
+  EXPECT_TRUE(middlebox.process(third).action.has_value());
+}
+
+// §4.1: "A cookie descriptor typically lasts hours or days, and is
+// renewed by the user as needed." The agent renews transparently.
+TEST(DescriptorRenewal, AgentRenewsExpiredDescriptor) {
+  util::ManualClock clock(1'000'000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  server::CookieServer server(clock, 17, &verifier);
+  server::ServiceOffer offer;
+  offer.name = "Boost";
+  offer.service_data = "Boost";
+  offer.descriptor_lifetime = 3600LL * kSecond;
+  server.add_service(offer);
+  server::JsonApi api(server);
+
+  boost_lane::BoostAgent agent(clock, api, "home", 5);
+  ASSERT_TRUE(agent.always_boost("cnn.com"));
+  const auto first_id = agent.descriptor()->cookie_id;
+
+  // The descriptor expires; the user's standing preference remains.
+  clock.advance(2 * 3600LL * kSecond);
+  EXPECT_FALSE(agent.has_descriptor());
+
+  util::Rng rng(6);
+  boost_lane::Browser browser(rng, net::IpAddress::v4(192, 168, 1, 10));
+  const auto tab = browser.open_tab();
+  const auto load = browser.navigate(tab, workload::cnn_profile());
+  const auto& flow = *std::find_if(
+      load.flows.begin(), load.flows.end(),
+      [](const boost_lane::BrowserFlow& f) { return f.tab.has_value(); });
+  net::Packet request =
+      workload::PageLoadGenerator::make_request_packet(flow.flow);
+  // process_request triggers a renewal under the hood.
+  EXPECT_TRUE(agent.process_request(flow, request));
+  EXPECT_TRUE(agent.has_descriptor());
+  EXPECT_NE(agent.descriptor()->cookie_id, first_id);
+  // The renewed descriptor's cookies verify.
+  const auto extracted = cookies::extract(request);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_TRUE(verifier.verify(extracted->stack.front()).ok());
+}
+
+// §5.1 / §1: boost mappings expire (one-hour boost events, short
+// bursts), controlled by the descriptor's mapping_ttl attribute.
+TEST(MappingTtl, MappedFlowRevertsAfterTtl) {
+  util::ManualClock clock(1000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  dataplane::Middlebox middlebox(clock, verifier, registry);
+
+  auto descriptor = make_descriptor(20);
+  descriptor.attributes.mapping_ttl = 10 * kSecond;
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 20);
+
+  net::Packet request = udp_cookie_packet(7000, generator.generate());
+  ASSERT_TRUE(middlebox.process(request).action.has_value());
+
+  // Within the TTL: still boosted.
+  clock.advance(9 * kSecond);
+  net::Packet data;
+  data.tuple = request.tuple;
+  data.wire_size = 900;
+  EXPECT_TRUE(middlebox.process(data).action.has_value());
+
+  // Past the TTL: back to best effort.
+  clock.advance(2 * kSecond);
+  net::Packet late;
+  late.tuple = request.tuple;
+  late.wire_size = 900;
+  EXPECT_FALSE(middlebox.process(late).action.has_value());
+}
+
+TEST(MappingTtl, NoTtlMeansFlowLifetime) {
+  util::ManualClock clock(1000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  dataplane::Middlebox middlebox(clock, verifier, registry);
+  const auto descriptor = make_descriptor(21);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 21);
+  net::Packet request = udp_cookie_packet(7001, generator.generate());
+  middlebox.process(request);
+  clock.advance(30 * kSecond);  // under the idle timeout
+  net::Packet data;
+  data.tuple = request.tuple;
+  data.wire_size = 900;
+  EXPECT_TRUE(middlebox.process(data).action.has_value());
+}
+
+TEST(MappingTtl, JsonRoundTripsAttribute) {
+  cookies::Attributes attrs;
+  attrs.mapping_ttl = 3600LL * kSecond;
+  const auto parsed = cookies::Attributes::from_json(attrs.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->mapping_ttl, attrs.mapping_ttl);
+}
+
+// §4.2's application-assisted trigger needs cookies honored mid-flow;
+// the default deployment (sniff-3) ignores them.
+TEST(MidFlowCookies, HonoredOnlyWhenConfigured) {
+  util::ManualClock clock(1000 * kSecond);
+  cookies::CookieVerifier verifier(clock);
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  const auto descriptor = make_descriptor(22);
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 22);
+
+  const auto run = [&](bool mid_flow) {
+    dataplane::Middlebox::Config config;
+    config.mid_flow_cookies = mid_flow;
+    dataplane::Middlebox middlebox(clock, verifier, registry, config);
+    // Exhaust the sniff window with plain packets.
+    net::FiveTuple tuple;
+    tuple.src_ip = net::IpAddress::v4(192, 168, 1, 10);
+    tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 10);
+    tuple.src_port = static_cast<uint16_t>(mid_flow ? 7100 : 7101);
+    tuple.dst_port = 443;
+    tuple.proto = net::L4Proto::kUdp;
+    for (int i = 0; i < 4; ++i) {
+      net::Packet p;
+      p.tuple = tuple;
+      p.wire_size = 700;
+      middlebox.process(p);
+    }
+    // The application's late burst trigger.
+    net::Packet trigger = udp_cookie_packet(tuple.src_port,
+                                            generator.generate());
+    return middlebox.process(trigger).action.has_value();
+  };
+  EXPECT_TRUE(run(true));
+  EXPECT_FALSE(run(false));
+}
+
+// Campus-scale replay: run a scaled synthetic trace through the
+// zero-rating middlebox and check accounting invariants (the §4.6
+// deployment: "two counters per IP ... both directions of a flow").
+TEST(CampusReplay, AccountingInvariantsHold) {
+  util::ManualClock clock(0);
+  cookies::CookieVerifier verifier(clock);
+  dataplane::ServiceRegistry registry;
+  registry.bind("zr", dataplane::ZeroRateAction{});
+  dataplane::Middlebox middlebox(clock, verifier, registry);
+  dataplane::ZeroRatingLedger ledger;
+
+  cookies::CookieDescriptor descriptor = make_descriptor(3);
+  descriptor.service_data = "zr";
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator generator(descriptor, clock, 3);
+
+  workload::CampusTraceGenerator::Config config;
+  config.flows = 2000;
+  config.clients = 120;
+  config.duration = 120LL * kSecond;
+  workload::CampusTraceGenerator trace_gen(config, 77);
+  const auto trace = trace_gen.generate();
+
+  util::Rng rng(78);
+  uint64_t total_bytes = 0;
+  uint64_t expected_free = 0;
+  uint16_t next_port = 1025;
+  for (const auto& flow : trace) {
+    clock.set(flow.start);
+    const bool zero_rated = rng.chance(0.3);  // user's chosen app
+    net::FiveTuple tuple;
+    tuple.src_ip = flow.client;
+    tuple.dst_ip = net::IpAddress::v4(151, 101, 7, 7);
+    tuple.src_port = next_port++;
+    if (next_port == 0) next_port = 1025;
+    tuple.dst_port = 443;
+    tuple.proto = net::L4Proto::kUdp;
+
+    const uint32_t packets = std::min(flow.packets, 12u);  // scaled
+    for (uint32_t i = 0; i < packets; ++i) {
+      net::Packet p;
+      p.tuple = tuple;
+      p.wire_size = flow.mean_packet_bytes;
+      if (i == 0 && zero_rated) {
+        cookies::attach(p, generator.generate(),
+                        cookies::Transport::kUdpHeader);
+        p.wire_size = flow.mean_packet_bytes;
+      }
+      const uint32_t size = p.size();
+      middlebox.process_and_account(p, ledger, flow.client);
+      total_bytes += size;
+      if (zero_rated) expected_free += size;
+    }
+  }
+
+  // Invariant: every byte is accounted exactly once, free or charged.
+  uint64_t ledger_total = 0;
+  uint64_t ledger_free = 0;
+  std::set<net::IpAddress> clients;
+  for (const auto& flow : trace) clients.insert(flow.client);
+  for (const auto& client : clients) {
+    const auto usage = ledger.usage(client);
+    ledger_total += usage.total();
+    ledger_free += usage.free_bytes;
+  }
+  EXPECT_EQ(ledger_total, total_bytes);
+  EXPECT_EQ(ledger_free, expected_free);
+  EXPECT_GT(ledger_free, 0u);
+  EXPECT_LT(ledger_free, total_bytes);
+}
+
+}  // namespace
+}  // namespace nnn

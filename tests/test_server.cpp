@@ -1,0 +1,197 @@
+// Cookie server: issuance, auth, quotas, revocation, audit, JSON API,
+// and discovery.
+#include <gtest/gtest.h>
+
+#include "server/cookie_server.h"
+#include "server/discovery.h"
+#include "server/json_api.h"
+#include "util/clock.h"
+
+namespace nnn::server {
+namespace {
+
+ServiceOffer boost_offer() {
+  ServiceOffer offer;
+  offer.name = "Boost";
+  offer.description = "user-defined fast lane";
+  offer.service_data = "Boost";
+  offer.auth = AuthPolicy::kOpen;
+  offer.descriptor_lifetime = 3600LL * util::kSecond;  // one hour (§5.1)
+  return offer;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : clock_(1'000'000 * util::kSecond),
+        verifier_(clock_),
+        server_(clock_, 77, &verifier_) {
+    server_.add_service(boost_offer());
+  }
+
+  util::ManualClock clock_;
+  cookies::CookieVerifier verifier_;
+  CookieServer server_;
+};
+
+TEST_F(ServerTest, OpenServiceGrantsDescriptor) {
+  const auto result = server_.acquire("Boost", "home-1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.descriptor->service_data, "Boost");
+  EXPECT_EQ(result.descriptor->key.size(), 32u);
+  EXPECT_NE(result.descriptor->cookie_id, 0u);
+  // Expiry stamped one hour out.
+  EXPECT_EQ(result.descriptor->attributes.expires_at.value(),
+            clock_.now() + 3600LL * util::kSecond);
+}
+
+TEST_F(ServerTest, GrantInstallsIntoVerifier) {
+  const auto result = server_.acquire("Boost", "home-1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(verifier_.knows(result.descriptor->cookie_id));
+}
+
+TEST_F(ServerTest, DistinctGrantsGetDistinctIdsAndKeys) {
+  const auto a = server_.acquire("Boost", "home-1");
+  const auto b = server_.acquire("Boost", "home-2");
+  EXPECT_NE(a.descriptor->cookie_id, b.descriptor->cookie_id);
+  EXPECT_NE(a.descriptor->key, b.descriptor->key);
+}
+
+TEST_F(ServerTest, UnknownServiceDenied) {
+  const auto result = server_.acquire("Nope", "home-1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(*result.error, AcquireError::kUnknownService);
+}
+
+TEST_F(ServerTest, TokenAuthEnforced) {
+  ServiceOffer cellular = boost_offer();
+  cellular.name = "CellBoost";
+  cellular.auth = AuthPolicy::kToken;
+  server_.add_service(cellular);
+  server_.add_account(Account{"alice", "secret-token"});
+
+  EXPECT_EQ(*server_.acquire("CellBoost", "mallory").error,
+            AcquireError::kAuthRequired);
+  EXPECT_EQ(*server_.acquire("CellBoost", "alice", "wrong").error,
+            AcquireError::kBadCredentials);
+  EXPECT_TRUE(server_.acquire("CellBoost", "alice", "secret-token").ok());
+}
+
+TEST_F(ServerTest, MonthlyQuotaEnforced) {
+  ServiceOffer limited = boost_offer();
+  limited.name = "Limited";
+  limited.monthly_quota = 2;
+  server_.add_service(limited);
+
+  EXPECT_TRUE(server_.acquire("Limited", "bob").ok());
+  EXPECT_TRUE(server_.acquire("Limited", "bob").ok());
+  EXPECT_EQ(*server_.acquire("Limited", "bob").error,
+            AcquireError::kQuotaExceeded);
+  // Another user has their own quota.
+  EXPECT_TRUE(server_.acquire("Limited", "carol").ok());
+  // A month later the window slides open again.
+  clock_.advance(31LL * 24 * 3600 * util::kSecond);
+  EXPECT_TRUE(server_.acquire("Limited", "bob").ok());
+}
+
+TEST_F(ServerTest, RevocationPropagatesToVerifier) {
+  const auto result = server_.acquire("Boost", "home-1");
+  const auto id = result.descriptor->cookie_id;
+  EXPECT_TRUE(server_.revoke(id, "user request"));
+  EXPECT_EQ(verifier_.find(id), nullptr);
+  EXPECT_FALSE(server_.revoke(id, "again"));  // already revoked
+  EXPECT_TRUE(server_.active_descriptors("home-1").empty());
+}
+
+TEST_F(ServerTest, AuditLogRecordsEverything) {
+  const auto grant = server_.acquire("Boost", "home-1");
+  server_.acquire("Nope", "home-1");
+  server_.revoke(grant.descriptor->cookie_id, "cleanup");
+
+  const auto& log = server_.audit_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records()[0].event, AuditEvent::kGranted);
+  EXPECT_EQ(log.records()[1].event, AuditEvent::kDenied);
+  EXPECT_EQ(log.records()[1].detail, "unknown-service");
+  EXPECT_EQ(log.records()[2].event, AuditEvent::kRevoked);
+  EXPECT_EQ(log.for_user("home-1").size(), 3u);
+  EXPECT_EQ(log.for_service("Boost").size(), 2u);
+  // Exported JSON never contains keys.
+  const std::string exported = log.to_json().dump();
+  EXPECT_EQ(exported.find("\"key\""), std::string::npos);
+}
+
+TEST_F(ServerTest, JsonApiListServices) {
+  JsonApi api(server_);
+  const auto response = json::parse(api.handle_text(R"({"method":"list_services"})"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->get_bool("ok"));
+  const auto& services = response->find("services")->as_array();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].get_string("name"), "Boost");
+}
+
+TEST_F(ServerTest, JsonApiAcquireRoundTrip) {
+  JsonApi api(server_);
+  const auto response = json::parse(api.handle_text(
+      R"({"method":"acquire","service":"Boost","user":"home-9"})"));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->get_bool("ok"));
+  const auto descriptor =
+      cookies::CookieDescriptor::from_json(*response->find("descriptor"));
+  ASSERT_TRUE(descriptor.has_value());
+  EXPECT_TRUE(verifier_.knows(descriptor->cookie_id));
+  EXPECT_FALSE(descriptor->key.empty());
+}
+
+TEST_F(ServerTest, JsonApiErrors) {
+  JsonApi api(server_);
+  EXPECT_EQ(json::parse(api.handle_text("not json"))->get_string("error"),
+            "bad-request");
+  EXPECT_EQ(json::parse(api.handle_text(R"({"method":"dance"})"))
+                ->get_string("error"),
+            "unknown-method");
+  EXPECT_EQ(json::parse(api.handle_text(R"({"method":"acquire","user":"x"})"))
+                ->get_string("error"),
+            "bad-request");
+  EXPECT_EQ(
+      json::parse(api.handle_text(
+                      R"({"method":"acquire","service":"Zap","user":"x"})"))
+          ->get_string("error"),
+      "unknown-service");
+}
+
+TEST_F(ServerTest, JsonApiRevoke) {
+  JsonApi api(server_);
+  const auto grant = server_.acquire("Boost", "home-1");
+  // Ids travel as strings (64-bit values do not fit JSON doubles).
+  const std::string request =
+      std::string(R"({"method":"revoke","cookie_id":")") +
+      std::to_string(grant.descriptor->cookie_id) + R"("})";
+  const auto response = json::parse(api.handle_text(request));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->get_bool("ok"));
+  EXPECT_EQ(verifier_.find(grant.descriptor->cookie_id), nullptr);
+}
+
+TEST(Discovery, OrderedByMethod) {
+  DiscoveryRegistry registry;
+  registry.advertise({"home", "http://fallback.example",
+                      DiscoveryMethod::kHardcoded});
+  registry.advertise({"home", "http://cookie-server.example",
+                      DiscoveryMethod::kDhcpOption});
+  registry.advertise({"cell", "http://cell.example",
+                      DiscoveryMethod::kMdns});
+
+  const auto found = registry.discover("home");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].method, DiscoveryMethod::kDhcpOption);
+  EXPECT_EQ(registry.first_endpoint("home").value(),
+            "http://cookie-server.example");
+  EXPECT_EQ(registry.first_endpoint("cell").value(), "http://cell.example");
+  EXPECT_FALSE(registry.first_endpoint("office").has_value());
+}
+
+}  // namespace
+}  // namespace nnn::server

@@ -1,0 +1,112 @@
+// Remaining util coverage: fmt, strings, clock, logging.
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+#include "util/fmt.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace nnn::util {
+namespace {
+
+TEST(Fmt, SubstitutesInOrder) {
+  EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(fmt("{}", std::string("str")), "str");
+  EXPECT_EQ(fmt("no placeholders"), "no placeholders");
+}
+
+TEST(Fmt, HexSpec) {
+  EXPECT_EQ(fmt("{:x}", 255), "ff");
+  EXPECT_EQ(fmt("0x{:x}!", 4096), "0x1000!");
+}
+
+TEST(Fmt, SurplusPlaceholdersRenderLiterally) {
+  EXPECT_EQ(fmt("{} and {}", 1), "1 and {}");
+}
+
+TEST(Fmt, SurplusArgumentsIgnored) {
+  EXPECT_EQ(fmt("only {}", 1, 2, 3), "only 1");
+}
+
+TEST(Fmt, MixedTypes) {
+  EXPECT_EQ(fmt("{}|{}|{}", "a", 2.5, false), "a|2.5|0");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("nosep", ','), (std::vector<std::string>{"nosep"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("a", "ab"));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("x", "http://"));
+  EXPECT_TRUE(ends_with("file.cpp", ".cpp"));
+  EXPECT_FALSE(ends_with("cpp", ".cpp"));
+}
+
+TEST(Strings, DomainMatches) {
+  EXPECT_TRUE(domain_matches("cnn.com", "cnn.com"));
+  EXPECT_TRUE(domain_matches("cdn.cnn.com", "cnn.com"));
+  EXPECT_TRUE(domain_matches("CDN.CNN.COM", "cnn.com"));
+  EXPECT_FALSE(domain_matches("notcnn.com", "cnn.com"));
+  EXPECT_FALSE(domain_matches("cnn.com.evil.example", "cnn.com"));
+  EXPECT_FALSE(domain_matches("com", "cnn.com"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Clock, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  clock.set(10);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(Clock, SystemClockIsMonotonicNonDecreasing) {
+  SystemClock clock;
+  const Timestamp a = clock.now();
+  const Timestamp b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(Logging, SinkCapturesAtOrAboveLevel) {
+  auto& logger = Logger::instance();
+  const LogLevel saved_level = logger.level();
+  std::vector<std::string> captured;
+  logger.set_sink([&](LogLevel, std::string_view msg) {
+    captured.emplace_back(msg);
+  });
+  logger.set_level(LogLevel::kWarn);
+  log_debug("hidden {}", 1);
+  log_info("hidden too");
+  log_warn("warn {}", 2);
+  log_error("error {}", 3);
+  EXPECT_EQ(captured, (std::vector<std::string>{"warn 2", "error 3"}));
+  // Restore defaults for other tests.
+  logger.set_sink(nullptr);
+  logger.set_level(saved_level);
+}
+
+}  // namespace
+}  // namespace nnn::util

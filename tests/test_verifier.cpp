@@ -1,0 +1,177 @@
+// CookieVerifier: the four checks of §4.2 plus revocation/expiry.
+#include <gtest/gtest.h>
+
+#include "cookies/generator.h"
+#include "cookies/verifier.h"
+#include "util/clock.h"
+
+namespace nnn::cookies {
+namespace {
+
+CookieDescriptor make_descriptor(CookieId id) {
+  CookieDescriptor d;
+  d.cookie_id = id;
+  d.key.assign(32, static_cast<uint8_t>(id * 11 + 1));
+  d.service_data = "Boost";
+  return d;
+}
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() : clock_(1'000'000 * util::kSecond), verifier_(clock_) {}
+
+  CookieGenerator install(CookieId id) {
+    auto descriptor = make_descriptor(id);
+    verifier_.add_descriptor(descriptor);
+    return CookieGenerator(descriptor, clock_, id);
+  }
+
+  util::ManualClock clock_;
+  CookieVerifier verifier_;
+};
+
+TEST_F(VerifierTest, ValidCookieVerifies) {
+  auto gen = install(1);
+  const auto result = verifier_.verify(gen.generate());
+  EXPECT_TRUE(result.ok());
+  ASSERT_NE(result.descriptor, nullptr);
+  EXPECT_EQ(result.descriptor->service_data, "Boost");
+  EXPECT_EQ(verifier_.stats().verified, 1u);
+}
+
+TEST_F(VerifierTest, UnknownIdRejected) {
+  auto gen = install(2);
+  Cookie c = gen.generate();
+  c.cookie_id = 999;
+  EXPECT_EQ(verifier_.verify(c).status, VerifyStatus::kUnknownId);
+  EXPECT_EQ(verifier_.stats().unknown_id, 1u);
+}
+
+TEST_F(VerifierTest, ForgedSignatureRejected) {
+  auto gen = install(3);
+  Cookie c = gen.generate();
+  c.signature[5] ^= 0x01;
+  EXPECT_EQ(verifier_.verify(c).status, VerifyStatus::kBadSignature);
+}
+
+TEST_F(VerifierTest, WrongKeyRejected) {
+  auto descriptor = make_descriptor(4);
+  verifier_.add_descriptor(descriptor);
+  auto other = descriptor;
+  other.key.assign(32, 0xEE);
+  CookieGenerator rogue(other, clock_, 4);
+  EXPECT_EQ(verifier_.verify(rogue.generate()).status,
+            VerifyStatus::kBadSignature);
+}
+
+TEST_F(VerifierTest, ReplayRejected) {
+  auto gen = install(5);
+  const Cookie c = gen.generate();
+  EXPECT_TRUE(verifier_.verify(c).ok());
+  EXPECT_EQ(verifier_.verify(c).status, VerifyStatus::kReplayed);
+  EXPECT_EQ(verifier_.stats().replayed, 1u);
+}
+
+TEST_F(VerifierTest, NctWindowBoundaries) {
+  auto gen = install(6);
+  // Exactly NCT old: still accepted (Listing 3 rejects only > NCT).
+  Cookie c = gen.generate();
+  clock_.advance(kNetworkCoherencyTime);
+  EXPECT_TRUE(verifier_.verify(c).ok());
+  // One second past NCT: stale.
+  Cookie late = gen.generate();
+  clock_.advance(kNetworkCoherencyTime + util::kSecond);
+  EXPECT_EQ(verifier_.verify(late).status, VerifyStatus::kStaleTimestamp);
+}
+
+TEST_F(VerifierTest, FutureTimestampRejected) {
+  auto gen = install(7);
+  Cookie c = gen.generate();
+  c.timestamp += 100;  // forged future time
+  c.signature = c.compute_tag(util::BytesView(make_descriptor(7).key));
+  EXPECT_EQ(verifier_.verify(c).status, VerifyStatus::kStaleTimestamp);
+}
+
+TEST_F(VerifierTest, RevocationTombstones) {
+  auto gen = install(8);
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  EXPECT_TRUE(verifier_.revoke(8));
+  EXPECT_EQ(verifier_.verify(gen.generate()).status,
+            VerifyStatus::kDescriptorRevoked);
+  // Unknown ids cannot be revoked.
+  EXPECT_FALSE(verifier_.revoke(999));
+  // find() hides revoked descriptors.
+  EXPECT_EQ(verifier_.find(8), nullptr);
+  // Re-adding reinstates service.
+  verifier_.add_descriptor(make_descriptor(8));
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+}
+
+TEST_F(VerifierTest, ExpiredDescriptorRejected) {
+  auto descriptor = make_descriptor(9);
+  descriptor.attributes.expires_at = clock_.now() + 10 * util::kSecond;
+  verifier_.add_descriptor(descriptor);
+  CookieGenerator gen(descriptor, clock_, 9);
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  clock_.advance(11 * util::kSecond);
+  EXPECT_EQ(verifier_.verify(gen.generate()).status,
+            VerifyStatus::kDescriptorExpired);
+}
+
+TEST_F(VerifierTest, RemoveForgetsEntirely) {
+  auto gen = install(10);
+  EXPECT_TRUE(verifier_.remove(10));
+  EXPECT_EQ(verifier_.verify(gen.generate()).status,
+            VerifyStatus::kUnknownId);
+  EXPECT_FALSE(verifier_.remove(10));
+}
+
+TEST_F(VerifierTest, WireAndTextVerification) {
+  auto gen = install(11);
+  EXPECT_TRUE(
+      verifier_.verify_wire(util::BytesView(gen.generate().encode())).ok());
+  EXPECT_TRUE(verifier_.verify_text(gen.generate().encode_text()).ok());
+  EXPECT_EQ(verifier_.verify_text("garbage").status,
+            VerifyStatus::kUnknownId);
+}
+
+TEST_F(VerifierTest, IndependentReplayCachesPerDescriptor) {
+  auto gen_a = install(12);
+  auto gen_b = install(13);
+  // Same uuid under two descriptors: each descriptor tracks its own.
+  Cookie a = gen_a.generate();
+  Cookie b = a;
+  b.cookie_id = 13;
+  b.signature = b.compute_tag(util::BytesView(make_descriptor(13).key));
+  EXPECT_TRUE(verifier_.verify(a).ok());
+  EXPECT_TRUE(verifier_.verify(b).ok());
+}
+
+TEST_F(VerifierTest, StatsTotalsAdd) {
+  auto gen = install(14);
+  const Cookie c = gen.generate();
+  verifier_.verify(c);
+  verifier_.verify(c);
+  Cookie bad = gen.generate();
+  bad.signature[0] ^= 1;
+  verifier_.verify(bad);
+  EXPECT_EQ(verifier_.stats().total(), 3u);
+  verifier_.reset_stats();
+  EXPECT_EQ(verifier_.stats().total(), 0u);
+}
+
+TEST(VerifierStandalone, FailOpenSemantics) {
+  // A failed verification must never be an error path: it returns a
+  // result the caller maps to best-effort, it does not throw.
+  util::ManualClock clock(0);
+  CookieVerifier verifier(clock);
+  Cookie junk;
+  junk.cookie_id = 1234;
+  EXPECT_NO_THROW({
+    const auto result = verifier.verify(junk);
+    EXPECT_FALSE(result.ok());
+  });
+}
+
+}  // namespace
+}  // namespace nnn::cookies

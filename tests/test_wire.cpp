@@ -1,0 +1,202 @@
+// Wire codec: real IPv4/IPv6 + TCP/UDP serialization.
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace nnn::net {
+namespace {
+
+Packet base_packet(L4Proto proto, bool ipv6) {
+  Packet p;
+  if (ipv6) {
+    p.ipv6 = true;
+    p.tuple.src_ip = IpAddress::parse("2001:db8::10").value();
+    p.tuple.dst_ip = IpAddress::parse("2001:db8::20").value();
+  } else {
+    p.tuple.src_ip = IpAddress::v4(192, 168, 1, 10);
+    p.tuple.dst_ip = IpAddress::v4(151, 101, 0, 10);
+  }
+  p.tuple.src_port = 40000;
+  p.tuple.dst_port = 443;
+  p.tuple.proto = proto;
+  p.payload = {0xde, 0xad, 0xbe, 0xef};
+  return p;
+}
+
+TEST(Wire, V4TcpRoundTrip) {
+  Packet p = base_packet(L4Proto::kTcp, false);
+  p.dscp = 46;
+  p.ttl = 33;
+  p.seq = 123456;
+  p.ack_seq = 654321;
+  p.syn = true;
+  p.ack = true;
+  const auto wire = serialize(p);
+  const auto parsed = parse(util::BytesView(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tuple, p.tuple);
+  EXPECT_EQ(parsed->dscp, 46);
+  EXPECT_EQ(parsed->ttl, 33);
+  EXPECT_EQ(parsed->seq, 123456u);
+  EXPECT_EQ(parsed->ack_seq, 654321u);
+  EXPECT_TRUE(parsed->syn);
+  EXPECT_TRUE(parsed->ack);
+  EXPECT_FALSE(parsed->fin);
+  EXPECT_EQ(parsed->payload, p.payload);
+  EXPECT_EQ(parsed->wire_size, wire.size());
+}
+
+TEST(Wire, V4UdpRoundTrip) {
+  const Packet p = base_packet(L4Proto::kUdp, false);
+  const auto wire = serialize(p);
+  EXPECT_EQ(wire.size(), 20u + 8u + p.payload.size());
+  const auto parsed = parse(util::BytesView(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tuple, p.tuple);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Wire, V6TcpRoundTrip) {
+  const Packet p = base_packet(L4Proto::kTcp, true);
+  const auto wire = serialize(p);
+  const auto parsed = parse(util::BytesView(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ipv6);
+  EXPECT_EQ(parsed->tuple, p.tuple);
+  EXPECT_EQ(parsed->payload, p.payload);
+  EXPECT_FALSE(parsed->l3_cookie.has_value());
+}
+
+TEST(Wire, V6HopByHopCookieRoundTrip) {
+  Packet p = base_packet(L4Proto::kUdp, true);
+  p.l3_cookie = util::Bytes{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto wire = serialize(p);
+  const auto parsed = parse(util::BytesView(wire));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->l3_cookie.has_value());
+  EXPECT_EQ(*parsed->l3_cookie, *p.l3_cookie);
+  EXPECT_EQ(parsed->payload, p.payload);
+  EXPECT_EQ(parsed->tuple, p.tuple);
+}
+
+TEST(Wire, TcpEdoOptionRoundTrip) {
+  // A 53-byte cookie exceeds the classic 40-byte TCP option space;
+  // the codec emits an EDO option and the parser honors it.
+  Packet p = base_packet(L4Proto::kTcp, false);
+  p.l4_cookie = util::Bytes(53);
+  for (size_t i = 0; i < p.l4_cookie->size(); ++i) {
+    (*p.l4_cookie)[i] = static_cast<uint8_t>(i * 7);
+  }
+  const auto wire = serialize(p);
+  const auto parsed = parse(util::BytesView(wire));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->l4_cookie.has_value());
+  EXPECT_EQ(*parsed->l4_cookie, *p.l4_cookie);
+  EXPECT_EQ(parsed->payload, p.payload);
+  EXPECT_EQ(parsed->tuple, p.tuple);
+}
+
+TEST(Wire, TcpEdoOverV6RoundTrip) {
+  Packet p = base_packet(L4Proto::kTcp, true);
+  p.l4_cookie = util::Bytes{1, 2, 3, 4, 5};
+  const auto parsed = parse(util::BytesView(serialize(p)));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->l4_cookie, p.l4_cookie);
+}
+
+TEST(Wire, TcpSmallOptionWithoutEdoNotEmitted) {
+  // Without a cookie the header is the plain 20 bytes.
+  const Packet p = base_packet(L4Proto::kTcp, false);
+  const auto wire = serialize(p);
+  EXPECT_EQ(wire.size(), 20u + 20u + p.payload.size());
+}
+
+TEST(Wire, V4ChecksumCorruptionDetected) {
+  const Packet p = base_packet(L4Proto::kTcp, false);
+  auto wire = serialize(p);
+  wire[14] ^= 0xff;  // corrupt a source-address byte
+  EXPECT_FALSE(parse(util::BytesView(wire)).has_value());
+}
+
+TEST(Wire, TruncationRejected) {
+  const Packet p = base_packet(L4Proto::kTcp, false);
+  const auto wire = serialize(p);
+  for (const size_t keep : {0u, 1u, 10u, 19u, 25u, 39u}) {
+    EXPECT_FALSE(
+        parse(util::BytesView(wire.data(), std::min(keep, wire.size())))
+            .has_value())
+        << "keep=" << keep;
+  }
+}
+
+TEST(Wire, GarbageRejected) {
+  util::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    util::Bytes junk(rng.next_u64(80));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.next_u64());
+    if (!junk.empty()) junk[0] = static_cast<uint8_t>(rng.next_u64(3) << 4);
+    // Must never crash; almost always rejects (version nibble invalid).
+    (void)parse(util::BytesView(junk));
+  }
+  SUCCEED();
+}
+
+TEST(Wire, InternetChecksumKnownValue) {
+  // Classic example: checksum of this header equals 0xb861.
+  const util::Bytes header = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                              0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                              0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                              0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(util::BytesView(header)), 0xb861);
+}
+
+class WireRoundtrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireRoundtrip, RandomPacketsRoundtrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    const bool v6 = rng.chance(0.5);
+    p.ipv6 = v6;
+    if (v6) {
+      std::array<uint8_t, 16> src;
+      std::array<uint8_t, 16> dst;
+      for (auto& b : src) b = static_cast<uint8_t>(rng.next_u64());
+      for (auto& b : dst) b = static_cast<uint8_t>(rng.next_u64());
+      p.tuple.src_ip = IpAddress::v6(src);
+      p.tuple.dst_ip = IpAddress::v6(dst);
+    } else {
+      p.tuple.src_ip = IpAddress::v4(rng.next_u32());
+      p.tuple.dst_ip = IpAddress::v4(rng.next_u32());
+    }
+    p.tuple.src_port = static_cast<uint16_t>(rng.next_u64(65536));
+    p.tuple.dst_port = static_cast<uint16_t>(rng.next_u64(65536));
+    p.tuple.proto = rng.chance(0.5) ? L4Proto::kTcp : L4Proto::kUdp;
+    p.dscp = static_cast<uint8_t>(rng.next_u64(64));
+    p.payload.resize(rng.next_u64(600));
+    for (auto& b : p.payload) b = static_cast<uint8_t>(rng.next_u64());
+    if (v6 && rng.chance(0.3)) {
+      p.l3_cookie = util::Bytes(1 + rng.next_u64(60));
+      for (auto& b : *p.l3_cookie) b = static_cast<uint8_t>(rng.next_u64());
+    }
+    if (p.tuple.proto == L4Proto::kTcp && rng.chance(0.3)) {
+      p.l4_cookie = util::Bytes(1 + rng.next_u64(120));
+      for (auto& b : *p.l4_cookie) b = static_cast<uint8_t>(rng.next_u64());
+    }
+    const auto parsed = parse(util::BytesView(serialize(p)));
+    ASSERT_TRUE(parsed.has_value()) << "iteration " << i;
+    EXPECT_EQ(parsed->tuple, p.tuple);
+    EXPECT_EQ(parsed->dscp, p.dscp);
+    EXPECT_EQ(parsed->payload, p.payload);
+    EXPECT_EQ(parsed->l3_cookie, p.l3_cookie);
+    if (p.is_tcp()) {
+      EXPECT_EQ(parsed->l4_cookie, p.l4_cookie);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundtrip, ::testing::Values(3, 5, 7));
+
+}  // namespace
+}  // namespace nnn::net
