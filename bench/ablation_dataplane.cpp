@@ -17,6 +17,8 @@
 #include "dataplane/sharding.h"
 #include "net/http.h"
 #include "net/tls.h"
+#include "runtime/mpsc_ring.h"
+#include "runtime/spsc_ring.h"
 #include "util/clock.h"
 #include "util/rng.h"
 #include "workload/packet_gen.h"
@@ -316,6 +318,60 @@ BENCHMARK(BM_MidFlowInspection)
     ->ArgName("mid_flow")
     ->Arg(0)
     ->Arg(1);
+
+// --- runtime: the threaded dataplane's ring hot path ---------------
+// (scaling curves live in bench/ablation_runtime; these isolate the
+// per-packet queueing cost the runtime adds on top of the middlebox)
+
+/// SPSC ring enqueue+dequeue cost per element, single-threaded — the
+/// pure protocol overhead with no cross-core traffic.
+void BM_Runtime_RingPushPop(benchmark::State& state) {
+  nnn::runtime::SpscRing<nnn::net::Packet> ring(1024);
+  nnn::net::Packet packet = plain_packet(1);
+  nnn::net::Packet out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(std::move(packet)));
+    benchmark::DoNotOptimize(ring.try_pop(out));
+    packet = std::move(out);  // recycle the buffers
+  }
+}
+BENCHMARK(BM_Runtime_RingPushPop);
+
+/// Batch-size sweep: per-packet dequeue cost as the consumer's burst
+/// grows. The worker default of 32 is where the curve flattens —
+/// larger bursts buy little and cost latency.
+void BM_Runtime_RingBatchSweep(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  nnn::runtime::SpscRing<nnn::net::Packet> ring(1024);
+  std::vector<nnn::net::Packet> out(batch);
+  uint64_t packets = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      ring.try_push(plain_packet(static_cast<uint32_t>(i)));
+    }
+    benchmark::DoNotOptimize(ring.pop_batch(out.data(), batch));
+    packets += batch;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(packets));
+}
+BENCHMARK(BM_Runtime_RingBatchSweep)
+    ->ArgName("batch")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128);
+
+/// MPSC (verdict/ingress) ring cost, uncontended: what a worker pays
+/// to publish one verdict record.
+void BM_Runtime_MpscPushPop(benchmark::State& state) {
+  nnn::runtime::MpscRing<uint64_t> ring(1024);
+  uint64_t v = 0, out = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(v++));
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+}
+BENCHMARK(BM_Runtime_MpscPushPop);
 
 /// Flow-table scale: lookup cost as the table grows.
 void BM_FlowTableTouch(benchmark::State& state) {

@@ -2,12 +2,22 @@
 
 namespace nnn::cookies {
 
-ReplayCache::ReplayCache(util::Timestamp horizon) : horizon_(horizon) {}
+ReplayCache::ReplayCache(util::Timestamp horizon, size_t capacity)
+    : horizon_(horizon), capacity_(capacity == 0 ? 1 : capacity) {}
 
 bool ReplayCache::insert(const crypto::Uuid& uuid, util::Timestamp now) {
+  // Purge first so an expired copy of `uuid` cannot shadow the
+  // duplicate check (and the common case shrinks before we grow).
   purge(now);
   const auto [it, inserted] = set_.insert(uuid);
   if (!inserted) return false;
+  while (queue_.size() >= capacity_) {
+    // Capacity clamp: evict oldest-first. Only reachable under a
+    // unique-uuid flood; counted so operators can see it happened.
+    set_.erase(queue_.front().uuid);
+    queue_.pop_front();
+    ++capacity_evictions_;
+  }
   queue_.push_back(Entry{now + horizon_, uuid});
   return true;
 }

@@ -2,10 +2,25 @@
 //
 // "To verify uniqueness, we keep a list of recently seen cookies
 // (within NCT)." This cache stores uuids with an expiry horizon and
-// evicts lazily; memory is bounded by (cookie arrival rate x NCT).
+// purges expired entries on every insert *before* the duplicate check,
+// so a uuid past its horizon is always re-insertable. In the steady
+// state memory is bounded by (cookie arrival rate x NCT); a flood of
+// unique uuids is additionally clamped by an explicit capacity with
+// oldest-first eviction, so an attacker cannot grow the cache without
+// bound (the trade-off — an evicted uuid could be replayed — only
+// arises under a flood that is itself the anomaly).
+//
+// Ownership (§4.6 scale-out): a ReplayCache is single-threaded state
+// owned by exactly one verifier, which in the threaded runtime means
+// exactly one worker. Use-once is therefore only *locally* verifiable;
+// cross-worker soundness requires routing each descriptor's cookies to
+// one worker (DispatchPolicy::kDescriptorAffinity). Sharing one cache
+// between workers is deliberately unsupported — it would put a lock on
+// the per-packet hot path.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <unordered_set>
 
@@ -16,10 +31,17 @@ namespace nnn::cookies {
 
 class ReplayCache {
  public:
+  /// Default entry clamp: at 53 bytes of uuid+bookkeeping apiece this
+  /// is a few tens of MB per descriptor worst-case, far above any
+  /// legitimate (rate x NCT) working set.
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
   /// `horizon` is how long a uuid is remembered — the NCT window (a
   /// cookie older than NCT fails the timestamp check anyway, so
-  /// remembering it longer buys nothing).
-  explicit ReplayCache(util::Timestamp horizon);
+  /// remembering it longer buys nothing). `capacity` clamps the entry
+  /// count against uuid floods; oldest entries are evicted first.
+  explicit ReplayCache(util::Timestamp horizon,
+                       size_t capacity = kDefaultCapacity);
 
   /// Record `uuid` as seen at `now`. Returns false if it was already
   /// present (i.e., this is a replay), true if newly inserted.
@@ -33,7 +55,11 @@ class ReplayCache {
   void purge(util::Timestamp now);
 
   size_t size() const { return set_.size(); }
+  size_t capacity() const { return capacity_; }
   util::Timestamp horizon() const { return horizon_; }
+  /// Entries evicted by the capacity clamp (not by expiry) — nonzero
+  /// means the cache saw a uuid flood and use-once was best-effort.
+  uint64_t capacity_evictions() const { return capacity_evictions_; }
 
  private:
   struct Entry {
@@ -42,6 +68,8 @@ class ReplayCache {
   };
 
   util::Timestamp horizon_;
+  size_t capacity_;
+  uint64_t capacity_evictions_ = 0;
   std::deque<Entry> queue_;  // in insertion (≈ expiry) order
   std::unordered_set<crypto::Uuid> set_;
 };

@@ -38,21 +38,26 @@ void ShardedDataplane::revoke(cookies::CookieId id) {
   }
 }
 
-size_t ShardedDataplane::flow_shard(const net::Packet& packet) const {
-  return std::hash<net::FiveTuple>()(packet.tuple) % shards_.size();
-}
-
-size_t ShardedDataplane::shard_for(const net::Packet& packet) const {
-  if (policy_ == DispatchPolicy::kDescriptorAffinity) {
+size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
+                  size_t shard_count) {
+  if (policy == DispatchPolicy::kDescriptorAffinity) {
     // Peek: decode is cheap (no HMAC); the dispatcher needs only the
     // cookie id. This mirrors the paper's hardware note: "look the
     // cookie id against a table of known descriptors" before software.
     if (const auto extracted = cookies::extract(packet)) {
       return static_cast<size_t>(extracted->stack.front().cookie_id) %
-             shards_.size();
+             shard_count;
     }
   }
-  return flow_shard(packet);
+  return std::hash<net::FiveTuple>()(packet.tuple) % shard_count;
+}
+
+size_t ShardedDataplane::flow_shard(const net::Packet& packet) const {
+  return std::hash<net::FiveTuple>()(packet.tuple) % shards_.size();
+}
+
+size_t ShardedDataplane::shard_for(const net::Packet& packet) const {
+  return pick_shard(packet, policy_, shards_.size());
 }
 
 Verdict ShardedDataplane::process(net::Packet& packet) {

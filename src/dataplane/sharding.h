@@ -20,6 +20,12 @@
 //    shard, making the use-once check locally verifiable again.
 //    Cookie-less packets still spread by flow hash (they need no
 //    uniqueness check), so load balance is preserved where it matters.
+//
+// ShardedDataplane runs the shards on the calling thread — useful for
+// deterministic tests and policy experiments. The actually-parallel
+// version (worker threads fed through lock-free rings by a
+// load-balancer thread, same pick_shard policies) is
+// runtime::WorkerPool + runtime::Dispatcher.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +45,13 @@ enum class DispatchPolicy : uint8_t {
 };
 
 std::string to_string(DispatchPolicy p);
+
+/// Shard selection under `policy`, shared by the single-threaded model
+/// below and the threaded runtime::Dispatcher. Under descriptor
+/// affinity a cookie-bearing packet is pinned by its cookie id (the
+/// cheap no-HMAC peek); everything else spreads by flow hash.
+size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
+                  size_t shard_count);
 
 struct ShardStats {
   uint64_t packets = 0;

@@ -1,0 +1,114 @@
+#include "runtime/dispatcher.h"
+
+#include <chrono>
+#include <vector>
+
+namespace nnn::runtime {
+
+Dispatcher::Dispatcher(WorkerPool& pool, Config config)
+    : pool_(pool), config_(config), ingress_(config.ingress_capacity) {
+  if (config_.burst == 0) config_.burst = 1;
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+size_t Dispatcher::route(const net::Packet& packet) const {
+  return dataplane::pick_shard(packet, config_.policy, pool_.worker_count());
+}
+
+void Dispatcher::route_to_worker(net::Packet&& packet) {
+  const size_t worker = route(packet);
+  if (pool_.submit(worker, std::move(packet))) {
+    routed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Bounded queue, fail-open: the packet is forwarded best-effort
+    // without cookie processing; it is counted, never dropped.
+    ring_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Dispatcher::start() {
+  if (pumping_) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { pump_main(); });
+  pumping_ = true;
+}
+
+bool Dispatcher::offer(net::Packet&& packet) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (ingress_.try_push(std::move(packet))) return true;
+  ingress_full_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void Dispatcher::stop() {
+  if (!pumping_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  pumping_ = false;
+}
+
+void Dispatcher::dispatch(net::Packet&& packet) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  route_to_worker(std::move(packet));
+}
+
+void Dispatcher::dispatch_blocking(net::Packet&& packet) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  const size_t worker = route(packet);
+  while (!pool_.submit(worker, std::move(packet))) {
+    // Closed loop: wait for the worker instead of bypassing. Yield so
+    // the worker actually runs when cores are scarce.
+    std::this_thread::yield();
+  }
+  routed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Dispatcher::pump_main() {
+  std::vector<net::Packet> burst(config_.burst);
+  unsigned idle = 0;
+  for (;;) {
+    const size_t n = ingress_.pop_batch(burst.data(), config_.burst);
+    if (n == 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      ++idle;
+      if (idle < 64) {
+        // spin
+      } else if (idle < 256) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    idle = 0;
+    for (size_t i = 0; i < n; ++i) {
+      route_to_worker(std::move(burst[i]));
+    }
+  }
+}
+
+void Dispatcher::drain() {
+  // Phase 1: everything offered has left the dispatcher (routed or
+  // counted as a bypass).
+  for (;;) {
+    const Stats s = stats();
+    if (s.forwarded() >= s.offered) break;
+    std::this_thread::yield();
+  }
+  // Phase 2: everything routed has been processed by its worker.
+  pool_.drain();
+}
+
+Dispatcher::Stats Dispatcher::stats() const {
+  Stats s;
+  // Read `offered` last: monotonic counters, so this ordering can only
+  // under-report in-flight work, never invent a negative gap.
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.ring_full_bypass = ring_full_.load(std::memory_order_relaxed);
+  s.ingress_full_bypass = ingress_full_.load(std::memory_order_relaxed);
+  s.offered = offered_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nnn::runtime

@@ -1,0 +1,110 @@
+// The load-balancer thread (§4.6) over real rings.
+//
+// "…along with a load-balancer that shares the traffic among servers."
+// The dispatcher implements both DispatchPolicy values against a
+// WorkerPool: descriptor affinity peeks the cookie id and pins each
+// descriptor's cookies to one worker (making the use-once check
+// locally verifiable — the double-spend fix), flow hash spreads
+// everything by 5-tuple (fast, but a copied cookie can be spent once
+// per worker; tests assert both behaviours).
+//
+// Backpressure is bounded-queue + fail-open, matching the paper's
+// failure semantics ("if it fails to match … default services"): when
+// a worker's ring is full the packet keeps forwarding on the wire —
+// it just skips cookie processing and is *counted* (ring_full_bypass),
+// never dropped and never a blocking wait on the wire path. The same
+// applies to the ingress ring (ingress_full_bypass).
+//
+// Two driving modes:
+//   - pump mode: start() spawns the balancer thread; any number of
+//     producer threads offer() packets through the MPSC ingress ring;
+//   - direct mode: a single caller thread invokes dispatch() (or
+//     dispatch_blocking(), the closed-loop variant benches use) with
+//     the pump not running — the caller *is* the balancer thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "dataplane/sharding.h"
+#include "net/packet.h"
+#include "runtime/mpsc_ring.h"
+#include "runtime/worker_pool.h"
+
+namespace nnn::runtime {
+
+class Dispatcher {
+ public:
+  struct Config {
+    dataplane::DispatchPolicy policy =
+        dataplane::DispatchPolicy::kDescriptorAffinity;
+    /// Ingress (producers -> balancer) ring capacity, pump mode only.
+    size_t ingress_capacity = 4096;
+    /// Burst the pump pulls from ingress per wakeup.
+    size_t burst = 32;
+  };
+
+  struct Stats {
+    uint64_t offered = 0;             // packets handed to the dispatcher
+    uint64_t routed = 0;              // enqueued to a worker ring
+    uint64_t ring_full_bypass = 0;    // worker ring full -> best-effort
+    uint64_t ingress_full_bypass = 0; // ingress ring full -> best-effort
+    /// Every offered packet is accounted exactly once.
+    uint64_t forwarded() const {
+      return routed + ring_full_bypass + ingress_full_bypass;
+    }
+  };
+
+  /// `pool` must outlive the dispatcher.
+  Dispatcher(WorkerPool& pool, Config config);
+  ~Dispatcher();  // stops the pump if running
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Which worker `packet` routes to under the configured policy.
+  size_t route(const net::Packet& packet) const;
+
+  /// Pump mode. offer() is safe from any thread. Returns false when
+  /// the packet bypassed cookie processing (ingress full, fail-open).
+  void start();
+  bool offer(net::Packet&& packet);
+  /// Stop the pump thread after it drains the ingress ring. Idempotent.
+  void stop();
+
+  /// Direct mode (pump not running, single caller thread). Fail-open
+  /// on a full worker ring.
+  void dispatch(net::Packet&& packet);
+  /// Closed-loop variant: waits (yielding) for ring space instead of
+  /// bypassing — for benches and tests that need loss-free delivery.
+  void dispatch_blocking(net::Packet&& packet);
+
+  /// Block until every offered packet is either processed by a worker
+  /// or counted as a bypass. Producers must have stopped offering.
+  void drain();
+
+  Stats stats() const;
+  dataplane::DispatchPolicy policy() const { return config_.policy; }
+
+ private:
+  void pump_main();
+  void route_to_worker(net::Packet&& packet);
+
+  WorkerPool& pool_;
+  Config config_;
+  MpscRing<net::Packet> ingress_;
+
+  // `offered - forwarded` is the in-flight count inside the dispatcher
+  // itself; drain() waits for it to reach zero before draining the pool.
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> routed_{0};
+  std::atomic<uint64_t> ring_full_{0};
+  std::atomic<uint64_t> ingress_full_{0};
+
+  std::atomic<bool> stop_{false};
+  bool pumping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace nnn::runtime

@@ -1,0 +1,85 @@
+#include "runtime/stats.h"
+
+#include <ctime>
+
+#include "util/fmt.h"
+
+#if !defined(CLOCK_THREAD_CPUTIME_ID)
+#include <chrono>
+#endif
+
+namespace nnn::runtime {
+
+WorkerSnapshot& WorkerSnapshot::operator+=(const WorkerSnapshot& other) {
+  packets += other.packets;
+  bytes += other.bytes;
+  cookie_packets += other.cookie_packets;
+  verified += other.verified;
+  replayed += other.replayed;
+  mapped += other.mapped;
+  batches += other.batches;
+  busy_micros += other.busy_micros;
+  processed += other.processed;
+  verdicts_dropped += other.verdicts_dropped;
+  return *this;
+}
+
+double WorkerSnapshot::avg_batch() const {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(packets) / static_cast<double>(batches);
+}
+
+WorkerSnapshot snapshot_of(const WorkerCounters& counters) {
+  WorkerSnapshot s;
+  s.packets = counters.packets.load(std::memory_order_relaxed);
+  s.bytes = counters.bytes.load(std::memory_order_relaxed);
+  s.cookie_packets = counters.cookie_packets.load(std::memory_order_relaxed);
+  s.verified = counters.verified.load(std::memory_order_relaxed);
+  s.replayed = counters.replayed.load(std::memory_order_relaxed);
+  s.mapped = counters.mapped.load(std::memory_order_relaxed);
+  s.batches = counters.batches.load(std::memory_order_relaxed);
+  s.busy_micros = counters.busy_micros.load(std::memory_order_relaxed);
+  s.processed = counters.processed.load(std::memory_order_acquire);
+  s.verdicts_dropped =
+      counters.verdicts_dropped.load(std::memory_order_relaxed);
+  return s;
+}
+
+WorkerSnapshot RuntimeSnapshot::totals() const {
+  WorkerSnapshot total;
+  for (const auto& w : workers) total += w;
+  return total;
+}
+
+uint64_t RuntimeSnapshot::max_busy_micros() const {
+  uint64_t max = 0;
+  for (const auto& w : workers) {
+    if (w.busy_micros > max) max = w.busy_micros;
+  }
+  return max;
+}
+
+std::string RuntimeSnapshot::summary() const {
+  const WorkerSnapshot t = totals();
+  return util::fmt(
+      "workers={} packets={} cookie={} verified={} replayed={} "
+      "avg_batch={} max_busy_us={}",
+      workers.size(), t.packets, t.cookie_packets, t.verified, t.replayed,
+      t.avg_batch(), max_busy_micros());
+}
+
+uint64_t thread_cpu_micros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+}  // namespace nnn::runtime

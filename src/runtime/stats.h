@@ -1,0 +1,82 @@
+// Per-worker runtime counters with consistent snapshots.
+//
+// Once the dataplane is actually threaded, `MiddleboxStats` (plain
+// uint64 fields mutated on the worker's hot path) can no longer be
+// read from another thread — that is a data race. The runtime instead
+// keeps one cache-line-aligned block of relaxed atomics per worker
+// (written only by that worker, so the atomics never contend) and
+// exposes:
+//   - snapshot():   safe at any time, reads only the atomics;
+//   - the worker's middlebox/verifier objects: safe only when the pool
+//     is quiescent (after drain()/stop(), which establish the needed
+//     happens-before edge through the `processed` counter).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/spsc_ring.h"  // kCacheLineSize
+
+namespace nnn::runtime {
+
+/// One block per worker; the owning worker is the only writer, so
+/// every store can be relaxed. `processed` is the exception: it is
+/// stored with release order after each batch and read with acquire by
+/// drain(), which is what makes the non-atomic middlebox state safe to
+/// read once the pool is quiescent.
+struct alignas(kCacheLineSize) WorkerCounters {
+  std::atomic<uint64_t> packets{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> cookie_packets{0};   // carried a cookie we checked
+  std::atomic<uint64_t> verified{0};         // VerifyStatus::kOk
+  std::atomic<uint64_t> replayed{0};         // VerifyStatus::kReplayed
+  std::atomic<uint64_t> mapped{0};           // verdicts with mapped_now
+  std::atomic<uint64_t> batches{0};          // ring bursts dequeued
+  std::atomic<uint64_t> busy_micros{0};      // thread-CPU time processing
+  std::atomic<uint64_t> processed{0};        // release-stored per batch
+  std::atomic<uint64_t> verdicts_dropped{0}; // verdict ring was full
+};
+
+/// Plain-value copy of one worker's counters.
+struct WorkerSnapshot {
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  uint64_t cookie_packets = 0;
+  uint64_t verified = 0;
+  uint64_t replayed = 0;
+  uint64_t mapped = 0;
+  uint64_t batches = 0;
+  uint64_t busy_micros = 0;
+  uint64_t processed = 0;
+  uint64_t verdicts_dropped = 0;
+
+  WorkerSnapshot& operator+=(const WorkerSnapshot& other);
+  /// Mean packets per ring burst — how well batching amortizes.
+  double avg_batch() const;
+};
+
+/// Snapshot of the whole pool, taken worker by worker.
+struct RuntimeSnapshot {
+  std::vector<WorkerSnapshot> workers;
+
+  WorkerSnapshot totals() const;
+  /// Busiest worker's CPU time — the parallel critical path. With one
+  /// dedicated core per worker, elapsed time ≈ max busy time, so
+  /// packets/max_busy is the throughput the pool sustains when the
+  /// hardware actually provides the cores (robust to benchmarking on
+  /// fewer physical cores than workers).
+  uint64_t max_busy_micros() const;
+
+  std::string summary() const;
+};
+
+WorkerSnapshot snapshot_of(const WorkerCounters& counters);
+
+/// CPU time consumed by the calling thread, in microseconds
+/// (CLOCK_THREAD_CPUTIME_ID; falls back to a monotonic clock where
+/// unavailable). Workers sample this around each batch.
+uint64_t thread_cpu_micros();
+
+}  // namespace nnn::runtime

@@ -1,0 +1,232 @@
+#include "runtime/worker_pool.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace nnn::runtime {
+
+namespace {
+
+/// Idle backoff: spin briefly (another burst usually lands within a
+/// few hundred cycles at line rate), then yield, then sleep. The sleep
+/// keeps an idle pool near 0% CPU; the yield tier matters when workers
+/// outnumber cores.
+void idle_backoff(unsigned& idle_rounds) {
+  ++idle_rounds;
+  if (idle_rounds < 64) {
+    // spin
+  } else if (idle_rounds < 256) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace
+
+/// One shard: verifier + middlebox owned exclusively by one thread,
+/// plus the SPSC ring feeding it. Declaration order matters — the
+/// verifier must outlive the middlebox.
+struct WorkerPool::Worker {
+  cookies::CookieVerifier verifier;
+  dataplane::Middlebox middlebox;
+  SpscRing<net::Packet> ring;
+  WorkerCounters counters;
+  /// Incremented by the producer *before* the push so a quiescence
+  /// check can never observe a pushed-but-uncounted packet.
+  alignas(kCacheLineSize) std::atomic<uint64_t> submitted{0};
+  std::thread thread;
+
+  Worker(const util::Clock& clock, dataplane::ServiceRegistry& registry,
+         const Config& config)
+      : verifier(clock),
+        middlebox(clock, verifier, registry, config.middlebox),
+        ring(config.ring_capacity) {}
+};
+
+WorkerPool::WorkerPool(const util::Clock& clock,
+                       dataplane::ServiceRegistry& registry, Config config)
+    : clock_(clock), registry_(registry), config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  workers_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(clock_, registry_, config_));
+  }
+  if (config_.verdict_capacity > 0) {
+    verdicts_ =
+        std::make_unique<MpscRing<VerdictRecord>>(config_.verdict_capacity);
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::add_descriptor(const cookies::CookieDescriptor& descriptor) {
+  for (auto& worker : workers_) {
+    worker->verifier.add_descriptor(descriptor);
+  }
+}
+
+void WorkerPool::revoke(cookies::CookieId id) {
+  for (auto& worker : workers_) {
+    worker->verifier.revoke(id);
+  }
+}
+
+void WorkerPool::start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_release);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+  running_ = true;
+  util::log_debug("runtime: started {} workers (ring={}, batch={})",
+                  workers_.size(), workers_[0]->ring.capacity(),
+                  config_.batch_size);
+}
+
+void WorkerPool::drain() {
+  for (auto& worker : workers_) {
+    unsigned idle = 0;
+    for (;;) {
+      const uint64_t submitted =
+          worker->submitted.load(std::memory_order_acquire);
+      const uint64_t processed =
+          worker->counters.processed.load(std::memory_order_acquire);
+      if (processed >= submitted) break;
+      if (!running_) {
+        // Not started: nothing will ever drain the ring.
+        break;
+      }
+      idle_backoff(idle);
+    }
+  }
+}
+
+void WorkerPool::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  running_ = false;
+}
+
+size_t WorkerPool::ring_capacity(size_t worker) const {
+  return workers_[worker]->ring.capacity();
+}
+
+bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
+  Worker& w = *workers_[worker];
+  // Count first, push second: a drain() racing with this submit either
+  // sees submitted > processed (waits, correct) or the push has not
+  // happened yet and the decrement below undoes the count.
+  w.submitted.fetch_add(1, std::memory_order_release);
+  if (w.ring.try_push(std::move(packet))) return true;
+  w.submitted.fetch_sub(1, std::memory_order_release);
+  return false;
+}
+
+void WorkerPool::worker_main(size_t index) {
+  Worker& w = *workers_[index];
+  std::vector<net::Packet> batch(config_.batch_size);
+  unsigned idle = 0;
+  for (;;) {
+    const size_t n = w.ring.pop_batch(batch.data(), config_.batch_size);
+    if (n == 0) {
+      // Ring observed empty; exit only after stop so in-flight packets
+      // are always processed (deterministic final counts).
+      if (stop_.load(std::memory_order_acquire)) break;
+      idle_backoff(idle);
+      continue;
+    }
+    idle = 0;
+    const uint64_t t0 = thread_cpu_micros();
+    uint64_t bytes = 0, cookie = 0, verified = 0, replayed = 0, mapped = 0;
+    for (size_t i = 0; i < n; ++i) {
+      net::Packet& packet = batch[i];
+      const dataplane::Verdict verdict = w.middlebox.process(packet);
+      bytes += packet.size();
+      if (verdict.verify_status) {
+        ++cookie;
+        if (*verdict.verify_status == cookies::VerifyStatus::kOk) ++verified;
+        if (*verdict.verify_status == cookies::VerifyStatus::kReplayed) {
+          ++replayed;
+        }
+      }
+      if (verdict.mapped_now) ++mapped;
+      if (verdicts_) {
+        VerdictRecord record;
+        record.worker = static_cast<uint32_t>(index);
+        record.seq = packet.seq;
+        record.tuple = packet.tuple;
+        record.has_action = verdict.action.has_value();
+        record.mapped_now = verdict.mapped_now;
+        record.verify_status = verdict.verify_status;
+        if (!verdicts_->try_push(std::move(record))) {
+          w.counters.verdicts_dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    const uint64_t busy = thread_cpu_micros() - t0;
+    auto& c = w.counters;
+    c.packets.fetch_add(n, std::memory_order_relaxed);
+    c.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    c.cookie_packets.fetch_add(cookie, std::memory_order_relaxed);
+    c.verified.fetch_add(verified, std::memory_order_relaxed);
+    c.replayed.fetch_add(replayed, std::memory_order_relaxed);
+    c.mapped.fetch_add(mapped, std::memory_order_relaxed);
+    c.batches.fetch_add(1, std::memory_order_relaxed);
+    c.busy_micros.fetch_add(busy, std::memory_order_relaxed);
+    // Release: publishes the middlebox/verifier mutations above to
+    // whoever acquires `processed` (drain, snapshot readers).
+    c.processed.fetch_add(n, std::memory_order_release);
+  }
+}
+
+RuntimeSnapshot WorkerPool::snapshot() const {
+  RuntimeSnapshot snap;
+  snap.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    snap.workers.push_back(snapshot_of(worker->counters));
+  }
+  return snap;
+}
+
+uint64_t WorkerPool::total_verified() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->counters.verified.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t WorkerPool::total_replays_detected() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->counters.replayed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t WorkerPool::drain_verdicts(std::vector<VerdictRecord>& out) {
+  if (!verdicts_) return 0;
+  VerdictRecord record;
+  size_t n = 0;
+  while (verdicts_->try_pop(record)) {
+    out.push_back(std::move(record));
+    ++n;
+  }
+  return n;
+}
+
+const dataplane::Middlebox& WorkerPool::middlebox(size_t worker) const {
+  return workers_[worker]->middlebox;
+}
+
+const cookies::CookieVerifier& WorkerPool::verifier(size_t worker) const {
+  return workers_[worker]->verifier;
+}
+
+}  // namespace nnn::runtime

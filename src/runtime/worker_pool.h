@@ -1,0 +1,138 @@
+// Multi-threaded cookie-middlebox worker pool (§4.6 scale-out, for
+// real this time).
+//
+// "We can use multiple cores instead of one, and similarly add more
+// than one middle-boxes to scale-out the deployment." Where
+// dataplane::ShardedDataplane *models* that paragraph on one thread,
+// this pool *executes* it: N worker threads, each owning a complete
+// shard (its own CookieVerifier — descriptor table + replay caches —
+// and its own Middlebox with flow table), fed through one SPSC packet
+// ring per worker in the run-to-completion style of DPDK pipelines.
+// Because a worker's verifier and replay cache are touched by exactly
+// one thread, the §4.2 use-once check needs no locks; cross-worker
+// soundness is the dispatcher's job (descriptor affinity, §4.6).
+//
+// Threading contract:
+//   - submit(worker, pkt) — ONE producer thread only (the dispatcher);
+//   - control plane (add_descriptor / revoke / middlebox accessors) —
+//     only while the pool is quiescent: before start(), or after
+//     drain()/stop() returns;
+//   - snapshot()/total_* — any thread, any time (atomics only);
+//   - the injected Clock must be safe to read concurrently
+//     (SystemClock is; a ManualClock must not be advanced while
+//     workers run).
+//
+// Lifecycle: start() spawns the threads; drain() blocks until every
+// submitted packet has been processed (quiescence = per-worker
+// processed == submitted, with acquire/release pairing so the caller
+// may then read non-atomic state); stop() lets workers finish what is
+// already in their rings, then joins them — so final counts are
+// deterministic whether or not drain() was called first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cookies/verifier.h"
+#include "dataplane/middlebox.h"
+#include "dataplane/service_registry.h"
+#include "net/packet.h"
+#include "runtime/mpsc_ring.h"
+#include "runtime/spsc_ring.h"
+#include "runtime/stats.h"
+#include "util/clock.h"
+
+namespace nnn::runtime {
+
+/// Compact record a worker publishes per processed packet when verdict
+/// collection is enabled — the cross-thread replacement for returning
+/// dataplane::Verdict by value to the caller.
+struct VerdictRecord {
+  uint32_t worker = 0;
+  uint32_t seq = 0;  // copied from Packet::seq; tests use it for ordering
+  net::FiveTuple tuple;
+  bool has_action = false;
+  bool mapped_now = false;
+  std::optional<cookies::VerifyStatus> verify_status;
+};
+
+class WorkerPool {
+ public:
+  struct Config {
+    size_t workers = 1;
+    /// Per-worker input ring capacity (rounded up to a power of two).
+    size_t ring_capacity = 1024;
+    /// Burst size for worker dequeue; ~32 amortizes ring overhead
+    /// without hurting latency.
+    size_t batch_size = 32;
+    /// Capacity of the shared verdict ring; 0 disables collection.
+    size_t verdict_capacity = 0;
+    dataplane::Middlebox::Config middlebox{};
+  };
+
+  /// `clock` and `registry` must outlive the pool. The registry is
+  /// read concurrently by all workers and must not be mutated while
+  /// the pool runs.
+  WorkerPool(const util::Clock& clock, dataplane::ServiceRegistry& registry,
+             Config config);
+  ~WorkerPool();  // stops and joins if still running
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Install a descriptor into every worker's verifier (control-plane
+  /// state is replicated; replay caches are not — see §4.6). Quiescent
+  /// pool only.
+  void add_descriptor(const cookies::CookieDescriptor& descriptor);
+  /// Revoke on every worker. Quiescent pool only.
+  void revoke(cookies::CookieId id);
+
+  void start();
+  /// Block until all submitted packets are processed. Callers must
+  /// have stopped submitting; concurrent submit makes "drained" a
+  /// moving target.
+  void drain();
+  /// Drain what is already in the rings, then join the threads.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  size_t worker_count() const { return workers_.size(); }
+  size_t ring_capacity(size_t worker) const;
+
+  /// Enqueue a packet for `worker`. Single producer thread. Returns
+  /// false when the ring is full; the caller owns the fail-open
+  /// accounting.
+  bool submit(size_t worker, net::Packet&& packet);
+
+  /// Consistent counters, safe while running.
+  RuntimeSnapshot snapshot() const;
+  uint64_t total_verified() const;
+  uint64_t total_replays_detected() const;
+
+  /// Drain collected verdicts (single consumer). Returns how many were
+  /// appended to `out`. No-op (0) unless verdict_capacity > 0.
+  size_t drain_verdicts(std::vector<VerdictRecord>& out);
+
+  /// Quiescent pool only (see threading contract).
+  const dataplane::Middlebox& middlebox(size_t worker) const;
+  const cookies::CookieVerifier& verifier(size_t worker) const;
+
+ private:
+  struct Worker;
+
+  void worker_main(size_t index);
+
+  const util::Clock& clock_;
+  dataplane::ServiceRegistry& registry_;
+  Config config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<MpscRing<VerdictRecord>> verdicts_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+}  // namespace nnn::runtime

@@ -32,6 +32,7 @@ Logger::Logger() {
 }
 
 void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (sink) {
     sink_ = std::move(sink);
   } else {
@@ -43,7 +44,11 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::log(LogLevel level, std::string_view msg) {
-  if (level < level_) return;
+  if (level < level_.load(std::memory_order_relaxed)) return;
+  // The sink runs under the mutex: slower than snapshotting the
+  // std::function, but it guarantees a test's capture sink is never
+  // invoked after set_sink() restored the default.
+  const std::lock_guard<std::mutex> lock(mutex_);
   sink_(level, msg);
 }
 

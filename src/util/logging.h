@@ -3,9 +3,17 @@
 // Library code logs through this instead of writing to stderr directly
 // so tests can silence or capture output. Default severity is kWarn to
 // keep benches quiet.
+//
+// Thread-safe: the runtime's worker and dispatcher threads log
+// concurrently. The level is an atomic (hot-path check stays a single
+// relaxed load); sink swaps and sink invocations are serialized by a
+// mutex, so a sink installed by a test never races with a log call
+// from a worker.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -15,17 +23,17 @@ namespace nnn::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Process-wide log sink and level. Not thread-safe by design: the
-/// library is single-threaded per component (dataplane sharding is
-/// modeled, not threaded).
+/// Process-wide log sink and level.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replace the sink (tests use this to capture); pass nullptr to
   /// restore the default stderr sink.
@@ -35,13 +43,14 @@ class Logger {
 
   template <typename... Args>
   void logf(LogLevel level, std::string_view fmt, Args&&... args) {
-    if (level < level_) return;
+    if (level < level_.load(std::memory_order_relaxed)) return;
     log(level, util::fmt(fmt, std::forward<Args>(args)...));
   }
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  // guards sink_ swap and invocation
   Sink sink_;
 };
 

@@ -23,6 +23,15 @@ PacketGenerator::PacketGenerator(Config config, const util::Clock& clock,
   }
 }
 
+std::vector<cookies::CookieDescriptor> PacketGenerator::descriptors() const {
+  std::vector<cookies::CookieDescriptor> out;
+  out.reserve(generators_.size());
+  for (const auto& generator : generators_) {
+    out.push_back(generator.descriptor());
+  }
+  return out;
+}
+
 std::vector<net::Packet> PacketGenerator::make_batch(size_t flow_count) {
   std::vector<net::Packet> batch;
   batch.reserve(flow_count * config_.packets_per_flow);

@@ -45,6 +45,11 @@ class PacketGenerator {
 
   const Config& config() const { return config_; }
 
+  /// The descriptors this generator signs with, for installing into
+  /// additional verifiers (the threaded runtime replicates descriptor
+  /// tables across workers; see runtime::WorkerPool::add_descriptor).
+  std::vector<cookies::CookieDescriptor> descriptors() const;
+
  private:
   Config config_;
   const util::Clock& clock_;

@@ -1,6 +1,8 @@
 // Replay cache: use-once enforcement within the NCT horizon.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cookies/replay_cache.h"
 #include "util/rng.h"
 
@@ -54,6 +56,63 @@ TEST(ReplayCache, SizeStaysBoundedUnderChurn) {
   // Horizon holds ~5 seconds x 1000/s = ~5000 entries.
   EXPECT_LE(cache.size(), 5'100u);
   EXPECT_GE(cache.size(), 4'900u);
+}
+
+TEST(ReplayCache, CapacityClampsUuidFlood) {
+  // A flood of unique uuids at one instant never ages out by horizon;
+  // the explicit capacity bound is what stops unbounded growth.
+  ReplayCache cache(5 * util::kSecond, /*capacity=*/100);
+  EXPECT_EQ(cache.capacity(), 100u);
+  util::Rng rng(7);
+  std::vector<crypto::Uuid> uuids;
+  for (int i = 0; i < 250; ++i) {
+    uuids.push_back(crypto::Uuid::generate(rng));
+    EXPECT_TRUE(cache.insert(uuids.back(), 0));
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.capacity_evictions(), 150u);
+  // Oldest-first: the first 150 were evicted, the last 100 remain.
+  EXPECT_FALSE(cache.contains(uuids.front()));
+  EXPECT_TRUE(cache.contains(uuids.back()));
+  EXPECT_TRUE(cache.contains(uuids[150]));
+  EXPECT_FALSE(cache.contains(uuids[149]));
+}
+
+TEST(ReplayCache, EvictedUuidBecomesReplayableTradeoff) {
+  // The documented trade-off: once the clamp evicts a uuid, a replay
+  // of it is accepted again. Only reachable under a flood.
+  ReplayCache cache(5 * util::kSecond, /*capacity=*/4);
+  const auto victim = uuid_from_seed(8);
+  EXPECT_TRUE(cache.insert(victim, 0));
+  EXPECT_FALSE(cache.insert(victim, 0));  // normal replay rejection
+  util::Rng rng(9);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cache.insert(crypto::Uuid::generate(rng), 0));
+  }
+  EXPECT_FALSE(cache.contains(victim));
+  EXPECT_TRUE(cache.insert(victim, 0));  // accepted again post-eviction
+}
+
+TEST(ReplayCache, DefaultCapacityIsGenerous) {
+  ReplayCache cache(5 * util::kSecond);
+  EXPECT_EQ(cache.capacity(), ReplayCache::kDefaultCapacity);
+  EXPECT_EQ(cache.capacity_evictions(), 0u);
+}
+
+TEST(ReplayCache, ExpiredEntryReinsertableEvenWhenFull) {
+  // purge-before-duplicate-check: an expired copy must not shadow the
+  // fresh insert, and purging must run before the capacity clamp so
+  // expiry (not eviction) reclaims the slot.
+  ReplayCache cache(5 * util::kSecond, /*capacity=*/2);
+  const auto a = uuid_from_seed(10);
+  const auto b = uuid_from_seed(11);
+  EXPECT_TRUE(cache.insert(a, 0));
+  EXPECT_TRUE(cache.insert(b, 0));
+  // Both expired by now; re-inserting `a` must succeed without any
+  // capacity eviction being charged.
+  EXPECT_TRUE(cache.insert(a, 6 * util::kSecond));
+  EXPECT_EQ(cache.capacity_evictions(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(ReplayCache, DistinctUuidsAllAccepted) {

@@ -1,0 +1,500 @@
+// The threaded dataplane runtime (§4.6 executed, not modeled): ring
+// semantics, per-flow ordering, concurrent double-spend under both
+// dispatch policies, backpressure accounting, graceful lifecycle.
+// This suite is the primary target of the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "dataplane/service_registry.h"
+#include "runtime/dispatcher.h"
+#include "runtime/mpsc_ring.h"
+#include "runtime/spsc_ring.h"
+#include "runtime/worker_pool.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace nnn::runtime {
+namespace {
+
+using dataplane::DispatchPolicy;
+
+// --- Ring semantics ------------------------------------------------
+
+TEST(SpscRing, FifoAndCapacity) {
+  SpscRing<int> ring(4);  // rounds to 4
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // strict FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+}
+
+TEST(SpscRing, BatchPopRespectsMaxAndOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.try_push(int(i));
+  int buf[4];
+  EXPECT_EQ(ring.pop_batch(buf, 4), 4u);
+  EXPECT_EQ(buf[0], 0);
+  EXPECT_EQ(buf[3], 3);
+  EXPECT_EQ(ring.pop_batch(buf, 4), 4u);
+  EXPECT_EQ(ring.pop_batch(buf, 4), 2u);  // partial final burst
+  EXPECT_EQ(buf[1], 9);
+  EXPECT_EQ(ring.pop_batch(buf, 4), 0u);
+}
+
+TEST(SpscRing, MovesValuesThrough) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 7);
+}
+
+/// Two real threads across the ring; every value arrives exactly once
+/// and in order. TSan validates the memory-order protocol.
+TEST(SpscRing, CrossThreadFifo) {
+  SpscRing<uint64_t> ring(256);
+  constexpr uint64_t kCount = 200'000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount;) {
+      if (ring.try_push(uint64_t(i))) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t buf[32];
+  while (expected < kCount) {
+    const size_t n = ring.pop_batch(buf, 32);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf[i], expected) << "out of order";
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+TEST(MpscRing, SingleThreadRoundTrip) {
+  MpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+/// Four producers, one consumer: every value exactly once.
+TEST(MpscRing, ConcurrentProducersDeliverEverything) {
+  MpscRing<uint64_t> ring(512);
+  constexpr uint64_t kPerProducer = 20'000;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        // Encode producer in the high bits for per-producer FIFO check.
+        if (ring.try_push((uint64_t(p) << 32) | i)) {
+          ++i;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> next(kProducers, 0);
+  uint64_t received = 0;
+  uint64_t buf[64];
+  while (received < kPerProducer * kProducers) {
+    const size_t n = ring.pop_batch(buf, 64);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const int p = static_cast<int>(buf[i] >> 32);
+      const uint64_t seq = buf[i] & 0xffffffff;
+      ASSERT_EQ(seq, next[p]) << "per-producer order violated";
+      ++next[p];
+    }
+    received += n;
+  }
+  for (auto& t : producers) t.join();
+}
+
+// --- Pool fixtures -------------------------------------------------
+
+cookies::CookieDescriptor make_descriptor(cookies::CookieId id) {
+  cookies::CookieDescriptor d;
+  d.cookie_id = id;
+  d.key.assign(32, static_cast<uint8_t>(0x40 + id));
+  d.service_data = "Boost";
+  return d;
+}
+
+net::Packet flow_packet(uint32_t flow_id, uint32_t seq) {
+  net::Packet p;
+  p.tuple.src_ip = net::IpAddress::v4(0x0a000000u | flow_id);
+  p.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 1);
+  p.tuple.src_port = static_cast<uint16_t>(1024 + flow_id);
+  p.tuple.dst_port = 443;
+  p.tuple.proto = net::L4Proto::kUdp;
+  p.wire_size = 512;
+  p.seq = seq;
+  return p;
+}
+
+struct PoolFixture {
+  util::SystemClock clock;  // safe for concurrent reads
+  dataplane::ServiceRegistry registry;
+  WorkerPool pool;
+
+  explicit PoolFixture(WorkerPool::Config config)
+      : pool(clock, registry, config) {
+    registry.bind("Boost", dataplane::PriorityAction{0});
+  }
+};
+
+// --- Per-flow ordering ---------------------------------------------
+
+/// All packets of one flow route to one worker (flow hash) and cross
+/// one SPSC ring, so the runtime preserves per-flow order even with
+/// many workers and interleaved flows.
+TEST(Runtime, PerFlowOrderingPreserved) {
+  WorkerPool::Config config;
+  config.workers = 4;
+  config.ring_capacity = 256;
+  config.verdict_capacity = 1 << 15;
+  PoolFixture fx(config);
+  Dispatcher dispatcher(fx.pool,
+                        {.policy = DispatchPolicy::kFlowHash});
+  fx.pool.start();
+
+  constexpr uint32_t kFlows = 16;
+  constexpr uint32_t kPacketsPerFlow = 500;
+  for (uint32_t seq = 0; seq < kPacketsPerFlow; ++seq) {
+    for (uint32_t flow = 0; flow < kFlows; ++flow) {
+      dispatcher.dispatch_blocking(flow_packet(flow, seq));
+    }
+  }
+  dispatcher.drain();
+  fx.pool.stop();
+
+  std::vector<VerdictRecord> verdicts;
+  fx.pool.drain_verdicts(verdicts);
+  ASSERT_EQ(verdicts.size(), size_t{kFlows} * kPacketsPerFlow);
+
+  std::map<net::FiveTuple, uint32_t> next_seq;
+  std::map<net::FiveTuple, uint32_t> flow_worker;
+  for (const auto& v : verdicts) {
+    // Records from different workers interleave arbitrarily in the
+    // MPSC ring; within one flow, sequence must be monotonic.
+    auto [it, fresh] = next_seq.try_emplace(v.tuple, 0);
+    EXPECT_EQ(v.seq, it->second) << "flow reordered";
+    ++it->second;
+    auto [wit, first] = flow_worker.try_emplace(v.tuple, v.worker);
+    EXPECT_EQ(v.worker, wit->second) << "flow migrated between workers";
+  }
+  EXPECT_EQ(next_seq.size(), kFlows);
+}
+
+// --- Concurrent double-spend (§4.6) --------------------------------
+
+/// Mint ONE cookie, replay it from concurrent producers with tuples
+/// spread across flows. Under descriptor affinity every copy routes to
+/// the same worker whose replay cache accepts exactly one.
+TEST(Runtime, ConcurrentDoubleSpendRejectedUnderAffinity) {
+  WorkerPool::Config config;
+  config.workers = 4;
+  PoolFixture fx(config);
+  fx.pool.add_descriptor(make_descriptor(1));
+  Dispatcher dispatcher(
+      fx.pool, {.policy = DispatchPolicy::kDescriptorAffinity});
+
+  util::ManualClock mint_clock(fx.clock.now());  // same epoch as pool
+  cookies::CookieGenerator gen(make_descriptor(1), mint_clock, 7);
+  const cookies::Cookie cookie = gen.generate();
+
+  fx.pool.start();
+  dispatcher.start();
+  constexpr int kProducers = 4;
+  constexpr int kCopiesPerProducer = 8;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kCopiesPerProducer; ++i) {
+        // Distinct flows so kFlowHash would spread them; the SAME
+        // cookie (same uuid) on all of them.
+        net::Packet packet =
+            flow_packet(static_cast<uint32_t>(p * 100 + i), 0);
+        cookies::attach(packet, cookie, cookies::Transport::kUdpHeader);
+        while (!dispatcher.offer(std::move(packet))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  dispatcher.drain();
+  dispatcher.stop();
+  fx.pool.stop();
+
+  constexpr uint64_t kTotal = kProducers * kCopiesPerProducer;
+  EXPECT_EQ(dispatcher.stats().routed, kTotal);
+  // The paper's fix: exactly one acceptance, everything else replayed.
+  EXPECT_EQ(fx.pool.total_verified(), 1u);
+  EXPECT_EQ(fx.pool.total_replays_detected(), kTotal - 1);
+
+  // All copies landed on the worker the cookie id pins to.
+  uint64_t workers_touched = 0;
+  for (const auto& w : fx.pool.snapshot().workers) {
+    if (w.cookie_packets > 0) ++workers_touched;
+  }
+  EXPECT_EQ(workers_touched, 1u);
+}
+
+/// Same scenario under kFlowHash: the replay caches are independent,
+/// so the copied cookie is accepted once per worker it reaches — the
+/// documented weakness that motivates descriptor affinity.
+TEST(Runtime, FlowHashAcceptsOncePerWorker) {
+  WorkerPool::Config config;
+  config.workers = 4;
+  PoolFixture fx(config);
+  fx.pool.add_descriptor(make_descriptor(1));
+  Dispatcher dispatcher(fx.pool, {.policy = DispatchPolicy::kFlowHash});
+
+  util::ManualClock mint_clock(fx.clock.now());
+  cookies::CookieGenerator gen(make_descriptor(1), mint_clock, 7);
+  const cookies::Cookie cookie = gen.generate();
+
+  // Pick one flow tuple per worker (route() is deterministic).
+  std::vector<net::Packet> copies;
+  std::vector<bool> covered(config.workers, false);
+  for (uint32_t flow = 0; copies.size() < config.workers; ++flow) {
+    ASSERT_LT(flow, 10'000u) << "flow hash never covered all workers";
+    net::Packet packet = flow_packet(flow, 0);
+    cookies::attach(packet, cookie, cookies::Transport::kUdpHeader);
+    const size_t worker = dispatcher.route(packet);
+    if (!covered[worker]) {
+      covered[worker] = true;
+      copies.push_back(std::move(packet));
+    }
+  }
+
+  fx.pool.start();
+  dispatcher.start();
+  std::vector<std::thread> producers;
+  for (auto& copy : copies) {
+    producers.emplace_back([&dispatcher, packet = std::move(copy)]() mutable {
+      while (!dispatcher.offer(std::move(packet))) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  dispatcher.drain();
+  dispatcher.stop();
+  fx.pool.stop();
+
+  // One acceptance PER SHARD: the double-spend the paper warns about.
+  EXPECT_EQ(fx.pool.total_verified(), uint64_t{config.workers});
+  EXPECT_EQ(fx.pool.total_replays_detected(), 0u);
+}
+
+// --- Backpressure accounting ---------------------------------------
+
+/// Fill a deliberately tiny ring with the pool not yet started: the
+/// overflow is counted as fail-open bypass, nothing is lost, and the
+/// accounting identity offered == routed + bypassed holds.
+TEST(Runtime, BackpressureCountsAndForwardsBestEffort) {
+  WorkerPool::Config config;
+  config.workers = 1;
+  config.ring_capacity = 16;
+  PoolFixture fx(config);
+  Dispatcher dispatcher(fx.pool, {.policy = DispatchPolicy::kFlowHash});
+
+  constexpr uint64_t kOffered = 100;
+  for (uint32_t i = 0; i < kOffered; ++i) {
+    dispatcher.dispatch(flow_packet(i, i));
+  }
+  const auto before = dispatcher.stats();
+  EXPECT_EQ(before.offered, kOffered);
+  EXPECT_EQ(before.routed, fx.pool.ring_capacity(0));
+  EXPECT_EQ(before.ring_full_bypass, kOffered - before.routed);
+  EXPECT_EQ(before.forwarded(), kOffered);  // never dropped
+
+  // Late start still processes exactly what was queued.
+  fx.pool.start();
+  dispatcher.drain();
+  fx.pool.stop();
+  EXPECT_EQ(fx.pool.snapshot().totals().packets, before.routed);
+}
+
+/// offer() on a full ingress ring is also fail-open, not a wait.
+TEST(Runtime, IngressOverflowIsCountedBypass) {
+  WorkerPool::Config config;
+  config.workers = 1;
+  PoolFixture fx(config);
+  Dispatcher dispatcher(fx.pool, {.policy = DispatchPolicy::kFlowHash,
+                                  .ingress_capacity = 8});
+  // Pump not started: ingress fills at its capacity.
+  uint64_t accepted = 0, bypassed = 0;
+  for (uint32_t i = 0; i < 20; ++i) {
+    if (dispatcher.offer(flow_packet(i, i))) {
+      ++accepted;
+    } else {
+      ++bypassed;
+    }
+  }
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(bypassed, 12u);
+  const auto s = dispatcher.stats();
+  EXPECT_EQ(s.ingress_full_bypass, 12u);
+  // The gap between offered and forwarded is exactly what still sits
+  // in the ingress ring.
+  EXPECT_EQ(s.offered - s.forwarded(), 8u);
+  // Start everything; the 8 queued packets drain.
+  fx.pool.start();
+  dispatcher.start();
+  dispatcher.drain();
+  dispatcher.stop();
+  fx.pool.stop();
+  EXPECT_EQ(fx.pool.snapshot().totals().packets, 8u);
+}
+
+// --- Lifecycle -----------------------------------------------------
+
+TEST(Runtime, DrainGivesDeterministicCountsAndQuiescentReads) {
+  WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 4096;
+  PoolFixture fx(config);
+  fx.pool.add_descriptor(make_descriptor(3));
+  Dispatcher dispatcher(
+      fx.pool, {.policy = DispatchPolicy::kDescriptorAffinity});
+
+  util::ManualClock mint_clock(fx.clock.now());
+  cookies::CookieGenerator gen(make_descriptor(3), mint_clock, 11);
+
+  fx.pool.start();
+  constexpr uint32_t kFlows = 200;
+  for (uint32_t flow = 0; flow < kFlows; ++flow) {
+    // Keep mint time current so cookies stay inside the NCT window
+    // even when the suite runs slowly (TSan, loaded CI machine).
+    mint_clock.set(fx.clock.now());
+    net::Packet first = flow_packet(flow, 0);
+    cookies::attach(first, gen.generate(), cookies::Transport::kUdpHeader);
+    dispatcher.dispatch_blocking(std::move(first));
+    for (uint32_t seq = 1; seq < 5; ++seq) {
+      dispatcher.dispatch_blocking(flow_packet(flow, seq));
+    }
+  }
+  dispatcher.drain();
+
+  // Quiescent: totals are exact and non-atomic state is readable.
+  const auto totals = fx.pool.snapshot().totals();
+  EXPECT_EQ(totals.packets, uint64_t{kFlows} * 5);
+  EXPECT_EQ(totals.processed, totals.packets);
+  EXPECT_EQ(fx.pool.total_verified(), kFlows);
+  uint64_t middlebox_packets = 0;
+  for (size_t w = 0; w < fx.pool.worker_count(); ++w) {
+    middlebox_packets += fx.pool.middlebox(w).stats().packets;
+  }
+  EXPECT_EQ(middlebox_packets, totals.packets);
+
+  fx.pool.stop();
+  EXPECT_FALSE(fx.pool.running());
+  // Counts unchanged by shutdown.
+  EXPECT_EQ(fx.pool.snapshot().totals().packets, uint64_t{kFlows} * 5);
+}
+
+TEST(Runtime, StopWithoutDrainProcessesQueuedPackets) {
+  WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 1024;
+  PoolFixture fx(config);
+  Dispatcher dispatcher(fx.pool, {.policy = DispatchPolicy::kFlowHash});
+  fx.pool.start();
+  constexpr uint32_t kPackets = 400;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    dispatcher.dispatch_blocking(flow_packet(i % 32, i));
+  }
+  // stop() without drain(): workers finish their rings before exiting.
+  fx.pool.stop();
+  EXPECT_EQ(fx.pool.snapshot().totals().packets, kPackets);
+}
+
+TEST(Runtime, LifecycleIsIdempotent) {
+  WorkerPool::Config config;
+  config.workers = 2;
+  PoolFixture fx(config);
+  fx.pool.stop();   // stop before start: no-op
+  fx.pool.drain();  // drain before start: no-op (nothing submitted)
+  fx.pool.start();
+  fx.pool.start();  // double start: no-op
+  fx.pool.stop();
+  fx.pool.stop();  // double stop: no-op
+  EXPECT_EQ(fx.pool.snapshot().totals().packets, 0u);
+}
+
+TEST(Runtime, DestructorJoinsRunningPool) {
+  util::SystemClock clock;
+  dataplane::ServiceRegistry registry;
+  auto pool = std::make_unique<WorkerPool>(clock, registry,
+                                           WorkerPool::Config{.workers = 2});
+  pool->start();
+  pool.reset();  // must join, not crash or leak threads
+}
+
+// --- Thread-safe logger (satellite) --------------------------------
+
+TEST(Runtime, LoggerIsThreadSafeUnderConcurrentLogsAndSinkSwaps) {
+  auto& logger = util::Logger::instance();
+  logger.set_level(util::LogLevel::kDebug);
+  std::atomic<uint64_t> captured{0};
+  logger.set_sink([&captured](util::LogLevel, std::string_view) {
+    captured.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 500; ++i) {
+        util::log_debug("worker {} message {}", t, i);
+      }
+    });
+  }
+  // Concurrent level changes exercise the atomic.
+  logger.set_level(util::LogLevel::kDebug);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(captured.load(), 4u * 500);
+  logger.set_sink(nullptr);
+  logger.set_level(util::LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace nnn::runtime
