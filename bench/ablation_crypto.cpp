@@ -1,8 +1,16 @@
 // Ablation: cost of the cryptographic substrate under the cookie
 // design (§4.6 "search and verify a cookie" is the expensive per-flow
 // task; these microbenchmarks locate where that cost lives).
+//
+// Custom main: `--json <path>` dumps every measurement as a
+// BenchRecord (see bench_json.h); remaining flags pass through to the
+// benchmark library (--benchmark_filter, --benchmark_min_time, ...).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
 #include "cookies/generator.h"
 #include "cookies/verifier.h"
 #include "crypto/hmac.h"
@@ -26,6 +34,41 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(32)->Arg(512)->Arg(4096)->Arg(65536);
 
+/// Backend-forced variants isolate the hardware speedup from the
+/// midstate/batch layers (the plain BM_Sha256 rows use whatever the
+/// runtime dispatcher picked).
+void BM_Sha256_Scalar(benchmark::State& state) {
+  const auto prev = nnn::crypto::sha256_backend();
+  nnn::crypto::sha256_set_backend(nnn::crypto::Sha256Backend::kScalar);
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnn::crypto::Sha256::hash(BytesView(data)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+  nnn::crypto::sha256_set_backend(prev);
+}
+BENCHMARK(BM_Sha256_Scalar)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Sha256_ShaNi(benchmark::State& state) {
+  if (!nnn::crypto::sha256_shani_supported()) {
+    state.SkipWithError("SHA-NI not available on this CPU/build");
+    return;
+  }
+  const auto prev = nnn::crypto::sha256_backend();
+  nnn::crypto::sha256_set_backend(nnn::crypto::Sha256Backend::kShaNi);
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnn::crypto::Sha256::hash(BytesView(data)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+  nnn::crypto::sha256_set_backend(prev);
+}
+BENCHMARK(BM_Sha256_ShaNi)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_HmacCookieTag(benchmark::State& state) {
   const Bytes key(32, 0x42);
   const Bytes value(32, 0x17);  // id || uuid || timestamp
@@ -35,6 +78,28 @@ void BM_HmacCookieTag(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HmacCookieTag);
+
+void BM_HmacKeyScheduleBuild(benchmark::State& state) {
+  // One-time per-descriptor cost: hash the padded key into the
+  // inner/outer midstates (two compressions). Paid at add_descriptor.
+  const Bytes key(32, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnn::crypto::HmacKeySchedule(BytesView(key)));
+  }
+}
+BENCHMARK(BM_HmacKeyScheduleBuild);
+
+void BM_HmacScheduleTag(benchmark::State& state) {
+  // The verify hot path: resume the precomputed midstates, so a
+  // one-block message costs 2 compressions instead of 4.
+  const Bytes key(32, 0x42);
+  const nnn::crypto::HmacKeySchedule schedule{BytesView(key)};
+  const Bytes value(32, 0x17);  // id || uuid || timestamp
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.tag(BytesView(value)));
+  }
+}
+BENCHMARK(BM_HmacScheduleTag);
 
 void BM_CookieGenerate(benchmark::State& state) {
   nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
@@ -71,6 +136,38 @@ void BM_CookieVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CookieVerify);
+
+void BM_CookieVerifyBatch(benchmark::State& state) {
+  // Same workload as BM_CookieVerify but through verify_batch in
+  // bursts of range(0): one clock read and one descriptor lookup per
+  // run of same-id cookies. ns/op here is per BURST; divide by the
+  // batch size for the per-cookie figure.
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  nnn::util::ManualClock clock(1000 * nnn::util::kSecond);
+  nnn::cookies::CookieVerifier verifier(clock);
+  nnn::cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 1;
+  descriptor.key.assign(32, 0x42);
+  verifier.add_descriptor(descriptor);
+  nnn::cookies::CookieGenerator generator(descriptor, clock, 6);
+  std::vector<nnn::cookies::Cookie> pool(4096);
+  std::vector<nnn::cookies::VerifyResult> results(batch_size);
+  size_t next = pool.size();
+  for (auto _ : state) {
+    if (next + batch_size > pool.size()) {
+      state.PauseTiming();
+      for (auto& cookie : pool) cookie = generator.generate();
+      next = 0;
+      state.ResumeTiming();
+    }
+    verifier.verify_batch({pool.data() + next, batch_size}, results);
+    benchmark::DoNotOptimize(results.data());
+    next += batch_size;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch_size));
+}
+BENCHMARK(BM_CookieVerifyBatch)->Arg(32)->Arg(256);
 
 void BM_CookieVerifyRejectBadTag(benchmark::State& state) {
   // The attack path: a forged signature must be rejected no slower
@@ -119,4 +216,52 @@ void BM_CookieTextRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CookieTextRoundTrip);
 
+double to_nanoseconds(double value, benchmark::TimeUnit unit) {
+  switch (unit) {
+    case benchmark::kNanosecond: return value;
+    case benchmark::kMicrosecond: return value * 1e3;
+    case benchmark::kMillisecond: return value * 1e6;
+    case benchmark::kSecond: return value * 1e9;
+  }
+  return value;
+}
+
+/// Console output as usual, plus a BenchRecord per measured run for
+/// the --json dump.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      nnn::bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.config["iterations"] = static_cast<int64_t>(run.iterations);
+      rec.config["sha256_default_backend"] =
+          nnn::crypto::to_string(nnn::crypto::sha256_backend());
+      rec.ns_per_op =
+          to_nanoseconds(run.GetAdjustedRealTime(), run.time_unit);
+      rec.ops_per_sec = rec.ns_per_op > 0 ? 1e9 / rec.ns_per_op : 0;
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<nnn::bench::BenchRecord> records;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = nnn::bench::strip_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !nnn::bench::write_bench_json(json_path, "ablation_crypto",
+                                    reporter.records)) {
+    return 1;
+  }
+  return 0;
+}

@@ -21,8 +21,10 @@
 // The scaling table and the ISSUE acceptance gate use per-core.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "dataplane/service_registry.h"
 #include "dataplane/sharding.h"
 #include "runtime/dispatcher.h"
@@ -107,10 +109,14 @@ RunResult run_one(DispatchPolicy policy, size_t workers, size_t flows,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--json <path>` dumps one BenchRecord per (policy, workers) run;
+  // positional args still select flows / descriptors.
+  const std::string json_path = nnn::bench::strip_json_flag(argc, argv);
   size_t flows = 2000;        // x50 packets = 100K packets per run
   size_t descriptors = 10'000;
   if (argc > 1) flows = static_cast<size_t>(std::atoll(argv[1]));
   if (argc > 2) descriptors = static_cast<size_t>(std::atoll(argv[2]));
+  std::vector<nnn::bench::BenchRecord> records;
 
   std::printf("=== Runtime scaling: threaded dataplane, Fig. 4 campus "
               "workload ===\n");
@@ -140,6 +146,20 @@ int main(int argc, char** argv) {
                   speedup,
                   static_cast<unsigned long long>(r.verified),
                   static_cast<unsigned long long>(r.bypassed));
+      nnn::bench::BenchRecord rec;
+      rec.name = "runtime/" + nnn::dataplane::to_string(policy) +
+                 "/workers=" + std::to_string(workers);
+      rec.config["workers"] = static_cast<int64_t>(workers);
+      rec.config["policy"] = nnn::dataplane::to_string(policy);
+      rec.config["packet_size"] = 512;
+      rec.config["flows"] = static_cast<int64_t>(flows);
+      rec.config["descriptors"] = static_cast<int64_t>(descriptors);
+      rec.config["batch"] = 32;
+      rec.config["ring"] = 4096;
+      // per-core packet service time: Mpps -> ns per packet.
+      rec.ns_per_op = r.percore_mpps > 0 ? 1e3 / r.percore_mpps : 0;
+      rec.ops_per_sec = r.percore_mpps * 1e6;
+      records.push_back(std::move(rec));
     }
     std::printf("\n");
   }
@@ -147,5 +167,10 @@ int main(int argc, char** argv) {
               "tests/test_runtime.cpp;\nring enqueue/dequeue "
               "microbenchmarks live in bench/ablation_dataplane "
               "(BM_Runtime_*).\n");
+  if (!json_path.empty() &&
+      !nnn::bench::write_bench_json(json_path, "ablation_runtime",
+                                    records)) {
+    return 1;
+  }
   return 0;
 }

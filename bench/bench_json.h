@@ -1,0 +1,75 @@
+// `--json <path>` support for the ablation benches.
+//
+// Every record is one measured configuration:
+//   { "name": ..., "config": {...}, "ns_per_op": ..., "ops_per_sec": ... }
+// and the file is a single object naming the benchmark binary plus the
+// record array, so downstream tooling (EXPERIMENTS.md tables, CI smoke
+// checks) can diff runs without scraping console output.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace nnn::bench {
+
+struct BenchRecord {
+  std::string name;
+  json::Object config;
+  double ns_per_op = 0;
+  double ops_per_sec = 0;
+};
+
+/// Remove a `--json <path>` (or `--json=<path>`) pair from argv before
+/// the argv is handed to the benchmark library / positional parsing.
+/// Returns the path, or "" when the flag is absent.
+inline std::string strip_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Serialize records to `path`. Returns false (after a perror-style
+/// message on stderr) when the file cannot be written.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& benchmark,
+                             const std::vector<BenchRecord>& records) {
+  json::Array results;
+  results.reserve(records.size());
+  for (const BenchRecord& r : records) {
+    json::Object o;
+    o["name"] = r.name;
+    o["config"] = json::Value(r.config);
+    o["ns_per_op"] = r.ns_per_op;
+    o["ops_per_sec"] = r.ops_per_sec;
+    results.push_back(json::Value(std::move(o)));
+  }
+  json::Object root;
+  root["benchmark"] = benchmark;
+  root["results"] = json::Value(std::move(results));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << json::Value(std::move(root)).dump_pretty() << "\n";
+  return out.good();
+}
+
+}  // namespace nnn::bench

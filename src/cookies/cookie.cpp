@@ -58,18 +58,32 @@ CookieTime to_cookie_time(util::Timestamp t) {
 }
 
 util::Bytes Cookie::signed_value() const {
-  Bytes out;
-  out.reserve(8 + 16 + 8);
-  ByteWriter w(out);
-  w.u64(cookie_id);
-  w.raw(BytesView(uuid.bytes().data(), uuid.bytes().size()));
-  w.u64(timestamp);
+  const SignedValue fixed = signed_value_fixed();
+  return Bytes(fixed.begin(), fixed.end());
+}
+
+Cookie::SignedValue Cookie::signed_value_fixed() const {
+  SignedValue out;
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(cookie_id >> (56 - 8 * i));
+  }
+  std::memcpy(out.data() + 8, uuid.bytes().data(), crypto::Uuid::kSize);
+  for (int i = 0; i < 8; ++i) {
+    out[8 + crypto::Uuid::kSize + i] =
+        static_cast<uint8_t>(timestamp >> (56 - 8 * i));
+  }
   return out;
 }
 
 crypto::CookieTag Cookie::compute_tag(util::BytesView key) const {
-  const Bytes value = signed_value();
-  return crypto::cookie_tag(key, BytesView(value));
+  const SignedValue value = signed_value_fixed();
+  return crypto::cookie_tag(key, BytesView(value.data(), value.size()));
+}
+
+crypto::CookieTag Cookie::compute_tag(
+    const crypto::HmacKeySchedule& schedule) const {
+  const SignedValue value = signed_value_fixed();
+  return schedule.tag(BytesView(value.data(), value.size()));
 }
 
 util::Bytes Cookie::encode() const {

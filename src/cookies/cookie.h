@@ -16,6 +16,7 @@
 // count byte on the first entry says how many follow.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -41,11 +42,21 @@ struct Cookie {
   CookieTime timestamp = 0;
   crypto::CookieTag signature{};
 
+  /// Size of the signed byte string: id (8) || uuid (16) || ts (8).
+  static constexpr size_t kSignedValueSize = 8 + crypto::Uuid::kSize + 8;
+  using SignedValue = std::array<uint8_t, kSignedValueSize>;
+
   /// The byte string that is HMAC'd: id || uuid || timestamp.
   util::Bytes signed_value() const;
 
+  /// Allocation-free form of signed_value() for the verify hot path.
+  SignedValue signed_value_fixed() const;
+
   /// Compute the correct tag for this cookie under `key`.
   crypto::CookieTag compute_tag(util::BytesView key) const;
+
+  /// Hot-path form: tag under a precomputed HMAC key schedule.
+  crypto::CookieTag compute_tag(const crypto::HmacKeySchedule& schedule) const;
 
   /// Binary wire form of this single cookie (no stack followers).
   util::Bytes encode() const;

@@ -4,7 +4,7 @@
 
 namespace nnn::crypto {
 
-Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data) {
+HmacKeySchedule::HmacKeySchedule(util::BytesView key) {
   std::array<uint8_t, Sha256::kBlockSize> block_key{};
   if (key.size() > Sha256::kBlockSize) {
     const auto hashed = Sha256::hash(key);
@@ -13,29 +13,52 @@ Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data) {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
 
-  std::array<uint8_t, Sha256::kBlockSize> ipad;
-  std::array<uint8_t, Sha256::kBlockSize> opad;
+  std::array<uint8_t, Sha256::kBlockSize> pad;
   for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
-    ipad[i] = block_key[i] ^ 0x36;
-    opad[i] = block_key[i] ^ 0x5c;
+    pad[i] = block_key[i] ^ 0x36;
   }
-
   Sha256 inner;
-  inner.update(util::BytesView(ipad.data(), ipad.size()));
-  inner.update(data);
-  const auto inner_digest = inner.finish();
+  inner.update(util::BytesView(pad.data(), pad.size()));
+  inner_ = inner.save_state();
 
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    pad[i] = block_key[i] ^ 0x5c;
+  }
   Sha256 outer;
-  outer.update(util::BytesView(opad.data(), opad.size()));
-  outer.update(util::BytesView(inner_digest.data(), inner_digest.size()));
-  return outer.finish();
+  outer.update(util::BytesView(pad.data(), pad.size()));
+  outer_ = outer.save_state();
+}
+
+Sha256::Digest HmacKeySchedule::digest(util::BytesView data) const {
+  Sha256 h;
+  h.restore(inner_);
+  h.update(data);
+  const auto inner_digest = h.finish();
+
+  h.restore(outer_);
+  h.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  return h.finish();
+}
+
+CookieTag HmacKeySchedule::tag(util::BytesView data) const {
+  Sha256 h;
+  h.restore(inner_);
+  h.update(data);
+  const auto inner_digest = h.finish();
+
+  h.restore(outer_);
+  h.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  CookieTag out;
+  h.finish_into(out.data(), out.size());
+  return out;
+}
+
+Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data) {
+  return HmacKeySchedule(key).digest(data);
 }
 
 CookieTag cookie_tag(util::BytesView key, util::BytesView data) {
-  const auto digest = hmac_sha256(key, data);
-  CookieTag tag;
-  std::memcpy(tag.data(), digest.data(), tag.size());
-  return tag;
+  return HmacKeySchedule(key).tag(data);
 }
 
 }  // namespace nnn::crypto

@@ -5,6 +5,13 @@
 // where value = id || uuid || timestamp. Cookies embed a truncated tag
 // (kCookieTagSize) to keep the on-wire overhead small; verification is
 // constant-time over the tag.
+//
+// The verifier's hot path never calls the one-shot functions: a
+// descriptor key is fixed for hours or days (§4.1), so the ipad/opad
+// key blocks are compressed once into an HmacKeySchedule whose
+// midstates every per-cookie MAC resumes from. That halves the SHA-256
+// compressions per verification (2 instead of 4 for a one-block
+// message) and skips the key XOR loop entirely.
 #pragma once
 
 #include <array>
@@ -14,15 +21,42 @@
 
 namespace nnn::crypto {
 
-/// Full-length HMAC-SHA256 of `data` under `key`.
-Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data);
-
 /// Truncated tag size used by cookie signatures (128 bits, the common
 /// HMAC truncation that preserves collision margin at half the bytes).
 inline constexpr size_t kCookieTagSize = 16;
 using CookieTag = std::array<uint8_t, kCookieTagSize>;
 
-/// Truncated HMAC tag for cookie signing.
+/// Precomputed HMAC-SHA256 state for one key: the inner (key ^ ipad)
+/// and outer (key ^ opad) blocks already compressed. Cheap to copy
+/// (72 bytes), no heap. Build once per descriptor, MAC many times.
+class HmacKeySchedule {
+ public:
+  /// Empty schedule; digest()/tag() must not be called until a keyed
+  /// schedule is assigned.
+  HmacKeySchedule() = default;
+
+  explicit HmacKeySchedule(util::BytesView key);
+
+  /// Full-length HMAC of `data`, resuming from the midstates.
+  Sha256::Digest digest(util::BytesView data) const;
+
+  /// Truncated cookie tag of `data`, written directly from the outer
+  /// hash's final state — no intermediate full digest copy.
+  CookieTag tag(util::BytesView data) const;
+
+  friend bool operator==(const HmacKeySchedule&,
+                         const HmacKeySchedule&) = default;
+
+ private:
+  Sha256State inner_;  // after compressing key ^ ipad
+  Sha256State outer_;  // after compressing key ^ opad
+};
+
+/// Full-length HMAC-SHA256 of `data` under `key` (one-shot; derives
+/// the key schedule each call — control-plane use only).
+Sha256::Digest hmac_sha256(util::BytesView key, util::BytesView data);
+
+/// Truncated HMAC tag for cookie signing (one-shot).
 CookieTag cookie_tag(util::BytesView key, util::BytesView data);
 
 }  // namespace nnn::crypto

@@ -1,6 +1,7 @@
 #include "crypto/sha256.h"
 
 #include <bit>
+#include <cassert>
 #include <cstring>
 
 namespace nnn::crypto {
@@ -24,13 +25,142 @@ inline uint32_t rotr(uint32_t x, int n) {
   return std::rotr(x, n);
 }
 
+constexpr std::array<uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+struct Dispatch {
+  detail::Sha256CompressFn fn = &detail::sha256_compress_scalar;
+  Sha256Backend backend = Sha256Backend::kScalar;
+};
+
+Dispatch& dispatch() {
+  // Selected once, at first use (thread-safe static init); the SHA-NI
+  // backend is preferred whenever the CPU can run it.
+  static Dispatch d = [] {
+    Dispatch init;
+    if (sha256_shani_supported()) {
+      init.fn = &detail::sha256_compress_shani;
+      init.backend = Sha256Backend::kShaNi;
+    }
+    return init;
+  }();
+  return d;
+}
+
 }  // namespace
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+const char* to_string(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return "scalar";
+    case Sha256Backend::kShaNi:
+      return "sha-ni";
+  }
+  return "?";
+}
+
+bool sha256_shani_supported() {
+#if defined(NNN_HAVE_SHANI)
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+#else
+  return false;
+#endif
+}
+
+Sha256Backend sha256_backend() {
+  return dispatch().backend;
+}
+
+bool sha256_set_backend(Sha256Backend backend) {
+  if (backend == Sha256Backend::kShaNi && !sha256_shani_supported()) {
+    return false;
+  }
+  Dispatch& d = dispatch();
+  d.backend = backend;
+#if defined(NNN_HAVE_SHANI)
+  d.fn = backend == Sha256Backend::kShaNi ? &detail::sha256_compress_shani
+                                          : &detail::sha256_compress_scalar;
+#else
+  d.fn = &detail::sha256_compress_scalar;
+#endif
+  return true;
+}
+
+namespace detail {
+
+Sha256CompressFn sha256_compress() {
+  return dispatch().fn;
+}
+
+void sha256_compress_scalar(uint32_t state[8], const uint8_t* blocks,
+                            size_t nblocks) {
+  while (nblocks-- > 0) {
+    const uint8_t* block = blocks;
+    blocks += Sha256::kBlockSize;
+
+    std::array<uint32_t, 64> w;
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+             static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+             static_cast<uint32_t>(block[4 * i + 2]) << 8 |
+             static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#if !defined(NNN_HAVE_SHANI)
+// Never called (dispatch only selects it when supported); defined so
+// the declaration does not dangle on non-x86 builds.
+void sha256_compress_shani(uint32_t state[8], const uint8_t* blocks,
+                           size_t nblocks) {
+  sha256_compress_scalar(state, blocks, nblocks);
+}
+#endif
+
+}  // namespace detail
+
+Sha256::Sha256() : state_(kInitialState) {}
 
 void Sha256::update(util::BytesView data) {
+  const detail::Sha256CompressFn compress = detail::sha256_compress();
   total_len_ += data.size();
   size_t offset = 0;
   // Fill a partially filled buffer first.
@@ -40,13 +170,16 @@ void Sha256::update(util::BytesView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_.data());
+      compress(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + kBlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kBlockSize;
+  // Bulk path: hand all whole blocks to the backend in one call so the
+  // hardware implementation keeps its state in registers across blocks.
+  const size_t nblocks = (data.size() - offset) / kBlockSize;
+  if (nblocks > 0) {
+    compress(state_.data(), data.data() + offset, nblocks);
+    offset += nblocks * kBlockSize;
   }
   if (offset < data.size()) {
     buffer_len_ = data.size() - offset;
@@ -59,7 +192,7 @@ void Sha256::update(std::string_view data) {
                          data.size()));
 }
 
-Sha256::Digest Sha256::finish() {
+void Sha256::do_finish() {
   const uint64_t bit_len = total_len_ * 8;
   // Append 0x80 then zero pad to 56 mod 64, then the 64-bit length.
   const uint8_t pad80 = 0x80;
@@ -78,7 +211,10 @@ Sha256::Digest Sha256::finish() {
     len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
   }
   update(util::BytesView(len_bytes.data(), len_bytes.size()));
+}
 
+Sha256::Digest Sha256::finish() {
+  do_finish();
   Digest out;
   for (int i = 0; i < 8; ++i) {
     out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
@@ -89,50 +225,23 @@ Sha256::Digest Sha256::finish() {
   return out;
 }
 
-void Sha256::process_block(const uint8_t* block) {
-  std::array<uint32_t, 64> w;
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
-           static_cast<uint32_t>(block[4 * i + 1]) << 16 |
-           static_cast<uint32_t>(block[4 * i + 2]) << 8 |
-           static_cast<uint32_t>(block[4 * i + 3]);
+void Sha256::finish_into(uint8_t* out, size_t n) {
+  assert(n <= kDigestSize);
+  do_finish();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(state_[i / 4] >> (24 - 8 * (i % 4)));
   }
-  for (int i = 16; i < 64; ++i) {
-    const uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+}
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+Sha256State Sha256::save_state() const {
+  assert(buffer_len_ == 0 && "midstate snapshots only at block boundaries");
+  return Sha256State{state_, total_len_};
+}
 
-  for (int i = 0; i < 64; ++i) {
-    const uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const uint32_t ch = (e & f) ^ (~e & g);
-    const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void Sha256::restore(const Sha256State& state) {
+  state_ = state.h;
+  total_len_ = state.bytes_compressed;
+  buffer_len_ = 0;
 }
 
 Sha256::Digest Sha256::hash(util::BytesView data) {

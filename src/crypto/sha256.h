@@ -2,7 +2,19 @@
 //
 // Network cookies carry an HMAC-SHA256 signature (truncatable) so the
 // network can verify that a cookie was minted by a holder of the
-// descriptor key. This is the only hash the library needs.
+// descriptor key. This is the only hash the library needs, and it is
+// the dataplane's hottest instruction stream: every cookie the
+// middlebox verifies compresses SHA-256 blocks (§4.6, Fig. 4).
+//
+// Two implementations of the compression function sit behind a
+// function pointer selected once at startup:
+//   - scalar   (sha256.cpp)        — portable FIPS reference, always
+//                                    built, the correctness anchor;
+//   - sha-ni   (sha256_sha_ni.cpp) — x86 SHA extensions, built on
+//                                    x86-64 unless -DNNN_DISABLE_SHANI,
+//                                    used when CPUID reports support.
+// Both produce identical digests; tests assert the RFC/NIST vectors
+// against every compiled backend.
 #pragma once
 
 #include <array>
@@ -11,6 +23,36 @@
 #include "util/bytes.h"
 
 namespace nnn::crypto {
+
+/// Which SHA-256 compression implementation backs new Sha256 objects.
+enum class Sha256Backend : uint8_t { kScalar = 0, kShaNi = 1 };
+
+const char* to_string(Sha256Backend backend);
+
+/// True when the SHA-NI backend was compiled in AND this CPU supports
+/// the SHA + SSE4.1 extensions.
+bool sha256_shani_supported();
+
+/// The backend newly constructed hashers will use.
+Sha256Backend sha256_backend();
+
+/// Force a backend process-wide (test hook; affects hashers
+/// constructed afterwards). Returns false — leaving the selection
+/// unchanged — when the requested backend is unavailable. Not safe to
+/// call concurrently with hashing on other threads.
+bool sha256_set_backend(Sha256Backend backend);
+
+/// A compression-state snapshot taken at a 64-byte block boundary.
+/// The HMAC key schedule stores two of these per descriptor key (the
+/// ipad/opad midstates) so per-cookie verification resumes here
+/// instead of re-compressing the key blocks.
+struct Sha256State {
+  std::array<uint32_t, 8> h;
+  /// Bytes compressed so far; always a multiple of the block size.
+  uint64_t bytes_compressed = 0;
+
+  friend bool operator==(const Sha256State&, const Sha256State&) = default;
+};
 
 /// Incremental SHA-256. Typical use:
 ///   Sha256 h; h.update(a); h.update(b); auto digest = h.finish();
@@ -29,17 +71,48 @@ class Sha256 {
   /// Finalize and return the digest.
   Digest finish();
 
+  /// Finalize, writing only the first `n` (<= kDigestSize) digest
+  /// bytes into `out`. The truncated-tag path: no intermediate full
+  /// digest is materialized.
+  void finish_into(uint8_t* out, size_t n);
+
+  /// Snapshot the midstate. Precondition: the bytes absorbed so far
+  /// are a multiple of kBlockSize (nothing buffered); HMAC pads are
+  /// exactly one block, so the key-schedule path always qualifies.
+  Sha256State save_state() const;
+
+  /// Reset this hasher to continue from a previously saved midstate.
+  void restore(const Sha256State& state);
+
   /// One-shot convenience.
   static Digest hash(util::BytesView data);
   static Digest hash(std::string_view data);
 
  private:
-  void process_block(const uint8_t* block);
+  void do_finish();
 
   std::array<uint32_t, 8> state_;
   std::array<uint8_t, kBlockSize> buffer_;
   size_t buffer_len_ = 0;
   uint64_t total_len_ = 0;
 };
+
+namespace detail {
+
+/// Fold `nblocks` consecutive 64-byte blocks into `state`.
+using Sha256CompressFn = void (*)(uint32_t state[8], const uint8_t* blocks,
+                                  size_t nblocks);
+
+void sha256_compress_scalar(uint32_t state[8], const uint8_t* blocks,
+                            size_t nblocks);
+// Defined only when the SHA-NI translation unit is compiled
+// (x86-64 and not NNN_DISABLE_SHANI); never referenced otherwise.
+void sha256_compress_shani(uint32_t state[8], const uint8_t* blocks,
+                           size_t nblocks);
+
+/// The active compression function (reflects sha256_set_backend).
+Sha256CompressFn sha256_compress();
+
+}  // namespace detail
 
 }  // namespace nnn::crypto

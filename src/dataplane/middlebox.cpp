@@ -1,5 +1,7 @@
 #include "dataplane/middlebox.h"
 
+#include <cassert>
+
 #include "cookies/generator.h"
 
 namespace nnn::dataplane {
@@ -20,7 +22,49 @@ Middlebox::Middlebox(const util::Clock& clock,
     : Middlebox(clock, verifier, registry, Config{}) {}
 
 Verdict Middlebox::process(net::Packet& packet) {
-  const util::Timestamp now = clock_.now();
+  return process_at(packet, clock_.now());
+}
+
+void Middlebox::apply_stack(net::Packet& packet, FlowEntry& entry,
+                            const cookies::ExtractedCookie& extracted,
+                            util::Timestamp now, Verdict& verdict) {
+  // With a composed stack, apply the first cookie this network can
+  // verify (each network consumes its own layer, §4.5).
+  for (const cookies::Cookie& cookie : extracted.stack) {
+    const auto result = verifier_.verify(cookie);
+    verdict.verify_status = result.status;
+    if (!result.ok()) continue;
+    // Transport restriction attribute: a descriptor may pin its
+    // cookies to specific carriers.
+    if (!result.descriptor->attributes.allows_transport(
+            extracted.transport)) {
+      verdict.verify_status = cookies::VerifyStatus::kUnknownId;
+      continue;
+    }
+    const auto& attrs = result.descriptor->attributes;
+    if (attrs.granularity == cookies::Granularity::kFlow) {
+      const util::Timestamp mapping_expires =
+          attrs.mapping_ttl ? now + *attrs.mapping_ttl : 0;
+      flow_table_.map_flow(packet.tuple,
+                           result.descriptor->service_data, now,
+                           attrs.reverse_flow, mapping_expires);
+      entry.state = FlowState::kMapped;
+      entry.service_data = result.descriptor->service_data;
+    }
+    if (config_.delivery_guarantees && attrs.delivery_guarantee) {
+      // The network owes the sender an acknowledgment on the
+      // reverse path (§4.3).
+      pending_acks_[packet.tuple.reversed()] =
+          result.descriptor->cookie_id;
+    }
+    verdict.mapped_now = true;
+    verdict.service_data = result.descriptor->service_data;
+    verdict.action = registry_.lookup(result.descriptor->service_data);
+    break;
+  }
+}
+
+Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
   ++stats_.packets;
   stats_.bytes += packet.size();
 
@@ -37,40 +81,7 @@ Verdict Middlebox::process(net::Packet& packet) {
       ++stats_.task_search;
     } else {
       ++stats_.task_search_and_verify;
-      // With a composed stack, apply the first cookie this network can
-      // verify (each network consumes its own layer, §4.5).
-      for (const cookies::Cookie& cookie : extracted->stack) {
-        const auto result = verifier_.verify(cookie);
-        verdict.verify_status = result.status;
-        if (!result.ok()) continue;
-        // Transport restriction attribute: a descriptor may pin its
-        // cookies to specific carriers.
-        if (!result.descriptor->attributes.allows_transport(
-                extracted->transport)) {
-          verdict.verify_status = cookies::VerifyStatus::kUnknownId;
-          continue;
-        }
-        const auto& attrs = result.descriptor->attributes;
-        if (attrs.granularity == cookies::Granularity::kFlow) {
-          const util::Timestamp mapping_expires =
-              attrs.mapping_ttl ? now + *attrs.mapping_ttl : 0;
-          flow_table_.map_flow(packet.tuple,
-                               result.descriptor->service_data, now,
-                               attrs.reverse_flow, mapping_expires);
-          entry.state = FlowState::kMapped;
-          entry.service_data = result.descriptor->service_data;
-        }
-        if (config_.delivery_guarantees && attrs.delivery_guarantee) {
-          // The network owes the sender an acknowledgment on the
-          // reverse path (§4.3).
-          pending_acks_[packet.tuple.reversed()] =
-              result.descriptor->cookie_id;
-        }
-        verdict.mapped_now = true;
-        verdict.service_data = result.descriptor->service_data;
-        verdict.action = registry_.lookup(result.descriptor->service_data);
-        break;
-      }
+      apply_stack(packet, entry, *extracted, now, verdict);
     }
   } else {
     // Task (iii): established flow, just map.
@@ -89,6 +100,135 @@ Verdict Middlebox::process(net::Packet& packet) {
     maybe_attach_ack(packet);
   }
   return verdict;
+}
+
+bool Middlebox::tuple_has_pending(
+    const net::FiveTuple& tuple,
+    std::span<const net::Packet> packets) const {
+  for (const PendingVerify& p : pending_info_) {
+    const net::FiveTuple& pt = packets[p.index].tuple;
+    // The pending cookie may map pt and (reverse_flow attribute, on by
+    // default) pt.reversed(); either way this packet must not observe
+    // flow state from before that mapping lands.
+    if (pt == tuple || pt.reversed() == tuple) return true;
+  }
+  return false;
+}
+
+void Middlebox::process_batch(std::span<net::Packet> packets,
+                              std::span<Verdict> verdicts) {
+  assert(verdicts.size() >= packets.size());
+  if (config_.delivery_guarantees) {
+    // Ack debts attach to whichever later packet can carry them, an
+    // inherently per-packet interleaving; take the sequential path.
+    for (size_t i = 0; i < packets.size(); ++i) {
+      verdicts[i] = process(packets[i]);
+    }
+    return;
+  }
+  // One clock read per burst (the verifier batches under the same
+  // timestamp; see CookieVerifier::verify_batch on why that is sound).
+  const util::Timestamp now = clock_.now();
+  pending_cookies_.clear();
+  pending_info_.clear();
+
+  for (size_t i = 0; i < packets.size(); ++i) {
+    net::Packet& packet = packets[i];
+    // A queued cookie may remap this packet's flow; settle it before
+    // this packet observes the flow state.
+    if (!pending_info_.empty() &&
+        tuple_has_pending(packet.tuple, packets)) {
+      flush_pending(packets, verdicts, now);
+    }
+    ++stats_.packets;
+    stats_.bytes += packet.size();
+    FlowEntry& entry = flow_table_.touch(packet.tuple, packet.size(), now);
+    Verdict verdict;
+
+    const bool inspect =
+        entry.state == FlowState::kSniffing ||
+        (config_.mid_flow_cookies && entry.state != FlowState::kMapped);
+    if (inspect) {
+      const auto extracted = cookies::extract(packet);
+      if (!extracted) {
+        ++stats_.task_search;
+      } else {
+        ++stats_.task_search_and_verify;
+        if (extracted->stack.size() == 1) {
+          // The common case: defer the MAC into the batched verify.
+          // (std::unordered_map references are stable across the
+          // inserts/rehashes later packets may cause, and an entry
+          // touched this burst cannot idle out, so holding &entry
+          // until the flush is safe.)
+          pending_cookies_.push_back(extracted->stack.front());
+          pending_info_.push_back(PendingVerify{
+              static_cast<uint32_t>(i), extracted->transport, &entry});
+          continue;  // verdict written by flush_pending
+        }
+        // Composed stack: entries are tried in order with early exit —
+        // inherently sequential. Settle the queue, then run it now.
+        flush_pending(packets, verdicts, now);
+        apply_stack(packet, entry, *extracted, now, verdict);
+      }
+    } else {
+      ++stats_.task_map_only;
+    }
+
+    if (!verdict.mapped_now && entry.state == FlowState::kMapped) {
+      verdict.service_data = entry.service_data;
+      verdict.action = registry_.lookup(entry.service_data);
+    }
+    if (verdict.action && config_.remark_dscp) {
+      packet.dscp = *config_.remark_dscp;
+    }
+    verdicts[i] = verdict;
+  }
+  flush_pending(packets, verdicts, now);
+}
+
+void Middlebox::flush_pending(std::span<net::Packet> packets,
+                              std::span<Verdict> verdicts,
+                              util::Timestamp now) {
+  if (pending_info_.empty()) return;
+  pending_results_.resize(pending_cookies_.size());
+  verifier_.verify_batch(pending_cookies_, pending_results_);
+
+  for (size_t k = 0; k < pending_info_.size(); ++k) {
+    const PendingVerify& p = pending_info_[k];
+    net::Packet& packet = packets[p.index];
+    const cookies::VerifyResult& result = pending_results_[k];
+    Verdict verdict;
+    verdict.verify_status = result.status;
+    if (result.ok()) {
+      if (!result.descriptor->attributes.allows_transport(p.transport)) {
+        verdict.verify_status = cookies::VerifyStatus::kUnknownId;
+      } else {
+        const auto& attrs = result.descriptor->attributes;
+        if (attrs.granularity == cookies::Granularity::kFlow) {
+          const util::Timestamp mapping_expires =
+              attrs.mapping_ttl ? now + *attrs.mapping_ttl : 0;
+          flow_table_.map_flow(packet.tuple,
+                               result.descriptor->service_data, now,
+                               attrs.reverse_flow, mapping_expires);
+          p.entry->state = FlowState::kMapped;
+          p.entry->service_data = result.descriptor->service_data;
+        }
+        verdict.mapped_now = true;
+        verdict.service_data = result.descriptor->service_data;
+        verdict.action = registry_.lookup(result.descriptor->service_data);
+      }
+    }
+    if (!verdict.mapped_now && p.entry->state == FlowState::kMapped) {
+      verdict.service_data = p.entry->service_data;
+      verdict.action = registry_.lookup(p.entry->service_data);
+    }
+    if (verdict.action && config_.remark_dscp) {
+      packet.dscp = *config_.remark_dscp;
+    }
+    verdicts[p.index] = verdict;
+  }
+  pending_cookies_.clear();
+  pending_info_.clear();
 }
 
 void Middlebox::maybe_attach_ack(net::Packet& packet) {

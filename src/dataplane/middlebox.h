@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cookies/transport.h"
 #include "cookies/verifier.h"
@@ -87,6 +89,20 @@ class Middlebox {
   /// (DSCP remark in remark mode).
   Verdict process(net::Packet& packet);
 
+  /// Process a burst, filling verdicts[i] for packets[i]
+  /// (verdicts.size() >= packets.size()). Semantically equivalent to
+  /// calling process() on each packet in order — the flow-table and
+  /// replay state machines are order-sensitive, so the batch path
+  /// defers only what is provably independent: single-cookie
+  /// verifications on flows no earlier in-flight cookie can touch.
+  /// Those route through CookieVerifier::verify_batch (one clock read,
+  /// descriptor-grouped MACs); everything else — composed stacks,
+  /// packets whose flow (or its reverse) has a cookie pending, and the
+  /// whole burst when delivery guarantees are on — falls back to the
+  /// sequential path at the right point in the order.
+  void process_batch(std::span<net::Packet> packets,
+                     std::span<Verdict> verdicts);
+
   /// Zero-rating convenience: process + account to `ledger` ("two
   /// counters per IP"): bytes of flows mapped to ZeroRateAction count
   /// free, everything else charged. `subscriber` is the customer IP
@@ -101,6 +117,33 @@ class Middlebox {
   size_t pending_acks() const { return pending_acks_.size(); }
 
  private:
+  /// One queued single-cookie verification in a batch.
+  struct PendingVerify {
+    uint32_t index;  // packet position in the burst
+    cookies::Transport transport;
+    /// Flow entry touched in pass 1. Stable until the flush:
+    /// unordered_map references survive rehash, and entries touched
+    /// this burst cannot be idle-expired at the same timestamp.
+    FlowEntry* entry;
+  };
+
+  /// process() body with the clock read hoisted.
+  Verdict process_at(net::Packet& packet, util::Timestamp now);
+
+  /// Apply a verified-cookie stack to a flow entry (the §4.5 loop).
+  void apply_stack(net::Packet& packet, FlowEntry& entry,
+                   const cookies::ExtractedCookie& extracted,
+                   util::Timestamp now, Verdict& verdict);
+
+  /// True when `tuple` (or its reverse) belongs to a packet with a
+  /// cookie still pending in the current batch.
+  bool tuple_has_pending(const net::FiveTuple& tuple,
+                         std::span<const net::Packet> packets) const;
+
+  /// Verify all pending cookies and apply their outcomes in order.
+  void flush_pending(std::span<net::Packet> packets,
+                     std::span<Verdict> verdicts, util::Timestamp now);
+
   /// Attach an owed ack cookie to a reverse-path packet if possible.
   void maybe_attach_ack(net::Packet& packet);
 
@@ -113,6 +156,11 @@ class Middlebox {
   util::Rng ack_rng_;
   /// reverse-flow tuple -> descriptor owing an ack.
   std::unordered_map<net::FiveTuple, cookies::CookieId> pending_acks_;
+  /// Batch scratch (parallel vectors; no per-burst allocation once
+  /// warm): queued cookies, their packet/transport info, and verdicts.
+  std::vector<cookies::Cookie> pending_cookies_;
+  std::vector<PendingVerify> pending_info_;
+  std::vector<cookies::VerifyResult> pending_results_;
 };
 
 }  // namespace nnn::dataplane

@@ -242,6 +242,90 @@ TEST_F(MiddleboxTest, ReplayedCookieDoesNotMapSecondFlow) {
   EXPECT_EQ(*verdict.verify_status, cookies::VerifyStatus::kReplayed);
 }
 
+TEST_F(MiddleboxTest, ProcessBatchMatchesSequential) {
+  // Differential: a mixed burst through process_batch must produce the
+  // same verdicts, stats, and flow states as process() one packet at a
+  // time. The burst deliberately contains the awkward cases: a flow's
+  // data packet right behind its own cookie, an in-burst replay on a
+  // different flow, a reverse-direction packet of a still-pending
+  // mapping, and a forged signature.
+  cookies::CookieVerifier verifier_seq(clock_);
+  verifier_seq.add_descriptor(descriptor_);
+  Middlebox sequential(clock_, verifier_seq, registry_);
+
+  auto gen = generator();
+  std::vector<net::Packet> burst;
+  burst.push_back(cookie_packet(5000, gen));   // 0: maps flow 5000
+  burst.push_back(flow_packet(5000));          // 1: same flow, same burst
+  burst.push_back(cookie_packet(5001, gen));   // 2: maps flow 5001
+  net::Packet replay = burst[0];               // 3: replayed wire bytes
+  replay.tuple.src_ip = net::IpAddress::v4(192, 168, 1, 66);
+  burst.push_back(replay);
+  burst.push_back(flow_packet(5002));          // 4: plain new flow
+  net::Packet forged = cookie_packet(5003, gen);
+  forged.payload[forged.payload.size() / 2] ^= 0x01;  // 5: corrupt cookie
+  burst.push_back(forged);
+  net::Packet reverse = flow_packet(5001);     // 6: reverse of pending map
+  reverse.tuple = reverse.tuple.reversed();
+  burst.push_back(reverse);
+  burst.push_back(cookie_packet(5004, gen));   // 7: one more mapping
+  burst.push_back(flow_packet(5001));          // 8: mapped fast path
+  burst.push_back(flow_packet(5002));          // 9: sniffing, no cookie
+
+  std::vector<net::Packet> copy = burst;
+  std::vector<Verdict> expected;
+  expected.reserve(copy.size());
+  for (auto& packet : copy) expected.push_back(sequential.process(packet));
+
+  std::vector<Verdict> batched(burst.size());
+  middlebox_.process_batch(burst, batched);
+
+  for (size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_EQ(batched[i].action.has_value(), expected[i].action.has_value())
+        << "packet " << i;
+    EXPECT_EQ(batched[i].service_data, expected[i].service_data)
+        << "packet " << i;
+    EXPECT_EQ(batched[i].mapped_now, expected[i].mapped_now)
+        << "packet " << i;
+    EXPECT_EQ(batched[i].verify_status, expected[i].verify_status)
+        << "packet " << i;
+    EXPECT_EQ(burst[i].dscp, copy[i].dscp) << "packet " << i;
+  }
+  EXPECT_EQ(middlebox_.stats().task_search, sequential.stats().task_search);
+  EXPECT_EQ(middlebox_.stats().task_search_and_verify,
+            sequential.stats().task_search_and_verify);
+  EXPECT_EQ(middlebox_.stats().task_map_only,
+            sequential.stats().task_map_only);
+  EXPECT_EQ(middlebox_.stats().packets, sequential.stats().packets);
+  EXPECT_EQ(middlebox_.stats().bytes, sequential.stats().bytes);
+  EXPECT_EQ(verifier_.stats(), verifier_seq.stats());
+  EXPECT_EQ(middlebox_.flows().size(), sequential.flows().size());
+}
+
+TEST_F(MiddleboxTest, ProcessBatchRemarksDscp) {
+  // DSCP remark mode through the batch path: the cookie packet and the
+  // mapped follow-up both get remarked, exactly as process() would.
+  Middlebox::Config config;
+  config.remark_dscp = 46;
+  cookies::CookieVerifier verifier(clock_);
+  verifier.add_descriptor(descriptor_);
+  Middlebox box(clock_, verifier, registry_, config);
+
+  auto gen = generator();
+  std::vector<net::Packet> burst;
+  burst.push_back(cookie_packet(5100, gen));
+  burst.push_back(flow_packet(5100));
+  burst.push_back(flow_packet(5101));  // unmapped: untouched dscp
+  std::vector<Verdict> verdicts(burst.size());
+  box.process_batch(burst, verdicts);
+  EXPECT_EQ(burst[0].dscp, 46);
+  EXPECT_EQ(burst[1].dscp, 46);
+  EXPECT_EQ(burst[2].dscp, 0);
+  EXPECT_TRUE(verdicts[0].mapped_now);
+  EXPECT_TRUE(verdicts[1].action.has_value());
+  EXPECT_FALSE(verdicts[2].action.has_value());
+}
+
 TEST_F(MiddleboxTest, UnboundServiceDataYieldsNoAction) {
   cookies::CookieDescriptor other = descriptor_;
   other.cookie_id = 2;

@@ -131,8 +131,12 @@ TEST_F(VerifierTest, WireAndTextVerification) {
   EXPECT_TRUE(
       verifier_.verify_wire(util::BytesView(gen.generate().encode())).ok());
   EXPECT_TRUE(verifier_.verify_text(gen.generate().encode_text()).ok());
+  // A blob that does not decode is malformed, not an unknown
+  // descriptor — fuzz noise and never-issued ids stay distinguishable.
   EXPECT_EQ(verifier_.verify_text("garbage").status,
-            VerifyStatus::kUnknownId);
+            VerifyStatus::kMalformed);
+  EXPECT_EQ(verifier_.stats().malformed, 1u);
+  EXPECT_EQ(verifier_.stats().unknown_id, 0u);
 }
 
 TEST_F(VerifierTest, IndependentReplayCachesPerDescriptor) {
@@ -158,6 +162,91 @@ TEST_F(VerifierTest, StatsTotalsAdd) {
   EXPECT_EQ(verifier_.stats().total(), 3u);
   verifier_.reset_stats();
   EXPECT_EQ(verifier_.stats().total(), 0u);
+}
+
+TEST_F(VerifierTest, BatchMatchesSequentialOnMixedBurst) {
+  // Differential: verify_batch against a reference verifier fed the
+  // same burst one cookie at a time. Same descriptors, same clock —
+  // results and stats must be bit-identical, including the
+  // order-sensitive outcomes (replay, stale).
+  CookieVerifier reference(clock_);
+  std::vector<CookieGenerator> gens;
+  for (const CookieId id : {20u, 21u, 22u}) {
+    const auto descriptor = make_descriptor(id);
+    verifier_.add_descriptor(descriptor);
+    reference.add_descriptor(descriptor);
+    gens.emplace_back(descriptor, clock_, id);
+  }
+
+  // An old cookie that will be stale once the burst runs...
+  const Cookie stale = gens[0].generate();
+  clock_.advance(kNetworkCoherencyTime + 2 * util::kSecond);
+
+  std::vector<Cookie> burst;
+  for (int round = 0; round < 3; ++round) {
+    for (auto& gen : gens) burst.push_back(gen.generate());
+  }
+  burst.push_back(burst[1]);  // replay of an earlier in-burst cookie
+  burst.push_back(stale);
+  Cookie forged = gens[1].generate();
+  forged.signature[3] ^= 0x40;
+  burst.push_back(forged);
+  Cookie unknown = gens[2].generate();
+  unknown.cookie_id = 404;
+  burst.push_back(unknown);
+  burst.push_back(burst[4]);  // second replay, different descriptor
+
+  std::vector<VerifyResult> batched(burst.size());
+  verifier_.verify_batch(burst, batched);
+  for (size_t i = 0; i < burst.size(); ++i) {
+    const VerifyResult expected = reference.verify(burst[i]);
+    EXPECT_EQ(batched[i].status, expected.status) << "cookie " << i;
+    // Descriptor pointers come from different verifiers; compare what
+    // they point at.
+    ASSERT_EQ(batched[i].descriptor != nullptr,
+              expected.descriptor != nullptr)
+        << "cookie " << i;
+    if (expected.descriptor != nullptr) {
+      EXPECT_EQ(batched[i].descriptor->cookie_id,
+                expected.descriptor->cookie_id);
+    }
+  }
+  EXPECT_EQ(verifier_.stats(), reference.stats());
+  EXPECT_EQ(verifier_.stats().replayed, 2u);
+  EXPECT_EQ(verifier_.stats().stale_timestamp, 1u);
+  EXPECT_EQ(verifier_.stats().bad_signature, 1u);
+  EXPECT_EQ(verifier_.stats().unknown_id, 1u);
+}
+
+TEST_F(VerifierTest, BatchSeesEarlierCookiesInSameBurst) {
+  // A uuid used twice within one burst: the first is fresh, the second
+  // must already be a replay — the batch path may not defer replay
+  // bookkeeping past the burst.
+  auto gen = install(30);
+  const Cookie c = gen.generate();
+  std::vector<Cookie> burst = {c, c, c};
+  std::vector<VerifyResult> results(burst.size());
+  verifier_.verify_batch(burst, results);
+  EXPECT_EQ(results[0].status, VerifyStatus::kOk);
+  EXPECT_EQ(results[1].status, VerifyStatus::kReplayed);
+  EXPECT_EQ(results[2].status, VerifyStatus::kReplayed);
+}
+
+TEST_F(VerifierTest, BatchScratchReuseAcrossCalls) {
+  // Back-to-back bursts reuse the verifier's sort scratch; results
+  // must not leak between calls (and the empty burst is a no-op).
+  auto gen = install(31);
+  std::vector<VerifyResult> empty_results;
+  verifier_.verify_batch({}, empty_results);
+  EXPECT_EQ(verifier_.stats().total(), 0u);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Cookie> burst = {gen.generate(), gen.generate()};
+    std::vector<VerifyResult> results(burst.size());
+    verifier_.verify_batch(burst, results);
+    EXPECT_EQ(results[0].status, VerifyStatus::kOk) << "round " << round;
+    EXPECT_EQ(results[1].status, VerifyStatus::kOk) << "round " << round;
+  }
+  EXPECT_EQ(verifier_.stats().verified, 6u);
 }
 
 TEST(VerifierStandalone, FailOpenSemantics) {
