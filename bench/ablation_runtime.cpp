@@ -130,8 +130,8 @@ int main(int argc, char** argv) {
   const DispatchPolicy policies[] = {DispatchPolicy::kDescriptorAffinity,
                                      DispatchPolicy::kFlowHash};
   for (const auto policy : policies) {
-    std::printf("--- policy: %s ---\n",
-                nnn::dataplane::to_string(policy).c_str());
+    const std::string policy_name(nnn::dataplane::to_string(policy));
+    std::printf("--- policy: %s ---\n", policy_name.c_str());
     std::printf("%-8s %14s %14s %12s %10s %10s %10s\n", "workers",
                 "per-core Mpps", "per-core Gb/s", "wall Mpps", "speedup",
                 "verified", "bypassed");
@@ -147,10 +147,10 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.verified),
                   static_cast<unsigned long long>(r.bypassed));
       nnn::bench::BenchRecord rec;
-      rec.name = "runtime/" + nnn::dataplane::to_string(policy) +
-                 "/workers=" + std::to_string(workers);
+      rec.name = "runtime/" + policy_name + "/workers=" +
+                 std::to_string(workers);
       rec.config["workers"] = static_cast<int64_t>(workers);
-      rec.config["policy"] = nnn::dataplane::to_string(policy);
+      rec.config["policy"] = policy_name;
       rec.config["packet_size"] = 512;
       rec.config["flows"] = static_cast<int64_t>(flows);
       rec.config["descriptors"] = static_cast<int64_t>(descriptors);

@@ -87,7 +87,7 @@ int main() {
   const auto after = middlebox.process(next_segment);
   std::printf("after revocation: %s (%s)\n",
               after.action ? "fast lane" : "best effort",
-              to_string(*after.verify_status).c_str());
+              std::string(to_string(*after.verify_status)).c_str());
 
   std::printf("\naudit trail the regulator sees:\n%s\n",
               isp.audit_log().to_json().dump_pretty().c_str());

@@ -83,7 +83,7 @@ int main() {
   const auto replay_verdict = middlebox.process(replay);
   std::printf("replayed cookie on another flow: %s (%s)\n",
               replay_verdict.action ? "fast lane" : "best effort",
-              to_string(*replay_verdict.verify_status).c_str());
+              std::string(to_string(*replay_verdict.verify_status)).c_str());
 
   cookie_server.revoke(descriptor->cookie_id, "user opted out");
   net::Packet after_revoke;
@@ -95,7 +95,7 @@ int main() {
   const auto revoked_verdict = middlebox.process(after_revoke);
   std::printf("after revocation: %s (%s)\n",
               revoked_verdict.action ? "fast lane" : "best effort",
-              to_string(*revoked_verdict.verify_status).c_str());
+              std::string(to_string(*revoked_verdict.verify_status)).c_str());
 
   std::printf("\naudit log:\n%s\n",
               cookie_server.audit_log().to_json().dump_pretty().c_str());

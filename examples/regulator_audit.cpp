@@ -10,8 +10,10 @@
 // subpoenas, no per-case technical investigation.
 #include <cstdio>
 
+#include "json/json.h"
 #include "server/compliance.h"
 #include "server/cookie_server.h"
+#include "server/json_api.h"
 #include "util/clock.h"
 
 int main() {
@@ -74,6 +76,34 @@ int main() {
                 to_string(record.event).c_str(), record.user.c_str(),
                 record.service.c_str());
   }
+  // The same aggregates without operator cooperation beyond exposing
+  // the endpoint: the server's grant/revoke/denial counters come out
+  // of GET /metrics.json, so an auditor can scrape them like any
+  // monitoring system would.
+  std::printf("\n=== operator metrics endpoint (GET /metrics.json) ===\n");
+  server::JsonApi api(operator_server);
+  const auto response = api.handle_http("GET", "/metrics.json");
+  const auto metrics = json::parse(response.body);
+  if (metrics && metrics->find("families")) {
+    for (const auto& family : metrics->find("families")->as_array()) {
+      const std::string name = family.get_string("name");
+      if (name.rfind("nnn_server_", 0) != 0) continue;
+      for (const auto& sample : family.find("samples")->as_array()) {
+        std::string labels;
+        if (const auto* l = sample.find("labels")) {
+          for (const auto& [key, value] : l->as_object()) {
+            labels += (labels.empty() ? "{" : ",") + key + "=" +
+                      value.as_string();
+          }
+          if (!labels.empty()) labels += "}";
+        }
+        std::printf("  %-28s %-18s %lld\n", name.c_str(), labels.c_str(),
+                    static_cast<long long>(
+                        sample.find("value")->as_int()));
+      }
+    }
+  }
+
   std::printf("\nEverything above is mechanical: who asked, who got a "
               "descriptor, when.\nThe tussle moves from 'technical "
               "limitations' to policy, where it belongs.\n");

@@ -55,8 +55,9 @@ int main() {
   const auto second = carrier.acquire("ChooseYourApp", "maria",
                                       "maria-token");
   std::printf("second choice this month: %s\n\n",
-              second.ok() ? "granted (?)"
-                          : to_string(*second.error).c_str());
+              second.ok()
+                  ? "granted (?)"
+                  : std::string(to_string(*second.error)).c_str());
 
   // Traffic: the chosen app's flows carry cookies; everything else is
   // ordinary traffic.

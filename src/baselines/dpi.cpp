@@ -21,6 +21,10 @@ bool prefix_matches(const DpiRule::IpPrefix& prefix,
 
 }  // namespace
 
+DpiEngine::DpiEngine() {
+  stats_.register_with(telemetry::Registry::global());
+}
+
 std::optional<std::string> visible_host(const net::Packet& packet) {
   if (packet.payload.empty()) return std::nullopt;
   if (const auto hello = net::tls::ClientHello::parse_record(
@@ -78,10 +82,10 @@ std::optional<std::string> DpiEngine::inspect(
 }
 
 std::optional<std::string> DpiEngine::classify(const net::Packet& packet) {
-  ++stats_.packets;
+  stats_.cell<&DpiStats::packets>().inc();
   FlowCacheEntry& entry = flow_cache_[packet.tuple];
   if (entry.app) {
-    ++stats_.classified_packets;
+    stats_.cell<&DpiStats::classified_packets>().inc();
     return entry.app;
   }
   if (entry.packets_inspected >= kInspectionWindow) {
@@ -91,8 +95,8 @@ std::optional<std::string> DpiEngine::classify(const net::Packet& packet) {
   auto result = inspect(packet);
   if (result) {
     entry.app = result;
-    ++stats_.classified_packets;
-    ++stats_.flows_classified;
+    stats_.cell<&DpiStats::classified_packets>().inc();
+    stats_.cell<&DpiStats::flows_classified>().inc();
   }
   return result;
 }

@@ -24,6 +24,7 @@
 
 #include "net/five_tuple.h"
 #include "net/packet.h"
+#include "telemetry/view.h"
 
 namespace nnn::baselines {
 
@@ -52,10 +53,41 @@ struct DpiStats {
   uint64_t packets = 0;
   uint64_t classified_packets = 0;
   uint64_t flows_classified = 0;
+
+  friend bool operator==(const DpiStats&, const DpiStats&) = default;
 };
+
+}  // namespace nnn::baselines
+
+namespace nnn::telemetry {
+
+template <>
+struct ViewTraits<baselines::DpiStats> {
+  using S = baselines::DpiStats;
+  static constexpr std::array fields{
+      ViewField<S>{&S::packets, MetricType::kCounter,
+                   "nnn_dpi_packets_total", "Packets seen by the DPI engine",
+                   "", ""},
+      ViewField<S>{&S::classified_packets, MetricType::kCounter,
+                   "nnn_dpi_classified_packets_total",
+                   "Packets DPI attributed to a known application", "", ""},
+      ViewField<S>{&S::flows_classified, MetricType::kCounter,
+                   "nnn_dpi_flows_classified_total",
+                   "Flows DPI attributed to a known application", "", ""},
+  };
+};
+
+}  // namespace nnn::telemetry
+
+namespace nnn::baselines {
 
 class DpiEngine {
  public:
+  /// Registers the nnn_dpi_* families; pinned (collector holds this).
+  DpiEngine();
+  DpiEngine(const DpiEngine&) = delete;
+  DpiEngine& operator=(const DpiEngine&) = delete;
+
   void add_rule(DpiRule rule);
   size_t rule_count() const { return rules_.size(); }
 
@@ -68,7 +100,8 @@ class DpiEngine {
   /// nullopt (unclassified -> default treatment).
   std::optional<std::string> classify(const net::Packet& packet);
 
-  const DpiStats& stats() const { return stats_; }
+  /// Materialized from the live telemetry cells (by value).
+  DpiStats stats() const { return stats_.snapshot(); }
   void reset_flow_cache() { flow_cache_.clear(); }
 
  private:
@@ -86,7 +119,7 @@ class DpiEngine {
 
   std::vector<DpiRule> rules_;
   std::unordered_map<net::FiveTuple, FlowCacheEntry> flow_cache_;
-  DpiStats stats_;
+  telemetry::View<DpiStats> stats_;
 };
 
 /// Extract the hostname DPI would see: TLS SNI for a ClientHello

@@ -44,16 +44,20 @@ std::optional<std::string> OobSwitch::match(const net::Packet& packet) const {
   return std::nullopt;
 }
 
+OobController::OobController() {
+  stats_.register_with(telemetry::Registry::global());
+}
+
 void OobController::attach_switch(OobSwitch* sw) {
   switches_.push_back(sw);
 }
 
 void OobController::request_service(const FlowDescription& description,
                                     const std::string& service) {
-  ++stats_.signals;
+  stats_.cell<&OobControllerStats::signals>().inc();
   for (OobSwitch* sw : switches_) {
     sw->install(OobRule{description, service});
-    ++stats_.rules_installed;
+    stats_.cell<&OobControllerStats::rules_installed>().inc();
   }
 }
 

@@ -23,6 +23,7 @@
 
 #include "net/five_tuple.h"
 #include "net/packet.h"
+#include "telemetry/view.h"
 
 namespace nnn::baselines {
 
@@ -67,22 +68,52 @@ struct OobControllerStats {
   uint64_t signals = 0;
   /// Rule installations (signals x switches on path).
   uint64_t rules_installed = 0;
+
+  friend bool operator==(const OobControllerStats&,
+                         const OobControllerStats&) = default;
 };
+
+}  // namespace nnn::baselines
+
+namespace nnn::telemetry {
+
+template <>
+struct ViewTraits<baselines::OobControllerStats> {
+  using S = baselines::OobControllerStats;
+  static constexpr std::array fields{
+      ViewField<S>{&S::signals, MetricType::kCounter,
+                   "nnn_oob_signals_total",
+                   "Out-of-band control-plane signaling operations", "", ""},
+      ViewField<S>{&S::rules_installed, MetricType::kCounter,
+                   "nnn_oob_rules_installed_total",
+                   "Rules installed across attached switches", "", ""},
+  };
+};
+
+}  // namespace nnn::telemetry
+
+namespace nnn::baselines {
 
 /// Centralized controller programming a set of switches.
 class OobController {
  public:
+  /// Registers the nnn_oob_* families; pinned (collector holds this).
+  OobController();
+  OobController(const OobController&) = delete;
+  OobController& operator=(const OobController&) = delete;
+
   void attach_switch(OobSwitch* sw);
 
   /// Signal one flow description; programs every attached switch.
   void request_service(const FlowDescription& description,
                        const std::string& service);
 
-  const OobControllerStats& stats() const { return stats_; }
+  /// Materialized from the live telemetry cells (by value).
+  OobControllerStats stats() const { return stats_.snapshot(); }
 
  private:
   std::vector<OobSwitch*> switches_;
-  OobControllerStats stats_;
+  telemetry::View<OobControllerStats> stats_;
 };
 
 }  // namespace nnn::baselines

@@ -17,8 +17,8 @@ bool BoostAgent::ensure_descriptor() {
   request["user"] = user_;
   const json::Value response = api_.handle(json::Value(std::move(request)));
   if (!response.get_bool("ok")) {
-    util::log_warn("boost agent {}: acquire failed: {}", user_,
-                   response.get_string("error"));
+    util::log_warn_tagged("boost-agent", "{}: acquire failed: {}", user_,
+                          response.get_string("error"));
     return false;
   }
   const json::Value* descriptor_json = response.find("descriptor");

@@ -43,9 +43,7 @@ class AnyLinkProxy {
   /// emulate (nullopt -> unshaped pass-through).
   std::optional<LinkProfile> process(net::Packet& packet);
 
-  const dataplane::MiddleboxStats& stats() const {
-    return middlebox_.stats();
-  }
+  dataplane::MiddleboxStats stats() const { return middlebox_.stats(); }
 
  private:
   dataplane::ServiceRegistry registry_;

@@ -75,9 +75,7 @@ class BoostDaemon {
 
   const std::string& active_boost_client() const { return active_client_; }
   bool throttle_active() const { return throttle_active_; }
-  const dataplane::MiddleboxStats& stats() const {
-    return middlebox_.stats();
-  }
+  dataplane::MiddleboxStats stats() const { return middlebox_.stats(); }
   dataplane::Middlebox& middlebox() { return middlebox_; }
 
  private:

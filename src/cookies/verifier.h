@@ -24,7 +24,7 @@
 #include <memory>
 #include <optional>
 #include <span>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +32,9 @@
 #include "cookies/descriptor.h"
 #include "cookies/replay_cache.h"
 #include "crypto/hmac.h"
+#include "telemetry/labels.h"
+#include "telemetry/metrics.h"
+#include "telemetry/view.h"
 #include "util/clock.h"
 
 namespace nnn::cookies {
@@ -52,7 +55,8 @@ enum class VerifyStatus : uint8_t {
   kMalformed,        // wire/text blob did not decode to a cookie at all
 };
 
-std::string to_string(VerifyStatus s);
+// to_string(VerifyStatus) lives in telemetry/labels.h (included above):
+// one header home, std::string_view return, no per-sample allocation.
 
 struct VerifyResult {
   VerifyStatus status = VerifyStatus::kUnknownId;
@@ -64,7 +68,9 @@ struct VerifyResult {
 };
 
 /// Counters the verifier keeps; the Fig. 4 bench and audit surfaces
-/// read these.
+/// read these. Legacy materialized form: the live state is one
+/// telemetry cell per VerifyStatus (stats() builds this struct on
+/// demand, so existing call sites keep working unchanged).
 struct VerifierStats {
   uint64_t verified = 0;
   uint64_t unknown_id = 0;
@@ -89,9 +95,17 @@ struct VerifierStats {
 
 class CookieVerifier {
  public:
-  /// The clock must outlive the verifier.
+  /// The clock must outlive the verifier. Construction registers the
+  /// verifier's metric families (nnn_verify_total{status=...},
+  /// nnn_verifier_descriptors, nnn_verify_batch_nanos) with the
+  /// process registry; destruction deregisters them. Pinned in memory
+  /// (non-copyable/movable) because the registry collector holds
+  /// `this` — place instances in stable storage (member, deque,
+  /// unique_ptr), never in a relocating vector.
   explicit CookieVerifier(const util::Clock& clock,
                           util::Timestamp nct = kNetworkCoherencyTime);
+  CookieVerifier(const CookieVerifier&) = delete;
+  CookieVerifier& operator=(const CookieVerifier&) = delete;
 
   /// Install a descriptor (the network side learned it when issuing).
   /// Replaces any existing descriptor with the same id. Precomputes
@@ -130,8 +144,11 @@ class CookieVerifier {
   VerifyResult verify_wire(util::BytesView wire);
   VerifyResult verify_text(std::string_view text);
 
-  const VerifierStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = VerifierStats{}; }
+  /// Materialized from the live status cells (by value; binding to a
+  /// const reference at call sites keeps working via lifetime
+  /// extension).
+  VerifierStats stats() const;
+  void reset_stats();
   size_t descriptor_count() const { return table_.size(); }
   util::Timestamp nct() const { return nct_; }
 
@@ -147,13 +164,22 @@ class CookieVerifier {
   /// Checks (ii)-(iv) + revocation/expiry against a resolved entry.
   VerifyResult verify_in_entry(Entry& entry, const Cookie& cookie,
                                util::Timestamp now);
+  void collect(telemetry::SampleBuilder& builder) const;
 
   const util::Clock& clock_;
   util::Timestamp nct_;
   std::unordered_map<CookieId, Entry> table_;
-  VerifierStats stats_;
+  /// One cell per VerifyStatus outcome — the single source of truth
+  /// the legacy VerifierStats mirrors materialized from.
+  telemetry::StatusCounters<VerifyStatus, kVerifyStatusCount> status_;
+  telemetry::Gauge descriptors_;
+  /// Nanoseconds per verify_batch burst; bursts under 32 cookies are
+  /// timed 1-in-32 so the clock reads can't dominate tiny batches.
+  telemetry::Histogram batch_nanos_;
+  telemetry::SampleStride burst_sample_{32};
   /// Scratch index permutation for verify_batch (no per-batch alloc).
   std::vector<uint32_t> batch_order_;
+  telemetry::Registration registration_;  // last: deregisters first
 };
 
 }  // namespace nnn::cookies

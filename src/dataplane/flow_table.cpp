@@ -10,18 +10,28 @@ constexpr uint64_t kExpirySweepInterval = 8192;
 }  // namespace
 
 FlowTable::FlowTable(uint32_t sniff_window, util::Timestamp idle_timeout)
-    : sniff_window_(sniff_window), idle_timeout_(idle_timeout) {}
+    : sniff_window_(sniff_window), idle_timeout_(idle_timeout) {
+  registration_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleBuilder& builder) {
+        stats_.collect(builder);
+        builder.gauge("nnn_flows_active", "Flow-table entries resident",
+                      {}, active_flows_.value());
+      });
+}
 
 FlowEntry& FlowTable::touch(const net::FiveTuple& tuple, uint32_t bytes,
                             util::Timestamp now) {
-  ++stats_.lookups;
+  stats_.cell<&FlowTableStats::lookups>().inc();
   if (++touches_since_expiry_ >= kExpirySweepInterval) {
     touches_since_expiry_ = 0;
     expire_idle(now);
   }
   auto [it, created] = table_.try_emplace(tuple);
   FlowEntry& entry = it->second;
-  if (created) ++stats_.flows_created;
+  if (created) {
+    stats_.cell<&FlowTableStats::flows_created>().inc();
+    active_flows_.set(static_cast<int64_t>(table_.size()));
+  }
   ++entry.packets_seen;
   entry.bytes += bytes;
   entry.last_seen = now;
@@ -58,6 +68,7 @@ void FlowTable::map_flow(const net::FiveTuple& tuple,
     reverse.last_seen = now;
     reverse.mapping_expires = mapping_expires;
   }
+  active_flows_.set(static_cast<int64_t>(table_.size()));
 }
 
 const FlowEntry* FlowTable::find(const net::FiveTuple& tuple) const {
@@ -76,7 +87,8 @@ size_t FlowTable::expire_idle(util::Timestamp now) {
       ++it;
     }
   }
-  stats_.flows_expired += evicted;
+  stats_.cell<&FlowTableStats::flows_expired>().inc(evicted);
+  active_flows_.set(static_cast<int64_t>(table_.size()));
   return evicted;
 }
 

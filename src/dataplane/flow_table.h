@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "net/five_tuple.h"
+#include "telemetry/view.h"
 #include "util/clock.h"
 
 namespace nnn::dataplane {
@@ -42,7 +43,34 @@ struct FlowTableStats {
   uint64_t flows_created = 0;
   uint64_t flows_expired = 0;
   uint64_t lookups = 0;
+
+  friend bool operator==(const FlowTableStats&,
+                         const FlowTableStats&) = default;
 };
+
+}  // namespace nnn::dataplane
+
+namespace nnn::telemetry {
+
+template <>
+struct ViewTraits<dataplane::FlowTableStats> {
+  using S = dataplane::FlowTableStats;
+  static constexpr std::array fields{
+      ViewField<S>{&S::flows_created, MetricType::kCounter,
+                   "nnn_flows_created_total", "Flow-table entries created",
+                   "", ""},
+      ViewField<S>{&S::flows_expired, MetricType::kCounter,
+                   "nnn_flows_expired_total",
+                   "Flow-table entries evicted by idle timeout", "", ""},
+      ViewField<S>{&S::lookups, MetricType::kCounter,
+                   "nnn_flow_lookups_total", "Flow-table touch operations",
+                   "", ""},
+  };
+};
+
+}  // namespace nnn::telemetry
+
+namespace nnn::dataplane {
 
 class FlowTable {
  public:
@@ -52,6 +80,9 @@ class FlowTable {
 
   explicit FlowTable(uint32_t sniff_window = kDefaultSniffWindow,
                      util::Timestamp idle_timeout = kDefaultIdleTimeout);
+  /// Pinned: the stats view registers a collector holding `this`.
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
 
   /// Look up (creating if absent) the entry for `tuple`, bump the
   /// packet/byte counters, and advance kSniffing -> kBestEffort when
@@ -75,14 +106,19 @@ class FlowTable {
 
   size_t size() const { return table_.size(); }
   uint32_t sniff_window() const { return sniff_window_; }
-  const FlowTableStats& stats() const { return stats_; }
+  /// Materialized from the live telemetry cells (by value).
+  FlowTableStats stats() const { return stats_.snapshot(); }
 
  private:
   uint32_t sniff_window_;
   util::Timestamp idle_timeout_;
   std::unordered_map<net::FiveTuple, FlowEntry> table_;
-  FlowTableStats stats_;
   uint64_t touches_since_expiry_ = 0;
+  telemetry::View<FlowTableStats> stats_;
+  /// Mirror of table_.size() so the exporter thread never reads the
+  /// (unsynchronized) map itself — nnn_flows_active.
+  telemetry::Gauge active_flows_;
+  telemetry::Registration registration_;  // last: deregisters first
 };
 
 }  // namespace nnn::dataplane

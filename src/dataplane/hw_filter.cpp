@@ -6,23 +6,17 @@
 
 namespace nnn::dataplane {
 
-std::string to_string(HwDecision d) {
-  switch (d) {
-    case HwDecision::kFastPath:
-      return "fast-path";
-    case HwDecision::kToSoftware:
-      return "to-software";
-    case HwDecision::kRejectUnknownId:
-      return "reject-unknown-id";
-    case HwDecision::kRejectStale:
-      return "reject-stale";
-  }
-  return "?";
-}
-
 HardwareFilter::HardwareFilter(const util::Clock& clock,
                                util::Timestamp nct, Config config)
-    : clock_(clock), nct_(nct), config_(config) {}
+    : clock_(clock), nct_(nct), config_(config) {
+  registration_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleBuilder& builder) {
+        decisions_.collect(builder, "nnn_hw_filter_total",
+                           "Hardware pre-filter decisions",
+                           [](HwDecision d) { return to_string(d); },
+                           "decision");
+      });
+}
 
 void HardwareFilter::learn_id(cookies::CookieId id) {
   ids_.insert(id);
@@ -34,20 +28,7 @@ void HardwareFilter::forget_id(cookies::CookieId id) {
 
 HwDecision HardwareFilter::classify(const net::Packet& packet) {
   const auto record = [&](HwDecision d) {
-    switch (d) {
-      case HwDecision::kFastPath:
-        ++stats_.fast_path;
-        break;
-      case HwDecision::kToSoftware:
-        ++stats_.to_software;
-        break;
-      case HwDecision::kRejectUnknownId:
-        ++stats_.reject_unknown_id;
-        break;
-      case HwDecision::kRejectStale:
-        ++stats_.reject_stale;
-        break;
-    }
+    decisions_.inc(d);
     return d;
   };
 
@@ -81,6 +62,15 @@ HwDecision HardwareFilter::classify(const net::Packet& packet) {
     }
   }
   return record(HwDecision::kToSoftware);
+}
+
+HwFilterStats HardwareFilter::stats() const {
+  HwFilterStats s;
+  s.fast_path = decisions_.count(HwDecision::kFastPath);
+  s.to_software = decisions_.count(HwDecision::kToSoftware);
+  s.reject_unknown_id = decisions_.count(HwDecision::kRejectUnknownId);
+  s.reject_stale = decisions_.count(HwDecision::kRejectStale);
+  return s;
 }
 
 }  // namespace nnn::dataplane

@@ -16,11 +16,12 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <unordered_set>
 
 #include "cookies/cookie.h"
 #include "net/packet.h"
+#include "telemetry/labels.h"
+#include "telemetry/view.h"
 #include "util/clock.h"
 
 namespace nnn::dataplane {
@@ -38,8 +39,10 @@ enum class HwDecision : uint8_t {
   kRejectStale,
 };
 
-std::string to_string(HwDecision d);
+// to_string(HwDecision) lives in telemetry/labels.h (included above).
 
+/// Legacy materialized form; the live state is one telemetry cell per
+/// HwDecision (stats() builds this struct on demand).
 struct HwFilterStats {
   uint64_t fast_path = 0;
   uint64_t to_software = 0;
@@ -49,6 +52,9 @@ struct HwFilterStats {
   uint64_t total() const {
     return fast_path + to_software + reject_unknown_id + reject_stale;
   }
+
+  friend bool operator==(const HwFilterStats&,
+                         const HwFilterStats&) = default;
 };
 
 class HardwareFilter {
@@ -64,8 +70,12 @@ class HardwareFilter {
     bool parse_text_carriers = true;
   };
 
+  /// Registers nnn_hw_filter_total{decision=...}; pinned (the
+  /// collector holds `this`).
   HardwareFilter(const util::Clock& clock, util::Timestamp nct,
                  Config config);
+  HardwareFilter(const HardwareFilter&) = delete;
+  HardwareFilter& operator=(const HardwareFilter&) = delete;
 
   /// Program / unprogram a descriptor id (mirrors the verifier table).
   void learn_id(cookies::CookieId id);
@@ -75,14 +85,16 @@ class HardwareFilter {
   /// The match-action decision for one packet.
   HwDecision classify(const net::Packet& packet);
 
-  const HwFilterStats& stats() const { return stats_; }
+  /// Materialized from the live decision cells (by value).
+  HwFilterStats stats() const;
 
  private:
   const util::Clock& clock_;
   util::Timestamp nct_;
   Config config_;
   std::unordered_set<cookies::CookieId> ids_;
-  HwFilterStats stats_;
+  telemetry::StatusCounters<HwDecision, kHwDecisionCount> decisions_;
+  telemetry::Registration registration_;  // last: deregisters first
 };
 
 }  // namespace nnn::dataplane

@@ -14,7 +14,9 @@ Middlebox::Middlebox(const util::Clock& clock,
       registry_(registry),
       config_(config),
       flow_table_(config.sniff_window, config.flow_idle_timeout),
-      ack_rng_(config.ack_seed) {}
+      ack_rng_(config.ack_seed) {
+  stats_.register_with(telemetry::Registry::global());
+}
 
 Middlebox::Middlebox(const util::Clock& clock,
                      cookies::CookieVerifier& verifier,
@@ -65,8 +67,8 @@ void Middlebox::apply_stack(net::Packet& packet, FlowEntry& entry,
 }
 
 Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
-  ++stats_.packets;
-  stats_.bytes += packet.size();
+  stats_.cell<&MiddleboxStats::packets>().inc();
+  stats_.cell<&MiddleboxStats::bytes>().inc(packet.size());
 
   FlowEntry& entry = flow_table_.touch(packet.tuple, packet.size(), now);
   Verdict verdict;
@@ -78,14 +80,14 @@ Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
     // Task (i)/(ii): inspect this packet for a cookie on any carrier.
     const auto extracted = cookies::extract(packet);
     if (!extracted) {
-      ++stats_.task_search;
+      stats_.cell<&MiddleboxStats::task_search>().inc();
     } else {
-      ++stats_.task_search_and_verify;
+      stats_.cell<&MiddleboxStats::task_search_and_verify>().inc();
       apply_stack(packet, entry, *extracted, now, verdict);
     }
   } else {
     // Task (iii): established flow, just map.
-    ++stats_.task_map_only;
+    stats_.cell<&MiddleboxStats::task_map_only>().inc();
   }
 
   if (!verdict.mapped_now && entry.state == FlowState::kMapped) {
@@ -140,8 +142,8 @@ void Middlebox::process_batch(std::span<net::Packet> packets,
         tuple_has_pending(packet.tuple, packets)) {
       flush_pending(packets, verdicts, now);
     }
-    ++stats_.packets;
-    stats_.bytes += packet.size();
+    stats_.cell<&MiddleboxStats::packets>().inc();
+    stats_.cell<&MiddleboxStats::bytes>().inc(packet.size());
     FlowEntry& entry = flow_table_.touch(packet.tuple, packet.size(), now);
     Verdict verdict;
 
@@ -151,9 +153,9 @@ void Middlebox::process_batch(std::span<net::Packet> packets,
     if (inspect) {
       const auto extracted = cookies::extract(packet);
       if (!extracted) {
-        ++stats_.task_search;
+        stats_.cell<&MiddleboxStats::task_search>().inc();
       } else {
-        ++stats_.task_search_and_verify;
+        stats_.cell<&MiddleboxStats::task_search_and_verify>().inc();
         if (extracted->stack.size() == 1) {
           // The common case: defer the MAC into the batched verify.
           // (std::unordered_map references are stable across the
@@ -171,7 +173,7 @@ void Middlebox::process_batch(std::span<net::Packet> packets,
         apply_stack(packet, entry, *extracted, now, verdict);
       }
     } else {
-      ++stats_.task_map_only;
+      stats_.cell<&MiddleboxStats::task_map_only>().inc();
     }
 
     if (!verdict.mapped_now && entry.state == FlowState::kMapped) {

@@ -25,6 +25,7 @@
 #include "dataplane/service_registry.h"
 #include "dataplane/zero_rating.h"
 #include "net/packet.h"
+#include "telemetry/view.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -51,7 +52,43 @@ struct MiddleboxStats {
   uint64_t task_map_only = 0;        // established flow fast path
   uint64_t packets = 0;
   uint64_t bytes = 0;
+
+  friend bool operator==(const MiddleboxStats&,
+                         const MiddleboxStats&) = default;
 };
+
+}  // namespace nnn::dataplane
+
+namespace nnn::telemetry {
+
+/// MiddleboxStats as registry families: the three task classes fan
+/// into one family keyed by task=..., packets/bytes stand alone.
+template <>
+struct ViewTraits<dataplane::MiddleboxStats> {
+  using S = dataplane::MiddleboxStats;
+  static constexpr std::array fields{
+      ViewField<S>{&S::task_search, MetricType::kCounter,
+                   "nnn_middlebox_task_total",
+                   "Packets by middlebox task class", "task", "search"},
+      ViewField<S>{&S::task_search_and_verify, MetricType::kCounter,
+                   "nnn_middlebox_task_total",
+                   "Packets by middlebox task class", "task",
+                   "search-and-verify"},
+      ViewField<S>{&S::task_map_only, MetricType::kCounter,
+                   "nnn_middlebox_task_total",
+                   "Packets by middlebox task class", "task", "map-only"},
+      ViewField<S>{&S::packets, MetricType::kCounter,
+                   "nnn_middlebox_packets_total",
+                   "Packets processed by the middlebox", "", ""},
+      ViewField<S>{&S::bytes, MetricType::kCounter,
+                   "nnn_middlebox_bytes_total",
+                   "Bytes processed by the middlebox", "", ""},
+  };
+};
+
+}  // namespace nnn::telemetry
+
+namespace nnn::dataplane {
 
 class Middlebox {
  public:
@@ -84,6 +121,9 @@ class Middlebox {
             ServiceRegistry& registry, Config config);
   Middlebox(const util::Clock& clock, cookies::CookieVerifier& verifier,
             ServiceRegistry& registry);
+  /// Pinned: the stats view registers a collector holding `this`.
+  Middlebox(const Middlebox&) = delete;
+  Middlebox& operator=(const Middlebox&) = delete;
 
   /// Process one packet on the forwarding path. May mutate the packet
   /// (DSCP remark in remark mode).
@@ -110,7 +150,8 @@ class Middlebox {
   Verdict process_and_account(net::Packet& packet, ZeroRatingLedger& ledger,
                               const net::IpAddress& subscriber);
 
-  const MiddleboxStats& stats() const { return stats_; }
+  /// Materialized from the live telemetry cells (by value).
+  MiddleboxStats stats() const { return stats_.snapshot(); }
   const FlowTable& flows() const { return flow_table_; }
   cookies::CookieVerifier& verifier() { return verifier_; }
   /// Flows with a delivery-guarantee ack still owed.
@@ -152,7 +193,7 @@ class Middlebox {
   ServiceRegistry& registry_;
   Config config_;
   FlowTable flow_table_;
-  MiddleboxStats stats_;
+  telemetry::View<MiddleboxStats> stats_;
   util::Rng ack_rng_;
   /// reverse-flow tuple -> descriptor owing an ack.
   std::unordered_map<net::FiveTuple, cookies::CookieId> pending_acks_;

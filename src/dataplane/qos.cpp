@@ -1,6 +1,7 @@
 #include "dataplane/qos.h"
 
 #include <algorithm>
+#include <string>
 
 namespace nnn::dataplane {
 
@@ -44,18 +45,25 @@ void TokenBucket::set_rate(double rate_bps, util::Timestamp now) {
 
 PriorityQueueSet::PriorityQueueSet(size_t bands,
                                    uint32_t band_capacity_bytes)
-    : queues_(bands), stats_(bands),
-      band_capacity_bytes_(band_capacity_bytes) {}
+    : queues_(bands), band_capacity_bytes_(band_capacity_bytes) {
+  for (size_t band = 0; band < bands; ++band) {
+    auto& view = stats_.emplace_back();
+    view.register_with(
+        telemetry::Registry::global(),
+        telemetry::LabelSet{{"band", std::to_string(band)}});
+  }
+}
 
 bool PriorityQueueSet::enqueue(net::Packet packet, size_t band) {
   band = std::min(band, queues_.size() - 1);
-  BandStats& s = stats_[band];
-  if (s.bytes + packet.size() > band_capacity_bytes_) {
-    ++s.dropped;
+  auto& s = stats_[band];
+  if (s.value<&BandStats::bytes>() + packet.size() >
+      band_capacity_bytes_) {
+    s.cell<&BandStats::dropped>().inc();
     return false;
   }
-  s.bytes += packet.size();
-  ++s.enqueued;
+  s.cell<&BandStats::bytes>().inc(packet.size());
+  s.cell<&BandStats::enqueued>().inc();
   queues_[band].push_back(std::move(packet));
   return true;
 }
@@ -65,9 +73,9 @@ std::optional<net::Packet> PriorityQueueSet::dequeue() {
     if (queues_[band].empty()) continue;
     net::Packet packet = std::move(queues_[band].front());
     queues_[band].pop_front();
-    BandStats& s = stats_[band];
-    s.bytes -= packet.size();
-    ++s.dequeued;
+    auto& s = stats_[band];
+    s.cell<&BandStats::bytes>().dec(packet.size());
+    s.cell<&BandStats::dequeued>().inc();
     return packet;
   }
   return std::nullopt;
@@ -77,9 +85,9 @@ std::optional<net::Packet> PriorityQueueSet::dequeue_band(size_t band) {
   if (band >= queues_.size() || queues_[band].empty()) return std::nullopt;
   net::Packet packet = std::move(queues_[band].front());
   queues_[band].pop_front();
-  BandStats& s = stats_[band];
-  s.bytes -= packet.size();
-  ++s.dequeued;
+  auto& s = stats_[band];
+  s.cell<&BandStats::bytes>().dec(packet.size());
+  s.cell<&BandStats::dequeued>().inc();
   return packet;
 }
 

@@ -15,7 +15,46 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "telemetry/view.h"
 #include "util/clock.h"
+
+namespace nnn::dataplane {
+
+/// Per-band accounting for PriorityQueueSet (namespace scope so the
+/// telemetry view traits can name it; PriorityQueueSet::BandStats
+/// aliases it for existing call sites).
+struct BandStats {
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;
+  uint64_t dequeued = 0;
+  uint64_t bytes = 0;  // currently queued bytes
+
+  friend bool operator==(const BandStats&, const BandStats&) = default;
+};
+
+}  // namespace nnn::dataplane
+
+namespace nnn::telemetry {
+
+template <>
+struct ViewTraits<dataplane::BandStats> {
+  using S = dataplane::BandStats;
+  static constexpr std::array fields{
+      ViewField<S>{&S::enqueued, MetricType::kCounter,
+                   "nnn_qos_band_enqueued_total",
+                   "Packets accepted into a priority band", "", ""},
+      ViewField<S>{&S::dropped, MetricType::kCounter,
+                   "nnn_qos_band_dropped_total",
+                   "Packets tail-dropped at a full priority band", "", ""},
+      ViewField<S>{&S::dequeued, MetricType::kCounter,
+                   "nnn_qos_band_dequeued_total",
+                   "Packets drained from a priority band", "", ""},
+      ViewField<S>{&S::bytes, MetricType::kGauge, "nnn_qos_band_bytes",
+                   "Bytes currently queued in a priority band", "", ""},
+  };
+};
+
+}  // namespace nnn::telemetry
 
 namespace nnn::dataplane {
 
@@ -49,15 +88,14 @@ class TokenBucket {
 /// what shapes the Fig. 5b best-effort/throttled CDFs).
 class PriorityQueueSet {
  public:
-  struct BandStats {
-    uint64_t enqueued = 0;
-    uint64_t dropped = 0;
-    uint64_t dequeued = 0;
-    uint64_t bytes = 0;  // currently queued bytes
-  };
+  using BandStats = dataplane::BandStats;
 
   /// `band_capacity_bytes` applies to each band independently.
+  /// Registers one nnn_qos_band_* sample set per band, labeled
+  /// band="0".."N-1"; pinned (collectors hold `this`).
   PriorityQueueSet(size_t bands, uint32_t band_capacity_bytes);
+  PriorityQueueSet(const PriorityQueueSet&) = delete;
+  PriorityQueueSet& operator=(const PriorityQueueSet&) = delete;
 
   /// Enqueue into `band`; false (and drop) when the band is full.
   bool enqueue(net::Packet packet, size_t band);
@@ -79,11 +117,14 @@ class PriorityQueueSet {
   bool empty() const;
   size_t bands() const { return queues_.size(); }
   size_t queued_packets() const;
-  const BandStats& stats(size_t band) const { return stats_[band]; }
+  /// Materialized from the band's telemetry cells (by value).
+  BandStats stats(size_t band) const { return stats_[band].snapshot(); }
 
  private:
   std::vector<std::deque<net::Packet>> queues_;
-  std::vector<BandStats> stats_;
+  /// deque, not vector: views are pinned (registered collectors hold
+  /// their address) and deque never relocates elements.
+  std::deque<telemetry::View<BandStats>> stats_;
   uint32_t band_capacity_bytes_;
 };
 

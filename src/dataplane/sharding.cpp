@@ -1,27 +1,23 @@
 #include "dataplane/sharding.h"
 
+#include <string>
+
 #include "cookies/transport.h"
 
 namespace nnn::dataplane {
-
-std::string to_string(DispatchPolicy p) {
-  switch (p) {
-    case DispatchPolicy::kFlowHash:
-      return "flow-hash";
-    case DispatchPolicy::kDescriptorAffinity:
-      return "descriptor-affinity";
-  }
-  return "?";
-}
 
 ShardedDataplane::ShardedDataplane(const util::Clock& clock,
                                    ServiceRegistry& registry,
                                    size_t shards, DispatchPolicy policy,
                                    Middlebox::Config config)
-    : policy_(policy), stats_(shards) {
+    : policy_(policy) {
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(clock, registry, config));
+    auto& view = stats_.emplace_back();
+    view.register_with(
+        telemetry::Registry::global(),
+        telemetry::LabelSet{{"shard", std::to_string(i)}});
   }
 }
 
@@ -62,11 +58,13 @@ size_t ShardedDataplane::shard_for(const net::Packet& packet) const {
 
 Verdict ShardedDataplane::process(net::Packet& packet) {
   const size_t index = shard_for(packet);
-  ShardStats& s = stats_[index];
-  ++s.packets;
+  auto& s = stats_[index];
+  s.cell<&ShardStats::packets>().inc();
   if (packet.l3_cookie || !packet.payload.empty()) {
     // Approximate cookie-bearing accounting for stats only.
-    if (cookies::extract(packet)) ++s.cookie_packets;
+    if (cookies::extract(packet)) {
+      s.cell<&ShardStats::cookie_packets>().inc();
+    }
   }
   return shards_[index]->middlebox.process(packet);
 }

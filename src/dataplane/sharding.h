@@ -29,12 +29,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "cookies/verifier.h"
 #include "dataplane/middlebox.h"
 #include "dataplane/service_registry.h"
+#include "telemetry/labels.h"
 #include "util/clock.h"
 
 namespace nnn::dataplane {
@@ -44,7 +46,8 @@ enum class DispatchPolicy : uint8_t {
   kDescriptorAffinity,    // peek cookie id; pin descriptors to shards
 };
 
-std::string to_string(DispatchPolicy p);
+// to_string(DispatchPolicy) lives in telemetry/labels.h (included
+// above).
 
 /// Shard selection under `policy`, shared by the single-threaded model
 /// below and the threaded runtime::Dispatcher. Under descriptor
@@ -56,7 +59,30 @@ size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
 struct ShardStats {
   uint64_t packets = 0;
   uint64_t cookie_packets = 0;
+
+  friend bool operator==(const ShardStats&, const ShardStats&) = default;
 };
+
+}  // namespace nnn::dataplane
+
+namespace nnn::telemetry {
+
+template <>
+struct ViewTraits<dataplane::ShardStats> {
+  using S = dataplane::ShardStats;
+  static constexpr std::array fields{
+      ViewField<S>{&S::packets, MetricType::kCounter,
+                   "nnn_shard_packets_total",
+                   "Packets dispatched to a shard", "", ""},
+      ViewField<S>{&S::cookie_packets, MetricType::kCounter,
+                   "nnn_shard_cookie_packets_total",
+                   "Cookie-bearing packets dispatched to a shard", "", ""},
+  };
+};
+
+}  // namespace nnn::telemetry
+
+namespace nnn::dataplane {
 
 class ShardedDataplane {
  public:
@@ -80,7 +106,8 @@ class ShardedDataplane {
 
   size_t shard_count() const { return shards_.size(); }
   DispatchPolicy policy() const { return policy_; }
-  const ShardStats& stats(size_t shard) const { return stats_[shard]; }
+  /// Materialized from the shard's telemetry cells (by value).
+  ShardStats stats(size_t shard) const { return stats_[shard].snapshot(); }
   const Middlebox& shard(size_t i) const { return shards_[i]->middlebox; }
 
   /// Aggregate replay rejections across shards — the double-spend
@@ -105,7 +132,8 @@ class ShardedDataplane {
 
   DispatchPolicy policy_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<ShardStats> stats_;
+  /// deque: views are pinned (collectors hold their address).
+  std::deque<telemetry::View<ShardStats>> stats_;
 };
 
 }  // namespace nnn::dataplane

@@ -3,11 +3,39 @@
 #include <chrono>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace nnn::runtime {
 
 Dispatcher::Dispatcher(WorkerPool& pool, Config config)
     : pool_(pool), config_(config), ingress_(config.ingress_capacity) {
   if (config_.burst == 0) config_.burst = 1;
+  registration_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleBuilder& builder) {
+        const telemetry::LabelSet base{
+            {"policy", dataplane::to_string(config_.policy)}};
+        builder.counter("nnn_dispatch_offered_total",
+                        "Packets handed to the dispatcher", base,
+                        offered_.load(std::memory_order_relaxed));
+        builder.counter("nnn_dispatch_routed_total",
+                        "Packets enqueued to a worker ring", base,
+                        routed_.load(std::memory_order_relaxed));
+        telemetry::LabelSet ring = base;
+        ring.add("reason", "ring-full");
+        builder.counter("nnn_dispatch_bypass_total",
+                        "Packets that skipped cookie processing (fail-open)",
+                        std::move(ring),
+                        ring_full_.load(std::memory_order_relaxed));
+        telemetry::LabelSet ingress = base;
+        ingress.add("reason", "ingress-full");
+        builder.counter("nnn_dispatch_bypass_total",
+                        "Packets that skipped cookie processing (fail-open)",
+                        std::move(ingress),
+                        ingress_full_.load(std::memory_order_relaxed));
+        builder.histogram("nnn_dispatch_batch_nanos",
+                          "Wall-clock nanoseconds per pump burst", base,
+                          batch_nanos_);
+      });
 }
 
 Dispatcher::~Dispatcher() { stop(); }
@@ -22,8 +50,16 @@ void Dispatcher::route_to_worker(net::Packet&& packet) {
     routed_.fetch_add(1, std::memory_order_relaxed);
   } else {
     // Bounded queue, fail-open: the packet is forwarded best-effort
-    // without cookie processing; it is counted, never dropped.
-    ring_full_.fetch_add(1, std::memory_order_relaxed);
+    // without cookie processing; it is counted, never dropped. The
+    // first bypass gets a warning — fail-open that only ever shows up
+    // in a poll-it-yourself Stats struct is how discrimination goes
+    // unnoticed (§6) — and the log counter keeps the total visible in
+    // nnn_log_total even when warnings are filtered.
+    if (ring_full_.fetch_add(1, std::memory_order_relaxed) == 0) {
+      util::log_warn_tagged("dispatcher",
+                            "worker ring full, packets bypassing cookie "
+                            "processing (fail-open)");
+    }
   }
 }
 
@@ -37,7 +73,11 @@ void Dispatcher::start() {
 bool Dispatcher::offer(net::Packet&& packet) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   if (ingress_.try_push(std::move(packet))) return true;
-  ingress_full_.fetch_add(1, std::memory_order_relaxed);
+  if (ingress_full_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    util::log_warn_tagged("dispatcher",
+                          "ingress ring full, packets bypassing cookie "
+                          "processing (fail-open)");
+  }
   return false;
 }
 
@@ -82,6 +122,7 @@ void Dispatcher::pump_main() {
       continue;
     }
     idle = 0;
+    const telemetry::ScopedTimer timer(batch_nanos_, burst_sample_.next());
     for (size_t i = 0; i < n; ++i) {
       route_to_worker(std::move(burst[i]));
     }

@@ -31,6 +31,7 @@
 #include "net/packet.h"
 #include "runtime/mpsc_ring.h"
 #include "runtime/worker_pool.h"
+#include "telemetry/metrics.h"
 
 namespace nnn::runtime {
 
@@ -56,7 +57,11 @@ class Dispatcher {
     }
   };
 
-  /// `pool` must outlive the dispatcher.
+  /// `pool` must outlive the dispatcher. Registers the
+  /// nnn_dispatch_* families, labeled policy="flow-hash" /
+  /// "descriptor-affinity"; bypass counts carry reason="ring-full" /
+  /// "ingress-full" so the fail-open path (§4.6 backpressure) is
+  /// visible to auditors, not just to callers that poll stats().
   Dispatcher(WorkerPool& pool, Config config);
   ~Dispatcher();  // stops the pump if running
 
@@ -97,14 +102,23 @@ class Dispatcher {
 
   // `offered - forwarded` is the in-flight count inside the dispatcher
   // itself; drain() waits for it to reach zero before draining the pool.
+  // These stay raw multi-writer atomics (offer() runs on any producer
+  // thread), so the collector reads them directly instead of going
+  // through single-writer Counter cells.
   std::atomic<uint64_t> offered_{0};
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> ring_full_{0};
   std::atomic<uint64_t> ingress_full_{0};
+  /// Nanoseconds per pump burst (single writer: the pump thread),
+  /// sampled 1-in-32 — routing a burst is far cheaper than the
+  /// timer's two clock reads.
+  telemetry::Histogram batch_nanos_;
+  telemetry::SampleStride burst_sample_{32};
 
   std::atomic<bool> stop_{false};
   bool pumping_ = false;
   std::thread thread_;
+  telemetry::Registration registration_;  // last: released first
 };
 
 }  // namespace nnn::runtime

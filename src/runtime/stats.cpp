@@ -2,6 +2,7 @@
 
 #include <ctime>
 
+#include "cookies/verifier.h"  // full VerifyStatus definition
 #include "util/fmt.h"
 
 #if !defined(CLOCK_THREAD_CPUTIME_ID)
@@ -10,12 +11,45 @@
 
 namespace nnn::runtime {
 
+void WorkerCounters::collect(telemetry::SampleBuilder& builder,
+                             const telemetry::LabelSet& base) const {
+  builder.counter("nnn_pool_packets_total",
+                  "Packets processed by pool workers", base, packets.value());
+  builder.counter("nnn_pool_bytes_total", "Bytes processed by pool workers",
+                  base, bytes.value());
+  builder.counter("nnn_pool_cookie_packets_total",
+                  "Packets that carried a cookie the worker checked", base,
+                  cookie_packets.value());
+  statuses.collect(
+      builder, "nnn_pool_verify_total",
+      "Cookie verification outcomes observed by pool workers",
+      [](cookies::VerifyStatus s) { return to_string(s); }, "status", base);
+  builder.counter("nnn_pool_mapped_total",
+                  "Verdicts that mapped a new flow to a service", base,
+                  mapped.value());
+  builder.counter("nnn_pool_batches_total", "Ring bursts dequeued", base,
+                  batches.value());
+  builder.counter("nnn_pool_busy_micros",
+                  "Worker thread-CPU time spent processing, in microseconds",
+                  base, busy_micros.value());
+  builder.counter("nnn_pool_processed_total",
+                  "Packets fully processed (quiescence counter)", base,
+                  processed.value_acquire());
+  builder.counter("nnn_pool_verdicts_dropped_total",
+                  "Verdict records dropped because the verdict ring was full",
+                  base, verdicts_dropped.value());
+  builder.histogram("nnn_pool_batch_nanos",
+                    "Wall-clock nanoseconds per worker ring burst", base,
+                    batch_nanos);
+}
+
 WorkerSnapshot& WorkerSnapshot::operator+=(const WorkerSnapshot& other) {
   packets += other.packets;
   bytes += other.bytes;
   cookie_packets += other.cookie_packets;
   verified += other.verified;
   replayed += other.replayed;
+  malformed += other.malformed;
   mapped += other.mapped;
   batches += other.batches;
   busy_micros += other.busy_micros;
@@ -31,17 +65,17 @@ double WorkerSnapshot::avg_batch() const {
 
 WorkerSnapshot snapshot_of(const WorkerCounters& counters) {
   WorkerSnapshot s;
-  s.packets = counters.packets.load(std::memory_order_relaxed);
-  s.bytes = counters.bytes.load(std::memory_order_relaxed);
-  s.cookie_packets = counters.cookie_packets.load(std::memory_order_relaxed);
-  s.verified = counters.verified.load(std::memory_order_relaxed);
-  s.replayed = counters.replayed.load(std::memory_order_relaxed);
-  s.mapped = counters.mapped.load(std::memory_order_relaxed);
-  s.batches = counters.batches.load(std::memory_order_relaxed);
-  s.busy_micros = counters.busy_micros.load(std::memory_order_relaxed);
-  s.processed = counters.processed.load(std::memory_order_acquire);
-  s.verdicts_dropped =
-      counters.verdicts_dropped.load(std::memory_order_relaxed);
+  s.packets = counters.packets.value();
+  s.bytes = counters.bytes.value();
+  s.cookie_packets = counters.cookie_packets.value();
+  s.verified = counters.statuses.count(cookies::VerifyStatus::kOk);
+  s.replayed = counters.statuses.count(cookies::VerifyStatus::kReplayed);
+  s.malformed = counters.statuses.count(cookies::VerifyStatus::kMalformed);
+  s.mapped = counters.mapped.value();
+  s.batches = counters.batches.value();
+  s.busy_micros = counters.busy_micros.value();
+  s.processed = counters.processed.value_acquire();
+  s.verdicts_dropped = counters.verdicts_dropped.value();
   return s;
 }
 

@@ -1,7 +1,9 @@
 #include "runtime/worker_pool.h"
 
+#include <array>
 #include <chrono>
 #include <span>
+#include <string>
 
 #include "util/logging.h"
 
@@ -34,10 +36,16 @@ struct WorkerPool::Worker {
   dataplane::Middlebox middlebox;
   SpscRing<net::Packet> ring;
   WorkerCounters counters;
+  /// Ring bursts are timed 1-in-32. Even a full 32-packet burst is
+  /// only ~3 us of work, so the ~86 ns timer pair would cost ~3%
+  /// unsampled — over the 2% telemetry budget on its own.
+  telemetry::SampleStride burst_sample{32};
   /// Incremented by the producer *before* the push so a quiescence
   /// check can never observe a pushed-but-uncounted packet.
   alignas(kCacheLineSize) std::atomic<uint64_t> submitted{0};
   std::thread thread;
+  /// Deregisters before `counters` is destroyed (declared after it).
+  telemetry::Registration registration;
 
   Worker(const util::Clock& clock, dataplane::ServiceRegistry& registry,
          const Config& config)
@@ -54,6 +62,15 @@ WorkerPool::WorkerPool(const util::Clock& clock,
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(clock_, registry_, config_));
+    // Each worker's block exports under worker="i"; identical families
+    // across workers merge into per-worker series of nnn_pool_*.
+    Worker& w = *workers_.back();
+    const std::string index = std::to_string(i);
+    w.registration = telemetry::Registry::global().add_collector(
+        [&w, labels = telemetry::LabelSet{{"worker", index}}](
+            telemetry::SampleBuilder& builder) {
+          w.counters.collect(builder, labels);
+        });
   }
   if (config_.verdict_capacity > 0) {
     verdicts_ =
@@ -82,9 +99,9 @@ void WorkerPool::start() {
     workers_[i]->thread = std::thread([this, i] { worker_main(i); });
   }
   running_ = true;
-  util::log_debug("runtime: started {} workers (ring={}, batch={})",
-                  workers_.size(), workers_[0]->ring.capacity(),
-                  config_.batch_size);
+  util::log_debug_tagged("runtime", "started {} workers (ring={}, batch={})",
+                         workers_.size(), workers_[0]->ring.capacity(),
+                         config_.batch_size);
 }
 
 void WorkerPool::drain() {
@@ -93,8 +110,7 @@ void WorkerPool::drain() {
     for (;;) {
       const uint64_t submitted =
           worker->submitted.load(std::memory_order_acquire);
-      const uint64_t processed =
-          worker->counters.processed.load(std::memory_order_acquire);
+      const uint64_t processed = worker->counters.processed.value_acquire();
       if (processed >= submitted) break;
       if (!running_) {
         // Not started: nothing will ever drain the ring.
@@ -144,23 +160,23 @@ void WorkerPool::worker_main(size_t index) {
       continue;
     }
     idle = 0;
+    const telemetry::ScopedTimer batch_timer(w.counters.batch_nanos,
+                                             w.burst_sample.next());
     const uint64_t t0 = thread_cpu_micros();
     // The whole burst goes through the middlebox batch path: one clock
     // read, and cookie MACs verified via the descriptor-grouped
     // CookieVerifier::verify_batch instead of per-packet calls.
     w.middlebox.process_batch(std::span(batch.data(), n),
                               std::span(verdicts.data(), n));
-    uint64_t bytes = 0, cookie = 0, verified = 0, replayed = 0, mapped = 0;
+    uint64_t bytes = 0, cookie = 0, mapped = 0;
+    std::array<uint64_t, cookies::kVerifyStatusCount> statuses{};
     for (size_t i = 0; i < n; ++i) {
       net::Packet& packet = batch[i];
       const dataplane::Verdict& verdict = verdicts[i];
       bytes += packet.size();
       if (verdict.verify_status) {
         ++cookie;
-        if (*verdict.verify_status == cookies::VerifyStatus::kOk) ++verified;
-        if (*verdict.verify_status == cookies::VerifyStatus::kReplayed) {
-          ++replayed;
-        }
+        ++statuses[static_cast<size_t>(*verdict.verify_status)];
       }
       if (verdict.mapped_now) ++mapped;
       if (verdicts_) {
@@ -172,23 +188,26 @@ void WorkerPool::worker_main(size_t index) {
         record.mapped_now = verdict.mapped_now;
         record.verify_status = verdict.verify_status;
         if (!verdicts_->try_push(std::move(record))) {
-          w.counters.verdicts_dropped.fetch_add(1, std::memory_order_relaxed);
+          w.counters.verdicts_dropped.inc();
         }
       }
     }
     const uint64_t busy = thread_cpu_micros() - t0;
     auto& c = w.counters;
-    c.packets.fetch_add(n, std::memory_order_relaxed);
-    c.bytes.fetch_add(bytes, std::memory_order_relaxed);
-    c.cookie_packets.fetch_add(cookie, std::memory_order_relaxed);
-    c.verified.fetch_add(verified, std::memory_order_relaxed);
-    c.replayed.fetch_add(replayed, std::memory_order_relaxed);
-    c.mapped.fetch_add(mapped, std::memory_order_relaxed);
-    c.batches.fetch_add(1, std::memory_order_relaxed);
-    c.busy_micros.fetch_add(busy, std::memory_order_relaxed);
+    c.packets.inc(n);
+    c.bytes.inc(bytes);
+    c.cookie_packets.inc(cookie);
+    for (size_t s = 0; s < statuses.size(); ++s) {
+      if (statuses[s] != 0) {
+        c.statuses.inc(static_cast<cookies::VerifyStatus>(s), statuses[s]);
+      }
+    }
+    c.mapped.inc(mapped);
+    c.batches.inc();
+    c.busy_micros.inc(busy);
     // Release: publishes the middlebox/verifier mutations above to
     // whoever acquires `processed` (drain, snapshot readers).
-    c.processed.fetch_add(n, std::memory_order_release);
+    c.processed.inc_release(n);
   }
 }
 
@@ -204,7 +223,7 @@ RuntimeSnapshot WorkerPool::snapshot() const {
 uint64_t WorkerPool::total_verified() const {
   uint64_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->counters.verified.load(std::memory_order_relaxed);
+    total += worker->counters.statuses.count(cookies::VerifyStatus::kOk);
   }
   return total;
 }
@@ -212,7 +231,8 @@ uint64_t WorkerPool::total_verified() const {
 uint64_t WorkerPool::total_replays_detected() const {
   uint64_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->counters.replayed.load(std::memory_order_relaxed);
+    total +=
+        worker->counters.statuses.count(cookies::VerifyStatus::kReplayed);
   }
   return total;
 }

@@ -12,23 +12,21 @@ constexpr util::Timestamp kQuotaWindow =
 
 }  // namespace
 
-std::string to_string(AcquireError e) {
-  switch (e) {
-    case AcquireError::kUnknownService:
-      return "unknown-service";
-    case AcquireError::kAuthRequired:
-      return "auth-required";
-    case AcquireError::kBadCredentials:
-      return "bad-credentials";
-    case AcquireError::kQuotaExceeded:
-      return "quota-exceeded";
-  }
-  return "?";
-}
-
 CookieServer::CookieServer(const util::Clock& clock, uint64_t rng_seed,
                            cookies::CookieVerifier* verifier)
-    : clock_(clock), rng_(rng_seed), verifier_(verifier) {}
+    : clock_(clock), rng_(rng_seed), verifier_(verifier) {
+  registration_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleBuilder& builder) {
+        builder.counter("nnn_server_grants_total",
+                        "Cookie descriptors granted", {}, granted_.value());
+        builder.counter("nnn_server_revocations_total",
+                        "Cookie descriptors revoked", {}, revoked_.value());
+        denied_.collect(builder, "nnn_server_denied_total",
+                        "Acquisition requests denied, by reason",
+                        [](AcquireError e) { return to_string(e); },
+                        "reason");
+      });
+}
 
 void CookieServer::add_service(ServiceOffer offer) {
   services_[offer.name] = std::move(offer);
@@ -83,8 +81,9 @@ AcquireResult CookieServer::acquire(const std::string& service,
                                     const std::string& token) {
   const util::Timestamp now = clock_.now();
   const auto deny = [&](AcquireError error) {
+    denied_.inc(error);
     audit_.append(AuditRecord{now, AuditEvent::kDenied, service, user, 0,
-                              to_string(error)});
+                              std::string(to_string(error))});
     return AcquireResult{std::nullopt, error};
   };
 
@@ -114,6 +113,7 @@ AcquireResult CookieServer::acquire(const std::string& service,
   }
 
   grants_.push_back(Grant{descriptor.cookie_id, service, user, now, false});
+  granted_.inc();
   audit_.append(AuditRecord{now, AuditEvent::kGranted, service, user,
                             descriptor.cookie_id, ""});
   if (verifier_) verifier_->add_descriptor(descriptor);
@@ -124,6 +124,7 @@ bool CookieServer::revoke(cookies::CookieId id, const std::string& reason) {
   for (auto& grant : grants_) {
     if (grant.id != id || grant.revoked) continue;
     grant.revoked = true;
+    revoked_.inc();
     audit_.append(AuditRecord{clock_.now(), AuditEvent::kRevoked,
                               grant.service, grant.user, id, reason});
     if (verifier_) verifier_->revoke(id);

@@ -26,6 +26,8 @@
 #include "cookies/descriptor.h"
 #include "cookies/verifier.h"
 #include "server/audit.h"
+#include "telemetry/labels.h"
+#include "telemetry/view.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -68,8 +70,8 @@ enum class AcquireError : uint8_t {
   kBadCredentials,
   kQuotaExceeded,
 };
-
-std::string to_string(AcquireError e);
+// to_string(AcquireError) lives in telemetry/labels.h so the exporter
+// and the server share one spelling of each label value.
 
 struct AcquireResult {
   std::optional<cookies::CookieDescriptor> descriptor;
@@ -84,8 +86,14 @@ class CookieServer {
   /// dataplane verifier co-managed by this network: issued descriptors
   /// are installed into it and revocations propagate to it. May be
   /// null for a pure control-plane server.
+  ///
+  /// Registers the control-plane families (nnn_server_grants_total,
+  /// nnn_server_revocations_total, nnn_server_denied_total{reason=});
+  /// pinned — the collector holds `this`.
   CookieServer(const util::Clock& clock, uint64_t rng_seed,
                cookies::CookieVerifier* verifier = nullptr);
+  CookieServer(const CookieServer&) = delete;
+  CookieServer& operator=(const CookieServer&) = delete;
 
   // --- service catalog ---
   void add_service(ServiceOffer offer);
@@ -137,6 +145,10 @@ class CookieServer {
   std::unordered_map<std::string, Account> accounts_;  // keyed by user
   std::vector<Grant> grants_;
   AuditLog audit_;
+  telemetry::Counter granted_;
+  telemetry::Counter revoked_;
+  telemetry::StatusCounters<AcquireError, kAcquireErrorCount> denied_;
+  telemetry::Registration registration_;  // last: released first
 };
 
 }  // namespace nnn::server

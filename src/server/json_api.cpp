@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "telemetry/exposition.h"
+
 namespace nnn::server {
 
 namespace {
@@ -27,7 +29,33 @@ json::Value JsonApi::handle(const json::Value& request) {
   if (method == "list_services") return list_services();
   if (method == "acquire") return acquire(request);
   if (method == "revoke") return revoke(request);
+  if (method == "metrics") return metrics();
   return error_response("unknown-method");
+}
+
+JsonApi::HttpResponse JsonApi::handle_http(std::string_view method,
+                                           std::string_view path,
+                                           std::string_view body) {
+  if (method == "GET" && path == "/metrics") {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        telemetry::to_prometheus(registry_.snapshot())};
+  }
+  if (method == "GET" && path == "/metrics.json") {
+    return HttpResponse{200, "application/json",
+                        telemetry::to_json(registry_.snapshot()).dump()};
+  }
+  if (method == "POST") {
+    return HttpResponse{200, "application/json", handle_text(body)};
+  }
+  return HttpResponse{404, "application/json",
+                      error_response("not-found").dump()};
+}
+
+json::Value JsonApi::metrics() const {
+  json::Object obj;
+  obj["ok"] = true;
+  obj["metrics"] = telemetry::to_json(registry_.snapshot());
+  return json::Value(std::move(obj));
 }
 
 json::Value JsonApi::list_services() const {

@@ -15,17 +15,31 @@
 //     -> {"ok":false,"error":"quota-exceeded"} on deny
 //   {"method":"revoke","cookie_id":N,"reason":R?}
 //     -> {"ok":true} / {"ok":false,"error":"unknown-descriptor"}
+//   {"method":"metrics"}
+//     -> {"ok":true,"metrics":{"families":[...]}} — the telemetry
+//        registry snapshot (§6 auditability; same data as /metrics)
+//
+// handle_http() adds the thin HTTP surface monitoring tools expect:
+// GET /metrics (Prometheus text), GET /metrics.json, and POST of a
+// request document to any path.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "server/cookie_server.h"
+#include "telemetry/metrics.h"
 
 namespace nnn::server {
 
 class JsonApi {
  public:
-  explicit JsonApi(CookieServer& server) : server_(server) {}
+  /// Uses `registry` for the metrics routes; defaults to the
+  /// process-wide registry. Tests inject a local one.
+  explicit JsonApi(CookieServer& server,
+                   const telemetry::Registry& registry =
+                       telemetry::Registry::global())
+      : server_(server), registry_(registry) {}
 
   /// Handle one request document; always returns a response document.
   /// Malformed input yields {"ok":false,"error":"bad-request"}.
@@ -33,12 +47,29 @@ class JsonApi {
 
   json::Value handle(const json::Value& request);
 
+  /// Minimal HTTP response for the transport layer to frame.
+  struct HttpResponse {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  /// Route one HTTP request:
+  ///   GET /metrics       -> Prometheus text exposition 0.0.4
+  ///   GET /metrics.json  -> registry snapshot as JSON
+  ///   POST <any path>    -> handle_text(body) (the JSON API proper)
+  /// Anything else is a 404 JSON error document.
+  HttpResponse handle_http(std::string_view method, std::string_view path,
+                           std::string_view body = "");
+
  private:
   json::Value list_services() const;
   json::Value acquire(const json::Value& request);
   json::Value revoke(const json::Value& request);
+  json::Value metrics() const;
 
   CookieServer& server_;
+  const telemetry::Registry& registry_;
 };
 
 }  // namespace nnn::server

@@ -9,7 +9,8 @@ Host::Host(net::IpAddress address, std::string name)
 
 void Host::send(net::Packet packet) {
   if (!uplink_) {
-    util::log_warn("host {}: dropping packet, no uplink", name_);
+    util::log_warn_tagged("sim-host", "{}: dropping packet, no uplink",
+                          name_);
     return;
   }
   uplink_(std::move(packet));

@@ -127,8 +127,9 @@ SiteAccuracy run_cookies(const std::vector<SiteTraffic>& session,
   return tally(session, target, count);
 }
 
-baselines::DpiEngine make_ndpi_catalog() {
-  baselines::DpiEngine dpi;
+// DpiEngine is pinned (its telemetry collector holds `this`), so the
+// catalog is loaded into a caller-owned engine instead of returned.
+void load_ndpi_catalog(baselines::DpiEngine& dpi) {
   // Popular-app signatures only; no rule exists for skai.gr ("it had
   // no rules for it", §5.4). The youtube rule includes the embedded-
   // player fingerprint that over-matches other sites.
@@ -142,12 +143,12 @@ baselines::DpiEngine make_ndpi_catalog() {
                            "ytimg.com"};
   youtube.payload_substrings = {"youtube.com/embed"};
   dpi.add_rule(youtube);
-  return dpi;
 }
 
 SiteAccuracy run_dpi(const std::vector<SiteTraffic>& session,
                      const std::string& target) {
-  baselines::DpiEngine dpi = make_ndpi_catalog();
+  baselines::DpiEngine dpi;
+  load_ndpi_catalog(dpi);
   sim::Nat nat(net::IpAddress::v4(203, 0, 113, 7));
   BoostCount count;
   for (const auto& site : session) {

@@ -1,0 +1,31 @@
+// Exporters: registry snapshots → Prometheus text / json::Value.
+//
+// Both render the same Snapshot, deterministically (families sorted by
+// name, samples by label set — the golden-file tests diff the output
+// byte for byte). Prometheus output follows text exposition format
+// 0.0.4: # HELP / # TYPE per family, cumulative `le` buckets plus
+// +Inf, _sum and _count for histograms. The JSON form mirrors the
+// Snapshot structure for the repo's own tooling (regulator audits,
+// the cookie server's /metrics.json route).
+#pragma once
+
+#include <string>
+
+#include "json/json.h"
+#include "telemetry/metrics.h"
+
+namespace nnn::telemetry {
+
+/// Prometheus text exposition format 0.0.4. Serve with content type
+/// "text/plain; version=0.0.4; charset=utf-8".
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// {"families": [{"name", "type", "help", "samples": [...]}]}.
+/// Counter/gauge samples carry {"labels", "value"}; histograms carry
+/// {"labels", "count", "sum", "buckets": [{"le", "count"}]} with
+/// non-cumulative per-bucket counts. Note json numbers are doubles:
+/// counters past 2^53 lose precision in this form (the Prometheus
+/// exporter does not).
+json::Value to_json(const Snapshot& snapshot);
+
+}  // namespace nnn::telemetry

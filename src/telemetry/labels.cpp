@@ -1,0 +1,97 @@
+#include "telemetry/labels.h"
+
+#include "cookies/verifier.h"
+#include "dataplane/hw_filter.h"
+#include "dataplane/sharding.h"
+#include "server/cookie_server.h"
+#include "util/logging.h"
+
+namespace nnn::cookies {
+
+std::string_view to_string(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kOk:
+      return "ok";
+    case VerifyStatus::kUnknownId:
+      return "unknown-id";
+    case VerifyStatus::kBadSignature:
+      return "bad-signature";
+    case VerifyStatus::kStaleTimestamp:
+      return "stale-timestamp";
+    case VerifyStatus::kReplayed:
+      return "replayed";
+    case VerifyStatus::kDescriptorExpired:
+      return "descriptor-expired";
+    case VerifyStatus::kDescriptorRevoked:
+      return "descriptor-revoked";
+    case VerifyStatus::kMalformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+}  // namespace nnn::cookies
+
+namespace nnn::dataplane {
+
+std::string_view to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kFlowHash:
+      return "flow-hash";
+    case DispatchPolicy::kDescriptorAffinity:
+      return "descriptor-affinity";
+  }
+  return "?";
+}
+
+std::string_view to_string(HwDecision d) {
+  switch (d) {
+    case HwDecision::kFastPath:
+      return "fast-path";
+    case HwDecision::kToSoftware:
+      return "to-software";
+    case HwDecision::kRejectUnknownId:
+      return "reject-unknown-id";
+    case HwDecision::kRejectStale:
+      return "reject-stale";
+  }
+  return "?";
+}
+
+}  // namespace nnn::dataplane
+
+namespace nnn::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace nnn::util
+
+namespace nnn::server {
+
+std::string_view to_string(AcquireError e) {
+  switch (e) {
+    case AcquireError::kUnknownService:
+      return "unknown-service";
+    case AcquireError::kAuthRequired:
+      return "auth-required";
+    case AcquireError::kBadCredentials:
+      return "bad-credentials";
+    case AcquireError::kQuotaExceeded:
+      return "quota-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace nnn::server

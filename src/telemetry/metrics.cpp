@@ -1,0 +1,330 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "telemetry/labels.h"
+#include "util/logging.h"
+
+namespace nnn::telemetry {
+
+// ---------------------------------------------------------------------------
+// ShardedCounter
+// ---------------------------------------------------------------------------
+
+size_t ShardedCounter::shard_index() noexcept {
+  // One hash of the thread id, computed once per thread. Distinct
+  // threads usually land on distinct cache lines; collisions only
+  // cost a shared fetch_add.
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kShards;
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+uint64_t monotonic_nanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+std::atomic<bool> g_timers_enabled{true};
+}  // namespace
+
+bool timers_enabled() {
+  return g_timers_enabled.load(std::memory_order_relaxed);
+}
+
+void set_timers_enabled(bool on) {
+  g_timers_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Labels and samples
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        kv) {
+  kv_.reserve(kv.size());
+  for (const auto& [key, value] : kv) add(key, value);
+}
+
+void LabelSet::add(std::string_view key, std::string_view value) {
+  auto pair = std::pair<std::string, std::string>(key, value);
+  kv_.insert(std::lower_bound(kv_.begin(), kv_.end(), pair),
+             std::move(pair));
+}
+
+bool LabelSet::contains_all(const LabelSet& subset) const {
+  for (const auto& pair : subset.kv_) {
+    if (!std::binary_search(kv_.begin(), kv_.end(), pair)) return false;
+  }
+  return true;
+}
+
+const Sample* Family::find(const LabelSet& labels) const {
+  for (const auto& sample : samples) {
+    if (sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+const Family* Snapshot::find(std::string_view name) const {
+  for (const auto& family : families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+uint64_t Snapshot::counter_total(std::string_view name,
+                                 const LabelSet& labels) const {
+  const Family* family = find(name);
+  if (!family) return 0;
+  uint64_t total = 0;
+  for (const auto& sample : family->samples) {
+    if (sample.labels.contains_all(labels)) total += sample.counter_value;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// SampleBuilder
+// ---------------------------------------------------------------------------
+
+Family& SampleBuilder::family_for(std::string_view name,
+                                  std::string_view help, MetricType type) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.name = std::string(name);
+    family.help = std::string(help);
+    family.type = type;
+    it = families_.emplace(family.name, std::move(family)).first;
+  }
+  return it->second;
+}
+
+void SampleBuilder::merge(Family& family, Sample&& sample) {
+  // Instances sharing a family and label set sum into one series
+  // (four workers' verifiers → one process-wide nnn_verify_total).
+  for (auto& existing : family.samples) {
+    if (existing.labels != sample.labels) continue;
+    switch (family.type) {
+      case MetricType::kCounter:
+        existing.counter_value += sample.counter_value;
+        break;
+      case MetricType::kGauge:
+        existing.gauge_value += sample.gauge_value;
+        break;
+      case MetricType::kHistogram: {
+        existing.histogram.count += sample.histogram.count;
+        existing.histogram.sum += sample.histogram.sum;
+        // Both bucket lists are sorted by upper bound; merge-sum.
+        std::vector<std::pair<uint64_t, uint64_t>> merged;
+        merged.reserve(existing.histogram.buckets.size() +
+                       sample.histogram.buckets.size());
+        auto a = existing.histogram.buckets.begin();
+        const auto a_end = existing.histogram.buckets.end();
+        auto b = sample.histogram.buckets.begin();
+        const auto b_end = sample.histogram.buckets.end();
+        while (a != a_end || b != b_end) {
+          if (b == b_end || (a != a_end && a->first < b->first)) {
+            merged.push_back(*a++);
+          } else if (a == a_end || b->first < a->first) {
+            merged.push_back(*b++);
+          } else {
+            merged.emplace_back(a->first, a->second + b->second);
+            ++a;
+            ++b;
+          }
+        }
+        existing.histogram.buckets = std::move(merged);
+        break;
+      }
+    }
+    return;
+  }
+  family.samples.push_back(std::move(sample));
+}
+
+void SampleBuilder::counter(std::string_view family, std::string_view help,
+                            LabelSet labels, uint64_t value) {
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.counter_value = value;
+  merge(family_for(family, help, MetricType::kCounter), std::move(sample));
+}
+
+void SampleBuilder::gauge(std::string_view family, std::string_view help,
+                          LabelSet labels, int64_t value) {
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.gauge_value = value;
+  merge(family_for(family, help, MetricType::kGauge), std::move(sample));
+}
+
+void SampleBuilder::histogram(std::string_view family,
+                              std::string_view help, LabelSet labels,
+                              const Histogram& hist) {
+  Sample sample;
+  sample.labels = std::move(labels);
+  uint64_t count = 0;
+  for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t n = hist.bucket_count(i);
+    if (n == 0) continue;
+    count += n;
+    sample.histogram.buckets.emplace_back(Histogram::bucket_upper_bound(i),
+                                          n);
+  }
+  // Count derived from the same bucket reads, so count == Σ buckets
+  // even while a writer races the snapshot.
+  sample.histogram.count = count;
+  sample.histogram.sum = hist.sum();
+  merge(family_for(family, help, MetricType::kHistogram),
+        std::move(sample));
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+Registration::Registration(Registration&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+Registration& Registration::operator=(Registration&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Registration::~Registration() {
+  release();
+}
+
+void Registration::release() {
+  if (registry_ != nullptr) {
+    registry_->remove(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registration Registry::add_collector(Collector collector) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return Registration(this, id);
+}
+
+void Registry::remove(uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(collectors_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+size_t Registry::collector_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return collectors_.size();
+}
+
+Snapshot Registry::snapshot() const {
+  SampleBuilder builder;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, collector] : collectors_) {
+      collector(builder);
+    }
+  }
+  Snapshot snapshot;
+  snapshot.families.reserve(builder.families_.size());
+  for (auto& [name, family] : builder.families_) {
+    std::sort(family.samples.begin(), family.samples.end(),
+              [](const Sample& a, const Sample& b) {
+                return a.labels < b.labels;
+              });
+    snapshot.families.push_back(std::move(family));
+  }
+  return snapshot;
+}
+
+namespace {
+
+// Exports util::Logger's level/component tallies. The logger counts
+// BEFORE its level filter, so warns a bench-quiet kError threshold
+// suppressed still show here — the "silent fail-open" audit signal.
+void collect_log_counts(SampleBuilder& builder) {
+  static constexpr std::string_view kLevelHelp =
+      "Log events by level, counted before level filtering";
+  static constexpr std::string_view kComponentHelp =
+      "Log events by component and level, counted before level filtering";
+  const auto& logger = util::Logger::instance();
+  for (size_t i = 0; i < util::Logger::kLevels; ++i) {
+    const auto level = static_cast<util::LogLevel>(i);
+    builder.counter("nnn_log_total", kLevelHelp,
+                    LabelSet{{"level", util::to_string(level)}},
+                    logger.count(level));
+  }
+  logger.visit_component_counts(
+      [&builder](std::string_view component,
+                 const util::Logger::LevelCounts& counts) {
+        for (size_t i = 0; i < util::Logger::kLevels; ++i) {
+          if (counts[i] == 0) continue;
+          const auto level = static_cast<util::LogLevel>(i);
+          builder.counter(
+              "nnn_log_component_total", kComponentHelp,
+              LabelSet{{"component", component},
+                       {"level", util::to_string(level)}},
+              counts[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  // Leaked on purpose: components of any storage duration may hold a
+  // Registration, and deregistering against a destroyed registry at
+  // exit would be undefined. The logger collector rides along for the
+  // life of the process.
+  static Registry* instance = [] {
+    auto* registry = new Registry();
+    static Registration log_registration =
+        registry->add_collector(collect_log_counts);
+    return registry;
+  }();
+  return *instance;
+}
+
+}  // namespace nnn::telemetry

@@ -43,13 +43,73 @@ void Logger::set_sink(Sink sink) {
   }
 }
 
-void Logger::log(LogLevel level, std::string_view msg) {
-  if (level < level_.load(std::memory_order_relaxed)) return;
+void Logger::count_event(LogLevel level, std::string_view component) {
+  const auto i = static_cast<size_t>(level);
+  if (i < kLevels) {
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!component.empty()) {
+    const std::lock_guard<std::mutex> lock(counts_mutex_);
+    auto it = component_counts_.find(component);
+    if (it == component_counts_.end()) {
+      it = component_counts_.emplace(std::string(component), LevelCounts{})
+               .first;
+    }
+    if (i < kLevels) ++it->second[i];
+  }
+}
+
+void Logger::emit(LogLevel level, std::string_view component,
+                  std::string_view msg) {
   // The sink runs under the mutex: slower than snapshotting the
   // std::function, but it guarantees a test's capture sink is never
   // invoked after set_sink() restored the default.
+  if (component.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink_(level, msg);
+    return;
+  }
+  std::string tagged;
+  tagged.reserve(component.size() + 2 + msg.size());
+  tagged.append(component);
+  tagged.append(": ");
+  tagged.append(msg);
   const std::lock_guard<std::mutex> lock(mutex_);
-  sink_(level, msg);
+  sink_(level, tagged);
+}
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  count_event(level, {});
+  if (level < level_.load(std::memory_order_relaxed)) return;
+  emit(level, {}, msg);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  count_event(level, component);
+  if (level < level_.load(std::memory_order_relaxed)) return;
+  emit(level, component, msg);
+}
+
+uint64_t Logger::count(LogLevel level) const {
+  const auto i = static_cast<size_t>(level);
+  if (i >= kLevels) return 0;
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Logger::visit_component_counts(
+    const std::function<void(std::string_view, const LevelCounts&)>& fn)
+    const {
+  const std::lock_guard<std::mutex> lock(counts_mutex_);
+  for (const auto& [component, counts] : component_counts_) {
+    fn(component, counts);
+  }
+}
+
+void Logger::reset_counts() {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(counts_mutex_);
+  component_counts_.clear();
 }
 
 }  // namespace nnn::util

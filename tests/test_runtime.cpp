@@ -16,6 +16,8 @@
 #include "runtime/mpsc_ring.h"
 #include "runtime/spsc_ring.h"
 #include "runtime/worker_pool.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -469,6 +471,62 @@ TEST(Runtime, DestructorJoinsRunningPool) {
                                            WorkerPool::Config{.workers = 2});
   pool->start();
   pool.reset();  // must join, not crash or leak threads
+}
+
+// --- Concurrent telemetry export (TSan target) ---------------------
+
+/// Workers hammer their counters while a reader thread repeatedly
+/// snapshots the global registry and renders both exporters — the
+/// scrape-during-load case a /metrics endpoint lives in. TSan verifies
+/// the relaxed-atomic cells and the registry mutex discipline.
+TEST(Runtime, RegistrySnapshotsRaceFreeWithRunningPool) {
+  WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 1024;
+  PoolFixture fx(config);
+  fx.pool.add_descriptor(make_descriptor(7));
+  Dispatcher dispatcher(fx.pool, {.policy = DispatchPolicy::kFlowHash});
+
+  util::ManualClock mint_clock(fx.clock.now());
+  cookies::CookieGenerator gen(make_descriptor(7), mint_clock, 3);
+
+  fx.pool.start();
+  std::atomic<bool> done{false};
+  std::thread reader([&done] {
+    uint64_t last_packets = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = telemetry::Registry::global().snapshot();
+      const uint64_t packets = snap.counter_total("nnn_pool_packets_total");
+      EXPECT_GE(packets, last_packets) << "counter went backwards";
+      last_packets = packets;
+      // Render both exporters too: they read histogram buckets.
+      telemetry::to_prometheus(snap);
+      telemetry::to_json(snap);
+    }
+  });
+  constexpr uint32_t kPackets = 20'000;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    if (i % 10 == 0) mint_clock.set(fx.clock.now());
+    net::Packet p = flow_packet(i % 64, i);
+    if (i % 4 == 0) {
+      cookies::attach(p, gen.generate(), cookies::Transport::kUdpHeader);
+    }
+    dispatcher.dispatch_blocking(std::move(p));
+  }
+  dispatcher.drain();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  fx.pool.stop();
+
+  const auto totals = fx.pool.snapshot().totals();
+  EXPECT_EQ(totals.packets, kPackets);
+  // Quiescent now: the registry and the snapshot agree exactly.
+  const auto snap = telemetry::Registry::global().snapshot();
+  EXPECT_EQ(snap.counter_total("nnn_pool_packets_total"), totals.packets);
+  EXPECT_EQ(snap.counter_total("nnn_pool_verify_total",
+                               telemetry::LabelSet{{"status", "ok"}}),
+            totals.verified);
+  EXPECT_GE(snap.counter_total("nnn_pool_batches_total"), 1u);
 }
 
 // --- Thread-safe logger (satellite) --------------------------------
