@@ -8,6 +8,7 @@
 // confirm to the client that the network acted on its request.
 #include <cstdio>
 
+#include "controlplane/local_subscriber.h"
 #include "cookies/delegation.h"
 #include "cookies/generator.h"
 #include "cookies/transport.h"
@@ -20,7 +21,9 @@ int main() {
   util::SystemClock clock;
 
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer isp(clock, 7, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer isp(clock, 7, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "Boost";
   offer.service_data = "Boost";

@@ -12,6 +12,7 @@
 //      stops the service.
 #include <cstdio>
 
+#include "controlplane/local_subscriber.h"
 #include "cookies/generator.h"
 #include "cookies/transport.h"
 #include "dataplane/middlebox.h"
@@ -25,8 +26,14 @@ int main() {
   util::SystemClock clock;
 
   // --- 1. the network side ---
+  // The server publishes grants/revocations into a descriptor log; the
+  // verifier subscribes (here in-process; remote middleboxes run a
+  // controlplane::SyncClient over the wire instead).
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer cookie_server(clock, /*rng_seed=*/2024, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer cookie_server(clock, /*rng_seed=*/2024,
+                                     &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer boost;
   boost.name = "Boost";
   boost.description = "fast lane for traffic you choose";

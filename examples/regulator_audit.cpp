@@ -8,12 +8,24 @@
 // months (SomaFM), and never answers another (RockRadio.gr). The
 // regulator reads the public database and the violation list — no
 // subpoenas, no per-case technical investigation.
+//
+// The second half audits the dataplane side of the same promise: a
+// revocation is only as good as its propagation. Two middleboxes sync
+// descriptor tables from the operator's control plane; one link
+// wedges, the operator revokes a grant, and the regulator catches the
+// wedged box — stale past its grace period AND still enforcing the
+// revoked descriptor — purely from the nnn_controlplane_* metrics.
 #include <cstdio>
+#include <string_view>
 
+#include "controlplane/epoch.h"
+#include "controlplane/sync_client.h"
+#include "controlplane/sync_server.h"
 #include "json/json.h"
 #include "server/compliance.h"
 #include "server/cookie_server.h"
 #include "server/json_api.h"
+#include "telemetry/metrics.h"
 #include "util/clock.h"
 
 int main() {
@@ -21,8 +33,8 @@ int main() {
   constexpr util::Timestamp kDay = 24LL * 3600 * util::kSecond;
 
   util::ManualClock clock(0);
-  cookies::CookieVerifier verifier(clock);
-  server::CookieServer operator_server(clock, 314, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer operator_server(clock, 314, &descriptor_log);
   server::ServiceOffer program;
   program.name = "MusicFreedom";
   program.service_data = "zero-rate-music";
@@ -42,6 +54,7 @@ int main() {
       {"rockradio.example", 20 * kDay, -1},            // never answered
   };
 
+  cookies::CookieId bigstream_id = 0;
   for (const auto& c : cases) {
     clock.set(c.requested);
     fcc.record_request(c.provider, "MusicFreedom", c.requested);
@@ -49,8 +62,11 @@ int main() {
       clock.set(c.granted);
       // The technical act is one descriptor grant — cookies removed
       // the engineering excuse.
-      operator_server.acquire("MusicFreedom", c.provider);
+      const auto result = operator_server.acquire("MusicFreedom", c.provider);
       fcc.record_grant(c.provider, "MusicFreedom", c.granted);
+      if (std::string_view(c.provider) == "bigstream.example") {
+        bigstream_id = result.descriptor->cookie_id;
+      }
     }
   }
 
@@ -101,6 +117,89 @@ int main() {
                     static_cast<long long>(
                         sample.find("value")->as_int()));
       }
+    }
+  }
+
+  // === does a revocation actually reach the dataplane? ===
+  //
+  // Two middleboxes pull the operator's descriptor log. cmts-7's
+  // control channel works; cmts-9's wedges right before a revocation.
+  // The regulator needs no packet capture: version lag and the stale
+  // flag are exported per client, and a stale box whose table still
+  // holds the revoked grant live is the violation.
+  controlplane::SyncServer sync_server(descriptor_log);
+
+  bool cmts9_link_up = true;
+  controlplane::TablePublisher cmts7_tables;
+  controlplane::TablePublisher cmts9_tables;
+  controlplane::SyncClient* cmts7_ptr = nullptr;
+  controlplane::SyncClient* cmts9_ptr = nullptr;
+
+  controlplane::SyncClient::Config sync_config;
+  sync_config.stale_grace = 2 * util::kSecond;  // short, for the demo
+  sync_config.client_id = 7;
+  controlplane::SyncClient cmts7(
+      clock, cmts7_tables, sync_config, [&](util::Bytes request) {
+        if (auto reply = sync_server.handle(request)) {
+          cmts7_ptr->on_datagram(*reply);
+        }
+      });
+  cmts7_ptr = &cmts7;
+  sync_config.client_id = 9;
+  sync_config.rng_seed = 0xbad1143;
+  controlplane::SyncClient cmts9(
+      clock, cmts9_tables, sync_config, [&](util::Bytes request) {
+        if (!cmts9_link_up) return;  // wedged: request never arrives
+        if (auto reply = sync_server.handle(request)) {
+          cmts9_ptr->on_datagram(*reply);
+        }
+      });
+  cmts9_ptr = &cmts9;
+
+  cmts7.start();
+  cmts9.start();  // both snapshot the full table while the link works
+
+  cmts9_link_up = false;
+  operator_server.revoke(bigstream_id, "regulator order");
+  for (int i = 0; i < 40; ++i) {  // 4 s: past grace, several retries
+    clock.advance(100 * util::kMillisecond);
+    cmts7.tick();
+    cmts9.tick();
+  }
+
+  std::printf("\n=== middlebox propagation audit "
+              "(nnn_controlplane_* metrics) ===\n");
+  const auto snapshot = telemetry::Registry::global().snapshot();
+  auto client_gauge = [&snapshot](std::string_view family,
+                                  const char* client) -> long long {
+    const auto* fam = snapshot.find(family);
+    const auto* sample =
+        fam ? fam->find(telemetry::LabelSet{{"client", client}}) : nullptr;
+    return sample ? sample->gauge_value : 0;
+  };
+
+  struct MiddleboxView {
+    const char* name;
+    const char* client;
+    const controlplane::TablePublisher* tables;
+  };
+  const MiddleboxView views[] = {{"cmts-7", "7", &cmts7_tables},
+                                 {"cmts-9", "9", &cmts9_tables}};
+  for (const auto& view : views) {
+    const long long lag =
+        client_gauge("nnn_controlplane_version_lag", view.client);
+    const bool stale =
+        client_gauge("nnn_controlplane_stale", view.client) != 0;
+    const auto* table = view.tables->peek();
+    const auto* entry = table ? table->find(bigstream_id) : nullptr;
+    const bool enforcing_revoked = entry != nullptr && !entry->revoked;
+    std::printf("  %-8s version_lag=%lld stale=%d revoked grant live=%d\n",
+                view.name, lag, stale ? 1 : 0, enforcing_revoked ? 1 : 0);
+    if (stale && enforcing_revoked) {
+      std::printf("  %-8s ^^^ VIOLATION: out of sync past its grace "
+                  "period and still\n           enforcing the revoked "
+                  "bigstream.example descriptor\n",
+                  "");
     }
   }
 

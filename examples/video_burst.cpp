@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "boost_lane/daemon.h"
+#include "controlplane/local_subscriber.h"
 #include "cookies/generator.h"
 #include "cookies/transport.h"
 #include "net/http.h"
@@ -46,7 +47,9 @@ PlaybackReport run_session(bool allow_bursts) {
 
   // ISP machinery: per-burst quota of 4 per session.
   cookies::CookieVerifier verifier(loop.clock());
-  server::CookieServer isp(loop.clock(), 77, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer isp(loop.clock(), 77, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer burst_offer;
   burst_offer.name = "Burst";
   burst_offer.service_data = "Boost";

@@ -5,6 +5,7 @@
 // counters per IP, and the billing ledger shows free vs charged bytes.
 #include <cstdio>
 
+#include "controlplane/local_subscriber.h"
 #include "cookies/generator.h"
 #include "cookies/transport.h"
 #include "dataplane/middlebox.h"
@@ -21,7 +22,9 @@ int main() {
 
   // The carrier's control plane: one zero-rating offer, login required.
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer carrier(clock, 99, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer carrier(clock, 99, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "ChooseYourApp";
   offer.description = "zero-rate any one application you pick";

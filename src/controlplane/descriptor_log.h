@@ -1,0 +1,134 @@
+// The server-side source of truth for descriptor distribution.
+//
+// Every grant, revocation, and expiry gets a monotonically increasing
+// version number; middleboxes sync by version ("what changed since
+// V?"). The log keeps a bounded tail of recent updates for delta
+// service and can always materialize a full snapshot, so a client that
+// fell behind a compaction gets the table wholesale instead of an
+// unservable gap. This is the §4.5 story made operational: "the
+// network can similarly stop matching against a cookie" requires the
+// *stop* to reach every enforcement point, and the version number is
+// what lets an auditor (examples/regulator_audit) measure how far any
+// middlebox lags the authority.
+//
+// Thread safety: all members are safe to call from any thread (a
+// mutex guards state — this is the control plane's cold path, not the
+// packet path). Observers registered with subscribe() are invoked
+// after the state mutex is released, on the appending thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cookies/descriptor.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace nnn::controlplane {
+
+enum class UpdateOp : uint8_t {
+  kAdd = 0,     // grant (or re-grant: un-revokes and replaces)
+  kRevoke = 1,  // stop matching; tombstone survives
+  kRemove = 2,  // forget entirely (expiry/garbage collection)
+};
+
+/// One versioned log record. `descriptor` is meaningful only for kAdd
+/// (revoke/remove carry just the id).
+struct Update {
+  uint64_t version = 0;
+  UpdateOp op = UpdateOp::kAdd;
+  cookies::CookieId id = 0;
+  cookies::CookieDescriptor descriptor;
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+/// Materialized full table at one version.
+struct Snapshot {
+  uint64_t version = 0;
+  std::vector<cookies::CookieDescriptor> live;
+  std::vector<cookies::CookieId> revoked;
+};
+
+class DescriptorLog {
+ public:
+  using Observer = std::function<void(const Update&)>;
+
+  DescriptorLog();
+  DescriptorLog(const DescriptorLog&) = delete;
+  DescriptorLog& operator=(const DescriptorLog&) = delete;
+
+  /// Current (latest assigned) version; 0 before the first update.
+  uint64_t version() const;
+
+  /// Append a grant. Returns the assigned version.
+  uint64_t append_add(cookies::CookieDescriptor descriptor);
+  /// Append a revocation (id need not be live — the tombstone still
+  /// propagates, covering revoke-before-sync races).
+  uint64_t append_revoke(cookies::CookieId id);
+  /// Append a removal (drops the live entry and any tombstone).
+  uint64_t append_remove(cookies::CookieId id);
+
+  /// Append kRemove for every live descriptor whose expiry has passed.
+  /// Returns how many were expired. The cookie server calls this
+  /// opportunistically so expiries propagate like any other update.
+  size_t expire_due(util::Timestamp now);
+
+  /// Full table at the current version.
+  Snapshot snapshot() const;
+
+  /// Updates in (from, version()], oldest first. nullopt when `from`
+  /// predates the retained tail (compacted away) — the caller must
+  /// fall back to a snapshot. An in-range `from` equal to version()
+  /// yields an empty vector.
+  std::optional<std::vector<Update>> delta_since(uint64_t from) const;
+
+  /// Drop retained updates beyond the newest `keep_updates` (delta
+  /// requests older than the tail then fall back to snapshots).
+  void compact(size_t keep_updates);
+
+  /// Observe every appended update (after version assignment). Returns
+  /// a token for unsubscribe(). Observers run on the appending thread
+  /// with no log mutex held; they may call back into the log.
+  uint64_t subscribe(Observer observer);
+  void unsubscribe(uint64_t token);
+
+  size_t live_count() const;
+  size_t retained_updates() const;
+
+ private:
+  uint64_t append(UpdateOp op, cookies::CookieId id,
+                  cookies::CookieDescriptor descriptor);
+  void notify(const Update& update);
+  void collect(telemetry::SampleBuilder& builder) const;
+
+  mutable std::mutex mutex_;
+  uint64_t version_ = 0;
+  /// Retained update tail; updates_.front().version ==
+  /// tail_start_version_ + 1 when non-empty.
+  std::deque<Update> updates_;
+  uint64_t tail_start_version_ = 0;
+  /// Current live table and tombstone set (snapshot source).
+  std::unordered_map<cookies::CookieId, cookies::CookieDescriptor> live_;
+  std::unordered_set<cookies::CookieId> revoked_;
+
+  std::mutex observers_mutex_;
+  std::map<uint64_t, Observer> observers_;
+  uint64_t next_token_ = 1;
+
+  telemetry::Gauge version_gauge_;
+  telemetry::Gauge live_gauge_;
+  telemetry::Counter adds_;
+  telemetry::Counter revokes_;
+  telemetry::Counter removes_;
+  telemetry::Registration registration_;  // last: deregisters first
+};
+
+}  // namespace nnn::controlplane

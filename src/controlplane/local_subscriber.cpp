@@ -1,0 +1,46 @@
+#include "controlplane/local_subscriber.h"
+
+#include <utility>
+
+namespace nnn::controlplane {
+
+LocalSubscriber::LocalSubscriber(DescriptorLog& log,
+                                 cookies::CookieVerifier& verifier)
+    : log_(log), verifier_(verifier) {
+  Snapshot snap = log.snapshot();
+  for (auto& descriptor : snap.live) {
+    verifier_.add_descriptor(std::move(descriptor));
+  }
+  for (const cookies::CookieId id : snap.revoked) {
+    // Tombstone for a revocation that predates this subscriber: a
+    // stub descriptor (no key) whose only job is to verify as revoked.
+    cookies::CookieDescriptor stub;
+    stub.cookie_id = id;
+    verifier_.add_descriptor(std::move(stub));
+    verifier_.revoke(id);
+  }
+  token_ = log.subscribe([this](const Update& update) { apply(update); });
+}
+
+LocalSubscriber::~LocalSubscriber() { log_.unsubscribe(token_); }
+
+void LocalSubscriber::apply(const Update& update) {
+  switch (update.op) {
+    case UpdateOp::kAdd:
+      verifier_.add_descriptor(update.descriptor);
+      break;
+    case UpdateOp::kRevoke:
+      if (!verifier_.revoke(update.id)) {
+        cookies::CookieDescriptor stub;
+        stub.cookie_id = update.id;
+        verifier_.add_descriptor(std::move(stub));
+        verifier_.revoke(update.id);
+      }
+      break;
+    case UpdateOp::kRemove:
+      verifier_.remove(update.id);
+      break;
+  }
+}
+
+}  // namespace nnn::controlplane

@@ -1,0 +1,35 @@
+// In-process descriptor distribution for co-located deployments.
+//
+// The examples and studies run the cookie server and one middlebox in
+// a single process and thread. They still must not reach into the
+// verifier with a back-pointer (the bug this subsystem removes);
+// instead a LocalSubscriber replays the log's current snapshot into a
+// verifier and then forwards every subsequent update — the same
+// add/revoke/remove stream a remote SyncClient would deliver, minus
+// the wire. Single-threaded: the observer runs on the thread that
+// appends to the log, which must be the thread that owns the verifier.
+#pragma once
+
+#include "controlplane/descriptor_log.h"
+#include "cookies/verifier.h"
+
+namespace nnn::controlplane {
+
+class LocalSubscriber {
+ public:
+  /// Replays log's snapshot into `verifier`, then tracks updates until
+  /// destruction. Both must outlive the subscriber.
+  LocalSubscriber(DescriptorLog& log, cookies::CookieVerifier& verifier);
+  ~LocalSubscriber();
+  LocalSubscriber(const LocalSubscriber&) = delete;
+  LocalSubscriber& operator=(const LocalSubscriber&) = delete;
+
+ private:
+  void apply(const Update& update);
+
+  DescriptorLog& log_;
+  cookies::CookieVerifier& verifier_;
+  uint64_t token_ = 0;
+};
+
+}  // namespace nnn::controlplane

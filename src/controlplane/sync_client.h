@@ -1,0 +1,125 @@
+// Middlebox endpoint of the snapshot/delta sync protocol.
+//
+// The client owns the pull loop: poll the server at a steady interval,
+// apply whatever comes back (snapshot -> mirror reset, delta -> mirror
+// apply, heartbeat -> freshness only), and publish a rebuilt table
+// through the TablePublisher whenever the mirror changed. Transport is
+// a callback (send one request datagram); responses come back through
+// on_datagram(). The loop is driven by tick(now) — callers (sim event
+// loops, a thread, an example's main) decide the cadence, the client
+// just reports when it next wants to run via next_wakeup().
+//
+// Failure behaviour, per the paper's fail-open stance:
+//   - a request with no response within response_timeout counts as a
+//     retry; the timeout then grows exponentially with +/-jitter so a
+//     recovering server is not met by a synchronized client stampede;
+//   - while the channel is down the last published table keeps
+//     enforcing (stale-while-revalidate) — dropping to "no table"
+//     would turn a control-plane blip into a dataplane outage;
+//   - past stale_grace without a successful exchange the client flags
+//     itself stale (nnn_controlplane_stale gauge). It STILL keeps the
+//     last table — fail-open stays the dispatcher's policy — but
+//     monitoring (regulator_audit) can now see that this middlebox may
+//     be enforcing revoked descriptors.
+//
+// Threading: single-threaded. tick()/on_datagram() run on one control
+// thread; only the publisher hand-off crosses threads (and that is the
+// epoch machinery's job).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "controlplane/epoch.h"
+#include "controlplane/messages.h"
+#include "controlplane/table_mirror.h"
+#include "telemetry/metrics.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace nnn::controlplane {
+
+class SyncClient {
+ public:
+  using SendFn = std::function<void(util::Bytes)>;
+
+  struct Config {
+    uint64_t client_id = 0;
+    /// Steady-state poll cadence.
+    util::Timestamp poll_interval = 100 * util::kMillisecond;
+    /// A request unanswered this long is a loss; retry with backoff.
+    util::Timestamp response_timeout = 250 * util::kMillisecond;
+    /// First retry backoff; doubles per consecutive failure.
+    util::Timestamp backoff_base = 250 * util::kMillisecond;
+    util::Timestamp backoff_max = 5 * util::kSecond;
+    /// +/- fraction applied to poll and backoff delays.
+    double jitter = 0.2;
+    /// No successful exchange for this long => stale (see header).
+    util::Timestamp stale_grace = 10 * util::kSecond;
+    uint64_t rng_seed = 0x6e636f6f6b6965;  // distinct per client in prod
+  };
+
+  SyncClient(const util::Clock& clock, TablePublisher& publisher,
+             Config config, SendFn send);
+  SyncClient(const SyncClient&) = delete;
+  SyncClient& operator=(const SyncClient&) = delete;
+
+  /// Send the first poll immediately.
+  void start();
+
+  /// Feed one response datagram from the transport.
+  void on_datagram(util::BytesView datagram);
+
+  /// Drive timers: send the next poll when due, count a timeout when a
+  /// request went unanswered, refresh the stale flag.
+  void tick();
+
+  /// When tick() next has work (absolute time). The driver may call
+  /// tick() earlier or later; the client only compares against now().
+  util::Timestamp next_wakeup() const;
+
+  uint64_t applied_version() const { return mirror_.version(); }
+  /// Latest version the server reported (>= applied until caught up).
+  uint64_t server_version() const { return server_version_; }
+  bool stale() const { return stale_; }
+  uint64_t retries() const { return retries_.value(); }
+
+ private:
+  void send_request(util::Timestamp now);
+  void on_success(util::Timestamp now);
+  void publish();
+  util::Timestamp with_jitter(util::Timestamp base);
+  void collect(telemetry::SampleBuilder& builder) const;
+
+  const util::Clock& clock_;
+  TablePublisher& publisher_;
+  const Config config_;
+  SendFn send_;
+  TableMirror mirror_;
+  util::Rng rng_;
+
+  bool started_ = false;
+  bool awaiting_response_ = false;
+  uint64_t server_version_ = 0;
+  uint32_t consecutive_failures_ = 0;
+  bool stale_ = false;
+  util::Timestamp last_request_ = 0;
+  util::Timestamp current_timeout_ = 0;
+  util::Timestamp next_poll_ = 0;
+  util::Timestamp last_success_ = 0;
+
+  telemetry::Gauge version_lag_;
+  telemetry::Gauge applied_gauge_;
+  telemetry::Gauge stale_gauge_;
+  telemetry::Counter retries_;
+  telemetry::Counter snapshots_applied_;
+  telemetry::Counter deltas_applied_;
+  telemetry::Histogram sync_rtt_micros_;
+  std::string client_label_;
+  telemetry::Registration registration_;  // last: deregisters first
+};
+
+}  // namespace nnn::controlplane

@@ -1,0 +1,91 @@
+#include "controlplane/sync_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nnn::controlplane {
+
+SyncServer::SyncServer(DescriptorLog& log) : SyncServer(log, Config()) {}
+
+SyncServer::SyncServer(DescriptorLog& log, Config config)
+    : log_(log), config_(config) {
+  registration_ = telemetry::Registry::global().add_collector(
+      [this](telemetry::SampleBuilder& builder) { collect(builder); });
+}
+
+void SyncServer::collect(telemetry::SampleBuilder& builder) const {
+  builder.counter("nnn_controlplane_requests_total",
+                  "Sync requests received", {}, requests_.value());
+  builder.counter("nnn_controlplane_responses_total",
+                  "Sync responses by kind", {{"kind", "snapshot"}},
+                  snapshots_served_.value());
+  builder.counter("nnn_controlplane_responses_total",
+                  "Sync responses by kind", {{"kind", "delta"}},
+                  deltas_served_.value());
+  builder.counter("nnn_controlplane_responses_total",
+                  "Sync responses by kind", {{"kind", "heartbeat"}},
+                  heartbeats_served_.value());
+  builder.gauge("nnn_controlplane_clients",
+                "Distinct sync clients seen", {}, clients_.value());
+}
+
+std::optional<util::Bytes> SyncServer::handle(util::BytesView datagram) {
+  const auto message = decode(datagram);
+  if (!message) return std::nullopt;
+  const auto* request = std::get_if<SyncRequest>(&*message);
+  if (request == nullptr) return std::nullopt;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    requests_.inc();
+    client_versions_[request->client_id] = request->have_version;
+    clients_.set(static_cast<int64_t>(client_versions_.size()));
+  }
+
+  // Heartbeat / delta / snapshot, in order of preference. The log can
+  // advance between these calls; that only makes the response slightly
+  // stale, which the client's next poll repairs.
+  const uint64_t version = log_.version();
+  if (request->have_version == version) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    heartbeats_served_.inc();
+    return encode(HeartbeatMessage{version});
+  }
+  // have_version 0 is a fresh client: a snapshot of the current table
+  // beats a delta that replays its entire history.
+  if (request->have_version > 0 && request->have_version < version) {
+    const auto updates = log_.delta_since(request->have_version);
+    if (updates && updates->size() <= config_.max_delta_updates) {
+      DeltaMessage delta;
+      delta.from_version = request->have_version;
+      delta.to_version = updates->empty() ? request->have_version
+                                          : updates->back().version;
+      delta.updates = std::move(*updates);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      deltas_served_.inc();
+      return encode(delta);
+    }
+  }
+  // Fresh client, compacted history, too-big gap, or a client claiming
+  // a version from the future (restarted server): resync wholesale.
+  Snapshot snap = log_.snapshot();
+  SnapshotMessage message_out;
+  message_out.version = snap.version;
+  message_out.live = std::move(snap.live);
+  message_out.revoked = std::move(snap.revoked);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_served_.inc();
+  return encode(message_out);
+}
+
+std::optional<uint64_t> SyncServer::min_client_version() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (client_versions_.empty()) return std::nullopt;
+  uint64_t lowest = UINT64_MAX;
+  for (const auto& [client, version] : client_versions_) {
+    lowest = std::min(lowest, version);
+  }
+  return lowest;
+}
+
+}  // namespace nnn::controlplane

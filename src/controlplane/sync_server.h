@@ -1,0 +1,63 @@
+// Server endpoint of the snapshot/delta sync protocol.
+//
+// Stateless per request beyond remembering each client's last reported
+// version (the regulator-facing lag signal): a SyncRequest at the
+// current version gets a Heartbeat, a servable gap gets a Delta, and
+// anything else — fresh client, compacted-away history, or a gap
+// bigger than config.max_delta_updates — gets a full Snapshot.
+// Transport-agnostic: handle() maps one request datagram to one
+// response datagram; the caller moves the bytes (sim::Link, a real
+// socket, or a plain function call in tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "controlplane/descriptor_log.h"
+#include "controlplane/messages.h"
+#include "telemetry/metrics.h"
+#include "util/bytes.h"
+
+namespace nnn::controlplane {
+
+class SyncServer {
+ public:
+  struct Config {
+    /// Gaps larger than this are served as snapshots — shipping the
+    /// whole table is cheaper than a delta that replays most of it.
+    size_t max_delta_updates = 4096;
+  };
+
+  explicit SyncServer(DescriptorLog& log);
+  SyncServer(DescriptorLog& log, Config config);
+  SyncServer(const SyncServer&) = delete;
+  SyncServer& operator=(const SyncServer&) = delete;
+
+  /// Process one request datagram. nullopt when the datagram is not a
+  /// well-formed SyncRequest (anything else is dropped, never answered
+  /// — the client's timeout handles it).
+  std::optional<util::Bytes> handle(util::BytesView datagram);
+
+  /// Lowest version any known client has reported (the worst lag);
+  /// nullopt before the first request.
+  std::optional<uint64_t> min_client_version() const;
+
+ private:
+  void collect(telemetry::SampleBuilder& builder) const;
+
+  DescriptorLog& log_;
+  const Config config_;
+  mutable std::mutex mutex_;
+  std::map<uint64_t, uint64_t> client_versions_;
+
+  telemetry::Counter requests_;
+  telemetry::Counter snapshots_served_;
+  telemetry::Counter deltas_served_;
+  telemetry::Counter heartbeats_served_;
+  telemetry::Gauge clients_;
+  telemetry::Registration registration_;  // last: deregisters first
+};
+
+}  // namespace nnn::controlplane

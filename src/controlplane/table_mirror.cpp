@@ -1,0 +1,70 @@
+#include "controlplane/table_mirror.h"
+
+#include <utility>
+
+namespace nnn::controlplane {
+
+namespace {
+
+cookies::TableEntry make_entry(cookies::CookieDescriptor descriptor) {
+  cookies::TableEntry entry;
+  entry.schedule =
+      crypto::HmacKeySchedule{util::BytesView(descriptor.key)};
+  entry.descriptor = std::move(descriptor);
+  return entry;
+}
+
+/// Tombstone for a revocation of an id this mirror never saw granted
+/// (revoke-before-sync): no key, but the id verifies as revoked.
+cookies::TableEntry make_tombstone(cookies::CookieId id) {
+  cookies::TableEntry entry;
+  entry.descriptor.cookie_id = id;
+  entry.revoked = true;
+  return entry;
+}
+
+}  // namespace
+
+void TableMirror::reset(uint64_t version,
+                        std::vector<cookies::CookieDescriptor> live,
+                        const std::vector<cookies::CookieId>& revoked) {
+  entries_.clear();
+  entries_.reserve(live.size() + revoked.size());
+  for (auto& descriptor : live) {
+    const cookies::CookieId id = descriptor.cookie_id;
+    entries_[id] = make_entry(std::move(descriptor));
+  }
+  for (const cookies::CookieId id : revoked) {
+    entries_[id] = make_tombstone(id);
+  }
+  version_ = version;
+}
+
+bool TableMirror::apply(const Update& update) {
+  if (update.version != version_ + 1) return false;
+  switch (update.op) {
+    case UpdateOp::kAdd:
+      entries_[update.id] = make_entry(update.descriptor);
+      break;
+    case UpdateOp::kRevoke: {
+      auto it = entries_.find(update.id);
+      if (it != entries_.end()) {
+        it->second.revoked = true;
+      } else {
+        entries_[update.id] = make_tombstone(update.id);
+      }
+      break;
+    }
+    case UpdateOp::kRemove:
+      entries_.erase(update.id);
+      break;
+  }
+  version_ = update.version;
+  return true;
+}
+
+std::unique_ptr<cookies::DescriptorTable> TableMirror::build() const {
+  return std::make_unique<cookies::DescriptorTable>(version_, entries_);
+}
+
+}  // namespace nnn::controlplane

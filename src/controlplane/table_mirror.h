@@ -1,0 +1,46 @@
+// The middlebox's working copy of the descriptor table.
+//
+// A SyncClient feeds snapshots and deltas into a TableMirror; build()
+// materializes an immutable cookies::DescriptorTable (HMAC key
+// schedules already precomputed — that cost belongs here, off the hot
+// path, not in a worker's burst loop) ready for TablePublisher. The
+// mirror itself is plain single-threaded state owned by the client's
+// control thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "controlplane/descriptor_log.h"
+#include "cookies/descriptor.h"
+#include "cookies/descriptor_table.h"
+
+namespace nnn::controlplane {
+
+class TableMirror {
+ public:
+  /// Replace everything with a snapshot's contents.
+  void reset(uint64_t version,
+             std::vector<cookies::CookieDescriptor> live,
+             const std::vector<cookies::CookieId>& revoked);
+
+  /// Apply one update; the caller has already checked version
+  /// continuity. Returns false (and leaves the mirror unchanged) on an
+  /// out-of-order version.
+  bool apply(const Update& update);
+
+  uint64_t version() const { return version_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Materialize the current state as an immutable table (copies the
+  /// entry map; schedules were precomputed at reset/apply time).
+  std::unique_ptr<cookies::DescriptorTable> build() const;
+
+ private:
+  uint64_t version_ = 0;
+  std::unordered_map<cookies::CookieId, cookies::TableEntry> entries_;
+};
+
+}  // namespace nnn::controlplane

@@ -1,0 +1,62 @@
+// Immutable descriptor tables for the epoch-swapped verify hot path.
+//
+// A CookieVerifier in local mode owns a mutable descriptor map, which
+// forces a single-writer contract on the whole object. The control
+// plane instead builds a complete DescriptorTable off the hot path
+// (descriptors, revocation tombstones, and the precomputed
+// crypto::HmacKeySchedule each entry's MAC check resumes from),
+// publishes it through controlplane::TablePublisher with an atomic
+// pointer swap, and reclaims the previous table only after every
+// reader passed a quiescent point. Once constructed a table is never
+// mutated (the publisher stamps `epoch` exactly once, before the
+// table becomes visible to any reader), so any number of worker
+// threads may read it with no locks in verify_batch.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "cookies/descriptor.h"
+#include "crypto/hmac.h"
+
+namespace nnn::cookies {
+
+/// One table slot: the descriptor, its ready-to-resume HMAC midstates,
+/// and the §4.5 revocation tombstone (revoked ids keep an entry so
+/// verification reports kDescriptorRevoked rather than kUnknownId).
+struct TableEntry {
+  CookieDescriptor descriptor;
+  crypto::HmacKeySchedule schedule;
+  bool revoked = false;
+};
+
+class DescriptorTable {
+ public:
+  DescriptorTable() = default;
+  DescriptorTable(uint64_t version,
+                  std::unordered_map<CookieId, TableEntry> entries)
+      : version_(version), entries_(std::move(entries)) {}
+
+  const TableEntry* find(CookieId id) const {
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// DescriptorLog version this table reflects.
+  uint64_t version() const { return version_; }
+
+  /// Publish sequence number, stamped by the TablePublisher before the
+  /// swap makes the table visible.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
+ private:
+  uint64_t version_ = 0;
+  uint64_t epoch_ = 0;
+  std::unordered_map<CookieId, TableEntry> entries_;
+};
+
+}  // namespace nnn::cookies

@@ -8,6 +8,27 @@
 
 namespace nnn::cookies {
 
+#ifndef NDEBUG
+CookieVerifier::WriterCheck::WriterCheck(const CookieVerifier& v) : v_(&v) {
+  std::thread::id expected{};
+  const std::thread::id self = std::this_thread::get_id();
+  outermost_ = v.writer_.compare_exchange_strong(
+      expected, self, std::memory_order_acq_rel);
+  // Not outermost is fine only when *this thread* already holds the
+  // verifier (verify_wire -> verify). Another thread inside it is the
+  // single-writer violation the header documents.
+  assert((outermost_ || expected == self) &&
+         "CookieVerifier single-writer contract violated: two threads "
+         "are inside mutating/verifying members at once");
+}
+
+CookieVerifier::WriterCheck::~WriterCheck() {
+  if (outermost_) {
+    v_->writer_.store(std::thread::id{}, std::memory_order_release);
+  }
+}
+#endif
+
 CookieVerifier::CookieVerifier(const util::Clock& clock, util::Timestamp nct)
     : clock_(clock), nct_(nct) {
   registration_ = telemetry::Registry::global().add_collector(
@@ -27,6 +48,7 @@ void CookieVerifier::collect(telemetry::SampleBuilder& builder) const {
 }
 
 void CookieVerifier::add_descriptor(CookieDescriptor descriptor) {
+  const WriterCheck check(*this);
   const CookieId id = descriptor.cookie_id;
   crypto::HmacKeySchedule schedule{util::BytesView(descriptor.key)};
   auto it = table_.find(id);
@@ -38,10 +60,18 @@ void CookieVerifier::add_descriptor(CookieDescriptor descriptor) {
   }
   table_.emplace(id, Entry{std::move(descriptor), schedule,
                            ReplayCache(nct_), false});
-  descriptors_.set(static_cast<int64_t>(table_.size()));
+  if (!external_mode_) descriptors_.set(static_cast<int64_t>(table_.size()));
+}
+
+void CookieVerifier::set_external_table(const DescriptorTable* table) {
+  const WriterCheck check(*this);
+  external_ = table;
+  external_mode_ = true;
+  descriptors_.set(static_cast<int64_t>(table ? table->size() : 0));
 }
 
 bool CookieVerifier::revoke(CookieId id) {
+  const WriterCheck check(*this);
   auto it = table_.find(id);
   if (it == table_.end()) return false;
   it->second.revoked = true;
@@ -49,29 +79,61 @@ bool CookieVerifier::revoke(CookieId id) {
 }
 
 bool CookieVerifier::remove(CookieId id) {
+  const WriterCheck check(*this);
   const bool removed = table_.erase(id) > 0;
-  descriptors_.set(static_cast<int64_t>(table_.size()));
+  if (!external_mode_) descriptors_.set(static_cast<int64_t>(table_.size()));
   return removed;
 }
 
 bool CookieVerifier::knows(CookieId id) const {
+  if (external_mode_) return external_ != nullptr && external_->find(id);
   return table_.contains(id);
 }
 
 const CookieDescriptor* CookieVerifier::find(CookieId id) const {
+  if (external_mode_) {
+    if (external_ == nullptr) return nullptr;
+    const TableEntry* entry = external_->find(id);
+    if (entry == nullptr || entry->revoked) return nullptr;
+    return &entry->descriptor;
+  }
   const auto it = table_.find(id);
   if (it == table_.end() || it->second.revoked) return nullptr;
   return &it->second.descriptor;
 }
 
-VerifyResult CookieVerifier::verify_in_entry(Entry& entry,
+bool CookieVerifier::resolve(CookieId id, Resolved& out) {
+  if (external_mode_) {
+    if (external_ == nullptr) return false;
+    const TableEntry* entry = external_->find(id);
+    if (entry == nullptr) return false;
+    out.descriptor = &entry->descriptor;
+    out.schedule = &entry->schedule;
+    out.revoked = entry->revoked;
+    // The replay cache is keyed by descriptor id and survives table
+    // swaps; first sight of an id allocates it.
+    out.replays =
+        &external_replays_.try_emplace(id, nct_).first->second;
+    return true;
+  }
+  const auto it = table_.find(id);
+  if (it == table_.end()) return false;
+  Entry& entry = it->second;
+  out.descriptor = &entry.descriptor;
+  out.schedule = &entry.schedule;
+  out.revoked = entry.revoked;
+  out.replays = &entry.replays;
+  return true;
+}
+
+VerifyResult CookieVerifier::verify_resolved(const Resolved& match,
                                              const Cookie& cookie,
                                              util::Timestamp now) {
-  if (entry.revoked) {
+  if (match.revoked) {
     status_.inc(VerifyStatus::kDescriptorRevoked);
     return VerifyResult{VerifyStatus::kDescriptorRevoked, nullptr};
   }
-  if (entry.descriptor.expired(now)) {
+  if (match.descriptor->expired(now)) {
     status_.inc(VerifyStatus::kDescriptorExpired);
     return VerifyResult{VerifyStatus::kDescriptorExpired, nullptr};
   }
@@ -79,7 +141,7 @@ VerifyResult CookieVerifier::verify_in_entry(Entry& entry,
   // entry's precomputed ipad/opad midstates. Run before the
   // timestamp/replay checks so an attacker cannot probe table state
   // with unsigned cookies.
-  const crypto::CookieTag expected = cookie.compute_tag(entry.schedule);
+  const crypto::CookieTag expected = cookie.compute_tag(*match.schedule);
   if (!crypto::constant_time_equal(
           util::BytesView(expected.data(), expected.size()),
           util::BytesView(cookie.signature.data(),
@@ -97,26 +159,28 @@ VerifyResult CookieVerifier::verify_in_entry(Entry& entry,
     return VerifyResult{VerifyStatus::kStaleTimestamp, nullptr};
   }
   // (iv) use-once.
-  if (!entry.replays.insert(cookie.uuid, now)) {
+  if (!match.replays->insert(cookie.uuid, now)) {
     status_.inc(VerifyStatus::kReplayed);
     return VerifyResult{VerifyStatus::kReplayed, nullptr};
   }
   status_.inc(VerifyStatus::kOk);
-  return VerifyResult{VerifyStatus::kOk, &entry.descriptor};
+  return VerifyResult{VerifyStatus::kOk, match.descriptor};
 }
 
 VerifyResult CookieVerifier::verify(const Cookie& cookie) {
-  const auto it = table_.find(cookie.cookie_id);
-  if (it == table_.end()) {
+  const WriterCheck check(*this);
+  Resolved match;
+  if (!resolve(cookie.cookie_id, match)) {
     status_.inc(VerifyStatus::kUnknownId);
     return VerifyResult{VerifyStatus::kUnknownId, nullptr};
   }
-  return verify_in_entry(it->second, cookie, clock_.now());
+  return verify_resolved(match, cookie, clock_.now());
 }
 
 void CookieVerifier::verify_batch(std::span<const Cookie> cookies,
                                   std::span<VerifyResult> results) {
   assert(results.size() >= cookies.size());
+  const WriterCheck check(*this);
   const size_t n = cookies.size();
   if (n == 0) return;
   // Batch-level timing: two clock reads per burst, never per cookie.
@@ -139,25 +203,28 @@ void CookieVerifier::verify_batch(std::span<const Cookie> cookies,
                      return cookies[a].cookie_id < cookies[b].cookie_id;
                    });
 
-  Entry* entry = nullptr;
+  Resolved match;
+  bool have_match = false;
   CookieId current_id = 0;
+  bool have_id = false;
   for (const uint32_t idx : batch_order_) {
     const Cookie& cookie = cookies[idx];
-    if (entry == nullptr || cookie.cookie_id != current_id) {
+    if (!have_id || cookie.cookie_id != current_id) {
       current_id = cookie.cookie_id;
-      const auto it = table_.find(current_id);
-      entry = it == table_.end() ? nullptr : &it->second;
+      have_id = true;
+      have_match = resolve(current_id, match);
     }
-    if (entry == nullptr) {
+    if (!have_match) {
       status_.inc(VerifyStatus::kUnknownId);
       results[idx] = VerifyResult{VerifyStatus::kUnknownId, nullptr};
       continue;
     }
-    results[idx] = verify_in_entry(*entry, cookie, now);
+    results[idx] = verify_resolved(match, cookie, now);
   }
 }
 
 VerifyResult CookieVerifier::verify_wire(util::BytesView wire) {
+  const WriterCheck check(*this);
   const auto cookie = Cookie::decode(wire);
   if (!cookie) {
     status_.inc(VerifyStatus::kMalformed);
@@ -167,6 +234,7 @@ VerifyResult CookieVerifier::verify_wire(util::BytesView wire) {
 }
 
 VerifyResult CookieVerifier::verify_text(std::string_view text) {
+  const WriterCheck check(*this);
   const auto cookie = Cookie::decode_text(text);
   if (!cookie) {
     status_.inc(VerifyStatus::kMalformed);
@@ -189,6 +257,7 @@ VerifierStats CookieVerifier::stats() const {
 }
 
 void CookieVerifier::reset_stats() {
+  const WriterCheck check(*this);
   status_.reset();
   batch_nanos_.reset();
 }

@@ -18,18 +18,40 @@
 // behaves as if the cookie was not there, offering default services."
 // Callers therefore receive a VerifyResult and decide nothing more
 // severe than best-effort treatment.
+//
+// ## Threading: the single-writer contract
+//
+// A CookieVerifier is NOT thread-safe. Exactly one thread at a time
+// may call any mutating or verifying member (add_descriptor, revoke,
+// remove, verify*, reset_stats, set_external_table): verification
+// mutates replay caches and status counters, and a concurrent
+// add/remove rehashes the descriptor map that an in-flight
+// verify_batch is iterating — a data race and potential use-after-free
+// with no diagnostic. Debug builds enforce the contract with an
+// atomic owner check that aborts on a cross-thread overlap; release
+// builds compile the check out. To feed descriptor updates to a
+// verifier that another thread is running hot, do not call
+// add_descriptor/revoke across threads — publish an immutable
+// DescriptorTable through controlplane::TablePublisher and hand it to
+// the verifying thread via set_external_table (the runtime's
+// WorkerPool::bind_table_publisher does exactly this; the pool's
+// legacy add_descriptor/revoke path instead waits for the worker to
+// quiesce before touching its shard).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cookies/cookie.h"
 #include "cookies/descriptor.h"
+#include "cookies/descriptor_table.h"
 #include "cookies/replay_cache.h"
 #include "crypto/hmac.h"
 #include "telemetry/labels.h"
@@ -112,6 +134,21 @@ class CookieVerifier {
   /// the HMAC key schedule the verify hot path resumes from.
   void add_descriptor(CookieDescriptor descriptor);
 
+  /// External-table mode: verify against an immutable DescriptorTable
+  /// published by the control plane instead of the verifier's own map.
+  /// The caller (the verifying thread) re-acquires and re-installs the
+  /// current table before each burst; the table must stay valid until
+  /// the next set_external_table call (the epoch reclamation in
+  /// controlplane::TablePublisher guarantees this). nullptr means "no
+  /// table yet" and verifies everything as kUnknownId. Replay caches
+  /// stay local to the verifier (per descriptor, allocated lazily), so
+  /// use-once state survives table swaps. External mode is one-way for
+  /// the lifetime of the verifier (add_descriptor/revoke/remove keep
+  /// editing the local map, but verification ignores it), which keeps
+  /// the hot-path branch predictable.
+  void set_external_table(const DescriptorTable* table);
+  bool external_mode() const { return external_mode_; }
+
   /// Revocation (§4.5): "the network can similarly stop matching
   /// against a cookie to stop offering a service." Returns true if the
   /// id was known. Revoked ids keep a tombstone so verification
@@ -149,7 +186,10 @@ class CookieVerifier {
   /// extension).
   VerifierStats stats() const;
   void reset_stats();
-  size_t descriptor_count() const { return table_.size(); }
+  size_t descriptor_count() const {
+    return external_mode_ ? (external_ ? external_->size() : 0)
+                          : table_.size();
+  }
   util::Timestamp nct() const { return nct_; }
 
  private:
@@ -161,14 +201,53 @@ class CookieVerifier {
     bool revoked = false;
   };
 
-  /// Checks (ii)-(iv) + revocation/expiry against a resolved entry.
-  VerifyResult verify_in_entry(Entry& entry, const Cookie& cookie,
+  /// A descriptor match independent of where it came from (local map
+  /// entry or external table slot + lazily allocated replay cache).
+  struct Resolved {
+    const CookieDescriptor* descriptor = nullptr;
+    const crypto::HmacKeySchedule* schedule = nullptr;
+    ReplayCache* replays = nullptr;
+    bool revoked = false;
+  };
+
+  /// Debug-only single-writer enforcement (see the class comment).
+  /// Reentrancy on the owning thread is fine — verify_wire calls
+  /// verify — so ownership is per-thread, not per-call.
+  class WriterCheck {
+   public:
+#ifndef NDEBUG
+    explicit WriterCheck(const CookieVerifier& v);
+    ~WriterCheck();
+
+   private:
+    const CookieVerifier* v_;
+    bool outermost_;
+#else
+    explicit WriterCheck(const CookieVerifier&) {}
+#endif
+  };
+
+  /// Looks `id` up in whichever table is active. False when unknown.
+  bool resolve(CookieId id, Resolved& out);
+  /// Checks (ii)-(iv) + revocation/expiry against a resolved match.
+  VerifyResult verify_resolved(const Resolved& match, const Cookie& cookie,
                                util::Timestamp now);
   void collect(telemetry::SampleBuilder& builder) const;
 
   const util::Clock& clock_;
   util::Timestamp nct_;
   std::unordered_map<CookieId, Entry> table_;
+  /// External-table mode state (set_external_table). The replay map
+  /// outlives individual tables: use-once is a property of the
+  /// descriptor, not of the table revision that delivered it.
+  const DescriptorTable* external_ = nullptr;
+  bool external_mode_ = false;
+  std::unordered_map<CookieId, ReplayCache> external_replays_;
+#ifndef NDEBUG
+  /// Thread currently inside a mutating/verifying member, or default
+  /// (empty) id when none. See WriterCheck.
+  mutable std::atomic<std::thread::id> writer_{};
+#endif
   /// One cell per VerifyStatus outcome — the single source of truth
   /// the legacy VerifierStats mirrors materialized from.
   telemetry::StatusCounters<VerifyStatus, kVerifyStatusCount> status_;

@@ -9,7 +9,7 @@ HmacKeySchedule::HmacKeySchedule(util::BytesView key) {
   if (key.size() > Sha256::kBlockSize) {
     const auto hashed = Sha256::hash(key);
     std::memcpy(block_key.data(), hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {  // memcpy from a null data() is UB even at size 0
     std::memcpy(block_key.data(), key.data(), key.size());
   }
 

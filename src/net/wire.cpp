@@ -149,6 +149,27 @@ uint16_t internet_checksum(BytesView data, uint32_t seed) {
   return fold(sum16(data) + seed);
 }
 
+void append_sync_frame(util::Bytes& out, uint8_t type, BytesView payload) {
+  ByteWriter w(out);
+  w.u16(kSyncMagic);
+  w.u8(kSyncVersion);
+  w.u8(type);
+  w.u32(static_cast<uint32_t>(payload.size()));
+  w.raw(payload);
+}
+
+std::optional<SyncFrame> parse_sync_frame(ByteReader& r) {
+  const auto magic = r.u16();
+  const auto version = r.u8();
+  const auto type = r.u8();
+  const auto len = r.u32();
+  if (!magic || !version || !type || !len) return std::nullopt;
+  if (*magic != kSyncMagic || *version != kSyncVersion) return std::nullopt;
+  const auto payload = r.view(*len);
+  if (!payload) return std::nullopt;
+  return SyncFrame{*type, *payload};
+}
+
 util::Bytes serialize(const Packet& p) {
   const Bytes l4 = build_l4(p);
   Bytes out;

@@ -1,4 +1,5 @@
-// Wire codec: Packet <-> real IPv4/IPv6 + TCP/UDP bytes.
+// Wire codec: Packet <-> real IPv4/IPv6 + TCP/UDP bytes, plus the
+// framing layer the descriptor control plane speaks.
 //
 // The structured Packet model is what dataplane elements process; this
 // codec proves the model corresponds to real headers. It implements:
@@ -7,6 +8,10 @@
 //    carrying the network-cookie option (this is the paper's "IPv6
 //    extension header" cookie transport)
 //  - TCP and UDP headers with the standard pseudo-header checksum
+//  - Sync frames: a self-describing {magic, version, type, length}
+//    envelope for control-plane messages. The typed payloads
+//    (snapshot/delta/heartbeat) live in controlplane/messages.h; this
+//    layer only knows bytes, so net/ never depends on cookies/.
 // Parsing is defensive: any truncation or checksum mismatch yields
 // nullopt, never UB.
 #pragma once
@@ -14,6 +19,7 @@
 #include <optional>
 
 #include "net/packet.h"
+#include "util/bytes.h"
 
 namespace nnn::net {
 
@@ -28,5 +34,28 @@ std::optional<Packet> parse(util::BytesView wire);
 
 /// Internet checksum (RFC 1071) over `data` with an optional seed.
 uint16_t internet_checksum(util::BytesView data, uint32_t seed = 0);
+
+/// "NC" — distinguishes control-plane datagrams from stray traffic.
+inline constexpr uint16_t kSyncMagic = 0x4E43;
+/// Protocol version; a parser rejects frames from a newer protocol
+/// rather than misinterpreting them.
+inline constexpr uint8_t kSyncVersion = 1;
+
+/// One control-plane frame: an opaque typed payload. The type byte is
+/// assigned by controlplane/messages.h; unknown types are skippable
+/// because the envelope carries an explicit payload length.
+struct SyncFrame {
+  uint8_t type = 0;
+  util::BytesView payload;
+};
+
+/// Append one frame: u16 magic | u8 version | u8 type | u32 len | payload.
+void append_sync_frame(util::Bytes& out, uint8_t type,
+                       util::BytesView payload);
+
+/// Parse the frame at the reader's position. nullopt on bad magic,
+/// unsupported version, or a length that overruns the buffer; the
+/// returned payload view aliases the reader's underlying buffer.
+std::optional<SyncFrame> parse_sync_frame(util::ByteReader& r);
 
 }  // namespace nnn::net

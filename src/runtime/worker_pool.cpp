@@ -36,6 +36,9 @@ struct WorkerPool::Worker {
   dataplane::Middlebox middlebox;
   SpscRing<net::Packet> ring;
   WorkerCounters counters;
+  /// Epoch reader into the bound TablePublisher (detached when the
+  /// pool runs standalone). Used only by this worker's thread.
+  controlplane::TablePublisher::Reader table_reader;
   /// Ring bursts are timed 1-in-32. Even a full 32-packet burst is
   /// only ~3 us of work, so the ~86 ns timer pair would cost ~3%
   /// unsampled — over the 2% telemetry budget on its own.
@@ -81,14 +84,24 @@ WorkerPool::WorkerPool(const util::Clock& clock,
 WorkerPool::~WorkerPool() { stop(); }
 
 void WorkerPool::add_descriptor(const cookies::CookieDescriptor& descriptor) {
+  if (publisher_ != nullptr) return;  // descriptor state owned by sync
   for (auto& worker : workers_) {
     worker->verifier.add_descriptor(descriptor);
   }
 }
 
 void WorkerPool::revoke(cookies::CookieId id) {
+  if (publisher_ != nullptr) return;  // descriptor state owned by sync
   for (auto& worker : workers_) {
     worker->verifier.revoke(id);
+  }
+}
+
+void WorkerPool::bind_table_publisher(
+    controlplane::TablePublisher& publisher) {
+  publisher_ = &publisher;
+  for (auto& worker : workers_) {
+    worker->table_reader = publisher.register_reader();
   }
 }
 
@@ -147,6 +160,7 @@ bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
 
 void WorkerPool::worker_main(size_t index) {
   Worker& w = *workers_[index];
+  const bool synced = w.table_reader.attached();
   std::vector<net::Packet> batch(config_.batch_size);
   std::vector<dataplane::Verdict> verdicts(config_.batch_size);
   unsigned idle = 0;
@@ -154,12 +168,18 @@ void WorkerPool::worker_main(size_t index) {
     const size_t n = w.ring.pop_batch(batch.data(), config_.batch_size);
     if (n == 0) {
       // Ring observed empty; exit only after stop so in-flight packets
-      // are always processed (deterministic final counts).
+      // are always processed (deterministic final counts). Park first:
+      // an idle worker must not pin a retired table.
+      if (synced) w.table_reader.park();
       if (stop_.load(std::memory_order_acquire)) break;
       idle_backoff(idle);
       continue;
     }
     idle = 0;
+    // Epoch swap point: pin the control plane's current table for this
+    // burst. Two uncontended atomic ops; the old table is reclaimable
+    // the moment every worker has moved on or parked.
+    if (synced) w.verifier.set_external_table(w.table_reader.acquire());
     const telemetry::ScopedTimer batch_timer(w.counters.batch_nanos,
                                              w.burst_sample.next());
     const uint64_t t0 = thread_cpu_micros();
@@ -209,6 +229,7 @@ void WorkerPool::worker_main(size_t index) {
     // whoever acquires `processed` (drain, snapshot readers).
     c.processed.inc_release(n);
   }
+  if (synced) w.table_reader.park();
 }
 
 RuntimeSnapshot WorkerPool::snapshot() const {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "controlplane/epoch.h"
 #include "cookies/verifier.h"
 #include "dataplane/middlebox.h"
 #include "dataplane/service_registry.h"
@@ -85,10 +86,20 @@ class WorkerPool {
 
   /// Install a descriptor into every worker's verifier (control-plane
   /// state is replicated; replay caches are not — see §4.6). Quiescent
-  /// pool only.
+  /// pool only. Ignored once a table publisher is bound — descriptor
+  /// state then flows exclusively through the sync channel.
   void add_descriptor(const cookies::CookieDescriptor& descriptor);
-  /// Revoke on every worker. Quiescent pool only.
+  /// Revoke on every worker. Quiescent pool only; ignored once a table
+  /// publisher is bound (see add_descriptor).
   void revoke(cookies::CookieId id);
+
+  /// Bind the pool to a control-plane table publisher. Must be called
+  /// before start(); the publisher must outlive the pool. Each worker
+  /// registers an epoch reader and thereafter verifies every burst
+  /// against the publisher's current table (re-acquired per burst — a
+  /// swap costs the worker two uncontended atomic ops, never a lock),
+  /// parking at idle and exit so retired tables reclaim promptly.
+  void bind_table_publisher(controlplane::TablePublisher& publisher);
 
   void start();
   /// Block until all submitted packets are processed. Callers must
@@ -129,6 +140,7 @@ class WorkerPool {
   const util::Clock& clock_;
   dataplane::ServiceRegistry& registry_;
   Config config_;
+  controlplane::TablePublisher* publisher_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<MpscRing<VerdictRecord>> verdicts_;
   std::atomic<bool> stop_{false};

@@ -13,8 +13,8 @@ constexpr util::Timestamp kQuotaWindow =
 }  // namespace
 
 CookieServer::CookieServer(const util::Clock& clock, uint64_t rng_seed,
-                           cookies::CookieVerifier* verifier)
-    : clock_(clock), rng_(rng_seed), verifier_(verifier) {
+                           controlplane::DescriptorLog* log)
+    : clock_(clock), rng_(rng_seed), log_(log) {
   registration_ = telemetry::Registry::global().add_collector(
       [this](telemetry::SampleBuilder& builder) {
         builder.counter("nnn_server_grants_total",
@@ -69,10 +69,7 @@ cookies::CookieId CookieServer::fresh_id() {
   while (true) {
     const cookies::CookieId id = rng_.next_u64();
     if (id == 0) continue;
-    const bool taken = std::any_of(
-        grants_.begin(), grants_.end(),
-        [id](const Grant& g) { return g.id == id; });
-    if (!taken) return id;
+    if (!grant_index_.contains(id)) return id;
   }
 }
 
@@ -112,25 +109,31 @@ AcquireResult CookieServer::acquire(const std::string& service,
     descriptor.attributes.expires_at = now + offer->descriptor_lifetime;
   }
 
+  grant_index_.emplace(descriptor.cookie_id, grants_.size());
   grants_.push_back(Grant{descriptor.cookie_id, service, user, now, false});
   granted_.inc();
   audit_.append(AuditRecord{now, AuditEvent::kGranted, service, user,
                             descriptor.cookie_id, ""});
-  if (verifier_) verifier_->add_descriptor(descriptor);
+  if (log_) {
+    log_->append_add(descriptor);
+    // Piggyback expiry propagation on the issue path: descriptors past
+    // their lifetime become kRemove updates in the same log.
+    log_->expire_due(now);
+  }
   return AcquireResult{std::move(descriptor), std::nullopt};
 }
 
 bool CookieServer::revoke(cookies::CookieId id, const std::string& reason) {
-  for (auto& grant : grants_) {
-    if (grant.id != id || grant.revoked) continue;
-    grant.revoked = true;
-    revoked_.inc();
-    audit_.append(AuditRecord{clock_.now(), AuditEvent::kRevoked,
-                              grant.service, grant.user, id, reason});
-    if (verifier_) verifier_->revoke(id);
-    return true;
-  }
-  return false;
+  const auto it = grant_index_.find(id);
+  if (it == grant_index_.end()) return false;
+  Grant& grant = grants_[it->second];
+  if (grant.revoked) return false;
+  grant.revoked = true;
+  revoked_.inc();
+  audit_.append(AuditRecord{clock_.now(), AuditEvent::kRevoked,
+                            grant.service, grant.user, id, reason});
+  if (log_) log_->append_revoke(id);
+  return true;
 }
 
 std::vector<cookies::CookieId> CookieServer::active_descriptors(

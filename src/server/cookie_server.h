@@ -23,8 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "controlplane/descriptor_log.h"
 #include "cookies/descriptor.h"
-#include "cookies/verifier.h"
 #include "server/audit.h"
 #include "telemetry/labels.h"
 #include "telemetry/view.h"
@@ -82,16 +82,19 @@ struct AcquireResult {
 
 class CookieServer {
  public:
-  /// The clock must outlive the server. `verifier`, when given, is the
-  /// dataplane verifier co-managed by this network: issued descriptors
-  /// are installed into it and revocations propagate to it. May be
-  /// null for a pure control-plane server.
+  /// The clock must outlive the server. `log`, when given, is the
+  /// distribution channel to the dataplane: every grant, revocation,
+  /// and expiry is appended there and reaches the verifiers through
+  /// the sync machinery (controlplane::SyncClient over a wire, or
+  /// controlplane::LocalSubscriber in-process) — the server never
+  /// touches a verifier directly. May be null for a pure
+  /// catalog/audit server.
   ///
   /// Registers the control-plane families (nnn_server_grants_total,
   /// nnn_server_revocations_total, nnn_server_denied_total{reason=});
   /// pinned — the collector holds `this`.
   CookieServer(const util::Clock& clock, uint64_t rng_seed,
-               cookies::CookieVerifier* verifier = nullptr);
+               controlplane::DescriptorLog* log = nullptr);
   CookieServer(const CookieServer&) = delete;
   CookieServer& operator=(const CookieServer&) = delete;
 
@@ -112,7 +115,8 @@ class CookieServer {
 
   /// Revoke a previously issued descriptor (§4.5: both parties can
   /// revoke; the user path is "ask the network to invalidate a
-  /// descriptor"). Propagates to the dataplane verifier.
+  /// descriptor"). Appends to the descriptor log; the revocation
+  /// reaches enforcement points as a sync delta.
   bool revoke(cookies::CookieId id, const std::string& reason);
 
   /// All ids ever issued to `user` that are still active.
@@ -140,10 +144,13 @@ class CookieServer {
 
   const util::Clock& clock_;
   util::Rng rng_;
-  cookies::CookieVerifier* verifier_;
+  controlplane::DescriptorLog* log_;
   std::map<std::string, ServiceOffer> services_;
   std::unordered_map<std::string, Account> accounts_;  // keyed by user
   std::vector<Grant> grants_;
+  /// Grants indexed by id (position in grants_) so revoke() and
+  /// fresh_id() are O(1) instead of scanning every grant ever made.
+  std::unordered_map<cookies::CookieId, size_t> grant_index_;
   AuditLog audit_;
   telemetry::Counter granted_;
   telemetry::Counter revoked_;

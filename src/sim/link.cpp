@@ -10,7 +10,8 @@ Link::Link(EventLoop& loop, Config config, PacketSink sink)
       config_(config),
       sink_(std::move(sink)),
       queues_(config.bands, config.band_capacity_bytes),
-      shapers_(config.bands) {}
+      shapers_(config.bands),
+      impairment_rng_(config.impairment_seed) {}
 
 void Link::set_band_shaper(size_t band, double rate_bps,
                            uint32_t burst_bytes) {
@@ -99,11 +100,25 @@ void Link::try_transmit() {
   const util::Timestamp prop = config_.prop_delay;
   loop_.after(tx_time, [this, prop, p = std::move(*packet)]() mutable {
     busy_ = false;
+    // Loss impairment: the packet occupied the link (serialization
+    // already elapsed) but never reaches the sink.
+    if (config_.loss_rate > 0 &&
+        impairment_rng_.chance(config_.loss_rate)) {
+      ++dropped_;
+      try_transmit();
+      return;
+    }
     ++delivered_;
     delivered_bytes_ += p.size();
-    // Deliver after propagation; transmission of the next packet
-    // overlaps with this one's flight.
-    loop_.after(prop, [this, p = std::move(p)]() mutable {
+    // Deliver after propagation (plus jitter, which can reorder
+    // back-to-back packets); transmission of the next packet overlaps
+    // with this one's flight.
+    util::Timestamp flight = prop;
+    if (config_.delay_jitter > 0) {
+      flight += static_cast<util::Timestamp>(impairment_rng_.next_u64(
+          static_cast<uint64_t>(config_.delay_jitter) + 1));
+    }
+    loop_.after(flight, [this, p = std::move(p)]() mutable {
       sink_(std::move(p));
     });
     try_transmit();

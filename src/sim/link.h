@@ -22,6 +22,7 @@
 #include "dataplane/qos.h"
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "util/rng.h"
 
 namespace nnn::sim {
 
@@ -34,6 +35,15 @@ class Link {
     util::Timestamp prop_delay = 5 * util::kMillisecond;
     size_t bands = 2;
     uint32_t band_capacity_bytes = 256 * 1024;
+    /// Impairments (control-plane sync rides these links too, so loss
+    /// and reordering must be expressible): each delivered packet is
+    /// dropped with probability `loss_rate`, and its propagation delay
+    /// is extended by uniform [0, delay_jitter] — two packets whose
+    /// transmissions finish close together can therefore arrive
+    /// reordered. Deterministic per `impairment_seed`.
+    double loss_rate = 0.0;
+    util::Timestamp delay_jitter = 0;
+    uint64_t impairment_seed = 0x11eb;
   };
 
   Link(EventLoop& loop, Config config, PacketSink sink);
@@ -50,6 +60,9 @@ class Link {
   const dataplane::PriorityQueueSet& queues() const { return queues_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t delivered_bytes() const { return delivered_bytes_; }
+  /// Packets dropped by the loss impairment (after serialization —
+  /// they consumed link time, as real corruption losses do).
+  uint64_t dropped() const { return dropped_; }
   double rate_bps() const { return config_.rate_bps; }
 
  private:
@@ -64,10 +77,12 @@ class Link {
   PacketSink sink_;
   dataplane::PriorityQueueSet queues_;
   std::vector<std::optional<dataplane::TokenBucket>> shapers_;
+  util::Rng impairment_rng_;
   bool busy_ = false;
   bool retry_scheduled_ = false;
   uint64_t delivered_ = 0;
   uint64_t delivered_bytes_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace nnn::sim

@@ -6,6 +6,7 @@
 #include "baselines/oob.h"
 #include "boost_lane/agent.h"
 #include "boost_lane/browser.h"
+#include "controlplane/local_subscriber.h"
 #include "cookies/verifier.h"
 #include "dataplane/middlebox.h"
 #include "dataplane/service_registry.h"
@@ -91,7 +92,9 @@ SiteAccuracy run_cookies(const std::vector<SiteTraffic>& session,
                          const std::string& target, uint64_t seed) {
   util::ManualClock clock(1'000'000'000);
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer server(clock, seed, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer server(clock, seed, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "Boost";
   offer.service_data = "Boost";

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "boost_lane/agent.h"
+#include "controlplane/local_subscriber.h"
 #include "cookies/generator.h"
 #include "cookies/transport.h"
 #include "cookies/verifier.h"
@@ -86,7 +87,9 @@ TEST(Adversarial, StolenDescriptorIsRevocable) {
   // descriptor gets leaked or an application gets compromised."
   util::ManualClock clock(1000 * kSecond);
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer server(clock, 13, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer server(clock, 13, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "Boost";
   offer.service_data = "Boost";

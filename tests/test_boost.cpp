@@ -6,6 +6,7 @@
 #include "boost_lane/anylink.h"
 #include "boost_lane/browser.h"
 #include "boost_lane/daemon.h"
+#include "controlplane/local_subscriber.h"
 #include "cookies/transport.h"
 #include "net/http.h"
 #include "server/cookie_server.h"
@@ -24,7 +25,8 @@ class BoostStack : public ::testing::Test {
   BoostStack()
       : clock_(1'000'000 * kSecond),
         verifier_(clock_),
-        server_(clock_, 5, &verifier_),
+        server_(clock_, 5, &log_),
+        subscriber_(log_, verifier_),
         api_(server_),
         agent_(clock_, api_, "home-1", 17),
         rng_(23),
@@ -38,7 +40,9 @@ class BoostStack : public ::testing::Test {
 
   util::ManualClock clock_;
   cookies::CookieVerifier verifier_;
+  controlplane::DescriptorLog log_;
   server::CookieServer server_;
+  controlplane::LocalSubscriber subscriber_;
   server::JsonApi api_;
   BoostAgent agent_;
   util::Rng rng_;

@@ -1,0 +1,665 @@
+// Control plane: descriptor log versioning, snapshot/delta sync,
+// epoch-swapped table publication, and revocation propagation into a
+// running worker pool. The VerifyDuringSwap test is a TSan CI target.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "controlplane/descriptor_log.h"
+#include "controlplane/epoch.h"
+#include "controlplane/local_subscriber.h"
+#include "controlplane/messages.h"
+#include "controlplane/sync_client.h"
+#include "controlplane/sync_server.h"
+#include "controlplane/table_mirror.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "cookies/verifier.h"
+#include "dataplane/service_registry.h"
+#include "net/packet.h"
+#include "runtime/worker_pool.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "util/clock.h"
+
+namespace nnn::controlplane {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+cookies::CookieDescriptor make_descriptor(cookies::CookieId id) {
+  cookies::CookieDescriptor d;
+  d.cookie_id = id;
+  d.key.assign(32, static_cast<uint8_t>(0x40 + id));
+  d.service_data = "Boost";
+  return d;
+}
+
+// --- DescriptorLog -------------------------------------------------
+
+TEST(DescriptorLog, VersionsAreMonotonicAcrossOps) {
+  DescriptorLog log;
+  EXPECT_EQ(log.version(), 0u);
+  EXPECT_EQ(log.append_add(make_descriptor(1)), 1u);
+  EXPECT_EQ(log.append_add(make_descriptor(2)), 2u);
+  EXPECT_EQ(log.append_revoke(1), 3u);
+  EXPECT_EQ(log.append_remove(2), 4u);
+  EXPECT_EQ(log.version(), 4u);
+  EXPECT_EQ(log.live_count(), 0u);  // 1 revoked, 2 removed
+}
+
+TEST(DescriptorLog, SnapshotReflectsLiveAndTombstones) {
+  DescriptorLog log;
+  log.append_add(make_descriptor(1));
+  log.append_add(make_descriptor(2));
+  log.append_revoke(1);
+  const Snapshot snap = log.snapshot();
+  EXPECT_EQ(snap.version, 3u);
+  ASSERT_EQ(snap.live.size(), 1u);
+  EXPECT_EQ(snap.live[0].cookie_id, 2u);
+  ASSERT_EQ(snap.revoked.size(), 1u);
+  EXPECT_EQ(snap.revoked[0], 1u);
+  // Re-granting a revoked id clears the tombstone.
+  log.append_add(make_descriptor(1));
+  EXPECT_TRUE(log.snapshot().revoked.empty());
+  EXPECT_EQ(log.live_count(), 2u);
+}
+
+TEST(DescriptorLog, DeltaSinceAndCompaction) {
+  DescriptorLog log;
+  for (cookies::CookieId id = 1; id <= 6; ++id) {
+    log.append_add(make_descriptor(id));
+  }
+  const auto all = log.delta_since(0);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->size(), 6u);
+  EXPECT_EQ(all->front().version, 1u);
+  EXPECT_EQ(all->back().version, 6u);
+  // An in-range `from` at the head yields an empty delta.
+  EXPECT_TRUE(log.delta_since(6)->empty());
+  // The future is never servable.
+  EXPECT_FALSE(log.delta_since(7).has_value());
+
+  log.compact(/*keep_updates=*/2);
+  EXPECT_EQ(log.retained_updates(), 2u);
+  EXPECT_FALSE(log.delta_since(3).has_value());  // compacted away
+  const auto tail = log.delta_since(4);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 2u);
+  EXPECT_EQ(tail->front().version, 5u);
+}
+
+TEST(DescriptorLog, ExpireDueAppendsRemovals) {
+  DescriptorLog log;
+  auto ephemeral = make_descriptor(1);
+  ephemeral.attributes.expires_at = 100 * kSecond;
+  log.append_add(ephemeral);
+  log.append_add(make_descriptor(2));  // no expiry
+
+  EXPECT_EQ(log.expire_due(50 * kSecond), 0u);
+  EXPECT_EQ(log.expire_due(200 * kSecond), 1u);
+  EXPECT_EQ(log.live_count(), 1u);
+  const auto delta = log.delta_since(2);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 1u);
+  EXPECT_EQ(delta->front().op, UpdateOp::kRemove);
+  EXPECT_EQ(delta->front().id, 1u);
+  // Idempotent: nothing left to expire.
+  EXPECT_EQ(log.expire_due(300 * kSecond), 0u);
+}
+
+TEST(DescriptorLog, ObserversSeeUpdatesUntilUnsubscribed) {
+  DescriptorLog log;
+  std::vector<Update> seen;
+  const uint64_t token =
+      log.subscribe([&seen](const Update& u) { seen.push_back(u); });
+  log.append_add(make_descriptor(1));
+  log.append_revoke(1);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].op, UpdateOp::kAdd);
+  EXPECT_EQ(seen[1].op, UpdateOp::kRevoke);
+  EXPECT_EQ(seen[1].version, 2u);
+  log.unsubscribe(token);
+  log.append_remove(1);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+// --- TableMirror ---------------------------------------------------
+
+TEST(TableMirror, ResetApplyAndBuild) {
+  DescriptorLog log;
+  log.append_add(make_descriptor(1));
+  log.append_add(make_descriptor(2));
+  log.append_revoke(2);
+
+  TableMirror mirror;
+  const Snapshot snap = log.snapshot();
+  mirror.reset(snap.version, snap.live, snap.revoked);
+  EXPECT_EQ(mirror.version(), 3u);
+  EXPECT_EQ(mirror.size(), 2u);  // live + tombstone
+
+  log.append_add(make_descriptor(3));
+  log.append_revoke(1);
+  const auto delta = log.delta_since(3);
+  for (const Update& u : *delta) {
+    EXPECT_TRUE(mirror.apply(u));
+  }
+  EXPECT_EQ(mirror.version(), 5u);
+
+  const auto table = mirror.build();
+  EXPECT_EQ(table->version(), 5u);
+  ASSERT_NE(table->find(1), nullptr);
+  EXPECT_TRUE(table->find(1)->revoked);
+  ASSERT_NE(table->find(2), nullptr);
+  EXPECT_TRUE(table->find(2)->revoked);
+  ASSERT_NE(table->find(3), nullptr);
+  EXPECT_FALSE(table->find(3)->revoked);
+}
+
+TEST(TableMirror, RejectsOutOfOrderUpdates) {
+  TableMirror mirror;
+  Update first;
+  first.version = 1;
+  first.op = UpdateOp::kAdd;
+  first.id = 1;
+  first.descriptor = make_descriptor(1);
+  ASSERT_TRUE(mirror.apply(first));
+  Update gap = first;
+  gap.version = 3;  // skips 2
+  gap.id = 2;
+  gap.descriptor = make_descriptor(2);
+  EXPECT_FALSE(mirror.apply(gap));
+  EXPECT_EQ(mirror.version(), 1u);
+  Update dup = first;  // duplicate of an applied version
+  EXPECT_FALSE(mirror.apply(dup));
+}
+
+// --- TablePublisher ------------------------------------------------
+
+std::unique_ptr<cookies::DescriptorTable> table_at(uint64_t version) {
+  TableMirror mirror;
+  std::vector<cookies::CookieDescriptor> live = {make_descriptor(1)};
+  mirror.reset(version, std::move(live), {});
+  return mirror.build();
+}
+
+TEST(TablePublisher, PinnedTableSurvivesSwapUntilQuiescence) {
+  TablePublisher publisher;
+  TablePublisher::Reader reader = publisher.register_reader();
+  EXPECT_TRUE(reader.attached());
+  EXPECT_EQ(reader.acquire(), nullptr);  // nothing published yet
+
+  publisher.publish(table_at(1));
+  const cookies::DescriptorTable* pinned = reader.acquire();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(pinned->epoch(), 1u);
+
+  // Swap while the reader still announces the old table: the old table
+  // must be retired, not freed (the reader keeps using it).
+  publisher.publish(table_at(2));
+  EXPECT_EQ(publisher.retired_count(), 1u);
+  EXPECT_EQ(pinned->version(), 1u);  // still readable
+  EXPECT_EQ(publisher.try_reclaim(), 0u);  // still pinned
+
+  // Quiescent point: re-acquire announces the new table...
+  const cookies::DescriptorTable* fresh = reader.acquire();
+  EXPECT_EQ(fresh->version(), 2u);
+  EXPECT_EQ(publisher.try_reclaim(), 1u);
+  EXPECT_EQ(publisher.retired_count(), 0u);
+
+  // ...and park() releases the pin entirely.
+  publisher.publish(table_at(3));
+  reader.acquire();
+  publisher.publish(table_at(4));
+  reader.park();
+  publisher.try_reclaim();
+  EXPECT_EQ(publisher.retired_count(), 0u);
+  EXPECT_EQ(publisher.epoch(), 4u);
+}
+
+TEST(TablePublisher, DetachedReaderIsInert) {
+  TablePublisher::Reader reader;
+  EXPECT_FALSE(reader.attached());
+  EXPECT_EQ(reader.acquire(), nullptr);
+  reader.park();  // no-op, must not crash
+}
+
+// --- SyncServer ----------------------------------------------------
+
+template <typename T>
+const T* expect_response(const std::optional<util::Bytes>& bytes) {
+  if (!bytes.has_value()) return nullptr;
+  static std::optional<Message> decoded;
+  decoded = decode(util::BytesView(*bytes));
+  if (!decoded.has_value()) return nullptr;
+  return std::get_if<T>(&*decoded);
+}
+
+TEST(SyncServer, ServesSnapshotDeltaHeartbeat) {
+  DescriptorLog log;
+  SyncServer server(log);
+  log.append_add(make_descriptor(1));
+  log.append_add(make_descriptor(2));
+
+  // Fresh client: full snapshot.
+  const auto* snap =
+      expect_response<SnapshotMessage>(server.handle(
+          util::BytesView(encode(SyncRequest{7, 0}))));
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 2u);
+  EXPECT_EQ(snap->live.size(), 2u);
+
+  // Small servable gap: delta.
+  log.append_revoke(1);
+  const auto* delta =
+      expect_response<DeltaMessage>(server.handle(
+          util::BytesView(encode(SyncRequest{7, 2}))));
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->from_version, 2u);
+  EXPECT_EQ(delta->to_version, 3u);
+  ASSERT_EQ(delta->updates.size(), 1u);
+  EXPECT_EQ(delta->updates[0].op, UpdateOp::kRevoke);
+
+  // Caught up: heartbeat.
+  const auto* heartbeat =
+      expect_response<HeartbeatMessage>(server.handle(
+          util::BytesView(encode(SyncRequest{7, 3}))));
+  ASSERT_NE(heartbeat, nullptr);
+  EXPECT_EQ(heartbeat->version, 3u);
+
+  EXPECT_EQ(server.min_client_version(), 3u);
+}
+
+TEST(SyncServer, FallsBackToSnapshotPastCompactionOrLargeGaps) {
+  DescriptorLog log;
+  for (cookies::CookieId id = 1; id <= 8; ++id) {
+    log.append_add(make_descriptor(id));
+  }
+  log.compact(2);
+
+  SyncServer server(log);
+  // Gap starts before the retained tail: snapshot.
+  EXPECT_NE(expect_response<SnapshotMessage>(server.handle(
+                util::BytesView(encode(SyncRequest{1, 3})))),
+            nullptr);
+  // Servable from the tail: delta.
+  EXPECT_NE(expect_response<DeltaMessage>(server.handle(
+                util::BytesView(encode(SyncRequest{1, 6})))),
+            nullptr);
+
+  // A gap larger than max_delta_updates is shipped as a snapshot.
+  SyncServer::Config tight;
+  tight.max_delta_updates = 1;
+  SyncServer small(log, tight);
+  EXPECT_NE(expect_response<SnapshotMessage>(small.handle(
+                util::BytesView(encode(SyncRequest{2, 6})))),
+            nullptr);
+}
+
+TEST(SyncServer, DropsNonRequestDatagrams) {
+  DescriptorLog log;
+  SyncServer server(log);
+  EXPECT_FALSE(server.handle(util::BytesView(
+                                 encode(HeartbeatMessage{3})))
+                   .has_value());
+  const util::Bytes garbage = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_FALSE(server.handle(util::BytesView(garbage)).has_value());
+}
+
+// --- SyncClient over a loopback transport --------------------------
+
+/// Loopback harness: the client's requests go straight to a SyncServer
+/// unless the link is wedged; responses can be captured for replay.
+struct Loopback {
+  util::ManualClock clock{1000 * kSecond};
+  DescriptorLog log;
+  SyncServer server{log};
+  TablePublisher tables;
+  bool link_up = true;
+  std::vector<util::Bytes> responses;  // every response delivered
+  std::unique_ptr<SyncClient> client;
+
+  explicit Loopback(SyncClient::Config config = {}) {
+    client = std::make_unique<SyncClient>(
+        clock, tables, config, [this](util::Bytes request) {
+          if (!link_up) return;
+          if (auto reply = server.handle(util::BytesView(request))) {
+            responses.push_back(*reply);
+            client->on_datagram(util::BytesView(responses.back()));
+          }
+        });
+  }
+
+  /// Advance in steps, ticking like a driver loop would.
+  void run_for(util::Timestamp duration,
+               util::Timestamp step = 50 * kMillisecond) {
+    const util::Timestamp until = clock.now() + duration;
+    while (clock.now() < until) {
+      clock.advance(step);
+      client->tick();
+    }
+  }
+};
+
+TEST(SyncClient, BootstrapsViaSnapshotThenDeltas) {
+  Loopback lo;
+  lo.log.append_add(make_descriptor(1));
+  lo.client->start();
+  EXPECT_EQ(lo.client->applied_version(), 1u);
+  ASSERT_NE(lo.tables.peek(), nullptr);
+  EXPECT_EQ(lo.tables.peek()->version(), 1u);
+
+  // A revocation flows through as a delta on the next poll.
+  lo.log.append_revoke(1);
+  lo.run_for(kSecond);
+  EXPECT_EQ(lo.client->applied_version(), 2u);
+  ASSERT_NE(lo.tables.peek()->find(1), nullptr);
+  EXPECT_TRUE(lo.tables.peek()->find(1)->revoked);
+
+  // Steady state: heartbeats keep the version pinned and fresh.
+  const uint64_t epoch_before = lo.tables.epoch();
+  lo.run_for(kSecond);
+  EXPECT_EQ(lo.client->applied_version(), 2u);
+  EXPECT_EQ(lo.tables.epoch(), epoch_before);  // no spurious republish
+  EXPECT_FALSE(lo.client->stale());
+  EXPECT_EQ(lo.client->retries(), 0u);
+}
+
+TEST(SyncClient, RetriesWithBackoffAndGoesStalePastGrace) {
+  SyncClient::Config config;
+  config.stale_grace = 2 * kSecond;
+  Loopback lo(config);
+  lo.log.append_add(make_descriptor(1));
+  lo.client->start();
+  EXPECT_EQ(lo.client->applied_version(), 1u);
+
+  // Wedge the link: requests vanish, timeouts accumulate as retries,
+  // and the wakeup horizon stretches (exponential backoff).
+  lo.link_up = false;
+  lo.log.append_revoke(1);
+  lo.run_for(500 * kMillisecond);
+  EXPECT_GE(lo.client->retries(), 1u);
+  EXPECT_FALSE(lo.client->stale());  // within grace
+
+  const uint64_t retries_after_1s = lo.client->retries();
+  lo.run_for(4 * kSecond);
+  EXPECT_TRUE(lo.client->stale());
+  // Backoff: nowhere near one retry per timeout interval.
+  EXPECT_LT(lo.client->retries() - retries_after_1s, 10u);
+  // Stale-while-revalidate: the last good table still enforces.
+  ASSERT_NE(lo.tables.peek(), nullptr);
+  EXPECT_EQ(lo.tables.peek()->version(), 1u);
+  EXPECT_FALSE(lo.tables.peek()->find(1)->revoked);
+
+  // Recovery: link back, next poll catches up, staleness clears. The
+  // window must outlast a full capped backoff (5 s, +20% jitter).
+  lo.link_up = true;
+  lo.run_for(12 * kSecond);
+  EXPECT_EQ(lo.client->applied_version(), 2u);
+  EXPECT_FALSE(lo.client->stale());
+  EXPECT_TRUE(lo.tables.peek()->find(1)->revoked);
+}
+
+TEST(SyncClient, ReplayedOldSnapshotDoesNotRollBack) {
+  Loopback lo;
+  lo.log.append_add(make_descriptor(1));
+  lo.client->start();  // snapshot at version 1 (captured)
+  ASSERT_FALSE(lo.responses.empty());
+  const util::Bytes old_snapshot = lo.responses.front();
+
+  lo.log.append_revoke(1);
+  lo.run_for(kSecond);
+  EXPECT_EQ(lo.client->applied_version(), 2u);
+
+  // A duplicated/reordered datagram from before the revoke arrives
+  // late: it must not resurrect the revoked descriptor.
+  lo.client->on_datagram(util::BytesView(old_snapshot));
+  EXPECT_EQ(lo.client->applied_version(), 2u);
+  EXPECT_TRUE(lo.tables.peek()->find(1)->revoked);
+}
+
+// --- Sync over lossy simulated links -------------------------------
+
+TEST(ControlPlaneSim, ConvergesOverLossyReorderingLinks) {
+  sim::EventLoop loop;
+  DescriptorLog log;
+  SyncServer server(log);
+  TablePublisher tables;
+  SyncClient* client_ptr = nullptr;
+
+  sim::Link::Config impaired;
+  impaired.rate_bps = 1e6;
+  impaired.prop_delay = 10 * kMillisecond;
+  impaired.loss_rate = 0.25;
+  impaired.delay_jitter = 15 * kMillisecond;  // enough to reorder
+
+  // Response direction (declared first: the request sink captures it).
+  impaired.impairment_seed = 0xd0;
+  sim::Link to_client(loop, impaired, [&](net::Packet p) {
+    client_ptr->on_datagram(util::BytesView(p.payload));
+  });
+  impaired.impairment_seed = 0xd1;
+  sim::Link to_server(loop, impaired, [&](net::Packet p) {
+    if (auto reply = server.handle(util::BytesView(p.payload))) {
+      net::Packet r;
+      r.payload = std::move(*reply);
+      to_client.send(std::move(r));
+    }
+  });
+
+  SyncClient::Config config;
+  config.poll_interval = 50 * kMillisecond;
+  config.response_timeout = 100 * kMillisecond;
+  config.backoff_base = 100 * kMillisecond;
+  SyncClient client(loop.clock(), tables, config,
+                    [&](util::Bytes request) {
+                      net::Packet p;
+                      p.payload = std::move(request);
+                      to_server.send(std::move(p));
+                    });
+  client_ptr = &client;
+
+  for (cookies::CookieId id = 1; id <= 5; ++id) {
+    log.append_add(make_descriptor(id));
+  }
+  client.start();
+  // Tick pump riding the event loop.
+  std::function<void()> pump = [&] {
+    client.tick();
+    loop.after(25 * kMillisecond, pump);
+  };
+  pump();
+  loop.run_until(loop.now() + 10 * kSecond);
+  ASSERT_NE(tables.peek(), nullptr);
+  EXPECT_EQ(tables.peek()->version(), 5u);
+
+  // Mid-life churn: grants and revokes while the channel stays lossy.
+  log.append_revoke(2);
+  log.append_add(make_descriptor(6));
+  log.append_remove(1);
+  loop.run_until(loop.now() + 10 * kSecond);
+
+  EXPECT_EQ(client.applied_version(), log.version());
+  const auto* table = tables.peek();
+  EXPECT_EQ(table->version(), 8u);
+  EXPECT_EQ(table->find(1), nullptr);        // removed
+  EXPECT_TRUE(table->find(2)->revoked);      // revoked
+  EXPECT_FALSE(table->find(6)->revoked);     // granted late
+  EXPECT_FALSE(client.stale());
+  EXPECT_GT(to_server.dropped() + to_client.dropped(), 0u)
+      << "loss impairment never fired; the test is vacuous";
+}
+
+// --- End-to-end: revocation reaches a running pool -----------------
+
+net::Packet flow_packet(uint32_t flow_id) {
+  net::Packet p;
+  p.tuple.src_ip = net::IpAddress::v4(0x0a000000u | flow_id);
+  p.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 1);
+  p.tuple.src_port = static_cast<uint16_t>(1024 + (flow_id & 0xfff));
+  p.tuple.dst_port = 443;
+  p.tuple.proto = net::L4Proto::kUdp;
+  p.wire_size = 512;
+  return p;
+}
+
+void submit_spin(runtime::WorkerPool& pool, size_t worker,
+                 net::Packet&& packet) {
+  while (!pool.submit(worker, std::move(packet))) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ControlPlaneRuntime, RevocationReachesEveryWorkerThroughSync) {
+  util::SystemClock clock;
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  runtime::WorkerPool::Config config;
+  config.workers = 2;
+  runtime::WorkerPool pool(clock, registry, config);
+
+  DescriptorLog log;
+  SyncServer server(log);
+  TablePublisher tables;
+  SyncClient* client_ptr = nullptr;
+  util::ManualClock control_clock(clock.now());
+  SyncClient client(control_clock, tables, {},
+                    [&](util::Bytes request) {
+                      if (auto r = server.handle(util::BytesView(request))) {
+                        client_ptr->on_datagram(util::BytesView(*r));
+                      }
+                    });
+  client_ptr = &client;
+  pool.bind_table_publisher(tables);
+
+  log.append_add(make_descriptor(1));
+  client.start();
+  pool.start();
+
+  util::ManualClock mint_clock(clock.now());
+  cookies::CookieGenerator gen(make_descriptor(1), mint_clock, 7);
+  for (uint32_t i = 0; i < 8; ++i) {
+    net::Packet p = flow_packet(i);
+    cookies::attach(p, gen.generate(), cookies::Transport::kUdpHeader);
+    submit_spin(pool, i % config.workers, std::move(p));
+    mint_clock.advance(kMillisecond);
+  }
+  pool.drain();
+  EXPECT_EQ(pool.total_verified(), 8u);
+
+  // The revocation travels server -> log -> sync -> table swap; no
+  // direct pool/verifier call anywhere.
+  log.append_revoke(1);
+  control_clock.advance(kSecond);
+  client.tick();
+  ASSERT_TRUE(tables.peek()->find(1)->revoked);
+
+  for (uint32_t i = 100; i < 108; ++i) {
+    net::Packet p = flow_packet(i);
+    cookies::attach(p, gen.generate(), cookies::Transport::kUdpHeader);
+    submit_spin(pool, i % config.workers, std::move(p));
+    mint_clock.advance(kMillisecond);
+  }
+  pool.drain();
+  pool.stop();
+  EXPECT_EQ(pool.total_verified(), 8u);  // nothing after the revoke
+  uint64_t revoked_seen = 0;
+  for (size_t w = 0; w < config.workers; ++w) {
+    const uint64_t revoked = pool.verifier(w).stats().revoked;
+    EXPECT_GT(revoked, 0u) << "revocation missed worker " << w;
+    revoked_seen += revoked;
+  }
+  EXPECT_EQ(revoked_seen, 8u);
+  EXPECT_EQ(tables.epoch(), 2u);
+}
+
+/// Verify throughput continues while tables swap underneath the
+/// workers — the TSan job runs this to prove the hazard/epoch protocol
+/// race-free: workers acquire() per burst while the control thread
+/// publishes and reclaims as fast as it can.
+TEST(ControlPlaneRuntime, VerifyDuringSwapIsRaceFree) {
+  util::SystemClock clock;
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  runtime::WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 256;
+  runtime::WorkerPool pool(clock, registry, config);
+
+  TablePublisher tables;
+  pool.bind_table_publisher(tables);
+
+  // Seed both alternating tables with the descriptor being verified so
+  // every burst resolves it no matter which epoch it pins.
+  auto build = [](uint64_t version) {
+    TableMirror mirror;
+    std::vector<cookies::CookieDescriptor> live = {make_descriptor(1),
+                                                   make_descriptor(2)};
+    mirror.reset(version, std::move(live), {});
+    return mirror.build();
+  };
+  tables.publish(build(1));
+  pool.start();
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    uint64_t version = 2;
+    while (!stop_swapping.load(std::memory_order_acquire)) {
+      tables.publish(build(version++));
+      tables.try_reclaim();
+    }
+  });
+
+  util::ManualClock mint_clock(clock.now());
+  cookies::CookieGenerator gen(make_descriptor(1), mint_clock, 7);
+  constexpr uint32_t kPackets = 4000;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    net::Packet p = flow_packet(i);
+    cookies::attach(p, gen.generate(), cookies::Transport::kUdpHeader);
+    submit_spin(pool, i % config.workers, std::move(p));
+    mint_clock.advance(kMillisecond);
+  }
+  pool.drain();
+  stop_swapping.store(true, std::memory_order_release);
+  swapper.join();
+  pool.stop();
+
+  // Workers parked at stop; everything retired must now be free.
+  tables.try_reclaim();
+  EXPECT_EQ(tables.retired_count(), 0u);
+  EXPECT_EQ(pool.total_verified(), kPackets);
+  EXPECT_GT(tables.epoch(), 2u) << "swapper never actually swapped";
+}
+
+// --- LocalSubscriber ------------------------------------------------
+
+TEST(LocalSubscriber, ReplaysHistoryAndFollowsUpdates) {
+  util::ManualClock clock(1000 * kSecond);
+  DescriptorLog log;
+  log.append_add(make_descriptor(1));
+  log.append_add(make_descriptor(2));
+  log.append_revoke(2);
+
+  cookies::CookieVerifier verifier(clock);
+  LocalSubscriber subscriber(log, verifier);
+  // Pre-subscription history replayed...
+  EXPECT_TRUE(verifier.knows(1));
+  EXPECT_EQ(verifier.find(2), nullptr);  // revoked
+  EXPECT_TRUE(verifier.knows(2));       // ...including the tombstone
+  // ...and live updates follow.
+  log.append_add(make_descriptor(3));
+  EXPECT_TRUE(verifier.knows(3));
+  log.append_remove(3);
+  EXPECT_FALSE(verifier.knows(3));
+  // A revoke for an id the verifier never saw still lands (stub).
+  log.append_revoke(9);
+  EXPECT_TRUE(verifier.knows(9));
+  EXPECT_EQ(verifier.find(9), nullptr);
+}
+
+}  // namespace
+}  // namespace nnn::controlplane

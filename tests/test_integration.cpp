@@ -6,6 +6,7 @@
 #include "boost_lane/agent.h"
 #include "boost_lane/browser.h"
 #include "boost_lane/daemon.h"
+#include "controlplane/local_subscriber.h"
 #include "cookies/transport.h"
 #include "dataplane/middlebox.h"
 #include "net/http.h"
@@ -33,7 +34,9 @@ TEST(EndToEnd, Section44Walkthrough) {
 
   // ISP side.
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer server(clock, 101, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer server(clock, 101, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "Boost";
   offer.description = "fast lane for high-priority traffic";
@@ -122,7 +125,9 @@ TEST(EndToEnd, Fig5bLaneOrderingHolds) {
 TEST(EndToEnd, ZeroRatingDeployment) {
   util::ManualClock clock(3'000'000 * kSecond);
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer server(clock, 202, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer server(clock, 202, &descriptor_log);
+  controlplane::LocalSubscriber log_subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "ZeroRate-MyApp";
   offer.service_data = "zero-rate";

@@ -6,6 +6,7 @@
 #include "baselines/diffserv.h"
 #include "boost_lane/agent.h"
 #include "boost_lane/browser.h"
+#include "controlplane/local_subscriber.h"
 #include "cookies/generator.h"
 #include "cookies/transport.h"
 #include "dataplane/middlebox.h"
@@ -124,7 +125,9 @@ TEST(PacketGranularity, ServiceAppliesToSinglePacketOnly) {
 TEST(DescriptorRenewal, AgentRenewsExpiredDescriptor) {
   util::ManualClock clock(1'000'000 * kSecond);
   cookies::CookieVerifier verifier(clock);
-  server::CookieServer server(clock, 17, &verifier);
+  controlplane::DescriptorLog descriptor_log;
+  server::CookieServer server(clock, 17, &descriptor_log);
+  controlplane::LocalSubscriber subscriber(descriptor_log, verifier);
   server::ServiceOffer offer;
   offer.name = "Boost";
   offer.service_data = "Boost";

@@ -2,6 +2,8 @@
 // and discovery.
 #include <gtest/gtest.h>
 
+#include "controlplane/local_subscriber.h"
+#include "cookies/verifier.h"
 #include "server/cookie_server.h"
 #include "server/discovery.h"
 #include "server/json_api.h"
@@ -25,13 +27,16 @@ class ServerTest : public ::testing::Test {
   ServerTest()
       : clock_(1'000'000 * util::kSecond),
         verifier_(clock_),
-        server_(clock_, 77, &verifier_) {
+        server_(clock_, 77, &log_),
+        subscriber_(log_, verifier_) {
     server_.add_service(boost_offer());
   }
 
   util::ManualClock clock_;
   cookies::CookieVerifier verifier_;
+  controlplane::DescriptorLog log_;
   CookieServer server_;
+  controlplane::LocalSubscriber subscriber_;
 };
 
 TEST_F(ServerTest, OpenServiceGrantsDescriptor) {

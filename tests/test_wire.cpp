@@ -1,6 +1,8 @@
-// Wire codec: real IPv4/IPv6 + TCP/UDP serialization.
+// Wire codec: real IPv4/IPv6 + TCP/UDP serialization, plus the
+// control-plane sync frame envelope and message codecs.
 #include <gtest/gtest.h>
 
+#include "controlplane/messages.h"
 #include "net/wire.h"
 #include "util/rng.h"
 
@@ -197,6 +199,167 @@ TEST_P(WireRoundtrip, RandomPacketsRoundtrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundtrip, ::testing::Values(3, 5, 7));
+
+// --- Control-plane sync frames and messages ------------------------
+
+TEST(SyncWire, FrameRoundTrip) {
+  util::Bytes buffer;
+  const util::Bytes payload = {1, 2, 3, 4, 5};
+  append_sync_frame(buffer, 9, util::BytesView(payload));
+  append_sync_frame(buffer, 4, {});  // empty payload is legal
+
+  util::ByteReader r{util::BytesView(buffer)};
+  const auto first = parse_sync_frame(r);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, 9);
+  EXPECT_EQ(util::Bytes(first->payload.begin(), first->payload.end()),
+            payload);
+  const auto second = parse_sync_frame(r);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, 4);
+  EXPECT_TRUE(second->payload.empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SyncWire, FrameRejectsBadEnvelope) {
+  util::Bytes good;
+  append_sync_frame(good, 1, {});
+
+  util::Bytes bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  util::ByteReader r1{util::BytesView(bad_magic)};
+  EXPECT_FALSE(parse_sync_frame(r1).has_value());
+
+  util::Bytes bad_version = good;
+  bad_version[2] = kSyncVersion + 1;
+  util::ByteReader r2{util::BytesView(bad_version)};
+  EXPECT_FALSE(parse_sync_frame(r2).has_value());
+
+  // Declared length beyond the buffer.
+  util::Bytes overrun;
+  append_sync_frame(overrun, 1, util::BytesView(good));
+  overrun.resize(overrun.size() - 3);
+  util::ByteReader r3{util::BytesView(overrun)};
+  EXPECT_FALSE(parse_sync_frame(r3).has_value());
+}
+
+controlplane::SnapshotMessage rich_snapshot() {
+  cookies::CookieDescriptor d;
+  d.cookie_id = 42;
+  d.key.assign(32, 0xab);
+  d.service_data = "Boost";
+  d.attributes.granularity = cookies::Granularity::kPacket;
+  d.attributes.reverse_flow = false;
+  d.attributes.shared = true;
+  d.attributes.ack_cookie = true;
+  d.attributes.delivery_guarantee = true;
+  d.attributes.transports = {cookies::Transport::kHttpHeader,
+                             cookies::Transport::kTcpOption};
+  d.attributes.expires_at = 12'345'678;
+  d.attributes.mapping_ttl = 3'600'000'000;
+  d.attributes.extra = {{"region", "us"}, {"ssid", "HomeWifi"}};
+
+  cookies::CookieDescriptor plain;
+  plain.cookie_id = 43;
+  plain.key.assign(32, 0xcd);
+  plain.service_data = "zero-rate";
+
+  controlplane::SnapshotMessage snap;
+  snap.version = 17;
+  snap.live = {d, plain};
+  snap.revoked = {5, 6};
+  return snap;
+}
+
+TEST(SyncWire, MessagesRoundTrip) {
+  using controlplane::decode;
+  using controlplane::encode;
+  using controlplane::Message;
+
+  const Message request = controlplane::SyncRequest{99, 1234};
+  EXPECT_EQ(decode(util::BytesView(encode(request))), request);
+
+  const Message heartbeat = controlplane::HeartbeatMessage{77};
+  EXPECT_EQ(decode(util::BytesView(encode(heartbeat))), heartbeat);
+
+  const Message snapshot = rich_snapshot();
+  EXPECT_EQ(decode(util::BytesView(encode(snapshot))), snapshot);
+
+  controlplane::DeltaMessage delta;
+  delta.from_version = 17;
+  delta.to_version = 19;
+  controlplane::Update add;
+  add.version = 18;
+  add.op = controlplane::UpdateOp::kAdd;
+  add.id = 42;
+  add.descriptor = rich_snapshot().live[0];
+  controlplane::Update revoke;
+  revoke.version = 19;
+  revoke.op = controlplane::UpdateOp::kRevoke;
+  revoke.id = 42;
+  delta.updates = {add, revoke};
+  const Message delta_message = delta;
+  EXPECT_EQ(decode(util::BytesView(encode(delta_message))), delta_message);
+}
+
+TEST(SyncWire, EveryTruncationPrefixRejected) {
+  // Chop a maximally-featured snapshot at every length; each prefix
+  // must decode to nullopt (defensive parsing), never crash or
+  // misparse.
+  const util::Bytes full =
+      controlplane::encode(controlplane::Message(rich_snapshot()));
+  for (size_t len = 0; len < full.size(); ++len) {
+    const util::BytesView prefix(full.data(), len);
+    EXPECT_FALSE(controlplane::decode(prefix).has_value())
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(SyncWire, UnknownFrameTypeIsSkipped) {
+  // A future message type (0x7f) rides ahead of a heartbeat in the
+  // same datagram: an old decoder must skip it and find the heartbeat.
+  util::Bytes datagram;
+  const util::Bytes future = {0xca, 0xfe};
+  append_sync_frame(datagram, 0x7f, util::BytesView(future));
+  const util::Bytes heartbeat =
+      controlplane::encode(controlplane::Message(
+          controlplane::HeartbeatMessage{5}));
+  datagram.insert(datagram.end(), heartbeat.begin(), heartbeat.end());
+
+  const auto decoded = controlplane::decode(util::BytesView(datagram));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* hb = std::get_if<controlplane::HeartbeatMessage>(&*decoded);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->version, 5u);
+
+  // A datagram of only unknown frames is "no message", not an error
+  // loop.
+  util::Bytes only_unknown;
+  append_sync_frame(only_unknown, 0x70, util::BytesView(future));
+  EXPECT_FALSE(
+      controlplane::decode(util::BytesView(only_unknown)).has_value());
+}
+
+TEST(SyncWire, DescriptorCodecRejectsCorruptFields) {
+  const cookies::CookieDescriptor d = rich_snapshot().live[0];
+  util::Bytes buffer;
+  {
+    util::ByteWriter w{buffer};
+    controlplane::encode_descriptor(w, d);
+  }
+  {
+    util::ByteReader r{util::BytesView(buffer)};
+    const auto back = controlplane::decode_descriptor(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, d);
+  }
+  // Corrupt the granularity byte (offset: 8 id + 2+32 key +
+  // 2+5 "Boost") to an undefined enum value.
+  util::Bytes corrupt = buffer;
+  corrupt[8 + 2 + 32 + 2 + 5] = 0x7f;
+  util::ByteReader r{util::BytesView(corrupt)};
+  EXPECT_FALSE(controlplane::decode_descriptor(r).has_value());
+}
 
 }  // namespace
 }  // namespace nnn::net
