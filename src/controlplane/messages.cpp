@@ -22,6 +22,15 @@ constexpr uint8_t kFlagDeliveryGuarantee = 1u << 3;
 constexpr uint8_t kMaxTransport =
     static_cast<uint8_t>(cookies::Transport::kTcpOption);
 
+/// Build, tally, and wrap a messages-domain error (payload problems;
+/// envelope problems keep their wire-domain Error from
+/// net::read_sync_frame).
+Unexpected<Error> msg_error(ErrorCode code, std::string_view detail = {}) {
+  const Error error{ErrorDomain::kMessages, code, detail};
+  count_error(error);
+  return unexpected(error);
+}
+
 void encode_string(ByteWriter& w, const std::string& s) {
   w.u16(static_cast<uint16_t>(s.size()));
   w.raw(std::string_view(s));
@@ -42,20 +51,26 @@ void encode_update(ByteWriter& w, const Update& update) {
   if (update.op == UpdateOp::kAdd) encode_descriptor(w, update.descriptor);
 }
 
-std::optional<Update> decode_update(ByteReader& r) {
+Expected<Update> decode_update(ByteReader& r) {
   Update update;
   const auto version = r.u64();
   const auto op = r.u8();
   const auto id = r.u64();
-  if (!version || !op || !id) return std::nullopt;
-  if (*op > static_cast<uint8_t>(UpdateOp::kRemove)) return std::nullopt;
+  if (!version || !op || !id) {
+    return msg_error(ErrorCode::kTruncated, "update");
+  }
+  if (*op > static_cast<uint8_t>(UpdateOp::kRemove)) {
+    return msg_error(ErrorCode::kMalformed, "update op");
+  }
   update.version = *version;
   update.op = static_cast<UpdateOp>(*op);
   update.id = *id;
   if (update.op == UpdateOp::kAdd) {
     auto descriptor = decode_descriptor(r);
-    if (!descriptor) return std::nullopt;
-    if (descriptor->cookie_id != update.id) return std::nullopt;
+    if (!descriptor) return unexpected(descriptor.error());
+    if (descriptor->cookie_id != update.id) {
+      return msg_error(ErrorCode::kMalformed, "update id mismatch");
+    }
     update.descriptor = std::move(*descriptor);
   }
   return update;
@@ -97,60 +112,68 @@ Bytes encode_payload(const HeartbeatMessage& m) {
   return out;
 }
 
-std::optional<Message> decode_payload(MessageType type, BytesView payload) {
+Expected<Message> decode_payload(MessageType type, BytesView payload) {
   ByteReader r(payload);
   switch (type) {
     case MessageType::kSyncRequest: {
       const auto client_id = r.u64();
       const auto have_version = r.u64();
-      if (!client_id || !have_version) return std::nullopt;
-      return SyncRequest{*client_id, *have_version};
+      if (!client_id || !have_version) {
+        return msg_error(ErrorCode::kTruncated, "sync request");
+      }
+      return Message{SyncRequest{*client_id, *have_version}};
     }
     case MessageType::kSnapshot: {
       SnapshotMessage m;
       const auto version = r.u64();
       const auto live_count = r.u32();
-      if (!version || !live_count) return std::nullopt;
+      if (!version || !live_count) {
+        return msg_error(ErrorCode::kTruncated, "snapshot header");
+      }
       m.version = *version;
       m.live.reserve(*live_count);
       for (uint32_t i = 0; i < *live_count; ++i) {
         auto descriptor = decode_descriptor(r);
-        if (!descriptor) return std::nullopt;
+        if (!descriptor) return unexpected(descriptor.error());
         m.live.push_back(std::move(*descriptor));
       }
       const auto revoked_count = r.u32();
-      if (!revoked_count) return std::nullopt;
+      if (!revoked_count) {
+        return msg_error(ErrorCode::kTruncated, "snapshot revoked");
+      }
       m.revoked.reserve(*revoked_count);
       for (uint32_t i = 0; i < *revoked_count; ++i) {
         const auto id = r.u64();
-        if (!id) return std::nullopt;
+        if (!id) return msg_error(ErrorCode::kTruncated, "snapshot revoked");
         m.revoked.push_back(*id);
       }
-      return m;
+      return Message{std::move(m)};
     }
     case MessageType::kDelta: {
       DeltaMessage m;
       const auto from_version = r.u64();
       const auto to_version = r.u64();
       const auto count = r.u32();
-      if (!from_version || !to_version || !count) return std::nullopt;
+      if (!from_version || !to_version || !count) {
+        return msg_error(ErrorCode::kTruncated, "delta header");
+      }
       m.from_version = *from_version;
       m.to_version = *to_version;
       m.updates.reserve(*count);
       for (uint32_t i = 0; i < *count; ++i) {
         auto update = decode_update(r);
-        if (!update) return std::nullopt;
+        if (!update) return unexpected(update.error());
         m.updates.push_back(std::move(*update));
       }
-      return m;
+      return Message{std::move(m)};
     }
     case MessageType::kHeartbeat: {
       const auto version = r.u64();
-      if (!version) return std::nullopt;
-      return HeartbeatMessage{*version};
+      if (!version) return msg_error(ErrorCode::kTruncated, "heartbeat");
+      return Message{HeartbeatMessage{*version}};
     }
   }
-  return std::nullopt;
+  return msg_error(ErrorCode::kUnknownType);
 }
 
 }  // namespace
@@ -184,26 +207,30 @@ void encode_descriptor(ByteWriter& w,
   }
 }
 
-std::optional<cookies::CookieDescriptor> decode_descriptor(ByteReader& r) {
+Expected<cookies::CookieDescriptor> decode_descriptor(ByteReader& r) {
   cookies::CookieDescriptor d;
   const auto id = r.u64();
-  if (!id) return std::nullopt;
+  if (!id) return msg_error(ErrorCode::kTruncated, "descriptor id");
   d.cookie_id = *id;
   const auto key_len = r.u16();
-  if (!key_len) return std::nullopt;
+  if (!key_len) return msg_error(ErrorCode::kTruncated, "descriptor key");
   auto key = r.raw(*key_len);
-  if (!key) return std::nullopt;
+  if (!key) return msg_error(ErrorCode::kTruncated, "descriptor key");
   d.key = std::move(*key);
   auto service_data = decode_string(r);
-  if (!service_data) return std::nullopt;
+  if (!service_data) {
+    return msg_error(ErrorCode::kTruncated, "descriptor service data");
+  }
   d.service_data = std::move(*service_data);
 
   cookies::Attributes& a = d.attributes;
   const auto granularity = r.u8();
   const auto flags = r.u8();
-  if (!granularity || !flags) return std::nullopt;
+  if (!granularity || !flags) {
+    return msg_error(ErrorCode::kTruncated, "descriptor attributes");
+  }
   if (*granularity > static_cast<uint8_t>(cookies::Granularity::kPacket)) {
-    return std::nullopt;
+    return msg_error(ErrorCode::kMalformed, "descriptor granularity");
   }
   a.granularity = static_cast<cookies::Granularity>(*granularity);
   a.reverse_flow = *flags & kFlagReverseFlow;
@@ -212,30 +239,39 @@ std::optional<cookies::CookieDescriptor> decode_descriptor(ByteReader& r) {
   a.delivery_guarantee = *flags & kFlagDeliveryGuarantee;
 
   const auto transport_count = r.u8();
-  if (!transport_count) return std::nullopt;
+  if (!transport_count) {
+    return msg_error(ErrorCode::kTruncated, "descriptor transports");
+  }
   a.transports.reserve(*transport_count);
   for (uint8_t i = 0; i < *transport_count; ++i) {
     const auto t = r.u8();
-    if (!t || *t > kMaxTransport) return std::nullopt;
+    if (!t) return msg_error(ErrorCode::kTruncated, "descriptor transports");
+    if (*t > kMaxTransport) {
+      return msg_error(ErrorCode::kMalformed, "descriptor transport");
+    }
     a.transports.push_back(static_cast<cookies::Transport>(*t));
   }
 
   const auto has_expires = r.u8();
   const auto expires = r.u64();
-  if (!has_expires || !expires) return std::nullopt;
+  if (!has_expires || !expires) {
+    return msg_error(ErrorCode::kTruncated, "descriptor expiry");
+  }
   if (*has_expires) a.expires_at = static_cast<util::Timestamp>(*expires);
   const auto has_ttl = r.u8();
   const auto ttl = r.u64();
-  if (!has_ttl || !ttl) return std::nullopt;
+  if (!has_ttl || !ttl) {
+    return msg_error(ErrorCode::kTruncated, "descriptor ttl");
+  }
   if (*has_ttl) a.mapping_ttl = static_cast<util::Timestamp>(*ttl);
 
   const auto extra_count = r.u16();
-  if (!extra_count) return std::nullopt;
+  if (!extra_count) return msg_error(ErrorCode::kTruncated, "descriptor extra");
   for (uint16_t i = 0; i < *extra_count; ++i) {
     auto key_str = decode_string(r);
-    if (!key_str) return std::nullopt;
+    if (!key_str) return msg_error(ErrorCode::kTruncated, "descriptor extra");
     auto value = decode_string(r);
-    if (!value) return std::nullopt;
+    if (!value) return msg_error(ErrorCode::kTruncated, "descriptor extra");
     a.extra.emplace(std::move(*key_str), std::move(*value));
   }
   return d;
@@ -264,10 +300,12 @@ util::Bytes encode(const Message& message) {
   return out;
 }
 
-std::optional<Message> decode(ByteReader& r) {
+Expected<Message> decode_message(ByteReader& r) {
+  if (r.done()) return msg_error(ErrorCode::kTruncated, "empty datagram");
   while (!r.done()) {
-    const auto frame = net::parse_sync_frame(r);
-    if (!frame) return std::nullopt;
+    const auto frame = net::read_sync_frame(r);
+    // Envelope failures keep their wire-domain Error (already tallied).
+    if (!frame) return unexpected(frame.error());
     if (frame->type < static_cast<uint8_t>(MessageType::kSyncRequest) ||
         frame->type > static_cast<uint8_t>(MessageType::kHeartbeat)) {
       continue;  // unknown type: envelope told us how far to skip
@@ -275,12 +313,20 @@ std::optional<Message> decode(ByteReader& r) {
     return decode_payload(static_cast<MessageType>(frame->type),
                           frame->payload);
   }
-  return std::nullopt;
+  return msg_error(ErrorCode::kUnknownType, "no known frame");
+}
+
+Expected<Message> decode_message(BytesView datagram) {
+  ByteReader r(datagram);
+  return decode_message(r);
+}
+
+std::optional<Message> decode(ByteReader& r) {
+  return decode_message(r).to_optional();
 }
 
 std::optional<Message> decode(BytesView datagram) {
-  ByteReader r(datagram);
-  return decode(r);
+  return decode_message(datagram).to_optional();
 }
 
 }  // namespace nnn::controlplane

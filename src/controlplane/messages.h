@@ -14,7 +14,11 @@
 // envelope carries the type byte and payload length, so a decoder can
 // skip message types it does not know — newer servers can speak to
 // older middleboxes. Decoding is defensive in the repo's wire idiom:
-// truncation or a malformed known payload yields nullopt, never UB.
+// truncation or a malformed known payload yields a typed Error
+// (domain kMessages for payload problems, kWire for envelope
+// problems), never UB. decode_message is the primary entry point
+// (PR 5 API redesign); the std::optional decode() spellings survive
+// as thin views.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,8 @@
 #include "controlplane/descriptor_log.h"
 #include "cookies/descriptor.h"
 #include "util/bytes.h"
+#include "util/error.h"
+#include "util/expected.h"
 
 namespace nnn::controlplane {
 
@@ -86,11 +92,18 @@ util::Bytes encode(const Message& message);
 
 /// Decode the next sync frame at the reader. Unknown frame types are
 /// skipped (the reader advances past them and decoding continues with
-/// the next frame); nullopt means truncation, bad envelope, or a
-/// malformed payload for a known type.
-std::optional<Message> decode(util::ByteReader& r);
+/// the next frame). Failure carries the rejecting layer: a wire-domain
+/// Error for envelope problems (bad magic, truncated frame), a
+/// messages-domain Error for a malformed known payload, and
+/// kUnknownType when the input held only unknown frames. All failures
+/// land in nnn_errors_total.
+Expected<Message> decode_message(util::ByteReader& r);
 
 /// Convenience for single-message datagrams.
+Expected<Message> decode_message(util::BytesView datagram);
+
+/// Legacy views over decode_message: drop the error detail.
+std::optional<Message> decode(util::ByteReader& r);
 std::optional<Message> decode(util::BytesView datagram);
 
 /// Descriptor binary codec, exposed for tests. Field order: id, key,
@@ -98,7 +111,6 @@ std::optional<Message> decode(util::BytesView datagram);
 /// optional expiry/mapping_ttl, extras).
 void encode_descriptor(util::ByteWriter& w,
                        const cookies::CookieDescriptor& descriptor);
-std::optional<cookies::CookieDescriptor> decode_descriptor(
-    util::ByteReader& r);
+Expected<cookies::CookieDescriptor> decode_descriptor(util::ByteReader& r);
 
 }  // namespace nnn::controlplane

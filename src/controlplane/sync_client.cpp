@@ -28,6 +28,9 @@ void SyncClient::collect(telemetry::SampleBuilder& builder) const {
   builder.gauge("nnn_controlplane_stale",
                 "1 when no successful sync within stale_grace", labels,
                 stale_gauge_.value());
+  builder.gauge("nnn_controlplane_breaker_state",
+                "Sync circuit breaker: 0 closed, 1 open, 2 half-open",
+                labels, breaker_gauge_.value());
   builder.counter("nnn_controlplane_retries_total",
                   "Sync requests that timed out and were retried", labels,
                   retries_.value());
@@ -37,9 +40,32 @@ void SyncClient::collect(telemetry::SampleBuilder& builder) const {
   builder.counter("nnn_controlplane_deltas_applied_total",
                   "Incremental deltas applied", labels,
                   deltas_applied_.value());
+  builder.counter("nnn_controlplane_breaker_opens_total",
+                  "Times the sync circuit breaker tripped open", labels,
+                  breaker_opens_.value());
+  builder.counter("nnn_controlplane_restores_total",
+                  "Cold starts recovered from a table checkpoint", labels,
+                  restores_.value());
   builder.histogram("nnn_controlplane_sync_rtt_micros",
                     "Request-to-response round trip in microseconds",
                     labels, sync_rtt_micros_);
+  // One gauge per degradation reason: "still enforcing, but on terms
+  // an operator should know about". All read from atomic cells so the
+  // exporter can run while the control thread mutates.
+  static constexpr std::string_view kDegradedHelp =
+      "1 while degraded for the labeled reason, else 0";
+  builder.gauge("nnn_degraded", kDegradedHelp,
+                telemetry::LabelSet{{"client", client_label_},
+                                    {"reason", "stale"}},
+                stale_gauge_.value());
+  builder.gauge("nnn_degraded", kDegradedHelp,
+                telemetry::LabelSet{{"client", client_label_},
+                                    {"reason", "breaker-open"}},
+                breaker_gauge_.value() != 0 ? 1 : 0);
+  builder.gauge("nnn_degraded", kDegradedHelp,
+                telemetry::LabelSet{{"client", client_label_},
+                                    {"reason", "restored-table"}},
+                restored_gauge_.value());
 }
 
 util::Timestamp SyncClient::with_jitter(util::Timestamp base) {
@@ -58,6 +84,12 @@ void SyncClient::start() {
 }
 
 void SyncClient::send_request(util::Timestamp now) {
+  // An open breaker sends nothing until its backoff elapses; the first
+  // request after that IS the half-open probe.
+  if (breaker_ == BreakerState::kOpen) {
+    breaker_ = BreakerState::kHalfOpen;
+    breaker_gauge_.set(static_cast<int64_t>(breaker_));
+  }
   awaiting_response_ = true;
   last_request_ = now;
   current_timeout_ = config_.response_timeout;
@@ -69,16 +101,42 @@ void SyncClient::publish() {
   publisher_.publish(mirror_.build());
 }
 
+util::Timestamp SyncClient::current_backoff() const {
+  util::Timestamp backoff = config_.backoff_base;
+  for (uint32_t i = 1;
+       i < consecutive_failures_ && backoff < config_.backoff_max; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, config_.backoff_max);
+}
+
 void SyncClient::on_success(util::Timestamp now) {
   if (awaiting_response_) {
     sync_rtt_micros_.record(static_cast<uint64_t>(
         std::max<util::Timestamp>(0, now - last_request_)));
   }
   awaiting_response_ = false;
-  consecutive_failures_ = 0;
   last_success_ = now;
   stale_ = false;
   stale_gauge_.set(0);
+  restored_active_ = false;
+  restored_gauge_.set(0);
+  if (breaker_ == BreakerState::kClosed) {
+    consecutive_failures_ = 0;
+  } else {
+    // The regression this guards: a flapping link lets one response
+    // through and the old code restarted backoff from the minimum,
+    // hammering a server that is still down. A single success now only
+    // decays the failure level by one; the breaker closes — and the
+    // slate wipes clean — only after a genuine success streak.
+    ++success_streak_;
+    if (consecutive_failures_ > 0) --consecutive_failures_;
+    if (success_streak_ >= config_.breaker_success_threshold) {
+      breaker_ = BreakerState::kClosed;
+      breaker_gauge_.set(0);
+      consecutive_failures_ = 0;
+    }
+  }
   version_lag_.set(static_cast<int64_t>(
       server_version_ > mirror_.version()
           ? server_version_ - mirror_.version()
@@ -91,10 +149,62 @@ void SyncClient::on_success(util::Timestamp now) {
                    : now + with_jitter(config_.poll_interval);
 }
 
+void SyncClient::on_failure(util::Timestamp now) {
+  awaiting_response_ = false;
+  ++consecutive_failures_;
+  success_streak_ = 0;
+  retries_.inc();
+  count_error({ErrorDomain::kSync, ErrorCode::kTimeout, "sync response"});
+  if (breaker_ == BreakerState::kHalfOpen) {
+    // The probe died; back to open for another full backoff.
+    breaker_ = BreakerState::kOpen;
+    breaker_gauge_.set(static_cast<int64_t>(breaker_));
+  } else if (breaker_ == BreakerState::kClosed &&
+             consecutive_failures_ >= config_.breaker_failure_threshold) {
+    breaker_ = BreakerState::kOpen;
+    breaker_gauge_.set(static_cast<int64_t>(breaker_));
+    breaker_opens_.inc();
+    count_error({ErrorDomain::kSync, ErrorCode::kUnavailable,
+                 "breaker open"});
+  }
+  // Back off exponentially (capped), jittered so a fleet of clients
+  // does not re-converge on the recovering server in sync.
+  next_poll_ = now + with_jitter(current_backoff());
+}
+
+SavedTable SyncClient::export_table() const {
+  return SavedTable{mirror_.version(), clock_.now(), mirror_.live(),
+                    mirror_.revoked()};
+}
+
+bool SyncClient::restore(const SavedTable& saved) {
+  const util::Timestamp age =
+      std::max<util::Timestamp>(0, clock_.now() - saved.saved_at);
+  if (age > config_.restore_budget) {
+    // Enforcing arbitrarily old revocation state is worse than an
+    // empty table that fails open until the first snapshot lands.
+    count_error({ErrorDomain::kSync, ErrorCode::kStale,
+                 "restore checkpoint"});
+    return false;
+  }
+  mirror_.reset(saved.version, saved.live, saved.revoked);
+  publish();
+  restored_active_ = true;
+  restored_gauge_.set(1);
+  restores_.inc();
+  return true;
+}
+
 void SyncClient::on_datagram(util::BytesView datagram) {
   if (!started_) return;
-  const auto message = decode(datagram);
-  if (!message) return;
+  const auto message = decode_message(datagram);
+  if (!message) {
+    // The decoder tallied the failure; keep the typed detail for
+    // operators and tests. A garbled response is not a success, but it
+    // is also not a timeout — the timer decides that.
+    last_error_ = message.error();
+    return;
+  }
   const util::Timestamp now = clock_.now();
 
   if (const auto* heartbeat = std::get_if<HeartbeatMessage>(&*message)) {
@@ -137,19 +247,7 @@ void SyncClient::tick() {
   if (!started_) return;
   const util::Timestamp now = clock_.now();
   if (awaiting_response_ && now - last_request_ >= current_timeout_) {
-    // Loss. Back off exponentially (capped), jittered so a fleet of
-    // clients does not re-converge on the recovering server in sync.
-    awaiting_response_ = false;
-    ++consecutive_failures_;
-    retries_.inc();
-    util::Timestamp backoff = config_.backoff_base;
-    for (uint32_t i = 1; i < consecutive_failures_ &&
-                         backoff < config_.backoff_max;
-         ++i) {
-      backoff *= 2;
-    }
-    backoff = std::min(backoff, config_.backoff_max);
-    next_poll_ = now + with_jitter(backoff);
+    on_failure(now);
   }
   if (!awaiting_response_ && now >= next_poll_) {
     send_request(now);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/injector.h"
+
 namespace nnn::controlplane {
 
 SyncServer::SyncServer(DescriptorLog& log) : SyncServer(log, Config()) {}
@@ -30,7 +32,16 @@ void SyncServer::collect(telemetry::SampleBuilder& builder) const {
 }
 
 std::optional<util::Bytes> SyncServer::handle(util::BytesView datagram) {
-  const auto message = decode(datagram);
+  // Injected outage: the server is dark. Swallow the request before
+  // decoding so the client sees exactly what a dead server produces —
+  // silence.
+  if (injector_ != nullptr && fault_clock_ != nullptr &&
+      injector_->sync_unavailable(fault_clock_->now())) {
+    return std::nullopt;
+  }
+  // decode_message tallies failures into nnn_errors_total; a server
+  // never answers garbage (the client's timeout handles it).
+  const auto message = decode_message(datagram);
   if (!message) return std::nullopt;
   const auto* request = std::get_if<SyncRequest>(&*message);
   if (request == nullptr) return std::nullopt;

@@ -19,6 +19,11 @@
 #include "controlplane/messages.h"
 #include "telemetry/metrics.h"
 #include "util/bytes.h"
+#include "util/clock.h"
+
+namespace nnn::fault {
+class Injector;
+}
 
 namespace nnn::controlplane {
 
@@ -40,6 +45,17 @@ class SyncServer {
   /// — the client's timeout handles it).
   std::optional<util::Bytes> handle(util::BytesView datagram);
 
+  /// Hook the server into a fault injector (PR 5): during an injected
+  /// sync outage handle() swallows every request — exactly the nullopt
+  /// a malformed datagram gets, so clients exercise their real timeout
+  /// and breaker paths. Both pointers null-detach; `clock` is read
+  /// only to evaluate the schedule and must outlive the server.
+  void set_fault_injector(const fault::Injector* injector,
+                          const util::Clock* clock) {
+    injector_ = injector;
+    fault_clock_ = clock;
+  }
+
   /// Lowest version any known client has reported (the worst lag);
   /// nullopt before the first request.
   std::optional<uint64_t> min_client_version() const;
@@ -49,6 +65,8 @@ class SyncServer {
 
   DescriptorLog& log_;
   const Config config_;
+  const fault::Injector* injector_ = nullptr;
+  const util::Clock* fault_clock_ = nullptr;
   mutable std::mutex mutex_;
   std::map<uint64_t, uint64_t> client_versions_;
 

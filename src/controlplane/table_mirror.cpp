@@ -63,6 +63,23 @@ bool TableMirror::apply(const Update& update) {
   return true;
 }
 
+std::vector<cookies::CookieDescriptor> TableMirror::live() const {
+  std::vector<cookies::CookieDescriptor> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    if (!entry.revoked) out.push_back(entry.descriptor);
+  }
+  return out;
+}
+
+std::vector<cookies::CookieId> TableMirror::revoked() const {
+  std::vector<cookies::CookieId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.revoked) out.push_back(id);
+  }
+  return out;
+}
+
 std::unique_ptr<cookies::DescriptorTable> TableMirror::build() const {
   return std::make_unique<cookies::DescriptorTable>(version_, entries_);
 }

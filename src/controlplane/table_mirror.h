@@ -34,6 +34,12 @@ class TableMirror {
   uint64_t version() const { return version_; }
   size_t size() const { return entries_.size(); }
 
+  /// Current contents for checkpointing (SyncClient cold-start
+  /// restore): live descriptors and revoked ids, order unspecified.
+  /// Feeding them back through reset() reproduces this mirror.
+  std::vector<cookies::CookieDescriptor> live() const;
+  std::vector<cookies::CookieId> revoked() const;
+
   /// Materialize the current state as an immutable table (copies the
   /// entry map; schedules were precomputed at reset/apply time).
   std::unique_ptr<cookies::DescriptorTable> build() const;

@@ -58,6 +58,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/view.h"
 #include "util/clock.h"
+#include "util/error.h"
 
 namespace nnn::cookies {
 
@@ -79,6 +80,32 @@ enum class VerifyStatus : uint8_t {
 
 // to_string(VerifyStatus) lives in telemetry/labels.h (included above):
 // one header home, std::string_view return, no per-sample allocation.
+
+/// VerifyStatus viewed through the unified error taxonomy (PR 5): the
+/// enum stays the hot-path result type (one byte, StatusCounters
+/// indexes it directly); this adapter is for call sites that speak
+/// nnn::Error — logs, Expected-returning wrappers, nnn_errors_total.
+constexpr Error to_error(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kOk:
+      return Error{};
+    case VerifyStatus::kUnknownId:
+      return Error{ErrorDomain::kVerify, ErrorCode::kUnknownId};
+    case VerifyStatus::kBadSignature:
+      return Error{ErrorDomain::kVerify, ErrorCode::kBadSignature};
+    case VerifyStatus::kStaleTimestamp:
+      return Error{ErrorDomain::kVerify, ErrorCode::kStaleTimestamp};
+    case VerifyStatus::kReplayed:
+      return Error{ErrorDomain::kVerify, ErrorCode::kReplayed};
+    case VerifyStatus::kDescriptorExpired:
+      return Error{ErrorDomain::kVerify, ErrorCode::kExpired};
+    case VerifyStatus::kDescriptorRevoked:
+      return Error{ErrorDomain::kVerify, ErrorCode::kRevoked};
+    case VerifyStatus::kMalformed:
+      return Error{ErrorDomain::kVerify, ErrorCode::kMalformed};
+  }
+  return Error{ErrorDomain::kVerify, ErrorCode::kMalformed};
+}
 
 struct VerifyResult {
   VerifyStatus status = VerifyStatus::kUnknownId;

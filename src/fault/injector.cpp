@@ -1,0 +1,140 @@
+#include "fault/injector.h"
+
+#include <utility>
+
+namespace nnn::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche hash, cheap enough for a
+/// per-decision draw and stateless so threads never contend beyond the
+/// counter fetch_add.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Injector::Injector() : Injector(telemetry::Registry::global()) {}
+
+Injector::Injector(telemetry::Registry& registry) {
+  registration_ = registry.add_collector(
+      [this](telemetry::SampleBuilder& builder) { collect(builder); });
+}
+
+void Injector::collect(telemetry::SampleBuilder& builder) const {
+  builder.gauge("nnn_fault_armed",
+                "1 while a fault plan is armed on this injector", {},
+                armed() ? 1 : 0);
+  injected_.collect(builder, "nnn_fault_injected_total",
+                    "Faults injected, by kind",
+                    [](FaultKind k) { return to_string(k); }, "kind");
+}
+
+void Injector::arm(FaultPlan plan, uint64_t seed) {
+  plan_ = std::move(plan);
+  seed_ = seed;
+  draws_.store(0, std::memory_order_relaxed);
+  // Release: hook threads that observe armed_ == true must see the
+  // plan they are about to evaluate.
+  armed_.store(true, std::memory_order_release);
+}
+
+void Injector::disarm() { armed_.store(false, std::memory_order_release); }
+
+bool Injector::draw(double p) const {
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  const uint64_t n = draws_.fetch_add(1, std::memory_order_relaxed);
+  const double u =
+      static_cast<double>(mix(seed_ ^ n) >> 11) * 0x1.0p-53;  // [0,1)
+  return u < p;
+}
+
+bool Injector::active_event(FaultKind kind, uint32_t target,
+                            util::Timestamp now) const {
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == kind && event.active_at(now) && event.targets(target)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Injector::count(FaultKind kind) const { injected_.inc_shared(kind); }
+
+bool Injector::drop_packet(uint32_t link_id, util::Timestamp now) const {
+  if (!armed()) return false;
+  if (active_event(FaultKind::kPartition, link_id, now)) {
+    count(FaultKind::kPartition);
+    return true;
+  }
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kLossSpike && event.active_at(now) &&
+        event.targets(link_id) && draw(event.magnitude)) {
+      count(FaultKind::kLossSpike);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::paused(uint32_t worker_id, util::Timestamp now) const {
+  // Not counted: a paused worker polls this every loop iteration, so a
+  // per-call count would measure poll frequency, not injections. The
+  // discrete hooks (drops, rejections, swallowed requests) count.
+  return armed() && active_event(FaultKind::kPause, worker_id, now);
+}
+
+bool Injector::sync_unavailable(util::Timestamp now) const {
+  if (!armed()) return false;
+  if (active_event(FaultKind::kSyncOutage, kAllTargets, now)) {
+    count(FaultKind::kSyncOutage);
+    return true;
+  }
+  return false;
+}
+
+bool Injector::acquire_unavailable(util::Timestamp now) const {
+  // Same schedule entry as the sync outage: the issuing service and
+  // the sync endpoint live in the same failure domain.
+  return sync_unavailable(now);
+}
+
+bool Injector::reject_admission(uint32_t worker_id,
+                                util::Timestamp now) const {
+  if (!armed()) return false;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kQueuePressure && event.active_at(now) &&
+        event.targets(worker_id) && draw(event.magnitude)) {
+      count(FaultKind::kQueuePressure);
+      return true;
+    }
+  }
+  return false;
+}
+
+util::Timestamp Injector::clock_skew(util::Timestamp now) const {
+  // Continuous condition, evaluated per clock read — not counted, for
+  // the same reason paused() is not.
+  if (!armed()) return 0;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind == FaultKind::kClockSkew && event.active_at(now)) {
+      return event.skew;
+    }
+  }
+  return 0;
+}
+
+bool Injector::any_active(util::Timestamp now) const {
+  if (!armed()) return false;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.active_at(now)) return true;
+  }
+  return false;
+}
+
+}  // namespace nnn::fault

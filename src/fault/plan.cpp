@@ -1,0 +1,87 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+
+#include "util/fmt.h"
+#include "util/rng.h"
+
+namespace nnn::fault {
+
+FaultPlan FaultPlan::random(uint64_t seed, const Spec& spec) {
+  util::Rng rng(seed);
+  FaultPlan plan;
+  for (size_t i = 0; i < spec.events; ++i) {
+    FaultEvent event;
+    event.kind = static_cast<FaultKind>(
+        rng.next_u64(static_cast<uint64_t>(kFaultKindCount)));
+    event.start = static_cast<util::Timestamp>(
+        rng.next_u64(static_cast<uint64_t>(spec.horizon)));
+    event.duration =
+        spec.min_duration +
+        static_cast<util::Timestamp>(rng.next_u64(static_cast<uint64_t>(
+            std::max<util::Timestamp>(1, spec.max_duration -
+                                             spec.min_duration))));
+    event.magnitude = rng.uniform_real(0.25, spec.max_magnitude);
+    event.skew = static_cast<util::Timestamp>(
+        rng.uniform_real(-static_cast<double>(spec.max_skew),
+                         static_cast<double>(spec.max_skew)));
+    switch (event.kind) {
+      case FaultKind::kPartition:
+      case FaultKind::kLossSpike:
+        event.target = rng.chance(0.25)
+                           ? kAllTargets
+                           : static_cast<uint32_t>(rng.next_u64(
+                                 std::max<uint32_t>(1, spec.link_targets)));
+        break;
+      case FaultKind::kPause:
+      case FaultKind::kQueuePressure:
+        event.target = rng.chance(0.25)
+                           ? kAllTargets
+                           : static_cast<uint32_t>(rng.next_u64(
+                                 std::max<uint32_t>(1, spec.worker_targets)));
+        break;
+      case FaultKind::kSyncOutage:
+      case FaultKind::kClockSkew:
+        event.target = kAllTargets;
+        break;
+    }
+    plan.add(event);
+  }
+  // Chronological order: humans read summaries forward in time, and
+  // the injector's scans stay cache-friendly.
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.start < b.start;
+            });
+  return plan;
+}
+
+util::Timestamp FaultPlan::quiet_after() const {
+  util::Timestamp quiet = 0;
+  for (const FaultEvent& event : events_) {
+    quiet = std::max(quiet, event.end());
+  }
+  return quiet;
+}
+
+std::string FaultPlan::summary() const {
+  std::string out;
+  for (const FaultEvent& event : events_) {
+    if (!out.empty()) out += "; ";
+    out += util::fmt("{}@[{},{})ms", to_string(event.kind),
+                     event.start / util::kMillisecond,
+                     event.end() / util::kMillisecond);
+    if (event.kind == FaultKind::kClockSkew) {
+      out += util::fmt(" skew={}ms", event.skew / util::kMillisecond);
+    } else if (event.kind == FaultKind::kLossSpike ||
+               event.kind == FaultKind::kQueuePressure) {
+      out += util::fmt(" p={}", event.magnitude);
+    }
+    if (event.target != kAllTargets) {
+      out += util::fmt(" -> {}", event.target);
+    }
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+}  // namespace nnn::fault

@@ -15,6 +15,15 @@ using util::ByteWriter;
 
 constexpr uint8_t kHopByHopHeader = 0;
 
+/// Build, tally, and wrap a wire-domain error in one step so every
+/// rejection below stays a one-liner and still lands in
+/// nnn_errors_total{domain="wire"}.
+Unexpected<Error> wire_error(ErrorCode code, std::string_view detail = {}) {
+  const Error error{ErrorDomain::kWire, code, detail};
+  count_error(error);
+  return unexpected(error);
+}
+
 uint32_t sum16(BytesView data) {
   uint32_t sum = 0;
   size_t i = 0;
@@ -158,16 +167,25 @@ void append_sync_frame(util::Bytes& out, uint8_t type, BytesView payload) {
   w.raw(payload);
 }
 
-std::optional<SyncFrame> parse_sync_frame(ByteReader& r) {
+Expected<SyncFrame> read_sync_frame(ByteReader& r) {
   const auto magic = r.u16();
   const auto version = r.u8();
   const auto type = r.u8();
   const auto len = r.u32();
-  if (!magic || !version || !type || !len) return std::nullopt;
-  if (*magic != kSyncMagic || *version != kSyncVersion) return std::nullopt;
+  if (!magic || !version || !type || !len) {
+    return wire_error(ErrorCode::kTruncated, "sync envelope");
+  }
+  if (*magic != kSyncMagic) return wire_error(ErrorCode::kBadMagic);
+  if (*version != kSyncVersion) {
+    return wire_error(ErrorCode::kUnsupportedVersion);
+  }
   const auto payload = r.view(*len);
-  if (!payload) return std::nullopt;
+  if (!payload) return wire_error(ErrorCode::kTruncated, "sync payload");
   return SyncFrame{*type, *payload};
+}
+
+std::optional<SyncFrame> parse_sync_frame(ByteReader& r) {
+  return read_sync_frame(r).to_optional();
 }
 
 util::Bytes serialize(const Packet& p) {
@@ -213,7 +231,7 @@ util::Bytes serialize(const Packet& p) {
 
 namespace {
 
-std::optional<Packet> parse_l4(Packet p, ByteReader& r) {
+Expected<Packet> parse_l4(Packet p, ByteReader& r) {
   if (p.is_tcp()) {
     const size_t l4_start = r.position();
     auto src_port = r.u16();
@@ -222,49 +240,56 @@ std::optional<Packet> parse_l4(Packet p, ByteReader& r) {
     auto ack_seq = r.u32();
     auto offset_byte = r.u8();
     auto flags = r.u8();
-    if (!r.skip(2)) return std::nullopt;  // window
+    if (!r.skip(2)) return wire_error(ErrorCode::kTruncated, "tcp header");
     auto csum = r.u16();
-    if (!r.skip(2)) return std::nullopt;  // urgent
+    if (!r.skip(2)) return wire_error(ErrorCode::kTruncated, "tcp header");
     if (!src_port || !dst_port || !seq || !ack_seq || !offset_byte ||
         !flags || !csum) {
-      return std::nullopt;
+      return wire_error(ErrorCode::kTruncated, "tcp header");
     }
     const size_t base_header_len =
         static_cast<size_t>(*offset_byte >> 4) * 4;
-    if (base_header_len < 20) return std::nullopt;
+    if (base_header_len < 20) {
+      return wire_error(ErrorCode::kMalformed, "tcp data offset");
+    }
     // Walk the options; an EDO option may extend the header past the
     // data offset's 60-byte ceiling.
     size_t options_len = base_header_len - 20;
     size_t consumed = 0;
     while (consumed < options_len) {
       const auto kind = r.u8();
-      if (!kind) return std::nullopt;
+      if (!kind) return wire_error(ErrorCode::kTruncated, "tcp options");
       ++consumed;
       if (*kind == kTcpOptEol) {
-        if (!r.skip(options_len - consumed)) return std::nullopt;
+        if (!r.skip(options_len - consumed)) {
+          return wire_error(ErrorCode::kTruncated, "tcp options");
+        }
         consumed = options_len;
         break;
       }
       if (*kind == kTcpOptNop) continue;
       const auto len = r.u8();
-      if (!len || *len < 2) return std::nullopt;
+      if (!len) return wire_error(ErrorCode::kTruncated, "tcp options");
+      if (*len < 2) return wire_error(ErrorCode::kMalformed, "tcp option len");
       ++consumed;
       const size_t body = static_cast<size_t>(*len) - 2;
       if (*kind == kTcpOptEdo && body == 2) {
         const auto extended = r.u16();
-        if (!extended) return std::nullopt;
+        if (!extended) return wire_error(ErrorCode::kTruncated, "tcp edo");
         consumed += 2;
         if (*extended < 20 + consumed || (*extended - 20) % 4 != 0) {
-          return std::nullopt;
+          return wire_error(ErrorCode::kMalformed, "tcp edo");
         }
         options_len = *extended - 20;
       } else if (*kind == kTcpOptCookie) {
         auto blob = r.raw(body);
-        if (!blob) return std::nullopt;
+        if (!blob) return wire_error(ErrorCode::kTruncated, "tcp cookie");
         consumed += body;
         p.l4_cookie = std::move(*blob);
       } else {
-        if (!r.skip(body)) return std::nullopt;
+        if (!r.skip(body)) {
+          return wire_error(ErrorCode::kTruncated, "tcp options");
+        }
         consumed += body;
       }
     }
@@ -285,9 +310,12 @@ std::optional<Packet> parse_l4(Packet p, ByteReader& r) {
   auto dst_port = r.u16();
   auto len = r.u16();
   auto csum = r.u16();
-  if (!src_port || !dst_port || !len || !csum) return std::nullopt;
-  if (*len < 8 || static_cast<size_t>(*len - 8) > r.remaining()) {
-    return std::nullopt;
+  if (!src_port || !dst_port || !len || !csum) {
+    return wire_error(ErrorCode::kTruncated, "udp header");
+  }
+  if (*len < 8) return wire_error(ErrorCode::kMalformed, "udp length");
+  if (static_cast<size_t>(*len - 8) > r.remaining()) {
+    return wire_error(ErrorCode::kTruncated, "udp payload");
   }
   p.tuple.src_port = *src_port;
   p.tuple.dst_port = *dst_port;
@@ -298,8 +326,8 @@ std::optional<Packet> parse_l4(Packet p, ByteReader& r) {
 
 }  // namespace
 
-std::optional<Packet> parse(util::BytesView wire) {
-  if (wire.empty()) return std::nullopt;
+Expected<Packet> parse_packet(util::BytesView wire) {
+  if (wire.empty()) return wire_error(ErrorCode::kTruncated, "empty");
   ByteReader r(wire);
   Packet p;
   const uint8_t version = static_cast<uint8_t>(wire[0] >> 4);
@@ -307,22 +335,31 @@ std::optional<Packet> parse(util::BytesView wire) {
     auto vi = r.u8();
     auto tos = r.u8();
     auto total_len = r.u16();
-    if (!r.skip(4)) return std::nullopt;  // id, flags/frag
+    if (!r.skip(4)) {  // id, flags/frag
+      return wire_error(ErrorCode::kTruncated, "ipv4 header");
+    }
     auto ttl = r.u8();
     auto proto = r.u8();
     auto csum = r.u16();
     if (!vi || !tos || !total_len || !ttl || !proto || !csum) {
-      return std::nullopt;
+      return wire_error(ErrorCode::kTruncated, "ipv4 header");
     }
     const size_t ihl = static_cast<size_t>(*vi & 0x0f) * 4;
-    if (ihl < 20 || *total_len < ihl || *total_len > wire.size()) {
-      return std::nullopt;
+    if (ihl < 20 || *total_len < ihl) {
+      return wire_error(ErrorCode::kMalformed, "ipv4 lengths");
     }
-    if (internet_checksum(wire.subspan(0, ihl)) != 0) return std::nullopt;
+    if (*total_len > wire.size()) {
+      return wire_error(ErrorCode::kTruncated, "ipv4 total length");
+    }
+    if (internet_checksum(wire.subspan(0, ihl)) != 0) {
+      return wire_error(ErrorCode::kBadChecksum, "ipv4 header");
+    }
     auto src = r.raw(4);
     auto dst = r.raw(4);
-    if (!src || !dst) return std::nullopt;
-    if (!r.skip(ihl - 20)) return std::nullopt;  // v4 options
+    if (!src || !dst) return wire_error(ErrorCode::kTruncated, "ipv4 header");
+    if (!r.skip(ihl - 20)) {  // v4 options
+      return wire_error(ErrorCode::kTruncated, "ipv4 options");
+    }
     p.ipv6 = false;
     p.dscp = static_cast<uint8_t>(*tos >> 2);
     p.ttl = *ttl;
@@ -333,7 +370,7 @@ std::optional<Packet> parse(util::BytesView wire) {
     } else if (*proto == static_cast<uint8_t>(L4Proto::kUdp)) {
       p.tuple.proto = L4Proto::kUdp;
     } else {
-      return std::nullopt;
+      return wire_error(ErrorCode::kUnknownProtocol);
     }
     // Restrict the reader to the IP total length (drop link padding).
     ByteReader body(wire.subspan(ihl, *total_len - ihl));
@@ -341,7 +378,7 @@ std::optional<Packet> parse(util::BytesView wire) {
     if (parsed) parsed->wire_size = static_cast<uint32_t>(wire.size());
     return parsed;
   }
-  if (version != 6) return std::nullopt;
+  if (version != 6) return wire_error(ErrorCode::kMalformed, "ip version");
   auto vtc_flow = r.u32();
   auto payload_len = r.u16();
   auto next = r.u8();
@@ -349,9 +386,11 @@ std::optional<Packet> parse(util::BytesView wire) {
   auto src = r.raw(16);
   auto dst = r.raw(16);
   if (!vtc_flow || !payload_len || !next || !hops || !src || !dst) {
-    return std::nullopt;
+    return wire_error(ErrorCode::kTruncated, "ipv6 header");
   }
-  if (*payload_len > r.remaining()) return std::nullopt;
+  if (*payload_len > r.remaining()) {
+    return wire_error(ErrorCode::kTruncated, "ipv6 payload length");
+  }
   p.ipv6 = true;
   p.dscp = static_cast<uint8_t>(*vtc_flow >> 22 & 0x3f);
   p.ttl = *hops;
@@ -366,24 +405,28 @@ std::optional<Packet> parse(util::BytesView wire) {
   if (next_header == kHopByHopHeader) {
     auto nh = r.u8();
     auto hdr_len = r.u8();
-    if (!nh || !hdr_len) return std::nullopt;
+    if (!nh || !hdr_len) return wire_error(ErrorCode::kTruncated, "ipv6 hbh");
     const size_t opts_len = (static_cast<size_t>(*hdr_len) + 1) * 8 - 2;
     auto opts = r.view(opts_len);
-    if (!opts) return std::nullopt;
+    if (!opts) return wire_error(ErrorCode::kTruncated, "ipv6 hbh");
     // Walk TLV options looking for the cookie option.
     ByteReader opt_reader(*opts);
     while (opt_reader.remaining() > 0) {
       auto type = opt_reader.u8();
-      if (!type) return std::nullopt;
+      if (!type) return wire_error(ErrorCode::kTruncated, "ipv6 hbh option");
       if (*type == 0) continue;  // Pad1
       auto len = opt_reader.u8();
-      if (!len) return std::nullopt;
+      if (!len) return wire_error(ErrorCode::kTruncated, "ipv6 hbh option");
       if (*type == kCookieOptionType) {
         auto cookie = opt_reader.raw(*len);
-        if (!cookie) return std::nullopt;
+        if (!cookie) {
+          return wire_error(ErrorCode::kTruncated, "ipv6 cookie option");
+        }
         p.l3_cookie = std::move(*cookie);
       } else {
-        if (!opt_reader.skip(*len)) return std::nullopt;
+        if (!opt_reader.skip(*len)) {
+          return wire_error(ErrorCode::kTruncated, "ipv6 hbh option");
+        }
       }
     }
     next_header = *nh;
@@ -393,11 +436,15 @@ std::optional<Packet> parse(util::BytesView wire) {
   } else if (next_header == static_cast<uint8_t>(L4Proto::kUdp)) {
     p.tuple.proto = L4Proto::kUdp;
   } else {
-    return std::nullopt;
+    return wire_error(ErrorCode::kUnknownProtocol);
   }
   auto parsed = parse_l4(std::move(p), r);
   if (parsed) parsed->wire_size = static_cast<uint32_t>(wire.size());
   return parsed;
+}
+
+std::optional<Packet> parse(util::BytesView wire) {
+  return parse_packet(wire).to_optional();
 }
 
 }  // namespace nnn::net

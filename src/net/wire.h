@@ -12,14 +12,19 @@
 //    envelope for control-plane messages. The typed payloads
 //    (snapshot/delta/heartbeat) live in controlplane/messages.h; this
 //    layer only knows bytes, so net/ never depends on cookies/.
-// Parsing is defensive: any truncation or checksum mismatch yields
-// nullopt, never UB.
+// Parsing is defensive: any truncation or checksum mismatch yields a
+// typed wire-domain Error, never UB. parse_packet/read_sync_frame are
+// the primary entry points (PR 5 API redesign); the std::optional
+// spellings survive as thin views for call sites that only care
+// whether the bytes parsed.
 #pragma once
 
 #include <optional>
 
 #include "net/packet.h"
 #include "util/bytes.h"
+#include "util/error.h"
+#include "util/expected.h"
 
 namespace nnn::net {
 
@@ -29,7 +34,13 @@ namespace nnn::net {
 util::Bytes serialize(const Packet& p);
 
 /// Parse wire bytes back into a Packet. Validates lengths and
-/// checksums. The result's wire_size is set to the input size.
+/// checksums. The result's wire_size is set to the input size. On
+/// failure the Error says which check rejected the bytes (kTruncated,
+/// kBadChecksum, kUnknownProtocol, kMalformed) and the failure is
+/// tallied into nnn_errors_total{domain="wire",...}.
+Expected<Packet> parse_packet(util::BytesView wire);
+
+/// Legacy view over parse_packet: drops the error detail.
 std::optional<Packet> parse(util::BytesView wire);
 
 /// Internet checksum (RFC 1071) over `data` with an optional seed.
@@ -53,9 +64,13 @@ struct SyncFrame {
 void append_sync_frame(util::Bytes& out, uint8_t type,
                        util::BytesView payload);
 
-/// Parse the frame at the reader's position. nullopt on bad magic,
-/// unsupported version, or a length that overruns the buffer; the
-/// returned payload view aliases the reader's underlying buffer.
+/// Parse the frame at the reader's position. Fails with kBadMagic,
+/// kUnsupportedVersion, or kTruncated (a length that overruns the
+/// buffer); the returned payload view aliases the reader's underlying
+/// buffer.
+Expected<SyncFrame> read_sync_frame(util::ByteReader& r);
+
+/// Legacy view over read_sync_frame.
 std::optional<SyncFrame> parse_sync_frame(util::ByteReader& r);
 
 }  // namespace nnn::net

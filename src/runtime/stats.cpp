@@ -38,6 +38,10 @@ void WorkerCounters::collect(telemetry::SampleBuilder& builder,
   builder.counter("nnn_pool_verdicts_dropped_total",
                   "Verdict records dropped because the verdict ring was full",
                   base, verdicts_dropped.value());
+  builder.counter("nnn_pool_shed_total",
+                  "Packets shed at admission or reclaimed at stop "
+                  "(fail-open: shed packets are forwarded unverified)",
+                  base, shed.value());
   builder.histogram("nnn_pool_batch_nanos",
                     "Wall-clock nanoseconds per worker ring burst", base,
                     batch_nanos);
@@ -55,6 +59,7 @@ WorkerSnapshot& WorkerSnapshot::operator+=(const WorkerSnapshot& other) {
   busy_micros += other.busy_micros;
   processed += other.processed;
   verdicts_dropped += other.verdicts_dropped;
+  shed += other.shed;
   return *this;
 }
 
@@ -76,6 +81,7 @@ WorkerSnapshot snapshot_of(const WorkerCounters& counters) {
   s.busy_micros = counters.busy_micros.value();
   s.processed = counters.processed.value_acquire();
   s.verdicts_dropped = counters.verdicts_dropped.value();
+  s.shed = counters.shed.value();
   return s;
 }
 

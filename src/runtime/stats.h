@@ -51,6 +51,13 @@ struct alignas(kCacheLineSize) WorkerCounters {
   telemetry::Counter busy_micros;     // thread-CPU time processing
   telemetry::Counter processed;       // release-stored per batch
   telemetry::Counter verdicts_dropped;  // verdict ring was full
+  /// Packets refused admission (ring full, injected queue pressure, or
+  /// pool stopping) plus ring leftovers reclaimed by stop(). TWO
+  /// writers — the producer thread and stop() — so unlike every other
+  /// cell in this block it is written with the shared (fetch_add)
+  /// path. The load-shedding ledger: submit attempts == processed +
+  /// shed once the pool has stopped.
+  telemetry::Counter shed;
   telemetry::Histogram batch_nanos;   // wall nanos per ring burst
 
   /// Emit this block's cells under `base` labels (worker="i"):
@@ -73,6 +80,7 @@ struct WorkerSnapshot {
   uint64_t busy_micros = 0;
   uint64_t processed = 0;
   uint64_t verdicts_dropped = 0;
+  uint64_t shed = 0;
 
   WorkerSnapshot& operator+=(const WorkerSnapshot& other);
   /// Mean packets per ring burst — how well batching amortizes.

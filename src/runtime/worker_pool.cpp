@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "fault/injector.h"
 #include "util/logging.h"
 
 namespace nnn::runtime {
@@ -105,6 +106,10 @@ void WorkerPool::bind_table_publisher(
   }
 }
 
+void WorkerPool::set_fault_injector(const fault::Injector* injector) {
+  injector_ = injector;
+}
+
 void WorkerPool::start() {
   if (running_) return;
   stop_.store(false, std::memory_order_release);
@@ -136,9 +141,29 @@ void WorkerPool::drain() {
 
 void WorkerPool::stop() {
   if (!running_) return;
-  stop_.store(true, std::memory_order_release);
+  // seq_cst: pairs with the submit() re-check (see there).
+  stop_.store(true, std::memory_order_seq_cst);
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Reclaim leftovers into the shed ledger. Workers normally exit with
+  // empty rings, but a fault-paused worker exits wedged, and a submit
+  // that passed the stop_ gate before the store above may land its
+  // push after the join. Pop until processed + reclaimed covers
+  // submitted; the residual gap (count-first submit between its
+  // fetch_add and the push/rollback) resolves in bounded time.
+  for (auto& worker : workers_) {
+    net::Packet packet;
+    uint64_t reclaimed = 0;
+    for (;;) {
+      while (worker->ring.try_pop(packet)) ++reclaimed;
+      const uint64_t submitted =
+          worker->submitted.load(std::memory_order_seq_cst);
+      const uint64_t processed = worker->counters.processed.value_acquire();
+      if (processed + reclaimed >= submitted) break;
+      std::this_thread::yield();
+    }
+    if (reclaimed > 0) worker->counters.shed.add_shared(reclaimed);
   }
   running_ = false;
 }
@@ -149,12 +174,36 @@ size_t WorkerPool::ring_capacity(size_t worker) const {
 
 bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
   Worker& w = *workers_[worker];
+  // Admission gate: shed before counting into `submitted`, so the
+  // quiescence ledger only tracks packets that enter a ring. A pool
+  // that is stopping sheds everything (nothing will drain the ring);
+  // an armed injector models overload bursts the same way a full ring
+  // does. Shed == fail-open: the caller forwards unverified.
+  if (stop_.load(std::memory_order_seq_cst) ||
+      (injector_ != nullptr &&
+       injector_->reject_admission(static_cast<uint32_t>(worker),
+                                   clock_.now()))) {
+    w.counters.shed.add_shared();
+    return false;
+  }
   // Count first, push second: a drain() racing with this submit either
   // sees submitted > processed (waits, correct) or the push has not
   // happened yet and the decrement below undoes the count.
-  w.submitted.fetch_add(1, std::memory_order_release);
+  w.submitted.fetch_add(1, std::memory_order_seq_cst);
+  // Re-check the stop gate AFTER publishing the count. Store-buffer
+  // pairing with stop() (both sides seq_cst): either this load sees
+  // the stop and rolls back, or stop()'s reclaim loop sees our count
+  // and waits for the push to land. Without it, a submit in flight
+  // across stop() could strand a counted packet in a dead ring and
+  // break attempts == processed + shed.
+  if (stop_.load(std::memory_order_seq_cst)) {
+    w.submitted.fetch_sub(1, std::memory_order_release);
+    w.counters.shed.add_shared();
+    return false;
+  }
   if (w.ring.try_push(std::move(packet))) return true;
   w.submitted.fetch_sub(1, std::memory_order_release);
+  w.counters.shed.add_shared();
   return false;
 }
 
@@ -165,6 +214,17 @@ void WorkerPool::worker_main(size_t index) {
   std::vector<dataplane::Verdict> verdicts(config_.batch_size);
   unsigned idle = 0;
   for (;;) {
+    // Injected pause: a wedged/descheduled process. Don't consume;
+    // keep re-checking so the schedule's end resumes us. stop() still
+    // wins — it reclaims whatever we leave in the ring — else a pause
+    // outliving the test would wedge shutdown too.
+    if (injector_ != nullptr &&
+        injector_->paused(static_cast<uint32_t>(index), clock_.now())) {
+      if (synced) w.table_reader.park();
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
     const size_t n = w.ring.pop_batch(batch.data(), config_.batch_size);
     if (n == 0) {
       // Ring observed empty; exit only after stop so in-flight packets

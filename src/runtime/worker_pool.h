@@ -26,8 +26,10 @@
 // submitted packet has been processed (quiescence = per-worker
 // processed == submitted, with acquire/release pairing so the caller
 // may then read non-atomic state); stop() lets workers finish what is
-// already in their rings, then joins them — so final counts are
-// deterministic whether or not drain() was called first.
+// already in their rings, then joins them and reclaims anything a
+// fault-paused worker left behind into the shed ledger — so the
+// books balance deterministically (attempts == processed + shed)
+// whether or not drain() was called first.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +47,10 @@
 #include "runtime/spsc_ring.h"
 #include "runtime/stats.h"
 #include "util/clock.h"
+
+namespace nnn::fault {
+class Injector;
+}
 
 namespace nnn::runtime {
 
@@ -101,6 +107,12 @@ class WorkerPool {
   /// parking at idle and exit so retired tables reclaim promptly.
   void bind_table_publisher(controlplane::TablePublisher& publisher);
 
+  /// Hook the pool into a fault injector (PR 5): submit() consults
+  /// reject_admission() and workers consult paused(). Quiescent pool
+  /// only (before start()); the injector must outlive the pool. Null
+  /// detaches. Workers pass their index as the injector's worker id.
+  void set_fault_injector(const fault::Injector* injector);
+
   void start();
   /// Block until all submitted packets are processed. Callers must
   /// have stopped submitting; concurrent submit makes "drained" a
@@ -115,8 +127,13 @@ class WorkerPool {
   size_t ring_capacity(size_t worker) const;
 
   /// Enqueue a packet for `worker`. Single producer thread. Returns
-  /// false when the ring is full; the caller owns the fail-open
-  /// accounting.
+  /// false when the packet was SHED — ring full, injected queue
+  /// pressure, or the pool is stopping — and counts it in the worker's
+  /// shed ledger. Shedding is the overload valve with the paper's
+  /// fail-open semantics: the caller forwards the packet unverified
+  /// (best-effort band), it never drops it. After stop() every submit
+  /// sheds; across the whole lifetime, submit attempts == processed +
+  /// shed (stop() reclaims ring leftovers into shed).
   bool submit(size_t worker, net::Packet&& packet);
 
   /// Consistent counters, safe while running.
@@ -141,6 +158,7 @@ class WorkerPool {
   dataplane::ServiceRegistry& registry_;
   Config config_;
   controlplane::TablePublisher* publisher_ = nullptr;
+  const fault::Injector* injector_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<MpscRing<VerdictRecord>> verdicts_;
   std::atomic<bool> stop_{false};

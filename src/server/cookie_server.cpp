@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+
 namespace nnn::server {
 
 namespace {
@@ -79,10 +81,17 @@ AcquireResult CookieServer::acquire(const std::string& service,
   const util::Timestamp now = clock_.now();
   const auto deny = [&](AcquireError error) {
     denied_.inc(error);
+    count_error(to_error(error));  // -> nnn_errors_total{domain,code}
     audit_.append(AuditRecord{now, AuditEvent::kDenied, service, user, 0,
                               std::string(to_string(error))});
     return AcquireResult{std::nullopt, error};
   };
+
+  // Injected outage: the issuing service refuses outright. Fail-open
+  // by design — existing grants keep verifying on the dataplane.
+  if (injector_ != nullptr && injector_->acquire_unavailable(now)) {
+    return deny(AcquireError::kUnavailable);
+  }
 
   const ServiceOffer* offer = find_service(service);
   if (!offer) return deny(AcquireError::kUnknownService);

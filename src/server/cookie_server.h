@@ -29,7 +29,12 @@
 #include "telemetry/labels.h"
 #include "telemetry/view.h"
 #include "util/clock.h"
+#include "util/error.h"
 #include "util/rng.h"
+
+namespace nnn::fault {
+class Injector;
+}
 
 namespace nnn::server {
 
@@ -69,9 +74,31 @@ enum class AcquireError : uint8_t {
   kAuthRequired,
   kBadCredentials,
   kQuotaExceeded,
+  /// The issuing service is refusing requests outright (outage or
+  /// injected fault); callers should back off and retry. Existing
+  /// grants keep verifying — unavailability of the acquire path never
+  /// fails closed on the dataplane.
+  kUnavailable,
 };
 // to_string(AcquireError) lives in telemetry/labels.h so the exporter
 // and the server share one spelling of each label value.
+
+/// AcquireError viewed through the unified error taxonomy (PR 5).
+constexpr Error to_error(AcquireError e) {
+  switch (e) {
+    case AcquireError::kUnknownService:
+      return Error{ErrorDomain::kServer, ErrorCode::kUnknownId, "service"};
+    case AcquireError::kAuthRequired:
+      return Error{ErrorDomain::kServer, ErrorCode::kAuthRequired};
+    case AcquireError::kBadCredentials:
+      return Error{ErrorDomain::kServer, ErrorCode::kBadCredentials};
+    case AcquireError::kQuotaExceeded:
+      return Error{ErrorDomain::kServer, ErrorCode::kQuotaExceeded};
+    case AcquireError::kUnavailable:
+      return Error{ErrorDomain::kServer, ErrorCode::kUnavailable};
+  }
+  return Error{ErrorDomain::kServer, ErrorCode::kUnavailable};
+}
 
 struct AcquireResult {
   std::optional<cookies::CookieDescriptor> descriptor;
@@ -113,6 +140,14 @@ class CookieServer {
   AcquireResult acquire(const std::string& service, const std::string& user,
                         const std::string& token = "");
 
+  /// Hook the issuing path into a fault injector (PR 5): during an
+  /// injected outage acquire() answers kUnavailable (counted and
+  /// audited like every other denial). Null detaches; the injector
+  /// must outlive the server.
+  void set_fault_injector(const fault::Injector* injector) {
+    injector_ = injector;
+  }
+
   /// Revoke a previously issued descriptor (§4.5: both parties can
   /// revoke; the user path is "ask the network to invalidate a
   /// descriptor"). Appends to the descriptor log; the revocation
@@ -145,6 +180,7 @@ class CookieServer {
   const util::Clock& clock_;
   util::Rng rng_;
   controlplane::DescriptorLog* log_;
+  const fault::Injector* injector_ = nullptr;
   std::map<std::string, ServiceOffer> services_;
   std::unordered_map<std::string, Account> accounts_;  // keyed by user
   std::vector<Grant> grants_;

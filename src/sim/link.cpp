@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/injector.h"
+
 namespace nnn::sim {
 
 Link::Link(EventLoop& loop, Config config, PacketSink sink)
@@ -100,6 +102,14 @@ void Link::try_transmit() {
   const util::Timestamp prop = config_.prop_delay;
   loop_.after(tx_time, [this, prop, p = std::move(*packet)]() mutable {
     busy_ = false;
+    // Injected partition / loss spike: same point in the pipeline as
+    // the loss impairment — the packet consumed link time, then dies.
+    if (injector_ != nullptr &&
+        injector_->drop_packet(link_id_, loop_.now())) {
+      ++fault_dropped_;
+      try_transmit();
+      return;
+    }
     // Loss impairment: the packet occupied the link (serialization
     // already elapsed) but never reaches the sink.
     if (config_.loss_rate > 0 &&

@@ -24,6 +24,10 @@
 #include "sim/event_loop.h"
 #include "util/rng.h"
 
+namespace nnn::fault {
+class Injector;
+}
+
 namespace nnn::sim {
 
 using PacketSink = std::function<void(net::Packet)>;
@@ -57,6 +61,19 @@ class Link {
   /// Enqueue on `band` (0 = highest priority). Tail-drops when full.
   void send(net::Packet packet, size_t band = 1);
 
+  /// Hook this link into a fault injector (PR 5): partitions and loss
+  /// spikes targeting `link_id` kill packets at the end of
+  /// serialization, exactly where the loss impairment does. Null
+  /// detaches. The injector must outlive the link.
+  void set_fault_injector(const fault::Injector* injector,
+                          uint32_t link_id) {
+    injector_ = injector;
+    link_id_ = link_id;
+  }
+  /// Packets killed by the fault injector (counted separately from the
+  /// loss impairment's dropped()).
+  uint64_t fault_dropped() const { return fault_dropped_; }
+
   const dataplane::PriorityQueueSet& queues() const { return queues_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t delivered_bytes() const { return delivered_bytes_; }
@@ -78,11 +95,14 @@ class Link {
   dataplane::PriorityQueueSet queues_;
   std::vector<std::optional<dataplane::TokenBucket>> shapers_;
   util::Rng impairment_rng_;
+  const fault::Injector* injector_ = nullptr;
+  uint32_t link_id_ = 0;
   bool busy_ = false;
   bool retry_scheduled_ = false;
   uint64_t delivered_ = 0;
   uint64_t delivered_bytes_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace nnn::sim

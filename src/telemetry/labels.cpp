@@ -3,8 +3,98 @@
 #include "cookies/verifier.h"
 #include "dataplane/hw_filter.h"
 #include "dataplane/sharding.h"
+#include "fault/plan.h"
 #include "server/cookie_server.h"
+#include "util/error.h"
 #include "util/logging.h"
+
+namespace nnn {
+
+std::string_view to_string(ErrorDomain d) {
+  switch (d) {
+    case ErrorDomain::kNone:
+      return "none";
+    case ErrorDomain::kWire:
+      return "wire";
+    case ErrorDomain::kMessages:
+      return "messages";
+    case ErrorDomain::kCookie:
+      return "cookie";
+    case ErrorDomain::kVerify:
+      return "verify";
+    case ErrorDomain::kSync:
+      return "sync";
+    case ErrorDomain::kServer:
+      return "server";
+    case ErrorDomain::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kTruncated:
+      return "truncated";
+    case ErrorCode::kBadMagic:
+      return "bad-magic";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported-version";
+    case ErrorCode::kBadChecksum:
+      return "bad-checksum";
+    case ErrorCode::kMalformed:
+      return "malformed";
+    case ErrorCode::kUnknownType:
+      return "unknown-type";
+    case ErrorCode::kUnknownProtocol:
+      return "unknown-protocol";
+    case ErrorCode::kUnknownId:
+      return "unknown-id";
+    case ErrorCode::kBadSignature:
+      return "bad-signature";
+    case ErrorCode::kStaleTimestamp:
+      return "stale-timestamp";
+    case ErrorCode::kReplayed:
+      return "replayed";
+    case ErrorCode::kExpired:
+      return "expired";
+    case ErrorCode::kRevoked:
+      return "revoked";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kOverload:
+      return "overload";
+    case ErrorCode::kStale:
+      return "stale";
+    case ErrorCode::kAuthRequired:
+      return "auth-required";
+    case ErrorCode::kBadCredentials:
+      return "bad-credentials";
+    case ErrorCode::kQuotaExceeded:
+      return "quota-exceeded";
+  }
+  return "?";
+}
+
+std::string to_string(const Error& error) {
+  std::string out;
+  out.reserve(32 + error.detail.size());
+  out += to_string(error.domain);
+  out += '/';
+  out += to_string(error.code);
+  if (!error.detail.empty()) {
+    out += " (";
+    out += error.detail;
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace nnn
 
 namespace nnn::cookies {
 
@@ -90,8 +180,32 @@ std::string_view to_string(AcquireError e) {
       return "bad-credentials";
     case AcquireError::kQuotaExceeded:
       return "quota-exceeded";
+    case AcquireError::kUnavailable:
+      return "unavailable";
   }
   return "?";
 }
 
 }  // namespace nnn::server
+
+namespace nnn::fault {
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLossSpike:
+      return "loss-spike";
+    case FaultKind::kPause:
+      return "pause";
+    case FaultKind::kSyncOutage:
+      return "sync-outage";
+    case FaultKind::kClockSkew:
+      return "clock-skew";
+    case FaultKind::kQueuePressure:
+      return "queue-pressure";
+  }
+  return "?";
+}
+
+}  // namespace nnn::fault

@@ -20,6 +20,15 @@
 #include <cstdint>
 #include <string_view>
 
+namespace nnn {
+// Unified error taxonomy (util/error.h defines the enums and counts;
+// PR 5). The exporter stamps these as nnn_errors_total{domain,code}.
+enum class ErrorDomain : uint8_t;
+enum class ErrorCode : uint8_t;
+std::string_view to_string(ErrorDomain d);
+std::string_view to_string(ErrorCode c);
+}  // namespace nnn
+
 namespace nnn::cookies {
 enum class VerifyStatus : uint8_t;
 /// Number of VerifyStatus values (StatusCounters sizing).
@@ -45,6 +54,12 @@ std::string_view to_string(LogLevel level);
 
 namespace nnn::server {
 enum class AcquireError : uint8_t;
-inline constexpr size_t kAcquireErrorCount = 4;
+inline constexpr size_t kAcquireErrorCount = 5;
 std::string_view to_string(AcquireError e);
 }  // namespace nnn::server
+
+namespace nnn::fault {
+enum class FaultKind : uint8_t;
+inline constexpr size_t kFaultKindCount = 6;
+std::string_view to_string(FaultKind k);
+}  // namespace nnn::fault

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "telemetry/labels.h"
+#include "util/error.h"
 #include "util/logging.h"
 
 namespace nnn::telemetry {
@@ -311,6 +312,21 @@ void collect_log_counts(SampleBuilder& builder) {
       });
 }
 
+// Non-zero cells of the process-wide error tally (util/error.h).
+// Sparse on purpose: the domain x code matrix is mostly empty and the
+// zero cells carry no audit signal, unlike per-status counters.
+void collect_error_tally(SampleBuilder& builder) {
+  static constexpr std::string_view kHelp =
+      "Errors raised, by subsystem domain and shared error code";
+  ErrorTally::instance().visit(
+      [&builder](ErrorDomain domain, ErrorCode code, uint64_t n) {
+        builder.counter("nnn_errors_total", kHelp,
+                        LabelSet{{"domain", to_string(domain)},
+                                 {"code", to_string(code)}},
+                        n);
+      });
+}
+
 }  // namespace
 
 Registry& Registry::global() {
@@ -322,6 +338,8 @@ Registry& Registry::global() {
     auto* registry = new Registry();
     static Registration log_registration =
         registry->add_collector(collect_log_counts);
+    static Registration error_registration =
+        registry->add_collector(collect_error_tally);
     return registry;
   }();
   return *instance;

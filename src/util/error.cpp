@@ -1,0 +1,12 @@
+#include "util/error.h"
+
+namespace nnn {
+
+ErrorTally& ErrorTally::instance() {
+  // Function-local static: constant-initialized atomics, no
+  // destruction-order hazard for workers counting errors at exit.
+  static ErrorTally tally;
+  return tally;
+}
+
+}  // namespace nnn

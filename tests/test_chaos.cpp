@@ -1,0 +1,511 @@
+// Chaos harness (PR 5 tentpole): randomized, seeded multi-fault
+// schedules over the sync channel, the issuing server, and the worker
+// pool, asserting the paper's failure-semantics contract under every
+// schedule:
+//
+//   1. fail-open — no cookie-bearing packet is ever dropped by the
+//      middlebox machinery: every packet offered to the dispatcher is
+//      forwarded (verified, or counted as a shed/bypass and forwarded
+//      unverified), and the published descriptor table never vanishes
+//      mid-outage;
+//   2. replay protection never weakens — a cookie is accepted (kOk) at
+//      most once, no matter what faults land, including clock skew
+//      beyond the network coherency time;
+//   3. recovery converges — once the schedule goes quiet, the client
+//      catches back up to the log head within the stale-while-
+//      revalidate budget: breaker closed, stale flag clear, published
+//      table at the server's version.
+//
+// Every schedule comes from FaultPlan::random(seed); a red seed
+// reproduces from the test name alone, and SCOPED_TRACE prints the
+// plan so the failure is diagnosable without re-running it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "controlplane/descriptor_log.h"
+#include "controlplane/epoch.h"
+#include "controlplane/sync_client.h"
+#include "controlplane/sync_server.h"
+#include "controlplane/table_mirror.h"
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "cookies/verifier.h"
+#include "dataplane/service_registry.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "net/packet.h"
+#include "runtime/dispatcher.h"
+#include "runtime/worker_pool.h"
+#include "server/cookie_server.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "util/clock.h"
+
+namespace nnn {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+using util::Timestamp;
+
+cookies::CookieDescriptor make_descriptor(cookies::CookieId id) {
+  cookies::CookieDescriptor d;
+  d.cookie_id = id;
+  d.key.assign(32, static_cast<uint8_t>(0x40 + (id & 0x3f)));
+  d.service_data = "Boost";
+  return d;
+}
+
+net::Packet flow_packet(uint32_t flow_id) {
+  net::Packet p;
+  p.tuple.src_ip = net::IpAddress::v4(0x0a000000u | flow_id);
+  p.tuple.dst_ip = net::IpAddress::v4(151, 101, 0, 1);
+  p.tuple.src_port = static_cast<uint16_t>(1024 + (flow_id & 0xfff));
+  p.tuple.dst_port = 443;
+  p.tuple.proto = net::L4Proto::kUdp;
+  p.wire_size = 512;
+  return p;
+}
+
+std::string trace_label(uint64_t seed, const fault::FaultPlan& plan) {
+  return "seed " + std::to_string(seed) + ": " + plan.summary();
+}
+
+// --- Control plane under chaos -------------------------------------
+//
+// SyncClient/SyncServer over impaired sim links, with the injector
+// hooked into both links (partitions, loss spikes) and the server
+// (sync outages). A CookieServer issues grants into the same log while
+// the faults land, and a standalone verifier on a SkewedClock probes
+// the use-once check throughout — including while the clock reads
+// beyond the NCT.
+
+class ChaosSync : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSync, ConvergesFailOpenWithReplaySafety) {
+  const uint64_t seed = GetParam();
+  const fault::FaultPlan plan = fault::FaultPlan::random(seed);
+  SCOPED_TRACE(trace_label(seed, plan));
+  fault::Injector injector;
+  injector.arm(plan, seed);
+
+  sim::EventLoop loop;
+  controlplane::DescriptorLog log;
+  controlplane::SyncServer server(log);
+  server.set_fault_injector(&injector, &loop.clock());
+  controlplane::TablePublisher tables;
+  controlplane::SyncClient* client_ptr = nullptr;
+
+  sim::Link::Config wire;
+  wire.rate_bps = 1e6;
+  wire.prop_delay = 5 * kMillisecond;
+  wire.loss_rate = 0.02;  // ambient loss; the plan layers spikes on top
+  wire.delay_jitter = 2 * kMillisecond;
+  wire.impairment_seed = seed * 2 + 1;
+  sim::Link to_client(loop, wire, [&](net::Packet p) {
+    client_ptr->on_datagram(util::BytesView(p.payload));
+  });
+  to_client.set_fault_injector(&injector, 1);
+  wire.impairment_seed = seed * 2 + 2;
+  sim::Link to_server(loop, wire, [&](net::Packet p) {
+    if (auto reply = server.handle(util::BytesView(p.payload))) {
+      net::Packet r;
+      r.payload = std::move(*reply);
+      to_client.send(std::move(r));
+    }
+  });
+  to_server.set_fault_injector(&injector, 0);
+
+  controlplane::SyncClient::Config cfg;
+  cfg.client_id = seed;
+  cfg.poll_interval = 50 * kMillisecond;
+  cfg.response_timeout = 100 * kMillisecond;
+  cfg.backoff_base = 100 * kMillisecond;
+  cfg.backoff_max = kSecond;
+  cfg.stale_grace = 2 * kSecond;
+  cfg.breaker_failure_threshold = 3;
+  cfg.breaker_success_threshold = 2;
+  controlplane::SyncClient client(loop.clock(), tables, cfg,
+                                  [&](util::Bytes request) {
+                                    net::Packet p;
+                                    p.payload = std::move(request);
+                                    to_server.send(std::move(p));
+                                  });
+  client_ptr = &client;
+
+  // The issuing side shares the log and the injector: acquires during
+  // an outage must fail *unavailable* (never corrupt state), and the
+  // grants that do land must reach the client like any other update.
+  server::CookieServer cookie_server(loop.clock(), seed, &log);
+  cookie_server.set_fault_injector(&injector);
+  server::ServiceOffer offer;
+  offer.name = "Boost";
+  cookie_server.add_service(offer);
+
+  // Descriptor churn timed to land inside the 10 s fault horizon.
+  for (cookies::CookieId id = 1; id <= 4; ++id) {
+    log.append_add(make_descriptor(id));
+  }
+  loop.at(1 * kSecond, [&] { log.append_add(make_descriptor(5)); });
+  loop.at(2500 * kMillisecond, [&] { log.append_revoke(2); });
+  loop.at(4 * kSecond, [&] { log.append_add(make_descriptor(6)); });
+  loop.at(6 * kSecond, [&] { log.append_remove(1); });
+  loop.at(8 * kSecond, [&] { log.append_revoke(3); });
+
+  client.start();
+  std::function<void()> pump = [&] {
+    client.tick();
+    loop.after(25 * kMillisecond, pump);
+  };
+  pump();
+
+  // Invariant 1 watchdog: once a table has been published, it must
+  // never revert to "no table" — stale-while-revalidate keeps the last
+  // good table enforcing through the worst outage.
+  bool published_once = false;
+  bool published_gap = false;
+  std::function<void()> watchdog = [&] {
+    if (tables.peek() != nullptr) {
+      published_once = true;
+    } else if (published_once) {
+      published_gap = true;
+    }
+    loop.after(100 * kMillisecond, watchdog);
+  };
+  watchdog();
+
+  // Acquire pump: inside the fault horizon only, so the convergence
+  // assertions below race nothing.
+  const Timestamp horizon = 10 * kSecond;
+  uint64_t acquires_ok = 0;
+  uint64_t acquires_unavailable = 0;
+  bool acquire_violation = false;
+  std::function<void()> buyer = [&] {
+    const auto result = cookie_server.acquire("Boost", "alice");
+    if (result.ok()) {
+      ++acquires_ok;
+    } else if (result.error == server::AcquireError::kUnavailable) {
+      ++acquires_unavailable;
+    } else {
+      acquire_violation = true;  // open service: nothing else is legal
+    }
+    if (loop.now() + 900 * kMillisecond < horizon) {
+      loop.after(900 * kMillisecond, buyer);
+    }
+  };
+  loop.after(300 * kMillisecond, buyer);
+
+  // Invariant 2 prober: mint a cookie with the true clock, verify it
+  // twice on a clock the plan may skew past the NCT. The second verify
+  // must never be accepted; when the first is accepted the second must
+  // be flagged as the replay it is.
+  fault::SkewedClock skewed(loop.clock(), injector);
+  cookies::CookieVerifier verifier(skewed);
+  verifier.add_descriptor(make_descriptor(99));
+  cookies::CookieGenerator mint(make_descriptor(99), loop.clock(), seed);
+  uint64_t replay_violations = 0;
+  std::function<void()> prober = [&] {
+    const cookies::Cookie cookie = mint.generate();
+    const auto first = verifier.verify(cookie);
+    const auto second = verifier.verify(cookie);
+    if (second.ok()) ++replay_violations;
+    if (first.ok() && second.status != cookies::VerifyStatus::kReplayed) {
+      ++replay_violations;
+    }
+    loop.after(250 * kMillisecond, prober);
+  };
+  prober();
+
+  // Run the schedule out, then give recovery one stale-while-
+  // revalidate budget's worth of quiet channel.
+  const Timestamp quiet = std::max(plan.quiet_after(), horizon);
+  const Timestamp deadline = quiet + 5 * kSecond;
+  loop.run_until(deadline);
+
+  EXPECT_FALSE(acquire_violation)
+      << "acquire failed with something other than kUnavailable";
+  EXPECT_EQ(replay_violations, 0u);
+  EXPECT_GT(verifier.stats().replayed, 0u)
+      << "the replay prober never exercised an accepted cookie";
+  EXPECT_FALSE(published_gap)
+      << "published table vanished mid-outage (fail-closed)";
+
+  // Invariant 3: converged.
+  ASSERT_NE(tables.peek(), nullptr);
+  EXPECT_EQ(client.applied_version(), log.version());
+  EXPECT_EQ(tables.peek()->version(), log.version());
+  EXPECT_FALSE(client.stale());
+  EXPECT_EQ(client.breaker_state(), controlplane::BreakerState::kClosed);
+  ASSERT_NE(tables.peek()->find(2), nullptr);
+  EXPECT_TRUE(tables.peek()->find(2)->revoked);
+  EXPECT_EQ(tables.peek()->find(1), nullptr);  // removed at 6 s
+
+  // The issuing path recovered too, and its new grant syncs through.
+  const auto grant = cookie_server.acquire("Boost", "alice");
+  EXPECT_TRUE(grant.ok()) << "acquire still unavailable after quiet";
+  loop.run_until(deadline + 2 * kSecond);
+  EXPECT_EQ(client.applied_version(), log.version());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSync,
+                         ::testing::Range<uint64_t>(1, 22));
+
+// --- Worker pool under chaos ---------------------------------------
+//
+// Real threads on the system clock: a producer pushes every cookie
+// TWICE through a descriptor-affinity dispatcher while the plan
+// injects queue-pressure bursts, worker pauses, and clock skew (the
+// pool runs on a SkewedClock). The books must balance exactly —
+// nothing silently dropped — and no cookie is ever accepted twice.
+
+class ChaosPool : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosPool, ShedLedgerAndUseOnceHoldUnderFaults) {
+  const uint64_t seed = GetParam();
+  util::SystemClock wall;
+  fault::Injector injector;
+  fault::SkewedClock clock(wall, injector);
+
+  // Short real-time horizon: the producer below spans tens of
+  // milliseconds, so durations are scaled to overlap it.
+  fault::FaultPlan::Spec spec;
+  spec.horizon = 30 * kMillisecond;
+  spec.min_duration = 5 * kMillisecond;
+  spec.max_duration = 15 * kMillisecond;
+  spec.max_magnitude = 0.5;
+  const fault::FaultPlan drawn = fault::FaultPlan::random(seed, spec);
+  SCOPED_TRACE(trace_label(seed, drawn));
+  // random() draws starts in [0, horizon); rebase onto the wall clock.
+  fault::FaultPlan plan;
+  const Timestamp base = wall.now() + 2 * kMillisecond;
+  for (fault::FaultEvent e : drawn.events()) {
+    e.start += base;
+    plan.add(e);
+  }
+  injector.arm(plan, seed);
+
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  runtime::WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 128;  // small on purpose: real ring-full sheds
+  runtime::WorkerPool pool(clock, registry, config);
+  pool.set_fault_injector(&injector);
+  pool.add_descriptor(make_descriptor(1));
+  pool.add_descriptor(make_descriptor(2));
+  runtime::Dispatcher dispatcher(pool, {});  // descriptor affinity
+  pool.start();
+
+  constexpr uint32_t kUnique = 1500;
+  util::ManualClock mint_clock(wall.now());  // never advanced: one writer, no race
+  cookies::CookieGenerator gen1(make_descriptor(1), mint_clock, seed);
+  cookies::CookieGenerator gen2(make_descriptor(2), mint_clock, seed + 1);
+  std::thread producer([&] {
+    for (uint32_t i = 0; i < kUnique; ++i) {
+      cookies::CookieGenerator& gen = (i & 1) ? gen2 : gen1;
+      const cookies::Cookie cookie = gen.generate();
+      net::Packet p = flow_packet(i);
+      cookies::attach(p, cookie, cookies::Transport::kUdpHeader);
+      net::Packet replay = p;  // same cookie: the §4.2 use-once probe
+      dispatcher.dispatch(std::move(p));
+      dispatcher.dispatch(std::move(replay));
+      // Stretch the producer across the fault window.
+      if ((i & 7) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  });
+  producer.join();
+  // Let the schedule finish (a pause still active would stall drain
+  // only as long as its own duration; waiting keeps the timing tight).
+  while (injector.any_active(wall.now())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pool.drain();
+  pool.stop();
+
+  // Invariant 1: exact fail-open accounting. Every offered packet was
+  // forwarded — routed to a worker or counted as a bypass — and the
+  // pool's shed ledger reconciles against the dispatcher's books.
+  const auto disp = dispatcher.stats();
+  EXPECT_EQ(disp.offered, 2ull * kUnique);
+  EXPECT_EQ(disp.forwarded(), disp.offered)
+      << "a cookie-bearing packet was dropped (fail-closed)";
+  EXPECT_EQ(disp.ingress_full_bypass, 0u);  // direct mode: no ingress ring
+  const auto totals = pool.snapshot().totals();
+  EXPECT_EQ(totals.processed, disp.routed);
+  EXPECT_EQ(totals.shed, disp.ring_full_bypass);
+  EXPECT_EQ(totals.processed + totals.shed, disp.offered);
+
+  // Invariant 2: at most one accept per unique cookie. Affinity pins
+  // both copies of a cookie to one worker, so its replay cache is
+  // authoritative; skew or shedding may cost accepts, never add them.
+  uint64_t accepted = 0;
+  uint64_t replayed = 0;
+  for (size_t w = 0; w < config.workers; ++w) {
+    accepted += pool.verifier(w).stats().verified;
+    replayed += pool.verifier(w).stats().replayed;
+  }
+  EXPECT_EQ(accepted, pool.total_verified());
+  EXPECT_LE(accepted, kUnique);
+  EXPECT_LE(replayed, accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosPool,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// --- Cold restart under chaos --------------------------------------
+//
+// A middlebox syncs cleanly, checkpoints, "restarts", and restores the
+// checkpoint while the channel to the server is under a fresh fault
+// schedule: the restored table must bridge the gap immediately (fail-
+// open from the first instant), the resync must converge once the
+// schedule quiets, and a checkpoint past the staleness budget must be
+// refused.
+
+class ChaosRestart : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosRestart, RestoredTableBridgesFaultyResync) {
+  const uint64_t seed = GetParam();
+  sim::EventLoop loop;
+  controlplane::DescriptorLog log;
+  controlplane::SyncServer server(log);
+  fault::Injector injector;
+
+  // Phase 1: clean synchronous loopback to version 4, then checkpoint.
+  controlplane::SavedTable saved;
+  {
+    controlplane::TablePublisher tables1;
+    controlplane::SyncClient* c1 = nullptr;
+    controlplane::SyncClient client1(loop.clock(), tables1, {},
+                                     [&](util::Bytes request) {
+                                       if (auto reply = server.handle(
+                                               util::BytesView(request))) {
+                                         c1->on_datagram(util::BytesView(*reply));
+                                       }
+                                     });
+    c1 = &client1;
+    log.append_add(make_descriptor(1));
+    log.append_add(make_descriptor(2));
+    log.append_add(make_descriptor(3));
+    log.append_revoke(2);
+    client1.start();
+    ASSERT_EQ(client1.applied_version(), 4u);
+    loop.run_until(kSecond);
+    saved = client1.export_table();
+  }
+  ASSERT_EQ(saved.version, 4u);
+
+  // Phase 2: restart behind a faulted channel.
+  fault::FaultPlan::Spec spec;
+  spec.horizon = 5 * kSecond;
+  const fault::FaultPlan drawn = fault::FaultPlan::random(seed, spec);
+  SCOPED_TRACE(trace_label(seed, drawn));
+  fault::FaultPlan plan;
+  for (fault::FaultEvent e : drawn.events()) {
+    e.start += kSecond;  // schedule starts at the restart instant
+    plan.add(e);
+  }
+  injector.arm(plan, seed);
+  server.set_fault_injector(&injector, &loop.clock());
+
+  controlplane::TablePublisher tables2;
+  controlplane::SyncClient* c2 = nullptr;
+  sim::Link::Config wire;
+  wire.rate_bps = 1e6;
+  wire.prop_delay = 5 * kMillisecond;
+  wire.loss_rate = 0.02;
+  wire.delay_jitter = 2 * kMillisecond;
+  wire.impairment_seed = seed * 2 + 1;
+  sim::Link to_client(loop, wire, [&](net::Packet p) {
+    c2->on_datagram(util::BytesView(p.payload));
+  });
+  to_client.set_fault_injector(&injector, 1);
+  wire.impairment_seed = seed * 2 + 2;
+  sim::Link to_server(loop, wire, [&](net::Packet p) {
+    if (auto reply = server.handle(util::BytesView(p.payload))) {
+      net::Packet r;
+      r.payload = std::move(*reply);
+      to_client.send(std::move(r));
+    }
+  });
+  to_server.set_fault_injector(&injector, 0);
+
+  controlplane::SyncClient::Config cfg;
+  cfg.client_id = seed + 1000;
+  cfg.poll_interval = 50 * kMillisecond;
+  cfg.response_timeout = 100 * kMillisecond;
+  cfg.backoff_base = 100 * kMillisecond;
+  cfg.backoff_max = kSecond;
+  cfg.stale_grace = 2 * kSecond;
+  cfg.breaker_failure_threshold = 3;
+  cfg.breaker_success_threshold = 2;
+  controlplane::SyncClient client2(loop.clock(), tables2, cfg,
+                                   [&](util::Bytes request) {
+                                     net::Packet p;
+                                     p.payload = std::move(request);
+                                     to_server.send(std::move(p));
+                                   });
+  c2 = &client2;
+
+  // Restore bridges the gap before the first (possibly fault-eaten)
+  // exchange: last-known-good state enforces immediately.
+  ASSERT_TRUE(client2.restore(saved));
+  ASSERT_NE(tables2.peek(), nullptr);
+  EXPECT_EQ(tables2.peek()->version(), 4u);
+  ASSERT_NE(tables2.peek()->find(2), nullptr);
+  EXPECT_TRUE(tables2.peek()->find(2)->revoked);
+  EXPECT_TRUE(client2.running_on_restored_table());
+
+  // The log moves on while the restarted middlebox fights through the
+  // schedule.
+  loop.at(2 * kSecond, [&] { log.append_add(make_descriptor(4)); });
+  loop.at(3 * kSecond, [&] { log.append_revoke(1); });
+
+  client2.start();
+  std::function<void()> pump = [&] {
+    client2.tick();
+    loop.after(25 * kMillisecond, pump);
+  };
+  pump();
+  bool published_gap = false;
+  std::function<void()> watchdog = [&] {
+    if (tables2.peek() == nullptr) published_gap = true;
+    loop.after(100 * kMillisecond, watchdog);
+  };
+  watchdog();
+
+  const Timestamp quiet = std::max(plan.quiet_after(), 6 * kSecond);
+  loop.run_until(quiet + 5 * kSecond);
+
+  EXPECT_FALSE(published_gap)
+      << "restored table vanished before resync (fail-closed)";
+  EXPECT_EQ(client2.applied_version(), log.version());
+  EXPECT_EQ(tables2.peek()->version(), log.version());
+  EXPECT_FALSE(client2.running_on_restored_table());
+  EXPECT_FALSE(client2.stale());
+  EXPECT_EQ(client2.breaker_state(), controlplane::BreakerState::kClosed);
+  ASSERT_NE(tables2.peek()->find(1), nullptr);
+  EXPECT_TRUE(tables2.peek()->find(1)->revoked);  // revoked mid-outage
+  ASSERT_NE(tables2.peek()->find(4), nullptr);
+  EXPECT_FALSE(tables2.peek()->find(4)->revoked);  // granted mid-outage
+
+  // Past the budget, the same checkpoint must be refused: enforcing
+  // arbitrarily old revocation state is worse than none.
+  loop.run_until(saved.saved_at + 31 * kSecond);  // budget is 30 s
+  controlplane::TablePublisher tables3;
+  controlplane::SyncClient client3(loop.clock(), tables3, {},
+                                   [](util::Bytes) {});
+  EXPECT_FALSE(client3.restore(saved));
+  EXPECT_EQ(tables3.peek(), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosRestart,
+                         ::testing::Range<uint64_t>(31, 39));
+
+}  // namespace
+}  // namespace nnn

@@ -422,6 +422,129 @@ TEST(SyncClient, ReplayedOldSnapshotDoesNotRollBack) {
   EXPECT_TRUE(lo.tables.peek()->find(1)->revoked);
 }
 
+// --- Graceful degradation (PR 5): breaker, backoff decay, restore --
+
+TEST(SyncClient, BreakerOpensThenProbesAndClosesAfterSuccessStreak) {
+  SyncClient::Config config;
+  config.breaker_failure_threshold = 3;
+  config.breaker_success_threshold = 2;
+  Loopback lo(config);
+  lo.log.append_add(make_descriptor(1));
+  lo.client->start();
+  EXPECT_EQ(lo.client->breaker_state(), BreakerState::kClosed);
+
+  // Dead server: failures accumulate past the threshold and the
+  // breaker trips. From then on it is either open (waiting out the
+  // backoff) or half-open (one probe in flight) — never closed.
+  lo.link_up = false;
+  lo.log.append_revoke(1);
+  lo.run_for(10 * kSecond);
+  EXPECT_GE(lo.client->consecutive_failures(), 3u);
+  EXPECT_NE(lo.client->breaker_state(), BreakerState::kClosed);
+  // Stale-while-revalidate: the pre-outage table still enforces.
+  ASSERT_NE(lo.tables.peek(), nullptr);
+  EXPECT_EQ(lo.tables.peek()->version(), 1u);
+
+  // Recovery: probes start succeeding; after the success streak the
+  // breaker closes, the slate wipes clean, and the client catches up.
+  // The window must outlast two capped backoffs (5 s each, +20%
+  // jitter) — one per required success.
+  lo.link_up = true;
+  lo.run_for(30 * kSecond);
+  EXPECT_EQ(lo.client->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(lo.client->consecutive_failures(), 0u);
+  EXPECT_EQ(lo.client->applied_version(), 2u);
+  EXPECT_FALSE(lo.client->stale());
+}
+
+TEST(SyncClient, FlappingLinkSingleSuccessDecaysBackoffNotResets) {
+  // The regression (PR 5 satellite): one response slipping through a
+  // flapping link used to reset backoff to the minimum, so the client
+  // resumed hammering a server that was still down. Once the breaker
+  // is engaged, a one-off success must only decay the failure level.
+  SyncClient::Config config;
+  config.breaker_failure_threshold = 2;
+  Loopback lo(config);
+  lo.log.append_add(make_descriptor(1));
+  lo.client->start();
+
+  lo.link_up = false;
+  lo.run_for(8 * kSecond);
+  ASSERT_GE(lo.client->consecutive_failures(), 2u);
+  ASSERT_NE(lo.client->breaker_state(), BreakerState::kClosed);
+
+  // Flap: the link is up exactly long enough for one exchange. A
+  // request already in flight when the link recovers can still time
+  // out first, so sample the failure level right before the tick that
+  // finally gets a response (a success never shares a tick with a
+  // failure: on_failure pushes next_poll into the future).
+  const size_t responses_before = lo.responses.size();
+  uint32_t failures_before_success = 0;
+  lo.link_up = true;
+  while (lo.responses.size() == responses_before) {
+    failures_before_success = lo.client->consecutive_failures();
+    lo.clock.advance(50 * kMillisecond);
+    lo.client->tick();
+  }
+  lo.link_up = false;
+  ASSERT_GE(failures_before_success, 2u);
+  EXPECT_EQ(lo.client->consecutive_failures(), failures_before_success - 1);
+
+  // Still backed off near the cap: over the next 5 s the client sends
+  // a couple of probes, not one per 100 ms poll interval (a reset
+  // would produce dozens).
+  const uint64_t retries_before = lo.client->retries();
+  lo.run_for(5 * kSecond);
+  EXPECT_LT(lo.client->retries() - retries_before, 8u);
+}
+
+TEST(SyncClient, RestoresCheckpointWithinBudgetAndRejectsStale) {
+  Loopback source;
+  source.log.append_add(make_descriptor(1));
+  source.log.append_add(make_descriptor(2));
+  source.log.append_revoke(2);
+  source.client->start();
+  EXPECT_EQ(source.client->applied_version(), 3u);
+  const SavedTable saved = source.client->export_table();
+  EXPECT_EQ(saved.version, 3u);
+  EXPECT_EQ(saved.live.size(), 1u);  // live() excludes the revoked one
+  EXPECT_EQ(saved.revoked.size(), 1u);
+
+  // Cold start within budget: the checkpoint publishes immediately, so
+  // workers enforce last-known-good state before the first sync.
+  {
+    Loopback fresh;
+    fresh.clock.set(saved.saved_at + 10 * kSecond);
+    fresh.link_up = false;
+    EXPECT_TRUE(fresh.client->restore(saved));
+    ASSERT_NE(fresh.tables.peek(), nullptr);
+    EXPECT_EQ(fresh.tables.peek()->version(), 3u);
+    ASSERT_NE(fresh.tables.peek()->find(2), nullptr);
+    EXPECT_TRUE(fresh.tables.peek()->find(2)->revoked);
+    EXPECT_TRUE(fresh.client->running_on_restored_table());
+
+    // The first live exchange clears the restored-table degradation.
+    fresh.link_up = true;
+    fresh.log.append_add(make_descriptor(1));
+    fresh.log.append_add(make_descriptor(2));
+    fresh.log.append_revoke(2);
+    fresh.log.append_add(make_descriptor(3));
+    fresh.client->start();
+    EXPECT_FALSE(fresh.client->running_on_restored_table());
+    EXPECT_EQ(fresh.client->applied_version(), 4u);
+  }
+
+  // A checkpoint past restore_budget is refused outright — enforcing
+  // arbitrarily old revocation state is worse than none.
+  {
+    Loopback fresh;
+    fresh.clock.set(saved.saved_at + 31 * kSecond);  // budget is 30 s
+    EXPECT_FALSE(fresh.client->restore(saved));
+    EXPECT_EQ(fresh.tables.peek(), nullptr);
+    EXPECT_FALSE(fresh.client->running_on_restored_table());
+  }
+}
+
 // --- Sync over lossy simulated links -------------------------------
 
 TEST(ControlPlaneSim, ConvergesOverLossyReorderingLinks) {

@@ -12,6 +12,8 @@
 #include "cookies/generator.h"
 #include "cookies/transport.h"
 #include "dataplane/service_registry.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "runtime/dispatcher.h"
 #include "runtime/mpsc_ring.h"
 #include "runtime/spsc_ring.h"
@@ -449,6 +451,63 @@ TEST(Runtime, StopWithoutDrainProcessesQueuedPackets) {
   // stop() without drain(): workers finish their rings before exiting.
   fx.pool.stop();
   EXPECT_EQ(fx.pool.snapshot().totals().packets, kPackets);
+}
+
+/// PR 5 satellite: the shed ledger must reconcile exactly with the
+/// producer's enqueue totals even when stop() races an injected
+/// queue-pressure burst and a worker pause — every submit attempt ends
+/// up as processed or shed, never silently lost. Runs under TSan.
+TEST(Runtime, ShedLedgerReconcilesWhenStopRacesQueuePressure) {
+  WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 64;  // small on purpose: real ring-full sheds
+  PoolFixture fx(config);
+
+  fault::Injector injector;
+  fault::FaultPlan plan;
+  const util::Timestamp now = fx.clock.now();
+  // Queue-pressure Bernoulli over the whole window, plus a pause that
+  // wedges worker 0 across the stop() — its ring leftovers must be
+  // reclaimed into shed.
+  plan.add({fault::FaultKind::kQueuePressure, now, 10 * util::kSecond, 0.5,
+            0, fault::kAllTargets});
+  plan.add({fault::FaultKind::kPause, now + 2 * util::kMillisecond,
+            10 * util::kSecond, 1.0, 0, 0});
+  injector.arm(plan, 42);
+  fx.pool.set_fault_injector(&injector);
+  fx.pool.start();
+
+  constexpr uint64_t kAttempts = 20000;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kAttempts; ++i) {
+      const size_t worker = i % 2;
+      if (fx.pool.submit(worker,
+                         flow_packet(static_cast<uint32_t>(i % 64),
+                                     static_cast<uint32_t>(i)))) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (i % 512 == 0) std::this_thread::yield();
+    }
+  });
+  // Stop while the producer is (very likely) still submitting — the
+  // race under test. Correctness must not depend on the timing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fx.pool.stop();
+  producer.join();
+
+  const auto totals = fx.pool.snapshot().totals();
+  EXPECT_EQ(accepted.load() + rejected.load(), kAttempts);
+  // The ledger: every attempt is processed or shed, exactly once.
+  EXPECT_EQ(totals.processed + totals.shed, kAttempts);
+  // Shed = refused at admission + reclaimed from rings at stop().
+  EXPECT_EQ(totals.shed - rejected.load(), accepted.load() - totals.processed);
+  // The pause + pressure made the valve actually operate.
+  EXPECT_GT(totals.shed, 0u);
+  EXPECT_GT(injector.injected(fault::FaultKind::kQueuePressure), 0u);
 }
 
 TEST(Runtime, LifecycleIsIdempotent) {

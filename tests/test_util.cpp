@@ -1,7 +1,12 @@
-// Remaining util coverage: fmt, strings, clock, logging.
+// Remaining util coverage: fmt, strings, clock, logging, Expected/Error.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "telemetry/labels.h"
 #include "util/clock.h"
+#include "util/error.h"
+#include "util/expected.h"
 #include "util/fmt.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -106,6 +111,95 @@ TEST(Logging, SinkCapturesAtOrAboveLevel) {
   // Restore defaults for other tests.
   logger.set_sink(nullptr);
   logger.set_level(saved_level);
+}
+
+TEST(Expected, ValueAndErrorAlternatives) {
+  Expected<int> ok = 42;
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  Expected<int> bad =
+      unexpected(Error{ErrorDomain::kWire, ErrorCode::kTruncated, "hdr"});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().domain, ErrorDomain::kWire);
+  EXPECT_EQ(bad.error().code, ErrorCode::kTruncated);
+  EXPECT_EQ(bad.error().detail, "hdr");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, EqualityIgnoresDetail) {
+  const Error a{ErrorDomain::kSync, ErrorCode::kTimeout, "poll"};
+  const Error b{ErrorDomain::kSync, ErrorCode::kTimeout, "other"};
+  const Error c{ErrorDomain::kSync, ErrorCode::kUnavailable};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Expected, ToOptionalBridgesLegacyShape) {
+  Expected<std::string> ok = std::string("payload");
+  const std::optional<std::string> opt = ok.to_optional();
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, "payload");
+
+  Expected<std::string> bad =
+      unexpected(Error{ErrorDomain::kMessages, ErrorCode::kMalformed});
+  EXPECT_FALSE(bad.to_optional().has_value());
+}
+
+TEST(Expected, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> ok = std::make_unique<int>(7);
+  ASSERT_TRUE(ok.has_value());
+  std::unique_ptr<int> moved = std::move(ok).value();
+  EXPECT_EQ(*moved, 7);
+}
+
+TEST(Expected, VoidSpecialization) {
+  Expected<void> ok;
+  EXPECT_TRUE(ok.has_value());
+  Expected<void> bad =
+      unexpected(Error{ErrorDomain::kServer, ErrorCode::kQuotaExceeded});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::kQuotaExceeded);
+}
+
+TEST(ErrorTaxonomy, ToStringFormats) {
+  EXPECT_EQ(nnn::to_string(ErrorDomain::kWire), "wire");
+  EXPECT_EQ(nnn::to_string(ErrorCode::kBadChecksum), "bad-checksum");
+  EXPECT_EQ(nnn::to_string(Error{ErrorDomain::kWire, ErrorCode::kTruncated}),
+            "wire/truncated");
+  EXPECT_EQ(nnn::to_string(Error{ErrorDomain::kVerify, ErrorCode::kReplayed,
+                                 "uuid cache"}),
+            "verify/replayed (uuid cache)");
+}
+
+TEST(ErrorTaxonomy, TallyCountsByDomainAndCode) {
+  auto& tally = ErrorTally::instance();
+  const uint64_t before =
+      tally.count(ErrorDomain::kMessages, ErrorCode::kTruncated);
+  count_error({ErrorDomain::kMessages, ErrorCode::kTruncated});
+  count_error({ErrorDomain::kMessages, ErrorCode::kTruncated, "delta"});
+  EXPECT_EQ(tally.count(ErrorDomain::kMessages, ErrorCode::kTruncated),
+            before + 2);
+  // The zero Error is never tallied.
+  const uint64_t total = tally.total();
+  count_error({});
+  EXPECT_EQ(tally.total(), total);
+}
+
+TEST(ErrorTaxonomy, VisitSkipsZeroCells) {
+  auto& tally = ErrorTally::instance();
+  count_error({ErrorDomain::kFault, ErrorCode::kOverload});
+  bool saw = false;
+  uint64_t nonzero_cells = 0;
+  tally.visit([&](ErrorDomain d, ErrorCode c, uint64_t n) {
+    EXPECT_GT(n, 0u);
+    ++nonzero_cells;
+    if (d == ErrorDomain::kFault && c == ErrorCode::kOverload) saw = true;
+  });
+  EXPECT_TRUE(saw);
+  EXPECT_GT(nonzero_cells, 0u);
 }
 
 }  // namespace

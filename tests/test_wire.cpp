@@ -361,5 +361,101 @@ TEST(SyncWire, DescriptorCodecRejectsCorruptFields) {
   EXPECT_FALSE(controlplane::decode_descriptor(r).has_value());
 }
 
+// --- Expected-returning API (PR 5): differential vs legacy ---------
+
+/// The legacy optional views must agree with the Expected-returning
+/// primaries on every input — the api_redesign satellite's "no
+/// behavior change" contract, checked byte-for-byte over full wires
+/// and every truncation of them.
+TEST(Wire, ExpectedAndLegacyParseAgreeOnEveryPrefix) {
+  for (const bool ipv6 : {false, true}) {
+    for (const auto proto : {L4Proto::kTcp, L4Proto::kUdp}) {
+      Packet p = base_packet(proto, ipv6);
+      if (proto == L4Proto::kTcp) p.l4_cookie = util::Bytes(53, 0x5a);
+      const auto wire = serialize(p);
+      for (size_t len = 0; len <= wire.size(); ++len) {
+        const util::BytesView view(wire.data(), len);
+        const auto legacy = parse(view);
+        const auto primary = parse_packet(view);
+        ASSERT_EQ(legacy.has_value(), primary.has_value())
+            << "ipv6=" << ipv6 << " len=" << len;
+        if (legacy.has_value()) {
+          EXPECT_EQ(legacy->tuple, primary.value().tuple);
+          EXPECT_EQ(legacy->payload, primary.value().payload);
+          EXPECT_EQ(legacy->l4_cookie, primary.value().l4_cookie);
+        }
+      }
+    }
+  }
+}
+
+TEST(Wire, ParseErrorsAreTypedAndTallied) {
+  const Packet p = base_packet(L4Proto::kTcp, false);
+  const auto wire = serialize(p);
+
+  const auto truncated = parse_packet(util::BytesView(wire.data(), 10));
+  ASSERT_FALSE(truncated.has_value());
+  EXPECT_EQ(truncated.error().domain, ErrorDomain::kWire);
+  EXPECT_EQ(truncated.error().code, ErrorCode::kTruncated);
+
+  auto corrupt = wire;
+  corrupt[14] ^= 0xff;  // source-address byte -> header checksum
+  const auto checksum = parse_packet(util::BytesView(corrupt));
+  ASSERT_FALSE(checksum.has_value());
+  EXPECT_EQ(checksum.error().code, ErrorCode::kBadChecksum);
+
+  const util::Bytes junk = {0x00};  // version nibble 0
+  const auto malformed = parse_packet(util::BytesView(junk));
+  ASSERT_FALSE(malformed.has_value());
+  EXPECT_EQ(malformed.error().code, ErrorCode::kMalformed);
+
+  // Failures land in the process-wide tally (-> nnn_errors_total).
+  const uint64_t before =
+      ErrorTally::instance().count(ErrorDomain::kWire, ErrorCode::kTruncated);
+  (void)parse_packet(util::BytesView(wire.data(), 10));
+  EXPECT_EQ(
+      ErrorTally::instance().count(ErrorDomain::kWire, ErrorCode::kTruncated),
+      before + 1);
+}
+
+TEST(SyncWire, DecodeExpectedAndLegacyAgreeOnEveryPrefix) {
+  const util::Bytes full =
+      controlplane::encode(controlplane::Message(rich_snapshot()));
+  for (size_t len = 0; len <= full.size(); ++len) {
+    const util::BytesView prefix(full.data(), len);
+    const auto legacy = controlplane::decode(prefix);
+    const auto primary = controlplane::decode_message(prefix);
+    ASSERT_EQ(legacy.has_value(), primary.has_value()) << "len=" << len;
+    if (legacy.has_value()) EXPECT_EQ(*legacy, primary.value());
+  }
+}
+
+TEST(SyncWire, DecodeMessageErrorsAreTyped) {
+  // Empty datagram.
+  const auto empty = controlplane::decode_message(util::BytesView());
+  ASSERT_FALSE(empty.has_value());
+  EXPECT_EQ(empty.error().domain, ErrorDomain::kMessages);
+  EXPECT_EQ(empty.error().code, ErrorCode::kTruncated);
+
+  // Envelope failures propagate the wire-domain error untouched.
+  util::Bytes bad_magic = controlplane::encode(
+      controlplane::Message(controlplane::HeartbeatMessage{5}));
+  bad_magic[0] ^= 0xff;
+  const auto magic = controlplane::decode_message(util::BytesView(bad_magic));
+  ASSERT_FALSE(magic.has_value());
+  EXPECT_EQ(magic.error().domain, ErrorDomain::kWire);
+  EXPECT_EQ(magic.error().code, ErrorCode::kBadMagic);
+
+  // A datagram of only unknown frames: no message, typed as such.
+  util::Bytes only_unknown;
+  const util::Bytes future = {0xca, 0xfe};
+  append_sync_frame(only_unknown, 0x70, util::BytesView(future));
+  const auto unknown =
+      controlplane::decode_message(util::BytesView(only_unknown));
+  ASSERT_FALSE(unknown.has_value());
+  EXPECT_EQ(unknown.error().domain, ErrorDomain::kMessages);
+  EXPECT_EQ(unknown.error().code, ErrorCode::kUnknownType);
+}
+
 }  // namespace
 }  // namespace nnn::net
