@@ -117,6 +117,38 @@ bool Injector::reject_admission(uint32_t worker_id,
   return false;
 }
 
+bool Injector::accept_stalled(util::Timestamp now) const {
+  // Polled by the listener on every readable edge and retry tick, so
+  // uncounted for the same reason paused() is.
+  return armed() && active_event(FaultKind::kAcceptStall, kAllTargets, now);
+}
+
+bool Injector::reset_connection(uint64_t conn_id, util::Timestamp now) const {
+  if (!armed()) return false;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind != FaultKind::kConnReset || !event.active_at(now)) {
+      continue;
+    }
+    // Hash (seed, conn_id, event start) instead of consuming the
+    // shared draw counter: the decision is then per-connection-per-
+    // event, so a connection polled many times during one reset window
+    // is killed at most once and the outcome doesn't depend on poll
+    // frequency.
+    const uint64_t h =
+        mix(seed_ ^ mix(conn_id) ^ static_cast<uint64_t>(event.start));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    if (u < event.magnitude) {
+      count(FaultKind::kConnReset);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::peer_half_open(util::Timestamp now) const {
+  return armed() && active_event(FaultKind::kPeerHalfOpen, kAllTargets, now);
+}
+
 util::Timestamp Injector::clock_skew(util::Timestamp now) const {
   // Continuous condition, evaluated per clock read — not counted, for
   // the same reason paused() is not.

@@ -76,6 +76,23 @@ class Injector {
   /// Offset a SkewedClock adds to the base clock's reading.
   util::Timestamp clock_skew(util::Timestamp now) const;
 
+  // --- socket hooks (netio) ---
+
+  /// netio::Listener accept loop: true = do not accept now; SYNs wait
+  /// in the kernel backlog. Polled like paused(), so uncounted.
+  bool accept_stalled(util::Timestamp now) const;
+
+  /// Per-connection io: true = abort this connection as if the peer
+  /// sent RST (counted; Bernoulli draw on the event's magnitude, at
+  /// most once per connection per event — callers pass a stable
+  /// conn_id so the draw sequence is reproducible across runs).
+  bool reset_connection(uint64_t conn_id, util::Timestamp now) const;
+
+  /// Per-connection read path: true = the peer is half-open; inbound
+  /// bytes are blackholed and only timeouts reclaim the connection.
+  /// Continuous condition, uncounted.
+  bool peer_half_open(util::Timestamp now) const;
+
   /// Any event in flight at `now` (chaos tests gate their recovery
   /// phase on this going false).
   bool any_active(util::Timestamp now) const;

@@ -12,8 +12,8 @@ FaultPlan FaultPlan::random(uint64_t seed, const Spec& spec) {
   FaultPlan plan;
   for (size_t i = 0; i < spec.events; ++i) {
     FaultEvent event;
-    event.kind = static_cast<FaultKind>(
-        rng.next_u64(static_cast<uint64_t>(kFaultKindCount)));
+    event.kind = static_cast<FaultKind>(rng.next_u64(static_cast<uint64_t>(
+        std::min(spec.kinds, kFaultKindCount))));
     event.start = static_cast<util::Timestamp>(
         rng.next_u64(static_cast<uint64_t>(spec.horizon)));
     event.duration =
@@ -40,8 +40,16 @@ FaultPlan FaultPlan::random(uint64_t seed, const Spec& spec) {
                            : static_cast<uint32_t>(rng.next_u64(
                                  std::max<uint32_t>(1, spec.worker_targets)));
         break;
+      case FaultKind::kConnReset:
+      case FaultKind::kPeerHalfOpen:
+        // Socket faults target connection ids, which only exist at
+        // runtime; schedules hit every live connection and the
+        // Bernoulli draw (kConnReset) thins the blast radius.
+        event.target = kAllTargets;
+        break;
       case FaultKind::kSyncOutage:
       case FaultKind::kClockSkew:
+      case FaultKind::kAcceptStall:
         event.target = kAllTargets;
         break;
     }
@@ -74,7 +82,8 @@ std::string FaultPlan::summary() const {
     if (event.kind == FaultKind::kClockSkew) {
       out += util::fmt(" skew={}ms", event.skew / util::kMillisecond);
     } else if (event.kind == FaultKind::kLossSpike ||
-               event.kind == FaultKind::kQueuePressure) {
+               event.kind == FaultKind::kQueuePressure ||
+               event.kind == FaultKind::kConnReset) {
       out += util::fmt(" p={}", event.magnitude);
     }
     if (event.target != kAllTargets) {

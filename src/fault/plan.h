@@ -43,8 +43,23 @@ enum class FaultKind : uint8_t {
   /// Admission to the target worker's queue rejects each submit with
   /// probability `magnitude` (an overload burst).
   kQueuePressure,
+  /// The netio listener stops calling accept(); SYNs pile up in the
+  /// kernel backlog (a wedged accept thread / SYN-flood mitigation).
+  kAcceptStall,
+  /// Each established connection's next io is aborted with probability
+  /// `magnitude` (mid-stream RST).
+  kConnReset,
+  /// The peer vanishes without FIN: inbound bytes from it are
+  /// blackholed, so only the idle timeout can reclaim the connection.
+  kPeerHalfOpen,
 };
 // kFaultKindCount and to_string(FaultKind) live in telemetry/labels.h.
+
+/// The pre-netio fault kinds. FaultPlan::random draws from these by
+/// default so every chaos seed shipped before the socket faults keeps
+/// producing byte-identical schedules; netio chaos opts into the full
+/// set via Spec::kinds.
+inline constexpr size_t kCoreFaultKinds = 6;
 
 /// Applies to every link/worker rather than one target.
 inline constexpr uint32_t kAllTargets = 0xffffffffu;
@@ -90,6 +105,10 @@ class FaultPlan {
     /// with a 1-in-4 chance of kAllTargets.
     uint32_t link_targets = 2;
     uint32_t worker_targets = 2;
+    /// How many FaultKind values the schedule draws from, counting
+    /// from 0. The default excludes the socket kinds (see
+    /// kCoreFaultKinds); set to kFaultKindCount for netio chaos.
+    size_t kinds = kCoreFaultKinds;
   };
 
   FaultPlan() = default;

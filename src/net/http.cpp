@@ -120,6 +120,65 @@ std::optional<Request> Request::parse(std::string_view text) {
   return req;
 }
 
+Request::ParsePrefix Request::parse_prefix(std::string_view text) {
+  ParsePrefix out;
+  const size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // No blank line yet. A first line that already cannot be a request
+    // line, or headers past the cap, will never become parseable.
+    const size_t eol = text.find(kCrlf);
+    if (eol != std::string_view::npos) {
+      const auto parts = util::split(text.substr(0, eol), ' ');
+      if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+          !util::starts_with(parts[2], "HTTP/")) {
+        out.status = ParseStatus::kBad;
+        return out;
+      }
+    }
+    out.status =
+        text.size() > kMaxHeaderBytes ? ParseStatus::kBad
+                                      : ParseStatus::kIncomplete;
+    return out;
+  }
+  if (head_end > kMaxHeaderBytes) {
+    out.status = ParseStatus::kBad;
+    return out;
+  }
+  const size_t eol = text.find(kCrlf);
+  const auto parts = util::split(text.substr(0, eol), ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+      !util::starts_with(parts[2], "HTTP/")) {
+    out.status = ParseStatus::kBad;
+    return out;
+  }
+  Request req;
+  req.method_ = parts[0];
+  req.target_ = parts[1];
+  const size_t body_pos = parse_headers(text, eol + 2, req.headers_);
+  if (body_pos == std::string_view::npos) {
+    out.status = ParseStatus::kBad;
+    return out;
+  }
+  size_t body_len = 0;
+  if (const auto cl = req.header("Content-Length")) {
+    const auto [p, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), body_len);
+    if (ec != std::errc() || p != cl->data() + cl->size()) {
+      out.status = ParseStatus::kBad;
+      return out;
+    }
+    if (text.size() - body_pos < body_len) {
+      out.status = ParseStatus::kIncomplete;
+      return out;
+    }
+    req.body_ = std::string(text.substr(body_pos, body_len));
+  }
+  out.status = ParseStatus::kComplete;
+  out.request = std::move(req);
+  out.consumed = body_pos + body_len;
+  return out;
+}
+
 std::optional<std::string> Response::header(std::string_view name) const {
   return find_header(headers, name);
 }
@@ -130,7 +189,10 @@ void Response::add_header(std::string name, std::string value) {
 
 std::string Response::serialize() const {
   std::string out = util::fmt("HTTP/1.1 {} {}\r\n", status, reason);
-  serialize_headers(out, headers, body.size(), !body.empty());
+  // Responses always carry Content-Length, even "0": a keep-alive
+  // client framing the stream must know the body ended without waiting
+  // for a close that never comes.
+  serialize_headers(out, headers, body.size(), /*has_body=*/true);
   out += body;
   return out;
 }

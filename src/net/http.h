@@ -53,11 +53,34 @@ class Request {
   /// Parse a complete request. nullopt if malformed or incomplete.
   static std::optional<Request> parse(std::string_view text);
 
+  /// Incremental parse over a TCP stream prefix. Distinguishes "keep
+  /// reading" from "give up" — the distinction parse() folds into one
+  /// nullopt — and reports how many bytes the request occupied so
+  /// keep-alive connections know where the next request starts.
+  enum class ParseStatus : uint8_t {
+    kComplete,    // `request` and `consumed` are valid
+    kIncomplete,  // a longer prefix may parse; keep buffering
+    kBad,         // no extension of this prefix can parse; close
+  };
+  struct ParsePrefix;  // defined after the class: it holds a Request
+  /// A request without Content-Length has an empty body (the stream
+  /// framing rule — unlike parse(), which takes the rest of the text).
+  /// Headers are capped at kMaxHeaderBytes: a peer that sends more
+  /// without a blank line is kBad, not endlessly buffered.
+  static ParsePrefix parse_prefix(std::string_view text);
+  static constexpr size_t kMaxHeaderBytes = 16 * 1024;
+
  private:
   std::string method_ = "GET";
   std::string target_ = "/";
   std::vector<Header> headers_;
   std::string body_;
+};
+
+struct Request::ParsePrefix {
+  ParseStatus status = ParseStatus::kIncomplete;
+  Request request;
+  size_t consumed = 0;
 };
 
 struct Response {

@@ -1,6 +1,7 @@
 #include "net/wire.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/bytes.h"
 
@@ -158,6 +159,21 @@ uint16_t internet_checksum(BytesView data, uint32_t seed) {
   return fold(sum16(data) + seed);
 }
 
+namespace {
+/// Process-wide so every decode path (reader, peek, assembler) agrees;
+/// relaxed is fine — this is a configuration knob set at startup, not
+/// a synchronization point.
+std::atomic<size_t> g_max_sync_frame_payload{kDefaultMaxSyncFramePayload};
+}  // namespace
+
+size_t max_sync_frame_payload() {
+  return g_max_sync_frame_payload.load(std::memory_order_relaxed);
+}
+
+void set_max_sync_frame_payload(size_t bytes) {
+  g_max_sync_frame_payload.store(bytes, std::memory_order_relaxed);
+}
+
 void append_sync_frame(util::Bytes& out, uint8_t type, BytesView payload) {
   ByteWriter w(out);
   w.u16(kSyncMagic);
@@ -179,6 +195,9 @@ Expected<SyncFrame> read_sync_frame(ByteReader& r) {
   if (*version != kSyncVersion) {
     return wire_error(ErrorCode::kUnsupportedVersion);
   }
+  if (*len > max_sync_frame_payload()) {
+    return wire_error(ErrorCode::kMalformed, "frame length");
+  }
   const auto payload = r.view(*len);
   if (!payload) return wire_error(ErrorCode::kTruncated, "sync payload");
   return SyncFrame{*type, *payload};
@@ -186,6 +205,62 @@ Expected<SyncFrame> read_sync_frame(ByteReader& r) {
 
 std::optional<SyncFrame> parse_sync_frame(ByteReader& r) {
   return read_sync_frame(r).to_optional();
+}
+
+Expected<std::optional<size_t>> peek_sync_frame(BytesView stream) {
+  if (stream.size() < kSyncFrameHeader) return std::optional<size_t>{};
+  const uint16_t magic =
+      static_cast<uint16_t>(static_cast<uint16_t>(stream[0]) << 8 |
+                            stream[1]);
+  if (magic != kSyncMagic) return wire_error(ErrorCode::kBadMagic);
+  if (stream[2] != kSyncVersion) {
+    return wire_error(ErrorCode::kUnsupportedVersion);
+  }
+  const uint32_t len = static_cast<uint32_t>(stream[4]) << 24 |
+                       static_cast<uint32_t>(stream[5]) << 16 |
+                       static_cast<uint32_t>(stream[6]) << 8 | stream[7];
+  if (len > max_sync_frame_payload()) {
+    return wire_error(ErrorCode::kMalformed, "frame length");
+  }
+  return std::optional<size_t>{kSyncFrameHeader + len};
+}
+
+std::optional<Error> FrameAssembler::feed(BytesView chunk) {
+  if (poisoned_) return poisoned_;
+  util::append(buffer_, chunk);
+  // Validate the envelope as soon as it is whole; a hostile length is
+  // caught here, before next() would size anything from it.
+  const auto probe =
+      peek_sync_frame(BytesView(buffer_).subspan(consumed_));
+  if (!probe) {
+    poisoned_ = probe.error();
+    return poisoned_;
+  }
+  return std::nullopt;
+}
+
+std::optional<FrameAssembler::Frame> FrameAssembler::next() {
+  if (poisoned_) return std::nullopt;
+  const BytesView pending = BytesView(buffer_).subspan(consumed_);
+  const auto probe = peek_sync_frame(pending);
+  if (!probe) {
+    poisoned_ = probe.error();
+    return std::nullopt;
+  }
+  if (!*probe || pending.size() < **probe) return std::nullopt;
+  Frame frame;
+  frame.type = pending[3];
+  frame.payload.assign(pending.begin() + kSyncFrameHeader,
+                       pending.begin() + static_cast<ptrdiff_t>(**probe));
+  consumed_ += **probe;
+  // Compact once the dead prefix dominates, so a long-lived connection
+  // doesn't grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return frame;
 }
 
 util::Bytes serialize(const Packet& p) {

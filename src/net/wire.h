@@ -60,17 +60,72 @@ struct SyncFrame {
   util::BytesView payload;
 };
 
+/// Fixed envelope size: u16 magic | u8 version | u8 type | u32 len.
+inline constexpr size_t kSyncFrameHeader = 8;
+
+/// Ceiling on the length field a decoder will honor, checked BEFORE
+/// any allocation or buffer sizing — a hostile 4 GiB length field must
+/// cost the server one rejected frame, not one reserve() call. The
+/// default comfortably exceeds the largest legitimate control-plane
+/// message (a full descriptor snapshot); netio servers may lower it.
+size_t max_sync_frame_payload();
+void set_max_sync_frame_payload(size_t bytes);
+inline constexpr size_t kDefaultMaxSyncFramePayload = 16u << 20;  // 16 MiB
+
 /// Append one frame: u16 magic | u8 version | u8 type | u32 len | payload.
 void append_sync_frame(util::Bytes& out, uint8_t type,
                        util::BytesView payload);
 
 /// Parse the frame at the reader's position. Fails with kBadMagic,
-/// kUnsupportedVersion, or kTruncated (a length that overruns the
-/// buffer); the returned payload view aliases the reader's underlying
-/// buffer.
+/// kUnsupportedVersion, kMalformed (a length field above
+/// max_sync_frame_payload()), or kTruncated (a length that overruns
+/// the buffer); the returned payload view aliases the reader's
+/// underlying buffer.
 Expected<SyncFrame> read_sync_frame(util::ByteReader& r);
 
 /// Legacy view over read_sync_frame.
 std::optional<SyncFrame> parse_sync_frame(util::ByteReader& r);
+
+/// Stream-reassembly probe: given the bytes buffered so far on a TCP
+/// connection, how much more is needed?
+///  - nullopt          -> envelope incomplete, keep reading
+///  - value            -> total frame size (header + payload); the
+///                        first `value` bytes of `stream` hold one
+///                        whole frame once stream.size() >= value
+///  - Error            -> the stream is poisoned (bad magic/version or
+///                        an oversized length); close the connection —
+///                        framing cannot resynchronize a byte stream.
+/// Validates the envelope as soon as its 8 bytes arrive, so a hostile
+/// length is rejected before any payload is buffered.
+Expected<std::optional<size_t>> peek_sync_frame(util::BytesView stream);
+
+/// Incremental frame reassembly for a byte stream: feed arbitrary
+/// chunks, poll complete frames out. Used by the netio client
+/// transport and the chunked-delivery differential tests; server
+/// connections run peek_sync_frame directly on their input buffer.
+class FrameAssembler {
+ public:
+  /// Append a chunk. Returns an Error (and poisons the assembler) when
+  /// the buffered prefix can never parse; feeding after that fails the
+  /// same way. nullopt = accepted.
+  std::optional<Error> feed(util::BytesView chunk);
+
+  /// Pop the next complete frame, or nullopt when more bytes are
+  /// needed. The frame owns its payload (no aliasing of the internal
+  /// buffer, which compacts as frames pop).
+  struct Frame {
+    uint8_t type = 0;
+    util::Bytes payload;
+  };
+  std::optional<Frame> next();
+
+  bool poisoned() const { return poisoned_.has_value(); }
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  util::Bytes buffer_;
+  size_t consumed_ = 0;
+  std::optional<Error> poisoned_;
+};
 
 }  // namespace nnn::net

@@ -1,0 +1,247 @@
+#include "netio/conn.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace nnn::netio {
+
+Connection::Connection(uint64_t id, Fd fd, EventLoop& loop,
+                       NetioMetrics& metrics, Limits limits,
+                       std::unique_ptr<Protocol> protocol,
+                       const fault::Injector* injector,
+                       std::function<void(uint64_t, CloseReason)> on_close)
+    : id_(id),
+      fd_(std::move(fd)),
+      loop_(loop),
+      metrics_(metrics),
+      limits_(limits),
+      protocol_(std::move(protocol)),
+      injector_(injector),
+      on_close_(std::move(on_close)) {
+  const util::Timestamp now = loop_.now();
+  last_activity_ = now;
+  handshake_deadline_ = now + limits_.handshake_timeout;
+  metrics_.conn_state_enter(state_);
+  loop_.add_fd(fd_.get(), EventLoop::kReadable | EventLoop::kWritable,
+               [this](uint32_t events) { on_events(events); });
+  loop_.add_timer(deadline(),
+                  [this, alive = alive_](util::Timestamp now) {
+                    return *alive ? on_timer(now) : util::Timestamp{0};
+                  });
+}
+
+Connection::~Connection() {
+  *alive_ = false;
+  if (!closed()) {
+    // Owner tore the server down with the connection still live
+    // (close_all): unregister and settle the gauges without the
+    // on_close callback (the owner is already destroying us).
+    on_close_ = nullptr;
+    close(CloseReason::kLocal);
+  }
+  metrics_.conn_state_leave(ConnState::kClosed);
+}
+
+void Connection::set_state(ConnState next) {
+  if (state_ == next) return;
+  metrics_.conn_state_leave(state_);
+  metrics_.conn_state_enter(next);
+  state_ = next;
+}
+
+util::Timestamp Connection::deadline() const {
+  return state_ == ConnState::kHandshake
+             ? handshake_deadline_
+             : last_activity_ + limits_.idle_timeout;
+}
+
+util::Timestamp Connection::on_timer(util::Timestamp now) {
+  if (closed()) return 0;  // cancel: the entry evaporates
+  const util::Timestamp due = deadline();
+  if (now < due) return due;  // lazy re-arm at the authoritative deadline
+  if (state_ == ConnState::kHandshake) {
+    metrics_.handshake_timeouts.inc();
+    close(CloseReason::kHandshakeTimeout);
+  } else {
+    metrics_.idle_timeouts.inc();
+    close(CloseReason::kIdleTimeout);
+  }
+  return 0;
+}
+
+void Connection::on_events(uint32_t events) {
+  if (closed()) return;
+  if (injector_ && injector_->reset_connection(id_, loop_.now())) {
+    close(CloseReason::kReset);
+    return;
+  }
+  if (events & EventLoop::kError) {
+    close(CloseReason::kReset);
+    return;
+  }
+  if (events & EventLoop::kWritable) {
+    flush();
+    if (closed()) return;
+    if (state_ == ConnState::kDraining && queued_out() == 0) {
+      close(CloseReason::kLocal);
+      return;
+    }
+  }
+  if (events & EventLoop::kReadable) handle_readable();
+}
+
+void Connection::handle_readable() {
+  const bool blackhole =
+      injector_ && injector_->peer_half_open(loop_.now());
+  std::array<uint8_t, 16384> chunk;
+  bool got_data = false;
+  for (;;) {
+    const ssize_t n =
+        ::recv(fd_.get(), chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      if (blackhole) continue;  // peer "vanished": bytes never arrive
+      metrics_.bytes_read.inc(static_cast<uint64_t>(n));
+      inbuf_.insert(inbuf_.end(), chunk.data(), chunk.data() + n);
+      got_data = true;
+      if (inbuf_.size() > limits_.read_buffer_cap) {
+        metrics_.backpressure_closes.inc();
+        close(CloseReason::kBackpressure);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_eof_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close(CloseReason::kReset);
+    return;
+  }
+  if (got_data) {
+    last_activity_ = loop_.now();
+    run_protocol();
+    if (closed()) return;
+  }
+  if (peer_eof_) {
+    if (!blackhole && !inbuf_.empty() && protocol_) {
+      protocol_->on_eof(*this, util::BytesView(inbuf_));
+      if (closed()) return;
+    }
+    // Close now unless a reply is still flushing out.
+    if (queued_out() == 0) {
+      close(CloseReason::kPeer);
+    } else if (state_ != ConnState::kDraining) {
+      set_state(ConnState::kDraining);
+    }
+  }
+}
+
+void Connection::run_protocol() {
+  if (!protocol_ || state_ == ConnState::kDraining) return;
+  in_protocol_ = true;
+  // Loop: one buffer may hold several complete requests (pipelining,
+  // sync bursts); each on_data call consumes at most one.
+  while (!closed() && !inbuf_.empty()) {
+    const auto consumed = protocol_->on_data(*this, util::BytesView(inbuf_));
+    if (!consumed) {
+      in_protocol_ = false;
+      close(CloseReason::kProtocolError);
+      return;
+    }
+    if (*consumed == 0) break;  // incomplete: wait for more bytes
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<ptrdiff_t>(
+                                      std::min(*consumed, inbuf_.size())));
+    if (state_ == ConnState::kDraining) break;
+  }
+  in_protocol_ = false;
+  // drain() from inside on_data defers the close to here so the
+  // request loop can unwind first.
+  if (!closed() && state_ == ConnState::kDraining && queued_out() == 0) {
+    close(CloseReason::kLocal);
+  }
+}
+
+void Connection::send(util::BytesView bytes) {
+  if (closed()) return;
+  if (queued_out() + bytes.size() > limits_.write_queue_cap) {
+    metrics_.backpressure_closes.inc();
+    close(CloseReason::kBackpressure);
+    return;
+  }
+  // Compact the flushed prefix before growing the queue.
+  if (out_sent_ > 0 && (out_sent_ >= outbuf_.size() ||
+                        out_sent_ > limits_.write_queue_cap / 2)) {
+    outbuf_.erase(outbuf_.begin(),
+                  outbuf_.begin() + static_cast<ptrdiff_t>(out_sent_));
+    out_sent_ = 0;
+  }
+  util::append(outbuf_, bytes);
+  flush();
+}
+
+void Connection::flush() {
+  while (out_sent_ < outbuf_.size()) {
+    const ssize_t n = ::send(fd_.get(), outbuf_.data() + out_sent_,
+                             outbuf_.size() - out_sent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_sent_ += static_cast<size_t>(n);
+      metrics_.bytes_written.inc(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET: the peer is gone mid-write.
+    close(CloseReason::kReset);
+    return;
+  }
+  if (out_sent_ == outbuf_.size() && out_sent_ > 0) {
+    outbuf_.clear();
+    out_sent_ = 0;
+  }
+}
+
+void Connection::mark_open() {
+  if (state_ == ConnState::kHandshake) set_state(ConnState::kOpen);
+}
+
+void Connection::drain() {
+  if (closed()) return;
+  flush();
+  if (closed()) return;
+  if (queued_out() == 0) {
+    // Nothing pending; but if the protocol is mid-on_data let the
+    // request loop unwind before the owner destroys us.
+    if (in_protocol_) {
+      set_state(ConnState::kDraining);
+    } else {
+      close(CloseReason::kLocal);
+    }
+    return;
+  }
+  set_state(ConnState::kDraining);
+}
+
+void Connection::close(CloseReason reason) {
+  if (closed()) return;
+  loop_.del_fd(fd_.get());
+  fd_.reset();
+  set_state(ConnState::kClosed);
+  metrics_.closes.inc();
+  if (reason == CloseReason::kReset) metrics_.resets.inc();
+  if (on_close_) {
+    // The callback may destroy `this`; move it out and touch nothing
+    // afterwards.
+    auto cb = std::move(on_close_);
+    on_close_ = nullptr;
+    cb(id_, reason);
+  }
+}
+
+}  // namespace nnn::netio

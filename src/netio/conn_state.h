@@ -1,0 +1,24 @@
+// Connection lifecycle states, split into their own header so
+// telemetry/labels.cpp can name them (nnn_netio_connections{state=...})
+// without pulling the epoll machinery below the telemetry layer —
+// the same include-only trick fault/plan.h and util/logging.h use.
+#pragma once
+
+#include <cstdint>
+
+namespace nnn::netio {
+
+/// Where a connection is in its life. kHandshake covers accept until
+/// the first byte arrives (bounded by handshake_timeout — a SYN-and-
+/// silence peer must not hold an fd forever); kDraining is a close
+/// requested with bytes still queued (flush, then close); kClosed is
+/// terminal and only exists long enough to be counted.
+enum class ConnState : uint8_t {
+  kHandshake = 0,
+  kOpen = 1,
+  kDraining = 2,
+  kClosed = 3,
+};
+// kConnStateCount and to_string(ConnState) live in telemetry/labels.h.
+
+}  // namespace nnn::netio

@@ -1,0 +1,108 @@
+// Edge-triggered epoll event loop — the netio subsystem's scheduler.
+//
+// One loop, one thread, everything non-blocking: listeners, server
+// connections, and client transports all register fds here and get
+// called back when the kernel has work for them. Edge-triggered
+// (EPOLLET) is deliberate: level-triggered epoll re-reports a readable
+// fd on every wait, which at 10k mostly-idle sync connections turns
+// the ready list into a scan; edge-triggered reports each fd once per
+// state change, so the loop's cost tracks *activity*, not population.
+// The contract that buys this is the usual one — every handler must
+// drain its fd to EAGAIN before returning.
+//
+// Timers ride the TimerWheel (idle/handshake timeouts, retry timers);
+// cross-thread work arrives through post(), which enqueues a task and
+// kicks an eventfd so a parked epoll_wait wakes immediately. All other
+// methods are loop-thread-only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/socket.h"
+#include "netio/timer_wheel.h"
+#include "util/clock.h"
+
+namespace nnn::netio {
+
+class EventLoop {
+ public:
+  /// Bitmask passed to io handlers (mirrors EPOLLIN/EPOLLOUT/EPOLLERR
+  /// without leaking <sys/epoll.h> into every include site).
+  static constexpr uint32_t kReadable = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+  static constexpr uint32_t kError = 1u << 2;
+
+  using IoHandler = std::function<void(uint32_t events)>;
+  /// Timer callback: return the id's authoritative deadline (see
+  /// TimerWheel::advance).
+  using TimerHandler = std::function<util::Timestamp(util::Timestamp now)>;
+
+  /// `clock` must outlive the loop and be monotonic (SystemClock in
+  /// production; tests may drive a ManualClock through poll()).
+  explicit EventLoop(const util::Clock& clock,
+                     TimerWheel::Config timers = {});
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- fd registration (loop thread) ---
+
+  /// Watch `fd` edge-triggered for `interest` (kReadable|kWritable).
+  /// The handler stays installed until del_fd; re-register interest
+  /// with mod_fd.
+  bool add_fd(int fd, uint32_t interest, IoHandler handler);
+  bool mod_fd(int fd, uint32_t interest);
+  void del_fd(int fd);
+
+  // --- timers (loop thread) ---
+
+  /// File a timer under a fresh id. The handler is invoked from
+  /// poll(); re-arm lazily by returning the new deadline.
+  uint64_t add_timer(util::Timestamp deadline, TimerHandler handler);
+
+  // --- driving ---
+
+  /// One iteration: wait for io (at most `max_wait`, clamped to the
+  /// timer tick while timers are live), dispatch handlers, fire due
+  /// timers, run posted tasks. Returns the number of io events
+  /// dispatched.
+  int poll(util::Timestamp max_wait = 50 * util::kMillisecond);
+
+  /// poll() until stop(). The conventional server shape is one thread
+  /// parked here.
+  void run();
+  /// Ask run() to return; safe from any thread.
+  void stop();
+
+  /// Enqueue `task` for the loop thread and wake it. Safe from any
+  /// thread — the one cross-thread door into the loop.
+  void post(std::function<void()> task);
+
+  const util::Clock& clock() const { return clock_; }
+  util::Timestamp now() const { return clock_.now(); }
+  size_t fd_count() const { return handlers_.size(); }
+
+ private:
+  void drain_wakeup();
+  void run_posted();
+
+  const util::Clock& clock_;
+  Fd epoll_;
+  Fd wakeup_;  // eventfd
+  TimerWheel wheel_;
+  std::unordered_map<int, IoHandler> handlers_;
+  std::unordered_map<uint64_t, TimerHandler> timers_;
+  uint64_t next_timer_id_ = 1;
+  std::atomic<bool> stop_{false};
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::vector<std::function<void()>> running_;
+};
+
+}  // namespace nnn::netio

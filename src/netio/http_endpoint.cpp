@@ -1,0 +1,71 @@
+#include "netio/http_endpoint.h"
+
+#include <string_view>
+#include <utility>
+
+#include "net/http.h"
+#include "util/strings.h"
+
+namespace nnn::netio {
+
+namespace {
+
+std::string_view reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return status >= 500 ? "Internal Server Error" : "OK";
+  }
+}
+
+}  // namespace
+
+Expected<size_t> HttpEndpoint::on_data(Connection& conn,
+                                       util::BytesView buffered) {
+  const std::string_view text(reinterpret_cast<const char*>(buffered.data()),
+                              buffered.size());
+  auto parsed = net::http::Request::parse_prefix(text);
+  using ParseStatus = net::http::Request::ParseStatus;
+  if (parsed.status == ParseStatus::kIncomplete) return 0;
+  if (parsed.status == ParseStatus::kBad) {
+    net::http::Response bad;
+    bad.status = 400;
+    bad.reason = "Bad Request";
+    bad.add_header("Content-Type", "application/json");
+    bad.add_header("Connection", "close");
+    bad.body = R"({"ok":false,"error":"bad-request"})";
+    const std::string wire = bad.serialize();
+    conn.send(util::BytesView(
+        reinterpret_cast<const uint8_t*>(wire.data()), wire.size()));
+    conn.drain();
+    return buffered.size();
+  }
+  const util::Timestamp start = conn.loop().now();
+  conn.mark_open();
+  conn.metrics().http_requests.inc();
+  const auto api_response = api_.handle_http(parsed.request.method(),
+                                             parsed.request.target(),
+                                             parsed.request.body());
+  net::http::Response response;
+  response.status = api_response.status;
+  response.reason = std::string(reason_for(api_response.status));
+  response.add_header("Content-Type", api_response.content_type.empty()
+                                          ? "application/json"
+                                          : api_response.content_type);
+  const bool close_after =
+      util::iequals(parsed.request.header("Connection").value_or(""),
+                    "close");
+  response.add_header("Connection", close_after ? "close" : "keep-alive");
+  response.body = api_response.body;
+  const std::string wire = response.serialize();
+  conn.send(util::BytesView(reinterpret_cast<const uint8_t*>(wire.data()),
+                            wire.size()));
+  conn.metrics().request_micros.record(
+      static_cast<uint64_t>(conn.loop().now() - start));
+  if (close_after) conn.drain();
+  return parsed.consumed;
+}
+
+}  // namespace nnn::netio

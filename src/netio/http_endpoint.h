@@ -1,0 +1,39 @@
+// HTTP endpoint: puts the JsonApi (GET /metrics, /metrics.json, POST
+// JSON documents) behind a TcpServer.
+//
+// HTTP/1.1 keep-alive by default: requests are framed by
+// Request::parse_prefix (split header/body reads tolerated; a request
+// without Content-Length has an empty body) and every response carries
+// Content-Length, so one connection serves a monitoring scraper for
+// its lifetime. "Connection: close" is honored by draining after the
+// response. An unparseable prefix gets a 400 and a drain — HTTP can
+// say "bad request" in-band, unlike the sync framing, where a poisoned
+// stream can only be closed.
+//
+// JsonApi::handle_http is self-contained per call, so one JsonApi
+// serves every connection.
+#pragma once
+
+#include "netio/conn.h"
+#include "netio/transport.h"
+#include "server/json_api.h"
+
+namespace nnn::netio {
+
+class HttpEndpoint final : public Protocol {
+ public:
+  explicit HttpEndpoint(server::JsonApi& api) : api_(api) {}
+
+  Expected<size_t> on_data(Connection& conn,
+                           util::BytesView buffered) override;
+
+ private:
+  server::JsonApi& api_;
+};
+
+/// Factory for TcpServer::create. `api` must outlive the TcpServer.
+inline TcpServer::ProtocolFactory http_protocol(server::JsonApi& api) {
+  return [&api] { return std::make_unique<HttpEndpoint>(api); };
+}
+
+}  // namespace nnn::netio

@@ -1,0 +1,118 @@
+#include "netio/listener.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <memory>
+#include <utility>
+
+namespace nnn::netio {
+
+Expected<std::unique_ptr<Listener>> Listener::create(
+    EventLoop& loop, NetioMetrics& metrics, Config config,
+    const fault::Injector* injector, OnAccept on_accept) {
+  auto fd = listen_tcp(config.port, config.backlog);
+  if (!fd) return unexpected(fd.error());
+  // unique_ptr because the epoll handler captures `this`.
+  std::unique_ptr<Listener> listener(
+      new Listener(loop, metrics, config, injector, std::move(on_accept),
+                   std::move(*fd)));
+  return listener;
+}
+
+Listener::Listener(EventLoop& loop, NetioMetrics& metrics, Config config,
+                   const fault::Injector* injector, OnAccept on_accept,
+                   Fd fd)
+    : loop_(loop),
+      metrics_(metrics),
+      config_(config),
+      injector_(injector),
+      on_accept_(std::move(on_accept)),
+      fd_(std::move(fd)),
+      tokens_(config.accept_burst) {
+  port_ = local_port(fd_.get());
+  token_refill_at_ = loop_.now();
+  loop_.add_fd(fd_.get(), EventLoop::kReadable,
+               [this](uint32_t) { accept_burst(); });
+}
+
+Listener::~Listener() {
+  *alive_ = false;
+  stop();
+}
+
+void Listener::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  loop_.del_fd(fd_.get());
+  fd_.reset();
+}
+
+bool Listener::take_token(util::Timestamp now) {
+  if (config_.accept_rate <= 0) return true;
+  const double elapsed =
+      static_cast<double>(now - token_refill_at_) / util::kSecond;
+  token_refill_at_ = now;
+  tokens_ = std::min(config_.accept_burst,
+                     tokens_ + elapsed * config_.accept_rate);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void Listener::arm_stall_retry() {
+  if (stall_timer_armed_ || stopped_) return;
+  stall_timer_armed_ = true;
+  // Edge-triggered epoll will not re-report the backlog we left
+  // undrained, so poll the stall window on a timer and resume the
+  // moment it lifts.
+  const util::Timestamp interval = 20 * util::kMillisecond;
+  loop_.add_timer(loop_.now() + interval,
+                  [this, interval,
+                   alive = alive_](util::Timestamp now) -> util::Timestamp {
+                    if (!*alive) return 0;
+                    if (stopped_) {
+                      stall_timer_armed_ = false;
+                      return 0;
+                    }
+                    if (injector_ && injector_->accept_stalled(now)) {
+                      return now + interval;  // still wedged, keep polling
+                    }
+                    stall_timer_armed_ = false;
+                    accept_burst();
+                    return 0;
+                  });
+}
+
+void Listener::accept_burst() {
+  if (stopped_) return;
+  for (;;) {
+    if (injector_ && injector_->accept_stalled(loop_.now())) {
+      arm_stall_retry();
+      return;
+    }
+    const int raw = ::accept4(fd_.get(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EMFILE/ENFILE and friends: shed by not accepting; the backlog
+      // drains as fds free up and the next edge retries.
+      return;
+    }
+    Fd conn(raw);
+    set_nodelay(raw);
+    if (!take_token(loop_.now())) {
+      metrics_.accept_shed.inc();
+      continue;  // conn closes via RAII: accepted-then-shed
+    }
+    if (!on_accept_ || !on_accept_(std::move(conn))) {
+      metrics_.accept_shed.inc();
+      continue;
+    }
+    metrics_.accepts.inc();
+  }
+}
+
+}  // namespace nnn::netio

@@ -1,0 +1,90 @@
+// Accepting socket on the event loop, with admission control.
+//
+// Two shedding mechanisms run at the accept edge, before any
+// per-connection state exists — the cheapest possible place to refuse
+// load:
+//
+//   * a token bucket caps the accept RATE (accept_rate/s, burst-sized
+//     bucket). Beyond it, connections are accepted and immediately
+//     closed: the peer gets a crisp RST-ish signal to back off rather
+//     than a SYN left to time out, the kernel backlog stays clear, and
+//     the shed is counted (nnn_netio_accept_shed_total) so the
+//     breaker/shed accounting reconciles exactly.
+//   * the owner's admit callback may refuse (connection ceiling); same
+//     accept-close-count treatment.
+//
+// The injected kAcceptStall fault models the opposite failure — a
+// wedged accept thread. While active the listener stops calling
+// accept() entirely (SYNs queue in the kernel backlog, nothing is
+// counted — nothing happened from userspace's view) and a retry timer
+// polls the schedule so accepting resumes promptly after the window,
+// which is what the thundering-herd bench measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fault/injector.h"
+#include "netio/event_loop.h"
+#include "netio/metrics.h"
+#include "netio/socket.h"
+#include "util/expected.h"
+
+namespace nnn::netio {
+
+class Listener {
+ public:
+  struct Config {
+    /// 0 = kernel-assigned ephemeral; read back with port().
+    uint16_t port = 0;
+    int backlog = 512;
+    /// Accepts per second the bucket refills at; 0 = unlimited.
+    double accept_rate = 0;
+    /// Bucket capacity (burst headroom).
+    double accept_burst = 128;
+  };
+
+  /// The admit decision: take the fd (return true) or refuse it
+  /// (return false — the fd closes via RAII and the shed is counted).
+  using OnAccept = std::function<bool(Fd)>;
+
+  /// Binds and listens immediately; Expected so a port in use is a
+  /// typed error, not a throw. `injector` may be null.
+  static Expected<std::unique_ptr<Listener>> create(
+      EventLoop& loop, NetioMetrics& metrics, Config config,
+      const fault::Injector* injector, OnAccept on_accept);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  uint16_t port() const { return port_; }
+  /// Drop a stuck accept-stall retry timer and unregister; accepts
+  /// stop permanently (server shutdown).
+  void stop();
+
+ private:
+  Listener(EventLoop& loop, NetioMetrics& metrics, Config config,
+           const fault::Injector* injector, OnAccept on_accept, Fd fd);
+
+  /// accept4 to EAGAIN, shedding as configured.
+  void accept_burst();
+  bool take_token(util::Timestamp now);
+  void arm_stall_retry();
+
+  EventLoop& loop_;
+  NetioMetrics& metrics_;
+  const Config config_;
+  const fault::Injector* injector_;
+  OnAccept on_accept_;
+  Fd fd_;
+  uint16_t port_ = 0;
+  double tokens_;
+  util::Timestamp token_refill_at_ = 0;
+  bool stall_timer_armed_ = false;
+  bool stopped_ = false;
+  /// Outlives `this` in the stall retry timer's lambda.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace nnn::netio

@@ -1,0 +1,59 @@
+#include "netio/metrics.h"
+
+#include <utility>
+
+namespace nnn::netio {
+
+NetioMetrics::NetioMetrics(std::string instance,
+                           telemetry::Registry& registry)
+    : instance_(std::move(instance)) {
+  registration_ = registry.add_collector(
+      [this](telemetry::SampleBuilder& builder) { collect(builder); });
+}
+
+void NetioMetrics::collect(telemetry::SampleBuilder& builder) const {
+  const telemetry::LabelSet base{{"server", instance_}};
+  for (size_t i = 0; i < kConnStateCount; ++i) {
+    telemetry::LabelSet labels = base;
+    labels.add("state", to_string(static_cast<ConnState>(i)));
+    builder.gauge("nnn_netio_connections",
+                  "Connections by lifecycle state", std::move(labels),
+                  connections_[i].value());
+  }
+  const auto counter = [&](std::string_view family, std::string_view help,
+                           const telemetry::Counter& cell) {
+    builder.counter(family, help, base, cell.value());
+  };
+  counter("nnn_netio_accepts_total", "Connections accepted", accepts);
+  counter("nnn_netio_accept_shed_total",
+          "Connections shed at accept (rate cap or connection ceiling)",
+          accept_shed);
+  {
+    telemetry::LabelSet labels = base;
+    labels.add("kind", "idle");
+    builder.counter("nnn_netio_timeouts_total", "Connection timeouts",
+                    std::move(labels), idle_timeouts.value());
+    telemetry::LabelSet hs = base;
+    hs.add("kind", "handshake");
+    builder.counter("nnn_netio_timeouts_total", "Connection timeouts",
+                    std::move(hs), handshake_timeouts.value());
+  }
+  counter("nnn_netio_resets_total",
+          "Connections torn down by reset (peer or injected)", resets);
+  counter("nnn_netio_closes_total", "Connections closed, any reason",
+          closes);
+  counter("nnn_netio_backpressure_closes_total",
+          "Connections closed for exceeding a buffer cap", backpressure_closes);
+  counter("nnn_netio_frames_total", "Sync datagrams served", frames);
+  counter("nnn_netio_http_requests_total", "HTTP requests served",
+          http_requests);
+  counter("nnn_netio_bytes_read_total", "Bytes read from sockets",
+          bytes_read);
+  counter("nnn_netio_bytes_written_total", "Bytes written to sockets",
+          bytes_written);
+  builder.histogram("nnn_netio_request_micros",
+                    "Request latency, receive-complete to reply queued",
+                    base, request_micros);
+}
+
+}  // namespace nnn::netio

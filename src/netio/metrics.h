@@ -1,0 +1,77 @@
+// nnn_netio_* metric family, shared by listeners, connections, and
+// endpoints of one server instance.
+//
+// All writers live on the server's loop thread, so every instrument
+// uses the single-writer fast path (relaxed load+store); exporters and
+// tests read concurrently through the registry, which is safe for
+// monotonic cells. Families:
+//
+//   nnn_netio_connections{state=...}        gauge, by ConnState
+//   nnn_netio_accepts_total                 connections admitted
+//   nnn_netio_accept_shed_total             accepted-then-closed (rate
+//                                           cap / max_connections)
+//   nnn_netio_timeouts_total{kind=...}      idle | handshake
+//   nnn_netio_resets_total                  ECONNRESET or injected
+//   nnn_netio_closes_total                  every close, any reason
+//   nnn_netio_backpressure_closes_total     write-queue / read-buffer
+//                                           cap exceeded (fed to the
+//                                           shed accounting)
+//   nnn_netio_frames_total                  sync datagrams served
+//   nnn_netio_http_requests_total           http requests served
+//   nnn_netio_bytes_{read,written}_total
+//   nnn_netio_request_micros                request latency histogram
+//                                           (receive-complete -> reply
+//                                           queued)
+#pragma once
+
+#include <string>
+
+#include "netio/conn_state.h"
+#include "telemetry/labels.h"
+#include "telemetry/metrics.h"
+
+namespace nnn::netio {
+
+class NetioMetrics {
+ public:
+  /// Registers with the global registry under {server=`instance`};
+  /// pinned (the collector holds `this`).
+  explicit NetioMetrics(std::string instance,
+                        telemetry::Registry& registry =
+                            telemetry::Registry::global());
+  NetioMetrics(const NetioMetrics&) = delete;
+  NetioMetrics& operator=(const NetioMetrics&) = delete;
+
+  // Loop-thread writers.
+  void conn_state_enter(ConnState s) { connections_[index(s)].add(1); }
+  void conn_state_leave(ConnState s) { connections_[index(s)].sub(1); }
+
+  telemetry::Counter accepts;
+  telemetry::Counter accept_shed;
+  telemetry::Counter idle_timeouts;
+  telemetry::Counter handshake_timeouts;
+  telemetry::Counter resets;
+  telemetry::Counter closes;
+  telemetry::Counter backpressure_closes;
+  telemetry::Counter frames;
+  telemetry::Counter http_requests;
+  telemetry::Counter bytes_read;
+  telemetry::Counter bytes_written;
+  telemetry::Histogram request_micros;
+
+  int64_t connections(ConnState s) const {
+    return connections_[index(s)].value();
+  }
+
+ private:
+  static constexpr size_t index(ConnState s) {
+    return static_cast<size_t>(s);
+  }
+  void collect(telemetry::SampleBuilder& builder) const;
+
+  std::array<telemetry::Gauge, kConnStateCount> connections_{};
+  std::string instance_;
+  telemetry::Registration registration_;  // last: deregisters first
+};
+
+}  // namespace nnn::netio

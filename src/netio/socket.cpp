@@ -1,0 +1,119 @@
+#include "netio/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nnn::netio {
+
+namespace {
+
+Unexpected<Error> netio_error(ErrorCode code, std::string_view detail) {
+  const Error error{ErrorDomain::kNetio, code, detail};
+  count_error(error);
+  return unexpected(error);
+}
+
+bool make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<Fd> listen_tcp(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return netio_error(ErrorCode::kUnavailable, "socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return netio_error(ErrorCode::kUnavailable, "bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return netio_error(ErrorCode::kUnavailable, "listen");
+  }
+  return fd;
+}
+
+Expected<Fd> connect_tcp(const std::string& host, uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return netio_error(ErrorCode::kUnavailable, "socket");
+  }
+  if (!make_nonblocking(fd.get())) {
+    return netio_error(ErrorCode::kUnavailable, "fcntl");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return netio_error(ErrorCode::kMalformed, "host address");
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    return netio_error(ErrorCode::kUnavailable, "connect");
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Error connect_result(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    return Error{ErrorDomain::kNetio, ErrorCode::kUnavailable, "connect"};
+  }
+  return Error{};
+}
+
+uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+uint64_t raise_fd_limit(uint64_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur =
+        lim.rlim_max == RLIM_INFINITY
+            ? want
+            : (want < lim.rlim_max ? want : lim.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return static_cast<uint64_t>(lim.rlim_cur);
+}
+
+}  // namespace nnn::netio

@@ -1,0 +1,77 @@
+// Thin RAII layer over BSD sockets for the netio subsystem.
+//
+// Everything above this header speaks fds-with-ownership and typed
+// errors; everything below is the raw syscall surface (socket, bind,
+// listen, accept4, connect, setsockopt). Non-blocking is the default
+// posture — the event loop owns scheduling, so a socket that would
+// block must return to the loop, never stall it. Failures map into the
+// unified taxonomy under ErrorDomain::kNetio with the errno preserved
+// in the (static) detail where it matters for operators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+#include "util/expected.h"
+
+namespace nnn::netio {
+
+/// Move-only owner of a file descriptor. Closing twice, leaking, and
+/// double-registering are the three classic fd bugs; this removes the
+/// first two and the event loop's bookkeeping removes the third.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Give up ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create a non-blocking TCP listener bound to 127.0.0.1:`port`
+/// (port 0 = kernel-assigned ephemeral; read it back with
+/// local_port()). SO_REUSEADDR is set so tests and benches can rebind
+/// a just-closed port.
+Expected<Fd> listen_tcp(uint16_t port, int backlog);
+
+/// Start a non-blocking connect to `host`:`port` (IPv4 dotted quad).
+/// The returned fd is usually mid-handshake: poll it for writability,
+/// then check connect_result().
+Expected<Fd> connect_tcp(const std::string& host, uint16_t port);
+
+/// Resolve a non-blocking connect: kOk Error{} if the handshake
+/// succeeded, the failure otherwise (SO_ERROR).
+Error connect_result(int fd);
+
+/// The port a bound socket actually listens on.
+uint16_t local_port(int fd);
+
+/// Enable TCP_NODELAY — request/response traffic must not wait out
+/// Nagle.
+void set_nodelay(int fd);
+
+/// Raise RLIMIT_NOFILE's soft limit toward `want` (clamped to the hard
+/// limit). Returns the resulting soft limit. The 10k-connection bench
+/// needs ~2x that in fds within one process.
+uint64_t raise_fd_limit(uint64_t want);
+
+}  // namespace nnn::netio

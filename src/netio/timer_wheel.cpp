@@ -1,0 +1,27 @@
+#include "netio/timer_wheel.h"
+
+#include <bit>
+
+namespace nnn::netio {
+
+TimerWheel::TimerWheel() : TimerWheel(Config{}) {}
+
+TimerWheel::TimerWheel(Config config) : config_(config) {
+  const size_t slots = std::bit_ceil(config_.slots < 2 ? 2 : config_.slots);
+  slots_.resize(slots);
+  mask_ = slots - 1;
+}
+
+void TimerWheel::insert(uint64_t id, util::Timestamp deadline) {
+  ++size_;
+  file(Entry{id, deadline});
+}
+
+void TimerWheel::file(const Entry& e) {
+  // A deadline already behind the cursor files into the next slot the
+  // walk will visit — late by one tick, never silently dropped.
+  const util::Timestamp at = e.deadline < cursor_ ? cursor_ : e.deadline;
+  slots_[(at / config_.tick) & mask_].push_back(e);
+}
+
+}  // namespace nnn::netio

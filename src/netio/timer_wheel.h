@@ -1,0 +1,109 @@
+// Hashed timer wheel for connection deadlines.
+//
+// A 10k-connection server re-arms an idle timeout on every request; a
+// sorted structure (std::map, a heap) pays O(log n) per re-arm and a
+// cancel per completed request. The wheel makes both O(1) by being
+// deliberately lazy:
+//
+//   * insert(id, deadline) drops the id into the slot deadline hashes
+//     to; one entry per id is all a connection ever needs.
+//   * re-arming does NOT touch the wheel — the owner just moves its
+//     authoritative deadline forward. When the stale entry fires, the
+//     owner's callback returns the real (later) deadline and the wheel
+//     re-files the entry there. An entry is therefore at most one
+//     firing late, never early, and the common case (activity keeps
+//     pushing the deadline) costs zero wheel operations.
+//   * cancel is the callback returning 0: the entry evaporates.
+//
+// Granularity is the tick (default 10 ms): deadlines within one tick
+// of each other may fire together, which is exactly the tolerance an
+// idle/handshake timeout has anyway. Single-threaded, like everything
+// the event loop owns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace nnn::netio {
+
+class TimerWheel {
+ public:
+  struct Config {
+    util::Timestamp tick = 10 * util::kMillisecond;
+    /// Slot count (rounded up to a power of two). Deadlines farther
+    /// than slots*tick in the future simply go around the wheel again
+    /// (re-filed on each pass) — correct, just one extra touch per
+    /// revolution.
+    size_t slots = 512;
+  };
+
+  TimerWheel();  // default Config (gcc can't parse `= {}` here: the
+                 // nested struct's NSDMIs are incomplete in this scope)
+  explicit TimerWheel(Config config);
+
+  /// File `id` under `deadline`. One entry per id: callers must not
+  /// insert an id that is still filed (re-arm by returning the new
+  /// deadline from the advance callback instead).
+  void insert(uint64_t id, util::Timestamp deadline);
+
+  /// Fire everything due at `now`. For each entry whose slot has come
+  /// around, `fn(id, now)` returns the id's authoritative deadline:
+  /// <= now means "expired, drop it" (fn has acted); a future value
+  /// re-files the entry (the lazy re-arm); 0 drops it (cancelled).
+  template <typename Fn>
+  void advance(util::Timestamp now, Fn&& fn) {
+    if (now < cursor_) return;
+    // Walk at most one full revolution of slots, oldest first.
+    const uint64_t first = cursor_ / config_.tick;
+    uint64_t last = now / config_.tick;
+    if (last - first >= slots_.size()) last = first + slots_.size() - 1;
+    for (uint64_t t = first; t <= last; ++t) {
+      auto& slot = slots_[t & mask_];
+      size_t kept = 0;
+      for (size_t i = 0; i < slot.size(); ++i) {
+        Entry e = slot[i];
+        if (e.deadline > now) {
+          // Not due yet: either filed for a later revolution or the
+          // hash put it here early — keep it in place.
+          slot[kept++] = e;
+          continue;
+        }
+        const util::Timestamp next = fn(e.id, now);
+        if (next > now) {
+          pending_.push_back(Entry{e.id, next});
+        } else {
+          --size_;
+        }
+      }
+      slot.resize(kept);
+    }
+    cursor_ = (last + 1) * config_.tick;
+    // Re-file after the walk so a re-arm landing in an already-walked
+    // slot is not visited twice in one advance.
+    for (const Entry& e : pending_) file(e);
+    pending_.clear();
+  }
+
+  /// Entries currently filed (live timers).
+  size_t size() const { return size_; }
+  util::Timestamp tick() const { return config_.tick; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    util::Timestamp deadline = 0;
+  };
+
+  void file(const Entry& e);
+
+  Config config_;
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<Entry> pending_;
+  uint64_t mask_ = 0;
+  util::Timestamp cursor_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace nnn::netio

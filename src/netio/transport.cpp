@@ -1,0 +1,59 @@
+#include "netio/transport.h"
+
+#include <utility>
+
+namespace nnn::netio {
+
+Expected<std::unique_ptr<TcpServer>> TcpServer::create(
+    EventLoop& loop, Config config, ProtocolFactory factory,
+    const fault::Injector* injector, telemetry::Registry& registry) {
+  std::unique_ptr<TcpServer> server(new TcpServer(
+      loop, std::move(config), std::move(factory), injector, registry));
+  auto listener = Listener::create(
+      loop, server->metrics_, server->config_.listener, injector,
+      [raw = server.get()](Fd fd) { return raw->admit(std::move(fd)); });
+  if (!listener) return unexpected(listener.error());
+  server->listener_ = std::move(*listener);
+  return server;
+}
+
+TcpServer::TcpServer(EventLoop& loop, Config config, ProtocolFactory factory,
+                     const fault::Injector* injector,
+                     telemetry::Registry& registry)
+    : loop_(loop),
+      config_(std::move(config)),
+      factory_(std::move(factory)),
+      injector_(injector),
+      metrics_(config_.name, registry) {}
+
+TcpServer::~TcpServer() {
+  *alive_ = false;
+  close_all();
+}
+
+void TcpServer::close_all() {
+  if (listener_) listener_->stop();
+  // Plain destruction: ~Connection disarms its on_close callback
+  // before settling (unregister, gauges, closes counter), so the map
+  // is not re-entered mid-clear.
+  conns_.clear();
+}
+
+bool TcpServer::admit(Fd fd) {
+  if (conns_.size() >= config_.max_connections) return false;
+  const uint64_t id = next_conn_id_++;
+  auto conn = std::make_unique<Connection>(
+      id, std::move(fd), loop_, metrics_, config_.limits, factory_(),
+      injector_, [this, alive = alive_](uint64_t gone, CloseReason) {
+        // Deferred so the Connection's stack frames unwind before the
+        // unique_ptr (and the object) is destroyed; the alive flag
+        // covers a server torn down with the erase still queued.
+        loop_.post([this, alive, gone] {
+          if (*alive) conns_.erase(gone);
+        });
+      });
+  conns_.emplace(id, std::move(conn));
+  return true;
+}
+
+}  // namespace nnn::netio

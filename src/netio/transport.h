@@ -1,0 +1,80 @@
+// TcpServer: one listening port, one Protocol family, many
+// connections — the assembly the endpoints (sync_endpoint.h,
+// http_endpoint.h) sit behind.
+//
+// Owns the Listener, the connection table, and the nnn_netio_* metrics
+// instance for this server. The admission ceiling (max_connections)
+// is enforced here because only the table knows the live count; the
+// rate cap lives in the Listener. Everything runs on the event loop's
+// thread: create() and close_all() included — callers on other threads
+// go through EventLoop::post.
+//
+// Shed/close accounting is exact by construction, which the chaos
+// suite leans on:  attempted = accepts + shed,  accepts = closes +
+// live  (every admitted connection eventually moves the closes
+// counter, whatever the reason).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "fault/injector.h"
+#include "netio/conn.h"
+#include "netio/event_loop.h"
+#include "netio/listener.h"
+#include "netio/metrics.h"
+#include "util/expected.h"
+
+namespace nnn::netio {
+
+class TcpServer {
+ public:
+  struct Config {
+    /// Metrics instance label ({server=...}).
+    std::string name = "netio";
+    Listener::Config listener;
+    Connection::Limits limits;
+    /// Live-connection ceiling; beyond it accepts are shed.
+    size_t max_connections = 10000;
+  };
+
+  /// One Protocol instance per connection.
+  using ProtocolFactory = std::function<std::unique_ptr<Protocol>()>;
+
+  /// Binds and starts accepting. `injector` may be null.
+  static Expected<std::unique_ptr<TcpServer>> create(
+      EventLoop& loop, Config config, ProtocolFactory factory,
+      const fault::Injector* injector = nullptr,
+      telemetry::Registry& registry = telemetry::Registry::global());
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  uint16_t port() const { return listener_->port(); }
+  size_t connection_count() const { return conns_.size(); }
+  NetioMetrics& metrics() { return metrics_; }
+
+  /// Stop accepting and tear down every live connection.
+  void close_all();
+
+ private:
+  TcpServer(EventLoop& loop, Config config, ProtocolFactory factory,
+            const fault::Injector* injector, telemetry::Registry& registry);
+  bool admit(Fd fd);
+
+  EventLoop& loop_;
+  const Config config_;
+  ProtocolFactory factory_;
+  const fault::Injector* injector_;
+  NetioMetrics metrics_;
+  std::unique_ptr<Listener> listener_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  /// Outlives `this` in the deferred-erase tasks posted to the loop.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace nnn::netio

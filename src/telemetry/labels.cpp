@@ -4,6 +4,7 @@
 #include "dataplane/hw_filter.h"
 #include "dataplane/sharding.h"
 #include "fault/plan.h"
+#include "netio/conn_state.h"
 #include "server/cookie_server.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -28,6 +29,8 @@ std::string_view to_string(ErrorDomain d) {
       return "server";
     case ErrorDomain::kFault:
       return "fault";
+    case ErrorDomain::kNetio:
+      return "netio";
   }
   return "?";
 }
@@ -204,8 +207,32 @@ std::string_view to_string(FaultKind k) {
       return "clock-skew";
     case FaultKind::kQueuePressure:
       return "queue-pressure";
+    case FaultKind::kAcceptStall:
+      return "accept-stall";
+    case FaultKind::kConnReset:
+      return "conn-reset";
+    case FaultKind::kPeerHalfOpen:
+      return "peer-half-open";
   }
   return "?";
 }
 
 }  // namespace nnn::fault
+
+namespace nnn::netio {
+
+std::string_view to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kHandshake:
+      return "handshake";
+    case ConnState::kOpen:
+      return "open";
+    case ConnState::kDraining:
+      return "draining";
+    case ConnState::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+}  // namespace nnn::netio

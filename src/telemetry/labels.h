@@ -60,6 +60,12 @@ std::string_view to_string(AcquireError e);
 
 namespace nnn::fault {
 enum class FaultKind : uint8_t;
-inline constexpr size_t kFaultKindCount = 6;
+inline constexpr size_t kFaultKindCount = 9;
 std::string_view to_string(FaultKind k);
 }  // namespace nnn::fault
+
+namespace nnn::netio {
+enum class ConnState : uint8_t;
+inline constexpr size_t kConnStateCount = 4;
+std::string_view to_string(ConnState s);
+}  // namespace nnn::netio

@@ -46,8 +46,9 @@ enum class ErrorDomain : uint8_t {
   kSync,        // snapshot/delta sync channel (client side)
   kServer,      // cookie server acquire/revoke
   kFault,       // injected faults (so chaos runs are auditable)
+  kNetio,       // epoll network edge (sockets, framing, timeouts)
 };
-inline constexpr size_t kErrorDomainCount = 8;
+inline constexpr size_t kErrorDomainCount = 9;
 
 /// Shared across domains: a condition spells the same way everywhere.
 enum class ErrorCode : uint8_t {

@@ -21,13 +21,20 @@
 // plan so the failure is diagnosable without re-running it.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <thread>
 
 #include "controlplane/descriptor_log.h"
 #include "controlplane/epoch.h"
+#include "controlplane/messages.h"
 #include "controlplane/sync_client.h"
 #include "controlplane/sync_server.h"
 #include "controlplane/table_mirror.h"
@@ -38,11 +45,17 @@
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "net/packet.h"
+#include "net/wire.h"
+#include "netio/event_loop.h"
+#include "netio/sync_endpoint.h"
+#include "netio/sync_transport.h"
+#include "netio/transport.h"
 #include "runtime/dispatcher.h"
 #include "runtime/worker_pool.h"
 #include "server/cookie_server.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
+#include "telemetry/metrics.h"
 #include "util/clock.h"
 
 namespace nnn {
@@ -506,6 +519,255 @@ TEST_P(ChaosRestart, RestoredTableBridgesFaultyResync) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosRestart,
                          ::testing::Range<uint64_t>(31, 39));
+
+// --- Network edge under chaos (PR 6) -------------------------------
+//
+// Real loopback TCP through src/netio/ with seeded socket-fault
+// schedules drawn from the FULL kind set (connection resets, accept
+// stalls, half-open peers, layered on the core six). Two contracts:
+//
+//   1. exact fail-open accounting at the edge — the server's books
+//      balance whatever the schedule does:  accepts = closes + live
+//      (every admitted connection is eventually accounted, never
+//      leaked), sheds are counted rather than silently dropped, and
+//      the state gauges agree with the connection table;
+//   2. the control plane rides it out — a real SyncClient behind a
+//      TcpSyncTransport converges to the log head once the schedule
+//      quiets, with its breaker closed (resets mid-snapshot cost a
+//      retry, never a stuck-open breaker).
+
+/// Run the netio loop on a background thread for the test body.
+class NetioLoopThread {
+ public:
+  explicit NetioLoopThread(netio::EventLoop& loop) : loop_(loop) {
+    thread_ = std::thread([this] { loop_.run(); });
+  }
+  ~NetioLoopThread() { stop(); }
+  void stop() {
+    if (thread_.joinable()) {
+      loop_.stop();
+      thread_.join();
+    }
+  }
+
+ private:
+  netio::EventLoop& loop_;
+  std::thread thread_;
+};
+
+/// One short-lived storm client: blocking connect, one SyncRequest
+/// frame, best-effort read, close. Any outcome is legal under chaos —
+/// the server's ledger, not the client's luck, is what the test
+/// asserts on.
+void storm_client(uint16_t port, uint64_t client_id,
+                  long timeout_ms = 200) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  timeval tv{0, timeout_ms * 1000};  // bounded: chaos may eat the reply
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const util::Bytes request = controlplane::encode(
+        controlplane::Message(controlplane::SyncRequest{client_id, 0}));
+    (void)!::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+    char buf[4096];
+    (void)!::recv(fd, buf, sizeof(buf), 0);
+  }
+  ::close(fd);
+}
+
+class ChaosNetio : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosNetio, EdgeBooksBalanceAndClientConvergesOverTcp) {
+  const uint64_t seed = GetParam();
+  util::SystemClock clock;
+
+  // A schedule over ALL nine kinds, rebased onto the wall clock so it
+  // overlaps the storm below (the core kinds the netio hooks ignore
+  // simply make the draw realistic — a box under chaos sees both).
+  fault::FaultPlan::Spec spec;
+  spec.horizon = 600 * kMillisecond;
+  spec.events = 8;
+  spec.min_duration = 40 * kMillisecond;
+  spec.max_duration = 200 * kMillisecond;
+  spec.max_magnitude = 0.7;  // most — not all — connections die
+  spec.kinds = fault::kFaultKindCount;
+  const fault::FaultPlan drawn = fault::FaultPlan::random(seed, spec);
+  SCOPED_TRACE(trace_label(seed, drawn));
+  fault::FaultPlan plan;
+  const Timestamp base = clock.now() + 10 * kMillisecond;
+  for (fault::FaultEvent e : drawn.events()) {
+    e.start += base;
+    plan.add(e);
+  }
+  telemetry::Registry registry;
+  fault::Injector injector(registry);
+  injector.arm(plan, seed);
+
+  // A log big enough that the snapshot transfer has a mid-flight to be
+  // reset in.
+  controlplane::DescriptorLog log;
+  for (cookies::CookieId id = 1; id <= 64; ++id) {
+    log.append_add(make_descriptor(id));
+  }
+  controlplane::SyncServer server(log);
+
+  netio::EventLoop loop(clock);
+  netio::TcpServer::Config config;
+  config.limits.idle_timeout = 2 * kSecond;
+  config.limits.handshake_timeout = kSecond;
+  auto tcp = netio::TcpServer::create(loop, config,
+                                      netio::sync_protocol(server),
+                                      &injector, registry);
+  ASSERT_TRUE(tcp.has_value());
+  NetioLoopThread driver(loop);
+
+  // The persistent control-plane client the schedule must not strand.
+  netio::TcpSyncTransport::Config tcfg;
+  tcfg.port = (*tcp)->port();
+  tcfg.reconnect_interval = 30 * kMillisecond;
+  netio::TcpSyncTransport transport(loop, tcfg);
+  controlplane::TablePublisher tables;
+  controlplane::SyncClient::Config ccfg;
+  ccfg.client_id = seed;
+  ccfg.poll_interval = 20 * kMillisecond;
+  ccfg.response_timeout = 60 * kMillisecond;
+  ccfg.backoff_base = 40 * kMillisecond;
+  ccfg.backoff_max = 200 * kMillisecond;
+  ccfg.breaker_failure_threshold = 3;
+  ccfg.breaker_success_threshold = 2;
+  controlplane::SyncClient client(clock, tables, ccfg, transport.send_fn());
+  client.start();
+
+  // Storm + pump until the schedule is spent, then give recovery a
+  // quiet grace. Live log churn lands mid-schedule like ChaosSync's.
+  uint64_t storm_id = 1000;
+  bool churned = false;
+  const Timestamp quiet = base + drawn.quiet_after();
+  while (clock.now() < quiet + 3 * kSecond) {  // grace; breaks early
+    if (!churned && clock.now() > base + 200 * kMillisecond) {
+      log.append_add(make_descriptor(100));
+      log.append_revoke(7);
+      churned = true;
+    }
+    if (clock.now() < quiet) storm_client((*tcp)->port(), ++storm_id);
+    transport.poll([&](util::BytesView d) { client.on_datagram(d); });
+    client.tick();
+    if (clock.now() >= quiet &&
+        client.applied_version() == log.version() &&
+        client.breaker_state() == controlplane::BreakerState::kClosed) {
+      break;  // converged: no need to burn the rest of the grace
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Contract 2: converged, breaker closed, table at the head.
+  EXPECT_EQ(client.applied_version(), log.version());
+  EXPECT_EQ(client.breaker_state(), controlplane::BreakerState::kClosed);
+  ASSERT_NE(tables.peek(), nullptr);
+  EXPECT_EQ(tables.peek()->version(), log.version());
+  ASSERT_NE(tables.peek()->find(7), nullptr);
+  EXPECT_TRUE(tables.peek()->find(7)->revoked);
+
+  // Contract 1: exact books once the edge settles. Storm clients have
+  // all closed their ends; wait for the server to finish reaping, then
+  // reconcile counters against the live table on the loop thread.
+  auto& metrics = (*tcp)->metrics();
+  const auto settled = [&] {
+    uint64_t live = 0;
+    std::atomic<bool> done{false};
+    loop.post([&] {
+      live = (*tcp)->connection_count();
+      done.store(true, std::memory_order_release);
+    });
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return metrics.accepts.value() == metrics.closes.value() + live;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!settled() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(metrics.accepts.value(),
+            metrics.closes.value() +
+                static_cast<uint64_t>(
+                    metrics.connections(netio::ConnState::kHandshake) +
+                    metrics.connections(netio::ConnState::kOpen) +
+                    metrics.connections(netio::ConnState::kDraining)))
+      << "an admitted connection leaked from the ledger";
+  EXPECT_GT(metrics.accepts.value(), 0u) << "the storm never landed";
+  EXPECT_GT(metrics.frames.value(), 0u) << "no sync frame was ever served";
+
+  driver.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosNetio,
+                         ::testing::Range<uint64_t>(41, 47));
+
+// Accept stall during an acquire storm: the edge stops admitting, the
+// issuing path keeps granting (fail-open — the stall is an edge fault,
+// not a service outage), the books count the stall window's sheds and
+// balance once it lifts.
+TEST(ChaosNetioStall, AcquireStormRidesOutAcceptStall) {
+  util::SystemClock clock;
+  telemetry::Registry registry;
+  fault::Injector injector(registry);
+
+  fault::FaultPlan plan;
+  fault::FaultEvent stall;
+  stall.kind = fault::FaultKind::kAcceptStall;
+  stall.start = clock.now() + 50 * kMillisecond;
+  stall.duration = 250 * kMillisecond;
+  plan.add(stall);
+  injector.arm(plan, 7);
+
+  controlplane::DescriptorLog log;
+  controlplane::SyncServer server(log);
+  server::CookieServer cookie_server(clock, 7, &log);
+  server::ServiceOffer offer;
+  offer.name = "Boost";
+  cookie_server.add_service(offer);
+
+  netio::EventLoop loop(clock);
+  auto tcp = netio::TcpServer::create(loop, {}, netio::sync_protocol(server),
+                                      &injector, registry);
+  ASSERT_TRUE(tcp.has_value());
+  NetioLoopThread driver(loop);
+
+  // Storm through the stall window; every acquire must keep granting.
+  const Timestamp stall_end = stall.start + stall.duration;
+  uint64_t acquires = 0;
+  uint64_t storm_id = 2000;
+  while (clock.now() < stall_end + 100 * kMillisecond) {
+    const auto grant = cookie_server.acquire("Boost", "storm");
+    ASSERT_TRUE(grant.ok()) << "issuing path failed during an edge stall";
+    ++acquires;
+    // Short read timeout: inside the stall window nothing is accepted,
+    // so every read times out — the storm must still turn over fast
+    // enough to probe the whole window.
+    storm_client((*tcp)->port(), ++storm_id, /*timeout_ms=*/50);
+  }
+  EXPECT_GT(acquires, 4u);
+
+  // The stall window deferred admissions without losing them: clients
+  // that connected into the listen backlog complete once it lifts.
+  auto& metrics = (*tcp)->metrics();
+  EXPECT_GT(metrics.accepts.value(), 0u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (metrics.accepts.value() != metrics.closes.value() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(metrics.accepts.value(), metrics.closes.value());
+
+  driver.stop();
+}
 
 }  // namespace
 }  // namespace nnn

@@ -98,5 +98,99 @@ TEST(HttpResponse, ParseRejectsNonHttp) {
   EXPECT_FALSE(Response::parse("HTTP/1.1 abc OK\r\n\r\n").has_value());
 }
 
+// --- Stream-prefix parsing for TCP connections (PR 6) ---------------
+
+using ParseStatus = Request::ParseStatus;
+
+TEST(HttpPrefix, CompleteRequestReportsConsumedBytes) {
+  const std::string one =
+      "POST /api HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+  // A second pipelined request rides behind the first: consumed must
+  // point exactly at its first byte.
+  const std::string two = one + "GET / HTTP/1.1\r\nHost: y\r\n\r\n";
+  const auto first = Request::parse_prefix(two);
+  ASSERT_EQ(first.status, ParseStatus::kComplete);
+  EXPECT_EQ(first.request.method(), "POST");
+  EXPECT_EQ(first.request.body(), "body");
+  EXPECT_EQ(first.consumed, one.size());
+  const auto second =
+      Request::parse_prefix(std::string_view(two).substr(first.consumed));
+  ASSERT_EQ(second.status, ParseStatus::kComplete);
+  EXPECT_EQ(second.request.method(), "GET");
+  EXPECT_EQ(second.request.host(), "y");
+}
+
+TEST(HttpPrefix, EveryPrefixOfAValidRequestIsIncompleteOrComplete) {
+  // The split-read contract: no prefix of a valid request may be
+  // rejected as kBad — a TCP read boundary can land anywhere.
+  const std::string full =
+      "POST /acquire HTTP/1.1\r\nHost: svc\r\nX-Network-Cookie: abc\r\n"
+      "Content-Length: 7\r\n\r\npayload";
+  for (size_t len = 0; len < full.size(); ++len) {
+    const auto p = Request::parse_prefix(std::string_view(full).substr(0, len));
+    EXPECT_EQ(p.status, ParseStatus::kIncomplete) << "prefix len " << len;
+  }
+  const auto whole = Request::parse_prefix(full);
+  ASSERT_EQ(whole.status, ParseStatus::kComplete);
+  EXPECT_EQ(whole.request.body(), "payload");
+  EXPECT_EQ(whole.consumed, full.size());
+}
+
+TEST(HttpPrefix, NoContentLengthMeansEmptyBody) {
+  // Unlike parse() (a complete datagram: rest of text = body), the
+  // stream rule is explicit framing only — a request without
+  // Content-Length ends at the blank line.
+  const std::string get = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  const auto p = Request::parse_prefix(get + "GET /next");
+  ASSERT_EQ(p.status, ParseStatus::kComplete);
+  EXPECT_TRUE(p.request.body().empty());
+  EXPECT_EQ(p.consumed, get.size());
+}
+
+TEST(HttpPrefix, HopelessPrefixesAreBadNotIncomplete) {
+  // A malformed request line can never become valid with more bytes;
+  // the connection should be closed, not buffered forever.
+  EXPECT_EQ(Request::parse_prefix("NONSENSE\r\nHost: x\r\n\r\n").status,
+            ParseStatus::kBad);
+  EXPECT_EQ(Request::parse_prefix("GET /\r\n\r\n").status,  // no version
+            ParseStatus::kBad);
+  EXPECT_EQ(
+      Request::parse_prefix(
+          "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n").status,
+      ParseStatus::kBad);
+  EXPECT_EQ(
+      Request::parse_prefix("GET / HTTP/1.1\r\nBadHeader\r\n\r\n").status,
+      ParseStatus::kBad);
+}
+
+TEST(HttpPrefix, UnterminatedHeadersAreCappedNotBufferedForever) {
+  // A peer streaming headers without a blank line must be cut off at
+  // kMaxHeaderBytes, not allowed to grow the connection buffer.
+  std::string runaway = "GET / HTTP/1.1\r\n";
+  while (runaway.size() <= Request::kMaxHeaderBytes) {
+    runaway += "X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  }
+  EXPECT_EQ(Request::parse_prefix(runaway).status, ParseStatus::kBad);
+  // Under the cap the same bytes are merely incomplete.
+  EXPECT_EQ(Request::parse_prefix(runaway.substr(0, 1024)).status,
+            ParseStatus::kIncomplete);
+}
+
+TEST(HttpResponse, SerializeAlwaysEmitsContentLength) {
+  // Keep-alive framing: without Content-Length a client can only find
+  // the response boundary at connection close, so every response —
+  // including an empty-body one — must declare its length.
+  Response empty;
+  EXPECT_NE(empty.serialize().find("Content-Length: 0\r\n"),
+            std::string::npos);
+  Response sized;
+  sized.body = "12345";
+  const std::string text = sized.serialize();
+  EXPECT_NE(text.find("Content-Length: 5\r\n"), std::string::npos);
+  const auto parsed = Response::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body, "12345");
+}
+
 }  // namespace
 }  // namespace nnn::net::http

@@ -426,7 +426,9 @@ TEST(SyncWire, DecodeExpectedAndLegacyAgreeOnEveryPrefix) {
     const auto legacy = controlplane::decode(prefix);
     const auto primary = controlplane::decode_message(prefix);
     ASSERT_EQ(legacy.has_value(), primary.has_value()) << "len=" << len;
-    if (legacy.has_value()) EXPECT_EQ(*legacy, primary.value());
+    if (legacy.has_value()) {
+      EXPECT_EQ(*legacy, primary.value());
+    }
   }
 }
 
@@ -455,6 +457,172 @@ TEST(SyncWire, DecodeMessageErrorsAreTyped) {
   ASSERT_FALSE(unknown.has_value());
   EXPECT_EQ(unknown.error().domain, ErrorDomain::kMessages);
   EXPECT_EQ(unknown.error().code, ErrorCode::kUnknownType);
+}
+
+// --- Frame-length hardening and stream reassembly (PR 6) -----------
+
+/// Build a bare 8-byte sync envelope with an arbitrary length field —
+/// the hostile input a decoder must reject before sizing any buffer.
+util::Bytes envelope_with_length(uint32_t len) {
+  util::Bytes header;
+  util::ByteWriter w{header};
+  w.u16(kSyncMagic);
+  w.u8(kSyncVersion);
+  w.u8(1);
+  w.u32(len);
+  return header;
+}
+
+TEST(SyncWire, HostileLengthFieldRejectedBeforeAllocation) {
+  // Lengths just past the cap and at the u32 maximum: both must fail
+  // kMalformed from the 8-byte header alone — no payload bytes exist,
+  // so any attempt to buffer/reserve the declared length would differ
+  // observably (kTruncated at best, a 4 GiB allocation at worst).
+  for (const uint32_t hostile :
+       {static_cast<uint32_t>(max_sync_frame_payload()) + 1, 0xffffffffu}) {
+    const util::Bytes header = envelope_with_length(hostile);
+    util::ByteReader r{util::BytesView(header)};
+    const auto frame = read_sync_frame(r);
+    ASSERT_FALSE(frame.has_value()) << "len=" << hostile;
+    EXPECT_EQ(frame.error().code, ErrorCode::kMalformed);
+
+    const auto probe = peek_sync_frame(util::BytesView(header));
+    ASSERT_FALSE(probe.has_value()) << "len=" << hostile;
+    EXPECT_EQ(probe.error().code, ErrorCode::kMalformed);
+  }
+}
+
+TEST(SyncWire, ConfigurableFramePayloadCap) {
+  // A frame legal under the default cap becomes malformed when an
+  // operator lowers the cap, and legal again once restored.
+  util::Bytes frame;
+  append_sync_frame(frame, 1, util::Bytes(2048, 0xee));
+  const auto parse_it = [&] {
+    util::ByteReader r{util::BytesView(frame)};
+    return read_sync_frame(r).has_value();
+  };
+  EXPECT_TRUE(parse_it());
+  set_max_sync_frame_payload(1024);
+  EXPECT_FALSE(parse_it());
+  EXPECT_FALSE(peek_sync_frame(util::BytesView(frame)).has_value());
+  set_max_sync_frame_payload(kDefaultMaxSyncFramePayload);
+  EXPECT_TRUE(parse_it());
+}
+
+/// One multi-frame stream covering the sync message family: request,
+/// heartbeat, a maximally-featured snapshot, a delta, an empty
+/// payload, and an unknown future type the assembler must pass
+/// through opaquely.
+util::Bytes family_stream() {
+  util::Bytes stream;
+  const util::Bytes request = controlplane::encode(
+      controlplane::Message(controlplane::SyncRequest{99, 1234}));
+  stream.insert(stream.end(), request.begin(), request.end());
+  const util::Bytes heartbeat = controlplane::encode(
+      controlplane::Message(controlplane::HeartbeatMessage{77}));
+  stream.insert(stream.end(), heartbeat.begin(), heartbeat.end());
+  const util::Bytes snapshot =
+      controlplane::encode(controlplane::Message(rich_snapshot()));
+  stream.insert(stream.end(), snapshot.begin(), snapshot.end());
+  append_sync_frame(stream, 4, {});  // empty payload is legal
+  const util::Bytes future = {0xca, 0xfe, 0xba, 0xbe};
+  append_sync_frame(stream, 0x7f, util::BytesView(future));
+  return stream;
+}
+
+/// Whole-buffer reference parse: every frame in order via the
+/// datagram-path decoder the chunked paths must agree with.
+std::vector<std::pair<uint8_t, util::Bytes>> reference_frames(
+    const util::Bytes& stream) {
+  std::vector<std::pair<uint8_t, util::Bytes>> frames;
+  util::ByteReader r{util::BytesView(stream)};
+  while (!r.done()) {
+    const auto frame = read_sync_frame(r);
+    if (!frame.has_value()) break;
+    frames.emplace_back(frame->type, util::Bytes(frame->payload.begin(),
+                                                 frame->payload.end()));
+  }
+  return frames;
+}
+
+TEST(SyncWire, ByteAtATimeDeliveryMatchesWholeBufferParse) {
+  const util::Bytes stream = family_stream();
+  const auto expected = reference_frames(stream);
+  ASSERT_EQ(expected.size(), 5u);
+
+  FrameAssembler assembler;
+  std::vector<std::pair<uint8_t, util::Bytes>> got;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_FALSE(assembler.feed(util::BytesView(&stream[i], 1)).has_value())
+        << "byte " << i;
+    while (auto frame = assembler.next()) {
+      got.emplace_back(frame->type, std::move(frame->payload));
+    }
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(assembler.buffered(), 0u);
+  EXPECT_FALSE(assembler.poisoned());
+}
+
+TEST(SyncWire, RandomChunkDeliveryMatchesWholeBufferParse) {
+  const util::Bytes stream = family_stream();
+  const auto expected = reference_frames(stream);
+  for (const uint64_t seed : {11u, 23u, 47u, 101u}) {
+    SCOPED_TRACE(seed);
+    util::Rng rng(seed);
+    FrameAssembler assembler;
+    std::vector<std::pair<uint8_t, util::Bytes>> got;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      // Chunk sizes 1..64 stress every split point across the 8-byte
+      // header and payload boundaries.
+      const size_t n = std::min<size_t>(1 + rng.next_u64(64),
+                                        stream.size() - offset);
+      ASSERT_FALSE(
+          assembler.feed(util::BytesView(&stream[offset], n)).has_value());
+      offset += n;
+      while (auto frame = assembler.next()) {
+        got.emplace_back(frame->type, std::move(frame->payload));
+      }
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(assembler.buffered(), 0u);
+  }
+}
+
+TEST(SyncWire, AssemblerPoisonsOnHostileStreamAndStaysPoisoned) {
+  // A garbage envelope after one good frame: the good frame pops,
+  // then the stream is dead — byte streams cannot resynchronize
+  // framing. (The envelope must reach its full 8 bytes before the
+  // probe can condemn it; until then it is merely "incomplete".)
+  util::Bytes stream;
+  append_sync_frame(stream, 2, util::Bytes{9, 9});
+  util::Bytes garbage = envelope_with_length(4);
+  garbage[0] ^= 0xff;  // not kSyncMagic
+  stream.insert(stream.end(), garbage.begin(), garbage.end());
+
+  FrameAssembler assembler;
+  ASSERT_FALSE(assembler.feed(util::BytesView(stream)).has_value());
+  const auto frame = assembler.next();
+  ASSERT_TRUE(frame.has_value());  // the frame ahead of the garbage
+  EXPECT_EQ(frame->type, 2);
+  EXPECT_FALSE(assembler.next().has_value());  // hits the bad envelope
+  EXPECT_TRUE(assembler.poisoned());
+  // Further feeding fails without inspecting the new bytes.
+  util::Bytes good;
+  append_sync_frame(good, 1, {});
+  const auto err = assembler.feed(util::BytesView(good));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kBadMagic);
+
+  // An oversized length field poisons at feed() time — checked at the
+  // envelope, before the declared payload is buffered.
+  FrameAssembler oversized;
+  const auto huge = envelope_with_length(0xffffffffu);
+  const auto huge_err = oversized.feed(util::BytesView(huge));
+  ASSERT_TRUE(huge_err.has_value());
+  EXPECT_EQ(huge_err->code, ErrorCode::kMalformed);
+  EXPECT_TRUE(oversized.poisoned());
 }
 
 }  // namespace
