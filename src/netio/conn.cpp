@@ -236,11 +236,15 @@ void Connection::close(CloseReason reason) {
   metrics_.closes.inc();
   if (reason == CloseReason::kReset) metrics_.resets.inc();
   if (on_close_) {
-    // The callback may destroy `this`; move it out and touch nothing
-    // afterwards.
+    // Deferred to the loop so the owner may destroy the Connection
+    // from inside the callback: close()'s callers (run_protocol,
+    // handle_readable, on_events) still touch `this` after close()
+    // returns, so a synchronous callback could not safely free us.
+    // The posted closure captures no connection state beyond the id.
     auto cb = std::move(on_close_);
     on_close_ = nullptr;
-    cb(id_, reason);
+    loop_.post(
+        [cb = std::move(cb), id = id_, reason] { cb(id, reason); });
   }
 }
 

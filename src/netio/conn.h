@@ -89,8 +89,11 @@ class Connection {
 
   /// Takes ownership of `fd` (already non-blocking), registers it with
   /// `loop`, arms the handshake deadline. `on_close(id, reason)` fires
-  /// exactly once, from close(); the owner may destroy the Connection
-  /// from inside it. `injector` may be null (no fault hooks).
+  /// exactly once, posted to the loop by close() so it runs after the
+  /// connection's stack frames unwind; the owner may destroy the
+  /// Connection from inside it. A Connection destroyed while still
+  /// open (owner teardown) never fires it. `injector` may be null (no
+  /// fault hooks).
   Connection(uint64_t id, Fd fd, EventLoop& loop, NetioMetrics& metrics,
              Limits limits, std::unique_ptr<Protocol> protocol,
              const fault::Injector* injector,

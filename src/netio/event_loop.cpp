@@ -94,14 +94,22 @@ int EventLoop::poll(util::Timestamp max_wait) {
     const auto it = handlers_.find(fd);
     if (it == handlers_.end()) continue;
     ++dispatched;
-    it->second(from_epoll(events[i].events));
+    // Invoke a copy: the handler may del_fd its own fd (every close
+    // path does), and erasing the map entry mid-call would destroy the
+    // std::function whose operator() is on the stack.
+    const IoHandler handler = it->second;
+    handler(from_epoll(events[i].events));
   }
   const util::Timestamp now = clock_.now();
   wheel_.advance(now, [this](uint64_t id, util::Timestamp at) {
     const auto it = timers_.find(id);
     if (it == timers_.end()) return util::Timestamp{0};
-    const util::Timestamp next = it->second(at);
-    if (next <= at) timers_.erase(it);
+    // Invoke a copy and erase by key: the handler may add_timer (the
+    // reconnect/retry timers do), which can rehash timers_ and
+    // invalidate `it`.
+    const TimerHandler handler = it->second;
+    const util::Timestamp next = handler(at);
+    if (next <= at) timers_.erase(id);
     return next;
   });
   run_posted();

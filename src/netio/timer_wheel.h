@@ -65,9 +65,18 @@ class TimerWheel {
       for (size_t i = 0; i < slot.size(); ++i) {
         Entry e = slot[i];
         if (e.deadline > now) {
-          // Not due yet: either filed for a later revolution or the
-          // hash put it here early — keep it in place.
-          slot[kept++] = e;
+          if (e.deadline <
+              static_cast<util::Timestamp>(last + 1) * config_.tick) {
+            // Due within the tick range this walk covers, just past
+            // `now`. The cursor is about to move beyond this slot, so
+            // keeping the entry here would delay it a full revolution;
+            // re-file at the cursor instead (fires next tick).
+            pending_.push_back(e);
+          } else {
+            // Filed for a later revolution (or the hash put it here
+            // early) — keep it in place.
+            slot[kept++] = e;
+          }
           continue;
         }
         const util::Timestamp next = fn(e.id, now);

@@ -45,12 +45,11 @@ bool TcpServer::admit(Fd fd) {
   auto conn = std::make_unique<Connection>(
       id, std::move(fd), loop_, metrics_, config_.limits, factory_(),
       injector_, [this, alive = alive_](uint64_t gone, CloseReason) {
-        // Deferred so the Connection's stack frames unwind before the
-        // unique_ptr (and the object) is destroyed; the alive flag
-        // covers a server torn down with the erase still queued.
-        loop_.post([this, alive, gone] {
-          if (*alive) conns_.erase(gone);
-        });
+        // Connection posts this callback to the loop, so the erase
+        // (and the object's destruction) happens with its stack frames
+        // already unwound; the alive flag covers a server torn down
+        // with the callback still queued.
+        if (*alive) conns_.erase(gone);
       });
   conns_.emplace(id, std::move(conn));
   return true;

@@ -90,6 +90,31 @@ TEST(TimerWheel, LazyRearmFiresAtAuthoritativeDeadline) {
   EXPECT_EQ(wheel.size(), 0u);
 }
 
+TEST(TimerWheel, EntryDueLaterInWalkedTickFiresNextTick) {
+  netio::TimerWheel::Config config;
+  config.tick = 10 * kMillisecond;
+  config.slots = 8;  // 80 ms per revolution
+  netio::TimerWheel wheel(config);
+  wheel.insert(1, 18 * kMillisecond);
+  int fires = 0;
+  const auto cb = [&](uint64_t, Timestamp now) {
+    if (now >= 18 * kMillisecond) {
+      ++fires;
+      return Timestamp{0};
+    }
+    return Timestamp{18 * kMillisecond};
+  };
+  // The walk covers the entry's slot before the entry is due: it must
+  // be re-filed ahead of the cursor, not stranded in the walked slot
+  // until the wheel comes around again (~80 ms later).
+  wheel.advance(12 * kMillisecond, cb);
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.advance(22 * kMillisecond, cb);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
 TEST(TimerWheel, DeadlineBeyondOneRevolutionStillFires) {
   netio::TimerWheel::Config config;
   config.tick = 10 * kMillisecond;
@@ -143,6 +168,34 @@ TEST(EventLoop, TimersFire) {
     loop.poll(10 * kMillisecond);
   }
   EXPECT_TRUE(fired.load());
+}
+
+// Regression: a timer handler that calls add_timer mid-dispatch (the
+// reconnect/retry shape) inserts into the loop's timer map, which may
+// rehash — dispatch must not hold an iterator across the call.
+TEST(EventLoop, TimerHandlerMayAddTimersDuringDispatch) {
+  util::ManualClock clock;
+  netio::EventLoop loop(clock);
+  std::atomic<int> fired{0};
+  std::atomic<int> children{0};
+  loop.add_timer(clock.now() + 10 * kMillisecond, [&](Timestamp now) {
+    ++fired;
+    // Burst of insertions to force a rehash while this handler's map
+    // entry is the one being dispatched.
+    for (int i = 0; i < 64; ++i) {
+      loop.add_timer(now + 10 * kMillisecond, [&](Timestamp) {
+        ++children;
+        return Timestamp{0};
+      });
+    }
+    return Timestamp{0};
+  });
+  clock.advance(15 * kMillisecond);
+  loop.poll(0);
+  EXPECT_EQ(fired.load(), 1);
+  clock.advance(15 * kMillisecond);
+  loop.poll(0);
+  EXPECT_EQ(children.load(), 64);
 }
 
 // --- Loopback helpers -----------------------------------------------
