@@ -141,6 +141,13 @@ class TablePublisher {
   telemetry::Counter swap_stalls_;
   telemetry::Gauge retired_gauge_;
   telemetry::Gauge table_version_;
+  /// Published-table state gauges, computed on the control thread in
+  /// publish() just before the swap (a sampled probe scan over the
+  /// store — off the hot path by construction).
+  telemetry::Gauge table_entries_;
+  telemetry::Gauge table_bytes_;
+  telemetry::Gauge table_load_pct_;
+  telemetry::Gauge table_probe_p99_;
   telemetry::Registration registration_;  // last: deregisters first
 };
 

@@ -4,38 +4,16 @@
 
 namespace nnn::controlplane {
 
-namespace {
-
-cookies::TableEntry make_entry(cookies::CookieDescriptor descriptor) {
-  cookies::TableEntry entry;
-  entry.schedule =
-      crypto::HmacKeySchedule{util::BytesView(descriptor.key)};
-  entry.descriptor = std::move(descriptor);
-  return entry;
-}
-
-/// Tombstone for a revocation of an id this mirror never saw granted
-/// (revoke-before-sync): no key, but the id verifies as revoked.
-cookies::TableEntry make_tombstone(cookies::CookieId id) {
-  cookies::TableEntry entry;
-  entry.descriptor.cookie_id = id;
-  entry.revoked = true;
-  return entry;
-}
-
-}  // namespace
-
 void TableMirror::reset(uint64_t version,
                         std::vector<cookies::CookieDescriptor> live,
                         const std::vector<cookies::CookieId>& revoked) {
-  entries_.clear();
-  entries_.reserve(live.size() + revoked.size());
-  for (auto& descriptor : live) {
-    const cookies::CookieId id = descriptor.cookie_id;
-    entries_[id] = make_entry(std::move(descriptor));
+  store_.clear();
+  store_.reserve(live.size() + revoked.size());
+  for (const auto& descriptor : live) {
+    store_.upsert(descriptor);
   }
   for (const cookies::CookieId id : revoked) {
-    entries_[id] = make_tombstone(id);
+    store_.revoke(id);
   }
   version_ = version;
 }
@@ -44,19 +22,15 @@ bool TableMirror::apply(const Update& update) {
   if (update.version != version_ + 1) return false;
   switch (update.op) {
     case UpdateOp::kAdd:
-      entries_[update.id] = make_entry(update.descriptor);
+      store_.upsert(update.descriptor);
       break;
-    case UpdateOp::kRevoke: {
-      auto it = entries_.find(update.id);
-      if (it != entries_.end()) {
-        it->second.revoked = true;
-      } else {
-        entries_[update.id] = make_tombstone(update.id);
-      }
+    case UpdateOp::kRevoke:
+      // Upgrades a live record in place, or plants a tombstone for an
+      // id this mirror never saw granted (revoke-before-sync).
+      store_.revoke(update.id);
       break;
-    }
     case UpdateOp::kRemove:
-      entries_.erase(update.id);
+      store_.erase(update.id);
       break;
   }
   version_ = update.version;
@@ -65,23 +39,23 @@ bool TableMirror::apply(const Update& update) {
 
 std::vector<cookies::CookieDescriptor> TableMirror::live() const {
   std::vector<cookies::CookieDescriptor> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) {
-    if (!entry.revoked) out.push_back(entry.descriptor);
-  }
+  out.reserve(store_.size());
+  store_.for_each([&](const cookies::DescriptorStore::Record& record) {
+    if (!record.revoked) out.push_back(store_.materialize(record));
+  });
   return out;
 }
 
 std::vector<cookies::CookieId> TableMirror::revoked() const {
   std::vector<cookies::CookieId> out;
-  for (const auto& [id, entry] : entries_) {
-    if (entry.revoked) out.push_back(id);
-  }
+  store_.for_each([&](const cookies::DescriptorStore::Record& record) {
+    if (record.revoked) out.push_back(record.id);
+  });
   return out;
 }
 
 std::unique_ptr<cookies::DescriptorTable> TableMirror::build() const {
-  return std::make_unique<cookies::DescriptorTable>(version_, entries_);
+  return std::make_unique<cookies::DescriptorTable>(version_, store_);
 }
 
 }  // namespace nnn::controlplane

@@ -1,20 +1,24 @@
 // The middlebox's working copy of the descriptor table.
 //
 // A SyncClient feeds snapshots and deltas into a TableMirror; build()
-// materializes an immutable cookies::DescriptorTable (HMAC key
-// schedules already precomputed — that cost belongs here, off the hot
-// path, not in a worker's burst loop) ready for TablePublisher. The
-// mirror itself is plain single-threaded state owned by the client's
-// control thread.
+// materializes an immutable cookies::DescriptorTable ready for
+// TablePublisher. The mirror keeps state in a cookies::DescriptorStore
+// — compact 64-byte records behind an open-addressing index, profiles
+// interned — so a million-descriptor mirror costs table bytes, not
+// materialized descriptors, and build() is a store copy rather than a
+// rehash. HMAC key schedules are NOT precomputed here anymore: they
+// are a verifier-local working set (cookies::HotTier) built lazily for
+// descriptors traffic actually hits. The mirror itself is plain
+// single-threaded state owned by the client's control thread.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "controlplane/descriptor_log.h"
 #include "cookies/descriptor.h"
+#include "cookies/descriptor_store.h"
 #include "cookies/descriptor_table.h"
 
 namespace nnn::controlplane {
@@ -32,7 +36,7 @@ class TableMirror {
   bool apply(const Update& update);
 
   uint64_t version() const { return version_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return store_.size(); }
 
   /// Current contents for checkpointing (SyncClient cold-start
   /// restore): live descriptors and revoked ids, order unspecified.
@@ -41,12 +45,12 @@ class TableMirror {
   std::vector<cookies::CookieId> revoked() const;
 
   /// Materialize the current state as an immutable table (copies the
-  /// entry map; schedules were precomputed at reset/apply time).
+  /// compact store, not N descriptors).
   std::unique_ptr<cookies::DescriptorTable> build() const;
 
  private:
   uint64_t version_ = 0;
-  std::unordered_map<cookies::CookieId, cookies::TableEntry> entries_;
+  cookies::DescriptorStore store_;
 };
 
 }  // namespace nnn::controlplane

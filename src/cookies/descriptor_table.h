@@ -1,49 +1,44 @@
 // Immutable descriptor tables for the epoch-swapped verify hot path.
 //
-// A CookieVerifier in local mode owns a mutable descriptor map, which
-// forces a single-writer contract on the whole object. The control
-// plane instead builds a complete DescriptorTable off the hot path
-// (descriptors, revocation tombstones, and the precomputed
-// crypto::HmacKeySchedule each entry's MAC check resumes from),
-// publishes it through controlplane::TablePublisher with an atomic
-// pointer swap, and reclaims the previous table only after every
-// reader passed a quiescent point. Once constructed a table is never
-// mutated (the publisher stamps `epoch` exactly once, before the
+// The control plane builds a complete DescriptorTable off the hot
+// path, publishes it through controlplane::TablePublisher with an
+// atomic pointer swap, and reclaims the previous table only after
+// every reader passed a quiescent point. Once constructed a table is
+// never mutated (the publisher stamps `epoch` exactly once, before the
 // table becomes visible to any reader), so any number of worker
 // threads may read it with no locks in verify_batch.
+//
+// Contents are a cookies::DescriptorStore snapshot: one 64-byte
+// Record per descriptor (key inline, revocation tombstone, expiry)
+// behind an open-addressing id index, with service profiles interned.
+// Unlike the historical unordered_map<CookieId, TableEntry>, the
+// table carries no per-entry HMAC key schedules — midstates are a
+// verifier-local working set (cookies::HotTier) sized to the hot
+// descriptors, not to the table.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 
 #include "cookies/descriptor.h"
-#include "crypto/hmac.h"
+#include "cookies/descriptor_store.h"
 
 namespace nnn::cookies {
-
-/// One table slot: the descriptor, its ready-to-resume HMAC midstates,
-/// and the §4.5 revocation tombstone (revoked ids keep an entry so
-/// verification reports kDescriptorRevoked rather than kUnknownId).
-struct TableEntry {
-  CookieDescriptor descriptor;
-  crypto::HmacKeySchedule schedule;
-  bool revoked = false;
-};
 
 class DescriptorTable {
  public:
   DescriptorTable() = default;
-  DescriptorTable(uint64_t version,
-                  std::unordered_map<CookieId, TableEntry> entries)
-      : version_(version), entries_(std::move(entries)) {}
+  DescriptorTable(uint64_t version, DescriptorStore store)
+      : version_(version), store_(std::move(store)) {}
 
-  const TableEntry* find(CookieId id) const {
-    const auto it = entries_.find(id);
-    return it == entries_.end() ? nullptr : &it->second;
+  /// The compact record for `id` (live or tombstoned), or nullptr.
+  const DescriptorStore::Record* find(CookieId id) const {
+    return store_.find(id);
   }
 
-  size_t size() const { return entries_.size(); }
+  const DescriptorStore& store() const { return store_; }
+
+  size_t size() const { return store_.size(); }
 
   /// DescriptorLog version this table reflects.
   uint64_t version() const { return version_; }
@@ -56,7 +51,7 @@ class DescriptorTable {
  private:
   uint64_t version_ = 0;
   uint64_t epoch_ = 0;
-  std::unordered_map<CookieId, TableEntry> entries_;
+  DescriptorStore store_;
 };
 
 }  // namespace nnn::cookies

@@ -1,0 +1,147 @@
+// Hot/cold descriptor tiering: midstates only for descriptors in use.
+//
+// Precomputing the HMAC key schedule (ipad/opad SHA-256 midstates,
+// 72 bytes plus the materialized descriptor around it) per table entry
+// was the right call at household scale — every descriptor is hot. At
+// a million descriptors it is ~100 MB of midstates for a working set
+// that heavy-tailed traffic keeps at a few percent of the table, and
+// it puts the build cost of two SHA-256 compressions per entry on
+// every table publish.
+//
+// The HotTier is a verifier-local cache over the published table's
+// cold records: descriptors actually hit get a resident entry holding
+// the materialized CookieDescriptor and its ready-to-resume key
+// schedule; everything else stays a 64-byte cold Record. A cold hit
+// "rehydrates" — two SHA-256 compressions off the record's raw key —
+// and CLOCK (second-chance) eviction keeps residency inside a fixed
+// budget, so the sliding window of hot descriptors sizes memory, not
+// the table.
+//
+// Correctness across table swaps: entries are stamped with the table
+// epoch they were validated against. A lookup only trusts an entry
+// whose stamp matches the current table's epoch; on mismatch the
+// caller re-resolves from the table and admit() revalidates — same
+// key, keep the schedule; rotated key, rebuild it — so a swap can
+// revoke, expire, or re-key a hot descriptor and the tier can never
+// serve stale crypto state. Eviction recycles slots through a limbo
+// list drained at burst boundaries, so descriptor pointers handed out
+// in this burst's VerifyResults stay valid until the next burst.
+//
+// Threading: owned by one CookieVerifier and covered by its
+// single-writer contract; nothing here is shared or atomic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cookies/descriptor.h"
+#include "cookies/descriptor_store.h"
+#include "crypto/hmac.h"
+#include "state/flat_table.h"
+#include "telemetry/metrics.h"
+
+namespace nnn::cookies {
+
+class HotTier {
+ public:
+  /// Resident-entry budget: ~64K hot descriptors is a generous
+  /// working set for one worker (at ~400 B apiece, ~25 MB).
+  static constexpr size_t kDefaultBudget = 1 << 16;
+
+  struct Entry {
+    CookieDescriptor descriptor;
+    crypto::HmacKeySchedule schedule;
+    CookieId id = 0;
+    /// Table epoch this entry was last validated against.
+    uint64_t epoch = 0;
+    bool referenced = false;  // CLOCK second-chance bit
+    bool live = false;
+  };
+
+  explicit HotTier(size_t budget = kDefaultBudget)
+      : budget_(budget == 0 ? 1 : budget) {}
+
+  /// Applies to future admissions; residency shrinks toward a smaller
+  /// budget through normal eviction.
+  void set_budget(size_t budget) { budget_ = budget == 0 ? 1 : budget; }
+  size_t budget() const { return budget_; }
+  size_t resident() const { return live_count_; }
+  uint64_t hits() const { return hits_; }
+  /// Key-schedule builds (cold hits + re-keyed revalidations).
+  uint64_t rehydrations() const { return rehydrations_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// Recycle slots evicted during the previous burst. Call at the top
+  /// of each verify burst; descriptor pointers returned before the
+  /// call may afterwards be overwritten.
+  void begin_burst();
+
+  /// Fast path: the entry for `id` validated against table epoch
+  /// `epoch`, or nullptr when absent/stale (caller re-resolves).
+  const Entry* lookup(CookieId id, uint64_t epoch);
+
+  /// lookup() without the side effects (no hit count, no CLOCK
+  /// reference bit, no probe sample) — tests and introspection.
+  const Entry* peek(CookieId id, uint64_t epoch) const {
+    const uint32_t* slot = index_.find(
+        hash_id(id), [this, id](const uint32_t& s) {
+          return pool_[s].id == id && pool_[s].live;
+        });
+    if (slot == nullptr) return nullptr;
+    const Entry& entry = pool_[*slot];
+    return entry.epoch == epoch ? &entry : nullptr;
+  }
+
+  /// Slow path: admit or revalidate `record` (must not be revoked)
+  /// against `store`, stamping `epoch`.
+  const Entry* admit(const DescriptorStore::Record& record,
+                     const DescriptorStore& store, uint64_t epoch);
+
+  void clear();
+  size_t memory_bytes() const;
+  /// Sampled (1 in 64) lookup probe lengths; `hist` must outlive the
+  /// tier.
+  void set_probe_histogram(telemetry::Histogram* hist) {
+    probe_hist_ = hist;
+  }
+
+ private:
+  static uint64_t hash_id(CookieId id) {
+    return state::mix_hash(static_cast<uint64_t>(id));
+  }
+  auto index_matcher(CookieId id) {
+    return [this, id](const uint32_t& slot) {
+      return pool_[slot].id == id && pool_[slot].live;
+    };
+  }
+  auto index_hasher() {
+    return [this](const uint32_t& slot) { return hash_id(pool_[slot].id); };
+  }
+
+  uint32_t acquire_slot();
+  void evict_one();
+  void sample_probe(uint32_t probes) {
+    if (probe_hist_ != nullptr && (probe_tick_++ & 63u) == 0) {
+      probe_hist_->record(probes);
+    }
+  }
+
+  size_t budget_;
+  size_t live_count_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t rehydrations_ = 0;
+  uint64_t evictions_ = 0;
+  state::FlatTable<uint32_t> index_;  // pool slot by CookieId
+  /// Deque for pointer stability: Entry addresses never move, so
+  /// VerifyResult descriptor pointers survive pool growth.
+  std::deque<Entry> pool_;
+  std::vector<uint32_t> free_;
+  /// Slots evicted mid-burst; reusable only from the next burst.
+  std::vector<uint32_t> limbo_;
+  uint32_t clock_hand_ = 0;
+  telemetry::Histogram* probe_hist_ = nullptr;
+  uint32_t probe_tick_ = 0;
+};
+
+}  // namespace nnn::cookies

@@ -30,7 +30,9 @@ CookieVerifier::WriterCheck::~WriterCheck() {
 #endif
 
 CookieVerifier::CookieVerifier(const util::Clock& clock, util::Timestamp nct)
-    : clock_(clock), nct_(nct) {
+    : clock_(clock), nct_(nct), external_replay_(nct) {
+  hot_.set_probe_histogram(&probe_len_);
+  external_replay_.set_probe_histogram(&probe_len_);
   registration_ = telemetry::Registry::global().add_collector(
       [this](telemetry::SampleBuilder& builder) { collect(builder); });
 }
@@ -45,6 +47,36 @@ void CookieVerifier::collect(telemetry::SampleBuilder& builder) const {
   builder.histogram("nnn_verify_batch_nanos",
                     "verify_batch wall time per burst in nanoseconds", {},
                     batch_nanos_);
+  builder.gauge("nnn_state_hot_midstates",
+                "Hot-tier entries resident with HMAC midstates", {},
+                hot_resident_.value());
+  builder.counter("nnn_state_rehydrations_total",
+                  "Key-schedule rebuilds for cold or re-keyed descriptors",
+                  {}, hot_rehydrations_.value());
+  builder.counter("nnn_state_hot_evictions_total",
+                  "Hot-tier CLOCK evictions", {}, hot_evictions_.value());
+  builder.gauge("nnn_state_replay_entries",
+                "Outstanding uuids in the external replay cache", {},
+                replay_entries_.value());
+  builder.gauge("nnn_state_replay_wheel_occupied",
+                "Non-empty expiry-wheel slots in the external replay cache",
+                {}, replay_wheel_occupied_.value());
+  builder.counter("nnn_state_replay_capacity_evictions_total",
+                  "Replay entries evicted early because the cache was full",
+                  {}, replay_capacity_evictions_.value());
+  builder.histogram("nnn_state_probe_len",
+                    "Sampled open-addressing probe lengths (group steps)",
+                    {}, probe_len_);
+}
+
+void CookieVerifier::sync_state_metrics() {
+  hot_resident_.set(static_cast<int64_t>(hot_.resident()));
+  hot_rehydrations_.set(hot_.rehydrations());
+  hot_evictions_.set(hot_.evictions());
+  replay_entries_.set(static_cast<int64_t>(external_replay_.size()));
+  replay_wheel_occupied_.set(
+      static_cast<int64_t>(external_replay_.wheel_occupied_slots()));
+  replay_capacity_evictions_.set(external_replay_.capacity_evictions());
 }
 
 void CookieVerifier::add_descriptor(CookieDescriptor descriptor) {
@@ -68,6 +100,13 @@ void CookieVerifier::set_external_table(const DescriptorTable* table) {
   external_ = table;
   external_mode_ = true;
   descriptors_.set(static_cast<int64_t>(table ? table->size() : 0));
+  sync_state_metrics();
+}
+
+void CookieVerifier::configure_external_replay(size_t capacity) {
+  const WriterCheck check(*this);
+  external_replay_ = ReplayCache(nct_, capacity);
+  external_replay_.set_probe_histogram(&probe_len_);
 }
 
 bool CookieVerifier::revoke(CookieId id) {
@@ -93,9 +132,13 @@ bool CookieVerifier::knows(CookieId id) const {
 const CookieDescriptor* CookieVerifier::find(CookieId id) const {
   if (external_mode_) {
     if (external_ == nullptr) return nullptr;
-    const TableEntry* entry = external_->find(id);
-    if (entry == nullptr || entry->revoked) return nullptr;
-    return &entry->descriptor;
+    const uint64_t epoch = external_->epoch();
+    if (const HotTier::Entry* hot = hot_.lookup(id, epoch)) {
+      return &hot->descriptor;
+    }
+    const DescriptorStore::Record* record = external_->find(id);
+    if (record == nullptr || record->revoked) return nullptr;
+    return &hot_.admit(*record, external_->store(), epoch)->descriptor;
   }
   const auto it = table_.find(id);
   if (it == table_.end() || it->second.revoked) return nullptr;
@@ -105,15 +148,30 @@ const CookieDescriptor* CookieVerifier::find(CookieId id) const {
 bool CookieVerifier::resolve(CookieId id, Resolved& out) {
   if (external_mode_) {
     if (external_ == nullptr) return false;
-    const TableEntry* entry = external_->find(id);
-    if (entry == nullptr) return false;
-    out.descriptor = &entry->descriptor;
-    out.schedule = &entry->schedule;
-    out.revoked = entry->revoked;
-    // The replay cache is keyed by descriptor id and survives table
-    // swaps; first sight of an id allocates it.
-    out.replays =
-        &external_replays_.try_emplace(id, nct_).first->second;
+    const uint64_t epoch = external_->epoch();
+    // Fast path: a hot entry stamped with the current epoch is known
+    // valid (revoked records are never admitted, and a swap bumps the
+    // epoch, forcing re-resolution below).
+    if (const HotTier::Entry* hot = hot_.lookup(id, epoch)) {
+      out.descriptor = &hot->descriptor;
+      out.schedule = &hot->schedule;
+      out.replays = &external_replay_;
+      out.revoked = false;
+      return true;
+    }
+    const DescriptorStore::Record* record = external_->find(id);
+    if (record == nullptr) return false;
+    if (record->revoked) {
+      // Tombstones stay cold: verify_resolved checks `revoked` before
+      // touching descriptor/schedule, so those stay null.
+      out = Resolved{nullptr, nullptr, nullptr, true};
+      return true;
+    }
+    const HotTier::Entry* hot = hot_.admit(*record, external_->store(), epoch);
+    out.descriptor = &hot->descriptor;
+    out.schedule = &hot->schedule;
+    out.replays = &external_replay_;
+    out.revoked = false;
     return true;
   }
   const auto it = table_.find(id);
@@ -169,12 +227,15 @@ VerifyResult CookieVerifier::verify_resolved(const Resolved& match,
 
 VerifyResult CookieVerifier::verify(const Cookie& cookie) {
   const WriterCheck check(*this);
+  if (external_mode_) hot_.begin_burst();
   Resolved match;
   if (!resolve(cookie.cookie_id, match)) {
     status_.inc(VerifyStatus::kUnknownId);
     return VerifyResult{VerifyStatus::kUnknownId, nullptr};
   }
-  return verify_resolved(match, cookie, clock_.now());
+  const VerifyResult result = verify_resolved(match, cookie, clock_.now());
+  if (external_mode_) sync_state_metrics();
+  return result;
 }
 
 void CookieVerifier::verify_batch(std::span<const Cookie> cookies,
@@ -183,6 +244,7 @@ void CookieVerifier::verify_batch(std::span<const Cookie> cookies,
   const WriterCheck check(*this);
   const size_t n = cookies.size();
   if (n == 0) return;
+  if (external_mode_) hot_.begin_burst();
   // Batch-level timing: two clock reads per burst, never per cookie.
   // A 32-cookie burst is >=10 us of MAC work, so the ~86 ns timer pair
   // stays under 1% there; smaller bursts (a trickling dispatcher can
@@ -221,6 +283,7 @@ void CookieVerifier::verify_batch(std::span<const Cookie> cookies,
     }
     results[idx] = verify_resolved(match, cookie, now);
   }
+  if (external_mode_) sync_state_metrics();
 }
 
 VerifyResult CookieVerifier::verify_wire(util::BytesView wire) {

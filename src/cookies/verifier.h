@@ -1,18 +1,30 @@
 // Network-side cookie verification (Listing 3, match_cookie).
 //
-// The verifier owns the descriptor table a cookie-enabled switch or
-// middlebox matches against, one replay cache per descriptor, and the
-// four checks of §4.2: (i) the cookie ID is known, (ii) the MAC digest
-// matches (constant-time), (iii) the timestamp is within the network
+// The verifier owns the descriptor state a cookie-enabled switch or
+// middlebox matches against, replay protection, and the four checks
+// of §4.2: (i) the cookie ID is known, (ii) the MAC digest matches
+// (constant-time), (iii) the timestamp is within the network
 // coherency time, (iv) the cookie has not been seen before.
 //
-// Hot-path shape (§4.6, Fig. 4): each table entry carries a
-// precomputed crypto::HmacKeySchedule (built once at add_descriptor
-// time), so per-cookie MAC verification resumes from the ipad/opad
-// SHA-256 midstates instead of re-deriving the key schedule — half the
-// compressions per cookie. verify_batch() amortizes the remaining
+// Hot-path shape (§4.6, Fig. 4): MAC verification resumes from
+// precomputed ipad/opad SHA-256 midstates instead of re-deriving the
+// key schedule — half the compressions per cookie. In local
+// (household) mode every installed descriptor carries its schedule.
+// In external-table mode (ISP scale) schedules live in a bounded
+// cookies::HotTier keyed by table epoch: descriptors actually hit
+// stay resident with midstates, cold ones are 64-byte table records
+// rehydrated on first hit, so a million-descriptor table does not
+// mean a million midstates. verify_batch() amortizes the remaining
 // per-call costs (clock read, descriptor lookup) across a burst, the
 // unit of work the runtime's rings hand to a worker.
+//
+// Replay scope: local mode keeps one ReplayCache per descriptor. In
+// external-table mode the verifier keeps ONE uuid-keyed ReplayCache
+// for all descriptors — uuids are 128-bit randoms minted per cookie,
+// so cross-descriptor uuid reuse is adversarial and rejecting it is
+// strictly more conservative; in exchange replay state is O(outstanding
+// cookies), not O(descriptors), at ISP scale. Use-once state still
+// survives table swaps.
 //
 // A failed match never drops traffic: "If it fails to match, it
 // behaves as if the cookie was not there, offering default services."
@@ -22,21 +34,21 @@
 // ## Threading: the single-writer contract
 //
 // A CookieVerifier is NOT thread-safe. Exactly one thread at a time
-// may call any mutating or verifying member (add_descriptor, revoke,
-// remove, verify*, reset_stats, set_external_table): verification
-// mutates replay caches and status counters, and a concurrent
-// add/remove rehashes the descriptor map that an in-flight
-// verify_batch is iterating — a data race and potential use-after-free
-// with no diagnostic. Debug builds enforce the contract with an
-// atomic owner check that aborts on a cross-thread overlap; release
-// builds compile the check out. To feed descriptor updates to a
-// verifier that another thread is running hot, do not call
-// add_descriptor/revoke across threads — publish an immutable
-// DescriptorTable through controlplane::TablePublisher and hand it to
-// the verifying thread via set_external_table (the runtime's
-// WorkerPool::bind_table_publisher does exactly this; the pool's
-// legacy add_descriptor/revoke path instead waits for the worker to
-// quiesce before touching its shard).
+// may call any mutating, verifying, or resolving member
+// (add_descriptor, revoke, remove, verify*, find, reset_stats,
+// set_external_table): verification mutates replay caches, the hot
+// tier, and status counters, and a concurrent add/remove rehashes the
+// descriptor map that an in-flight verify_batch is iterating — a data
+// race and potential use-after-free with no diagnostic. Debug builds
+// enforce the contract with an atomic owner check that aborts on a
+// cross-thread overlap; release builds compile the check out. To feed
+// descriptor updates to a verifier that another thread is running
+// hot, do not call add_descriptor/revoke across threads — publish an
+// immutable DescriptorTable through controlplane::TablePublisher and
+// hand it to the verifying thread via set_external_table (the
+// runtime's WorkerPool::bind_table_publisher does exactly this; the
+// pool's legacy add_descriptor/revoke path instead waits for the
+// worker to quiesce before touching its shard).
 #pragma once
 
 #include <atomic>
@@ -52,6 +64,7 @@
 #include "cookies/cookie.h"
 #include "cookies/descriptor.h"
 #include "cookies/descriptor_table.h"
+#include "cookies/hot_tier.h"
 #include "cookies/replay_cache.h"
 #include "crypto/hmac.h"
 #include "telemetry/labels.h"
@@ -109,8 +122,11 @@ constexpr Error to_error(VerifyStatus s) {
 
 struct VerifyResult {
   VerifyStatus status = VerifyStatus::kUnknownId;
-  /// Set when status == kOk; points into the verifier's table and is
-  /// valid until the descriptor is removed.
+  /// Set when status == kOk. In local mode it points at the
+  /// verifier's installed descriptor and is valid until the
+  /// descriptor is removed; in external-table mode it points into the
+  /// verifier's hot tier and is valid until the next verify call
+  /// (which may recycle evicted slots).
   const CookieDescriptor* descriptor = nullptr;
 
   bool ok() const { return status == VerifyStatus::kOk; }
@@ -146,10 +162,10 @@ class CookieVerifier {
  public:
   /// The clock must outlive the verifier. Construction registers the
   /// verifier's metric families (nnn_verify_total{status=...},
-  /// nnn_verifier_descriptors, nnn_verify_batch_nanos) with the
-  /// process registry; destruction deregisters them. Pinned in memory
-  /// (non-copyable/movable) because the registry collector holds
-  /// `this` — place instances in stable storage (member, deque,
+  /// nnn_verifier_descriptors, nnn_verify_batch_nanos, nnn_state_*)
+  /// with the process registry; destruction deregisters them. Pinned
+  /// in memory (non-copyable/movable) because the registry collector
+  /// holds `this` — place instances in stable storage (member, deque,
   /// unique_ptr), never in a relocating vector.
   explicit CookieVerifier(const util::Clock& clock,
                           util::Timestamp nct = kNetworkCoherencyTime);
@@ -167,10 +183,11 @@ class CookieVerifier {
   /// current table before each burst; the table must stay valid until
   /// the next set_external_table call (the epoch reclamation in
   /// controlplane::TablePublisher guarantees this). nullptr means "no
-  /// table yet" and verifies everything as kUnknownId. Replay caches
-  /// stay local to the verifier (per descriptor, allocated lazily), so
-  /// use-once state survives table swaps. External mode is one-way for
-  /// the lifetime of the verifier (add_descriptor/revoke/remove keep
+  /// table yet" and verifies everything as kUnknownId. Replay and
+  /// hot-tier state stay local to the verifier, so use-once memory and
+  /// warm midstates survive table swaps (the hot tier revalidates
+  /// epoch-stamped entries lazily). External mode is one-way for the
+  /// lifetime of the verifier (add_descriptor/revoke/remove keep
   /// editing the local map, but verification ignores it), which keeps
   /// the hot-path branch predictable.
   void set_external_table(const DescriptorTable* table);
@@ -186,6 +203,9 @@ class CookieVerifier {
   bool remove(CookieId id);
 
   bool knows(CookieId id) const;
+  /// The live descriptor for `id`, or nullptr (unknown or revoked). In
+  /// external mode this admits the record into the hot tier; the
+  /// pointer is valid until the next verify call.
   const CookieDescriptor* find(CookieId id) const;
 
   /// Run the §4.2 checks on a cookie. A kOk result records the uuid in
@@ -219,6 +239,15 @@ class CookieVerifier {
   }
   util::Timestamp nct() const { return nct_; }
 
+  /// External-mode state knobs and introspection (bench/tests).
+  /// set_hot_budget bounds resident midstates; configure_external_replay
+  /// RESETS the external replay cache with a new capacity (use before
+  /// traffic, e.g. to size for tens of millions of outstanding uuids).
+  void set_hot_budget(size_t budget) { hot_.set_budget(budget); }
+  const HotTier& hot_tier() const { return hot_; }
+  void configure_external_replay(size_t capacity);
+  const ReplayCache& external_replay() const { return external_replay_; }
+
  private:
   struct Entry {
     CookieDescriptor descriptor;
@@ -229,7 +258,7 @@ class CookieVerifier {
   };
 
   /// A descriptor match independent of where it came from (local map
-  /// entry or external table slot + lazily allocated replay cache).
+  /// entry or hot-tier slot backed by the external table).
   struct Resolved {
     const CookieDescriptor* descriptor = nullptr;
     const crypto::HmacKeySchedule* schedule = nullptr;
@@ -259,17 +288,24 @@ class CookieVerifier {
   /// Checks (ii)-(iv) + revocation/expiry against a resolved match.
   VerifyResult verify_resolved(const Resolved& match, const Cookie& cookie,
                                util::Timestamp now);
+  /// Mirror plain hot-tier/replay counters into atomic telemetry
+  /// cells, once per burst (cells are what collect() may read from
+  /// another thread).
+  void sync_state_metrics();
   void collect(telemetry::SampleBuilder& builder) const;
 
   const util::Clock& clock_;
   util::Timestamp nct_;
   std::unordered_map<CookieId, Entry> table_;
-  /// External-table mode state (set_external_table). The replay map
-  /// outlives individual tables: use-once is a property of the
-  /// descriptor, not of the table revision that delivered it.
+  /// External-table mode state (set_external_table).
   const DescriptorTable* external_ = nullptr;
   bool external_mode_ = false;
-  std::unordered_map<CookieId, ReplayCache> external_replays_;
+  /// Midstate working set over the external table (mutable: find() is
+  /// logically const but admits records on a cold hit).
+  mutable HotTier hot_;
+  /// Verifier-wide use-once memory for external mode (see the class
+  /// comment on replay scope).
+  ReplayCache external_replay_;
 #ifndef NDEBUG
   /// Thread currently inside a mutating/verifying member, or default
   /// (empty) id when none. See WriterCheck.
@@ -283,6 +319,16 @@ class CookieVerifier {
   /// timed 1-in-32 so the clock reads can't dominate tiny batches.
   telemetry::Histogram batch_nanos_;
   telemetry::SampleStride burst_sample_{32};
+  /// nnn_state_* cells (external mode): synced from the hot tier and
+  /// replay cache at burst boundaries; sampled probe lengths recorded
+  /// inline by both.
+  telemetry::Gauge hot_resident_;
+  telemetry::Counter hot_rehydrations_;
+  telemetry::Counter hot_evictions_;
+  telemetry::Gauge replay_entries_;
+  telemetry::Gauge replay_wheel_occupied_;
+  telemetry::Counter replay_capacity_evictions_;
+  telemetry::Histogram probe_len_;
   /// Scratch index permutation for verify_batch (no per-batch alloc).
   std::vector<uint32_t> batch_order_;
   telemetry::Registration registration_;  // last: deregisters first

@@ -19,6 +19,27 @@ FlowTable::FlowTable(uint32_t sniff_window, util::Timestamp idle_timeout)
       });
 }
 
+uint32_t FlowTable::obtain(const net::FiveTuple& tuple, bool& created) {
+  const auto [slot_entry, inserted] = index_.find_or_insert(
+      hash_tuple(tuple), index_matcher(tuple), index_hasher(), [&] {
+        uint32_t slot;
+        if (!free_.empty()) {
+          slot = free_.back();
+          free_.pop_back();
+        } else {
+          pool_.emplace_back();
+          slot = static_cast<uint32_t>(pool_.size() - 1);
+        }
+        Slot& s = pool_[slot];
+        s.tuple = tuple;
+        s.entry = FlowEntry{};
+        s.live = true;
+        return slot;
+      });
+  created = inserted;
+  return *slot_entry;
+}
+
 FlowEntry& FlowTable::touch(const net::FiveTuple& tuple, uint32_t bytes,
                             util::Timestamp now) {
   stats_.cell<&FlowTableStats::lookups>().inc();
@@ -26,11 +47,11 @@ FlowEntry& FlowTable::touch(const net::FiveTuple& tuple, uint32_t bytes,
     touches_since_expiry_ = 0;
     expire_idle(now);
   }
-  auto [it, created] = table_.try_emplace(tuple);
-  FlowEntry& entry = it->second;
+  bool created = false;
+  FlowEntry& entry = pool_[obtain(tuple, created)].entry;
   if (created) {
     stats_.cell<&FlowTableStats::flows_created>().inc();
-    active_flows_.set(static_cast<int64_t>(table_.size()));
+    active_flows_.set(static_cast<int64_t>(index_.size()));
   }
   ++entry.packets_seen;
   entry.bytes += bytes;
@@ -56,40 +77,50 @@ void FlowTable::map_flow(const net::FiveTuple& tuple,
                          const std::string& service_data,
                          util::Timestamp now, bool include_reverse,
                          util::Timestamp mapping_expires) {
-  auto& entry = table_[tuple];
+  bool created = false;
+  FlowEntry& entry = pool_[obtain(tuple, created)].entry;
   entry.state = FlowState::kMapped;
   entry.service_data = service_data;
   entry.last_seen = now;
   entry.mapping_expires = mapping_expires;
   if (include_reverse) {
-    auto& reverse = table_[tuple.reversed()];
+    FlowEntry& reverse = pool_[obtain(tuple.reversed(), created)].entry;
     reverse.state = FlowState::kMapped;
     reverse.service_data = service_data;
     reverse.last_seen = now;
     reverse.mapping_expires = mapping_expires;
   }
-  active_flows_.set(static_cast<int64_t>(table_.size()));
+  active_flows_.set(static_cast<int64_t>(index_.size()));
 }
 
 const FlowEntry* FlowTable::find(const net::FiveTuple& tuple) const {
-  const auto it = table_.find(tuple);
-  return it == table_.end() ? nullptr : &it->second;
+  const uint32_t* slot =
+      index_.find(hash_tuple(tuple), index_matcher(tuple));
+  return slot == nullptr ? nullptr : &pool_[*slot].entry;
 }
 
 size_t FlowTable::expire_idle(util::Timestamp now) {
   const util::Timestamp cutoff = now - idle_timeout_;
   size_t evicted = 0;
-  for (auto it = table_.begin(); it != table_.end();) {
-    if (it->second.last_seen < cutoff) {
-      it = table_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
-    }
+  for (uint32_t slot = 0; slot < pool_.size(); ++slot) {
+    Slot& s = pool_[slot];
+    if (!s.live || s.entry.last_seen >= cutoff) continue;
+    index_.erase(hash_tuple(s.tuple), index_matcher(s.tuple));
+    s.live = false;
+    s.entry.service_data.clear();
+    free_.push_back(slot);
+    ++evicted;
   }
   stats_.cell<&FlowTableStats::flows_expired>().inc(evicted);
-  active_flows_.set(static_cast<int64_t>(table_.size()));
+  active_flows_.set(static_cast<int64_t>(index_.size()));
   return evicted;
+}
+
+size_t FlowTable::memory_bytes() const {
+  size_t bytes = index_.memory_bytes() + pool_.size() * sizeof(Slot) +
+                 free_.capacity() * sizeof(uint32_t);
+  for (const Slot& s : pool_) bytes += s.entry.service_data.capacity();
+  return bytes;
 }
 
 }  // namespace nnn::dataplane

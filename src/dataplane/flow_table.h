@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "net/five_tuple.h"
+#include "state/flat_table.h"
 #include "telemetry/view.h"
 #include "util/clock.h"
 
@@ -104,15 +106,47 @@ class FlowTable {
   /// many were evicted. touch() amortizes this; exposed for tests.
   size_t expire_idle(util::Timestamp now);
 
-  size_t size() const { return table_.size(); }
+  size_t size() const { return index_.size(); }
   uint32_t sniff_window() const { return sniff_window_; }
   /// Materialized from the live telemetry cells (by value).
   FlowTableStats stats() const { return stats_.snapshot(); }
+  /// Bytes held by the index, slot pool, and free list.
+  size_t memory_bytes() const;
 
  private:
+  /// Flows live in a stable pool (deque + free list) behind a flat
+  /// open-addressing index of slot handles — same state-layer shape as
+  /// the descriptor store. Handle indirection is what preserves the
+  /// contract the middlebox relies on: FlowEntry& returned by touch()
+  /// stays valid across later inserts in the same burst (the index
+  /// rehashes; the pool never moves an entry).
+  struct Slot {
+    net::FiveTuple tuple;
+    FlowEntry entry;
+    bool live = false;
+  };
+
+  static uint64_t hash_tuple(const net::FiveTuple& tuple) {
+    return state::mix_hash(std::hash<net::FiveTuple>{}(tuple));
+  }
+  auto index_matcher(const net::FiveTuple& tuple) const {
+    return [this, &tuple](const uint32_t& slot) {
+      return pool_[slot].tuple == tuple;
+    };
+  }
+  auto index_hasher() const {
+    return [this](const uint32_t& slot) {
+      return hash_tuple(pool_[slot].tuple);
+    };
+  }
+  /// Find-or-create; sets `created`. Returns the slot handle.
+  uint32_t obtain(const net::FiveTuple& tuple, bool& created);
+
   uint32_t sniff_window_;
   util::Timestamp idle_timeout_;
-  std::unordered_map<net::FiveTuple, FlowEntry> table_;
+  state::FlatTable<uint32_t> index_;  // pool slot by FiveTuple
+  std::deque<Slot> pool_;
+  std::vector<uint32_t> free_;
   uint64_t touches_since_expiry_ = 0;
   telemetry::View<FlowTableStats> stats_;
   /// Mirror of table_.size() so the exporter thread never reads the

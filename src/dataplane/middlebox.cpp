@@ -158,8 +158,8 @@ void Middlebox::process_batch(std::span<net::Packet> packets,
         stats_.cell<&MiddleboxStats::task_search_and_verify>().inc();
         if (extracted->stack.size() == 1) {
           // The common case: defer the MAC into the batched verify.
-          // (std::unordered_map references are stable across the
-          // inserts/rehashes later packets may cause, and an entry
+          // (FlowTable hands out references into a stable slot pool —
+          // later inserts rehash only the handle index — and an entry
           // touched this burst cannot idle out, so holding &entry
           // until the flush is safe.)
           pending_cookies_.push_back(extracted->stack.front());

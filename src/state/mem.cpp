@@ -1,0 +1,23 @@
+#include "state/mem.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace nnn::state {
+
+size_t resident_bytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total_pages = 0;
+  unsigned long resident_pages = 0;
+  const int matched =
+      std::fscanf(f, "%lu %lu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<size_t>(resident_pages) *
+         static_cast<size_t>(page > 0 ? page : 4096);
+}
+
+}  // namespace nnn::state

@@ -1,0 +1,12 @@
+// Process memory introspection for the state-layer benches.
+#pragma once
+
+#include <cstddef>
+
+namespace nnn::state {
+
+/// Resident set size of the current process in bytes (Linux: parsed
+/// from /proc/self/statm). Returns 0 where unavailable.
+size_t resident_bytes();
+
+}  // namespace nnn::state

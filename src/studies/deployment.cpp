@@ -18,7 +18,13 @@ std::vector<PreferenceRecord> DeploymentModel::run() {
             [](const auto* a, const auto* b) {
               return a->alexa_rank < b->alexa_rank;
             });
-  util::ZipfSampler head(by_rank.size(), config_.zipf_s);
+  // Shared heavy-tail sampler (workload::PreferenceSampler); draw
+  // order matches the historical inline sampling, so seeded runs
+  // reproduce the same Fig. 1 aggregates.
+  workload::PreferenceSampler::Config sampler_config;
+  sampler_config.tail_share = config_.tail_share;
+  sampler_config.zipf_s = config_.zipf_s;
+  const workload::PreferenceSampler sampler(by_rank.size(), sampler_config);
 
   std::vector<PreferenceRecord> prefs;
   // The paper reports an exact outcome (161 of 400 installed, 40%);
@@ -35,16 +41,16 @@ std::vector<PreferenceRecord> DeploymentModel::run() {
     for (int p = 0; p < npref; ++p) {
       PreferenceRecord record;
       record.user = user;
-      if (rng_.chance(config_.tail_share)) {
+      const workload::PreferenceDraw draw = sampler.next(rng_);
+      if (draw.niche) {
         // A personal niche site nobody else visits: regional media,
         // a VoIP portal, a hobby forum. Rank deep in the tail.
         ++niche_counter;
         record.domain = util::fmt("user{}-niche{}.example", user,
                                   niche_counter);
-        record.alexa_rank = static_cast<uint32_t>(
-            5000 + rng_.next_u64(95000));
+        record.alexa_rank = draw.tail_rank;
       } else {
-        const auto* site = by_rank[head.sample(rng_) - 1];
+        const auto* site = by_rank[draw.head_rank - 1];
         record.domain = site->domain;
         record.alexa_rank = site->alexa_rank;
       }

@@ -23,9 +23,17 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "workload/samplers.h"
 #include "workload/websites.h"
 
 namespace nnn::studies {
+
+/// The heavy-tail samplers historically defined here now live in
+/// workload:: (usable from benches/tests without the studies target);
+/// thin aliases keep existing study/figure code building unchanged.
+using PreferenceSampler = workload::PreferenceSampler;
+using PreferenceDraw = workload::PreferenceDraw;
+using ZipfAccess = workload::ZipfAccess;
 
 struct PreferenceRecord {
   uint32_t user = 0;

@@ -1,0 +1,100 @@
+// Shared heavy-tail samplers for workloads, benches, and tests.
+//
+// The Fig. 1 deployment study, the ablation benches, and the state
+// tests all need the same shape of traffic: a Zipf head (popular
+// sites/descriptors dominate) with a personal-niche tail (the 43%
+// unique preferences of §5.3). This used to live inline in
+// studies::DeploymentModel; extracted here so benches and tests can
+// drive ISP-scale tables with realistic skew without linking the
+// studies target. The studies keep thin aliases and delegate, with
+// RNG draw order preserved bit-for-bit (the figure outputs are
+// seed-stable across the move).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nnn::workload {
+
+/// One draw from a head-or-tail preference distribution: either a
+/// Zipf-ranked pick from a popular catalog, or a personal niche item
+/// deep in the rank tail that no catalog entry covers.
+struct PreferenceDraw {
+  bool niche = false;
+  /// Catalog rank in [1, catalog_size] when !niche.
+  size_t head_rank = 0;
+  /// Synthetic popularity rank when niche.
+  uint32_t tail_rank = 0;
+};
+
+class PreferenceSampler {
+ public:
+  struct Config {
+    /// Probability a draw is a personal niche item (paper Fig. 1:
+    /// tuned so ~43% of preferences end up unique).
+    double tail_share = 0.32;
+    /// Popularity skew of head picks.
+    double zipf_s = 1.4;
+    /// Niche ranks are uniform in [base, base + span).
+    uint32_t tail_rank_base = 5000;
+    uint64_t tail_rank_span = 95000;
+  };
+
+  PreferenceSampler(size_t catalog_size, Config config)
+      : config_(config), head_(catalog_size, config.zipf_s) {}
+
+  /// Draw order contract: exactly one chance() draw, then exactly one
+  /// next_u64(span) (niche) or one Zipf sample (head). Callers that
+  /// replaced inline sampling with this class keep their RNG streams.
+  PreferenceDraw next(util::Rng& rng) const {
+    PreferenceDraw draw;
+    if (rng.chance(config_.tail_share)) {
+      draw.niche = true;
+      draw.tail_rank = static_cast<uint32_t>(
+          config_.tail_rank_base + rng.next_u64(config_.tail_rank_span));
+    } else {
+      draw.head_rank = head_.sample(rng);
+    }
+    return draw;
+  }
+
+  const Config& config() const { return config_; }
+  size_t catalog_size() const { return head_.size(); }
+
+ private:
+  Config config_;
+  util::ZipfSampler head_;
+};
+
+/// Zipf-popular access over an arbitrary index space [0, n): ranks map
+/// through a shuffled permutation so the hot set is scattered across
+/// the space instead of clustered at low indices — what a hash-table
+/// bench needs (sequential hot ids would probe adjacent groups and
+/// flatter the cache).
+class ZipfAccess {
+ public:
+  ZipfAccess(size_t n, double s, util::Rng& shuffle_rng)
+      : zipf_(n, s), perm_(n) {
+    for (size_t i = 0; i < n; ++i) perm_[i] = i;
+    // Fisher-Yates off shuffle_rng; the access stream below uses the
+    // caller's per-draw rng, so shuffling cost is one-time.
+    for (size_t i = n; i > 1; --i) {
+      const size_t j = shuffle_rng.next_u64(i);
+      std::swap(perm_[i - 1], perm_[j]);
+    }
+  }
+
+  /// An index in [0, n), Zipf-popular under the hidden permutation.
+  size_t next(util::Rng& rng) const { return perm_[zipf_.sample(rng) - 1]; }
+
+  size_t size() const { return perm_.size(); }
+
+ private:
+  util::ZipfSampler zipf_;
+  std::vector<size_t> perm_;
+};
+
+}  // namespace nnn::workload

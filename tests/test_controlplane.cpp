@@ -758,6 +758,82 @@ TEST(ControlPlaneRuntime, VerifyDuringSwapIsRaceFree) {
   EXPECT_GT(tables.epoch(), 2u) << "swapper never actually swapped";
 }
 
+TEST(ControlPlaneRuntime, VerifyDuringSwapAt100kDescriptors) {
+  // ISP-scale variant of the swap race (TSan CI target): tables carry
+  // 100k compact records, so a swap retires megabytes of store while
+  // workers' hot tiers keep verifying against epoch-stamped midstates.
+  // Exercises the DescriptorStore copy in build(), epoch revalidation
+  // under churn, and reclamation of large retired tables.
+  util::SystemClock clock;
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  runtime::WorkerPool::Config config;
+  config.workers = 2;
+  config.ring_capacity = 256;
+  runtime::WorkerPool pool(clock, registry, config);
+
+  TablePublisher tables;
+  pool.bind_table_publisher(tables);
+
+  constexpr cookies::CookieId kTableSize = 100'000;
+  TableMirror mirror;
+  {
+    std::vector<cookies::CookieDescriptor> live;
+    live.reserve(kTableSize);
+    for (cookies::CookieId id = 1; id <= kTableSize; ++id) {
+      live.push_back(make_descriptor(id));
+    }
+    mirror.reset(1, std::move(live), {});
+  }
+  tables.publish(mirror.build());
+  pool.start();
+
+  // Swapper: keep publishing fresh 100k-record tables (each build()
+  // copies the store) while the workers verify.
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    uint64_t version = 1;
+    while (!stop_swapping.load(std::memory_order_acquire)) {
+      Update update;
+      update.version = ++version;
+      update.op = UpdateOp::kAdd;
+      update.id = kTableSize + version;
+      update.descriptor = make_descriptor(update.id);
+      ASSERT_TRUE(mirror.apply(update));
+      tables.publish(mirror.build());
+      tables.try_reclaim();
+      // Each build copies a 100k-record store; pace the swaps so the
+      // test exercises dozens of epochs, not an allocation benchmark.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  util::ManualClock mint_clock(clock.now());
+  // A handful of hot descriptors spread across the id space.
+  std::vector<cookies::CookieGenerator> gens;
+  for (cookies::CookieId id = 1; id <= 8; ++id) {
+    gens.emplace_back(make_descriptor(id * (kTableSize / 8)), mint_clock,
+                      id);
+  }
+  constexpr uint32_t kPackets = 2000;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    net::Packet p = flow_packet(i);
+    cookies::attach(p, gens[i % gens.size()].generate(),
+                    cookies::Transport::kUdpHeader);
+    submit_spin(pool, i % config.workers, std::move(p));
+    mint_clock.advance(kMillisecond);
+  }
+  pool.drain();
+  stop_swapping.store(true, std::memory_order_release);
+  swapper.join();
+  pool.stop();
+
+  tables.try_reclaim();
+  EXPECT_EQ(tables.retired_count(), 0u);
+  EXPECT_EQ(pool.total_verified(), kPackets);
+  EXPECT_GT(tables.epoch(), 1u) << "swapper never actually swapped";
+}
+
 // --- LocalSubscriber ------------------------------------------------
 
 TEST(LocalSubscriber, ReplaysHistoryAndFollowsUpdates) {

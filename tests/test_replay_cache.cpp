@@ -1,6 +1,9 @@
 // Replay cache: use-once enforcement within the NCT horizon.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cookies/replay_cache.h"
@@ -122,6 +125,136 @@ TEST(ReplayCache, DistinctUuidsAllAccepted) {
     EXPECT_TRUE(cache.insert(crypto::Uuid::generate(rng), 0));
   }
   EXPECT_EQ(cache.size(), 1000u);
+}
+
+/// The seed-era cache in miniature: insertion-ordered deque, purge on
+/// every insert. Under a monotone clock insertion order equals expiry
+/// order, so its prefix purge is exact and the wheel-based cache must
+/// agree on every observable (insert verdicts, membership, size,
+/// capacity evictions).
+class ReferenceReplayCache {
+ public:
+  ReferenceReplayCache(util::Timestamp horizon, size_t capacity)
+      : horizon_(horizon), capacity_(capacity) {}
+
+  bool insert(const crypto::Uuid& uuid, util::Timestamp now) {
+    purge(now);
+    if (seen_.contains(uuid)) return false;
+    while (order_.size() >= capacity_) {
+      seen_.erase(order_.front().first);
+      order_.pop_front();
+      ++capacity_evictions_;
+    }
+    order_.emplace_back(uuid, now + horizon_);
+    seen_.insert(uuid);
+    return true;
+  }
+  bool contains(const crypto::Uuid& uuid) const {
+    return seen_.contains(uuid);
+  }
+  void purge(util::Timestamp now) {
+    while (!order_.empty() && order_.front().second <= now) {
+      seen_.erase(order_.front().first);
+      order_.pop_front();
+    }
+  }
+  size_t size() const { return order_.size(); }
+  uint64_t capacity_evictions() const { return capacity_evictions_; }
+
+ private:
+  util::Timestamp horizon_;
+  size_t capacity_;
+  std::deque<std::pair<crypto::Uuid, util::Timestamp>> order_;
+  std::unordered_set<crypto::Uuid> seen_;
+  uint64_t capacity_evictions_ = 0;
+};
+
+TEST(ReplayCache, DifferentialAgainstReferenceUnderMonotoneChurn) {
+  constexpr util::Timestamp kHorizon = 5 * util::kSecond;
+  constexpr size_t kCapacity = 300;
+  ReplayCache cache(kHorizon, kCapacity);
+  ReferenceReplayCache reference(kHorizon, kCapacity);
+  util::Rng rng(0xD1FF);
+  util::Timestamp now = 0;
+  std::vector<crypto::Uuid> recent;
+  for (int op = 0; op < 30'000; ++op) {
+    now += rng.next_u64(40) * util::kMillisecond;  // monotone, bursty
+    const uint64_t kind = rng.next_u64(10);
+    if (kind == 0) {
+      cache.purge(now);
+      reference.purge(now);
+    } else if (kind <= 2 && !recent.empty()) {
+      // Replay attempt on something seen recently.
+      const auto& uuid = recent[rng.next_u64(recent.size())];
+      ASSERT_EQ(cache.insert(uuid, now), reference.insert(uuid, now))
+          << "op " << op;
+    } else {
+      const auto uuid = crypto::Uuid::generate(rng);
+      recent.push_back(uuid);
+      if (recent.size() > 512) recent.erase(recent.begin());
+      ASSERT_EQ(cache.insert(uuid, now), reference.insert(uuid, now))
+          << "op " << op;
+    }
+    ASSERT_EQ(cache.size(), reference.size()) << "op " << op;
+    ASSERT_EQ(cache.capacity_evictions(), reference.capacity_evictions())
+        << "op " << op;
+  }
+  for (const auto& uuid : recent) {
+    ASSERT_EQ(cache.contains(uuid), reference.contains(uuid));
+  }
+}
+
+TEST(ReplayCache, WatermarkGatesPurgeScans) {
+  // The seed implementation scanned on every insert; the watermark
+  // must reduce that to one scan per actual expiry batch with zero
+  // behavioral difference. 1000 inserts inside one horizon => no entry
+  // is ever due during the window, so no scan may run at all.
+  ReplayCache cache(5 * util::kSecond);
+  util::Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    cache.insert(crypto::Uuid::generate(rng),
+                 static_cast<util::Timestamp>(i) * util::kMillisecond);
+  }
+  EXPECT_EQ(cache.purge_scans(), 0u);
+  EXPECT_EQ(cache.size(), 1000u);
+  // Past the first expiry the next insert pays exactly one scan...
+  cache.insert(crypto::Uuid::generate(rng), 6 * util::kSecond);
+  EXPECT_EQ(cache.purge_scans(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // the whole window expired; only the new one
+  // ...and the refreshed watermark gates again immediately after.
+  cache.purge(6 * util::kSecond + util::kMillisecond);
+  EXPECT_EQ(cache.purge_scans(), 1u);
+}
+
+TEST(ReplayCache, BackdatedInsertKeepsPurgeExact) {
+  // Clock skew: an entry inserted with an earlier `now` than its
+  // predecessor expires sooner than insertion order suggests. The
+  // watermark must track the true minimum (min over inserts), so the
+  // back-dated entry still purges on time. This is precisely where the
+  // old prefix-scan cache silently kept expired entries.
+  ReplayCache cache(5 * util::kSecond);
+  const auto a = uuid_from_seed(30);
+  const auto b = uuid_from_seed(31);
+  cache.insert(a, 10 * util::kSecond);  // expires at 15s
+  cache.insert(b, 2 * util::kSecond);   // back-dated: expires at 7s
+  cache.purge(8 * util::kSecond);
+  EXPECT_TRUE(cache.contains(a));
+  EXPECT_FALSE(cache.contains(b));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReplayCache, TelemetryAccessorsTrackState) {
+  ReplayCache cache(5 * util::kSecond);
+  util::Rng rng(33);
+  for (int i = 0; i < 100; ++i) {
+    cache.insert(crypto::Uuid::generate(rng), 0);
+  }
+  EXPECT_EQ(cache.wheel_slots(), ReplayCache::kWheelSlots);
+  EXPECT_GE(cache.wheel_occupied_slots(), 1u);
+  EXPECT_GT(cache.memory_bytes(), 100u * crypto::Uuid::kSize);
+  const auto stats = cache.probe_stats(1024);
+  EXPECT_GT(stats.samples, 0u);
+  EXPECT_LE(stats.p99, 4u);
 }
 
 }  // namespace

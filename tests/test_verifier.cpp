@@ -1,6 +1,10 @@
 // CookieVerifier: the four checks of §4.2 plus revocation/expiry.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "controlplane/table_mirror.h"
 #include "cookies/generator.h"
 #include "cookies/verifier.h"
 #include "util/clock.h"
@@ -260,6 +264,177 @@ TEST(VerifierStandalone, FailOpenSemantics) {
     const auto result = verifier.verify(junk);
     EXPECT_FALSE(result.ok());
   });
+}
+
+// --- External-table mode: hot/cold tiering --------------------------
+
+class ExternalVerifierTest : public ::testing::Test {
+ protected:
+  ExternalVerifierTest()
+      : clock_(1'000'000 * util::kSecond), verifier_(clock_) {}
+
+  /// Build an immutable table from the mirror, stamped like the
+  /// publisher would.
+  void publish(uint64_t epoch) {
+    table_ = mirror_.build();
+    table_->set_epoch(epoch);
+    verifier_.set_external_table(table_.get());
+  }
+
+  /// `salt` picks a distinct uuid stream: the replay cache is
+  /// verifier-wide in external mode, so two generators for the same
+  /// descriptor must not replay each other's uuids.
+  CookieGenerator generator(const CookieDescriptor& descriptor,
+                            uint64_t salt = 0) {
+    return CookieGenerator(descriptor, clock_,
+                           descriptor.cookie_id + (salt << 32));
+  }
+
+  util::ManualClock clock_;
+  CookieVerifier verifier_;
+  controlplane::TableMirror mirror_;
+  std::unique_ptr<DescriptorTable> table_;
+};
+
+TEST_F(ExternalVerifierTest, ColdHitRehydratesThenStaysHot) {
+  mirror_.reset(1, {make_descriptor(1)}, {});
+  publish(1);
+  auto gen = generator(make_descriptor(1));
+
+  EXPECT_EQ(verifier_.hot_tier().resident(), 0u);
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  // First sight built the key schedule from the 64-byte cold record.
+  EXPECT_EQ(verifier_.hot_tier().resident(), 1u);
+  EXPECT_EQ(verifier_.hot_tier().rehydrations(), 1u);
+  // Subsequent cookies ride the midstate cache: no further rebuilds.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  }
+  EXPECT_EQ(verifier_.hot_tier().rehydrations(), 1u);
+  EXPECT_GE(verifier_.hot_tier().hits(), 10u);
+}
+
+TEST_F(ExternalVerifierTest, TableSwapRevalidatesWithoutRekeying) {
+  mirror_.reset(1, {make_descriptor(1)}, {});
+  publish(1);
+  auto gen = generator(make_descriptor(1));
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  ASSERT_EQ(verifier_.hot_tier().rehydrations(), 1u);
+
+  // Swap to a new epoch with the same key: the entry revalidates, the
+  // schedule survives.
+  publish(2);
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  EXPECT_EQ(verifier_.hot_tier().rehydrations(), 1u);
+
+  // Rotate the key and swap again: old-key cookies die, new-key
+  // cookies verify, and the schedule was rebuilt exactly once.
+  auto rotated = make_descriptor(1);
+  rotated.key.assign(32, 0xCD);
+  ASSERT_TRUE(mirror_.apply(controlplane::Update{2, controlplane::UpdateOp::kAdd, 1, rotated}));
+  publish(3);
+  EXPECT_EQ(verifier_.verify(gen.generate()).status,
+            VerifyStatus::kBadSignature);
+  auto rotated_gen = generator(rotated, /*salt=*/1);
+  EXPECT_EQ(verifier_.verify(rotated_gen.generate()).status, VerifyStatus::kOk);
+  EXPECT_EQ(verifier_.hot_tier().rehydrations(), 2u);
+}
+
+TEST_F(ExternalVerifierTest, RevokedRecordShortCircuitsWithoutAdmission) {
+  mirror_.reset(1, {make_descriptor(1)}, {});
+  publish(1);
+  auto gen = generator(make_descriptor(1));
+  EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+
+  ASSERT_TRUE(mirror_.apply(controlplane::Update{2, controlplane::UpdateOp::kRevoke, 1, {}}));
+  publish(2);
+  EXPECT_EQ(verifier_.verify(gen.generate()).status,
+            VerifyStatus::kDescriptorRevoked);
+  EXPECT_TRUE(verifier_.knows(1));
+  EXPECT_EQ(verifier_.find(1), nullptr);
+  // The stale epoch-1 entry never re-admitted; nothing holds midstates
+  // for a revoked descriptor at the current epoch.
+  EXPECT_EQ(verifier_.hot_tier().peek(1, 2), nullptr);
+}
+
+TEST_F(ExternalVerifierTest, ReplayScopeIsVerifierWideAcrossDescriptors) {
+  // External mode shares ONE uuid-keyed replay cache across
+  // descriptors (uuids are 128-bit randoms, so a cross-descriptor
+  // collision is adversarial reuse). Re-signing a seen uuid under a
+  // different descriptor's key must still be caught.
+  const auto d1 = make_descriptor(1);
+  const auto d2 = make_descriptor(2);
+  mirror_.reset(1, {d1, d2}, {});
+  publish(1);
+  auto gen = generator(d1);
+  const Cookie first = gen.generate();
+  EXPECT_TRUE(verifier_.verify(first).ok());
+
+  Cookie cross = first;
+  cross.cookie_id = 2;
+  cross.signature = cross.compute_tag(util::BytesView(d2.key));
+  EXPECT_EQ(verifier_.verify(cross).status, VerifyStatus::kReplayed);
+  EXPECT_EQ(verifier_.external_replay().size(), 1u);
+}
+
+TEST_F(ExternalVerifierTest, HotBudgetEvictsColdDescriptors) {
+  std::vector<CookieDescriptor> live;
+  for (CookieId id = 1; id <= 8; ++id) live.push_back(make_descriptor(id));
+  mirror_.reset(1, live, {});
+  publish(1);
+  verifier_.set_hot_budget(2);
+  for (CookieId id = 1; id <= 8; ++id) {
+    auto gen = generator(make_descriptor(id));
+    EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  }
+  EXPECT_LE(verifier_.hot_tier().resident(), 2u);
+  EXPECT_GE(verifier_.hot_tier().evictions(), 6u);
+  // Evicted descriptors still verify — they just pay rehydration.
+  auto gen = generator(make_descriptor(1), /*salt=*/1);
+  EXPECT_EQ(verifier_.verify(gen.generate()).status, VerifyStatus::kOk);
+}
+
+TEST_F(ExternalVerifierTest, ConfiguredReplayCapacityClampsFlood) {
+  mirror_.reset(1, {make_descriptor(1)}, {});
+  publish(1);
+  verifier_.configure_external_replay(4);
+  auto gen = generator(make_descriptor(1));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(verifier_.verify(gen.generate()).ok());
+  }
+  EXPECT_EQ(verifier_.external_replay().size(), 4u);
+  EXPECT_EQ(verifier_.external_replay().capacity_evictions(), 6u);
+}
+
+TEST_F(ExternalVerifierTest, BatchMatchesSequentialInExternalMode) {
+  const auto d1 = make_descriptor(1);
+  const auto d2 = make_descriptor(2);
+  mirror_.reset(1, {d1, d2}, {});
+  publish(1);
+
+  auto gen1 = generator(d1);
+  auto gen2 = generator(d2);
+  std::vector<Cookie> burst;
+  for (int i = 0; i < 8; ++i) {
+    burst.push_back(i % 2 == 0 ? gen1.generate() : gen2.generate());
+  }
+  burst.push_back(burst[0]);  // replay within the burst
+  Cookie forged = gen1.generate();
+  forged.signature[0] ^= 1;
+  burst.push_back(forged);
+
+  // Sequential twin run on a fresh verifier over the same table.
+  CookieVerifier sequential(clock_);
+  sequential.set_external_table(table_.get());
+  std::vector<VerifyResult> expected;
+  for (const Cookie& c : burst) expected.push_back(sequential.verify(c));
+
+  std::vector<VerifyResult> results(burst.size());
+  verifier_.verify_batch(burst, results);
+  for (size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_EQ(results[i].status, expected[i].status) << "cookie " << i;
+  }
+  EXPECT_EQ(verifier_.stats(), sequential.stats());
 }
 
 }  // namespace
