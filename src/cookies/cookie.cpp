@@ -112,6 +112,17 @@ std::optional<Cookie> Cookie::decode_text(std::string_view text) {
   return decode(BytesView(*bytes));
 }
 
+std::optional<CookieId> peek_cookie_id(util::BytesView wire) {
+  ByteReader r(wire);
+  const auto magic = r.view(3);
+  const auto version = r.u8();
+  if (!magic || !version || !util::equal(*magic, BytesView(kMagic, 3)) ||
+      *version != kVersion) {
+    return std::nullopt;
+  }
+  return r.u64();
+}
+
 util::Bytes encode_stack(const std::vector<Cookie>& cookies) {
   Bytes out;
   out.reserve(kCookieWireSize * cookies.size());

@@ -75,6 +75,13 @@ struct Cookie {
 /// several cookies; each network matches the ones it knows.
 util::Bytes encode_stack(const std::vector<Cookie>& cookies);
 std::optional<std::vector<Cookie>> decode_stack(util::BytesView wire);
+
+/// Cheap no-HMAC, no-copy peek at the leading cookie id of an encoded
+/// stack — the RX demux steering key and the hardware pre-filter's
+/// id-table lookup. Validates only magic + version + length; a packet
+/// that peeks must still go through decode_stack + verify before any
+/// service mapping.
+std::optional<CookieId> peek_cookie_id(util::BytesView wire);
 std::string encode_stack_text(const std::vector<Cookie>& cookies);
 std::optional<std::vector<Cookie>> decode_stack_text(std::string_view text);
 

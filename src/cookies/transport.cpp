@@ -157,15 +157,31 @@ std::optional<ExtractedCookie> extract(const net::Packet& packet,
   return std::nullopt;
 }
 
+Transport to_transport(net::CookieCarrier carrier) {
+  switch (carrier) {
+    case net::CookieCarrier::kIpv6Option:
+      return Transport::kIpv6Extension;
+    case net::CookieCarrier::kTcpOption:
+      return Transport::kTcpOption;
+    case net::CookieCarrier::kUdpShim:
+      return Transport::kUdpHeader;
+    case net::CookieCarrier::kTlsExtension:
+      return Transport::kTlsExtension;
+    case net::CookieCarrier::kHttpHeader:
+      return Transport::kHttpHeader;
+  }
+  return Transport::kHttpHeader;
+}
+
 std::optional<ExtractedCookie> extract(const net::Packet& packet) {
-  // Cheapest first: fixed-offset options, then the magic-prefixed
-  // shim, then the binary TLS parse, then the text HTTP parse.
-  if (auto c = extract_ipv6(packet)) return c;
-  if (auto c = extract_tcp_option(packet)) return c;
-  if (auto c = extract_udp(packet)) return c;
-  if (auto c = extract_tls(packet)) return c;
-  if (auto c = extract_http(packet)) return c;
-  return std::nullopt;
+  // The carrier precedence (cheapest first) is owned by
+  // net::Packet::cookie_bytes — one search shared with the hardware
+  // pre-filter and the RX demux peek; this layer only decodes.
+  const auto raw = packet.cookie_bytes();
+  if (!raw) return std::nullopt;
+  auto stack = decode_stack(raw->bytes());
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), to_transport(raw->carrier)};
 }
 
 bool strip(net::Packet& packet) {

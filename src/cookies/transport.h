@@ -29,8 +29,16 @@
 
 namespace nnn::cookies {
 
-/// Magic prefix for the UDP payload shim.
-inline constexpr uint8_t kUdpShimMagic[4] = {'N', 'C', 'K', 'U'};
+/// Magic prefix for the UDP payload shim. The constant itself is wire
+/// format and lives with the packet model (net::kCookieShimMagic, so
+/// net::Packet::cookie_bytes can find the shim without a cookies
+/// dependency); this alias keeps existing call sites working.
+inline constexpr auto& kUdpShimMagic = net::kCookieShimMagic;
+
+/// Carrier <-> transport mapping: net::Packet::cookie_bytes reports
+/// where it found the blob in packet-model terms; the cookie layer
+/// names the same five carriers Transport.
+Transport to_transport(net::CookieCarrier carrier);
 
 /// Where a cookie was found in a packet.
 struct ExtractedCookie {

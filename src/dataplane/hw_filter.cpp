@@ -32,20 +32,21 @@ HwDecision HardwareFilter::classify(const net::Packet& packet) {
     return d;
   };
 
-  // Stage (i): cookie presence. The fixed-offset carriers (IPv6
-  // option, TCP option, UDP shim) are what real match-action hardware
-  // parses; the text carriers are optional.
-  std::optional<cookies::ExtractedCookie> extracted;
-  if (packet.l3_cookie || packet.l4_cookie || packet.is_udp()) {
-    extracted = cookies::extract(packet);
+  // Stage (i): cookie presence, via the packet model's single carrier
+  // search (net::Packet::cookie_bytes). The fixed-offset carriers
+  // (IPv6 option, TCP option, UDP shim) are what real match-action
+  // hardware parses; the text carriers (TLS/HTTP) are optional.
+  const auto raw = packet.cookie_bytes();
+  const bool text_carrier =
+      raw && (raw->carrier == net::CookieCarrier::kTlsExtension ||
+              raw->carrier == net::CookieCarrier::kHttpHeader);
+  if (!raw || (text_carrier && !config_.parse_text_carriers)) {
+    return record(HwDecision::kFastPath);
   }
-  if (!extracted && config_.parse_text_carriers &&
-      !packet.payload.empty()) {
-    extracted = cookies::extract(packet);
-  }
-  if (!extracted) return record(HwDecision::kFastPath);
+  const auto stack = cookies::decode_stack(raw->bytes());
+  if (!stack) return record(HwDecision::kFastPath);
 
-  const cookies::Cookie& cookie = extracted->stack.front();
+  const cookies::Cookie& cookie = stack->front();
   // Stage (ii): id table.
   if (config_.check_id && !ids_.contains(cookie.cookie_id)) {
     return record(HwDecision::kRejectUnknownId);

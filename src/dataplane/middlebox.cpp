@@ -106,9 +106,9 @@ Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
 
 bool Middlebox::tuple_has_pending(
     const net::FiveTuple& tuple,
-    std::span<const net::Packet> packets) const {
+    std::span<net::Packet* const> packets) const {
   for (const PendingVerify& p : pending_info_) {
-    const net::FiveTuple& pt = packets[p.index].tuple;
+    const net::FiveTuple& pt = packets[p.index]->tuple;
     // The pending cookie may map pt and (reverse_flow attribute, on by
     // default) pt.reversed(); either way this packet must not observe
     // flow state from before that mapping lands.
@@ -119,12 +119,21 @@ bool Middlebox::tuple_has_pending(
 
 void Middlebox::process_batch(std::span<net::Packet> packets,
                               std::span<Verdict> verdicts) {
+  batch_ptrs_.resize(packets.size());
+  for (size_t i = 0; i < packets.size(); ++i) {
+    batch_ptrs_[i] = &packets[i];
+  }
+  process_batch(std::span<net::Packet* const>(batch_ptrs_), verdicts);
+}
+
+void Middlebox::process_batch(std::span<net::Packet* const> packets,
+                              std::span<Verdict> verdicts) {
   assert(verdicts.size() >= packets.size());
   if (config_.delivery_guarantees) {
     // Ack debts attach to whichever later packet can carry them, an
     // inherently per-packet interleaving; take the sequential path.
     for (size_t i = 0; i < packets.size(); ++i) {
-      verdicts[i] = process(packets[i]);
+      verdicts[i] = process(*packets[i]);
     }
     return;
   }
@@ -135,7 +144,7 @@ void Middlebox::process_batch(std::span<net::Packet> packets,
   pending_info_.clear();
 
   for (size_t i = 0; i < packets.size(); ++i) {
-    net::Packet& packet = packets[i];
+    net::Packet& packet = *packets[i];
     // A queued cookie may remap this packet's flow; settle it before
     // this packet observes the flow state.
     if (!pending_info_.empty() &&
@@ -188,7 +197,7 @@ void Middlebox::process_batch(std::span<net::Packet> packets,
   flush_pending(packets, verdicts, now);
 }
 
-void Middlebox::flush_pending(std::span<net::Packet> packets,
+void Middlebox::flush_pending(std::span<net::Packet* const> packets,
                               std::span<Verdict> verdicts,
                               util::Timestamp now) {
   if (pending_info_.empty()) return;
@@ -197,7 +206,7 @@ void Middlebox::flush_pending(std::span<net::Packet> packets,
 
   for (size_t k = 0; k < pending_info_.size(); ++k) {
     const PendingVerify& p = pending_info_[k];
-    net::Packet& packet = packets[p.index];
+    net::Packet& packet = *packets[p.index];
     const cookies::VerifyResult& result = pending_results_[k];
     Verdict verdict;
     verdict.verify_status = result.status;

@@ -143,6 +143,13 @@ class Middlebox {
   void process_batch(std::span<net::Packet> packets,
                      std::span<Verdict> verdicts);
 
+  /// Indirect-burst form — the primary implementation since the arena
+  /// rework: packets[i] point into a PacketArena (or anywhere stable
+  /// for the call); nothing is moved or copied. The contiguous
+  /// overload above delegates here through a pointer scratch vector.
+  void process_batch(std::span<net::Packet* const> packets,
+                     std::span<Verdict> verdicts);
+
   /// Zero-rating convenience: process + account to `ledger` ("two
   /// counters per IP"): bytes of flows mapped to ZeroRateAction count
   /// free, everything else charged. `subscriber` is the customer IP
@@ -179,10 +186,10 @@ class Middlebox {
   /// True when `tuple` (or its reverse) belongs to a packet with a
   /// cookie still pending in the current batch.
   bool tuple_has_pending(const net::FiveTuple& tuple,
-                         std::span<const net::Packet> packets) const;
+                         std::span<net::Packet* const> packets) const;
 
   /// Verify all pending cookies and apply their outcomes in order.
-  void flush_pending(std::span<net::Packet> packets,
+  void flush_pending(std::span<net::Packet* const> packets,
                      std::span<Verdict> verdicts, util::Timestamp now);
 
   /// Attach an owed ack cookie to a reverse-path packet if possible.
@@ -202,6 +209,8 @@ class Middlebox {
   std::vector<cookies::Cookie> pending_cookies_;
   std::vector<PendingVerify> pending_info_;
   std::vector<cookies::VerifyResult> pending_results_;
+  /// Pointer scratch for the contiguous process_batch overload.
+  std::vector<net::Packet*> batch_ptrs_;
 };
 
 }  // namespace nnn::dataplane

@@ -2,7 +2,8 @@
 
 #include <string>
 
-#include "cookies/transport.h"
+#include "cookies/cookie.h"
+#include "util/hash.h"
 
 namespace nnn::dataplane {
 
@@ -37,12 +38,16 @@ void ShardedDataplane::revoke(cookies::CookieId id) {
 size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
                   size_t shard_count) {
   if (policy == DispatchPolicy::kDescriptorAffinity) {
-    // Peek: decode is cheap (no HMAC); the dispatcher needs only the
-    // cookie id. This mirrors the paper's hardware note: "look the
-    // cookie id against a table of known descriptors" before software.
-    if (const auto extracted = cookies::extract(packet)) {
-      return static_cast<size_t>(extracted->stack.front().cookie_id) %
-             shard_count;
+    // Peek: no HMAC, no stack decode, no allocation — just the carrier
+    // search and eight bytes of id. This mirrors the paper's hardware
+    // note: "look the cookie id against a table of known descriptors"
+    // before software. The id -> shard map goes through the shared
+    // steering hash so the assignment is platform-stable (sequential
+    // ids also balance, where the old raw `id % shards` striped them).
+    if (const auto raw = packet.cookie_bytes()) {
+      if (const auto id = cookies::peek_cookie_id(raw->bytes())) {
+        return util::steer_shard(*id, shard_count);
+      }
     }
   }
   return std::hash<net::FiveTuple>()(packet.tuple) % shard_count;
@@ -60,11 +65,8 @@ Verdict ShardedDataplane::process(net::Packet& packet) {
   const size_t index = shard_for(packet);
   auto& s = stats_[index];
   s.cell<&ShardStats::packets>().inc();
-  if (packet.l3_cookie || !packet.payload.empty()) {
-    // Approximate cookie-bearing accounting for stats only.
-    if (cookies::extract(packet)) {
-      s.cell<&ShardStats::cookie_packets>().inc();
-    }
+  if (packet.cookie_bytes()) {
+    s.cell<&ShardStats::cookie_packets>().inc();
   }
   return shards_[index]->middlebox.process(packet);
 }

@@ -1,8 +1,61 @@
 #include "net/packet.h"
 
+#include "net/http.h"
+#include "net/tls.h"
+#include "util/base64.h"
 #include "util/fmt.h"
 
 namespace nnn::net {
+
+std::optional<RawCookie> Packet::cookie_bytes() const {
+  if (l3_cookie) {
+    return RawCookie{CookieCarrier::kIpv6Option, util::BytesView(*l3_cookie),
+                     {}};
+  }
+  if (l4_cookie) {
+    return RawCookie{CookieCarrier::kTcpOption, util::BytesView(*l4_cookie),
+                     {}};
+  }
+  if (is_udp() && payload.size() >= 6 &&
+      util::equal(util::BytesView(payload.data(), 4),
+                  util::BytesView(kCookieShimMagic, 4))) {
+    // Shim layout: magic(4) | length u16 | stack bytes | payload.
+    util::ByteReader r{util::BytesView(payload)};
+    r.skip(4);
+    const auto len = r.u16();
+    if (len && *len <= r.remaining()) {
+      RawCookie raw;
+      raw.carrier = CookieCarrier::kUdpShim;
+      raw.view = *r.view(*len);
+      return raw;
+    }
+  }
+  if (const auto hello =
+          tls::ClientHello::parse_record(util::BytesView(payload))) {
+    if (auto blob = hello->cookie()) {
+      RawCookie raw;
+      raw.carrier = CookieCarrier::kTlsExtension;
+      raw.storage = std::move(*blob);
+      raw.view = util::BytesView(raw.storage);
+      return raw;
+    }
+  }
+  if (!payload.empty()) {
+    const std::string text(payload.begin(), payload.end());
+    if (const auto request = http::Request::parse(text)) {
+      if (const auto header = request->header(http::kCookieHeader)) {
+        if (auto decoded = util::base64_decode(*header)) {
+          RawCookie raw;
+          raw.carrier = CookieCarrier::kHttpHeader;
+          raw.storage = std::move(*decoded);
+          raw.view = util::BytesView(raw.storage);
+          return raw;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
 
 uint32_t header_overhead(const Packet& p) {
   uint32_t overhead = p.ipv6 ? 40u : 20u;

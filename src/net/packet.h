@@ -20,6 +20,35 @@ namespace nnn::net {
 /// the experimental/private range, 0x1E-prefixed "RFC 4727 style").
 inline constexpr uint8_t kCookieOptionType = 0x1e;
 
+/// Magic prefix of the UDP payload shim carrier (SPUD/QUIC-style).
+/// Wire format, so it lives with the packet model; cookies::transport
+/// aliases it.
+inline constexpr uint8_t kCookieShimMagic[4] = {'N', 'C', 'K', 'U'};
+
+/// Where a packet carries its cookie blob. Order is the extraction
+/// precedence: fixed-offset binary carriers before payload parses.
+enum class CookieCarrier : uint8_t {
+  kIpv6Option = 0,  // Packet::l3_cookie
+  kTcpOption,       // Packet::l4_cookie (EDO long option)
+  kUdpShim,         // magic-prefixed payload header
+  kTlsExtension,    // network-cookie extension in the ClientHello
+  kHttpHeader,      // base64 X-Network-Cookie header
+};
+
+/// The raw (binary, already de-base64'd for HTTP) cookie-stack bytes
+/// found on a packet, plus which carrier they rode in on. `bytes()`
+/// views into the packet for the in-place carriers and into `storage`
+/// for the ones that must decode (TLS copies the extension body, HTTP
+/// base64-decodes the header) — either way it is only valid while the
+/// packet is.
+struct RawCookie {
+  CookieCarrier carrier = CookieCarrier::kIpv6Option;
+  util::BytesView view;
+  util::Bytes storage;  // backs `view` for kTlsExtension/kHttpHeader
+
+  util::BytesView bytes() const { return view; }
+};
+
 struct Packet {
   FiveTuple tuple;
 
@@ -63,6 +92,17 @@ struct Packet {
 
   bool is_tcp() const { return tuple.proto == L4Proto::kTcp; }
   bool is_udp() const { return tuple.proto == L4Proto::kUdp; }
+
+  /// The ONE place that knows where cookies hide in a packet. Checks
+  /// every carrier, cheapest first — IPv6 hop-by-hop option, TCP EDO
+  /// option, UDP shim (fixed-offset binary), then the TLS ClientHello
+  /// parse, then the HTTP header parse + base64 — and returns the raw
+  /// encoded cookie-stack bytes. Middlebox search, the hardware
+  /// pre-filter, the RX demux cookie-id peek, and cookies::extract all
+  /// route through this accessor; before it existed each re-implemented
+  /// the precedence order (and sharding approximated it, wrongly
+  /// treating any payload as cookie-bearing).
+  std::optional<RawCookie> cookie_bytes() const;
 
   std::string summary() const;
 };

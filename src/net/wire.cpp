@@ -306,7 +306,7 @@ util::Bytes serialize(const Packet& p) {
 
 namespace {
 
-Expected<Packet> parse_l4(Packet p, ByteReader& r) {
+Expected<void> parse_l4(Packet& p, ByteReader& r) {
   if (p.is_tcp()) {
     const size_t l4_start = r.position();
     auto src_port = r.u16();
@@ -376,10 +376,12 @@ Expected<Packet> parse_l4(Packet p, ByteReader& r) {
     p.syn = *flags & 0x02;
     p.rst = *flags & 0x04;
     p.ack = *flags & 0x10;
-    auto payload = r.raw(r.remaining());
-    p.payload = std::move(*payload);
+    // assign (not operator=) so a recycled packet's payload capacity
+    // is reused instead of reallocated.
+    const auto payload = r.view(r.remaining());
+    p.payload.assign(payload->begin(), payload->end());
     (void)l4_start;
-    return p;
+    return {};
   }
   auto src_port = r.u16();
   auto dst_port = r.u16();
@@ -394,17 +396,30 @@ Expected<Packet> parse_l4(Packet p, ByteReader& r) {
   }
   p.tuple.src_port = *src_port;
   p.tuple.dst_port = *dst_port;
-  auto payload = r.raw(*len - 8);
-  p.payload = std::move(*payload);
-  return p;
+  const auto payload = r.view(*len - 8);
+  p.payload.assign(payload->begin(), payload->end());
+  return {};
 }
 
 }  // namespace
 
-Expected<Packet> parse_packet(util::BytesView wire) {
+Expected<void> parse_packet_into(util::BytesView wire, Packet& out) {
   if (wire.empty()) return wire_error(ErrorCode::kTruncated, "empty");
   ByteReader r(wire);
-  Packet p;
+  // Reset everything a previous occupant may have left, keeping heap
+  // capacity (payload cleared, not shrunk).
+  Packet& p = out;
+  p.tuple = FiveTuple{};
+  p.dscp = 0;
+  p.ttl = 64;
+  p.ipv6 = false;
+  p.seq = 0;
+  p.ack_seq = 0;
+  p.syn = p.ack = p.fin = p.rst = false;
+  p.l3_cookie.reset();
+  p.l4_cookie.reset();
+  p.payload.clear();
+  p.wire_size = 0;
   const uint8_t version = static_cast<uint8_t>(wire[0] >> 4);
   if (version == 4) {
     auto vi = r.u8();
@@ -449,8 +464,8 @@ Expected<Packet> parse_packet(util::BytesView wire) {
     }
     // Restrict the reader to the IP total length (drop link padding).
     ByteReader body(wire.subspan(ihl, *total_len - ihl));
-    auto parsed = parse_l4(std::move(p), body);
-    if (parsed) parsed->wire_size = static_cast<uint32_t>(wire.size());
+    auto parsed = parse_l4(p, body);
+    if (parsed) p.wire_size = static_cast<uint32_t>(wire.size());
     return parsed;
   }
   if (version != 6) return wire_error(ErrorCode::kMalformed, "ip version");
@@ -513,9 +528,16 @@ Expected<Packet> parse_packet(util::BytesView wire) {
   } else {
     return wire_error(ErrorCode::kUnknownProtocol);
   }
-  auto parsed = parse_l4(std::move(p), r);
-  if (parsed) parsed->wire_size = static_cast<uint32_t>(wire.size());
+  auto parsed = parse_l4(p, r);
+  if (parsed) p.wire_size = static_cast<uint32_t>(wire.size());
   return parsed;
+}
+
+Expected<Packet> parse_packet(util::BytesView wire) {
+  Packet p;
+  auto parsed = parse_packet_into(wire, p);
+  if (!parsed) return unexpected(parsed.error());
+  return p;
 }
 
 std::optional<Packet> parse(util::BytesView wire) {

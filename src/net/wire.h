@@ -40,6 +40,15 @@ util::Bytes serialize(const Packet& p);
 /// tallied into nnn_errors_total{domain="wire",...}.
 Expected<Packet> parse_packet(util::BytesView wire);
 
+/// Zero-copy variant: decode into an existing Packet (typically a
+/// recycled PacketArena slot), reusing its payload heap capacity
+/// across occupants — a warm decode path allocates nothing for
+/// payloads that fit the previous occupant's buffer. On success `out`
+/// is fully overwritten (same result as parse_packet); on failure it
+/// is partially written and must be treated as scrap (callers recycle
+/// the slot, which the arena's reset does anyway).
+Expected<void> parse_packet_into(util::BytesView wire, Packet& out);
+
 /// Legacy view over parse_packet: drops the error detail.
 std::optional<Packet> parse(util::BytesView wire);
 

@@ -27,6 +27,21 @@ void idle_backoff(unsigned& idle_rounds) {
   }
 }
 
+WorkerPool::Config normalize(WorkerPool::Config config) {
+  if (config.workers == 0) config.workers = 1;
+  if (config.batch_size == 0) config.batch_size = 1;
+  if (config.arena_slots == 0) {
+    // Every ring full + every worker's warm cache + a producer burst
+    // in flight. Exhaustion under this sizing means the producer is
+    // outrunning the rings anyway, and shedding is the right answer.
+    config.arena_slots =
+        config.workers * (ring_capacity_for(config.ring_capacity) +
+                          2 * PacketArena::kChunk) +
+        4 * config.batch_size;
+  }
+  return config;
+}
+
 }  // namespace
 
 /// One shard: verifier + middlebox owned exclusively by one thread,
@@ -35,7 +50,12 @@ void idle_backoff(unsigned& idle_rounds) {
 struct WorkerPool::Worker {
   cookies::CookieVerifier verifier;
   dataplane::Middlebox middlebox;
-  SpscRing<net::Packet> ring;
+  /// Arena slot indices; the packets themselves never move.
+  SpscRing<uint32_t> ring;
+  /// Thread-private release stash: emitted slots splice back to the
+  /// global freelist a chunk at a time. Touched only by this worker's
+  /// thread; flushed at idle and exit so slots never idle in a stash.
+  PacketArena::Cache cache;
   WorkerCounters counters;
   /// Epoch reader into the bound TablePublisher (detached when the
   /// pool runs standalone). Used only by this worker's thread.
@@ -52,20 +72,23 @@ struct WorkerPool::Worker {
   telemetry::Registration registration;
 
   Worker(const util::Clock& clock, dataplane::ServiceRegistry& registry,
-         const Config& config)
+         PacketArena& arena, const Config& config)
       : verifier(clock),
         middlebox(clock, verifier, registry, config.middlebox),
-        ring(config.ring_capacity) {}
+        ring(config.ring_capacity),
+        cache(arena) {}
 };
 
 WorkerPool::WorkerPool(const util::Clock& clock,
                        dataplane::ServiceRegistry& registry, Config config)
-    : clock_(clock), registry_(registry), config_(config) {
-  if (config_.workers == 0) config_.workers = 1;
-  if (config_.batch_size == 0) config_.batch_size = 1;
+    : clock_(clock),
+      registry_(registry),
+      config_(normalize(std::move(config))),
+      arena_(config_.arena_slots) {
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(clock_, registry_, config_));
+    workers_.push_back(
+        std::make_unique<Worker>(clock_, registry_, arena_, config_));
     // Each worker's block exports under worker="i"; identical families
     // across workers merge into per-worker series of nnn_pool_*.
     Worker& w = *workers_.back();
@@ -117,9 +140,10 @@ void WorkerPool::start() {
     workers_[i]->thread = std::thread([this, i] { worker_main(i); });
   }
   running_ = true;
-  util::log_debug_tagged("runtime", "started {} workers (ring={}, batch={})",
-                         workers_.size(), workers_[0]->ring.capacity(),
-                         config_.batch_size);
+  util::log_debug_tagged(
+      "runtime", "started {} workers (ring={}, batch={}, arena={})",
+      workers_.size(), workers_[0]->ring.capacity(), config_.batch_size,
+      arena_.capacity());
 }
 
 void WorkerPool::drain() {
@@ -141,22 +165,27 @@ void WorkerPool::drain() {
 
 void WorkerPool::stop() {
   if (!running_) return;
-  // seq_cst: pairs with the submit() re-check (see there).
+  // seq_cst: pairs with the submit_handle() re-check (see there).
   stop_.store(true, std::memory_order_seq_cst);
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
-  // Reclaim leftovers into the shed ledger. Workers normally exit with
-  // empty rings, but a fault-paused worker exits wedged, and a submit
-  // that passed the stop_ gate before the store above may land its
-  // push after the join. Pop until processed + reclaimed covers
-  // submitted; the residual gap (count-first submit between its
-  // fetch_add and the push/rollback) resolves in bounded time.
+  // Reclaim leftovers into the shed ledger, releasing their arena
+  // slots. Workers normally exit with empty rings, but a fault-paused
+  // worker exits wedged, and a submit that passed the stop_ gate
+  // before the store above may land its push after the join. Pop until
+  // processed + reclaimed covers submitted; the residual gap
+  // (count-first submit between its fetch_add and the push/rollback)
+  // resolves in bounded time. After this loop every slot that entered
+  // a ring is back on the freelist.
   for (auto& worker : workers_) {
-    net::Packet packet;
+    uint32_t slot = PacketHandle::kNil;
     uint64_t reclaimed = 0;
     for (;;) {
-      while (worker->ring.try_pop(packet)) ++reclaimed;
+      while (worker->ring.try_pop(slot)) {
+        arena_.release_raw(slot);
+        ++reclaimed;
+      }
       const uint64_t submitted =
           worker->submitted.load(std::memory_order_seq_cst);
       const uint64_t processed = worker->counters.processed.value_acquire();
@@ -172,7 +201,9 @@ size_t WorkerPool::ring_capacity(size_t worker) const {
   return workers_[worker]->ring.capacity();
 }
 
-bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
+WorkerPool::EnqueueResult WorkerPool::try_enqueue(size_t worker,
+                                                  uint32_t slot,
+                                                  bool shed_on_full) {
   Worker& w = *workers_[worker];
   // Admission gate: shed before counting into `submitted`, so the
   // quiescence ledger only tracks packets that enter a ring. A pool
@@ -184,7 +215,7 @@ bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
        injector_->reject_admission(static_cast<uint32_t>(worker),
                                    clock_.now()))) {
     w.counters.shed.add_shared();
-    return false;
+    return EnqueueResult::kShed;
   }
   // Count first, push second: a drain() racing with this submit either
   // sees submitted > processed (waits, correct) or the push has not
@@ -199,18 +230,77 @@ bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
   if (stop_.load(std::memory_order_seq_cst)) {
     w.submitted.fetch_sub(1, std::memory_order_release);
     w.counters.shed.add_shared();
+    return EnqueueResult::kShed;
+  }
+  if (w.ring.try_push(uint32_t{slot})) return EnqueueResult::kEnqueued;
+  w.submitted.fetch_sub(1, std::memory_order_release);
+  if (!shed_on_full) return EnqueueResult::kRingFull;
+  w.counters.shed.add_shared();
+  return EnqueueResult::kShed;
+}
+
+bool WorkerPool::submit_handle(size_t worker, PacketHandle&& handle) {
+  if (!handle) {
+    // Arena exhaustion upstream: count the shed here so the ledger has
+    // one home (attempts == processed + shed holds per worker).
+    workers_[worker]->counters.shed.add_shared();
     return false;
   }
-  if (w.ring.try_push(std::move(packet))) return true;
-  w.submitted.fetch_sub(1, std::memory_order_release);
-  w.counters.shed.add_shared();
-  return false;
+  if (try_enqueue(worker, handle.slot(), /*shed_on_full=*/true) ==
+      EnqueueResult::kEnqueued) {
+    // The ring owns the slot now; the worker releases it at emit.
+    handle.detach();
+    return true;
+  }
+  return false;  // ~handle returns the slot to the freelist
+}
+
+bool WorkerPool::submit_handle_blocking(size_t worker,
+                                        PacketHandle&& handle) {
+  if (!handle) {
+    workers_[worker]->counters.shed.add_shared();
+    return false;
+  }
+  for (;;) {
+    switch (try_enqueue(worker, handle.slot(), /*shed_on_full=*/false)) {
+      case EnqueueResult::kEnqueued:
+        handle.detach();
+        return true;
+      case EnqueueResult::kShed:
+        return false;  // stopping/injected: ~handle releases the slot
+      case EnqueueResult::kRingFull:
+        // Closed loop: wait for the worker instead of shedding. Yield
+        // so the worker actually runs when cores are scarce.
+        std::this_thread::yield();
+        break;
+    }
+  }
+}
+
+bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
+  PacketHandle handle = arena_.try_alloc();
+  if (!handle) {
+    workers_[worker]->counters.shed.add_shared();
+    return false;
+  }
+  *handle = std::move(packet);
+  if (try_enqueue(worker, handle.slot(), /*shed_on_full=*/true) ==
+      EnqueueResult::kEnqueued) {
+    handle.detach();
+    return true;
+  }
+  // Preserve the legacy try_push contract: a failed submit leaves the
+  // caller's packet intact so closed-loop callers
+  // (Dispatcher::dispatch_blocking) can retry with it.
+  packet = std::move(*handle);
+  return false;  // ~handle returns the slot to the freelist
 }
 
 void WorkerPool::worker_main(size_t index) {
   Worker& w = *workers_[index];
   const bool synced = w.table_reader.attached();
-  std::vector<net::Packet> batch(config_.batch_size);
+  std::vector<uint32_t> slots(config_.batch_size);
+  std::vector<net::Packet*> batch(config_.batch_size);
   std::vector<dataplane::Verdict> verdicts(config_.batch_size);
   unsigned idle = 0;
   for (;;) {
@@ -221,37 +311,45 @@ void WorkerPool::worker_main(size_t index) {
     if (injector_ != nullptr &&
         injector_->paused(static_cast<uint32_t>(index), clock_.now())) {
       if (synced) w.table_reader.park();
+      w.cache.flush();
       if (stop_.load(std::memory_order_acquire)) break;
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       continue;
     }
-    const size_t n = w.ring.pop_batch(batch.data(), config_.batch_size);
+    const size_t n = w.ring.pop_batch(slots.data(), config_.batch_size);
     if (n == 0) {
       // Ring observed empty; exit only after stop so in-flight packets
-      // are always processed (deterministic final counts). Park first:
-      // an idle worker must not pin a retired table.
+      // are always processed (deterministic final counts). Park first
+      // (an idle worker must not pin a retired table) and flush the
+      // release stash (an idle worker must not starve the producer of
+      // slots it is hoarding).
       if (synced) w.table_reader.park();
+      w.cache.flush();
       if (stop_.load(std::memory_order_acquire)) break;
       idle_backoff(idle);
       continue;
     }
     idle = 0;
-    // Epoch swap point: pin the control plane's current table for this
-    // burst. Two uncontended atomic ops; the old table is reclaimable
-    // the moment every worker has moved on or parked.
+    // Run-to-completion burst: verify -> classify -> QoS-mark -> emit
+    // in one pass over the arena-resident packets; the only per-packet
+    // data this loop moves is the 4-byte slot index popped above.
+    // Epoch swap point first: pin the control plane's current table
+    // for this burst. Two uncontended atomic ops; the old table is
+    // reclaimable the moment every worker has moved on or parked.
     if (synced) w.verifier.set_external_table(w.table_reader.acquire());
+    for (size_t i = 0; i < n; ++i) batch[i] = &arena_.at(slots[i]);
     const telemetry::ScopedTimer batch_timer(w.counters.batch_nanos,
                                              w.burst_sample.next());
     const uint64_t t0 = thread_cpu_micros();
     // The whole burst goes through the middlebox batch path: one clock
     // read, and cookie MACs verified via the descriptor-grouped
     // CookieVerifier::verify_batch instead of per-packet calls.
-    w.middlebox.process_batch(std::span(batch.data(), n),
+    w.middlebox.process_batch(std::span<net::Packet* const>(batch.data(), n),
                               std::span(verdicts.data(), n));
     uint64_t bytes = 0, cookie = 0, mapped = 0;
     std::array<uint64_t, cookies::kVerifyStatusCount> statuses{};
     for (size_t i = 0; i < n; ++i) {
-      net::Packet& packet = batch[i];
+      const net::Packet& packet = *batch[i];
       const dataplane::Verdict& verdict = verdicts[i];
       bytes += packet.size();
       if (verdict.verify_status) {
@@ -271,6 +369,9 @@ void WorkerPool::worker_main(size_t index) {
           w.counters.verdicts_dropped.inc();
         }
       }
+      // Emit: the packet leaves the cookie layer here; its slot goes
+      // back to the freelist (stashed, spliced a chunk at a time).
+      w.cache.release_raw(slots[i]);
     }
     const uint64_t busy = thread_cpu_micros() - t0;
     auto& c = w.counters;
@@ -290,6 +391,7 @@ void WorkerPool::worker_main(size_t index) {
     c.processed.inc_release(n);
   }
   if (synced) w.table_reader.park();
+  w.cache.flush();
 }
 
 RuntimeSnapshot WorkerPool::snapshot() const {

@@ -1,19 +1,32 @@
 // Multi-threaded cookie-middlebox worker pool (§4.6 scale-out, for
-// real this time).
+// real this time) — zero-copy edition.
 //
 // "We can use multiple cores instead of one, and similarly add more
 // than one middle-boxes to scale-out the deployment." Where
 // dataplane::ShardedDataplane *models* that paragraph on one thread,
 // this pool *executes* it: N worker threads, each owning a complete
 // shard (its own CookieVerifier — descriptor table + replay caches —
-// and its own Middlebox with flow table), fed through one SPSC packet
-// ring per worker in the run-to-completion style of DPDK pipelines.
+// and its own Middlebox with flow table), fed through one SPSC ring
+// per worker in the run-to-completion style of DPDK pipelines.
 // Because a worker's verifier and replay cache are touched by exactly
 // one thread, the §4.2 use-once check needs no locks; cross-worker
-// soundness is the dispatcher's job (descriptor affinity, §4.6).
+// soundness is the steering's job (descriptor affinity, §4.6).
 //
-// Threading contract:
-//   - submit(worker, pkt) — ONE producer thread only (the dispatcher);
+// Since the arena rework the rings carry 4-byte PacketArena slot
+// indices, not moved net::Packet structs: packets are built in place
+// in the pool's arena (PacketGenerator::fill_packet, wire decode) and
+// the worker verifies/classifies/QoS-marks/emits the same bytes — zero
+// payload copies between ingest and emit. Each burst is run to
+// completion: pop handles -> pin epoch table -> batch verify/classify
+// -> mark -> emit (release slots), no intermediate queues.
+//
+// Threading contract (v2 — the Dataplane facade is the intended front
+// end; see runtime/dataplane.h):
+//   - submit_handle(worker, handle) / the submit() shim — ONE producer
+//     thread only (the facade's ingest thread or the dispatcher);
+//   - arena().try_alloc() / PacketHandle release — any thread (the
+//     freelist is lock-free MPMC); but building a packet in a slot and
+//     submitting it must happen on the producer thread;
 //   - control plane (add_descriptor / revoke / middlebox accessors) —
 //     only while the pool is quiescent: before start(), or after
 //     drain()/stop() returns;
@@ -27,9 +40,11 @@
 // processed == submitted, with acquire/release pairing so the caller
 // may then read non-atomic state); stop() lets workers finish what is
 // already in their rings, then joins them and reclaims anything a
-// fault-paused worker left behind into the shed ledger — so the
-// books balance deterministically (attempts == processed + shed)
-// whether or not drain() was called first.
+// fault-paused worker left behind into the shed ledger — so the books
+// balance deterministically (attempts == processed + shed) whether or
+// not drain() was called first, and every arena slot that entered a
+// ring is back on the freelist when stop() returns
+// (arena().outstanding() == 0 if the producer holds no handles).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +58,7 @@
 #include "dataplane/middlebox.h"
 #include "dataplane/service_registry.h"
 #include "net/packet.h"
+#include "runtime/arena.h"
 #include "runtime/mpsc_ring.h"
 #include "runtime/spsc_ring.h"
 #include "runtime/stats.h"
@@ -77,6 +93,10 @@ class WorkerPool {
     size_t batch_size = 32;
     /// Capacity of the shared verdict ring; 0 disables collection.
     size_t verdict_capacity = 0;
+    /// Packet-arena slots backing the rings. 0 = auto: enough for
+    /// every ring to be full plus per-thread caches and a producer
+    /// burst in flight.
+    size_t arena_slots = 0;
     dataplane::Middlebox::Config middlebox{};
   };
 
@@ -89,6 +109,11 @@ class WorkerPool {
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The slab pool the rings index into. Producers build packets in
+  /// slots allocated here; workers release the slots at emit.
+  PacketArena& arena() { return arena_; }
+  const PacketArena& arena() const { return arena_; }
 
   /// Install a descriptor into every worker's verifier (control-plane
   /// state is replicated; replay caches are not — see §4.6). Quiescent
@@ -107,7 +132,7 @@ class WorkerPool {
   /// parking at idle and exit so retired tables reclaim promptly.
   void bind_table_publisher(controlplane::TablePublisher& publisher);
 
-  /// Hook the pool into a fault injector (PR 5): submit() consults
+  /// Hook the pool into a fault injector (PR 5): admission consults
   /// reject_admission() and workers consult paused(). Quiescent pool
   /// only (before start()); the injector must outlive the pool. Null
   /// detaches. Workers pass their index as the injector's worker id.
@@ -126,14 +151,32 @@ class WorkerPool {
   size_t worker_count() const { return workers_.size(); }
   size_t ring_capacity(size_t worker) const;
 
-  /// Enqueue a packet for `worker`. Single producer thread. Returns
-  /// false when the packet was SHED — ring full, injected queue
-  /// pressure, or the pool is stopping — and counts it in the worker's
-  /// shed ledger. Shedding is the overload valve with the paper's
-  /// fail-open semantics: the caller forwards the packet unverified
-  /// (best-effort band), it never drops it. After stop() every submit
-  /// sheds; across the whole lifetime, submit attempts == processed +
-  /// shed (stop() reclaims ring leftovers into shed).
+  /// Enqueue an arena-resident packet for `worker` — the zero-copy
+  /// ingest path (Dataplane::ingest steers and calls this). Single
+  /// producer thread. Returns false when the packet was SHED — ring
+  /// full, injected queue pressure, or the pool is stopping — and
+  /// counts it in the worker's shed ledger; the slot is released back
+  /// to the arena either way (on success, by the worker at emit).
+  /// Shedding is the overload valve with the paper's fail-open
+  /// semantics: the caller forwards the packet unverified (best-effort
+  /// band), it never drops it, and it never blocks the wire path.
+  bool submit_handle(size_t worker, PacketHandle&& handle);
+
+  /// Closed-loop variant of submit_handle: on a full ring, waits
+  /// (yielding) for space instead of shedding — the caller keeps the
+  /// slot across retries, so nothing is recopied. Still sheds (and
+  /// returns false) for an empty handle, a stopping pool, or an
+  /// injector rejection. Single producer thread.
+  bool submit_handle_blocking(size_t worker, PacketHandle&& handle);
+
+  /// DEPRECATED copy-in shim: allocates an arena slot, moves `packet`
+  /// into it, and submits the handle. One extra struct move versus
+  /// building in the slot to begin with — kept for one PR so existing
+  /// callers (fig4_throughput, test_runtime, the Dispatcher's
+  /// pump/direct modes) migrate incrementally to Dataplane::ingest.
+  /// Arena exhaustion counts as shed, preserving the ledger. On
+  /// failure `packet` is left intact (legacy try_push contract), so
+  /// closed-loop callers can retry with it.
   bool submit(size_t worker, net::Packet&& packet);
 
   /// Consistent counters, safe while running.
@@ -152,11 +195,25 @@ class WorkerPool {
  private:
   struct Worker;
 
+  enum class EnqueueResult : uint8_t {
+    kEnqueued,  // ring owns the slot
+    kShed,      // shed counted; caller still owns (and releases) the slot
+    kRingFull,  // only when !shed_on_full: no shed counted, caller retries
+  };
+
+  /// Shed-ledger enqueue of a raw slot. `shed_on_full` selects whether
+  /// a full ring is terminal (shed counted) or retryable (kRingFull,
+  /// nothing counted — the blocking path's packet is one attempt, not
+  /// one per retry).
+  EnqueueResult try_enqueue(size_t worker, uint32_t slot,
+                            bool shed_on_full);
+
   void worker_main(size_t index);
 
   const util::Clock& clock_;
   dataplane::ServiceRegistry& registry_;
   Config config_;
+  PacketArena arena_;
   controlplane::TablePublisher* publisher_ = nullptr;
   const fault::Injector* injector_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;

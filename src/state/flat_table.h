@@ -41,6 +41,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/hash.h"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #define NNN_STATE_HAVE_SSE2 1
@@ -52,14 +54,10 @@ namespace nnn::state {
 /// the identity on libstdc++; sequential cookie ids are the common
 /// case) must be avalanched before the table splits them into a group
 /// index and a 7-bit control byte, or clustered keys overflow groups.
-constexpr uint64_t mix_hash(uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
+/// The definition is shared with the RX demux's shard steering
+/// (util::steer_shard) so worker ownership and probe sequences can
+/// never disagree about a key's hash.
+constexpr uint64_t mix_hash(uint64_t x) { return util::mix64(x); }
 
 /// Probe-length distribution over a table's live elements (groups
 /// examined per lookup, so 1 is a first-group hit). Computed by

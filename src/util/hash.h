@@ -1,0 +1,46 @@
+// Shared integer hashing and shard steering.
+//
+// Two consumers need the exact same avalanche function:
+//   - state::FlatTable splits a hash into a group index and a 7-bit
+//     control byte, so clustered keys (sequential cookie ids) must be
+//     mixed before the split;
+//   - the RX demux steers cookie-bearing packets to workers by cookie
+//     id, and the shard a descriptor lands on must be stable across
+//     platforms and standard libraries (std::hash is
+//     implementation-defined), because replay caches and descriptor
+//     hot tiers are sharded by that assignment.
+// Keeping one definition here guarantees the control-plane's notion of
+// "which worker owns descriptor X" can never drift from the state
+// layer's probe sequence derivation.
+//
+// Fixed vectors are asserted in tests/test_arena.cpp so a platform or
+// refactor that changes the function (and therefore every on-disk or
+// cross-host shard assignment) fails loudly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nnn::util {
+
+/// splitmix64 finalizer — the canonical cheap 64-bit avalanche.
+/// Bijective, so it loses no key bits; constexpr, so tables of fixed
+/// vectors can be checked at compile time.
+constexpr uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Steering: which of `shard_count` shards owns key `key` (a cookie
+/// id, or any pre-hashed 64-bit value). Platform-stable: no std::hash
+/// anywhere in the chain. shard_count == 0 is treated as 1.
+constexpr size_t steer_shard(uint64_t key, size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<size_t>(mix64(key) % shard_count);
+}
+
+}  // namespace nnn::util

@@ -33,40 +33,44 @@ std::vector<cookies::CookieDescriptor> PacketGenerator::descriptors() const {
 }
 
 std::vector<net::Packet> PacketGenerator::make_batch(size_t flow_count) {
-  std::vector<net::Packet> batch;
-  batch.reserve(flow_count * config_.packets_per_flow);
-  for (size_t f = 0; f < flow_count; ++f) {
-    const uint32_t flow_id = next_flow_id_++;
-    net::FiveTuple tuple;
-    tuple.src_ip = net::IpAddress::v4(0x0a000000u | (flow_id & 0xffffff));
-    tuple.dst_ip = net::IpAddress::v4(151, 101,
-                                      static_cast<uint8_t>(flow_id >> 8),
-                                      static_cast<uint8_t>(flow_id));
-    tuple.src_port = static_cast<uint16_t>(1024 + flow_id % 50000);
-    tuple.dst_port = 443;
-    tuple.proto = config_.transport == cookies::Transport::kUdpHeader
-                      ? net::L4Proto::kUdp
-                      : net::L4Proto::kTcp;
-
-    auto& generator = generators_[rng_.next_u64(generators_.size())];
-    for (uint32_t i = 0; i < config_.packets_per_flow; ++i) {
-      net::Packet packet;
-      packet.tuple = tuple;
-      packet.wire_size = config_.packet_size;
-      if (i == 0) {
-        const cookies::Cookie cookie = generator.generate();
-        if (config_.transport == cookies::Transport::kIpv6Extension) {
-          packet.ipv6 = true;
-        }
-        cookies::attach(packet, cookie, config_.transport);
-        // attach() may reset wire_size when it rewrites payloads; pin
-        // the modeled on-wire size back to the experiment's parameter.
-        packet.wire_size = config_.packet_size;
-      }
-      batch.push_back(std::move(packet));
-    }
+  // Delegating to fill_next keeps the two APIs emitting the same
+  // stream — the copy-vs-arena differential test depends on it.
+  std::vector<net::Packet> batch(flow_count * config_.packets_per_flow);
+  for (net::Packet& packet : batch) {
+    fill_next(packet);
   }
   return batch;
+}
+
+void PacketGenerator::fill_next(net::Packet& out) {
+  if (flow_pos_ == 0) {
+    const uint32_t flow_id = next_flow_id_++;
+    flow_tuple_.src_ip =
+        net::IpAddress::v4(0x0a000000u | (flow_id & 0xffffff));
+    flow_tuple_.dst_ip =
+        net::IpAddress::v4(151, 101, static_cast<uint8_t>(flow_id >> 8),
+                           static_cast<uint8_t>(flow_id));
+    flow_tuple_.src_port = static_cast<uint16_t>(1024 + flow_id % 50000);
+    flow_tuple_.dst_port = 443;
+    flow_tuple_.proto = config_.transport == cookies::Transport::kUdpHeader
+                            ? net::L4Proto::kUdp
+                            : net::L4Proto::kTcp;
+    // Stable pointer: generators_ never grows after construction.
+    flow_generator_ = &generators_[rng_.next_u64(generators_.size())];
+  }
+  out.tuple = flow_tuple_;
+  out.wire_size = config_.packet_size;
+  if (flow_pos_ == 0) {
+    const cookies::Cookie cookie = flow_generator_->generate();
+    if (config_.transport == cookies::Transport::kIpv6Extension) {
+      out.ipv6 = true;
+    }
+    cookies::attach(out, cookie, config_.transport);
+    // attach() may reset wire_size when it rewrites payloads; pin the
+    // modeled on-wire size back to the experiment's parameter.
+    out.wire_size = config_.packet_size;
+  }
+  if (++flow_pos_ >= config_.packets_per_flow) flow_pos_ = 0;
 }
 
 }  // namespace nnn::workload

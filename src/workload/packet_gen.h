@@ -43,6 +43,15 @@ class PacketGenerator {
   /// are unique per flow.
   std::vector<net::Packet> make_batch(size_t flow_count);
 
+  /// Zero-copy variant: write the next packet of the stream in place
+  /// (typically into a PacketArena slot handed out by
+  /// Dataplane::make_packet). `out` must arrive reset/default-fresh;
+  /// payload capacity is reused. Given the same construction seed,
+  /// repeated fill_next() calls produce bit-identical packets to
+  /// make_batch() — the differential test in tests/test_runtime leans
+  /// on that equivalence.
+  void fill_next(net::Packet& out);
+
   const Config& config() const { return config_; }
 
   /// The descriptors this generator signs with, for installing into
@@ -56,6 +65,11 @@ class PacketGenerator {
   util::Rng rng_;
   std::vector<cookies::CookieGenerator> generators_;
   uint32_t next_flow_id_ = 1;
+  /// fill_next() stream position: packet index within the current
+  /// flow; 0 means the next call opens a new flow.
+  uint32_t flow_pos_ = 0;
+  net::FiveTuple flow_tuple_{};
+  cookies::CookieGenerator* flow_generator_ = nullptr;
 };
 
 }  // namespace nnn::workload

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <map>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "cookies/generator.h"
@@ -14,10 +15,12 @@
 #include "dataplane/service_registry.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
+#include "runtime/dataplane.h"
 #include "runtime/dispatcher.h"
 #include "runtime/mpsc_ring.h"
 #include "runtime/spsc_ring.h"
 #include "runtime/worker_pool.h"
+#include "workload/packet_gen.h"
 #include "telemetry/exposition.h"
 #include "telemetry/metrics.h"
 #include "util/clock.h"
@@ -611,6 +614,207 @@ TEST(Runtime, LoggerIsThreadSafeUnderConcurrentLogsAndSinkSwaps) {
   EXPECT_EQ(captured.load(), 4u * 500);
   logger.set_sink(nullptr);
   logger.set_level(util::LogLevel::kWarn);
+}
+
+// --- Zero-copy dataplane (PR 8) -------------------------------------
+
+/// Total order over every compared field, so two runs that produced
+/// the same multiset of verdicts sort into identical sequences even
+/// where (tuple, seq) ties (the generator stamps one seq per flow).
+bool verdict_before(const VerdictRecord& a, const VerdictRecord& b) {
+  if (a.tuple < b.tuple) return true;
+  if (b.tuple < a.tuple) return false;
+  auto key = [](const VerdictRecord& v) {
+    return std::make_tuple(
+        v.seq, v.worker, v.has_action, v.mapped_now,
+        v.verify_status ? static_cast<int>(*v.verify_status) : -1);
+  };
+  return key(a) < key(b);
+}
+
+/// Differential test: the legacy copy path (Dispatcher over
+/// pool.submit, whole Packet structs through the rings) and the arena
+/// path (Dataplane::make_packet + fill_next + ingest, slot indices
+/// through the rings) must produce identical VerdictRecord streams for
+/// the same seeded workload — same steering, same verify status, same
+/// replay decisions. This is the proof that the zero-copy rework
+/// changed the transport of packets, not their semantics.
+TEST(Runtime, ArenaPathMatchesCopyPathVerdicts) {
+  constexpr size_t kWorkers = 4;
+  constexpr size_t kFlows = 200;
+  constexpr uint64_t kSeed = 4242;
+  workload::PacketGenerator::Config wl;
+  wl.descriptors = 64;
+  const size_t total = kFlows * wl.packets_per_flow;
+
+  std::vector<VerdictRecord> copy_verdicts;
+  {
+    util::SystemClock clock;
+    dataplane::ServiceRegistry registry;
+    registry.bind("Boost", dataplane::PriorityAction{0});
+    cookies::CookieVerifier staging(clock);
+    workload::PacketGenerator gen(wl, clock, staging, kSeed);
+    WorkerPool::Config config;
+    config.workers = kWorkers;
+    config.verdict_capacity = 1 << 15;
+    WorkerPool pool(clock, registry, config);
+    for (const auto& d : gen.descriptors()) pool.add_descriptor(d);
+    Dispatcher dispatcher(pool,
+                          {.policy = DispatchPolicy::kDescriptorAffinity});
+    pool.start();
+    for (net::Packet& p : gen.make_batch(kFlows)) {
+      dispatcher.dispatch_blocking(std::move(p));
+    }
+    dispatcher.drain();
+    pool.stop();
+    pool.drain_verdicts(copy_verdicts);
+  }
+
+  std::vector<VerdictRecord> arena_verdicts;
+  {
+    util::SystemClock clock;
+    dataplane::ServiceRegistry registry;
+    registry.bind("Boost", dataplane::PriorityAction{0});
+    cookies::CookieVerifier staging(clock);
+    workload::PacketGenerator gen(wl, clock, staging, kSeed);
+    Dataplane::Config config;
+    config.pool.workers = kWorkers;
+    config.pool.verdict_capacity = 1 << 15;
+    Dataplane plane(clock, registry, config);
+    for (const auto& d : gen.descriptors()) plane.add_descriptor(d);
+    plane.start();
+    for (size_t i = 0; i < total; ++i) {
+      PacketHandle h = plane.make_packet();
+      while (!h) {  // transient exhaustion: workers are draining slots
+        std::this_thread::yield();
+        h = plane.make_packet();
+      }
+      gen.fill_next(*h);
+      plane.ingest_blocking(std::move(h));
+    }
+    plane.drain();
+    plane.stop();
+    plane.drain_verdicts(arena_verdicts);
+    EXPECT_EQ(plane.arena().outstanding(), 0u) << "arena leaked slots";
+  }
+
+  ASSERT_EQ(copy_verdicts.size(), total);
+  ASSERT_EQ(arena_verdicts.size(), total);
+  std::sort(copy_verdicts.begin(), copy_verdicts.end(), verdict_before);
+  std::sort(arena_verdicts.begin(), arena_verdicts.end(), verdict_before);
+  for (size_t i = 0; i < total; ++i) {
+    const auto& c = copy_verdicts[i];
+    const auto& a = arena_verdicts[i];
+    ASSERT_FALSE(verdict_before(c, a) || verdict_before(a, c))
+        << "tuple/seq streams diverge at " << i;
+    EXPECT_EQ(c.worker, a.worker) << "steering diverged at " << i;
+    EXPECT_EQ(c.has_action, a.has_action) << i;
+    EXPECT_EQ(c.mapped_now, a.mapped_now) << i;
+    EXPECT_EQ(c.verify_status, a.verify_status) << i;
+  }
+}
+
+/// Arena exhaustion is fail-open: with every slot held hostage,
+/// make_packet() returns empty handles and ingest() sheds — it never
+/// blocks and never loses a ledger entry. When the slots come back the
+/// plane processes normally and the arena balances to zero.
+TEST(Runtime, ArenaExhaustionShedsAndBalancesLedger) {
+  util::SystemClock clock;
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  Dataplane::Config config;
+  config.pool.workers = 2;
+  config.pool.arena_slots = 16;  // tiny on purpose
+  Dataplane plane(clock, registry, config);
+
+  // Drain the arena completely.
+  std::vector<PacketHandle> hostages;
+  for (;;) {
+    PacketHandle h = plane.make_packet();
+    if (!h) break;
+    hostages.push_back(std::move(h));
+  }
+  EXPECT_EQ(hostages.size(), plane.arena().capacity());
+  EXPECT_GE(plane.arena().alloc_failures(), 1u);
+
+  // Exhausted ingest: empty handles shed immediately, no blocking
+  // (the pool is not even started — nothing could unblock us).
+  uint64_t attempts = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(plane.ingest(plane.make_packet()));
+    ++attempts;
+  }
+  {
+    auto totals = plane.snapshot().totals();
+    EXPECT_EQ(totals.shed, attempts);
+    EXPECT_EQ(totals.processed, 0u);
+  }
+
+  // Free the slots, run real traffic through, and reconcile.
+  hostages.clear();
+  plane.start();
+  constexpr uint32_t kPackets = 500;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    PacketHandle h = plane.make_packet();
+    while (!h) {
+      std::this_thread::yield();
+      h = plane.make_packet();
+    }
+    *h = flow_packet(i % 16, i);
+    plane.ingest_blocking(std::move(h));
+    ++attempts;
+  }
+  plane.drain();
+  plane.stop();
+
+  const auto totals = plane.snapshot().totals();
+  EXPECT_EQ(totals.processed + totals.shed, attempts);
+  EXPECT_EQ(totals.processed, kPackets);
+  EXPECT_EQ(plane.arena().outstanding(), 0u) << "slots leaked";
+}
+
+/// TSan target: handles released by foreign threads race
+/// Dataplane::stop()'s reclaim sweep and the workers' cache flushes.
+/// Single ownership means the races are freelist CASes only; the books
+/// must still balance once everyone is done.
+TEST(Runtime, HandleReleaseRacingStopKeepsArenaBalanced) {
+  util::SystemClock clock;
+  dataplane::ServiceRegistry registry;
+  registry.bind("Boost", dataplane::PriorityAction{0});
+  Dataplane::Config config;
+  config.pool.workers = 2;
+  config.pool.ring_capacity = 64;
+  Dataplane plane(clock, registry, config);
+  plane.start();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> holders;
+  for (int t = 0; t < 3; ++t) {
+    // Holders use arena().try_alloc() directly (MPMC-safe), NOT
+    // make_packet() — that one is producer-thread-only by contract.
+    holders.emplace_back([&plane, &done] {
+      while (!done.load(std::memory_order_relaxed)) {
+        PacketHandle h = plane.arena().try_alloc();
+        if (h) h->seq = 1;  // touch the slot; released at scope end
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  uint64_t attempts = 0;
+  for (uint32_t i = 0; i < 4000; ++i) {
+    PacketHandle h = plane.make_packet();
+    if (h) *h = flow_packet(i % 64, i);
+    plane.ingest(std::move(h));  // sheds (empty handle/ring full) are fine
+    ++attempts;
+  }
+  plane.stop();  // races the holders' release_raw calls
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : holders) t.join();
+
+  const auto totals = plane.snapshot().totals();
+  EXPECT_EQ(totals.processed + totals.shed, attempts);
+  EXPECT_EQ(plane.arena().outstanding(), 0u) << "slots leaked";
 }
 
 }  // namespace

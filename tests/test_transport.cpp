@@ -227,6 +227,87 @@ TEST_F(TransportTest, StripRemovesEveryCarrier) {
   EXPECT_FALSE(strip(plain));
 }
 
+// --- Packet::cookie_bytes — the unified carrier accessor (PR 8) -----
+
+/// Every carrier surfaces the SAME encoded stack bytes through
+/// cookie_bytes(), tagged with where they rode, and the no-HMAC
+/// cookie-id peek the RX demux steers by works on all of them.
+TEST_F(TransportTest, CookieBytesFindsEveryCarrier) {
+  const Cookie c = generator_.generate();
+  const util::Bytes encoded = encode_stack({c});
+  struct Case {
+    net::Packet packet;
+    Transport transport;
+    net::CookieCarrier carrier;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {ipv6_packet(), Transport::kIpv6Extension, net::CookieCarrier::kIpv6Option});
+  cases.push_back(
+      {tcp_packet(), Transport::kTcpOption, net::CookieCarrier::kTcpOption});
+  cases.push_back(
+      {udp_packet(), Transport::kUdpHeader, net::CookieCarrier::kUdpShim});
+  cases.push_back(
+      {tls_packet(), Transport::kTlsExtension, net::CookieCarrier::kTlsExtension});
+  cases.push_back(
+      {http_packet(), Transport::kHttpHeader, net::CookieCarrier::kHttpHeader});
+  for (auto& [packet, transport, carrier] : cases) {
+    ASSERT_TRUE(attach(packet, c, transport));
+    const auto raw = packet.cookie_bytes();
+    ASSERT_TRUE(raw.has_value())
+        << "carrier " << static_cast<int>(carrier) << " not found";
+    EXPECT_EQ(raw->carrier, carrier);
+    EXPECT_TRUE(util::equal(raw->bytes(), util::BytesView(encoded)))
+        << "carrier bytes differ from encode_stack";
+    EXPECT_EQ(peek_cookie_id(raw->bytes()), c.cookie_id);
+  }
+  net::Packet plain = udp_packet();
+  EXPECT_FALSE(plain.cookie_bytes().has_value());
+}
+
+/// Extraction precedence is fixed: cheapest carrier first. A packet
+/// wearing several cookies answers with the binary fixed-offset one
+/// before anything that needs a payload parse.
+TEST_F(TransportTest, CookieBytesPrecedenceOrder) {
+  const Cookie c = generator_.generate();
+
+  // l3 beats l4: an IPv6+TCP packet with both answers kIpv6Option.
+  net::Packet v6 = ipv6_packet();
+  ASSERT_TRUE(attach(v6, c, Transport::kIpv6Extension));
+  ASSERT_TRUE(attach(v6, c, Transport::kTcpOption));
+  ASSERT_EQ(v6.cookie_bytes()->carrier, net::CookieCarrier::kIpv6Option);
+  v6.l3_cookie.reset();
+  ASSERT_EQ(v6.cookie_bytes()->carrier, net::CookieCarrier::kTcpOption);
+
+  // TLS payload + TCP option: the header option wins (no parse needed).
+  net::Packet tls = tls_packet();
+  ASSERT_TRUE(attach(tls, c, Transport::kTlsExtension));
+  ASSERT_TRUE(attach(tls, c, Transport::kTcpOption));
+  ASSERT_EQ(tls.cookie_bytes()->carrier, net::CookieCarrier::kTcpOption);
+  tls.l4_cookie.reset();
+  ASSERT_EQ(tls.cookie_bytes()->carrier, net::CookieCarrier::kTlsExtension);
+}
+
+/// The text carriers must copy out (TLS extension body, base64-decoded
+/// HTTP header): their view is backed by RawCookie::storage, not the
+/// payload, so it stays valid if the payload reallocates.
+TEST_F(TransportTest, CookieBytesTextCarriersAreStorageBacked) {
+  const Cookie c = generator_.generate();
+  for (net::Packet p : {tls_packet(), http_packet()}) {
+    const Transport t = p.tuple.dst_port == 443 ? Transport::kTlsExtension
+                                                : Transport::kHttpHeader;
+    ASSERT_TRUE(attach(p, c, t));
+    const auto raw = p.cookie_bytes();
+    ASSERT_TRUE(raw.has_value());
+    ASSERT_FALSE(raw->storage.empty());
+    EXPECT_EQ(raw->bytes().data(), raw->storage.data());
+    // And the storage holds a decodable stack.
+    const auto stack = decode_stack(raw->bytes());
+    ASSERT_TRUE(stack.has_value());
+    EXPECT_EQ(stack->front(), c);
+  }
+}
+
 TEST_F(TransportTest, MalformedCookieBlobIgnored) {
   // An X-Network-Cookie header with junk does not yield a cookie.
   net::Packet p = http_packet();
