@@ -1,0 +1,194 @@
+// Neutrality-auditor ablation (PR 9): detection power, false-positive
+// rate, and replay throughput.
+//
+// Three questions, three record groups in BENCH_audit.json:
+//
+//   audit_clean       — the same seed matrix with NO fault armed. The
+//                       gate is absolute: zero VIOLATION verdicts. A
+//                       regulator tool that cries wolf is worse than no
+//                       tool (the joint p < alpha AND delta > min_effect
+//                       rule is what buys this).
+//   audit_detect_*    — kThrottleNonCookie at magnitude 0.9 / 0.7 / 0.5
+//                       across the seed matrix: what fraction of runs
+//                       return VIOLATION with p < 0.01? Power should
+//                       rise as the throttle bites harder; CI gates on
+//                       the 0.5 row being detected on every seed.
+//   audit_dataplane_ingest — matched cookie/baseline pairs through the
+//                       production Dataplane::ingest path (zero-copy
+//                       arena, worker pool), reporting pairs/s and the
+//                       shed/processed ledger. This is the "at scale"
+//                       half: the sim measures distributions, this
+//                       measures that the measurement machinery itself
+//                       keeps up.
+//
+// Run: ./bench/ablation_audit [--json BENCH_audit.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/replay.h"
+#include "audit/verdict.h"
+#include "bench_json.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using namespace nnn;
+
+constexpr uint64_t kSeeds[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+constexpr size_t kSeedCount = sizeof(kSeeds) / sizeof(kSeeds[0]);
+
+audit::AuditorConfig bench_config() {
+  audit::AuditorConfig config;
+  config.replay.pairs = 150;
+  config.permutation_rounds = 1000;  // p-value floor ~1e-3, alpha 0.01
+  return config;
+}
+
+struct SweepResult {
+  size_t violations = 0;
+  size_t clean = 0;
+  size_t inconclusive = 0;
+  double max_p = 0.0;   // largest p among VIOLATION verdicts
+  double min_p = 1.0;   // smallest p seen at all (clean-run sanity)
+  double mean_delta = 0.0;
+  uint64_t total_nanos = 0;
+};
+
+/// Run the full seed matrix at one throttle magnitude (0 = no fault).
+SweepResult sweep(audit::Auditor& auditor, double magnitude) {
+  SweepResult result;
+  for (uint64_t seed : kSeeds) {
+    fault::Injector injector;
+    if (magnitude > 0.0) {
+      fault::FaultEvent event;
+      event.kind = fault::FaultKind::kThrottleNonCookie;
+      event.start = 0;
+      event.duration = auditor.config().replay.horizon;
+      event.magnitude = magnitude;
+      event.target = auditor.config().replay.audited_link_id;
+      fault::FaultPlan plan;
+      plan.add(event);
+      injector.arm(plan);
+    }
+    const uint64_t t0 = telemetry::monotonic_nanos();
+    const audit::AuditReport report =
+        auditor.run(seed, magnitude > 0.0 ? &injector : nullptr);
+    result.total_nanos += telemetry::monotonic_nanos() - t0;
+
+    switch (report.verdict) {
+      case audit::AuditVerdict::kViolation:
+        ++result.violations;
+        result.max_p = std::max(result.max_p, report.fct_p);
+        break;
+      case audit::AuditVerdict::kClean:
+        ++result.clean;
+        break;
+      case audit::AuditVerdict::kInconclusive:
+        ++result.inconclusive;
+        break;
+    }
+    result.min_p = std::min(result.min_p, report.fct_p);
+    result.mean_delta += report.median_fct_delta / kSeedCount;
+  }
+  return result;
+}
+
+bench::BenchRecord sweep_record(const std::string& name, double magnitude,
+                                const SweepResult& r) {
+  bench::BenchRecord record;
+  record.name = name;
+  record.config["magnitude"] = magnitude;
+  record.config["seeds"] = static_cast<uint64_t>(kSeedCount);
+  record.config["violations"] = static_cast<uint64_t>(r.violations);
+  record.config["clean"] = static_cast<uint64_t>(r.clean);
+  record.config["inconclusive"] = static_cast<uint64_t>(r.inconclusive);
+  record.config["power"] =
+      static_cast<double>(r.violations) / kSeedCount;
+  record.config["max_violation_p"] = r.max_p;
+  record.config["min_p"] = r.min_p;
+  record.config["mean_median_fct_delta"] = r.mean_delta;
+  record.ns_per_op = static_cast<double>(r.total_nanos) / kSeedCount;
+  record.ops_per_sec = record.ns_per_op > 0 ? 1e9 / record.ns_per_op : 0;
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::strip_json_flag(argc, argv);
+  std::vector<bench::BenchRecord> records;
+
+  audit::Auditor auditor(bench_config());
+
+  // --- false positives: the clean matrix ---
+  const SweepResult clean = sweep(auditor, 0.0);
+  {
+    bench::BenchRecord record = sweep_record("audit_clean", 0.0, clean);
+    record.config["false_positives"] =
+        static_cast<uint64_t>(clean.violations);
+    std::printf("%-22s seeds=%zu violations=%zu min_p=%.4f  %.1f ms/run\n",
+                "audit_clean", kSeedCount, clean.violations, clean.min_p,
+                record.ns_per_op / 1e6);
+    records.push_back(std::move(record));
+  }
+
+  // --- detection power vs throttle severity ---
+  const struct {
+    const char* name;
+    double magnitude;
+  } sweeps[] = {
+      {"audit_detect_m09", 0.9},
+      {"audit_detect_m07", 0.7},
+      {"audit_detect_m05", 0.5},
+  };
+  for (const auto& s : sweeps) {
+    const SweepResult r = sweep(auditor, s.magnitude);
+    std::printf("%-22s power=%zu/%zu max_p=%.4f mean_delta=%+.1f%%  "
+                "%.1f ms/run\n",
+                s.name, r.violations, kSeedCount, r.max_p,
+                r.mean_delta * 100.0,
+                static_cast<double>(r.total_nanos) / kSeedCount / 1e6);
+    records.push_back(sweep_record(s.name, s.magnitude, r));
+  }
+
+  // --- at scale: matched pairs through Dataplane::ingest ---
+  audit::DataplaneReplayConfig dp;
+  dp.pairs = 5000;
+  dp.workers = 4;
+  dp.seed = 7;
+  const audit::DataplaneReplayResult scale =
+      audit::replay_through_dataplane(dp);
+  {
+    bench::BenchRecord record;
+    record.name = "audit_dataplane_ingest";
+    record.config["pairs"] = static_cast<uint64_t>(scale.pairs);
+    record.config["workers"] = static_cast<uint64_t>(dp.workers);
+    record.config["packets_per_flow"] =
+        static_cast<uint64_t>(dp.packets_per_flow);
+    record.config["packets_ingested"] = scale.packets_ingested;
+    record.config["processed"] = scale.processed;
+    record.config["shed"] = scale.shed;
+    record.config["verified_ok"] = scale.verified_ok;
+    record.config["ledger_ok"] = scale.ledger_ok;
+    record.ops_per_sec = scale.pairs_per_sec;
+    record.ns_per_op =
+        scale.pairs > 0
+            ? static_cast<double>(scale.wall_nanos) / scale.pairs
+            : 0;
+    std::printf("%-22s pairs=%zu %.0f pairs/s verified=%llu ledger=%s\n",
+                "audit_dataplane_ingest", scale.pairs, scale.pairs_per_sec,
+                static_cast<unsigned long long>(scale.verified_ok),
+                scale.ledger_ok ? "ok" : "BROKEN");
+    records.push_back(std::move(record));
+  }
+
+  if (!json_path.empty() &&
+      !bench::write_bench_json(json_path, "ablation_audit", records)) {
+    return 1;
+  }
+  return 0;
+}

@@ -9,18 +9,28 @@
 // regulator reads the public database and the violation list — no
 // subpoenas, no per-case technical investigation.
 //
-// The second half audits the dataplane side of the same promise: a
+// The second act audits the dataplane side of the same promise: a
 // revocation is only as good as its propagation. Two middleboxes sync
 // descriptor tables from the operator's control plane; one link
 // wedges, the operator revokes a grant, and the regulator catches the
 // wedged box — stale past its grace period AND still enforcing the
 // revoked descriptor — purely from the nnn_controlplane_* metrics.
+//
+// The third act is the one tables cannot carry: a middlebox that
+// throttles NON-cookie traffic without touching a single descriptor.
+// Enrollment database, audit log, sync metrics — all spotless. The
+// statistical auditor (src/audit) catches it anyway: replay a matched
+// cookie/no-cookie flow schedule, KS-test the FCT distributions, and
+// publish the verdict with a p-value over GET /audit.json.
 #include <cstdio>
 #include <string_view>
 
+#include "audit/auditor.h"
 #include "controlplane/epoch.h"
 #include "controlplane/sync_client.h"
 #include "controlplane/sync_server.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "json/json.h"
 #include "server/compliance.h"
 #include "server/cookie_server.h"
@@ -203,8 +213,51 @@ int main() {
     }
   }
 
+  // === the throttle no table can show ===
+  //
+  // Now the failure mode §6's transparency story cannot see: a
+  // middlebox serializes non-cookie traffic at 0.55x the configured
+  // rate. No descriptor changes hands, the enrollment database and
+  // audit log above stay spotless, every sync metric reads healthy.
+  // The only evidence is distributional — so the regulator replays a
+  // matched pair of flow schedules (same sizes, same start times;
+  // one lane carries valid cookies, one carries none) and lets a
+  // two-sample KS test decide whether the split is noise.
+  audit::AuditorConfig audit_config;
+  audit_config.replay.pairs = 120;
+  audit_config.permutation_rounds = 500;
+  audit::Auditor auditor(audit_config);
+  api.set_auditor(&auditor);
+
+  std::printf("\n=== statistical neutrality audit (matched-pair replay) "
+              "===\n");
+  const audit::AuditReport clean = auditor.run(/*seed=*/42);
+  std::printf("  clean link:      %s\n", clean.summary().c_str());
+
+  fault::FaultPlan throttle_plan;
+  fault::FaultEvent throttle;
+  throttle.kind = fault::FaultKind::kThrottleNonCookie;
+  throttle.start = 0;
+  throttle.duration = audit_config.replay.horizon;
+  throttle.magnitude = 0.55;  // non-cookie band runs at 55% rate
+  throttle.target = audit_config.replay.audited_link_id;
+  throttle_plan.add(throttle);
+  fault::Injector injector;
+  injector.arm(throttle_plan);
+
+  const audit::AuditReport caught = auditor.run(/*seed=*/42, &injector);
+  std::printf("  throttled link:  %s\n", caught.summary().c_str());
+  std::printf("  (the table-side audit above saw nothing either time: "
+              "same descriptors,\n   same grants, same sync state — the "
+              "violation lives only in the\n   FCT distribution)\n");
+
+  std::printf("\n=== regulator endpoint (GET /audit.json) ===\n%s\n",
+              api.handle_http("GET", "/audit.json").body.c_str());
+
   std::printf("\nEverything above is mechanical: who asked, who got a "
-              "descriptor, when.\nThe tussle moves from 'technical "
-              "limitations' to policy, where it belongs.\n");
+              "descriptor, when —\nand when the tables lie, what the "
+              "packets themselves say under a KS test.\nThe tussle moves "
+              "from 'technical limitations' to policy, where it "
+              "belongs.\n");
   return 0;
 }

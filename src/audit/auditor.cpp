@@ -1,0 +1,207 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "audit/stats.h"
+#include "util/fmt.h"
+
+namespace nnn::audit {
+
+namespace {
+
+/// Completed-flow FCT samples (seconds), in flow order.
+std::vector<double> fct_samples(const std::vector<FlowSample>& flows) {
+  std::vector<double> out;
+  out.reserve(flows.size());
+  for (const FlowSample& f : flows) {
+    if (f.completed) out.push_back(f.fct);
+  }
+  return out;
+}
+
+std::vector<double> tput_samples(const std::vector<FlowSample>& flows) {
+  std::vector<double> out;
+  out.reserve(flows.size());
+  for (const FlowSample& f : flows) {
+    if (f.completed) out.push_back(f.throughput_bps);
+  }
+  return out;
+}
+
+LaneSummary summarize(const std::vector<FlowSample>& flows,
+                      telemetry::Histogram& cumulative) {
+  LaneSummary s;
+  s.flows = flows.size();
+  // Per-run histogram for the report's quantiles; the cumulative cell
+  // keeps the cross-run distribution for /metrics.
+  telemetry::Histogram hist;
+  double tput_sum = 0;
+  for (const FlowSample& f : flows) {
+    if (!f.completed) continue;
+    ++s.completed;
+    const auto micros = static_cast<uint64_t>(f.fct * 1e6);
+    hist.record(micros);
+    cumulative.record(micros);
+    tput_sum += f.throughput_bps;
+  }
+  if (s.completed > 0) {
+    s.fct_p50 = static_cast<double>(hist.value_at_quantile(0.50)) / 1e6;
+    s.fct_p95 = static_cast<double>(hist.value_at_quantile(0.95)) / 1e6;
+    s.fct_p99 = static_cast<double>(hist.value_at_quantile(0.99)) / 1e6;
+    s.mean_throughput_bps = tput_sum / static_cast<double>(s.completed);
+  }
+  return s;
+}
+
+}  // namespace
+
+json::Value LaneSummary::to_json() const {
+  json::Object o;
+  o["flows"] = static_cast<uint64_t>(flows);
+  o["completed"] = static_cast<uint64_t>(completed);
+  o["fct_p50_s"] = fct_p50;
+  o["fct_p95_s"] = fct_p95;
+  o["fct_p99_s"] = fct_p99;
+  o["mean_throughput_bps"] = mean_throughput_bps;
+  return json::Value(std::move(o));
+}
+
+json::Value AuditReport::to_json() const {
+  json::Object o;
+  o["seed"] = seed;
+  o["pairs"] = static_cast<uint64_t>(pairs);
+  o["verdict"] = std::string(to_string(verdict));
+  o["boosted"] = boosted.to_json();
+  o["baseline"] = baseline.to_json();
+  json::Object fct;
+  fct["ks"] = fct_ks;
+  fct["p"] = fct_p;
+  fct["p_asymptotic"] = fct_p_asymptotic;
+  o["fct"] = json::Value(std::move(fct));
+  json::Object tput;
+  tput["ks"] = tput_ks;
+  tput["p"] = tput_p;
+  o["throughput"] = json::Value(std::move(tput));
+  o["median_fct_delta"] = median_fct_delta;
+  return json::Value(std::move(o));
+}
+
+std::string AuditReport::summary() const {
+  return util::fmt("{} seed={} pairs={} D={} p={} delta={}%",
+                   to_string(verdict), seed, pairs, fct_ks, fct_p,
+                   median_fct_delta * 100.0);
+}
+
+Auditor::Auditor(AuditorConfig config)
+    : Auditor(std::move(config), telemetry::Registry::global()) {}
+
+Auditor::Auditor(AuditorConfig config, telemetry::Registry& registry)
+    : config_(std::move(config)) {
+  registration_ = registry.add_collector(
+      [this](telemetry::SampleBuilder& builder) { collect(builder); });
+}
+
+void Auditor::collect(telemetry::SampleBuilder& builder) const {
+  builder.counter("nnn_audit_runs_total", "Completed audit runs", {},
+                  runs_.value());
+  builder.counter("nnn_audit_pairs_total",
+                  "Matched flow pairs replayed across runs", {},
+                  pairs_replayed_.value());
+  verdicts_.collect(
+      builder, "nnn_audit_verdicts_total", "Audit verdicts, by kind",
+      [](AuditVerdict v) { return to_string(v); }, "verdict");
+  builder.gauge("nnn_audit_last_p_micro",
+                "Last report's FCT permutation p-value, in 1e-6 units", {},
+                last_p_micro_.value());
+  builder.gauge("nnn_audit_last_ks_milli",
+                "Last report's FCT KS statistic, in 1e-3 units", {},
+                last_ks_milli_.value());
+  builder.gauge("nnn_audit_last_delta_milli",
+                "Last report's relative median-FCT delta, in 1e-3 units",
+                {}, last_delta_milli_.value());
+  telemetry::LabelSet boosted;
+  boosted.add("lane", "boosted");
+  builder.histogram("nnn_audit_fct_micros",
+                    "Per-flow FCT of replayed audit flows, microseconds",
+                    std::move(boosted), fct_boosted_micros_);
+  telemetry::LabelSet baseline;
+  baseline.add("lane", "baseline");
+  builder.histogram("nnn_audit_fct_micros",
+                    "Per-flow FCT of replayed audit flows, microseconds",
+                    std::move(baseline), fct_baseline_micros_);
+}
+
+AuditReport Auditor::run(uint64_t seed, const fault::Injector* injector) {
+  const PairedSamples samples =
+      replay_matched_pairs(config_.replay, seed, injector);
+  return analyze(seed, samples);
+}
+
+AuditReport Auditor::analyze(uint64_t seed, const PairedSamples& samples) {
+  AuditReport report;
+  report.seed = seed;
+  report.pairs = std::min(samples.boosted.size(), samples.baseline.size());
+  report.boosted = summarize(samples.boosted, fct_boosted_micros_);
+  report.baseline = summarize(samples.baseline, fct_baseline_micros_);
+
+  const std::vector<double> fct_boost = fct_samples(samples.boosted);
+  const std::vector<double> fct_base = fct_samples(samples.baseline);
+
+  if (fct_boost.size() < config_.min_samples ||
+      fct_base.size() < config_.min_samples) {
+    report.verdict = AuditVerdict::kInconclusive;
+  } else {
+    report.fct_ks = ks_statistic(fct_boost, fct_base);
+    // The permutation seed derives from the run seed so the whole
+    // report is a pure function of (config, seed, samples).
+    report.fct_p = ks_permutation_p(fct_boost, fct_base,
+                                    config_.permutation_rounds,
+                                    seed ^ 0x4b5f'7e57ull);
+    report.fct_p_asymptotic =
+        ks_asymptotic_p(report.fct_ks, fct_boost.size(), fct_base.size());
+
+    const std::vector<double> tp_boost = tput_samples(samples.boosted);
+    const std::vector<double> tp_base = tput_samples(samples.baseline);
+    report.tput_ks = ks_statistic(tp_boost, tp_base);
+    report.tput_p = ks_permutation_p(tp_boost, tp_base,
+                                     config_.permutation_rounds,
+                                     seed ^ 0x7e57'4b5full);
+
+    const double m_boost = median(fct_boost);
+    const double m_base = median(fct_base);
+    report.median_fct_delta =
+        m_boost > 0 ? (m_base - m_boost) / m_boost : 0.0;
+
+    // VIOLATION needs both significance (the split is not noise) and
+    // effect (non-cookie traffic is materially slower). A detectable
+    // but negligible — or favorable — difference is CLEAN.
+    if (report.fct_p < config_.alpha &&
+        report.median_fct_delta > config_.min_effect) {
+      report.verdict = AuditVerdict::kViolation;
+    } else {
+      report.verdict = AuditVerdict::kClean;
+    }
+  }
+
+  runs_.inc();
+  pairs_replayed_.inc(report.pairs);
+  verdicts_.inc(report.verdict);
+  last_p_micro_.set(static_cast<int64_t>(report.fct_p * 1e6));
+  last_ks_milli_.set(static_cast<int64_t>(report.fct_ks * 1e3));
+  last_delta_milli_.set(static_cast<int64_t>(report.median_fct_delta * 1e3));
+  {
+    std::lock_guard<std::mutex> lock(last_mutex_);
+    last_ = report;
+  }
+  return report;
+}
+
+std::optional<AuditReport> Auditor::last_report() const {
+  std::lock_guard<std::mutex> lock(last_mutex_);
+  return last_;
+}
+
+}  // namespace nnn::audit

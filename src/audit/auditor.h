@@ -1,0 +1,137 @@
+// The neutrality auditor: verdicts with p-values (PR 9 tentpole).
+//
+// An Auditor owns the end-to-end regulator measurement: replay a
+// matched-pair schedule through the sim (replay.h), run the KS
+// machinery over the observed FCT/throughput distributions (stats.h),
+// and emit an AuditReport whose verdict carries statistical weight —
+// VIOLATION means "the probability a neutral network produces this
+// split is below alpha AND the effect is large enough to matter",
+// not "two table dumps differ". Reports are exported through the
+// telemetry registry (nnn_audit_*) and, via JsonApi::set_auditor,
+// over the JSON control plane (GET /audit.json).
+//
+// Threading: run()/analyze() are single-caller at a time (they write
+// the single-writer telemetry cells); last_report() is safe from any
+// thread (mutex-guarded copy) — that is what the JsonApi route reads
+// while an audit loop runs elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "audit/replay.h"
+#include "audit/verdict.h"
+#include "json/json.h"
+#include "telemetry/labels.h"
+#include "telemetry/metrics.h"
+#include "telemetry/view.h"
+
+namespace nnn::audit {
+
+/// Per-lane distribution summary. Quantiles come from a
+/// telemetry::Histogram over FCT microseconds via the log-linear
+/// interpolated value_at_quantile accessor — the same estimator the
+/// metrics surface exposes, so the report and /metrics agree.
+struct LaneSummary {
+  size_t flows = 0;
+  size_t completed = 0;
+  /// Seconds; histogram-estimated p50/p95/p99 of completed flows.
+  double fct_p50 = 0;
+  double fct_p95 = 0;
+  double fct_p99 = 0;
+  double mean_throughput_bps = 0;
+
+  json::Value to_json() const;
+};
+
+struct AuditReport {
+  uint64_t seed = 0;
+  size_t pairs = 0;
+  LaneSummary boosted;
+  LaneSummary baseline;
+
+  /// Two-sample KS over per-flow FCT: statistic, permutation p-value
+  /// (the decision input), and the asymptotic p-value cross-check.
+  double fct_ks = 0;
+  double fct_p = 1.0;
+  double fct_p_asymptotic = 1.0;
+  /// Same over per-flow throughput (corroborating view).
+  double tput_ks = 0;
+  double tput_p = 1.0;
+
+  /// Relative median-FCT delta, (baseline - boosted) / boosted:
+  /// positive = non-cookie traffic is slower. Computed from exact
+  /// sample medians (the decision must not inherit bucket error).
+  double median_fct_delta = 0;
+
+  AuditVerdict verdict = AuditVerdict::kInconclusive;
+
+  json::Value to_json() const;
+  /// One line for logs/tests: "VIOLATION p=0.0009 D=0.41 delta=+62%".
+  std::string summary() const;
+};
+
+struct AuditorConfig {
+  ReplayConfig replay;
+  /// Permutation rounds for the p-value (floor = 1/(rounds+1)).
+  size_t permutation_rounds = 1000;
+  /// Significance level for VIOLATION.
+  double alpha = 0.01;
+  /// Practical-significance floor on median_fct_delta: shifts smaller
+  /// than this are CLEAN even when statistically detectable (a 5%
+  /// median difference is not a throttle).
+  double min_effect = 0.05;
+  /// Minimum completed flows per lane before any verdict besides
+  /// INCONCLUSIVE.
+  size_t min_samples = 30;
+};
+
+class Auditor {
+ public:
+  /// Registers nnn_audit_* with the registry; pinned (the collector
+  /// holds `this`).
+  explicit Auditor(AuditorConfig config = {});
+  Auditor(AuditorConfig config, telemetry::Registry& registry);
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  /// Replay matched pairs for `seed` (injector optional — that is the
+  /// device under audit) and analyze. Stores and returns the report.
+  AuditReport run(uint64_t seed, const fault::Injector* injector = nullptr);
+
+  /// The statistics/verdict half, split out so tests can audit
+  /// synthetic sample sets without a sim run.
+  AuditReport analyze(uint64_t seed, const PairedSamples& samples);
+
+  /// Latest report, if any run completed. Safe from any thread.
+  std::optional<AuditReport> last_report() const;
+
+  const AuditorConfig& config() const { return config_; }
+  uint64_t runs() const { return runs_.value(); }
+
+ private:
+  void collect(telemetry::SampleBuilder& builder) const;
+
+  AuditorConfig config_;
+
+  mutable std::mutex last_mutex_;
+  std::optional<AuditReport> last_;
+
+  // Telemetry cells (single writer: the run()/analyze() caller).
+  telemetry::StatusCounters<AuditVerdict, kAuditVerdictCount> verdicts_;
+  telemetry::Counter runs_;
+  telemetry::Counter pairs_replayed_;
+  /// Last report, scaled into integer gauges: p-value in micro-units,
+  /// KS statistic and median delta in milli-units.
+  telemetry::Gauge last_p_micro_;
+  telemetry::Gauge last_ks_milli_;
+  telemetry::Gauge last_delta_milli_;
+  /// Cumulative per-lane FCT distributions (microseconds).
+  telemetry::Histogram fct_boosted_micros_;
+  telemetry::Histogram fct_baseline_micros_;
+  telemetry::Registration registration_;  // last: deregisters first
+};
+
+}  // namespace nnn::audit

@@ -1,0 +1,293 @@
+#include "audit/replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cookies/generator.h"
+#include "cookies/transport.h"
+#include "cookies/verifier.h"
+#include "dataplane/service_registry.h"
+#include "fault/injector.h"
+#include "net/http.h"
+#include "net/packet.h"
+#include "runtime/dataplane.h"
+#include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/link.h"
+#include "sim/tcp.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+#include "workload/packet_gen.h"
+#include "workload/samplers.h"
+
+namespace nnn::audit {
+
+namespace {
+
+/// SplitMix64 finalizer — derives lane-local impairment sub-seeds from
+/// the run seed so the two lanes see equal-in-distribution but
+/// independent noise (same trick as fault::Injector's draw hashing).
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PairSchedule PairSchedule::generate(const ReplayConfig& config,
+                                    uint64_t seed) {
+  util::Rng rng(seed);
+  const workload::StableLogNormal sizes(config.size_mu, config.size_sigma);
+  PairSchedule schedule;
+  schedule.flows.reserve(config.pairs);
+  util::Timestamp start = 0;
+  const uint64_t spacing_span = static_cast<uint64_t>(
+      std::max<util::Timestamp>(1, 2 * config.mean_spacing));
+  for (size_t i = 0; i < config.pairs; ++i) {
+    Entry entry;
+    entry.bytes = std::clamp(static_cast<uint64_t>(sizes.next(rng)),
+                             config.min_flow_bytes, config.max_flow_bytes);
+    start += static_cast<util::Timestamp>(rng.next_u64(spacing_span));
+    entry.start = start;
+    schedule.flows.push_back(entry);
+  }
+  return schedule;
+}
+
+std::vector<FlowSample> replay_lane(const ReplayConfig& config,
+                                    const PairSchedule& schedule, Lane lane,
+                                    uint64_t seed,
+                                    const fault::Injector* injector) {
+  sim::EventLoop loop;
+
+  // One descriptor covers the whole audit run; each flow mints its own
+  // fresh cookie against it (unique uuid, so the verifier's replay
+  // cache accepts every flow exactly once).
+  cookies::CookieVerifier verifier(loop.clock());
+  cookies::CookieDescriptor descriptor;
+  descriptor.cookie_id = 0xa0d1'7000 + seed % 1000;
+  descriptor.key.assign(32, static_cast<uint8_t>(seed * 7 + 3));
+  descriptor.service_data = "Boost";
+  verifier.add_descriptor(descriptor);
+  cookies::CookieGenerator cookie_gen(descriptor, loop.clock(),
+                                      mix(seed ^ 0xc00c1e));
+
+  sim::Host client(net::IpAddress::v4(10, 0, 0, 2), "audit-client");
+  sim::Host server(net::IpAddress::v4(203, 0, 113, 1), "audit-server");
+
+  // The audited bottleneck (server -> client). Lane-local impairment
+  // sub-seed: matched pairs must be equal in DISTRIBUTION under the
+  // null, not byte-equal — otherwise D degenerates to 0 and the KS
+  // test calibrates against nothing.
+  sim::Link::Config down_cfg;
+  down_cfg.rate_bps = config.link_rate_bps;
+  down_cfg.prop_delay = config.prop_delay;
+  down_cfg.bands = 2;
+  down_cfg.band_capacity_bytes = 256 * 1024;
+  down_cfg.loss_rate = config.loss_rate;
+  down_cfg.delay_jitter = config.delay_jitter;
+  down_cfg.impairment_seed =
+      mix(seed ^ (lane == Lane::kBoosted ? 0x600575ull : 0xba5e11ull));
+  sim::Link downlink(loop, down_cfg,
+                     [&](net::Packet p) { client.receive(p); });
+  downlink.set_fault_injector(injector, config.audited_link_id);
+
+  // Reverse path (requests + ACKs): ample and clean, so the only
+  // treatment difference the measurement can pick up lives on the
+  // audited link.
+  sim::Link::Config up_cfg;
+  up_cfg.rate_bps = config.link_rate_bps * 10;
+  up_cfg.prop_delay = config.prop_delay;
+  up_cfg.bands = 2;
+  sim::Link uplink(loop, up_cfg, [&](net::Packet p) { server.receive(p); });
+
+  // Head-end classifier: REAL cookie verification on the request path.
+  // A verified cookie maps the data-direction tuple into band 0; all
+  // other downstream traffic rides band 1. This is the §4.2 middlebox
+  // contract in miniature — a failed match "behaves as if the cookie
+  // was not there".
+  std::unordered_set<net::FiveTuple> boosted_flows;
+  client.set_uplink([&](net::Packet p) {
+    if (const auto extracted = cookies::extract(p)) {
+      if (!extracted->stack.empty() &&
+          verifier.verify(extracted->stack.front()).ok()) {
+        boosted_flows.insert(p.tuple.reversed());
+      }
+    }
+    uplink.send(std::move(p), 1);
+  });
+  server.set_uplink([&](net::Packet p) {
+    const size_t band = boosted_flows.contains(p.tuple) ? 0 : 1;
+    downlink.send(std::move(p), band);
+  });
+
+  const size_t n = schedule.flows.size();
+  std::vector<FlowSample> samples(n);
+  std::vector<std::unique_ptr<sim::TcpSource>> sources;
+  std::vector<std::unique_ptr<sim::TcpSink>> sinks;
+  sources.reserve(n);
+  sinks.reserve(n);
+  size_t remaining = n;
+
+  for (size_t i = 0; i < n; ++i) {
+    const PairSchedule::Entry& entry = schedule.flows[i];
+    samples[i].bytes = entry.bytes;
+
+    net::FiveTuple flow;
+    flow.src_ip = server.address();
+    flow.dst_ip = client.address();
+    flow.src_port = 443;
+    // One ephemeral client port per flow; the sim backend is sized for
+    // hundreds of pairs per run (the Dataplane backend covers the
+    // thousands-of-pairs scale).
+    flow.dst_port = static_cast<uint16_t>(20000 + i);
+    flow.proto = net::L4Proto::kTcp;
+
+    auto source = std::make_unique<sim::TcpSource>(
+        loop, server, flow, entry.bytes, sim::TcpSource::Config{}, nullptr);
+    auto sink = std::make_unique<sim::TcpSink>(
+        loop, client, flow,
+        [&samples, &remaining, i, start = entry.start](util::Timestamp t) {
+          FlowSample& s = samples[i];
+          s.completed = true;
+          s.fct = static_cast<double>(t - start) / util::kSecond;
+          if (s.fct > 0) {
+            s.throughput_bps = static_cast<double>(s.bytes) * 8.0 / s.fct;
+          }
+          --remaining;
+        });
+    server.register_handler(flow.reversed(),
+                            [src = source.get()](const net::Packet& p) {
+                              if (p.ack) {
+                                src->on_ack(p);
+                              } else if (!src->complete()) {
+                                src->start();  // the request arrived
+                              }
+                            });
+    client.register_handler(flow, [snk = sink.get()](const net::Packet& p) {
+      snk->on_data(p);
+    });
+
+    // The request: an HTTP GET, carrying a fresh cookie in the boosted
+    // lane only. Minted inside the event so its timestamp is current
+    // (NCT-fresh) when the head-end verifies it.
+    loop.at(entry.start, [&client, &cookie_gen, flow, lane] {
+      net::Packet request;
+      request.tuple = flow.reversed();
+      net::http::Request http("GET", "/replay", "audit.example");
+      const std::string text = http.serialize();
+      request.payload.assign(text.begin(), text.end());
+      if (lane == Lane::kBoosted) {
+        cookies::attach(request, cookie_gen.generate(),
+                        cookies::Transport::kHttpHeader);
+      }
+      client.send(std::move(request));
+    });
+    sources.push_back(std::move(source));
+    sinks.push_back(std::move(sink));
+  }
+
+  while (remaining > 0 && loop.now() < config.horizon &&
+         loop.pending() > 0) {
+    loop.step();
+  }
+  return samples;
+}
+
+PairedSamples replay_matched_pairs(const ReplayConfig& config, uint64_t seed,
+                                   const fault::Injector* injector) {
+  const PairSchedule schedule = PairSchedule::generate(config, seed);
+  PairedSamples out;
+  out.boosted =
+      replay_lane(config, schedule, Lane::kBoosted, seed, injector);
+  out.baseline =
+      replay_lane(config, schedule, Lane::kBaseline, seed, injector);
+  return out;
+}
+
+DataplaneReplayResult replay_through_dataplane(
+    const DataplaneReplayConfig& config) {
+  util::SystemClock clock;
+  dataplane::ServiceRegistry services;
+  services.bind("Boost", dataplane::PriorityAction{0});
+
+  workload::PacketGenerator::Config wl;
+  wl.packet_size = config.packet_size;
+  wl.packets_per_flow = config.packets_per_flow;
+  wl.descriptors = config.descriptors;
+  cookies::CookieVerifier staging(clock);
+  workload::PacketGenerator generator(wl, clock, staging, config.seed);
+
+  runtime::Dataplane::Config plane_cfg;
+  plane_cfg.pool.workers = config.workers;
+  plane_cfg.pool.ring_capacity = 4096;
+  plane_cfg.pool.batch_size = 32;
+  runtime::Dataplane plane(clock, services, plane_cfg);
+  for (const auto& d : generator.descriptors()) plane.add_descriptor(d);
+
+  // Pre-build the matched pairs outside the timed region: the cookie
+  // member of each pair comes from the generator (first packet signed
+  // against a real descriptor), the baseline member mirrors its sizes
+  // and packet count on a disjoint tuple with no cookie.
+  const uint64_t per_flow = config.packets_per_flow;
+  std::vector<net::Packet> cookie_pkts =
+      generator.make_batch(config.pairs);
+  std::vector<net::Packet> baseline_pkts;
+  baseline_pkts.reserve(cookie_pkts.size());
+  for (size_t f = 0; f < config.pairs; ++f) {
+    for (uint64_t k = 0; k < per_flow; ++k) {
+      const net::Packet& twin = cookie_pkts[f * per_flow + k];
+      net::Packet p;
+      p.tuple = twin.tuple;
+      // Disjoint port space keeps baseline twins as distinct flows.
+      p.tuple.src_port = static_cast<uint16_t>(twin.tuple.src_port ^ 0x8000);
+      p.wire_size = twin.wire_size;
+      baseline_pkts.push_back(std::move(p));
+    }
+  }
+
+  DataplaneReplayResult result;
+  result.pairs = config.pairs;
+
+  plane.start();
+  const uint64_t t0 = telemetry::monotonic_nanos();
+  // Interleave the pair members packet-by-packet, the way a tap would
+  // see a synchronized replay on the wire.
+  for (size_t f = 0; f < config.pairs; ++f) {
+    for (uint64_t k = 0; k < per_flow; ++k) {
+      for (net::Packet* src : {&cookie_pkts[f * per_flow + k],
+                               &baseline_pkts[f * per_flow + k]}) {
+        runtime::PacketHandle h = plane.make_packet();
+        while (!h) h = plane.make_packet();  // workers are draining
+        *h = std::move(*src);
+        plane.ingest_blocking(std::move(h));
+        ++result.packets_ingested;
+      }
+    }
+  }
+  plane.drain();
+  const uint64_t t1 = telemetry::monotonic_nanos();
+  plane.stop();
+
+  const auto snap = plane.snapshot();
+  const auto totals = snap.totals();
+  result.processed = totals.processed;
+  result.shed = totals.shed;
+  result.verified_ok = plane.total_verified();
+  result.wall_nanos = t1 - t0;
+  result.pairs_per_sec =
+      result.wall_nanos > 0
+          ? static_cast<double>(config.pairs) * 1e9 /
+                static_cast<double>(result.wall_nanos)
+          : 0.0;
+  result.ledger_ok = (result.processed + result.shed ==
+                      result.packets_ingested) &&
+                     plane.arena().outstanding() == 0;
+  return result;
+}
+
+}  // namespace nnn::audit

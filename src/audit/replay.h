@@ -1,0 +1,158 @@
+// Matched-pair replay engine for the neutrality auditor (PR 9).
+//
+// The auditor's measurement design is the FairNet/Wehe one (PAPERS.md):
+// replay the SAME flow schedule twice — once with every flow carrying
+// a valid network cookie (the "boosted" lane), once with no cookies at
+// all (the "baseline" lane) — and compare the observed per-flow
+// FCT/throughput distributions. Sizes and start times are drawn once
+// from the run seed (workload::StableLogNormal flow sizes, uniform
+// staggered arrivals), so the two lanes are matched by construction;
+// the only differences are (a) which QoS band the head-end classifier
+// steers each flow into and (b) independent impairment noise
+// (per-lane impairment sub-seeds — equal in distribution, not equal
+// samples, so a clean link yields KS p-values uniform under the null
+// instead of a degenerate D = 0).
+//
+// Two backends:
+//   - replay_matched_pairs: discrete-event sim (sim::EventLoop, TCP
+//     sources/sinks over a 2-band bottleneck Link). Each request
+//     crosses a head-end classifier that runs REAL cookie
+//     verification (cookies::extract + CookieVerifier) and maps
+//     verified flows to band 0; everything else rides band 1. This is
+//     where FCT distributions — and an injected kThrottleNonCookie —
+//     live.
+//   - replay_through_dataplane: drives matched cookie/baseline packet
+//     pairs through the production runtime::Dataplane::ingest path at
+//     scale (thousands of pairs), checking the verdict ledger and
+//     measuring pairs/s. This is the "at scale" half the bench gates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace nnn::fault {
+class Injector;
+}
+
+namespace nnn::audit {
+
+/// Which treatment a replay run applies to the shared schedule.
+enum class Lane : uint8_t { kBoosted = 0, kBaseline = 1 };
+
+/// One replayed flow's measurements.
+struct FlowSample {
+  uint64_t bytes = 0;
+  /// Request-to-last-byte flow completion time, seconds. < 0 when the
+  /// flow did not complete within the horizon.
+  double fct = -1.0;
+  /// bytes * 8 / fct, 0 when incomplete.
+  double throughput_bps = 0.0;
+  bool completed = false;
+};
+
+struct ReplayConfig {
+  /// Matched flow pairs per run (one boosted + one baseline flow per
+  /// pair, identical size and start time).
+  size_t pairs = 150;
+
+  // --- bottleneck link (the audited last mile) ---
+  double link_rate_bps = 20e6;
+  util::Timestamp prop_delay = 5 * util::kMillisecond;
+  /// Sampling noise: small loss + jitter give the FCT distributions
+  /// real width, so the KS test works against an honest null instead
+  /// of comparing deterministic replicas.
+  double loss_rate = 0.002;
+  util::Timestamp delay_jitter = 2 * util::kMillisecond;
+  /// Link id the audited bottleneck registers with the fault injector
+  /// (a kThrottleNonCookie event targeting it is what the auditor
+  /// must catch).
+  uint32_t audited_link_id = 0;
+
+  // --- flow schedule (drawn once per seed, shared by both lanes) ---
+  /// Log-normal flow sizes (workload::StableLogNormal), clamped to
+  /// [min_flow_bytes, max_flow_bytes]. Defaults: median ~40 KB,
+  /// sigma 0.8 — a short-flow heavy-tail mix.
+  double size_mu = 10.6;
+  double size_sigma = 0.8;
+  uint64_t min_flow_bytes = 4 * 1024;
+  uint64_t max_flow_bytes = 400 * 1024;
+  /// Flow k starts at a uniform draw in [0, 2*mean_spacing) after
+  /// flow k-1 (mean inter-arrival = mean_spacing, ~55% offered load
+  /// at the defaults).
+  util::Timestamp mean_spacing = 40 * util::kMillisecond;
+
+  /// Hard stop for one lane's sim run.
+  util::Timestamp horizon = 300 * util::kSecond;
+};
+
+/// The seed-derived schedule both lanes replay.
+struct PairSchedule {
+  struct Entry {
+    uint64_t bytes = 0;
+    util::Timestamp start = 0;
+  };
+  std::vector<Entry> flows;
+
+  /// Deterministic per (config, seed), platform-stable (only
+  /// StableLogNormal + next_u64 draws).
+  static PairSchedule generate(const ReplayConfig& config, uint64_t seed);
+};
+
+/// Replay one lane of the schedule through the sim topology. The
+/// injector (nullable) is attached to the bottleneck link as
+/// `config.audited_link_id`; lane-local sim time starts at 0, so
+/// fault events are expressed in schedule-relative time.
+std::vector<FlowSample> replay_lane(const ReplayConfig& config,
+                                    const PairSchedule& schedule, Lane lane,
+                                    uint64_t seed,
+                                    const fault::Injector* injector);
+
+struct PairedSamples {
+  std::vector<FlowSample> boosted;
+  std::vector<FlowSample> baseline;
+};
+
+/// Generate the schedule for `seed` and replay both lanes.
+PairedSamples replay_matched_pairs(const ReplayConfig& config, uint64_t seed,
+                                   const fault::Injector* injector);
+
+// ---------------------------------------------------------------------------
+// Dataplane backend
+// ---------------------------------------------------------------------------
+
+struct DataplaneReplayConfig {
+  /// Matched pairs (one cookie-bearing flow + one bare flow each).
+  size_t pairs = 5000;
+  size_t workers = 4;
+  uint32_t packets_per_flow = 8;
+  uint32_t packet_size = 512;
+  size_t descriptors = 4096;
+  uint64_t seed = 1;
+};
+
+struct DataplaneReplayResult {
+  size_t pairs = 0;
+  uint64_t packets_ingested = 0;
+  uint64_t processed = 0;
+  uint64_t shed = 0;
+  uint64_t verified_ok = 0;
+  uint64_t wall_nanos = 0;
+  double pairs_per_sec = 0.0;
+  /// attempts == processed + shed after drain (the pool's ledger) AND
+  /// zero arena slots outstanding after stop.
+  bool ledger_ok = false;
+};
+
+/// Push `pairs` matched cookie/baseline flows through the zero-copy
+/// Dataplane::ingest path (closed loop, loss-free) and report
+/// throughput + ledger health. Every cookie flow's first packet
+/// carries a fresh signed cookie (workload::PacketGenerator); its
+/// baseline twin has identical tuple shape, sizes, and packet count,
+/// minus the cookie.
+DataplaneReplayResult replay_through_dataplane(
+    const DataplaneReplayConfig& config);
+
+}  // namespace nnn::audit

@@ -1,0 +1,108 @@
+#include "audit/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace nnn::audit {
+
+double ks_statistic_sorted(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t i = 0;
+  size_t j = 0;
+  double d = 0.0;
+  // Merge walk: at every distinct sample value, both empirical CDFs
+  // step to their post-value level; the sup distance is attained at
+  // one of these points. Ties advance both cursors before comparing,
+  // so equal values never contribute a spurious gap.
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  // Once one sample is exhausted its CDF is pinned at 1; the remaining
+  // gap only shrinks as the other catches up, so d is final.
+  return d;
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return ks_statistic_sorted(a, b);
+}
+
+double ks_asymptotic_p(double d, size_t n, size_t m) {
+  if (n == 0 || m == 0 || d <= 0.0) return 1.0;
+  const double ne = static_cast<double>(n) * static_cast<double>(m) /
+                    static_cast<double>(n + m);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  // Q_KS(lambda): alternating series, converges in a handful of terms
+  // for lambda > ~0.3; below that the p-value saturates at 1.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                 lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  const double p = 2.0 * sum;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double ks_permutation_p(const std::vector<double>& a,
+                        const std::vector<double>& b, size_t rounds,
+                        uint64_t seed) {
+  if (a.empty() || b.empty()) return 1.0;
+  const double observed = ks_statistic(a, b);
+  std::vector<double> pool;
+  pool.reserve(a.size() + b.size());
+  pool.insert(pool.end(), a.begin(), a.end());
+  pool.insert(pool.end(), b.begin(), b.end());
+
+  util::Rng rng(seed);
+  std::vector<double> pa(a.size());
+  std::vector<double> pb(b.size());
+  size_t at_least = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    rng.shuffle(pool);
+    std::copy(pool.begin(), pool.begin() + static_cast<long>(a.size()),
+              pa.begin());
+    std::copy(pool.begin() + static_cast<long>(a.size()), pool.end(),
+              pb.begin());
+    std::sort(pa.begin(), pa.end());
+    std::sort(pb.begin(), pb.end());
+    // Tolerance guards the >= against FP noise in the CDF arithmetic:
+    // a permutation reproducing the observed split must count.
+    if (ks_statistic_sorted(pa, pb) >= observed - 1e-12) ++at_least;
+  }
+  return static_cast<double>(1 + at_least) /
+         static_cast<double>(rounds + 1);
+}
+
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return exact_quantile(samples, 0.5);
+}
+
+}  // namespace nnn::audit

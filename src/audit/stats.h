@@ -1,0 +1,62 @@
+// Statistics core for the neutrality auditor (PR 9).
+//
+// The regulator story needs verdicts that survive cross-examination:
+// "the baseline flows are slower" is only evidence when the observed
+// FCT/throughput distributions differ by more than sampling noise.
+// This module supplies the two-sample Kolmogorov-Smirnov machinery
+// FairNet/Wehe-style detectors use (PAPERS.md): the KS statistic
+// (sup-distance between empirical CDFs), its asymptotic p-value, and a
+// seeded permutation calibrator that makes no distributional
+// assumptions — the null is simulated by re-splitting the pooled
+// samples, so the reported p-value is honest for the small, skewed,
+// discretized samples a replay run actually produces.
+//
+// Everything here is deterministic: same samples + same seed => same
+// p-value, on every platform (the permutation shuffle runs on
+// util::Rng, which is mt19937_64 + rejection sampling, not
+// std::shuffle whose draw order is implementation-defined).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nnn::audit {
+
+/// Two-sample KS statistic: sup_x |F_a(x) - F_b(x)| over the empirical
+/// CDFs. Takes copies because it sorts. Returns 0 when either sample
+/// is empty.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Same, over already-ascending-sorted samples (no copy).
+double ks_statistic_sorted(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Asymptotic two-sided p-value for an observed KS statistic `d` with
+/// sample sizes n and m: Q_KS((sqrt(n_e) + 0.12 + 0.11/sqrt(n_e)) * d)
+/// with n_e = n*m/(n+m) and Q_KS(l) = 2 * sum_{j>=1} (-1)^{j-1}
+/// exp(-2 j^2 l^2) (Numerical Recipes form of the Kolmogorov
+/// distribution). Accurate for n_e >= ~8; the auditor uses it as a
+/// cross-check against the permutation p-value.
+double ks_asymptotic_p(double d, size_t n, size_t m);
+
+/// Permutation (re-randomization) p-value for the two-sample KS test:
+/// pool a and b, re-split `rounds` times into sizes |a| and |b| by a
+/// seeded Fisher-Yates shuffle, and report
+///   (1 + #{D_perm >= D_obs}) / (rounds + 1)
+/// — the add-one form, so the p-value is never exactly 0 and the test
+/// is exact-level under the null. Deterministic per seed.
+double ks_permutation_p(const std::vector<double>& a,
+                        const std::vector<double>& b, size_t rounds,
+                        uint64_t seed);
+
+/// Exact quantile of an ascending-sorted sample with linear
+/// interpolation between order statistics (the R type-7 estimator).
+/// q in [0, 1]; returns 0 on an empty sample. The golden tests compare
+/// telemetry::Histogram::value_at_quantile against this.
+double exact_quantile(const std::vector<double>& sorted, double q);
+
+/// Convenience: median of an unsorted sample (copies and sorts).
+double median(std::vector<double> samples);
+
+}  // namespace nnn::audit

@@ -1,0 +1,26 @@
+// The auditor's verdict taxonomy (PR 9). Kept in its own tiny header
+// so telemetry/labels.cpp (the process-wide to_string home) can name
+// the enum without pulling the replay engine in.
+#pragma once
+
+#include <cstdint>
+
+namespace nnn::audit {
+
+/// What a statistical audit run concluded. The decision rule combines
+/// statistical significance (permutation KS p-value below alpha) with
+/// practical significance (relative median-FCT delta above a floor):
+/// a distribution shift that is detectable but negligible is not
+/// discrimination, and a large-looking delta that noise explains is
+/// not evidence.
+enum class AuditVerdict : uint8_t {
+  /// No statistically supported degradation of non-cookie traffic.
+  kClean = 0,
+  /// Non-cookie flows are degraded: p < alpha AND the baseline lane's
+  /// median FCT exceeds the boosted lane's by more than min_effect.
+  kViolation,
+  /// Not enough completed samples to call either way.
+  kInconclusive,
+};
+
+}  // namespace nnn::audit

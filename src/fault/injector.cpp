@@ -149,6 +149,24 @@ bool Injector::peer_half_open(util::Timestamp now) const {
   return armed() && active_event(FaultKind::kPeerHalfOpen, kAllTargets, now);
 }
 
+double Injector::throttle_non_cookie(uint32_t link_id,
+                                     util::Timestamp now) const {
+  if (!armed()) return 0.0;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind != FaultKind::kThrottleNonCookie || !event.active_at(now) ||
+        !event.targets(link_id)) {
+      continue;
+    }
+    // Magnitude outside (0, 1) cannot slow anything down; treat it as
+    // a misconfigured no-op rather than dividing by zero.
+    if (event.magnitude > 0.0 && event.magnitude < 1.0) {
+      count(FaultKind::kThrottleNonCookie);
+      return event.magnitude;
+    }
+  }
+  return 0.0;
+}
+
 util::Timestamp Injector::clock_skew(util::Timestamp now) const {
   // Continuous condition, evaluated per clock read — not counted, for
   // the same reason paused() is not.

@@ -93,6 +93,12 @@ class Injector {
   /// Continuous condition, uncounted.
   bool peer_half_open(util::Timestamp now) const;
 
+  /// sim::Link serialization of a NON-band-0 packet: the throttle
+  /// factor in (0, 1) while a kThrottleNonCookie event targets this
+  /// link (the packet serializes at factor x rate), or 0.0 when clean.
+  /// Counted per throttled packet, like drop_packet's loss spikes.
+  double throttle_non_cookie(uint32_t link_id, util::Timestamp now) const;
+
   /// Any event in flight at `now` (chaos tests gate their recovery
   /// phase on this going false).
   bool any_active(util::Timestamp now) const;

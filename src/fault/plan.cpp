@@ -28,6 +28,7 @@ FaultPlan FaultPlan::random(uint64_t seed, const Spec& spec) {
     switch (event.kind) {
       case FaultKind::kPartition:
       case FaultKind::kLossSpike:
+      case FaultKind::kThrottleNonCookie:
         event.target = rng.chance(0.25)
                            ? kAllTargets
                            : static_cast<uint32_t>(rng.next_u64(
@@ -83,7 +84,8 @@ std::string FaultPlan::summary() const {
       out += util::fmt(" skew={}ms", event.skew / util::kMillisecond);
     } else if (event.kind == FaultKind::kLossSpike ||
                event.kind == FaultKind::kQueuePressure ||
-               event.kind == FaultKind::kConnReset) {
+               event.kind == FaultKind::kConnReset ||
+               event.kind == FaultKind::kThrottleNonCookie) {
       out += util::fmt(" p={}", event.magnitude);
     }
     if (event.target != kAllTargets) {

@@ -52,6 +52,13 @@ enum class FaultKind : uint8_t {
   /// The peer vanishes without FIN: inbound bytes from it are
   /// blackholed, so only the idle timeout can reclaim the connection.
   kPeerHalfOpen,
+  /// A misconfigured (or malicious) middlebox degrades NON-cookie
+  /// traffic: the target link serializes packets outside band 0 at
+  /// `magnitude` x the configured rate (0 < magnitude < 1). Tables and
+  /// descriptor state look clean the whole time — only the observed
+  /// FCT/throughput distributions shift, which is exactly what the
+  /// statistical auditor (src/audit) exists to catch.
+  kThrottleNonCookie,
 };
 // kFaultKindCount and to_string(FaultKind) live in telemetry/labels.h.
 
@@ -60,6 +67,12 @@ enum class FaultKind : uint8_t {
 /// producing byte-identical schedules; netio chaos opts into the full
 /// set via Spec::kinds.
 inline constexpr size_t kCoreFaultKinds = 6;
+
+/// Core + socket kinds (everything before kThrottleNonCookie). The
+/// netio chaos suite pins Spec::kinds to this so its shipped seeds
+/// keep producing byte-identical schedules now that the audit fault
+/// extends the enum; audit chaos opts into kFaultKindCount.
+inline constexpr size_t kSocketFaultKinds = 9;
 
 /// Applies to every link/worker rather than one target.
 inline constexpr uint32_t kAllTargets = 0xffffffffu;

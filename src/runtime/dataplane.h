@@ -120,7 +120,8 @@ class Dataplane {
   size_t worker_count() const { return pool_.worker_count(); }
   PacketArena& arena() { return pool_.arena(); }
   const PacketArena& arena() const { return pool_.arena(); }
-  /// Escape hatch for call sites still on the deprecated submit shim.
+  /// Direct pool access for lifecycle control (start/stop/drain) and
+  /// counters; packet entry goes through ingest(), not the pool.
   WorkerPool& pool() { return pool_; }
   const WorkerPool& pool() const { return pool_; }
 

@@ -46,7 +46,11 @@ size_t Dispatcher::route(const net::Packet& packet) const {
 
 void Dispatcher::route_to_worker(net::Packet&& packet) {
   const size_t worker = route(packet);
-  if (pool_.submit(worker, std::move(packet))) {
+  PacketHandle handle = pool_.arena().try_alloc();
+  if (handle) *handle = std::move(packet);
+  // An empty handle (arena exhausted) still goes through
+  // submit_handle, which counts the shed — the ledger has one home.
+  if (pool_.submit_handle(worker, std::move(handle))) {
     routed_.fetch_add(1, std::memory_order_relaxed);
   } else {
     // Bounded queue, fail-open: the packet is forwarded best-effort
@@ -96,12 +100,25 @@ void Dispatcher::dispatch(net::Packet&& packet) {
 void Dispatcher::dispatch_blocking(net::Packet&& packet) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   const size_t worker = route(packet);
-  while (!pool_.submit(worker, std::move(packet))) {
-    // Closed loop: wait for the worker instead of bypassing. Yield so
-    // the worker actually runs when cores are scarce.
+  // Closed loop: wait for an arena slot instead of shedding — the
+  // workers recycle slots as they emit, so one frees up as long as
+  // the pool is consuming. Yield so the worker actually runs when
+  // cores are scarce.
+  PacketHandle handle;
+  while (!(handle = pool_.arena().try_alloc())) {
     std::this_thread::yield();
   }
-  routed_.fetch_add(1, std::memory_order_relaxed);
+  *handle = std::move(packet);
+  if (pool_.submit_handle_blocking(worker, std::move(handle))) {
+    routed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Stopping pool or injected admission rejection: the pool shed
+    // (and counted) the packet. Surface it as a bypass so the
+    // offered == forwarded() identity holds, rather than the retired
+    // copy-shim's unbounded retry against a pool that will never
+    // accept.
+    ring_full_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Dispatcher::pump_main() {

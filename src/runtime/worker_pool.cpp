@@ -277,25 +277,6 @@ bool WorkerPool::submit_handle_blocking(size_t worker,
   }
 }
 
-bool WorkerPool::submit(size_t worker, net::Packet&& packet) {
-  PacketHandle handle = arena_.try_alloc();
-  if (!handle) {
-    workers_[worker]->counters.shed.add_shared();
-    return false;
-  }
-  *handle = std::move(packet);
-  if (try_enqueue(worker, handle.slot(), /*shed_on_full=*/true) ==
-      EnqueueResult::kEnqueued) {
-    handle.detach();
-    return true;
-  }
-  // Preserve the legacy try_push contract: a failed submit leaves the
-  // caller's packet intact so closed-loop callers
-  // (Dispatcher::dispatch_blocking) can retry with it.
-  packet = std::move(*handle);
-  return false;  // ~handle returns the slot to the freelist
-}
-
 void WorkerPool::worker_main(size_t index) {
   Worker& w = *workers_[index];
   const bool synced = w.table_reader.attached();

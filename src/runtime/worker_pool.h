@@ -22,8 +22,8 @@
 //
 // Threading contract (v2 — the Dataplane facade is the intended front
 // end; see runtime/dataplane.h):
-//   - submit_handle(worker, handle) / the submit() shim — ONE producer
-//     thread only (the facade's ingest thread or the dispatcher);
+//   - submit_handle(worker, handle) — ONE producer thread only (the
+//     facade's ingest thread or the dispatcher);
 //   - arena().try_alloc() / PacketHandle release — any thread (the
 //     freelist is lock-free MPMC); but building a packet in a slot and
 //     submitting it must happen on the producer thread;
@@ -168,16 +168,6 @@ class WorkerPool {
   /// returns false) for an empty handle, a stopping pool, or an
   /// injector rejection. Single producer thread.
   bool submit_handle_blocking(size_t worker, PacketHandle&& handle);
-
-  /// DEPRECATED copy-in shim: allocates an arena slot, moves `packet`
-  /// into it, and submits the handle. One extra struct move versus
-  /// building in the slot to begin with — kept for one PR so existing
-  /// callers (fig4_throughput, test_runtime, the Dispatcher's
-  /// pump/direct modes) migrate incrementally to Dataplane::ingest.
-  /// Arena exhaustion counts as shed, preserving the ledger. On
-  /// failure `packet` is left intact (legacy try_push contract), so
-  /// closed-loop callers can retry with it.
-  bool submit(size_t worker, net::Packet&& packet);
 
   /// Consistent counters, safe while running.
   RuntimeSnapshot snapshot() const;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "audit/auditor.h"
 #include "telemetry/exposition.h"
 
 namespace nnn::server {
@@ -30,6 +31,7 @@ json::Value JsonApi::handle(const json::Value& request) {
   if (method == "acquire") return acquire(request);
   if (method == "revoke") return revoke(request);
   if (method == "metrics") return metrics();
+  if (method == "audit_report") return audit_report();
   return error_response("unknown-method");
 }
 
@@ -44,6 +46,11 @@ JsonApi::HttpResponse JsonApi::handle_http(std::string_view method,
     return HttpResponse{200, "application/json",
                         telemetry::to_json(registry_.snapshot()).dump()};
   }
+  if (method == "GET" && path == "/audit.json") {
+    json::Value response = audit_report();
+    const bool ok = response.get_bool("ok");
+    return HttpResponse{ok ? 200 : 404, "application/json", response.dump()};
+  }
   if (method == "POST") {
     return HttpResponse{200, "application/json", handle_text(body)};
   }
@@ -55,6 +62,16 @@ json::Value JsonApi::metrics() const {
   json::Object obj;
   obj["ok"] = true;
   obj["metrics"] = telemetry::to_json(registry_.snapshot());
+  return json::Value(std::move(obj));
+}
+
+json::Value JsonApi::audit_report() const {
+  if (auditor_ == nullptr) return error_response("no-auditor");
+  const std::optional<audit::AuditReport> report = auditor_->last_report();
+  if (!report) return error_response("no-report");
+  json::Object obj;
+  obj["ok"] = true;
+  obj["report"] = report->to_json();
   return json::Value(std::move(obj));
 }
 

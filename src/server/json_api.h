@@ -18,10 +18,15 @@
 //   {"method":"metrics"}
 //     -> {"ok":true,"metrics":{"families":[...]}} — the telemetry
 //        registry snapshot (§6 auditability; same data as /metrics)
+//   {"method":"audit_report"}
+//     -> {"ok":true,"report":{...AuditReport...}} — the neutrality
+//        auditor's latest verdict (set_auditor must be wired)
+//     -> {"ok":false,"error":"no-auditor"} / "no-report"
 //
 // handle_http() adds the thin HTTP surface monitoring tools expect:
-// GET /metrics (Prometheus text), GET /metrics.json, and POST of a
-// request document to any path.
+// GET /metrics (Prometheus text), GET /metrics.json, GET /audit.json
+// (the regulator's one-stop verdict endpoint), and POST of a request
+// document to any path.
 #pragma once
 
 #include <string>
@@ -29,6 +34,10 @@
 
 #include "server/cookie_server.h"
 #include "telemetry/metrics.h"
+
+namespace nnn::audit {
+class Auditor;
+}  // namespace nnn::audit
 
 namespace nnn::server {
 
@@ -57,19 +66,29 @@ class JsonApi {
   /// Route one HTTP request:
   ///   GET /metrics       -> Prometheus text exposition 0.0.4
   ///   GET /metrics.json  -> registry snapshot as JSON
+  ///   GET /audit.json    -> latest neutrality AuditReport (requires
+  ///                         set_auditor; 404 "no-auditor" otherwise)
   ///   POST <any path>    -> handle_text(body) (the JSON API proper)
   /// Anything else is a 404 JSON error document.
   HttpResponse handle_http(std::string_view method, std::string_view path,
                            std::string_view body = "");
+
+  /// Expose a neutrality auditor's reports over /audit.json and the
+  /// "audit_report" method. The auditor must outlive this API (the
+  /// route reads Auditor::last_report(), which is thread-safe against
+  /// a concurrently running audit loop). Pass nullptr to unwire.
+  void set_auditor(const audit::Auditor* auditor) { auditor_ = auditor; }
 
  private:
   json::Value list_services() const;
   json::Value acquire(const json::Value& request);
   json::Value revoke(const json::Value& request);
   json::Value metrics() const;
+  json::Value audit_report() const;
 
   CookieServer& server_;
   const telemetry::Registry& registry_;
+  const audit::Auditor* auditor_ = nullptr;
 };
 
 }  // namespace nnn::server

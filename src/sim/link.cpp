@@ -97,8 +97,20 @@ void Link::try_transmit() {
     shapers_[*band]->try_consume(packet->size(), now);
   }
   busy_ = true;
-  const auto tx_time = static_cast<util::Timestamp>(
+  auto tx_time = static_cast<util::Timestamp>(
       std::ceil(packet->size() * 8.0 / config_.rate_bps * util::kSecond));
+  // Injected non-cookie throttle: packets outside the fast lane
+  // serialize at magnitude x rate, as if a misconfigured middlebox
+  // policed them. Band 0 (cookie traffic) is untouched, which is what
+  // makes the discrimination statistically visible to the auditor.
+  if (injector_ != nullptr && *band > 0) {
+    const double factor = injector_->throttle_non_cookie(link_id_, now);
+    if (factor > 0.0 && factor < 1.0) {
+      tx_time = static_cast<util::Timestamp>(
+          std::ceil(static_cast<double>(tx_time) / factor));
+      ++fault_throttled_;
+    }
+  }
   const util::Timestamp prop = config_.prop_delay;
   loop_.after(tx_time, [this, prop, p = std::move(*packet)]() mutable {
     busy_ = false;

@@ -45,6 +45,19 @@ class Link {
     /// is extended by uniform [0, delay_jitter] — two packets whose
     /// transmissions finish close together can therefore arrive
     /// reordered. Deterministic per `impairment_seed`.
+    ///
+    /// Determinism contract (the audit subsystem's matched pairs lean
+    /// on this, tests/test_sim.cpp pins it): identical impairment_seed
+    /// + identical send() schedule => byte-identical drop decisions,
+    /// jitter draws, and therefore delivery order, on every platform.
+    /// This holds because the impairment RNG only ever consumes
+    /// util::Rng::chance() and util::Rng::next_u64() — both built on
+    /// mt19937_64 with rejection sampling / fixed 53-bit scaling, not
+    /// on std::<distribution> types whose draw sequences differ
+    /// between libstdc++ and libc++. Exactly one chance() draw happens
+    /// per serialized packet iff loss_rate > 0, and one next_u64()
+    /// draw per delivered packet iff delay_jitter > 0, in
+    /// serialization order. Do not add std:: distributions here.
     double loss_rate = 0.0;
     util::Timestamp delay_jitter = 0;
     uint64_t impairment_seed = 0x11eb;
@@ -73,6 +86,9 @@ class Link {
   /// Packets killed by the fault injector (counted separately from the
   /// loss impairment's dropped()).
   uint64_t fault_dropped() const { return fault_dropped_; }
+  /// Non-band-0 packets slowed by an injected kThrottleNonCookie
+  /// event (each serialized at the event's magnitude x rate).
+  uint64_t fault_throttled() const { return fault_throttled_; }
 
   const dataplane::PriorityQueueSet& queues() const { return queues_; }
   uint64_t delivered() const { return delivered_; }
@@ -103,6 +119,7 @@ class Link {
   uint64_t delivered_bytes_ = 0;
   uint64_t dropped_ = 0;
   uint64_t fault_dropped_ = 0;
+  uint64_t fault_throttled_ = 0;
 };
 
 }  // namespace nnn::sim

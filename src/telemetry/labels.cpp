@@ -1,5 +1,6 @@
 #include "telemetry/labels.h"
 
+#include "audit/verdict.h"
 #include "cookies/verifier.h"
 #include "dataplane/hw_filter.h"
 #include "dataplane/sharding.h"
@@ -213,6 +214,8 @@ std::string_view to_string(FaultKind k) {
       return "conn-reset";
     case FaultKind::kPeerHalfOpen:
       return "peer-half-open";
+    case FaultKind::kThrottleNonCookie:
+      return "throttle-non-cookie";
   }
   return "?";
 }
@@ -236,3 +239,19 @@ std::string_view to_string(ConnState s) {
 }
 
 }  // namespace nnn::netio
+
+namespace nnn::audit {
+
+std::string_view to_string(AuditVerdict v) {
+  switch (v) {
+    case AuditVerdict::kClean:
+      return "clean";
+    case AuditVerdict::kViolation:
+      return "violation";
+    case AuditVerdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+}  // namespace nnn::audit

@@ -60,7 +60,7 @@ std::string_view to_string(AcquireError e);
 
 namespace nnn::fault {
 enum class FaultKind : uint8_t;
-inline constexpr size_t kFaultKindCount = 9;
+inline constexpr size_t kFaultKindCount = 10;
 std::string_view to_string(FaultKind k);
 }  // namespace nnn::fault
 
@@ -69,3 +69,9 @@ enum class ConnState : uint8_t;
 inline constexpr size_t kConnStateCount = 4;
 std::string_view to_string(ConnState s);
 }  // namespace nnn::netio
+
+namespace nnn::audit {
+enum class AuditVerdict : uint8_t;
+inline constexpr size_t kAuditVerdictCount = 3;
+std::string_view to_string(AuditVerdict v);
+}  // namespace nnn::audit

@@ -40,6 +40,7 @@
 // §"Telemetry".
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -207,6 +208,48 @@ class Histogram {
   uint64_t bucket_count(uint32_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  /// Interpolated quantile estimate (q in [0, 1]; q=0.5 -> p50).
+  /// Walks the cumulative bucket counts to the bucket holding the
+  /// q-th observation, then interpolates linearly across that
+  /// bucket's value range — the standard log-linear-histogram
+  /// estimator, so the result is exact for values < 2*kSubBuckets and
+  /// within the bucket's relative width (<= 1/kSubBuckets) above
+  /// that. The auditor's FCT summaries (p50/p95/p99) and the golden
+  /// tests in tests/test_telemetry.cpp consume this. Returns 0 on an
+  /// empty histogram. Concurrent-reader safe, same caveats as
+  /// count(): exact at quiescence, approximate mid-write.
+  uint64_t value_at_quantile(double q) const noexcept {
+    uint64_t counts[kBuckets];
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based; q=0 means the minimum.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (seen + counts[i] < rank) {
+        seen += counts[i];
+        continue;
+      }
+      const uint64_t hi = bucket_upper_bound(i);
+      const uint64_t lo = i == 0 ? 0 : bucket_upper_bound(i - 1) + 1;
+      if (hi == lo) return hi;  // single-value bucket: exact
+      const double within = static_cast<double>(rank - seen) /
+                            static_cast<double>(counts[i]);
+      return lo + static_cast<uint64_t>(
+                      static_cast<double>(hi - lo) * within + 0.5);
+    }
+    return bucket_upper_bound(kBuckets - 1);
+  }
+
   void reset() noexcept {
     for (auto& bucket : buckets_) {
       bucket.store(0, std::memory_order_relaxed);

@@ -11,8 +11,10 @@
 // seed-stable across the move).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <numbers>
 #include <vector>
 
 #include "util/rng.h"
@@ -67,6 +69,44 @@ class PreferenceSampler {
  private:
   Config config_;
   util::ZipfSampler head_;
+};
+
+/// Platform-stable log-normal sampler (heavy-tail flow sizes).
+///
+/// util::Rng::log_normal delegates to std::lognormal_distribution,
+/// whose draw sequence differs between libstdc++ and libc++ — fine
+/// for the figure studies (kept for RNG-stream compatibility), fatal
+/// for anything that pins golden vectors or builds matched replay
+/// schedules that must agree across platforms. This sampler consumes
+/// exactly TWO Rng::next_double() draws per sample (Box-Muller, no
+/// rejection), so the draw count — and with 53-bit fixed scaling, the
+/// drawn values — are identical everywhere; the only cross-platform
+/// wiggle is libm ulp noise in log/sqrt/cos, which the golden tests
+/// absorb with a tight relative tolerance. The audit subsystem's
+/// matched-pair schedules draw flow sizes from this.
+class StableLogNormal {
+ public:
+  /// mu/sigma parameterize the underlying normal (same convention as
+  /// util::Rng::log_normal): median = exp(mu).
+  StableLogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  /// Draw-order contract: exactly one next_double() for the radius and
+  /// one for the angle, in that order.
+  double next(util::Rng& rng) const {
+    // 1 - u keeps the radius draw in (0, 1], so the log is finite.
+    const double u1 = 1.0 - rng.next_double();
+    const double u2 = rng.next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    return std::exp(mu_ + sigma_ * z);
+  }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
 };
 
 /// Zipf-popular access over an arbitrary index space [0, n): ranks map

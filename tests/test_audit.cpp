@@ -1,0 +1,429 @@
+// Tests for src/audit/: the KS statistics core against precomputed
+// references, the matched-pair replay engine's determinism and null
+// behavior, and the headline acceptance matrix — the auditor must flag
+// kThrottleNonCookie with p < 0.01 on every seed of a 10-seed matrix
+// and report CLEAN (zero false positives) on the same matrix without
+// the fault. The differential test at the bottom is the reason the
+// subsystem exists: every table-level audit surface stays spotless
+// while the throttle runs, and only the statistical auditor convicts.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "audit/replay.h"
+#include "audit/stats.h"
+#include "audit/verdict.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "server/compliance.h"
+#include "server/cookie_server.h"
+#include "server/json_api.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace nnn::audit {
+namespace {
+
+constexpr uint64_t kSeedMatrix[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+/// Shrunk-but-real config: enough pairs for the KS test to have power,
+/// few enough that the 10-seed matrix (x2: clean + throttled) stays
+/// around a second.
+AuditorConfig test_config() {
+  AuditorConfig config;
+  config.replay.pairs = 120;
+  config.permutation_rounds = 500;  // p floor ~0.002 < alpha 0.01
+  return config;
+}
+
+fault::FaultPlan throttle_plan(const ReplayConfig& replay,
+                               double magnitude) {
+  fault::FaultEvent event;
+  event.kind = fault::FaultKind::kThrottleNonCookie;
+  event.start = 0;
+  event.duration = replay.horizon;
+  event.magnitude = magnitude;
+  event.target = replay.audited_link_id;
+  fault::FaultPlan plan;
+  plan.add(event);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// KS statistic vs precomputed references
+// ---------------------------------------------------------------------------
+
+// References computed independently (exact CDF merge walk + the
+// Numerical Recipes Kolmogorov series, evaluated in Python at double
+// precision).
+
+TEST(KsStatistic, DisjointSamplesReachOne) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}), 1.0);
+}
+
+TEST(KsStatistic, InterleavedSamples) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 3, 5, 7}, {2, 4, 6, 8}), 0.25);
+}
+
+TEST(KsStatistic, TiedValuesAdvanceBothCdfs) {
+  // a: [1,2,2,3,4], b: [2,3,3,5] — sup gap lands after x=4:
+  // F_a = 5/5, F_b = 3/4 -> D = 0.35. Naive walks that advance one
+  // cursor per step overshoot on the ties.
+  EXPECT_NEAR(ks_statistic({1.0, 2.0, 2.0, 3.0, 4.0}, {2.0, 3.0, 3.0, 5.0}),
+              0.35, 1e-12);
+}
+
+TEST(KsStatistic, ModerateVectorsMatchReference) {
+  // sin-grid vectors, n=40 vs m=55, reference D computed externally.
+  std::vector<double> a, b;
+  for (int k = 0; k < 40; ++k) a.push_back(std::sin(k * 1.7) + k * 0.01);
+  for (int k = 0; k < 55; ++k) {
+    b.push_back(std::sin(k * 1.7 + 0.9) + k * 0.01 + 0.15);
+  }
+  EXPECT_NEAR(ks_statistic(a, b), 0.15454545454545454, 1e-12);
+}
+
+TEST(KsStatistic, OrderInvariant) {
+  // ks_statistic sorts internally; shuffled input = sorted input.
+  EXPECT_DOUBLE_EQ(ks_statistic({5, 1, 3, 2, 4}, {9, 7, 6, 10, 8}),
+                   ks_statistic({1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}));
+}
+
+TEST(KsStatistic, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(ks_statistic({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(ks_statistic({1, 2}, {}), 0.0);
+}
+
+TEST(KsAsymptoticP, MatchesReferenceValues) {
+  // Same external references as above.
+  EXPECT_NEAR(ks_asymptotic_p(1.0, 5, 5), 0.0037813540593701006, 1e-12);
+  EXPECT_NEAR(ks_asymptotic_p(0.25, 4, 4), 0.9968756885202118, 1e-12);
+  EXPECT_NEAR(ks_asymptotic_p(0.35, 5, 4), 0.8777771901764329, 1e-12);
+  EXPECT_NEAR(ks_asymptotic_p(0.15454545454545454, 40, 55),
+              0.6006585574719695, 1e-12);
+}
+
+TEST(KsAsymptoticP, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ks_asymptotic_p(0.0, 10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(ks_asymptotic_p(0.5, 0, 10), 1.0);
+  // Large D with real samples -> p pinned into [0, 1].
+  const double p = ks_asymptotic_p(1.0, 1000, 1000);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1e-6);
+}
+
+TEST(KsPermutationP, IdenticalSamplesGiveOne) {
+  // D_obs = 0, and every permuted D >= 0, so the add-one count is
+  // exactly rounds+1: p = 1.
+  const std::vector<double> s = {1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(ks_permutation_p(s, s, 200, 42), 1.0);
+}
+
+TEST(KsPermutationP, DisjointSamplesHitTheFloor) {
+  // D_obs = 1 is only reachable by re-creating a perfect split; with
+  // 12 pooled values the chance is ~2/C(12,6) per round, so the
+  // add-one floor 1/(rounds+1) is the overwhelmingly likely result —
+  // and determinism makes it a fixed value for a fixed seed.
+  const double p = ks_permutation_p({1, 2, 3, 4, 5, 6},
+                                    {10, 11, 12, 13, 14, 15}, 500, 7);
+  EXPECT_DOUBLE_EQ(p, 1.0 / 501.0);
+}
+
+TEST(KsPermutationP, DeterministicPerSeed) {
+  std::vector<double> a, b;
+  for (int k = 0; k < 30; ++k) a.push_back(std::sin(k * 0.7));
+  for (int k = 0; k < 30; ++k) b.push_back(std::sin(k * 0.7 + 0.4) + 0.1);
+  const double p1 = ks_permutation_p(a, b, 300, 99);
+  const double p2 = ks_permutation_p(a, b, 300, 99);
+  EXPECT_DOUBLE_EQ(p1, p2);
+  // A different seed re-randomizes the null draws; for a mid-range p
+  // the count almost surely moves by at least one round.
+  const double p3 = ks_permutation_p(a, b, 300, 100);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_LE(std::abs(p1 - p3), 0.2) << "seeds should agree approximately";
+}
+
+TEST(ExactQuantile, Type7Interpolation) {
+  const std::vector<double> sorted = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(exact_quantile(sorted, 0.0), 10);
+  EXPECT_DOUBLE_EQ(exact_quantile(sorted, 0.5), 30);
+  EXPECT_DOUBLE_EQ(exact_quantile(sorted, 1.0), 50);
+  EXPECT_DOUBLE_EQ(exact_quantile(sorted, 0.25), 20);
+  EXPECT_DOUBLE_EQ(exact_quantile({10, 20}, 0.5), 15);  // interpolated
+  EXPECT_DOUBLE_EQ(exact_quantile({}, 0.5), 0);
+}
+
+TEST(Median, CopiesAndSorts) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Replay engine
+// ---------------------------------------------------------------------------
+
+TEST(PairSchedule, DeterministicPerSeed) {
+  const ReplayConfig config = test_config().replay;
+  const PairSchedule a = PairSchedule::generate(config, 11);
+  const PairSchedule b = PairSchedule::generate(config, 11);
+  ASSERT_EQ(a.flows.size(), config.pairs);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+    EXPECT_EQ(a.flows[i].start, b.flows[i].start);
+  }
+  const PairSchedule c = PairSchedule::generate(config, 12);
+  bool differs = false;
+  for (size_t i = 0; i < a.flows.size(); ++i) {
+    differs |= a.flows[i].bytes != c.flows[i].bytes ||
+               a.flows[i].start != c.flows[i].start;
+  }
+  EXPECT_TRUE(differs) << "different seeds must draw different schedules";
+}
+
+TEST(PairSchedule, RespectsSizeClamp) {
+  ReplayConfig config = test_config().replay;
+  const PairSchedule schedule = PairSchedule::generate(config, 3);
+  for (const auto& entry : schedule.flows) {
+    EXPECT_GE(entry.bytes, config.min_flow_bytes);
+    EXPECT_LE(entry.bytes, config.max_flow_bytes);
+  }
+}
+
+TEST(ReplayLane, IsDeterministic) {
+  const ReplayConfig config = test_config().replay;
+  const PairSchedule schedule = PairSchedule::generate(config, 5);
+  const auto run1 =
+      replay_lane(config, schedule, Lane::kBoosted, 5, nullptr);
+  const auto run2 =
+      replay_lane(config, schedule, Lane::kBoosted, 5, nullptr);
+  ASSERT_EQ(run1.size(), run2.size());
+  for (size_t i = 0; i < run1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(run1[i].fct, run2[i].fct);
+    EXPECT_EQ(run1[i].completed, run2[i].completed);
+  }
+}
+
+TEST(ReplayLane, BothLanesCompleteOnCleanLink) {
+  const ReplayConfig config = test_config().replay;
+  const PairedSamples samples = replay_matched_pairs(config, 21, nullptr);
+  ASSERT_EQ(samples.boosted.size(), config.pairs);
+  ASSERT_EQ(samples.baseline.size(), config.pairs);
+  size_t completed = 0;
+  for (const auto& f : samples.boosted) completed += f.completed;
+  for (const auto& f : samples.baseline) completed += f.completed;
+  // The horizon is generous; the clean link should finish essentially
+  // everything in both lanes.
+  EXPECT_GE(completed, 2 * config.pairs - 4);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict matrix: the acceptance gates
+// ---------------------------------------------------------------------------
+
+TEST(Auditor, CleanMatrixHasZeroFalsePositives) {
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  for (uint64_t seed : kSeedMatrix) {
+    const AuditReport report = auditor.run(seed);
+    EXPECT_EQ(report.verdict, AuditVerdict::kClean)
+        << "false positive: " << report.summary();
+    EXPECT_EQ(report.boosted.completed, report.boosted.flows);
+  }
+}
+
+TEST(Auditor, ThrottleMatrixDetectedOnEverySeed) {
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  for (uint64_t seed : kSeedMatrix) {
+    fault::Injector injector;
+    injector.arm(throttle_plan(auditor.config().replay, 0.5));
+    const AuditReport report = auditor.run(seed, &injector);
+    EXPECT_EQ(report.verdict, AuditVerdict::kViolation)
+        << "missed throttle: " << report.summary();
+    EXPECT_LT(report.fct_p, 0.01) << report.summary();
+    EXPECT_GT(report.median_fct_delta, 0.05) << report.summary();
+    // The injector's own ledger confirms the fault actually fired —
+    // detection was not luck.
+    EXPECT_GT(injector.injected(fault::FaultKind::kThrottleNonCookie), 0u);
+  }
+}
+
+TEST(Auditor, MildThrottleStillCaught) {
+  // magnitude 0.7 = non-cookie traffic at 70% rate; subtler than the
+  // matrix case but well inside the auditor's power at 120 pairs.
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  fault::Injector injector;
+  injector.arm(throttle_plan(auditor.config().replay, 0.7));
+  const AuditReport report = auditor.run(3, &injector);
+  EXPECT_EQ(report.verdict, AuditVerdict::kViolation) << report.summary();
+}
+
+TEST(Auditor, InconclusiveBelowMinSamples) {
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  PairedSamples tiny;
+  for (int i = 0; i < 5; ++i) {
+    FlowSample f;
+    f.bytes = 1000;
+    f.fct = 0.1;
+    f.throughput_bps = 8e4;
+    f.completed = true;
+    tiny.boosted.push_back(f);
+    tiny.baseline.push_back(f);
+  }
+  const AuditReport report = auditor.analyze(1, tiny);
+  EXPECT_EQ(report.verdict, AuditVerdict::kInconclusive);
+}
+
+TEST(Auditor, AnalyzeFlagsSyntheticShift) {
+  // Pure statistics path: baseline FCTs drawn 2x slower. No sim run.
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  PairedSamples samples;
+  for (int i = 0; i < 100; ++i) {
+    FlowSample boosted;
+    boosted.bytes = 10000;
+    boosted.fct = 0.05 + 0.001 * i;
+    boosted.throughput_bps = boosted.bytes * 8 / boosted.fct;
+    boosted.completed = true;
+    FlowSample baseline = boosted;
+    baseline.fct *= 2.0;
+    baseline.throughput_bps = baseline.bytes * 8 / baseline.fct;
+    samples.boosted.push_back(boosted);
+    samples.baseline.push_back(baseline);
+  }
+  const AuditReport report = auditor.analyze(17, samples);
+  EXPECT_EQ(report.verdict, AuditVerdict::kViolation);
+  EXPECT_NEAR(report.median_fct_delta, 1.0, 0.01);
+  // The 2x shift leaves a [0.1, 0.149] overlap band; the exact sup
+  // gap over these uniform grids is 0.75.
+  EXPECT_DOUBLE_EQ(report.fct_ks, 0.75);
+}
+
+TEST(Auditor, ExportsTelemetryAndLastReport) {
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  EXPECT_FALSE(auditor.last_report().has_value());
+  fault::Injector injector;
+  injector.arm(throttle_plan(auditor.config().replay, 0.5));
+  const AuditReport report = auditor.run(2, &injector);
+
+  const auto last = auditor.last_report();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->verdict, report.verdict);
+  EXPECT_DOUBLE_EQ(last->fct_p, report.fct_p);
+
+  const telemetry::Snapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_total("nnn_audit_runs_total"), 1u);
+  EXPECT_EQ(snapshot.counter_total("nnn_audit_pairs_total"),
+            auditor.config().replay.pairs);
+  telemetry::LabelSet violation;
+  violation.add("verdict", "violation");
+  EXPECT_EQ(
+      snapshot.counter_total("nnn_audit_verdicts_total", violation), 1u);
+  const auto* gauge = snapshot.find("nnn_audit_last_p_micro");
+  ASSERT_NE(gauge, nullptr);
+  ASSERT_EQ(gauge->samples.size(), 1u);
+  EXPECT_EQ(gauge->samples[0].gauge_value,
+            static_cast<int64_t>(report.fct_p * 1e6));
+  const auto* fct = snapshot.find("nnn_audit_fct_micros");
+  ASSERT_NE(fct, nullptr);
+  EXPECT_EQ(fct->samples.size(), 2u);  // lane=boosted, lane=baseline
+}
+
+TEST(AuditReport, JsonCarriesTheVerdict) {
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  const AuditReport report = auditor.run(4);
+  const json::Value doc = report.to_json();
+  EXPECT_EQ(doc.get_string("verdict"), "clean");
+  EXPECT_DOUBLE_EQ(doc.find("fct")->find("p")->as_number(), report.fct_p);
+  EXPECT_EQ(static_cast<size_t>(doc.find("pairs")->as_number()),
+            report.pairs);
+}
+
+// ---------------------------------------------------------------------------
+// The differential: tables clean, distributions guilty
+// ---------------------------------------------------------------------------
+
+TEST(Differential, TableAuditMissesWhatTheStatisticalAuditorCatches) {
+  // The operator behaves impeccably at the descriptor level: every
+  // enrollment request granted same-day, nothing revoked, the audit
+  // log and compliance database spotless. Meanwhile a middlebox
+  // throttles all non-cookie traffic to half rate.
+  util::ManualClock clock(0);
+  server::CookieServer operator_server(clock, 99);
+  server::ServiceOffer offer;
+  offer.name = "Boost";
+  operator_server.add_service(offer);
+  server::ComplianceMonitor fcc;
+  fcc.record_request("provider.example", "Boost", clock.now());
+  ASSERT_TRUE(operator_server.acquire("Boost", "provider.example").ok());
+  fcc.record_grant("provider.example", "Boost", clock.now());
+  clock.set(30LL * 24 * 3600 * util::kSecond);  // a month later
+
+  // Table-level audit: no violations, no revocations, a clean log.
+  EXPECT_TRUE(fcc.violations(clock.now()).empty());
+  size_t revocations = 0;
+  for (const auto& record : operator_server.audit_log().records()) {
+    revocations += to_string(record.event) == std::string("revoke");
+  }
+  EXPECT_EQ(revocations, 0u);
+
+  // Statistical audit of the same network: guilty.
+  telemetry::Registry registry;
+  Auditor auditor(test_config(), registry);
+  fault::Injector injector;
+  injector.arm(throttle_plan(auditor.config().replay, 0.5));
+  const AuditReport report = auditor.run(6, &injector);
+  EXPECT_EQ(report.verdict, AuditVerdict::kViolation) << report.summary();
+
+  // And the verdict is servable to the regulator over the same JSON
+  // surface the table metrics come from.
+  server::JsonApi api(operator_server, registry);
+  api.set_auditor(&auditor);
+  const auto response = api.handle_http("GET", "/audit.json");
+  EXPECT_EQ(response.status, 200);
+  const auto parsed = json::parse(response.body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("report")->get_string("verdict"), "violation");
+}
+
+TEST(Differential, AuditJsonRouteWithoutAuditorIs404) {
+  util::ManualClock clock(0);
+  server::CookieServer operator_server(clock, 1);
+  telemetry::Registry registry;
+  server::JsonApi api(operator_server, registry);
+  EXPECT_EQ(api.handle_http("GET", "/audit.json").status, 404);
+  Auditor auditor(test_config(), registry);
+  api.set_auditor(&auditor);
+  // Wired but never run: still a 404 ("no-report"), not a crash.
+  EXPECT_EQ(api.handle_http("GET", "/audit.json").status, 404);
+}
+
+// ---------------------------------------------------------------------------
+// Dataplane backend (scaled down; the bench runs the 5000-pair gate)
+// ---------------------------------------------------------------------------
+
+TEST(DataplaneReplay, LedgerBalancesAndVerifiesEveryCookieFlow) {
+  DataplaneReplayConfig config;
+  config.pairs = 256;
+  config.workers = 2;
+  config.seed = 9;
+  const DataplaneReplayResult result = replay_through_dataplane(config);
+  EXPECT_EQ(result.pairs, config.pairs);
+  EXPECT_EQ(result.packets_ingested,
+            2ull * config.pairs * config.packets_per_flow);
+  EXPECT_TRUE(result.ledger_ok);
+  EXPECT_EQ(result.shed, 0u);  // ingest_blocking: closed loop, no loss
+  EXPECT_EQ(result.verified_ok, config.pairs);  // one cookie per pair
+  EXPECT_GT(result.pairs_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace nnn::audit

@@ -632,9 +632,14 @@ net::Packet flow_packet(uint32_t flow_id) {
 
 void submit_spin(runtime::WorkerPool& pool, size_t worker,
                  net::Packet&& packet) {
-  while (!pool.submit(worker, std::move(packet))) {
+  // Closed loop over the arena path: wait for a slot, build the
+  // packet in place, then block on the ring (no copy-in shim).
+  runtime::PacketHandle handle;
+  while (!(handle = pool.arena().try_alloc())) {
     std::this_thread::yield();
   }
+  *handle = std::move(packet);
+  pool.submit_handle_blocking(worker, std::move(handle));
 }
 
 TEST(ControlPlaneRuntime, RevocationReachesEveryWorkerThroughSync) {

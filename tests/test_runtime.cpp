@@ -486,9 +486,15 @@ TEST(Runtime, ShedLedgerReconcilesWhenStopRacesQueuePressure) {
   std::thread producer([&] {
     for (uint64_t i = 0; i < kAttempts; ++i) {
       const size_t worker = i % 2;
-      if (fx.pool.submit(worker,
-                         flow_packet(static_cast<uint32_t>(i % 64),
-                                     static_cast<uint32_t>(i)))) {
+      // One attempt per packet through the arena path: an exhausted
+      // arena rides the empty handle into submit_handle, which counts
+      // the shed — same ledger contract the retired copy-shim had.
+      runtime::PacketHandle handle = fx.pool.arena().try_alloc();
+      if (handle) {
+        *handle = flow_packet(static_cast<uint32_t>(i % 64),
+                              static_cast<uint32_t>(i));
+      }
+      if (fx.pool.submit_handle(worker, std::move(handle))) {
         accepted.fetch_add(1, std::memory_order_relaxed);
       } else {
         rejected.fetch_add(1, std::memory_order_relaxed);
@@ -632,13 +638,13 @@ bool verdict_before(const VerdictRecord& a, const VerdictRecord& b) {
   return key(a) < key(b);
 }
 
-/// Differential test: the legacy copy path (Dispatcher over
-/// pool.submit, whole Packet structs through the rings) and the arena
-/// path (Dataplane::make_packet + fill_next + ingest, slot indices
-/// through the rings) must produce identical VerdictRecord streams for
-/// the same seeded workload — same steering, same verify status, same
-/// replay decisions. This is the proof that the zero-copy rework
-/// changed the transport of packets, not their semantics.
+/// Differential test: the Dispatcher front end (route + arena alloc
+/// per packet) and the Dataplane facade (make_packet + fill_next +
+/// ingest, building in the slot) must produce identical VerdictRecord
+/// streams for the same seeded workload — same steering, same verify
+/// status, same replay decisions. This is the proof that the entry
+/// paths differ only in the transport of packets, not their
+/// semantics.
 TEST(Runtime, ArenaPathMatchesCopyPathVerdicts) {
   constexpr size_t kWorkers = 4;
   constexpr size_t kFlows = 200;

@@ -1,6 +1,8 @@
 // Simulator: event loop, links (rate/priority/shaping), NAT.
 #include <gtest/gtest.h>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "sim/nat.h"
@@ -266,6 +268,110 @@ TEST(Nat, InboundWithoutMappingRefused) {
   net::Packet not_mine;
   not_mine.tuple.dst_ip = net::IpAddress::v4(9, 9, 9, 9);
   EXPECT_FALSE(nat.translate_inbound(not_mine));
+}
+
+// ---------------------------------------------------------------------------
+// Impairment determinism contract (see Link::Config). The audit
+// subsystem's matched-pair replay assumes that a lane's impairment
+// stream is a pure function of (impairment_seed, send schedule); these
+// tests pin that down.
+
+/// Run a fixed 200-packet schedule through a lossy, jittery link and
+/// return the (arrival time, size) trace.
+std::vector<std::pair<util::Timestamp, uint32_t>> impaired_trace(
+    uint64_t impairment_seed) {
+  EventLoop loop;
+  std::vector<std::pair<util::Timestamp, uint32_t>> trace;
+  Link link(loop,
+            {.rate_bps = 8e6, .prop_delay = kMillisecond, .bands = 2,
+             .band_capacity_bytes = 1 << 22, .loss_rate = 0.25,
+             .delay_jitter = 3 * kMillisecond,
+             .impairment_seed = impairment_seed},
+            [&](net::Packet p) { trace.emplace_back(loop.now(), p.size()); });
+  for (int i = 0; i < 200; ++i) {
+    link.send(sized(500 + 7 * (i % 50)), i % 2);
+  }
+  loop.run();
+  return trace;
+}
+
+TEST(Link, ImpairmentsAreDeterministicPerSeed) {
+  const auto first = impaired_trace(0xfeed);
+  const auto second = impaired_trace(0xfeed);
+  // Same seed + same schedule: byte-identical drops, jitter draws,
+  // and therefore delivery order and timing.
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_TRUE(first == second);
+  // Sanity: the impairments actually fired (some of 200 were lost).
+  EXPECT_LT(first.size(), 200u);
+  EXPECT_GT(first.size(), 100u);
+}
+
+TEST(Link, ImpairmentsDivergeAcrossSeeds) {
+  const auto first = impaired_trace(0xfeed);
+  const auto second = impaired_trace(0xbeef);
+  EXPECT_FALSE(first == second);
+}
+
+// ---------------------------------------------------------------------------
+// kThrottleNonCookie: a misconfigured/discriminating middlebox that
+// slows everything outside the fast lane. Band 0 must be untouched —
+// that asymmetry is exactly what the auditor detects.
+
+TEST(Link, ThrottleNonCookieSlowsOnlySlowBands) {
+  fault::Injector injector;
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kThrottleNonCookie,
+                         .start = 0,
+                         .duration = 10 * kSecond,
+                         .magnitude = 0.5,
+                         .target = 7});
+  injector.arm(plan, /*seed=*/1);
+
+  EventLoop loop;
+  std::vector<std::pair<util::Timestamp, uint32_t>> arrivals;
+  Link link(loop, {.rate_bps = 8e6, .prop_delay = 0, .bands = 2,
+                   .band_capacity_bytes = 1 << 20},
+            [&](net::Packet p) { arrivals.emplace_back(loop.now(), p.size()); });
+  link.set_fault_injector(&injector, /*link_id=*/7);
+
+  // 1000 bytes at 8 Mb/s = 1 ms nominal serialization.
+  link.send(sized(1000), 0);  // fast lane: full rate
+  link.send(sized(999), 1);   // best effort: rate * 0.5 => 2 ms
+  loop.run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], (std::pair{1 * kMillisecond, 1000u}));
+  // The throttled packet serializes at half rate after the first
+  // finishes: 1 ms + ~2 ms.
+  EXPECT_GE(arrivals[1].first, 2900u);
+  EXPECT_EQ(arrivals[1].second, 999u);
+  EXPECT_EQ(link.fault_throttled(), 1u);
+  EXPECT_GT(injector.injected(fault::FaultKind::kThrottleNonCookie), 0u);
+}
+
+TEST(Link, ThrottleNonCookieIgnoresOtherLinks) {
+  fault::Injector injector;
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kThrottleNonCookie,
+                         .start = 0,
+                         .duration = 10 * kSecond,
+                         .magnitude = 0.5,
+                         .target = 7});
+  injector.arm(plan, /*seed=*/1);
+
+  EventLoop loop;
+  std::vector<util::Timestamp> arrivals;
+  Link link(loop, {.rate_bps = 8e6, .prop_delay = 0, .bands = 2,
+                   .band_capacity_bytes = 1 << 20},
+            [&](net::Packet) { arrivals.push_back(loop.now()); });
+  link.set_fault_injector(&injector, /*link_id=*/3);  // not the target
+
+  link.send(sized(1000), 1);
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 1 * kMillisecond);
+  EXPECT_EQ(link.fault_throttled(), 0u);
 }
 
 }  // namespace

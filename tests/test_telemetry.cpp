@@ -3,6 +3,7 @@
 // *Stats accessors on a fixed trace.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "audit/stats.h"
 #include "cookies/generator.h"
 #include "cookies/verifier.h"
 #include "dataplane/flow_table.h"
@@ -22,6 +24,8 @@
 #include "telemetry/view.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "util/rng.h"
+#include "workload/samplers.h"
 
 namespace nnn {
 namespace {
@@ -115,6 +119,50 @@ TEST(Telemetry, HistogramRecordCountSum) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Telemetry, HistogramQuantileExactInIdentityRange) {
+  // Small values occupy single-value buckets, so the estimator is
+  // exact there — no interpolation error to excuse.
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1u);  // q=0 -> minimum
+  EXPECT_EQ(h.value_at_quantile(0.5), 5u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 10u);
+  EXPECT_EQ(Histogram().value_at_quantile(0.5), 0u);  // empty -> 0
+}
+
+TEST(Telemetry, HistogramQuantileRepeatedValue) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(7);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.value_at_quantile(q), 7u) << "q=" << q;
+  }
+}
+
+TEST(Telemetry, HistogramQuantileGoldenVsExactQuantiles) {
+  // Golden contract with the audit stats core: on a realistic
+  // heavy-tail sample the log-linear estimate must land within one
+  // sub-bucket's relative width (kSubBits=3 -> 1/8 = 12.5%) of the
+  // exact sorted-sample quantile. The sample set is seed-pinned
+  // (StableLogNormal), so a regression in either estimator trips this
+  // deterministically.
+  nnn::util::Rng rng(2024);
+  const nnn::workload::StableLogNormal dist(10.0, 0.7);
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<uint64_t>(dist.next(rng));
+    h.record(v);
+    samples.push_back(static_cast<double>(v));
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = nnn::audit::exact_quantile(samples, q);
+    const double estimate = static_cast<double>(h.value_at_quantile(q));
+    EXPECT_NEAR(estimate, exact, exact * 0.13 + 1.0)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
 }
 
 TEST(Telemetry, ScopedTimerRespectsGlobalSwitch) {

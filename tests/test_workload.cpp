@@ -1,12 +1,19 @@
 // Workload generators: website catalog, page loads, app catalog
-// marginals (Fig. 2 table), campus trace (§4.6 parameters).
+// marginals (Fig. 2 table), campus trace (§4.6 parameters), and the
+// golden vectors pinning the samplers the audit replay engine builds
+// matched schedules from.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <unordered_set>
+#include <vector>
 
+#include "util/rng.h"
 #include "workload/apps.h"
 #include "workload/page_load.h"
+#include "workload/samplers.h"
 #include "workload/trace.h"
 #include "workload/websites.h"
 
@@ -231,6 +238,84 @@ TEST(Trace, DeterministicUnderSeed) {
   for (size_t i = 0; i < ta.size(); ++i) {
     EXPECT_EQ(ta[i].start, tb[i].start);
     EXPECT_EQ(ta[i].packets, tb[i].packets);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampler golden vectors (PR 9 satellite)
+//
+// The audit subsystem's matched-pair schedules are a pure function of
+// (config, seed); that only holds if the samplers underneath never
+// change their draw values or draw ORDER. These vectors pin both.
+// mt19937_64's output sequence is mandated by the C++ standard, so
+// integer draws are exact everywhere; StableLogNormal routes through
+// libm (log/sqrt/cos/exp), so its goldens use a tight relative
+// tolerance that absorbs last-ulp differences and nothing more.
+// ---------------------------------------------------------------------------
+
+TEST(SamplerGolden, RawEngineDrawsAreStandardMandated) {
+  util::Rng rng(5);
+  const uint64_t expected[] = {12415856028556828342ull,
+                               710100233786309728ull,
+                               4155840352752516200ull,
+                               12468748035862044898ull};
+  for (const uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
+}
+
+TEST(SamplerGolden, StableLogNormalVector) {
+  util::Rng rng(7);
+  const StableLogNormal dist(10.6, 0.8);
+  const double expected[] = {
+      143360.81318449703, 54782.308748859243, 60799.563684228124,
+      136965.44660609431, 35470.266109418204, 13289.464989449369,
+      30046.561932689194, 24267.846602314443,
+  };
+  for (const double e : expected) {
+    EXPECT_NEAR(dist.next(rng), e, e * 1e-12);
+  }
+}
+
+TEST(SamplerGolden, StableLogNormalConsumesExactlyTwoDraws) {
+  // The draw-order contract the replay schedules rely on: one sample
+  // advances the engine by exactly two next_double() calls.
+  util::Rng a(123);
+  util::Rng b(123);
+  const StableLogNormal dist(5.0, 1.0);
+  (void)dist.next(a);
+  b.next_double();
+  b.next_double();
+  EXPECT_EQ(a.next_u64(), b.next_u64()) << "draw count drifted";
+}
+
+TEST(SamplerGolden, StableLogNormalMedianNearExpMu) {
+  util::Rng rng(99);
+  const StableLogNormal dist(10.6, 0.8);
+  std::vector<double> samples;
+  for (int i = 0; i < 4001; ++i) samples.push_back(dist.next(rng));
+  std::nth_element(samples.begin(), samples.begin() + 2000, samples.end());
+  // exp(10.6) ~ 40135; the sample median should sit near it.
+  EXPECT_NEAR(samples[2000], std::exp(10.6), std::exp(10.6) * 0.1);
+}
+
+TEST(SamplerGolden, ZipfRankVector) {
+  util::Rng rng(3);
+  const util::ZipfSampler zipf(100, 1.4);
+  const size_t expected[] = {3, 1, 4, 1, 3, 1, 8, 2, 6, 1, 1, 4};
+  for (const size_t e : expected) EXPECT_EQ(zipf.sample(rng), e);
+}
+
+TEST(SamplerGolden, PreferenceSamplerVector) {
+  util::Rng rng(11);
+  const PreferenceSampler sampler(50, {});
+  const PreferenceDraw expected[] = {
+      {true, 0, 87565},  {false, 5, 0},  {true, 0, 61872}, {false, 4, 0},
+      {false, 15, 0},    {true, 0, 20182}, {false, 2, 0},  {true, 0, 76505},
+  };
+  for (const PreferenceDraw& e : expected) {
+    const PreferenceDraw d = sampler.next(rng);
+    EXPECT_EQ(d.niche, e.niche);
+    EXPECT_EQ(d.head_rank, e.head_rank);
+    EXPECT_EQ(d.tail_rank, e.tail_rank);
   }
 }
 
