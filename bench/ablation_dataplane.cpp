@@ -187,6 +187,15 @@ void BM_ExtractPerTransport(benchmark::State& state) {
     case Transport::kTcpOption:
       packet.tuple.proto = nnn::net::L4Proto::kTcp;
       break;
+    case Transport::kQuicTransportParam: {
+      packet.tuple.proto = nnn::net::L4Proto::kUdp;
+      nnn::net::QuicHeader header;
+      header.long_header = true;
+      header.scid = 1;
+      header.dcid = 2;
+      packet.quic = std::move(header);
+      break;
+    }
   }
   nnn::cookies::attach(packet, gen.generate(), transport);
   for (auto _ : state) {
@@ -199,7 +208,8 @@ BENCHMARK(BM_ExtractPerTransport)
     ->Arg(static_cast<int>(Transport::kTlsExtension))
     ->Arg(static_cast<int>(Transport::kIpv6Extension))
     ->Arg(static_cast<int>(Transport::kUdpHeader))
-    ->Arg(static_cast<int>(Transport::kTcpOption));
+    ->Arg(static_cast<int>(Transport::kTcpOption))
+    ->Arg(static_cast<int>(Transport::kQuicTransportParam));
 
 /// Scale-out dispatch (§4.6): per-packet cost of the sharded dataplane
 /// under the two load-balancing policies. Descriptor affinity pays an

@@ -83,7 +83,7 @@ std::optional<std::string> DpiEngine::inspect(
 
 std::optional<std::string> DpiEngine::classify(const net::Packet& packet) {
   stats_.cell<&DpiStats::packets>().inc();
-  FlowCacheEntry& entry = flow_cache_[packet.tuple];
+  FlowCacheEntry& entry = flow_cache_[packet.flow_key()];
   if (entry.app) {
     stats_.cell<&DpiStats::classified_packets>().inc();
     return entry.app;

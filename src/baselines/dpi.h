@@ -118,7 +118,13 @@ class DpiEngine {
   static constexpr uint32_t kInspectionWindow = 3;
 
   std::vector<DpiRule> rules_;
-  std::unordered_map<net::FiveTuple, FlowCacheEntry> flow_cache_;
+  /// Keyed on Packet::flow_key() — the same key the cookie dataplane
+  /// uses, so cookie-vs-DPI comparisons see identical flow boundaries.
+  /// For QUIC that key is the UNRESOLVED destination CID: DPI has no
+  /// alias table (the rotation linkage is user-to-middlebox state, not
+  /// on-wire), so every rotation looks like a brand-new flow to it and
+  /// the inspection window restarts against pure ciphertext.
+  std::unordered_map<net::FlowKey, FlowCacheEntry> flow_cache_;
   telemetry::View<DpiStats> stats_;
 };
 

@@ -11,6 +11,11 @@ bool FlowDescription::matches(const net::FiveTuple& tuple) const {
   return true;
 }
 
+bool FlowDescription::matches(const net::FlowKey& key) const {
+  if (key.is_cid()) return false;
+  return matches(key.tuple());
+}
+
 FlowDescription FlowDescription::exact(const net::FiveTuple& tuple) {
   FlowDescription d;
   d.src_ip = tuple.src_ip;
@@ -38,8 +43,9 @@ void OobSwitch::clear() {
 }
 
 std::optional<std::string> OobSwitch::match(const net::Packet& packet) const {
+  const net::FlowKey key = packet.flow_key();
   for (const auto& rule : rules_) {
-    if (rule.description.matches(packet.tuple)) return rule.service;
+    if (rule.description.matches(key)) return rule.service;
   }
   return std::nullopt;
 }

@@ -36,6 +36,13 @@ struct FlowDescription {
   std::optional<net::L4Proto> proto;
 
   bool matches(const net::FiveTuple& tuple) const;
+  /// Unified-keying form (Packet::flow_key()). A five-tuple key
+  /// delegates to the field match above; a connection-ID key never
+  /// matches — a 5-tuple description has no field that names an
+  /// encrypted connection, which is the paper's flow-mutation
+  /// limitation taken to its endpoint: under the QUIC-shaped
+  /// transport the OOB channel cannot describe the flow at all.
+  bool matches(const net::FlowKey& key) const;
 
   /// Exact description of one flow.
   static FlowDescription exact(const net::FiveTuple& tuple);

@@ -20,7 +20,7 @@ constexpr uint8_t kFlagAckCookie = 1u << 2;
 constexpr uint8_t kFlagDeliveryGuarantee = 1u << 3;
 
 constexpr uint8_t kMaxTransport =
-    static_cast<uint8_t>(cookies::Transport::kTcpOption);
+    static_cast<uint8_t>(cookies::Transport::kQuicTransportParam);
 
 /// Build, tally, and wrap a messages-domain error (payload problems;
 /// envelope problems keep their wire-domain Error from

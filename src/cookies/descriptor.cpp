@@ -19,6 +19,8 @@ std::string to_string(Transport t) {
       return "udp";
     case Transport::kTcpOption:
       return "tcp-edo";
+    case Transport::kQuicTransportParam:
+      return "quic-tp";
   }
   return "?";
 }
@@ -29,6 +31,7 @@ std::optional<Transport> transport_from_string(std::string_view s) {
   if (s == "ipv6") return Transport::kIpv6Extension;
   if (s == "udp") return Transport::kUdpHeader;
   if (s == "tcp-edo") return Transport::kTcpOption;
+  if (s == "quic-tp") return Transport::kQuicTransportParam;
   return std::nullopt;
 }
 

@@ -35,6 +35,9 @@ enum class Transport : uint8_t {
   kIpv6Extension = 2,// hop-by-hop option
   kUdpHeader = 3,    // custom UDP payload prefix
   kTcpOption = 4,    // TCP long option (EDO-extended header)
+  /// QUIC handshake transport parameter (appended last: the values
+  /// above ride the descriptor sync wire format and must not move).
+  kQuicTransportParam = 5,
 };
 
 std::string to_string(Transport t);

@@ -62,6 +62,26 @@ bool attach_udp(net::Packet& packet, const std::vector<Cookie>& cookies) {
   return true;
 }
 
+bool attach_quic_tp(net::Packet& packet,
+                    const std::vector<Cookie>& cookies) {
+  // Only the long-header handshake flight can carry transport
+  // parameters; short-header packets are past the handshake.
+  if (!packet.quic || !packet.quic->long_header) return false;
+  packet.quic->tp_cookie = encode_stack(cookies);
+  packet.wire_size = 0;
+  return true;
+}
+
+std::optional<ExtractedCookie> extract_quic_tp(const net::Packet& packet) {
+  if (!packet.quic || !packet.quic->long_header ||
+      packet.quic->tp_cookie.empty()) {
+    return std::nullopt;
+  }
+  auto stack = decode_stack(BytesView(packet.quic->tp_cookie));
+  if (!stack) return std::nullopt;
+  return ExtractedCookie{std::move(*stack), Transport::kQuicTransportParam};
+}
+
 std::optional<ExtractedCookie> extract_http(const net::Packet& packet) {
   if (packet.payload.empty()) return std::nullopt;
   const std::string text(packet.payload.begin(), packet.payload.end());
@@ -132,6 +152,8 @@ bool attach(net::Packet& packet, const std::vector<Cookie>& cookies,
       return attach_udp(packet, cookies);
     case Transport::kTcpOption:
       return attach_tcp_option(packet, cookies);
+    case Transport::kQuicTransportParam:
+      return attach_quic_tp(packet, cookies);
   }
   return false;
 }
@@ -153,6 +175,8 @@ std::optional<ExtractedCookie> extract(const net::Packet& packet,
       return extract_udp(packet);
     case Transport::kTcpOption:
       return extract_tcp_option(packet);
+    case Transport::kQuicTransportParam:
+      return extract_quic_tp(packet);
   }
   return std::nullopt;
 }
@@ -163,6 +187,8 @@ Transport to_transport(net::CookieCarrier carrier) {
       return Transport::kIpv6Extension;
     case net::CookieCarrier::kTcpOption:
       return Transport::kTcpOption;
+    case net::CookieCarrier::kQuicTransportParam:
+      return Transport::kQuicTransportParam;
     case net::CookieCarrier::kUdpShim:
       return Transport::kUdpHeader;
     case net::CookieCarrier::kTlsExtension:
@@ -192,6 +218,11 @@ bool strip(net::Packet& packet) {
   }
   if (packet.l4_cookie) {
     packet.l4_cookie.reset();
+    removed = true;
+  }
+  if (packet.quic && !packet.quic->tp_cookie.empty()) {
+    packet.quic->tp_cookie.clear();
+    packet.wire_size = 0;
     removed = true;
   }
   if (packet.is_udp() && packet.payload.size() >= 6 &&

@@ -17,6 +17,10 @@
 //                     exceeds the classic 40-byte option space, so the
 //                     codec emits an Extended-Data-Offset option (the
 //                     paper's "TCP long options" citation)
+//   kQuicTransportParam -> transport parameter in the QUIC long-header
+//                     handshake (net::QuicHeader::tp_cookie) — the
+//                     encrypted-transport carrier, readable on path
+//                     like a real Initial flight (PR 10, DESIGN §5i)
 // attach() mutates the packet; extract() is what a middlebox runs on
 // the wire and must tolerate arbitrary payloads.
 #pragma once

@@ -1,4 +1,5 @@
-// Flow table with the paper's sniff-window state machine.
+// Flow table with the paper's sniff-window state machine, keyed on
+// net::FlowKey (PR 10: connection-ID flow binding).
 //
 // "For a given packet our middle-box has to perform one of three
 // tasks: i) search for a potential cookie (first 2-3 packets of every
@@ -12,6 +13,31 @@
 //   kMapped    — a verified cookie bound this flow to a service
 //   kBestEffort— the window passed with no (valid) cookie
 // Entries idle out after `idle_timeout` so the table stays bounded.
+//
+// ## Keying (PR 10)
+//
+// Entries are keyed on net::FlowKey — the 5-tuple for classic
+// traffic, the connection ID for QUIC-shaped traffic. CID keys are
+// canonicalized through an embedded quic::CidAliasTable before any
+// probe: add_alias() records a rotation (fresh CID joins an existing
+// flow) and every subsequent bind/lookup on the fresh CID lands on
+// the SAME FlowEntry. That is the mechanism behind the PR's headline
+// claim: a cookie verified once in the handshake keeps its mapping
+// across CID rotations and NAT rebinds, because neither changes the
+// canonical CID the entry is keyed under. When a CID-keyed flow idles
+// out, its whole alias set is evicted with it — a dead connection
+// cannot leak alias-table entries.
+//
+// ## API (PR 10 redesign)
+//
+// The primary interface speaks Expected<...> in the PR 5 error
+// taxonomy (domain kFlow): bind() is the touch-or-create entry point
+// (kOverload once `max_flows` is hit), lookup() replaces the
+// nullptr-returning find (kUnknownId), add_alias() reports an
+// unlinkable rotation (kUnknownId). The 5-tuple touch()/find()/
+// map_flow() signatures remain as thin adapters over the FlowKey
+// entry points; tests/test_quic.cpp holds a differential harness
+// asserting adapter and primary agree move for move.
 #pragma once
 
 #include <cstdint>
@@ -21,9 +47,12 @@
 #include <vector>
 
 #include "net/five_tuple.h"
+#include "net/flow_key.h"
+#include "quic/alias_table.h"
 #include "state/flat_table.h"
 #include "telemetry/view.h"
 #include "util/clock.h"
+#include "util/expected.h"
 
 namespace nnn::dataplane {
 
@@ -45,6 +74,10 @@ struct FlowTableStats {
   uint64_t flows_created = 0;
   uint64_t flows_expired = 0;
   uint64_t lookups = 0;
+  /// CID rotations recorded against live flows (add_alias successes).
+  uint64_t aliases_added = 0;
+  /// bind() rejections because max_flows was reached.
+  uint64_t overloads = 0;
 
   friend bool operator==(const FlowTableStats&,
                          const FlowTableStats&) = default;
@@ -67,6 +100,12 @@ struct ViewTraits<dataplane::FlowTableStats> {
       ViewField<S>{&S::lookups, MetricType::kCounter,
                    "nnn_flow_lookups_total", "Flow-table touch operations",
                    "", ""},
+      ViewField<S>{&S::aliases_added, MetricType::kCounter,
+                   "nnn_flow_aliases_total",
+                   "CID rotations recorded against live flows", "", ""},
+      ViewField<S>{&S::overloads, MetricType::kCounter,
+                   "nnn_flow_overload_total",
+                   "Flow creations rejected at max_flows", "", ""},
   };
 };
 
@@ -80,34 +119,78 @@ class FlowTable {
   static constexpr util::Timestamp kDefaultIdleTimeout =
       60 * util::kSecond;
 
+  /// `max_flows` == 0 means unbounded (the legacy contract; the
+  /// reference-returning adapters below require it).
   explicit FlowTable(uint32_t sniff_window = kDefaultSniffWindow,
-                     util::Timestamp idle_timeout = kDefaultIdleTimeout);
+                     util::Timestamp idle_timeout = kDefaultIdleTimeout,
+                     size_t max_flows = 0);
   /// Pinned: the stats view registers a collector holding `this`.
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
 
-  /// Look up (creating if absent) the entry for `tuple`, bump the
-  /// packet/byte counters, and advance kSniffing -> kBestEffort when
-  /// the window is exhausted. Returns the entry post-update.
-  FlowEntry& touch(const net::FiveTuple& tuple, uint32_t bytes,
-                   util::Timestamp now);
+  /// bind()'s success alternative: the entry (stable across later
+  /// inserts; the pool never moves) and whether this call created it.
+  struct Binding {
+    FlowEntry* entry = nullptr;
+    bool created = false;
+  };
+
+  // --- primary interface (FlowKey + Expected) ---
+
+  /// Touch-or-create the flow `key` names: bump packet/byte counters,
+  /// advance kSniffing -> kBestEffort when the window is exhausted,
+  /// lapse expired mappings. CID keys are canonicalized through the
+  /// alias table first. Fails with kOverload when the flow would be
+  /// new and the table is at max_flows (after one forced idle sweep).
+  Expected<Binding> bind(const net::FlowKey& key, uint32_t bytes,
+                         util::Timestamp now);
 
   /// Bind the flow — and, when `include_reverse`, its reverse — to a
   /// service (a cookie verified on this flow). `mapping_expires` (0 =
-  /// never) bounds how long the mapping holds.
+  /// never) bounds how long the mapping holds. A CID key is its own
+  /// reverse (direction-insensitive), so include_reverse is a no-op
+  /// there. Same kOverload contract as bind().
+  Expected<Binding> map_flow(const net::FlowKey& key,
+                             const std::string& service_data,
+                             util::Timestamp now, bool include_reverse,
+                             util::Timestamp mapping_expires = 0);
+
+  /// Pure lookup; kUnknownId when the flow is absent.
+  Expected<const FlowEntry*> lookup(const net::FlowKey& key) const;
+
+  /// Record a CID rotation: `fresh_cid` joins the flow `existing_cid`
+  /// resolves to. Returns the canonical CID the flow is keyed under;
+  /// kUnknownId when no live flow is keyed on `existing_cid` (never
+  /// seen, or already idled out) — the caller proceeds unlinked and
+  /// the fresh CID starts a flow of its own, the fail-open answer.
+  Expected<uint64_t> add_alias(uint64_t fresh_cid, uint64_t existing_cid);
+
+  /// Canonical CID for `cid` (itself when unaliased).
+  uint64_t resolve_cid(uint64_t cid) const { return aliases_.resolve(cid); }
+
+  // --- legacy 5-tuple adapters (thin; unbounded tables only) ---
+
+  /// bind() adapter. Asserts success — only an unbounded table may
+  /// use the reference-returning form.
+  FlowEntry& touch(const net::FiveTuple& tuple, uint32_t bytes,
+                   util::Timestamp now);
+  /// map_flow() adapter.
   void map_flow(const net::FiveTuple& tuple, const std::string& service_data,
                 util::Timestamp now, bool include_reverse,
                 util::Timestamp mapping_expires = 0);
-
-  /// nullptr when the flow is unknown.
+  /// lookup() adapter; nullptr when the flow is unknown.
   const FlowEntry* find(const net::FiveTuple& tuple) const;
 
-  /// Drop entries idle since before now - idle_timeout. Returns how
-  /// many were evicted. touch() amortizes this; exposed for tests.
+  /// Drop entries idle since before now - idle_timeout — and, for
+  /// CID-keyed entries, their whole alias set. Returns how many flows
+  /// were evicted. bind() amortizes this; exposed for tests.
   size_t expire_idle(util::Timestamp now);
 
   size_t size() const { return index_.size(); }
   uint32_t sniff_window() const { return sniff_window_; }
+  size_t max_flows() const { return max_flows_; }
+  /// CIDs resolvable through the embedded alias table.
+  size_t alias_cids() const { return aliases_.cids(); }
   /// Materialized from the live telemetry cells (by value).
   FlowTableStats stats() const { return stats_.snapshot(); }
   /// Bytes held by the index, slot pool, and free list.
@@ -121,32 +204,47 @@ class FlowTable {
   /// stays valid across later inserts in the same burst (the index
   /// rehashes; the pool never moves an entry).
   struct Slot {
-    net::FiveTuple tuple;
+    net::FlowKey key;
     FlowEntry entry;
     bool live = false;
   };
 
-  static uint64_t hash_tuple(const net::FiveTuple& tuple) {
-    return state::mix_hash(std::hash<net::FiveTuple>{}(tuple));
+  /// std::hash<FlowKey> is already avalanched (mix64 over the
+  /// platform-stable steer key), so the index consumes it raw.
+  static uint64_t hash_key(const net::FlowKey& key) {
+    return std::hash<net::FlowKey>{}(key);
   }
-  auto index_matcher(const net::FiveTuple& tuple) const {
-    return [this, &tuple](const uint32_t& slot) {
-      return pool_[slot].tuple == tuple;
+  auto index_matcher(const net::FlowKey& key) const {
+    return [this, &key](const uint32_t& slot) {
+      return pool_[slot].key == key;
     };
   }
   auto index_hasher() const {
     return [this](const uint32_t& slot) {
-      return hash_tuple(pool_[slot].tuple);
+      return hash_key(pool_[slot].key);
     };
   }
-  /// Find-or-create; sets `created`. Returns the slot handle.
-  uint32_t obtain(const net::FiveTuple& tuple, bool& created);
+  /// Canonicalize a CID key through the alias table.
+  net::FlowKey canonical(const net::FlowKey& key) const;
+  /// Find-or-create; sets `created`. Returns the slot handle, or
+  /// nullopt when max_flows blocks the create.
+  std::optional<uint32_t> obtain(const net::FlowKey& key, bool& created,
+                                 util::Timestamp now);
+  Expected<Binding> map_one(const net::FlowKey& key,
+                            const std::string& service_data,
+                            util::Timestamp now,
+                            util::Timestamp mapping_expires);
 
   uint32_t sniff_window_;
   util::Timestamp idle_timeout_;
-  state::FlatTable<uint32_t> index_;  // pool slot by FiveTuple
+  size_t max_flows_;
+  state::FlatTable<uint32_t> index_;  // pool slot by canonical FlowKey
   std::deque<Slot> pool_;
   std::vector<uint32_t> free_;
+  /// CID -> canonical-CID resolution for the QUIC-keyed entries. The
+  /// steer field is unused here (the dataplane's ingest-side table
+  /// owns steering); flow keying only needs canonicalization.
+  quic::CidAliasTable aliases_;
   uint64_t touches_since_expiry_ = 0;
   telemetry::View<FlowTableStats> stats_;
   /// Mirror of table_.size() so the exporter thread never reads the

@@ -27,7 +27,26 @@ Verdict Middlebox::process(net::Packet& packet) {
   return process_at(packet, clock_.now());
 }
 
-void Middlebox::apply_stack(net::Packet& packet, FlowEntry& entry,
+net::FlowKey Middlebox::flow_key_for(const net::Packet& packet) {
+  if (!packet.is_quic()) return packet.flow_key();
+  const net::QuicHeader& q = *packet.quic;
+  if (q.long_header) {
+    // The handshake names the connection: the client's SCID is the
+    // canonical CID every later packet resolves to.
+    return net::FlowKey::from_cid(flow_table_.resolve_cid(q.scid));
+  }
+  if (q.prev_cid) {
+    // Cooperative rotation marker: link the fresh CID before keying,
+    // so this very packet already lands on the connection's entry.
+    // An unlinkable marker (flow never seen or idled out) fails open:
+    // the fresh CID simply starts a flow of its own.
+    flow_table_.add_alias(q.dcid, *q.prev_cid);
+  }
+  return net::FlowKey::from_cid(flow_table_.resolve_cid(q.dcid));
+}
+
+void Middlebox::apply_stack(net::Packet& packet, const net::FlowKey& key,
+                            FlowEntry& entry,
                             const cookies::ExtractedCookie& extracted,
                             util::Timestamp now, Verdict& verdict) {
   // With a composed stack, apply the first cookie this network can
@@ -47,8 +66,7 @@ void Middlebox::apply_stack(net::Packet& packet, FlowEntry& entry,
     if (attrs.granularity == cookies::Granularity::kFlow) {
       const util::Timestamp mapping_expires =
           attrs.mapping_ttl ? now + *attrs.mapping_ttl : 0;
-      flow_table_.map_flow(packet.tuple,
-                           result.descriptor->service_data, now,
+      flow_table_.map_flow(key, result.descriptor->service_data, now,
                            attrs.reverse_flow, mapping_expires);
       entry.state = FlowState::kMapped;
       entry.service_data = result.descriptor->service_data;
@@ -70,7 +88,13 @@ Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
   stats_.cell<&MiddleboxStats::packets>().inc();
   stats_.cell<&MiddleboxStats::bytes>().inc(packet.size());
 
-  FlowEntry& entry = flow_table_.touch(packet.tuple, packet.size(), now);
+  const net::FlowKey key = flow_key_for(packet);
+  FlowEntry& entry = *flow_table_.bind(key, packet.size(), now).value().entry;
+  if (packet.is_quic() && packet.quic->long_header) {
+    // Register the server's handshake CID against the entry that now
+    // exists, so reverse-direction short headers resolve to it too.
+    flow_table_.add_alias(packet.quic->dcid, packet.quic->scid);
+  }
   Verdict verdict;
 
   const bool inspect =
@@ -83,7 +107,7 @@ Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
       stats_.cell<&MiddleboxStats::task_search>().inc();
     } else {
       stats_.cell<&MiddleboxStats::task_search_and_verify>().inc();
-      apply_stack(packet, entry, *extracted, now, verdict);
+      apply_stack(packet, key, entry, *extracted, now, verdict);
     }
   } else {
     // Task (iii): established flow, just map.
@@ -104,15 +128,13 @@ Verdict Middlebox::process_at(net::Packet& packet, util::Timestamp now) {
   return verdict;
 }
 
-bool Middlebox::tuple_has_pending(
-    const net::FiveTuple& tuple,
-    std::span<net::Packet* const> packets) const {
+bool Middlebox::key_has_pending(const net::FlowKey& key) const {
   for (const PendingVerify& p : pending_info_) {
-    const net::FiveTuple& pt = packets[p.index]->tuple;
-    // The pending cookie may map pt and (reverse_flow attribute, on by
-    // default) pt.reversed(); either way this packet must not observe
-    // flow state from before that mapping lands.
-    if (pt == tuple || pt.reversed() == tuple) return true;
+    // The pending cookie may map p.key and (reverse_flow attribute, on
+    // by default) its reverse; either way this packet must not observe
+    // flow state from before that mapping lands. Keys are canonical
+    // (flow_key_for), so two CIDs of one connection compare equal.
+    if (p.key == key || p.key.reversed() == key) return true;
   }
   return false;
 }
@@ -145,15 +167,21 @@ void Middlebox::process_batch(std::span<net::Packet* const> packets,
 
   for (size_t i = 0; i < packets.size(); ++i) {
     net::Packet& packet = *packets[i];
+    // Alias learning happens here too (flow_key_for mutates the alias
+    // table); linking names never changes a pending entry pointer.
+    const net::FlowKey key = flow_key_for(packet);
     // A queued cookie may remap this packet's flow; settle it before
     // this packet observes the flow state.
-    if (!pending_info_.empty() &&
-        tuple_has_pending(packet.tuple, packets)) {
+    if (!pending_info_.empty() && key_has_pending(key)) {
       flush_pending(packets, verdicts, now);
     }
     stats_.cell<&MiddleboxStats::packets>().inc();
     stats_.cell<&MiddleboxStats::bytes>().inc(packet.size());
-    FlowEntry& entry = flow_table_.touch(packet.tuple, packet.size(), now);
+    FlowEntry& entry =
+        *flow_table_.bind(key, packet.size(), now).value().entry;
+    if (packet.is_quic() && packet.quic->long_header) {
+      flow_table_.add_alias(packet.quic->dcid, packet.quic->scid);
+    }
     Verdict verdict;
 
     const bool inspect =
@@ -173,13 +201,13 @@ void Middlebox::process_batch(std::span<net::Packet* const> packets,
           // until the flush is safe.)
           pending_cookies_.push_back(extracted->stack.front());
           pending_info_.push_back(PendingVerify{
-              static_cast<uint32_t>(i), extracted->transport, &entry});
+              static_cast<uint32_t>(i), extracted->transport, key, &entry});
           continue;  // verdict written by flush_pending
         }
         // Composed stack: entries are tried in order with early exit —
         // inherently sequential. Settle the queue, then run it now.
         flush_pending(packets, verdicts, now);
-        apply_stack(packet, entry, *extracted, now, verdict);
+        apply_stack(packet, key, entry, *extracted, now, verdict);
       }
     } else {
       stats_.cell<&MiddleboxStats::task_map_only>().inc();
@@ -218,8 +246,7 @@ void Middlebox::flush_pending(std::span<net::Packet* const> packets,
         if (attrs.granularity == cookies::Granularity::kFlow) {
           const util::Timestamp mapping_expires =
               attrs.mapping_ttl ? now + *attrs.mapping_ttl : 0;
-          flow_table_.map_flow(packet.tuple,
-                               result.descriptor->service_data, now,
+          flow_table_.map_flow(p.key, result.descriptor->service_data, now,
                                attrs.reverse_flow, mapping_expires);
           p.entry->state = FlowState::kMapped;
           p.entry->service_data = result.descriptor->service_data;

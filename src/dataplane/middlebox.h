@@ -169,24 +169,36 @@ class Middlebox {
   struct PendingVerify {
     uint32_t index;  // packet position in the burst
     cookies::Transport transport;
+    /// Canonical flow key the cookie will map (flow_key_for output).
+    net::FlowKey key;
     /// Flow entry touched in pass 1. Stable until the flush:
-    /// unordered_map references survive rehash, and entries touched
-    /// this burst cannot be idle-expired at the same timestamp.
+    /// the slot pool never moves entries, and entries touched this
+    /// burst cannot be idle-expired at the same timestamp.
     FlowEntry* entry;
   };
+
+  /// The flow key this packet's state lives under — and the ONE place
+  /// the middlebox learns CID linkage on the way: a long header keys
+  /// on the client's SCID (the canonical CID) and registers the
+  /// server's CID as an alias after the entry exists; a short header
+  /// with a prev_cid rotation marker records the alias, then resolves.
+  /// Classic packets pass through to Packet::flow_key(). Keys are
+  /// returned CANONICALIZED so two packets of one connection always
+  /// compare equal (key_has_pending depends on that).
+  net::FlowKey flow_key_for(const net::Packet& packet);
 
   /// process() body with the clock read hoisted.
   Verdict process_at(net::Packet& packet, util::Timestamp now);
 
   /// Apply a verified-cookie stack to a flow entry (the §4.5 loop).
-  void apply_stack(net::Packet& packet, FlowEntry& entry,
+  void apply_stack(net::Packet& packet, const net::FlowKey& key,
+                   FlowEntry& entry,
                    const cookies::ExtractedCookie& extracted,
                    util::Timestamp now, Verdict& verdict);
 
-  /// True when `tuple` (or its reverse) belongs to a packet with a
+  /// True when `key` (or its reverse) belongs to a packet with a
   /// cookie still pending in the current batch.
-  bool tuple_has_pending(const net::FiveTuple& tuple,
-                         std::span<net::Packet* const> packets) const;
+  bool key_has_pending(const net::FlowKey& key) const;
 
   /// Verify all pending cookies and apply their outcomes in order.
   void flush_pending(std::span<net::Packet* const> packets,

@@ -36,7 +36,7 @@ void ShardedDataplane::revoke(cookies::CookieId id) {
 }
 
 size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
-                  size_t shard_count) {
+                  size_t shard_count, const quic::CidAliasTable* aliases) {
   if (policy == DispatchPolicy::kDescriptorAffinity) {
     // Peek: no HMAC, no stack decode, no allocation — just the carrier
     // search and eight bytes of id. This mirrors the paper's hardware
@@ -49,19 +49,35 @@ size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
         return util::steer_shard(*id, shard_count);
       }
     }
+    // Encrypted transport: the cookie only ever appears in the
+    // handshake, so steady-state short-header packets reach here. The
+    // alias table (fed by learn_steering on this same path) recovers
+    // the steering key fixed at handshake time — the cookie id again —
+    // so rotation and migration keep the descriptor pinned.
+    if (aliases != nullptr) {
+      return util::steer_shard(quic::steer_key_for(*aliases, packet),
+                               shard_count);
+    }
   }
-  return std::hash<net::FiveTuple>()(packet.tuple) % shard_count;
+  // kFlowHash stays deliberately naive — a tuple hash, exactly what a
+  // CID-blind balancer does — but platform-stable, unlike the old
+  // std::hash<FiveTuple> fallback. A NAT rebind changes this value;
+  // that breakage is the ablation's control arm.
+  return util::steer_shard(packet.flow_key().steer_key(), shard_count);
 }
 
 size_t ShardedDataplane::flow_shard(const net::Packet& packet) const {
-  return std::hash<net::FiveTuple>()(packet.tuple) % shards_.size();
+  return util::steer_shard(packet.flow_key().steer_key(), shards_.size());
 }
 
 size_t ShardedDataplane::shard_for(const net::Packet& packet) const {
-  return pick_shard(packet, policy_, shards_.size());
+  return pick_shard(packet, policy_, shards_.size(), &aliases_);
 }
 
 Verdict ShardedDataplane::process(net::Packet& packet) {
+  if (policy_ == DispatchPolicy::kDescriptorAffinity) {
+    quic::learn_steering(aliases_, packet);
+  }
   const size_t index = shard_for(packet);
   auto& s = stats_[index];
   s.cell<&ShardStats::packets>().inc();

@@ -36,6 +36,7 @@
 #include "cookies/verifier.h"
 #include "dataplane/middlebox.h"
 #include "dataplane/service_registry.h"
+#include "quic/alias_table.h"
 #include "telemetry/labels.h"
 #include "util/clock.h"
 
@@ -52,9 +53,16 @@ enum class DispatchPolicy : uint8_t {
 /// Shard selection under `policy`, shared by the single-threaded model
 /// below and the threaded runtime::Dispatcher. Under descriptor
 /// affinity a cookie-bearing packet is pinned by its cookie id (the
-/// cheap no-HMAC peek); everything else spreads by flow hash.
+/// cheap no-HMAC peek); a QUIC short-header packet whose connection
+/// `aliases` knows is pinned by the steering key learned at handshake
+/// (the cookie id again — so rotation and migration keep hitting the
+/// shard owning the descriptor); everything else spreads by the
+/// packet's FlowKey steer key through util::steer_shard — platform-
+/// stable end to end, where the old fallback hashed the 5-tuple with
+/// std::hash and could disagree across standard libraries.
 size_t pick_shard(const net::Packet& packet, DispatchPolicy policy,
-                  size_t shard_count);
+                  size_t shard_count,
+                  const quic::CidAliasTable* aliases = nullptr);
 
 struct ShardStats {
   uint64_t packets = 0;
@@ -132,6 +140,10 @@ class ShardedDataplane {
 
   DispatchPolicy policy_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Balancer-side CID steering state (descriptor affinity only):
+  /// learned from handshakes and rotation markers as packets pass, so
+  /// a connection's whole CID history steers to one shard.
+  quic::CidAliasTable aliases_;
   /// deque: views are pinned (collectors hold their address).
   std::deque<telemetry::View<ShardStats>> stats_;
 };

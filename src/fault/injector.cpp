@@ -167,6 +167,28 @@ double Injector::throttle_non_cookie(uint32_t link_id,
   return 0.0;
 }
 
+bool Injector::nat_rebind(uint64_t conn_id, util::Timestamp now,
+                          util::Timestamp last_migration) const {
+  if (!armed()) return false;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind != FaultKind::kNatRebind || !event.active_at(now)) {
+      continue;
+    }
+    // One migration per (connection, event): an event the connection
+    // already migrated under (start <= last_migration) never fires
+    // again for it.
+    if (event.start <= last_migration) continue;
+    const uint64_t h =
+        mix(seed_ ^ mix(conn_id) ^ static_cast<uint64_t>(event.start));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    if (u < event.magnitude) {
+      count(FaultKind::kNatRebind);
+      return true;
+    }
+  }
+  return false;
+}
+
 util::Timestamp Injector::clock_skew(util::Timestamp now) const {
   // Continuous condition, evaluated per clock read — not counted, for
   // the same reason paused() is not.

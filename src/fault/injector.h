@@ -99,6 +99,19 @@ class Injector {
   /// Counted per throttled packet, like drop_packet's loss spikes.
   double throttle_non_cookie(uint32_t link_id, util::Timestamp now) const;
 
+  /// QUIC workload migration hook: true = connection `conn_id`
+  /// migrates NOW (its client endpoint rebinds to a fresh address/
+  /// port; CIDs continue unchanged). Deterministic Bernoulli per
+  /// (connection, event) — hash (seed, conn_id, event start), the
+  /// reset_connection idiom — so the outcome is independent of poll
+  /// frequency. A connection outlives its migration (unlike a reset),
+  /// so the caller passes the timestamp of its previous migration and
+  /// an event answers true at most once per connection: only while
+  /// active AND its start is later than `last_migration`. Counted per
+  /// true answer, i.e. once per (connection, event).
+  bool nat_rebind(uint64_t conn_id, util::Timestamp now,
+                  util::Timestamp last_migration = 0) const;
+
   /// Any event in flight at `now` (chaos tests gate their recovery
   /// phase on this going false).
   bool any_active(util::Timestamp now) const;

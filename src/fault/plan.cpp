@@ -43,9 +43,11 @@ FaultPlan FaultPlan::random(uint64_t seed, const Spec& spec) {
         break;
       case FaultKind::kConnReset:
       case FaultKind::kPeerHalfOpen:
-        // Socket faults target connection ids, which only exist at
-        // runtime; schedules hit every live connection and the
-        // Bernoulli draw (kConnReset) thins the blast radius.
+      case FaultKind::kNatRebind:
+        // Socket/migration faults target connection ids, which only
+        // exist at runtime; schedules hit every live connection and
+        // the Bernoulli draw (kConnReset, kNatRebind) thins the blast
+        // radius.
         event.target = kAllTargets;
         break;
       case FaultKind::kSyncOutage:

@@ -59,6 +59,17 @@ enum class FaultKind : uint8_t {
   /// FCT/throughput distributions shift, which is exactly what the
   /// statistical auditor (src/audit) exists to catch.
   kThrottleNonCookie,
+  /// A NAT rebinding / connection-migration burst: while the event is
+  /// active, each QUIC connection (polled via Injector::nat_rebind
+  /// with its connection id) migrates to a fresh source endpoint with
+  /// probability `magnitude` — at most once per connection per event,
+  /// like kConnReset. The CIDs keep flowing on the new 5-tuple; flow
+  /// state keyed on the tuple dies, flow state keyed on the CID
+  /// (net::FlowKey::kConnectionId) survives — which is the whole
+  /// point of the PR 10 encrypted-transport scenario. Routing the
+  /// workload's seeded migrations through the injector lets chaos
+  /// schedules compose migration with loss spikes and sync outages.
+  kNatRebind,
 };
 // kFaultKindCount and to_string(FaultKind) live in telemetry/labels.h.
 
@@ -71,8 +82,13 @@ inline constexpr size_t kCoreFaultKinds = 6;
 /// Core + socket kinds (everything before kThrottleNonCookie). The
 /// netio chaos suite pins Spec::kinds to this so its shipped seeds
 /// keep producing byte-identical schedules now that the audit fault
-/// extends the enum; audit chaos opts into kFaultKindCount.
+/// extends the enum; audit chaos opts into kAuditFaultKinds.
 inline constexpr size_t kSocketFaultKinds = 9;
+
+/// Through kThrottleNonCookie. The audit chaos seeds pinned this
+/// range before kNatRebind extended the enum; quic chaos opts into
+/// kFaultKindCount.
+inline constexpr size_t kAuditFaultKinds = 10;
 
 /// Applies to every link/worker rather than one target.
 inline constexpr uint32_t kAllTargets = 0xffffffffu;

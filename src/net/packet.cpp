@@ -16,6 +16,11 @@ std::optional<RawCookie> Packet::cookie_bytes() const {
     return RawCookie{CookieCarrier::kTcpOption, util::BytesView(*l4_cookie),
                      {}};
   }
+  if (quic && quic->long_header && !quic->tp_cookie.empty()) {
+    return RawCookie{CookieCarrier::kQuicTransportParam,
+                     util::BytesView(quic->tp_cookie),
+                     {}};
+  }
   if (is_udp() && payload.size() >= 6 &&
       util::equal(util::BytesView(payload.data(), 4),
                   util::BytesView(kCookieShimMagic, 4))) {
@@ -60,6 +65,17 @@ std::optional<RawCookie> Packet::cookie_bytes() const {
 uint32_t header_overhead(const Packet& p) {
   uint32_t overhead = p.ipv6 ? 40u : 20u;
   overhead += p.is_tcp() ? 20u : 8u;
+  if (p.quic) {
+    // Short header: flags(1) + dcid(8). Long header: flags(1) +
+    // version(4) + two length-prefixed CIDs (9 each) + the transport
+    // parameter when present (TLV, 4-byte framing).
+    overhead += p.quic->long_header
+                    ? 23u + (p.quic->tp_cookie.empty()
+                                 ? 0u
+                                 : 4u + static_cast<uint32_t>(
+                                            p.quic->tp_cookie.size()))
+                    : 9u;
+  }
   if (p.l3_cookie) {
     // Option TLV plus padding to 8-byte units (IPv6 HBH).
     overhead += static_cast<uint32_t>(2 + p.l3_cookie->size() + 7) / 8 * 8;

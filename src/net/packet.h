@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/five_tuple.h"
+#include "net/flow_key.h"
 #include "util/bytes.h"
 
 namespace nnn::net {
@@ -27,12 +28,17 @@ inline constexpr uint8_t kCookieShimMagic[4] = {'N', 'C', 'K', 'U'};
 
 /// Where a packet carries its cookie blob. Order is the extraction
 /// precedence: fixed-offset binary carriers before payload parses.
+/// The QUIC transport parameter sits with the binary carriers — it is
+/// a direct header-model field like l3/l4, checked before any payload
+/// inspection (a QUIC payload is opaque ciphertext; nothing past the
+/// header is parseable anyway).
 enum class CookieCarrier : uint8_t {
-  kIpv6Option = 0,  // Packet::l3_cookie
-  kTcpOption,       // Packet::l4_cookie (EDO long option)
-  kUdpShim,         // magic-prefixed payload header
-  kTlsExtension,    // network-cookie extension in the ClientHello
-  kHttpHeader,      // base64 X-Network-Cookie header
+  kIpv6Option = 0,      // Packet::l3_cookie
+  kTcpOption,           // Packet::l4_cookie (EDO long option)
+  kQuicTransportParam,  // Packet::quic->tp_cookie (long header)
+  kUdpShim,             // magic-prefixed payload header
+  kTlsExtension,        // network-cookie extension in the ClientHello
+  kHttpHeader,          // base64 X-Network-Cookie header
 };
 
 /// The raw (binary, already de-base64'd for HTTP) cookie-stack bytes
@@ -47,6 +53,36 @@ struct RawCookie {
   util::Bytes storage;  // backs `view` for kTlsExtension/kHttpHeader
 
   util::BytesView bytes() const { return view; }
+};
+
+/// QUIC-shaped header model (PR 10). Structured form only — like
+/// wire_size, this models what the head-end observes without
+/// materializing real QUIC framing. Long headers model the handshake
+/// flight (both connection IDs visible, plus the cookie transport
+/// parameter — readable by an on-path observer exactly like a real
+/// Initial, whose protection keys derive from the client's DCID);
+/// short headers expose only the destination CID, everything after it
+/// opaque ciphertext.
+///
+/// `prev_cid` is the cooperative rotation marker: the first short-
+/// header packet using a freshly issued CID names the CID it retires,
+/// the user-driven analog of QUIC-LB's routable CIDs (a NEW_CONNECTION
+/// _ID frame is encrypted, so a middlebox the user WANTS to recognize
+/// the flow must be handed the linkage some other way; see DESIGN
+/// §5i). DPI gets the same bytes and still fails: linking CIDs does
+/// not name the application when every payload is ciphertext.
+struct QuicHeader {
+  bool long_header = false;
+  /// Destination connection ID — what the middlebox keys flow state
+  /// on (via quic::CidAliasTable resolution to the canonical CID).
+  uint64_t dcid = 0;
+  /// Source connection ID; long header only (zero otherwise).
+  uint64_t scid = 0;
+  /// CID this packet's dcid replaces (first packet after a rotation).
+  std::optional<uint64_t> prev_cid;
+  /// Encoded cookie stack carried as a handshake transport parameter;
+  /// empty = none. Long header only.
+  util::Bytes tp_cookie;
 };
 
 struct Packet {
@@ -79,6 +115,10 @@ struct Packet {
   /// the wire codec emits an EDO option extending the header.
   std::optional<util::Bytes> l4_cookie;
 
+  /// QUIC header model when this packet is QUIC-shaped (UDP carrying
+  /// an encrypted transport); nullopt for classic packets.
+  std::optional<QuicHeader> quic;
+
   /// Application payload bytes (HTTP text, TLS records, or opaque).
   util::Bytes payload;
 
@@ -92,16 +132,41 @@ struct Packet {
 
   bool is_tcp() const { return tuple.proto == L4Proto::kTcp; }
   bool is_udp() const { return tuple.proto == L4Proto::kUdp; }
+  bool is_quic() const { return quic.has_value(); }
+
+  /// The ONE place that knows what a packet's flow is named by: the
+  /// destination connection ID for QUIC-shaped packets (the stable
+  /// name that survives NAT rebinds and migration), the classic
+  /// 5-tuple for everything else. Every structure that keys per-flow
+  /// state — dataplane::FlowTable, the DPI flow cache, OOB matching,
+  /// the steering fallback in Dataplane::ingest — derives its key
+  /// here instead of reaching for `tuple` by hand. The CID key is
+  /// returned UNRESOLVED (as carried); alias resolution to the
+  /// connection's canonical CID is the flow table's / alias table's
+  /// job, because only they know which rotations have been announced.
+  FlowKey flow_key() const {
+    if (quic) return FlowKey::from_cid(quic->dcid);
+    return FlowKey::from_tuple(tuple);
+  }
 
   /// The ONE place that knows where cookies hide in a packet. Checks
-  /// every carrier, cheapest first — IPv6 hop-by-hop option, TCP EDO
-  /// option, UDP shim (fixed-offset binary), then the TLS ClientHello
-  /// parse, then the HTTP header parse + base64 — and returns the raw
-  /// encoded cookie-stack bytes. Middlebox search, the hardware
-  /// pre-filter, the RX demux cookie-id peek, and cookies::extract all
-  /// route through this accessor; before it existed each re-implemented
-  /// the precedence order (and sharding approximated it, wrongly
-  /// treating any payload as cookie-bearing).
+  /// every carrier, cheapest first, and returns the raw encoded
+  /// cookie-stack bytes. Carrier precedence (normative; the test
+  /// matrix in tests/test_transport.cpp pins it):
+  ///   1. kIpv6Option          — direct field (l3_cookie)
+  ///   2. kTcpOption           — direct field (l4_cookie, EDO)
+  ///   3. kQuicTransportParam  — direct field (quic->tp_cookie,
+  ///                             long-header handshake only)
+  ///   4. kUdpShim             — fixed-offset magic-prefixed payload
+  ///   5. kTlsExtension        — TLS ClientHello parse
+  ///   6. kHttpHeader          — HTTP parse + base64 decode
+  /// Direct fields before fixed-offset scans before payload parses; a
+  /// QUIC packet's payload is opaque ciphertext, so carriers 4-6 are
+  /// never consulted for it in practice. Middlebox search, the
+  /// hardware pre-filter, the RX demux cookie-id peek, and
+  /// cookies::extract all route through this accessor; before it
+  /// existed each re-implemented the precedence order (and sharding
+  /// approximated it, wrongly treating any payload as cookie-bearing).
   std::optional<RawCookie> cookie_bytes() const;
 
   std::string summary() const;

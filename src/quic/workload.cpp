@@ -1,0 +1,242 @@
+#include "quic/workload.h"
+
+#include <array>
+#include <cassert>
+#include <limits>
+#include <string_view>
+
+#include "cookies/transport.h"
+#include "net/tls.h"
+#include "util/hash.h"
+
+namespace nnn::quic {
+
+namespace {
+
+/// The application catalog. Six services is enough to make random
+/// guessing useless (a blind classifier sits at ~17%) while keeping
+/// the DPI rule set the size a real provisioning team would maintain.
+constexpr std::array<std::string_view, 6> kApps = {
+    "streamly", "vidora", "cloudbox", "gamegrid", "newsly", "musicast",
+};
+
+/// Apps front through a shared CDN edge: four addresses serve all six
+/// services, so (realistically) no server-prefix DPI rule can tell
+/// them apart and classification must come from names or payloads.
+net::IpAddress cdn_edge(uint32_t conn_index) {
+  return net::IpAddress::v4(203, 0, 113, static_cast<uint8_t>(
+                                             1 + conn_index % 4));
+}
+
+}  // namespace
+
+QuicTraceGenerator::QuicTraceGenerator(Config config, const util::Clock& clock,
+                                       cookies::CookieVerifier* verifier,
+                                       uint64_t seed)
+    : config_(config),
+      clock_(clock),
+      rng_(seed),
+      cid_counter_(seed ^ 0x9e3779b97f4a7c15ull) {
+  generators_.reserve(config_.descriptors);
+  for (size_t i = 0; i < config_.descriptors; ++i) {
+    cookies::CookieDescriptor descriptor;
+    descriptor.cookie_id = i + 1;
+    descriptor.key.resize(32);
+    for (size_t b = 0; b < descriptor.key.size(); ++b) {
+      descriptor.key[b] = static_cast<uint8_t>(rng_.next_u64());
+    }
+    descriptor.service_data = "Boost";
+    if (verifier != nullptr) verifier->add_descriptor(descriptor);
+    generators_.emplace_back(std::move(descriptor), clock_, rng_.next_u64());
+  }
+
+  conns_.resize(config_.connections);
+  live_.reserve(config_.connections);
+  for (size_t i = 0; i < config_.connections; ++i) {
+    Conn& conn = conns_[i];
+    conn.tuple.src_ip =
+        net::IpAddress::v4(0x0a000000u | static_cast<uint32_t>(i + 1));
+    conn.tuple.dst_ip = cdn_edge(static_cast<uint32_t>(i));
+    conn.tuple.src_port = static_cast<uint16_t>(32768 + i % 28000);
+    conn.tuple.dst_port = 443;
+    conn.tuple.proto =
+        config_.cleartext ? net::L4Proto::kTcp : net::L4Proto::kUdp;
+    conn.client_cid = fresh_cid();
+    conn.server_cid = fresh_cid();
+    conn.next_rotation = config_.rotate_every == 0
+                             ? std::numeric_limits<uint32_t>::max()
+                             : 1 + rotation_gap(conn);
+    conn.generator =
+        static_cast<uint32_t>(rng_.next_u64(generators_.size()));
+    conn.info.app = std::string(kApps[rng_.next_u64(kApps.size())]);
+    conn.info.canonical_cid = conn.client_cid;
+    conn.info.has_cookie = rng_.chance(config_.cookie_fraction);
+    conn.info.cookie_id = conn.info.has_cookie
+                              ? generators_[conn.generator]
+                                    .descriptor()
+                                    .cookie_id
+                              : 0;
+    live_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<cookies::CookieDescriptor> QuicTraceGenerator::descriptors()
+    const {
+  std::vector<cookies::CookieDescriptor> out;
+  out.reserve(generators_.size());
+  for (const auto& generator : generators_) {
+    out.push_back(generator.descriptor());
+  }
+  return out;
+}
+
+std::vector<baselines::DpiRule> QuicTraceGenerator::dpi_rules() {
+  std::vector<baselines::DpiRule> rules;
+  rules.reserve(kApps.size());
+  for (const std::string_view app : kApps) {
+    baselines::DpiRule rule;
+    rule.app = std::string(app);
+    rule.host_suffixes = {std::string(app) + ".example"};
+    rule.payload_substrings = {std::string(app)};
+    // No port or server-prefix matchers on purpose: every app shares
+    // port 443 and the same four CDN edges, so those rule classes
+    // cannot discriminate — which is the realistic provisioning, and
+    // what forces classification through names and payloads.
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+uint64_t QuicTraceGenerator::fresh_cid() {
+  // mix64 is a bijection on u64: distinct counter values can never
+  // produce colliding CIDs within one trace.
+  return util::mix64(++cid_counter_);
+}
+
+uint32_t QuicTraceGenerator::rotation_gap(Conn&) {
+  const uint32_t base = config_.rotate_every;
+  const uint32_t jitter = static_cast<uint32_t>(rng_.next_u64(base));
+  return std::max<uint32_t>(2, base / 2 + jitter);
+}
+
+void QuicTraceGenerator::maybe_migrate(size_t index, Conn& conn) {
+  if (injector_ == nullptr) return;
+  const util::Timestamp now = clock_.now();
+  if (!injector_->nat_rebind(static_cast<uint64_t>(index), now,
+                             conn.last_migration)) {
+    return;
+  }
+  conn.last_migration = now;
+  // The classic rebind: the NAT forgets the mapping and the next
+  // outbound packet gets a fresh public port. CIDs continue unchanged.
+  conn.tuple.src_port = static_cast<uint16_t>(2048 + rng_.next_u64(60000));
+  ++conn.info.migrations;
+}
+
+void QuicTraceGenerator::rotate(Conn& conn) {
+  conn.client_prev = conn.client_cid;
+  conn.server_prev = conn.server_cid;
+  conn.client_cid = fresh_cid();
+  conn.server_cid = fresh_cid();
+  ++conn.info.rotations;
+  const uint32_t gap = rotation_gap(conn);
+  conn.next_rotation =
+      conn.next_rotation > std::numeric_limits<uint32_t>::max() - gap
+          ? std::numeric_limits<uint32_t>::max()
+          : conn.next_rotation + gap;
+}
+
+void QuicTraceGenerator::fill_opaque(net::Packet& out) {
+  // Opaque ciphertext stand-in. Pseudo-random bytes are exactly as
+  // inscrutable to a payload matcher as real AEAD output.
+  out.payload.resize(config_.payload_bytes);
+  for (size_t i = 0; i < out.payload.size(); ++i) {
+    out.payload[i] = static_cast<uint8_t>(rng_.next_u64());
+  }
+}
+
+uint32_t QuicTraceGenerator::fill_next(net::Packet& out) {
+  assert(!live_.empty() && "fill_next past done()");
+  const size_t pick = rng_.next_u64(live_.size());
+  const uint32_t index = live_[pick];
+  Conn& conn = conns_[index];
+
+  maybe_migrate(index, conn);
+  if (config_.cleartext) {
+    emit_cleartext(conn, out);
+  } else {
+    emit_quic(conn, out);
+  }
+  // Connection index riding in seq: UDP ignores it, the middlebox
+  // never reads it, and VerdictRecord carries it back out of the
+  // worker pool — the bench's per-connection survival ledger.
+  out.seq = index;
+
+  if (++conn.sent >= config_.packets_per_connection) {
+    live_[pick] = live_.back();
+    live_.pop_back();
+  }
+  return index;
+}
+
+void QuicTraceGenerator::emit_quic(Conn& conn, net::Packet& out) {
+  const bool handshake = conn.sent == 0;
+  // Even `sent` travels client -> server (the handshake included),
+  // odd travels back, so both CID families see traffic and both
+  // rotation markers reach the middlebox.
+  const bool to_server = handshake || conn.sent % 2 == 0;
+  if (!handshake && config_.rotate_every != 0 &&
+      conn.sent >= conn.next_rotation) {
+    rotate(conn);
+  }
+
+  net::QuicHeader header;
+  if (handshake) {
+    header.long_header = true;
+    header.scid = conn.client_cid;
+    header.dcid = conn.server_cid;
+  } else if (to_server) {
+    header.dcid = conn.server_cid;
+    if (conn.server_prev) {
+      header.prev_cid = conn.server_prev;
+      conn.server_prev.reset();
+    }
+  } else {
+    header.dcid = conn.client_cid;
+    if (conn.client_prev) {
+      header.prev_cid = conn.client_prev;
+      conn.client_prev.reset();
+    }
+  }
+  out.quic = std::move(header);
+  out.tuple = to_server ? conn.tuple : conn.tuple.reversed();
+  fill_opaque(out);
+  out.wire_size = config_.wire_size;
+  if (handshake && conn.info.has_cookie) {
+    const cookies::Cookie cookie = generators_[conn.generator].generate();
+    cookies::attach(out, cookie, cookies::Transport::kQuicTransportParam);
+    out.wire_size = config_.wire_size;
+  }
+}
+
+void QuicTraceGenerator::emit_cleartext(Conn& conn, net::Packet& out) {
+  const bool handshake = conn.sent == 0;
+  const bool to_server = handshake || conn.sent % 2 == 0;
+  out.tuple = to_server ? conn.tuple : conn.tuple.reversed();
+  if (handshake) {
+    net::tls::ClientHello hello;
+    hello.set_server_name("cdn." + conn.info.app + ".example");
+    out.payload = hello.serialize_record();
+    if (conn.info.has_cookie) {
+      const cookies::Cookie cookie = generators_[conn.generator].generate();
+      cookies::attach(out, cookie, cookies::Transport::kTlsExtension);
+    }
+  } else {
+    // Post-handshake TLS is ciphertext too; only the ClientHello ever
+    // shows DPI a name.
+    fill_opaque(out);
+  }
+  out.wire_size = config_.wire_size;
+}
+
+}  // namespace nnn::quic

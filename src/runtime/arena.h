@@ -193,6 +193,7 @@ inline void reset_for_reuse(net::Packet& p) {
   p.syn = p.ack = p.fin = p.rst = false;
   p.l3_cookie.reset();
   p.l4_cookie.reset();
+  p.quic.reset();
   p.payload.clear();  // keeps capacity
   p.wire_size = 0;
 }

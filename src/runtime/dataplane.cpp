@@ -20,6 +20,9 @@ bool Dataplane::ingest(PacketHandle&& handle) {
     // the ledger keeps one home for every ingest attempt.
     return pool_.submit_handle(0, std::move(handle));
   }
+  if (config_.policy == dataplane::DispatchPolicy::kDescriptorAffinity) {
+    quic::learn_steering(aliases_, *handle);
+  }
   const size_t worker = route(*handle);
   return pool_.submit_handle(worker, std::move(handle));
 }
@@ -28,6 +31,9 @@ void Dataplane::ingest_blocking(PacketHandle&& handle) {
   if (!handle) {
     pool_.submit_handle(0, std::move(handle));
     return;
+  }
+  if (config_.policy == dataplane::DispatchPolicy::kDescriptorAffinity) {
+    quic::learn_steering(aliases_, *handle);
   }
   const size_t worker = route(*handle);
   pool_.submit_handle_blocking(worker, std::move(handle));

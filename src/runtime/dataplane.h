@@ -77,10 +77,12 @@ class Dataplane {
   /// An empty handle is still counted as shed (nothing to wait for).
   void ingest_blocking(PacketHandle&& handle);
 
-  /// Which worker ingest() would steer this packet to.
+  /// Which worker ingest() would steer this packet to. Pure query: it
+  /// consults the CID steering state but never learns from the packet
+  /// (ingest() does the learning), so repeated calls agree.
   size_t route(const net::Packet& packet) const {
     return dataplane::pick_shard(packet, config_.policy,
-                                 pool_.worker_count());
+                                 pool_.worker_count(), &aliases_);
   }
 
   // ---- lifecycle (see WorkerPool for the contracts) ----
@@ -130,6 +132,11 @@ class Dataplane {
   WorkerPool pool_;
   /// Producer-side alloc stash (single producer thread).
   PacketArena::Cache cache_;
+  /// CID -> steering-key state for the encrypted transport, learned on
+  /// the ingest path (handshakes bind the cookie id, rotation markers
+  /// alias fresh CIDs). Producer thread only, like the stash: the one
+  /// ingest thread is the only mutator.
+  quic::CidAliasTable aliases_;
 };
 
 }  // namespace nnn::runtime

@@ -41,10 +41,14 @@ Dispatcher::Dispatcher(WorkerPool& pool, Config config)
 Dispatcher::~Dispatcher() { stop(); }
 
 size_t Dispatcher::route(const net::Packet& packet) const {
-  return dataplane::pick_shard(packet, config_.policy, pool_.worker_count());
+  return dataplane::pick_shard(packet, config_.policy, pool_.worker_count(),
+                               &aliases_);
 }
 
 void Dispatcher::route_to_worker(net::Packet&& packet) {
+  if (config_.policy == dataplane::DispatchPolicy::kDescriptorAffinity) {
+    quic::learn_steering(aliases_, packet);
+  }
   const size_t worker = route(packet);
   PacketHandle handle = pool_.arena().try_alloc();
   if (handle) *handle = std::move(packet);
@@ -99,6 +103,9 @@ void Dispatcher::dispatch(net::Packet&& packet) {
 
 void Dispatcher::dispatch_blocking(net::Packet&& packet) {
   offered_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.policy == dataplane::DispatchPolicy::kDescriptorAffinity) {
+    quic::learn_steering(aliases_, packet);
+  }
   const size_t worker = route(packet);
   // Closed loop: wait for an arena slot instead of shedding — the
   // workers recycle slots as they emit, so one frees up as long as

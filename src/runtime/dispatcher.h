@@ -99,6 +99,11 @@ class Dispatcher {
   WorkerPool& pool_;
   Config config_;
   MpscRing<net::Packet> ingress_;
+  /// CID -> steering-key state for the encrypted transport. Mutated
+  /// only by the balancer thread (route_to_worker); route() from
+  /// other threads is only safe when the pump is not running, same as
+  /// direct mode itself.
+  quic::CidAliasTable aliases_;
 
   // `offered - forwarded` is the in-flight count inside the dispatcher
   // itself; drain() waits for it to reach zero before draining the pool.

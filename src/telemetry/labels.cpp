@@ -32,6 +32,8 @@ std::string_view to_string(ErrorDomain d) {
       return "fault";
     case ErrorDomain::kNetio:
       return "netio";
+    case ErrorDomain::kFlow:
+      return "flow";
   }
   return "?";
 }
@@ -216,6 +218,8 @@ std::string_view to_string(FaultKind k) {
       return "peer-half-open";
     case FaultKind::kThrottleNonCookie:
       return "throttle-non-cookie";
+    case FaultKind::kNatRebind:
+      return "nat-rebind";
   }
   return "?";
 }

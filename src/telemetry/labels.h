@@ -60,7 +60,7 @@ std::string_view to_string(AcquireError e);
 
 namespace nnn::fault {
 enum class FaultKind : uint8_t;
-inline constexpr size_t kFaultKindCount = 10;
+inline constexpr size_t kFaultKindCount = 11;
 std::string_view to_string(FaultKind k);
 }  // namespace nnn::fault
 

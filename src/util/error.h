@@ -47,8 +47,9 @@ enum class ErrorDomain : uint8_t {
   kServer,      // cookie server acquire/revoke
   kFault,       // injected faults (so chaos runs are auditable)
   kNetio,       // epoll network edge (sockets, framing, timeouts)
+  kFlow,        // flow-identity state (flow table, CID alias table)
 };
-inline constexpr size_t kErrorDomainCount = 9;
+inline constexpr size_t kErrorDomainCount = 10;
 
 /// Shared across domains: a condition spells the same way everywhere.
 enum class ErrorCode : uint8_t {

@@ -66,6 +66,19 @@ class TransportTest : public ::testing::Test {
     return p;
   }
 
+  net::Packet quic_packet(bool long_header = true) {
+    net::Packet p;
+    p.tuple.proto = net::L4Proto::kUdp;
+    p.tuple.dst_port = 443;
+    net::QuicHeader q;
+    q.long_header = long_header;
+    q.scid = 0xc1d0;
+    q.dcid = 0xc1d1;
+    p.quic = q;
+    p.payload = {9, 9, 9};  // opaque ciphertext stand-in
+    return p;
+  }
+
   util::ManualClock clock_;
   CookieGenerator generator_;
 };
@@ -141,6 +154,33 @@ TEST_F(TransportTest, TcpOptionCarriesCookie) {
 TEST_F(TransportTest, TcpOptionRefusedOnUdp) {
   net::Packet p = udp_packet();
   EXPECT_FALSE(attach(p, generator_.generate(), Transport::kTcpOption));
+}
+
+TEST_F(TransportTest, QuicTransportParamCarriesCookie) {
+  net::Packet p = quic_packet();
+  const Cookie c = generator_.generate();
+  ASSERT_TRUE(attach(p, c, Transport::kQuicTransportParam));
+  const auto extracted = extract(p);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->transport, Transport::kQuicTransportParam);
+  EXPECT_EQ(extracted->stack.front(), c);
+  // The ciphertext payload is untouched: the cookie is handshake
+  // metadata, not payload.
+  EXPECT_EQ(p.payload, (util::Bytes{9, 9, 9}));
+  EXPECT_TRUE(strip(p));
+  EXPECT_FALSE(extract(p).has_value());
+}
+
+TEST_F(TransportTest, QuicTransportParamRefusedPastHandshake) {
+  // Transport parameters exist only in the handshake flight: a
+  // short-header packet cannot carry one, and a non-QUIC packet has
+  // nowhere to put one.
+  net::Packet short_header = quic_packet(/*long_header=*/false);
+  EXPECT_FALSE(attach(short_header, generator_.generate(),
+                      Transport::kQuicTransportParam));
+  net::Packet plain = udp_packet();
+  EXPECT_FALSE(
+      attach(plain, generator_.generate(), Transport::kQuicTransportParam));
 }
 
 TEST_F(TransportTest, CarrierMismatchLeavesPacketUntouched) {
@@ -251,6 +291,8 @@ TEST_F(TransportTest, CookieBytesFindsEveryCarrier) {
       {tls_packet(), Transport::kTlsExtension, net::CookieCarrier::kTlsExtension});
   cases.push_back(
       {http_packet(), Transport::kHttpHeader, net::CookieCarrier::kHttpHeader});
+  cases.push_back({quic_packet(), Transport::kQuicTransportParam,
+                   net::CookieCarrier::kQuicTransportParam});
   for (auto& [packet, transport, carrier] : cases) {
     ASSERT_TRUE(attach(packet, c, transport));
     const auto raw = packet.cookie_bytes();
@@ -286,6 +328,18 @@ TEST_F(TransportTest, CookieBytesPrecedenceOrder) {
   ASSERT_EQ(tls.cookie_bytes()->carrier, net::CookieCarrier::kTcpOption);
   tls.l4_cookie.reset();
   ASSERT_EQ(tls.cookie_bytes()->carrier, net::CookieCarrier::kTlsExtension);
+
+  // QUIC transport parameter sits with the binary carriers: it beats
+  // the UDP shim (fixed payload offset) on the same handshake packet,
+  // and the l4 direct field would beat it if a QUIC packet could have
+  // one. With the parameter gone the shim is found again.
+  net::Packet quic = quic_packet();
+  ASSERT_TRUE(attach(quic, c, Transport::kQuicTransportParam));
+  ASSERT_TRUE(attach(quic, c, Transport::kUdpHeader));
+  ASSERT_EQ(quic.cookie_bytes()->carrier,
+            net::CookieCarrier::kQuicTransportParam);
+  quic.quic->tp_cookie.clear();
+  ASSERT_EQ(quic.cookie_bytes()->carrier, net::CookieCarrier::kUdpShim);
 }
 
 /// The text carriers must copy out (TLS extension body, base64-decoded
